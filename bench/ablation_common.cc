@@ -1,0 +1,42 @@
+#include "bench/ablation_common.h"
+
+#include <cstdio>
+
+#include "augment/imputation_eval.h"
+#include "util/rng.h"
+
+namespace pa::bench {
+
+int RunAblationBenchmark(const std::string& title,
+                         const std::vector<AblationVariant>& variants) {
+  std::printf("=== %s ===\n", title.c_str());
+
+  poi::LbsnProfile profile = poi::GowallaProfile();
+  profile.num_users = 24;
+  profile.num_pois = 600;
+  profile.min_visits = 120;
+  profile.max_visits = 160;
+  util::Rng rng(31);
+  poi::SyntheticLbsn lbsn = poi::GenerateLbsn(profile, rng);
+  std::printf("dataset: %s\n\n",
+              poi::FormatStats(poi::ComputeStats(lbsn.observed)).c_str());
+
+  for (const AblationVariant& variant : variants) {
+    augment::PaSeq2SeqConfig config;
+    config.stage1_epochs = 1;
+    config.stage2_epochs = 1;
+    config.stage3_epochs = 14;
+    variant.apply(config);
+    augment::PaSeq2Seq model(lbsn.observed.pois, config);
+    model.Fit(lbsn.observed.sequences);
+    const augment::ImputationMetrics metrics =
+        augment::EvaluateImputation(model, lbsn);
+    const auto& stage3 = model.train_stats().stage3;
+    std::printf("%-34s %s final_stage3_loss=%.4f\n", variant.label.c_str(),
+                metrics.ToString().c_str(),
+                stage3.empty() ? 0.0f : stage3.back());
+  }
+  return 0;
+}
+
+}  // namespace pa::bench

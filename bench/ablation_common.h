@@ -1,0 +1,28 @@
+#ifndef PA_BENCH_ABLATION_COMMON_H_
+#define PA_BENCH_ABLATION_COMMON_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "augment/pa_seq2seq.h"
+#include "poi/synthetic.h"
+
+namespace pa::bench {
+
+/// One ablation variant: a label plus the config edits it applies.
+struct AblationVariant {
+  std::string label;
+  std::function<void(augment::PaSeq2SeqConfig&)> apply;
+};
+
+/// Shared driver for the ablation benchmarks: generates a reduced
+/// Gowalla-profile snapshot once, then trains one PA-Seq2Seq per variant
+/// (identical seeds and budgets) and reports imputation accuracy / distance
+/// error and the final training loss for each.
+int RunAblationBenchmark(const std::string& title,
+                         const std::vector<AblationVariant>& variants);
+
+}  // namespace pa::bench
+
+#endif  // PA_BENCH_ABLATION_COMMON_H_

@@ -1,0 +1,21 @@
+// Ablation B (paper SIII-D): the local attention window. D = 10 is the
+// paper's choice; 0 disables attention entirely (the decoder ranks from its
+// raw hidden state).
+
+#include "bench/ablation_common.h"
+
+int main() {
+  using pa::augment::PaSeq2SeqConfig;
+  return pa::bench::RunAblationBenchmark(
+      "Ablation B: local attention window D (paper uses D = 10)",
+      {
+          {"no attention",
+           [](PaSeq2SeqConfig& c) { c.use_attention = false; }},
+          {"local attention, D = 2",
+           [](PaSeq2SeqConfig& c) { c.attention_window = 2; }},
+          {"local attention, D = 5",
+           [](PaSeq2SeqConfig& c) { c.attention_window = 5; }},
+          {"local attention, D = 10 (paper)",
+           [](PaSeq2SeqConfig& c) { c.attention_window = 10; }},
+      });
+}

@@ -1,0 +1,16 @@
+// Ablation A (paper SIII-C): residual stacking (Eq. 3) vs plain direct
+// stacking (Eq. 2) in both the encoder and the decoder skip path.
+
+#include "bench/ablation_common.h"
+
+int main() {
+  using pa::augment::PaSeq2SeqConfig;
+  return pa::bench::RunAblationBenchmark(
+      "Ablation A: residual vs plain stacking (paper Eq. 3 vs Eq. 2)",
+      {
+          {"residual connections (paper)",
+           [](PaSeq2SeqConfig& c) { c.use_residual = true; }},
+          {"plain direct stacking",
+           [](PaSeq2SeqConfig& c) { c.use_residual = false; }},
+      });
+}

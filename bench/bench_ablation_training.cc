@@ -1,0 +1,23 @@
+// Ablation C (paper SIII-E / SIV-B): the regularisation and mask-training
+// strategy — zoneout on/off, and the ramped 10%->50% mask schedule vs a
+// fixed 50% mask from the first epoch.
+
+#include "bench/ablation_common.h"
+
+int main() {
+  using pa::augment::PaSeq2SeqConfig;
+  return pa::bench::RunAblationBenchmark(
+      "Ablation C: zoneout and mask schedule (paper: zoneout + 10%->50% ramp)",
+      {
+          {"zoneout + ramped mask (paper)", [](PaSeq2SeqConfig& c) {}},
+          {"no zoneout",
+           [](PaSeq2SeqConfig& c) { c.zoneout_prob = 0.0f; }},
+          {"fixed 50% mask (no ramp)",
+           [](PaSeq2SeqConfig& c) { c.ramp_mask = false; }},
+          {"no zoneout + fixed mask",
+           [](PaSeq2SeqConfig& c) {
+             c.zoneout_prob = 0.0f;
+             c.ramp_mask = false;
+           }},
+      });
+}

@@ -1,0 +1,118 @@
+// Reproduces the motivation of paper Fig. 2: linear interpolation assumes
+// users travel the straight shortest path, but real trajectories are curves
+// shaped by preference, so interpolated points can be far from the truly
+// visited POI.
+//
+// Two synthetic worlds:
+//  * "corridor": users genuinely shuttle along a straight corridor of POIs
+//    — the best case for linear interpolation;
+//  * "routine":  the standard curved-routine mobility of the Gowalla
+//    profile.
+// For each world, the bench reports imputation accuracy and distance error
+// of LI(NN), LI(POP) and a trained PA-Seq2Seq. The reproduction target: LI
+// degrades sharply from corridor to routine while PA-Seq2Seq stays ahead on
+// accuracy in the routine world.
+
+#include <cstdio>
+
+#include "augment/imputation_eval.h"
+#include "augment/linear_interpolation.h"
+#include "augment/markov_baseline.h"
+#include "augment/pa_seq2seq.h"
+#include "poi/synthetic.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace pa;
+
+// A world whose users shuttle back and forth along one straight corridor.
+poi::SyntheticLbsn CorridorWorld(util::Rng& rng) {
+  const int kCorridor = 40;   // POIs on the line.
+  const int kOffline = 160;   // Scattered decoys off the line.
+  std::vector<geo::LatLng> coords;
+  for (int i = 0; i < kCorridor; ++i) {
+    coords.push_back({40.0 + 0.01 * i, -100.0});
+  }
+  for (int i = 0; i < kOffline; ++i) {
+    coords.push_back({40.0 + rng.Uniform(0.0, 0.4),
+                      -100.0 + rng.Uniform(0.05, 0.4)});
+  }
+  poi::SyntheticLbsn lbsn;
+  lbsn.observed.pois = poi::PoiTable(std::move(coords));
+  const int users = 20;
+  lbsn.observed.sequences.resize(users);
+  lbsn.true_visits.resize(users);
+  lbsn.observed_mask.resize(users);
+  for (int u = 0; u < users; ++u) {
+    // Shuttle: 0,1,...,K-1,K-2,...,1,0,1,... along the corridor.
+    const int span = 6 + u % 6;
+    const int base = u % (kCorridor - span - 1);
+    poi::CheckinSequence visits;
+    int pos = 0, dir = 1;
+    for (int i = 0; i < 160; ++i) {
+      visits.push_back({u, base + pos, 1262304000 + i * 3 * 3600ll, false});
+      pos += dir;
+      if (pos == span || pos == 0) dir = -dir;
+    }
+    std::vector<bool> mask(visits.size());
+    for (size_t i = 0; i < visits.size(); ++i) {
+      mask[i] = i == 0 || i + 1 == visits.size() || rng.Bernoulli(0.5);
+      if (mask[i]) lbsn.observed.sequences[u].push_back(visits[i]);
+    }
+    lbsn.true_visits[u] = std::move(visits);
+    lbsn.observed_mask[u] = std::move(mask);
+  }
+  lbsn.observed.RecountPopularity();
+  return lbsn;
+}
+
+poi::SyntheticLbsn RoutineWorld(util::Rng& rng) {
+  poi::LbsnProfile profile = poi::GowallaProfile();
+  profile.num_users = 24;
+  profile.num_pois = 600;
+  profile.min_visits = 120;
+  profile.max_visits = 160;
+  return poi::GenerateLbsn(profile, rng);
+}
+
+void Report(const char* world, const poi::SyntheticLbsn& lbsn) {
+  augment::LinearInterpolationAugmenter li_nn(
+      lbsn.observed.pois,
+      augment::LinearInterpolationAugmenter::Mode::kNearestNeighbor);
+  augment::LinearInterpolationAugmenter li_pop(
+      lbsn.observed.pois,
+      augment::LinearInterpolationAugmenter::Mode::kMostPopular, 2.0);
+  augment::MarkovBridgeAugmenter markov(lbsn.observed.pois);
+  markov.Fit(lbsn.observed.sequences);
+  augment::PaSeq2SeqConfig config;
+  config.stage3_epochs = 24;
+  augment::PaSeq2Seq pa(lbsn.observed.pois, config);
+  pa.Fit(lbsn.observed.sequences);
+
+  std::printf("[%s] LI(NN):       %s\n", world,
+              augment::EvaluateImputation(li_nn, lbsn).ToString().c_str());
+  std::printf("[%s] LI(POP):      %s\n", world,
+              augment::EvaluateImputation(li_pop, lbsn).ToString().c_str());
+  std::printf("[%s] MarkovBridge: %s\n", world,
+              augment::EvaluateImputation(markov, lbsn).ToString().c_str());
+  std::printf("[%s] PA-Seq2Seq:   %s\n", world,
+              augment::EvaluateImputation(pa, lbsn).ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Fig. 2 reproduction: straight-line interpolation vs curved "
+      "reality ===\n");
+  util::Rng rng1(21);
+  Report("corridor (straight truth)", CorridorWorld(rng1));
+  util::Rng rng2(22);
+  Report("routine (curved truth)  ", RoutineWorld(rng2));
+  std::printf(
+      "\nExpected shape: LI is near its best on the corridor world and far "
+      "weaker on the\nroutine world; PA-Seq2Seq holds the accuracy lead on "
+      "curved-truth data (paper Fig. 2).\n");
+  return 0;
+}

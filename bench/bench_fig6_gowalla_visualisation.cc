@@ -1,0 +1,9 @@
+// Reproduces paper Fig. 6: two Gowalla user trajectories rendered before
+// and after PA-Seq2Seq augmentation (original check-ins vs imputed ones).
+
+#include "bench/visualisation_common.h"
+
+int main() {
+  return pa::bench::RunVisualisationBenchmark(
+      pa::poi::GowallaProfile(), "Fig. 6 reproduction (Gowalla profile)");
+}

@@ -1,0 +1,10 @@
+// Reproduces paper Fig. 7: two Brightkite user trajectories rendered before
+// and after PA-Seq2Seq augmentation (original check-ins vs imputed ones).
+
+#include "bench/visualisation_common.h"
+
+int main() {
+  return pa::bench::RunVisualisationBenchmark(
+      pa::poi::BrightkiteProfile(),
+      "Fig. 7 reproduction (Brightkite profile)");
+}

@@ -1,0 +1,207 @@
+// Microbenchmarks of the substrates (google-benchmark): tensor ops, LSTM /
+// attention steps, R-tree and grid-index queries vs brute-force scans, slot
+// grid construction, and the synthetic generator.
+
+#include <benchmark/benchmark.h>
+
+#include "geo/grid_index.h"
+#include "geo/rstar_tree.h"
+#include "geo/rtree.h"
+#include "nn/attention.h"
+#include "nn/lstm.h"
+#include "poi/slot_grid.h"
+#include "poi/synthetic.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace pa;
+
+void BM_TensorMatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(1);
+  tensor::Tensor a = tensor::UniformInit({n, n}, 1.0f, rng).Detach();
+  tensor::Tensor b = tensor::UniformInit({n, n}, 1.0f, rng).Detach();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::MatMul(a, b).data());
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{n} * n * n);
+}
+BENCHMARK(BM_TensorMatMul)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_TensorForwardBackward(benchmark::State& state) {
+  // A small MLP-like expression, forward + backward.
+  util::Rng rng(2);
+  tensor::Tensor w1 = tensor::XavierInit({32, 64}, rng);
+  tensor::Tensor w2 = tensor::XavierInit({64, 32}, rng);
+  tensor::Tensor x = tensor::UniformInit({8, 32}, 1.0f, rng).Detach();
+  for (auto _ : state) {
+    tensor::Tensor y = tensor::Sum(tensor::Square(
+        tensor::MatMul(tensor::Tanh(tensor::MatMul(x, w1)), w2)));
+    y.Backward();
+    w1.ZeroGrad();
+    w2.ZeroGrad();
+    benchmark::DoNotOptimize(y.item());
+  }
+}
+BENCHMARK(BM_TensorForwardBackward);
+
+void BM_LstmCellStep(benchmark::State& state) {
+  const int hidden = static_cast<int>(state.range(0));
+  util::Rng rng(3);
+  nn::LstmCell cell(18, hidden, rng);
+  nn::LstmState s = cell.InitialState(1);
+  tensor::Tensor x = tensor::UniformInit({1, 18}, 1.0f, rng).Detach();
+  for (auto _ : state) {
+    nn::LstmState next = cell.Forward(x, s);
+    benchmark::DoNotOptimize(next.h.data());
+  }
+}
+BENCHMARK(BM_LstmCellStep)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_LocalAttention(benchmark::State& state) {
+  const int window = static_cast<int>(state.range(0));
+  util::Rng rng(4);
+  nn::LocalAttention attn(48, 48, window, rng);
+  std::vector<tensor::Tensor> states;
+  for (int i = 0; i < 100; ++i) {
+    states.push_back(tensor::UniformInit({1, 48}, 1.0f, rng).Detach());
+  }
+  tensor::Tensor h = tensor::UniformInit({1, 48}, 1.0f, rng).Detach();
+  for (auto _ : state) {
+    auto out = attn.Forward(h, states, 50);
+    benchmark::DoNotOptimize(out.attentional_hidden.data());
+  }
+}
+BENCHMARK(BM_LocalAttention)->Arg(2)->Arg(10)->Arg(40);
+
+std::vector<geo::RTree::Entry> RandomEntries(int n) {
+  util::Rng rng(5);
+  std::vector<geo::RTree::Entry> entries;
+  for (int i = 0; i < n; ++i) {
+    entries.push_back({{37.0 + rng.Uniform(0, 3.0), -95.0 + rng.Uniform(0, 3.0)},
+                       i});
+  }
+  return entries;
+}
+
+void BM_RTreeBuild(benchmark::State& state) {
+  auto entries = RandomEntries(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    geo::RTree tree = geo::RTree::Build(entries);
+    benchmark::DoNotOptimize(tree.size());
+  }
+}
+BENCHMARK(BM_RTreeBuild)->Arg(1000)->Arg(10000);
+
+void BM_RTreeNearest(benchmark::State& state) {
+  auto entries = RandomEntries(static_cast<int>(state.range(0)));
+  geo::RTree tree = geo::RTree::Build(entries);
+  util::Rng rng(6);
+  for (auto _ : state) {
+    geo::LatLng p{37.0 + rng.Uniform(0, 3.0), -95.0 + rng.Uniform(0, 3.0)};
+    benchmark::DoNotOptimize(tree.Nearest(p, 10));
+  }
+}
+BENCHMARK(BM_RTreeNearest)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_BruteForceNearest(benchmark::State& state) {
+  auto entries = RandomEntries(static_cast<int>(state.range(0)));
+  util::Rng rng(7);
+  for (auto _ : state) {
+    geo::LatLng p{37.0 + rng.Uniform(0, 3.0), -95.0 + rng.Uniform(0, 3.0)};
+    double best = 1e18;
+    int32_t best_id = -1;
+    for (const auto& e : entries) {
+      const double d = geo::HaversineKm(p, e.point);
+      if (d < best) {
+        best = d;
+        best_id = e.id;
+      }
+    }
+    benchmark::DoNotOptimize(best_id);
+  }
+}
+BENCHMARK(BM_BruteForceNearest)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_RStarTreeBuild(benchmark::State& state) {
+  auto entries = RandomEntries(static_cast<int>(state.range(0)));
+  std::vector<geo::RStarTree::Entry> rentries;
+  for (const auto& e : entries) rentries.push_back({e.point, e.id});
+  for (auto _ : state) {
+    geo::RStarTree tree = geo::RStarTree::Build(rentries);
+    benchmark::DoNotOptimize(tree.size());
+  }
+}
+BENCHMARK(BM_RStarTreeBuild)->Arg(1000)->Arg(10000);
+
+void BM_RStarTreeNearest(benchmark::State& state) {
+  auto entries = RandomEntries(static_cast<int>(state.range(0)));
+  std::vector<geo::RStarTree::Entry> rentries;
+  for (const auto& e : entries) rentries.push_back({e.point, e.id});
+  geo::RStarTree tree = geo::RStarTree::Build(rentries);
+  util::Rng rng(6);
+  for (auto _ : state) {
+    geo::LatLng p{37.0 + rng.Uniform(0, 3.0), -95.0 + rng.Uniform(0, 3.0)};
+    benchmark::DoNotOptimize(tree.Nearest(p, 10));
+  }
+}
+BENCHMARK(BM_RStarTreeNearest)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_RTreeRadius(benchmark::State& state) {
+  auto entries = RandomEntries(10000);
+  geo::RTree tree = geo::RTree::Build(entries);
+  util::Rng rng(8);
+  for (auto _ : state) {
+    geo::LatLng p{37.0 + rng.Uniform(0, 3.0), -95.0 + rng.Uniform(0, 3.0)};
+    benchmark::DoNotOptimize(
+        tree.WithinRadius(p, static_cast<double>(state.range(0))));
+  }
+}
+BENCHMARK(BM_RTreeRadius)->Arg(2)->Arg(15)->Arg(50);
+
+void BM_GridIndexNearest(benchmark::State& state) {
+  auto entries = RandomEntries(static_cast<int>(state.range(0)));
+  geo::GridIndex grid(0.05);
+  for (const auto& e : entries) grid.Insert(e.point, e.id);
+  util::Rng rng(9);
+  for (auto _ : state) {
+    geo::LatLng p{37.0 + rng.Uniform(0, 3.0), -95.0 + rng.Uniform(0, 3.0)};
+    benchmark::DoNotOptimize(grid.Nearest(p, 10));
+  }
+}
+BENCHMARK(BM_GridIndexNearest)->Arg(10000)->Arg(50000);
+
+void BM_SlotTimeline(benchmark::State& state) {
+  util::Rng rng(10);
+  poi::CheckinSequence seq;
+  int64_t t = 0;
+  for (int i = 0; i < 1000; ++i) {
+    t += static_cast<int64_t>(3600 * rng.Uniform(1.0, 12.0));
+    seq.push_back({0, i % 50, t, false});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(poi::BuildSlotTimeline(seq, 3 * 3600, 4));
+  }
+}
+BENCHMARK(BM_SlotTimeline);
+
+void BM_SyntheticGenerator(benchmark::State& state) {
+  poi::LbsnProfile profile = poi::GowallaProfile();
+  profile.num_users = 20;
+  profile.num_pois = 400;
+  profile.min_visits = 100;
+  profile.max_visits = 120;
+  for (auto _ : state) {
+    util::Rng rng(11);
+    benchmark::DoNotOptimize(poi::GenerateLbsn(profile, rng).observed
+                                 .num_checkins());
+  }
+}
+BENCHMARK(BM_SyntheticGenerator);
+
+}  // namespace
+
+BENCHMARK_MAIN();

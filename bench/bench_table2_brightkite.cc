@@ -1,0 +1,25 @@
+// Reproduces paper Table II: the same augmentation-effectiveness grid as
+// Table I, on the Brightkite-profile synthetic snapshot (denser check-ins,
+// dominant home anchor -> much higher absolute HR than Gowalla, as in the
+// paper).
+
+#include "bench/table_common.h"
+
+int main() {
+  return pa::bench::RunTableBenchmark(
+      pa::poi::BrightkiteProfile(), "Brightkite (synthetic profile)",
+      /*paper_reference=*/
+      "Paper Table II (real Brightkite), for shape comparison:\n"
+      "  Method    | Original          | LI (POP)          | LI (NN)     "
+      "      | PA-Seq2Seq\n"
+      "  FPMC-LR   | .163 .247 .316    | .168 .255 .336    | .187 .284 "
+      ".354    | .195 .296 .372\n"
+      "  PRME-G    | .197 .299 .349    | .221 .312 .352    | .235 .257 "
+      ".362    | .245 .321 .388\n"
+      "  RNN       | .408 .468 .489    | .413 .480 .499    | .423 .465 "
+      ".502    | .430 .495 .510\n"
+      "  LSTM      | .356 .445 .483    | .364 .454 .482    | .379 .460 "
+      ".483    | .396 .464 .488\n"
+      "  ST-CLSTM  | .446 .496 .522    | .456 .495 .517    | .450 .499 "
+      ".523    | .457 .512 .543\n");
+}

@@ -1,0 +1,40 @@
+#include "bench/table_common.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "eval/experiment.h"
+#include "util/rng.h"
+
+namespace pa::bench {
+
+int RunTableBenchmark(const poi::LbsnProfile& profile,
+                      const std::string& label,
+                      const std::string& paper_reference) {
+  const auto start = std::chrono::steady_clock::now();
+
+  util::Rng rng(1);
+  poi::SyntheticLbsn lbsn = poi::GenerateLbsn(profile, rng);
+  std::printf("=== %s ===\n", label.c_str());
+  std::printf("dataset: %s\n\n",
+              poi::FormatStats(poi::ComputeStats(lbsn.observed)).c_str());
+
+  eval::ExperimentConfig config;
+  config.verbose = true;
+  config.seq2seq.stage3_epochs = 24;
+  eval::TableResult table =
+      eval::RunAugmentationExperiment(lbsn.observed, profile.name, config);
+
+  std::printf("\nMeasured (this build, synthetic %s profile):\n%s\n",
+              profile.name.c_str(), table.ToString().c_str());
+  std::printf("%s\n", paper_reference.c_str());
+  std::printf("CSV:\n%s", table.ToCsv().c_str());
+
+  const auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
+      std::chrono::steady_clock::now() - start);
+  std::printf("\ntotal wall time: %lld s\n",
+              static_cast<long long>(elapsed.count()));
+  return 0;
+}
+
+}  // namespace pa::bench

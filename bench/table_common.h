@@ -1,0 +1,21 @@
+#ifndef PA_BENCH_TABLE_COMMON_H_
+#define PA_BENCH_TABLE_COMMON_H_
+
+#include <string>
+
+#include "poi/synthetic.h"
+
+namespace pa::bench {
+
+/// Shared driver for the Table I / Table II benchmarks: generates the
+/// profile's synthetic snapshot, prints dataset statistics, runs the full
+/// augmentation experiment (4 training sets x 5 recommenders x HR@{1,5,10})
+/// and prints the measured table next to the paper's reference rows.
+/// Returns a process exit code.
+int RunTableBenchmark(const poi::LbsnProfile& profile,
+                      const std::string& label,
+                      const std::string& paper_reference);
+
+}  // namespace pa::bench
+
+#endif  // PA_BENCH_TABLE_COMMON_H_

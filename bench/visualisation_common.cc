@@ -1,0 +1,110 @@
+#include "bench/visualisation_common.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "augment/pa_seq2seq.h"
+#include "geo/latlng.h"
+#include "util/rng.h"
+
+namespace pa::bench {
+
+namespace {
+
+void RenderUser(const poi::Dataset& dataset,
+                const poi::CheckinSequence& augmented, int32_t user) {
+  // Bounding box over every point in the augmented sequence.
+  geo::BoundingBox box = geo::BoundingBox::Empty();
+  for (const poi::Checkin& c : augmented) {
+    box.Extend(dataset.pois.coord(c.poi));
+  }
+  const double pad_lat = std::max(1e-4, (box.max_lat - box.min_lat) * 0.05);
+  const double pad_lng = std::max(1e-4, (box.max_lng - box.min_lng) * 0.05);
+  box.min_lat -= pad_lat;
+  box.max_lat += pad_lat;
+  box.min_lng -= pad_lng;
+  box.max_lng += pad_lng;
+
+  constexpr int kWidth = 64;
+  constexpr int kHeight = 20;
+  std::vector<std::string> canvas(kHeight, std::string(kWidth, '.'));
+  auto plot = [&](const geo::LatLng& p, char mark) {
+    const int col = static_cast<int>((p.lng - box.min_lng) /
+                                     (box.max_lng - box.min_lng) *
+                                     (kWidth - 1));
+    const int row = static_cast<int>((box.max_lat - p.lat) /
+                                     (box.max_lat - box.min_lat) *
+                                     (kHeight - 1));
+    char& cell = canvas[static_cast<size_t>(row)][static_cast<size_t>(col)];
+    if (cell == '.') {
+      cell = mark;
+    } else if (cell != mark) {
+      cell = '*';  // Original and imputed share the cell.
+    }
+  };
+  int original = 0, imputed = 0;
+  for (const poi::Checkin& c : augmented) {
+    plot(dataset.pois.coord(c.poi), c.imputed ? 'x' : 'o');
+    (c.imputed ? imputed : original) += 1;
+  }
+
+  std::printf(
+      "--- user %d: %d original (o), %d imputed (x), * = overlap ---\n",
+      user, original, imputed);
+  for (const std::string& row : canvas) std::printf("  %s\n", row.c_str());
+
+  std::printf("  order,timestamp,poi,lat,lng,kind\n");
+  const size_t show = std::min<size_t>(augmented.size(), 40);
+  for (size_t i = 0; i < show; ++i) {
+    const poi::Checkin& c = augmented[i];
+    const geo::LatLng& p = dataset.pois.coord(c.poi);
+    std::printf("  %zu,%lld,%d,%.5f,%.5f,%s\n", i + 1,
+                static_cast<long long>(c.timestamp), c.poi, p.lat, p.lng,
+                c.imputed ? "imputed" : "original");
+  }
+  if (show < augmented.size()) {
+    std::printf("  ... (%zu more)\n", augmented.size() - show);
+  }
+}
+
+}  // namespace
+
+int RunVisualisationBenchmark(const poi::LbsnProfile& profile,
+                              const std::string& figure_label) {
+  std::printf("=== %s: check-in trajectories before/after augmentation ===\n",
+              figure_label.c_str());
+
+  poi::LbsnProfile small = profile;
+  small.num_users = 24;
+  small.num_pois = std::min(profile.num_pois, 700);
+  small.min_visits = 100;
+  small.max_visits = 140;
+  util::Rng rng(6);
+  poi::SyntheticLbsn lbsn = poi::GenerateLbsn(small, rng);
+
+  augment::PaSeq2SeqConfig config;
+  config.stage3_epochs = 14;
+  augment::PaSeq2Seq pa(lbsn.observed.pois, config);
+  pa.Fit(lbsn.observed.sequences);
+
+  // Two sample users with the most imputation work, as in the paper's two
+  // examples per dataset.
+  std::vector<std::pair<int, int32_t>> work;  // (missing slots, user).
+  for (int32_t u = 0; u < lbsn.observed.num_users(); ++u) {
+    auto masked = augment::MakeMaskedSequence(lbsn.observed.sequences[u],
+                                              small.visit_interval_seconds, 3);
+    work.push_back({poi::CountMissing(masked.timeline), u});
+  }
+  std::sort(work.rbegin(), work.rend());
+  for (int k = 0; k < 2 && k < static_cast<int>(work.size()); ++k) {
+    const int32_t user = work[static_cast<size_t>(k)].second;
+    poi::CheckinSequence augmented =
+        augment::AugmentSequence(pa, lbsn.observed.sequences[user], user,
+                                 small.visit_interval_seconds, 3);
+    RenderUser(lbsn.observed, augmented, user);
+  }
+  return 0;
+}
+
+}  // namespace pa::bench

@@ -1,0 +1,21 @@
+#ifndef PA_BENCH_VISUALISATION_COMMON_H_
+#define PA_BENCH_VISUALISATION_COMMON_H_
+
+#include <string>
+
+#include "poi/synthetic.h"
+
+namespace pa::bench {
+
+/// Shared driver for the Fig. 6 / Fig. 7 reproductions: trains PA-Seq2Seq
+/// on the profile's synthetic snapshot, augments two sample users'
+/// training sequences, and renders each as (a) an ASCII map — `o` original
+/// check-ins (the paper's black icons), `x` imputed ones (red icons), `*`
+/// both — and (b) a CSV with the visit order, mirroring the numbered icons
+/// on the paper's map figures.
+int RunVisualisationBenchmark(const poi::LbsnProfile& profile,
+                              const std::string& figure_label);
+
+}  // namespace pa::bench
+
+#endif  // PA_BENCH_VISUALISATION_COMMON_H_

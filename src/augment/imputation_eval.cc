@@ -1,0 +1,72 @@
+#include "augment/imputation_eval.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pa::augment {
+
+std::string ImputationMetrics::ToString() const {
+  std::ostringstream os;
+  os << "tasks=" << num_tasks << " accuracy=" << accuracy
+     << " mean_err_km=" << mean_error_km
+     << " median_err_km=" << median_error_km;
+  return os.str();
+}
+
+MaskedSequence MakeGroundTruthMasked(const poi::SyntheticLbsn& lbsn,
+                                     int32_t user) {
+  MaskedSequence masked;
+  masked.user = user;
+  const auto& visits = lbsn.true_visits[static_cast<size_t>(user)];
+  const auto& mask = lbsn.observed_mask[static_cast<size_t>(user)];
+  masked.observed = lbsn.observed.sequences[static_cast<size_t>(user)];
+
+  int observed_index = 0;
+  for (size_t i = 0; i < visits.size(); ++i) {
+    poi::Slot slot;
+    slot.timestamp = visits[i].timestamp;
+    slot.observed_index = mask[i] ? observed_index++ : -1;
+    masked.timeline.push_back(slot);
+  }
+  return masked;
+}
+
+ImputationMetrics EvaluateImputation(const Augmenter& augmenter,
+                                     const poi::SyntheticLbsn& lbsn) {
+  ImputationMetrics metrics;
+  const poi::PoiTable& pois = lbsn.observed.pois;
+
+  int hits = 0;
+  std::vector<double> errors;
+  for (int32_t u = 0; u < lbsn.observed.num_users(); ++u) {
+    const auto& visits = lbsn.true_visits[static_cast<size_t>(u)];
+    const auto& mask = lbsn.observed_mask[static_cast<size_t>(u)];
+    MaskedSequence masked = MakeGroundTruthMasked(lbsn, u);
+    if (poi::CountMissing(masked.timeline) == 0) continue;
+
+    const std::vector<int32_t> imputed = augmenter.Impute(masked);
+    size_t next = 0;
+    for (size_t i = 0; i < visits.size(); ++i) {
+      if (mask[i]) continue;
+      const int32_t predicted = imputed[next++];
+      const int32_t truth = visits[i].poi;
+      ++metrics.num_tasks;
+      if (predicted == truth) ++hits;
+      errors.push_back(pois.DistanceKm(predicted, truth));
+    }
+  }
+
+  if (metrics.num_tasks > 0) {
+    metrics.accuracy =
+        static_cast<double>(hits) / static_cast<double>(metrics.num_tasks);
+    double sum = 0.0;
+    for (double e : errors) sum += e;
+    metrics.mean_error_km = sum / static_cast<double>(errors.size());
+    std::nth_element(errors.begin(), errors.begin() + errors.size() / 2,
+                     errors.end());
+    metrics.median_error_km = errors[errors.size() / 2];
+  }
+  return metrics;
+}
+
+}  // namespace pa::augment

@@ -1,0 +1,43 @@
+#ifndef PA_AUGMENT_IMPUTATION_EVAL_H_
+#define PA_AUGMENT_IMPUTATION_EVAL_H_
+
+#include <string>
+
+#include "augment/augmenter.h"
+#include "poi/synthetic.h"
+
+namespace pa::poi {
+struct SyntheticLbsn;
+}  // namespace pa::poi
+
+namespace pa::augment {
+
+/// Imputation quality of an augmenter against synthetic ground truth —
+/// the direct "imputation accuracy" comparison of the paper's contribution
+/// claim (PA-Seq2Seq beats linear interpolation in imputation accuracy),
+/// measurable here because the generator keeps the dropped check-ins.
+struct ImputationMetrics {
+  int num_tasks = 0;
+  /// Fraction of hidden check-ins recovered exactly.
+  double accuracy = 0.0;
+  /// Mean / median haversine distance (km) between the imputed POI and the
+  /// truly visited one. Captures "geographically close but wrong POI".
+  double mean_error_km = 0.0;
+  double median_error_km = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Builds the masked sequence whose timeline is the user's *true* visit
+/// clock: observed slots where the visit was checked in, missing slots
+/// where it was dropped.
+MaskedSequence MakeGroundTruthMasked(const poi::SyntheticLbsn& lbsn,
+                                     int32_t user);
+
+/// Evaluates `augmenter` on every hidden visit of every user.
+ImputationMetrics EvaluateImputation(const Augmenter& augmenter,
+                                     const poi::SyntheticLbsn& lbsn);
+
+}  // namespace pa::augment
+
+#endif  // PA_AUGMENT_IMPUTATION_EVAL_H_

@@ -1,0 +1,143 @@
+#include "augment/markov_baseline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+namespace pa::augment {
+
+MarkovBridgeAugmenter::MarkovBridgeAugmenter(const poi::PoiTable& pois,
+                                             Config config)
+    : pois_(pois), config_(config) {}
+
+void MarkovBridgeAugmenter::Fit(
+    const std::vector<poi::CheckinSequence>& train) {
+  out_.clear();
+  in_.clear();
+  out_totals_.clear();
+  in_totals_.clear();
+  user_counts_.assign(train.size(), {});
+  user_totals_.assign(train.size(), 0);
+
+  for (size_t u = 0; u < train.size(); ++u) {
+    const auto& seq = train[u];
+    for (size_t i = 0; i < seq.size(); ++i) {
+      ++user_counts_[u][seq[i].poi];
+      ++user_totals_[u];
+      if (i > 0) {
+        ++out_[seq[i - 1].poi][seq[i].poi];
+        ++out_totals_[seq[i - 1].poi];
+        ++in_[seq[i].poi][seq[i - 1].poi];
+        ++in_totals_[seq[i].poi];
+      }
+    }
+  }
+}
+
+int64_t MarkovBridgeAugmenter::TransitionCount(int32_t prev,
+                                               int32_t next) const {
+  auto it = out_.find(prev);
+  if (it == out_.end()) return 0;
+  auto jt = it->second.find(next);
+  return jt == it->second.end() ? 0 : jt->second;
+}
+
+double MarkovBridgeAugmenter::ScoreBridge(int32_t user, int32_t left,
+                                          int32_t candidate,
+                                          int32_t right) const {
+  const double k = config_.smoothing;
+  const double v = static_cast<double>(pois_.size());
+
+  auto total = [](const std::unordered_map<int32_t, int64_t>& m, int32_t key) {
+    auto it = m.find(key);
+    return it == m.end() ? int64_t{0} : it->second;
+  };
+
+  // log P(candidate | left)
+  const double p_fwd =
+      (TransitionCount(left, candidate) + k) /
+      (static_cast<double>(total(out_totals_, left)) + k * v);
+  // log P(right | candidate)
+  const double p_bwd =
+      (TransitionCount(candidate, right) + k) /
+      (static_cast<double>(total(out_totals_, candidate)) + k * v);
+
+  double score = std::log(p_fwd) + std::log(p_bwd);
+  if (user >= 0 && user < static_cast<int32_t>(user_counts_.size()) &&
+      user_totals_[static_cast<size_t>(user)] > 0) {
+    const auto& counts = user_counts_[static_cast<size_t>(user)];
+    auto it = counts.find(candidate);
+    const double c = it == counts.end() ? 0.0 : static_cast<double>(it->second);
+    const double p_user =
+        (c + k) /
+        (static_cast<double>(user_totals_[static_cast<size_t>(user)]) + k * v);
+    score += config_.user_weight * std::log(p_user);
+  }
+  return score;
+}
+
+std::vector<int32_t> MarkovBridgeAugmenter::Impute(
+    const MaskedSequence& masked) const {
+  std::vector<int32_t> result;
+  const auto& timeline = masked.timeline;
+  const auto& observed = masked.observed;
+
+  auto poi_at = [&](int slot) {
+    return observed[static_cast<size_t>(timeline[slot].observed_index)].poi;
+  };
+
+  int32_t left = -1;
+  for (size_t s = 0; s < timeline.size(); ++s) {
+    if (!timeline[s].missing()) {
+      left = poi_at(static_cast<int>(s));
+      continue;
+    }
+    int32_t right = -1;
+    for (size_t j = s + 1; j < timeline.size(); ++j) {
+      if (!timeline[j].missing()) {
+        right = poi_at(static_cast<int>(j));
+        break;
+      }
+    }
+    if (left < 0) left = right;
+    if (right < 0) right = left;
+    if (left < 0) {  // Degenerate: no observation at all.
+      result.push_back(0);
+      continue;
+    }
+
+    // Candidate set: successors of left, predecessors of right, and the
+    // user's own POIs.
+    std::set<int32_t> candidates;
+    if (auto it = out_.find(left); it != out_.end()) {
+      for (const auto& [poi, count] : it->second) candidates.insert(poi);
+    }
+    if (auto it = in_.find(right); it != in_.end()) {
+      for (const auto& [poi, count] : it->second) candidates.insert(poi);
+    }
+    if (masked.user >= 0 &&
+        masked.user < static_cast<int32_t>(user_counts_.size())) {
+      for (const auto& [poi, count] :
+           user_counts_[static_cast<size_t>(masked.user)]) {
+        candidates.insert(poi);
+      }
+    }
+    if (candidates.empty()) candidates.insert(left);
+
+    int32_t best = *candidates.begin();
+    double best_score = -std::numeric_limits<double>::infinity();
+    for (int32_t candidate : candidates) {
+      const double score = ScoreBridge(masked.user, left, candidate, right);
+      if (score > best_score) {
+        best_score = score;
+        best = candidate;
+      }
+    }
+    result.push_back(best);
+    left = best;  // Greedy chaining across consecutive missing slots.
+  }
+  return result;
+}
+
+}  // namespace pa::augment

@@ -1,0 +1,66 @@
+#ifndef PA_AUGMENT_MARKOV_BASELINE_H_
+#define PA_AUGMENT_MARKOV_BASELINE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "augment/augmenter.h"
+#include "poi/poi_table.h"
+
+namespace pa::augment {
+
+/// First-order Markov *bridge* imputation — an extension baseline beyond
+/// the paper's two linear interpolators, closing the gap between geometric
+/// interpolation and the learned seq2seq.
+///
+/// From the training sequences it estimates global transition counts
+/// C(prev -> next) and per-user visit counts C_u(l). A missing slot
+/// bracketed by observed check-ins (a, b) is imputed with
+///
+///   argmax_l  log P(l | a) + log P(b | l) + beta * log P_u(l)
+///
+/// over candidates that the user has visited or that were ever observed
+/// after a / before b (add-one smoothed). Unlike linear interpolation this
+/// uses behavioural rather than geometric structure; unlike PA-Seq2Seq it
+/// cannot use longer context or time intervals. Consecutive missing slots
+/// are bridged greedily left to right (the imputed POI becomes the next
+/// slot's left bracket).
+/// Options for MarkovBridgeAugmenter.
+struct MarkovBridgeConfig {
+  double user_weight = 1.0;  // beta in the bridge score.
+  double smoothing = 0.1;    // Add-k smoothing for transition counts.
+};
+
+class MarkovBridgeAugmenter : public Augmenter {
+ public:
+  using Config = MarkovBridgeConfig;
+
+  explicit MarkovBridgeAugmenter(const poi::PoiTable& pois,
+                                 MarkovBridgeConfig config = {});
+
+  std::string name() const override { return "MarkovBridge"; }
+  void Fit(const std::vector<poi::CheckinSequence>& train) override;
+  std::vector<int32_t> Impute(const MaskedSequence& masked) const override;
+
+  /// Transition count C(prev -> next); exposed for tests.
+  int64_t TransitionCount(int32_t prev, int32_t next) const;
+
+ private:
+  double ScoreBridge(int32_t user, int32_t left, int32_t candidate,
+                     int32_t right) const;
+
+  const poi::PoiTable& pois_;
+  Config config_;
+  // Sparse transition counts: out_[prev] -> (next -> count).
+  std::unordered_map<int32_t, std::unordered_map<int32_t, int64_t>> out_;
+  std::unordered_map<int32_t, std::unordered_map<int32_t, int64_t>> in_;
+  std::unordered_map<int32_t, int64_t> out_totals_;
+  std::unordered_map<int32_t, int64_t> in_totals_;
+  // Per-user visit counts.
+  std::vector<std::unordered_map<int32_t, int64_t>> user_counts_;
+  std::vector<int64_t> user_totals_;
+};
+
+}  // namespace pa::augment
+
+#endif  // PA_AUGMENT_MARKOV_BASELINE_H_

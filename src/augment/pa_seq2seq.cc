@@ -1,0 +1,688 @@
+#include "augment/pa_seq2seq.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <cmath>
+#include <cstdio>
+
+#include "nn/serialize.h"
+#include "tensor/ops.h"
+
+namespace pa::augment {
+
+namespace {
+
+using tensor::Tensor;
+
+// Argmax over a [1, n] logits row, optionally restricted to `candidates`.
+int ArgmaxRow(const Tensor& logits, const std::vector<int32_t>& candidates) {
+  if (candidates.empty()) {
+    int best = 0;
+    float best_v = logits.at(0, 0);
+    for (int j = 1; j < logits.cols(); ++j) {
+      if (logits.at(0, j) > best_v) {
+        best_v = logits.at(0, j);
+        best = j;
+      }
+    }
+    return best;
+  }
+  int best = candidates[0];
+  float best_v = logits.at(0, best);
+  for (int32_t c : candidates) {
+    if (logits.at(0, c) > best_v) {
+      best_v = logits.at(0, c);
+      best = c;
+    }
+  }
+  return best;
+}
+
+// Top-k over a [1, n] logits row, optionally restricted to `candidates`;
+// pads from the unrestricted ranking when the candidate set is short.
+std::vector<int32_t> TopKRow(const Tensor& logits,
+                             const std::vector<int32_t>& candidates, int k) {
+  std::vector<int32_t> pool = candidates;
+  if (pool.empty()) {
+    pool.resize(static_cast<size_t>(logits.cols()));
+    std::iota(pool.begin(), pool.end(), 0);
+  }
+  auto by_logit = [&](int32_t a, int32_t b) {
+    return logits.at(0, a) > logits.at(0, b);
+  };
+  const int kk = std::min<int>(k, static_cast<int>(pool.size()));
+  std::partial_sort(pool.begin(), pool.begin() + kk, pool.end(), by_logit);
+  pool.resize(static_cast<size_t>(kk));
+  if (static_cast<int>(pool.size()) < k && !candidates.empty()) {
+    // Pad with the best unrestricted POIs not already present.
+    std::vector<int32_t> rest(static_cast<size_t>(logits.cols()));
+    std::iota(rest.begin(), rest.end(), 0);
+    std::sort(rest.begin(), rest.end(), by_logit);
+    for (int32_t id : rest) {
+      if (static_cast<int>(pool.size()) >= k) break;
+      if (std::find(pool.begin(), pool.end(), id) == pool.end()) {
+        pool.push_back(id);
+      }
+    }
+  }
+  return pool;
+}
+
+}  // namespace
+
+PaSeq2Seq::PaSeq2Seq(const poi::PoiTable& pois, PaSeq2SeqConfig config)
+    : pois_(pois),
+      config_(config),
+      rng_(config.seed),
+      embedding_(pois.size() + 1, config.embedding_dim, rng_),
+      encoder_(config.embedding_dim + 2, config.hidden_dim,
+               config.use_residual, rng_),
+      dec_bottom_(config.embedding_dim + 2, 2 * config.hidden_dim, rng_),
+      dec_top_(2 * config.hidden_dim, 2 * config.hidden_dim, rng_),
+      dec_input_projection_(config.embedding_dim + 2, 2 * config.hidden_dim,
+                            rng_),
+      attention_(2 * config.hidden_dim, 2 * config.hidden_dim,
+                 config.attention_window, rng_),
+      output_(2 * config.hidden_dim, pois.size(), rng_) {}
+
+std::vector<tensor::Tensor> PaSeq2Seq::Parameters() const {
+  std::vector<Tensor> params = nn::ConcatParameters(
+      {&embedding_, &encoder_, &dec_bottom_, &dec_top_,
+       &dec_input_projection_, &attention_, &output_});
+  return params;
+}
+
+int64_t PaSeq2Seq::NumParameters() const {
+  int64_t n = 0;
+  for (const Tensor& p : Parameters()) n += p.numel();
+  return n;
+}
+
+tensor::Tensor PaSeq2Seq::Decode(
+    const WorkItem& item, bool training, std::vector<int>* predictions,
+    std::vector<std::vector<int32_t>>* rankings) const {
+  const int n = static_cast<int>(item.enc_tokens.size());
+  if (n < 2) return {};
+
+  std::vector<char> is_target(n, 0);
+  std::vector<int> target_slot(n, -1);
+  for (size_t i = 0; i < item.target_positions.size(); ++i) {
+    is_target[item.target_positions[i]] = 1;
+    target_slot[item.target_positions[i]] = static_cast<int>(i);
+  }
+  static const std::vector<int32_t> kAllPois;
+
+  // --- Encoder ---
+  std::vector<Tensor> xs(n);
+  for (int t = 0; t < n; ++t) {
+    Tensor emb = embedding_.Forward({item.enc_tokens[t]});
+    Tensor feat = Tensor::FromData(
+        {1, 2}, {item.feats[t].delta_t, item.feats[t].delta_d});
+    xs[t] = tensor::ConcatCols({emb, feat});
+  }
+  nn::LstmState enc_final;
+  std::vector<Tensor> enc_states = encoder_.Forward(xs, &enc_final);
+
+  // --- Decoder ---
+  const nn::ZoneoutConfig zoneout{config_.zoneout_prob, config_.zoneout_prob};
+  nn::LstmState s1{enc_final.h, enc_final.c};
+  nn::LstmState s2{enc_final.h, enc_final.c};
+
+  std::vector<Tensor> loss_rows;
+  std::vector<int> loss_targets;
+  std::vector<int> predicted(n, -1);
+
+  for (int t = 1; t < n; ++t) {
+    // Previous check-in: observed, teacher-forced truth (training), or the
+    // model's own prediction (inference; paper Fig. 5's red feedback arrow).
+    int prev = item.enc_tokens[t - 1];
+    if (training) {
+      prev = item.truth[t - 1];
+    } else if (prev == missing_token() && predicted[t - 1] >= 0) {
+      prev = predicted[t - 1];
+    }
+
+    Tensor emb = embedding_.Forward({prev});
+    Tensor feat = Tensor::FromData(
+        {1, 2}, {item.feats[t].delta_t, item.feats[t].delta_d});
+    Tensor x = tensor::ConcatCols({emb, feat});
+
+    s1 = dec_bottom_.ForwardZoneout(x, s1, zoneout, training, rng_);
+    Tensor top_in = s1.h;
+    if (config_.use_residual) {
+      top_in = tensor::Add(top_in, dec_input_projection_.Forward(x));
+    }
+    s2 = dec_top_.ForwardZoneout(top_in, s2, zoneout, training, rng_);
+
+    if (!is_target[t]) continue;
+
+    Tensor hidden = s2.h;
+    if (config_.use_attention) {
+      hidden = attention_.Forward(s2.h, enc_states, /*center=*/t)
+                   .attentional_hidden;
+    }
+    Tensor logits = output_.Forward(hidden);
+    if (training) {
+      loss_rows.push_back(logits);
+      loss_targets.push_back(item.truth[t]);
+    } else {
+      const int slot = target_slot[t];
+      const std::vector<int32_t>& cands =
+          (slot >= 0 && slot < static_cast<int>(item.candidates.size()))
+              ? item.candidates[static_cast<size_t>(slot)]
+              : kAllPois;
+      predicted[t] = ArgmaxRow(logits, cands);
+      if (rankings != nullptr) {
+        rankings->push_back(TopKRow(logits, cands, item.top_k));
+      }
+    }
+  }
+
+  if (!training) {
+    if (predictions != nullptr) {
+      predictions->clear();
+      for (int t : item.target_positions) predictions->push_back(predicted[t]);
+    }
+    return {};
+  }
+  if (loss_rows.empty()) return {};
+  return tensor::CrossEntropyLoss(tensor::ConcatRows(loss_rows), loss_targets);
+}
+
+tensor::Tensor PaSeq2Seq::DecoderLmLoss(const WorkItem& item) const {
+  const int n = static_cast<int>(item.enc_tokens.size());
+  if (n < 2) return {};
+  const nn::ZoneoutConfig zoneout{config_.zoneout_prob, config_.zoneout_prob};
+  nn::LstmState s1 = dec_bottom_.InitialState(1);
+  nn::LstmState s2 = dec_top_.InitialState(1);
+
+  std::vector<Tensor> loss_rows;
+  std::vector<int> loss_targets;
+  for (int t = 1; t < n; ++t) {
+    Tensor emb = embedding_.Forward({item.truth[t - 1]});
+    Tensor feat = Tensor::FromData(
+        {1, 2}, {item.feats[t].delta_t, item.feats[t].delta_d});
+    Tensor x = tensor::ConcatCols({emb, feat});
+    s1 = dec_bottom_.ForwardZoneout(x, s1, zoneout, /*training=*/true, rng_);
+    Tensor top_in = s1.h;
+    if (config_.use_residual) {
+      top_in = tensor::Add(top_in, dec_input_projection_.Forward(x));
+    }
+    s2 = dec_top_.ForwardZoneout(top_in, s2, zoneout, /*training=*/true, rng_);
+    loss_rows.push_back(output_.Forward(s2.h));
+    loss_targets.push_back(item.truth[t]);
+  }
+  return tensor::CrossEntropyLoss(tensor::ConcatRows(loss_rows), loss_targets);
+}
+
+tensor::Tensor PaSeq2Seq::EncoderLmLoss(const WorkItem& item) const {
+  const int n = static_cast<int>(item.enc_tokens.size());
+  if (n < 2) return {};
+  std::vector<Tensor> xs(n);
+  for (int t = 0; t < n; ++t) {
+    Tensor emb = embedding_.Forward({item.enc_tokens[t]});
+    Tensor feat = Tensor::FromData(
+        {1, 2}, {item.feats[t].delta_t, item.feats[t].delta_d});
+    xs[t] = tensor::ConcatCols({emb, feat});
+  }
+  std::vector<Tensor> enc_states = encoder_.Forward(xs);
+  std::vector<Tensor> loss_rows;
+  std::vector<int> loss_targets;
+  for (int t = 0; t + 1 < n; ++t) {
+    loss_rows.push_back(output_.Forward(enc_states[t]));
+    loss_targets.push_back(item.truth[t + 1]);
+  }
+  return tensor::CrossEntropyLoss(tensor::ConcatRows(loss_rows), loss_targets);
+}
+
+std::vector<PaSeq2Seq::WorkItem> PaSeq2Seq::MakeTrainingItems(
+    const std::vector<poi::CheckinSequence>& train) const {
+  std::vector<WorkItem> items;
+  for (const auto& seq : train) {
+    const int n = static_cast<int>(seq.size());
+    for (int begin = 0; begin < n; begin += config_.max_seq_len) {
+      const int len = std::min(config_.max_seq_len, n - begin);
+      if (len < config_.min_seq_len) break;
+      poi::CheckinSequence chunk(seq.begin() + begin,
+                                 seq.begin() + begin + len);
+      WorkItem item;
+      item.enc_tokens.reserve(static_cast<size_t>(len));
+      for (const poi::Checkin& c : chunk) item.enc_tokens.push_back(c.poi);
+      item.truth = item.enc_tokens;
+      item.feats = poi::ComputeSequenceFeatures(chunk, pois_,
+                                                config_.feature_scale);
+      for (int t = 1; t < len; ++t) item.target_positions.push_back(t);
+      items.push_back(std::move(item));
+    }
+  }
+  return items;
+}
+
+PaSeq2Seq::WorkItem PaSeq2Seq::MaskItem(const WorkItem& item,
+                                        float ratio) const {
+  WorkItem masked = item;
+  masked.target_positions.clear();
+  const int n = static_cast<int>(item.enc_tokens.size());
+  for (int t = 1; t < n; ++t) {
+    if (rng_.Uniform() < ratio) {
+      masked.enc_tokens[t] = missing_token();
+      masked.target_positions.push_back(t);
+      // Distances touching an unobserved check-in are unknowable at
+      // inference; mirror that during training.
+      masked.feats[t].delta_d = 0.0f;
+      if (t + 1 < n) masked.feats[t + 1].delta_d = 0.0f;
+    }
+  }
+  if (masked.target_positions.empty()) {
+    const int t = rng_.RandInt(1, n - 1);
+    masked.enc_tokens[t] = missing_token();
+    masked.target_positions.push_back(t);
+    masked.feats[t].delta_d = 0.0f;
+    if (t + 1 < n) masked.feats[t + 1].delta_d = 0.0f;
+  }
+  return masked;
+}
+
+float PaSeq2Seq::RunEpoch(
+    std::vector<WorkItem>& items,
+    const std::function<tensor::Tensor(const WorkItem&)>& loss_fn,
+    tensor::Adam& optimizer) {
+  rng_.Shuffle(items);
+  double total = 0.0;
+  int count = 0;
+  for (const WorkItem& item : items) {
+    Tensor loss = loss_fn(item);
+    if (!loss.defined()) continue;
+    optimizer.ZeroGrad();
+    loss.Backward();
+    optimizer.ClipGradNorm(config_.grad_clip);
+    optimizer.Step();
+    total += loss.item();
+    ++count;
+  }
+  return count > 0 ? static_cast<float>(total / count) : 0.0f;
+}
+
+void PaSeq2Seq::Fit(const std::vector<poi::CheckinSequence>& train) {
+  std::vector<WorkItem> items = MakeTrainingItems(train);
+  if (items.empty()) return;
+  tensor::Adam optimizer(Parameters(), config_.learning_rate);
+
+  // Stage 1: MLE pretraining of the uni-directional (decoder) and
+  // bi-directional (encoder) LSTM paths.
+  for (int e = 0; e < config_.stage1_epochs; ++e) {
+    const float loss = RunEpoch(
+        items,
+        [this](const WorkItem& item) {
+          Tensor dec = DecoderLmLoss(item);
+          Tensor enc = EncoderLmLoss(item);
+          if (!dec.defined()) return enc;
+          if (!enc.defined()) return dec;
+          return tensor::Scale(tensor::Add(dec, enc), 0.5f);
+        },
+        optimizer);
+    stats_.stage1.push_back(loss);
+    if (config_.verbose) {
+      std::fprintf(stderr, "[pa-seq2seq] stage1 epoch %d loss %.4f\n", e,
+                   loss);
+    }
+  }
+
+  // Stage 2: MLE pretraining of the full seq2seq (no masking).
+  for (int e = 0; e < config_.stage2_epochs; ++e) {
+    const float loss = RunEpoch(
+        items,
+        [this](const WorkItem& item) {
+          return Decode(item, /*training=*/true, nullptr);
+        },
+        optimizer);
+    stats_.stage2.push_back(loss);
+    if (config_.verbose) {
+      std::fprintf(stderr, "[pa-seq2seq] stage2 epoch %d loss %.4f\n", e,
+                   loss);
+    }
+  }
+
+  // Stage 3: mask training with the ratio ramping from mask_start to
+  // mask_end across epochs (the paper ramps 10% -> 50%).
+  for (int e = 0; e < config_.stage3_epochs; ++e) {
+    float ratio = config_.mask_end;
+    if (config_.ramp_mask && config_.stage3_epochs > 1) {
+      const float f =
+          static_cast<float>(e) / static_cast<float>(config_.stage3_epochs - 1);
+      ratio = config_.mask_start + f * (config_.mask_end - config_.mask_start);
+    }
+    const float loss = RunEpoch(
+        items,
+        [this, ratio](const WorkItem& item) {
+          return Decode(MaskItem(item, ratio), /*training=*/true, nullptr);
+        },
+        optimizer);
+    stats_.stage3.push_back(loss);
+    if (config_.verbose) {
+      std::fprintf(stderr,
+                   "[pa-seq2seq] stage3 epoch %d mask %.2f loss %.4f\n", e,
+                   ratio, loss);
+    }
+  }
+}
+
+std::vector<int32_t> PaSeq2Seq::Impute(const MaskedSequence& masked) const {
+  const auto& timeline = masked.timeline;
+  const int n = static_cast<int>(timeline.size());
+  std::vector<int32_t> result;
+  const int total_missing = poi::CountMissing(timeline);
+  if (total_missing == 0) return result;
+  result.reserve(static_cast<size_t>(total_missing));
+
+  // Tokens and features over the full timeline. Δt comes from slot
+  // timestamps; Δd is defined only between two observed slots.
+  std::vector<int> tokens(n);
+  std::vector<poi::StepFeatures> feats(n);
+  for (int t = 0; t < n; ++t) {
+    tokens[t] = timeline[t].missing()
+                    ? missing_token()
+                    : masked.observed[static_cast<size_t>(
+                                          timeline[t].observed_index)]
+                          .poi;
+    if (t > 0) {
+      const double hours = static_cast<double>(timeline[t].timestamp -
+                                                timeline[t - 1].timestamp) /
+                           3600.0;
+      feats[t].delta_t = static_cast<float>(
+          std::min(hours / config_.feature_scale.hours_scale, 10.0));
+      if (tokens[t] != missing_token() && tokens[t - 1] != missing_token()) {
+        const double km = pois_.DistanceKm(tokens[t - 1], tokens[t]);
+        feats[t].delta_d = static_cast<float>(
+            std::min(km / config_.feature_scale.km_scale, 10.0));
+      }
+    }
+  }
+
+  // Localized-region candidate sets (see PaSeq2SeqConfig comment): for each
+  // missing position, POIs within `candidate_radius_km` of either observed
+  // bracket POI.
+  std::vector<int32_t> prev_obs(n, -1), next_obs(n, -1);
+  for (int t = 0, last = -1; t < n; ++t) {
+    if (!timeline[t].missing()) last = tokens[t];
+    prev_obs[t] = last;
+  }
+  for (int t = n - 1, nxt = -1; t >= 0; --t) {
+    if (!timeline[t].missing()) nxt = tokens[t];
+    next_obs[t] = nxt;
+  }
+  std::unordered_map<int32_t, std::vector<int32_t>> radius_cache;
+  auto pois_near = [&](int32_t poi) -> const std::vector<int32_t>& {
+    auto it = radius_cache.find(poi);
+    if (it != radius_cache.end()) return it->second;
+    std::vector<int32_t> ids;
+    for (const auto& nb : pois_.SpatialIndex().WithinRadius(
+             pois_.coord(poi), config_.candidate_radius_km)) {
+      ids.push_back(nb.id);
+    }
+    return radius_cache.emplace(poi, std::move(ids)).first->second;
+  };
+  auto candidates_for = [&](int t) {
+    std::vector<int32_t> cands;
+    if (config_.candidate_radius_km <= 0.0) return cands;
+    for (int32_t bracket : {prev_obs[t], next_obs[t]}) {
+      if (bracket < 0) continue;
+      const auto& near = pois_near(bracket);
+      cands.insert(cands.end(), near.begin(), near.end());
+    }
+    std::sort(cands.begin(), cands.end());
+    cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
+    return cands;
+  };
+
+  // Decode in overlapping chunks; a position's prediction is taken from the
+  // chunk where it sits past the leading overlap (except in the first).
+  const int chunk = std::max(config_.max_seq_len, 8);
+  const int overlap = std::min(2 * config_.attention_window, chunk / 2);
+  std::vector<int> predicted(n, -1);
+
+  int begin = 0;
+  while (begin < n) {
+    const int end = std::min(n, begin + chunk);
+    WorkItem item;
+    item.enc_tokens.assign(tokens.begin() + begin, tokens.begin() + end);
+    item.feats.assign(feats.begin() + begin, feats.begin() + end);
+    const int fresh_from = begin == 0 ? 0 : begin + overlap;
+    for (int t = begin; t < end; ++t) {
+      if (timeline[t].missing() && predicted[t] < 0 && t >= fresh_from) {
+        item.target_positions.push_back(t - begin);
+        item.candidates.push_back(candidates_for(t));
+      }
+    }
+    // Earlier predictions inside the overlap feed back as decoder inputs.
+    for (int t = begin; t < end; ++t) {
+      if (timeline[t].missing() && predicted[t] >= 0) {
+        item.enc_tokens[t - begin] = predicted[t];
+      }
+    }
+    if (!item.target_positions.empty()) {
+      std::vector<int> preds;
+      Decode(item, /*training=*/false, &preds);
+      for (size_t i = 0; i < item.target_positions.size(); ++i) {
+        predicted[begin + item.target_positions[i]] = preds[i];
+      }
+    }
+    if (end == n) break;
+    begin = end - overlap;
+  }
+
+  for (int t = 0; t < n; ++t) {
+    if (timeline[t].missing()) {
+      result.push_back(predicted[t] >= 0 ? predicted[t] : tokens[0]);
+    }
+  }
+  return result;
+}
+
+std::vector<int32_t> PaSeq2Seq::RankNext(const poi::CheckinSequence& history,
+                                         int64_t next_timestamp,
+                                         int k) const {
+  if (history.empty()) return {};
+
+  // Tail of the history plus one trailing missing slot.
+  const int tail = std::min<int>(static_cast<int>(history.size()),
+                                 config_.max_seq_len - 1);
+  const poi::CheckinSequence recent(history.end() - tail, history.end());
+
+  WorkItem item;
+  const int n = tail + 1;
+  item.enc_tokens.reserve(static_cast<size_t>(n));
+  for (const poi::Checkin& c : recent) item.enc_tokens.push_back(c.poi);
+  item.enc_tokens.push_back(missing_token());
+  item.feats =
+      poi::ComputeSequenceFeatures(recent, pois_, config_.feature_scale);
+  poi::StepFeatures last_feat;
+  const double hours =
+      static_cast<double>(next_timestamp - recent.back().timestamp) / 3600.0;
+  last_feat.delta_t = static_cast<float>(std::min(
+      std::max(hours, 0.0) / config_.feature_scale.hours_scale, 10.0));
+  item.feats.push_back(last_feat);
+  item.target_positions.push_back(n - 1);
+  item.top_k = k;
+
+  if (config_.candidate_radius_km > 0.0) {
+    std::vector<int32_t> cands;
+    for (const auto& nb : pois_.SpatialIndex().WithinRadius(
+             pois_.coord(recent.back().poi), config_.candidate_radius_km)) {
+      cands.push_back(nb.id);
+    }
+    item.candidates.push_back(std::move(cands));
+  }
+
+  std::vector<std::vector<int32_t>> rankings;
+  Decode(item, /*training=*/false, nullptr, &rankings);
+  return rankings.empty() ? std::vector<int32_t>{} : rankings.front();
+}
+
+poi::CheckinSequence PaSeq2Seq::ImputeTrip(const poi::Checkin& start,
+                                           const poi::Checkin& end,
+                                           int64_t interval_seconds,
+                                           int max_missing_per_gap) const {
+  poi::CheckinSequence endpoints = {start, end};
+  return AugmentSequence(*this, endpoints, start.user, interval_seconds,
+                         max_missing_per_gap);
+}
+
+std::vector<int32_t> PaSeq2Seq::ImputeBeam(const MaskedSequence& masked,
+                                           int beam_width) const {
+  const auto& timeline = masked.timeline;
+  const int n = static_cast<int>(timeline.size());
+  const int total_missing = poi::CountMissing(timeline);
+  if (total_missing == 0) return {};
+  beam_width = std::max(1, beam_width);
+
+  // Tokens, features and per-position candidate sets (same construction as
+  // greedy Impute, single pass over the full timeline).
+  std::vector<int> tokens(n);
+  std::vector<poi::StepFeatures> feats(n);
+  for (int t = 0; t < n; ++t) {
+    tokens[t] = timeline[t].missing()
+                    ? missing_token()
+                    : masked.observed[static_cast<size_t>(
+                                          timeline[t].observed_index)]
+                          .poi;
+    if (t > 0) {
+      const double hours = static_cast<double>(timeline[t].timestamp -
+                                                timeline[t - 1].timestamp) /
+                           3600.0;
+      feats[t].delta_t = static_cast<float>(
+          std::min(hours / config_.feature_scale.hours_scale, 10.0));
+      if (tokens[t] != missing_token() && tokens[t - 1] != missing_token()) {
+        const double km = pois_.DistanceKm(tokens[t - 1], tokens[t]);
+        feats[t].delta_d = static_cast<float>(
+            std::min(km / config_.feature_scale.km_scale, 10.0));
+      }
+    }
+  }
+  std::vector<int32_t> prev_obs(n, -1), next_obs(n, -1);
+  for (int t = 0, last = -1; t < n; ++t) {
+    if (!timeline[t].missing()) last = tokens[t];
+    prev_obs[t] = last;
+  }
+  for (int t = n - 1, nxt = -1; t >= 0; --t) {
+    if (!timeline[t].missing()) nxt = tokens[t];
+    next_obs[t] = nxt;
+  }
+  auto candidates_for = [&](int t) {
+    std::vector<int32_t> cands;
+    if (config_.candidate_radius_km <= 0.0) return cands;
+    for (int32_t bracket : {prev_obs[t], next_obs[t]}) {
+      if (bracket < 0) continue;
+      for (const auto& nb : pois_.SpatialIndex().WithinRadius(
+               pois_.coord(bracket), config_.candidate_radius_km)) {
+        cands.push_back(nb.id);
+      }
+    }
+    std::sort(cands.begin(), cands.end());
+    cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
+    return cands;
+  };
+
+  // Encoder, once.
+  std::vector<Tensor> xs(n);
+  for (int t = 0; t < n; ++t) {
+    Tensor emb = embedding_.Forward({tokens[t]});
+    Tensor feat =
+        Tensor::FromData({1, 2}, {feats[t].delta_t, feats[t].delta_d});
+    xs[t] = tensor::ConcatCols({emb, feat});
+  }
+  nn::LstmState enc_final;
+  std::vector<Tensor> enc_states = encoder_.Forward(xs, &enc_final);
+
+  struct Beam {
+    double logprob = 0.0;
+    nn::LstmState s1, s2;
+    std::vector<int> predicted;  // Per position; -1 where not missing.
+  };
+  std::vector<Beam> beams(1);
+  beams[0].s1 = {enc_final.h, enc_final.c};
+  beams[0].s2 = {enc_final.h, enc_final.c};
+  beams[0].predicted.assign(static_cast<size_t>(n), -1);
+
+  const nn::ZoneoutConfig zoneout{config_.zoneout_prob, config_.zoneout_prob};
+  for (int t = 1; t < n; ++t) {
+    // Advance every beam one decoder step.
+    std::vector<Beam> advanced;
+    advanced.reserve(beams.size());
+    for (Beam& beam : beams) {
+      int prev = tokens[t - 1];
+      if (prev == missing_token() && beam.predicted[t - 1] >= 0) {
+        prev = beam.predicted[t - 1];
+      }
+      Tensor emb = embedding_.Forward({prev});
+      Tensor feat =
+          Tensor::FromData({1, 2}, {feats[t].delta_t, feats[t].delta_d});
+      Tensor x = tensor::ConcatCols({emb, feat});
+      Beam next = beam;
+      next.s1 = dec_bottom_.ForwardZoneout(x, beam.s1, zoneout,
+                                           /*training=*/false, rng_);
+      Tensor top_in = next.s1.h;
+      if (config_.use_residual) {
+        top_in = tensor::Add(top_in, dec_input_projection_.Forward(x));
+      }
+      next.s2 = dec_top_.ForwardZoneout(top_in, beam.s2, zoneout,
+                                        /*training=*/false, rng_);
+      advanced.push_back(std::move(next));
+    }
+
+    if (!timeline[t].missing()) {
+      beams = std::move(advanced);
+      continue;
+    }
+
+    // Expand each beam with its top-width candidates for this slot.
+    const std::vector<int32_t> cands = candidates_for(t);
+    std::vector<Beam> expanded;
+    for (Beam& beam : advanced) {
+      Tensor hidden = beam.s2.h;
+      if (config_.use_attention) {
+        hidden = attention_.Forward(beam.s2.h, enc_states, t)
+                     .attentional_hidden;
+      }
+      Tensor logp = tensor::LogSoftmax(output_.Forward(hidden));
+      const std::vector<int32_t> top = TopKRow(logp, cands, beam_width);
+      for (int32_t poi_id : top) {
+        Beam child = beam;
+        child.logprob += logp.at(0, poi_id);
+        child.predicted[t] = poi_id;
+        expanded.push_back(std::move(child));
+      }
+    }
+    std::sort(expanded.begin(), expanded.end(),
+              [](const Beam& a, const Beam& b) {
+                return a.logprob > b.logprob;
+              });
+    if (static_cast<int>(expanded.size()) > beam_width) {
+      expanded.resize(static_cast<size_t>(beam_width));
+    }
+    beams = std::move(expanded);
+  }
+
+  const Beam& best = beams.front();
+  std::vector<int32_t> result;
+  result.reserve(static_cast<size_t>(total_missing));
+  for (int t = 0; t < n; ++t) {
+    if (timeline[t].missing()) {
+      result.push_back(best.predicted[t] >= 0 ? best.predicted[t]
+                                              : tokens[0]);
+    }
+  }
+  return result;
+}
+
+bool PaSeq2Seq::SaveToFile(const std::string& path) const {
+  return nn::SaveParametersToFile(path, Parameters());
+}
+
+bool PaSeq2Seq::LoadFromFile(const std::string& path) {
+  std::vector<Tensor> params = Parameters();
+  return nn::LoadParametersFromFile(path, params);
+}
+
+}  // namespace pa::augment

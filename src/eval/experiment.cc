@@ -1,0 +1,117 @@
+#include "eval/experiment.h"
+
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+#include "augment/linear_interpolation.h"
+#include "rec/registry.h"
+
+namespace pa::eval {
+
+std::string TableResult::ToString() const {
+  std::ostringstream os;
+  os << "Dataset: " << dataset_name << "\n";
+  os << std::left << std::setw(10) << "Method";
+  for (const std::string& ts : training_sets) {
+    os << "| " << std::setw(26) << ts;
+  }
+  os << "\n" << std::setw(10) << "";
+  for (size_t i = 0; i < training_sets.size(); ++i) {
+    os << "| " << std::setw(8) << "HR@1" << std::setw(9) << "HR@5"
+       << std::setw(9) << "HR@10";
+  }
+  os << "\n";
+  for (size_t r = 0; r < methods.size(); ++r) {
+    os << std::setw(10) << methods[r];
+    for (size_t c = 0; c < training_sets.size(); ++c) {
+      const HrResult& h = cells[r][c];
+      os << "| " << std::fixed << std::setprecision(3) << std::setw(8)
+         << h.hr1 << std::setw(9) << h.hr5 << std::setw(9) << h.hr10;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string TableResult::ToCsv() const {
+  std::ostringstream os;
+  os << "dataset,method,training_set,hr1,hr5,hr10,num_cases\n";
+  for (size_t r = 0; r < methods.size(); ++r) {
+    for (size_t c = 0; c < training_sets.size(); ++c) {
+      const HrResult& h = cells[r][c];
+      os << dataset_name << ',' << methods[r] << ',' << training_sets[c]
+         << ',' << h.hr1 << ',' << h.hr5 << ',' << h.hr10 << ','
+         << h.num_cases << "\n";
+    }
+  }
+  return os.str();
+}
+
+TableResult RunAugmentationExperiment(const poi::Dataset& dataset,
+                                      const std::string& dataset_name,
+                                      const ExperimentConfig& config) {
+  TableResult table;
+  table.dataset_name = dataset_name;
+  table.methods =
+      config.methods.empty() ? rec::StandardRecommenderNames() : config.methods;
+  table.training_sets = {"Original", "LinearInterpolation(POP)",
+                         "LinearInterpolation(NN)", "PA-Seq2Seq"};
+
+  const poi::Split split = ChronologicalSplit(dataset);
+
+  // Warm-up history per user = train + validation (chronological).
+  std::vector<poi::CheckinSequence> warmup(split.train);
+  for (size_t u = 0; u < warmup.size(); ++u) {
+    warmup[u].insert(warmup[u].end(), split.validation[u].begin(),
+                     split.validation[u].end());
+  }
+
+  // POI popularity for the POP baseline must come from training data only.
+  poi::Dataset train_view = poi::WithSequences(dataset, split.train);
+
+  // The four training sets of the table.
+  std::vector<std::vector<poi::CheckinSequence>> training_sets;
+  training_sets.push_back(split.train);  // Original.
+
+  augment::LinearInterpolationAugmenter li_pop(
+      train_view.pois, augment::LinearInterpolationAugmenter::Mode::kMostPopular,
+      config.pop_radius_km);
+  training_sets.push_back(augment::AugmentSequences(
+      li_pop, split.train, config.interval_seconds,
+      config.max_missing_per_gap));
+
+  augment::LinearInterpolationAugmenter li_nn(
+      train_view.pois,
+      augment::LinearInterpolationAugmenter::Mode::kNearestNeighbor);
+  training_sets.push_back(augment::AugmentSequences(
+      li_nn, split.train, config.interval_seconds,
+      config.max_missing_per_gap));
+
+  augment::PaSeq2SeqConfig s2s_config = config.seq2seq;
+  s2s_config.seed = config.seed;
+  augment::PaSeq2Seq pa(train_view.pois, s2s_config);
+  if (config.verbose) std::fprintf(stderr, "[experiment] fitting PA-Seq2Seq\n");
+  pa.Fit(split.train);
+  training_sets.push_back(augment::AugmentSequences(
+      pa, split.train, config.interval_seconds, config.max_missing_per_gap));
+
+  table.cells.assign(table.methods.size(),
+                     std::vector<HrResult>(table.training_sets.size()));
+  for (size_t r = 0; r < table.methods.size(); ++r) {
+    for (size_t c = 0; c < table.training_sets.size(); ++c) {
+      auto recommender = rec::MakeRecommender(
+          table.methods[r], config.seed, config.epochs_scale);
+      if (config.verbose) {
+        std::fprintf(stderr, "[experiment] %s on %s\n",
+                     table.methods[r].c_str(),
+                     table.training_sets[c].c_str());
+      }
+      recommender->Fit(training_sets[c], train_view.pois);
+      table.cells[r][c] = EvaluateHr(*recommender, warmup, split.test);
+    }
+  }
+  return table;
+}
+
+}  // namespace pa::eval

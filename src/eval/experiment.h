@@ -1,0 +1,59 @@
+#ifndef PA_EVAL_EXPERIMENT_H_
+#define PA_EVAL_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "augment/pa_seq2seq.h"
+#include "eval/hr_metric.h"
+#include "poi/dataset.h"
+
+namespace pa::eval {
+
+/// Configuration of a full Table I / Table II run.
+struct ExperimentConfig {
+  /// Even-spacing interval for augmentation (3 hours, paper Fig. 1).
+  int64_t interval_seconds = 3 * 3600;
+  /// Cap on imputed check-ins per observed gap (guards month-long gaps).
+  int max_missing_per_gap = 3;
+  /// Search radius of the POP interpolation baseline.
+  double pop_radius_km = 2.0;
+
+  uint64_t seed = 7;
+  /// Scales every recommender's training epochs (quick tests use < 1).
+  double epochs_scale = 1.0;
+  /// PA-Seq2Seq hyper-parameters.
+  augment::PaSeq2SeqConfig seq2seq;
+
+  /// Subset of method names to run (empty = all five of the paper).
+  std::vector<std::string> methods;
+
+  bool verbose = false;
+};
+
+/// One table of the paper: methods × training sets × HR@{1,5,10}.
+struct TableResult {
+  std::string dataset_name;
+  std::vector<std::string> methods;        // Row labels.
+  std::vector<std::string> training_sets;  // Column-group labels.
+  /// cells[row][col] — row follows `methods`, col follows `training_sets`.
+  std::vector<std::vector<HrResult>> cells;
+
+  /// Paper-style table rendering.
+  std::string ToString() const;
+  /// Machine-readable CSV (method,training_set,hr1,hr5,hr10,n).
+  std::string ToCsv() const;
+};
+
+/// Runs the complete augmentation-effectiveness experiment on a dataset:
+/// chronological split, the four training sets (Original, Linear
+/// Interpolation POP, Linear Interpolation NN, PA-Seq2Seq), each of the
+/// five recommenders trained per set and evaluated by HR@{1,5,10} on the
+/// untouched test tail — the procedure behind Tables I and II.
+TableResult RunAugmentationExperiment(const poi::Dataset& dataset,
+                                      const std::string& dataset_name,
+                                      const ExperimentConfig& config);
+
+}  // namespace pa::eval
+
+#endif  // PA_EVAL_EXPERIMENT_H_

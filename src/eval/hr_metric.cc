@@ -1,0 +1,59 @@
+#include "eval/hr_metric.h"
+
+#include <sstream>
+
+namespace pa::eval {
+
+std::string HrResult::ToString() const {
+  std::ostringstream os;
+  os << "HR@1=" << hr1 << " HR@5=" << hr5 << " HR@10=" << hr10 << " (n="
+     << num_cases << ")";
+  return os.str();
+}
+
+void HrAccumulator::Add(const std::vector<int32_t>& ranked, int32_t truth) {
+  ++num_cases_;
+  for (size_t i = 0; i < ranked.size() && i < 10; ++i) {
+    if (ranked[i] == truth) {
+      if (i < 1) ++hits1_;
+      if (i < 5) ++hits5_;
+      ++hits10_;
+      reciprocal_sum_ += 1.0 / static_cast<double>(i + 1);
+      break;
+    }
+  }
+}
+
+HrResult HrAccumulator::Result() const {
+  HrResult r;
+  r.num_cases = num_cases_;
+  if (num_cases_ > 0) {
+    r.hr1 = static_cast<double>(hits1_) / num_cases_;
+    r.hr5 = static_cast<double>(hits5_) / num_cases_;
+    r.hr10 = static_cast<double>(hits10_) / num_cases_;
+    r.mrr10 = reciprocal_sum_ / num_cases_;
+  }
+  return r;
+}
+
+HrResult EvaluateHr(const rec::Recommender& recommender,
+                    const std::vector<poi::CheckinSequence>& warmup,
+                    const std::vector<poi::CheckinSequence>& test) {
+  HrAccumulator acc;
+  const size_t num_users = std::max(warmup.size(), test.size());
+  for (size_t u = 0; u < num_users; ++u) {
+    const bool has_test = u < test.size() && !test[u].empty();
+    if (!has_test) continue;
+    auto session = recommender.NewSession(static_cast<int32_t>(u));
+    if (u < warmup.size()) {
+      for (const poi::Checkin& c : warmup[u]) session->Observe(c);
+    }
+    for (const poi::Checkin& c : test[u]) {
+      acc.Add(session->TopK(10, c.timestamp), c.poi);
+      session->Observe(c);
+    }
+  }
+  return acc.Result();
+}
+
+}  // namespace pa::eval

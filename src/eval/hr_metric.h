@@ -1,0 +1,54 @@
+#ifndef PA_EVAL_HR_METRIC_H_
+#define PA_EVAL_HR_METRIC_H_
+
+#include <string>
+#include <vector>
+
+#include "poi/dataset.h"
+#include "rec/recommender.h"
+
+namespace pa::eval {
+
+/// Hit-ratio results at the paper's three cutoffs (Eq. 5):
+/// HR@k = #hits@k / |test|.
+struct HrResult {
+  int num_cases = 0;
+  double hr1 = 0.0;
+  double hr5 = 0.0;
+  double hr10 = 0.0;
+  /// Mean reciprocal rank, truncated at rank 10 (0 when the truth is not
+  /// in the top 10). Not reported in the paper's tables; provided as a
+  /// tie-breaking diagnostic.
+  double mrr10 = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Accumulates hits incrementally; used by the evaluation loop and directly
+/// testable against hand-built rankings.
+class HrAccumulator {
+ public:
+  /// Records one test case: the rank list (best first) and the truth.
+  void Add(const std::vector<int32_t>& ranked, int32_t truth);
+
+  HrResult Result() const;
+
+ private:
+  int num_cases_ = 0;
+  int hits1_ = 0;
+  int hits5_ = 0;
+  int hits10_ = 0;
+  double reciprocal_sum_ = 0.0;
+};
+
+/// Evaluates a *fitted* recommender with the paper's protocol (§IV-E): per
+/// user, the session replays the warm-up history (training + validation
+/// check-ins), then each test check-in is predicted given everything before
+/// it and subsequently observed.
+HrResult EvaluateHr(const rec::Recommender& recommender,
+                    const std::vector<poi::CheckinSequence>& warmup,
+                    const std::vector<poi::CheckinSequence>& test);
+
+}  // namespace pa::eval
+
+#endif  // PA_EVAL_HR_METRIC_H_

@@ -1,0 +1,96 @@
+#include "geo/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace pa::geo {
+
+GridIndex::GridIndex(double cell_deg) : cell_deg_(std::max(1e-6, cell_deg)) {}
+
+int GridIndex::CellX(double lng) const {
+  return static_cast<int>(std::floor(lng / cell_deg_));
+}
+
+int GridIndex::CellY(double lat) const {
+  return static_cast<int>(std::floor(lat / cell_deg_));
+}
+
+void GridIndex::Insert(const LatLng& point, int32_t id) {
+  cells_[CellKey(CellX(point.lng), CellY(point.lat))].push_back({point, id});
+  ++size_;
+}
+
+std::vector<GridIndex::Neighbor> GridIndex::Nearest(const LatLng& p,
+                                                    int k) const {
+  std::vector<Neighbor> best;
+  if (size_ == 0 || k <= 0) return best;
+
+  const int cx = CellX(p.lng);
+  const int cy = CellY(p.lat);
+  // Conservative km-per-cell: a degree of latitude is ~111 km and longitude
+  // shrinks with cos(lat), so a ring at distance r cells is at least
+  // (r - 1) * cell_deg * 111 * cos_margin km away in latitude alone.
+  const double km_per_cell_lat = cell_deg_ * 111.0;
+
+  auto worst = [&]() {
+    return best.size() < static_cast<size_t>(k)
+               ? std::numeric_limits<double>::infinity()
+               : best.back().distance_km;
+  };
+
+  // The largest ring we could ever need (covers the whole earth).
+  const int max_ring = static_cast<int>(std::ceil(180.0 / cell_deg_)) + 1;
+  for (int ring = 0; ring <= max_ring; ++ring) {
+    // Lower bound on distance to any cell in this ring; once it exceeds the
+    // current k-th best we can stop.
+    if (ring > 0) {
+      const double ring_min_km = (ring - 1) * km_per_cell_lat;
+      if (ring_min_km > worst()) break;
+    }
+    for (int dx = -ring; dx <= ring; ++dx) {
+      for (int dy = -ring; dy <= ring; ++dy) {
+        if (std::max(std::abs(dx), std::abs(dy)) != ring) continue;
+        auto it = cells_.find(CellKey(cx + dx, cy + dy));
+        if (it == cells_.end()) continue;
+        for (const Item& item : it->second) {
+          const double d = HaversineKm(p, item.point);
+          if (d >= worst()) continue;
+          best.push_back({item.id, item.point, d});
+          std::sort(best.begin(), best.end(),
+                    [](const Neighbor& a, const Neighbor& b) {
+                      return a.distance_km < b.distance_km;
+                    });
+          if (best.size() > static_cast<size_t>(k)) best.pop_back();
+        }
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<GridIndex::Neighbor> GridIndex::WithinRadius(
+    const LatLng& p, double radius_km) const {
+  std::vector<Neighbor> result;
+  if (size_ == 0) return result;
+  const BoundingBox box = BoundingBoxAround(p, radius_km);
+  const int x0 = CellX(box.min_lng), x1 = CellX(box.max_lng);
+  const int y0 = CellY(box.min_lat), y1 = CellY(box.max_lat);
+  for (int cx = x0; cx <= x1; ++cx) {
+    for (int cy = y0; cy <= y1; ++cy) {
+      auto it = cells_.find(CellKey(cx, cy));
+      if (it == cells_.end()) continue;
+      for (const Item& item : it->second) {
+        const double d = HaversineKm(p, item.point);
+        if (d <= radius_km) result.push_back({item.id, item.point, d});
+      }
+    }
+  }
+  std::sort(result.begin(), result.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              return a.distance_km < b.distance_km;
+            });
+  return result;
+}
+
+}  // namespace pa::geo

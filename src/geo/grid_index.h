@@ -1,0 +1,59 @@
+#ifndef PA_GEO_GRID_INDEX_H_
+#define PA_GEO_GRID_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/latlng.h"
+
+namespace pa::geo {
+
+/// Uniform lat/lng grid over point payloads — the simpler alternative to the
+/// R-tree, kept both as a cross-check in property tests (the two indexes
+/// must agree with brute force) and as the faster structure for the dense
+/// popularity queries in the POP interpolation baseline.
+///
+/// Cells are `cell_deg` degrees on each side; nearest-neighbour search scans
+/// expanding rings of cells until the best candidate provably beats any
+/// unvisited ring.
+class GridIndex {
+ public:
+  struct Neighbor {
+    int32_t id = 0;
+    LatLng point;
+    double distance_km = 0.0;
+  };
+
+  explicit GridIndex(double cell_deg = 0.1);
+
+  void Insert(const LatLng& point, int32_t id);
+
+  /// k nearest entries by haversine distance, ascending.
+  std::vector<Neighbor> Nearest(const LatLng& p, int k) const;
+
+  /// All entries within `radius_km`, ascending by distance.
+  std::vector<Neighbor> WithinRadius(const LatLng& p, double radius_km) const;
+
+  size_t size() const { return size_; }
+
+ private:
+  struct Item {
+    LatLng point;
+    int32_t id;
+  };
+
+  int64_t CellKey(int cx, int cy) const {
+    return (static_cast<int64_t>(cx) << 32) ^ (cy & 0xffffffffLL);
+  }
+  int CellX(double lng) const;
+  int CellY(double lat) const;
+
+  double cell_deg_;
+  size_t size_ = 0;
+  std::unordered_map<int64_t, std::vector<Item>> cells_;
+};
+
+}  // namespace pa::geo
+
+#endif  // PA_GEO_GRID_INDEX_H_

@@ -1,0 +1,406 @@
+#include "geo/rstar_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace pa::geo {
+
+struct RStarTree::Node {
+  bool leaf = true;
+  BoundingBox box = BoundingBox::Empty();
+  std::vector<Entry> entries;
+  std::vector<std::unique_ptr<Node>> children;
+
+  int Count() const {
+    return leaf ? static_cast<int>(entries.size())
+                : static_cast<int>(children.size());
+  }
+
+  void RecomputeBox() {
+    box = BoundingBox::Empty();
+    if (leaf) {
+      for (const Entry& e : entries) box.Extend(e.point);
+    } else {
+      for (const auto& c : children) box.Extend(c->box);
+    }
+  }
+};
+
+namespace {
+
+using Node = RStarTree::Node;
+
+double Margin(const BoundingBox& b) {
+  return (b.max_lat - b.min_lat) + (b.max_lng - b.min_lng);
+}
+
+double Overlap(const BoundingBox& a, const BoundingBox& b) {
+  const double lat = std::min(a.max_lat, b.max_lat) -
+                     std::max(a.min_lat, b.min_lat);
+  const double lng = std::min(a.max_lng, b.max_lng) -
+                     std::max(a.min_lng, b.min_lng);
+  if (lat <= 0.0 || lng <= 0.0) return 0.0;
+  return lat * lng;
+}
+
+// R* axis split over generic items. Returns the index (in the sorted
+// order written back into `items`) where group 1 ends.
+template <typename Item, typename GetBox>
+int ChooseSplit(std::vector<Item>& items, const GetBox& box_of,
+                int min_fill) {
+  const int n = static_cast<int>(items.size());
+
+  // Pick the split axis by minimum margin sum over all distributions.
+  double best_margin = std::numeric_limits<double>::infinity();
+  int best_axis = 0;
+  for (int axis = 0; axis < 2; ++axis) {
+    std::sort(items.begin(), items.end(),
+              [&](const Item& a, const Item& b) {
+                const BoundingBox ba = box_of(a), bb = box_of(b);
+                return axis == 0 ? ba.min_lat < bb.min_lat
+                                 : ba.min_lng < bb.min_lng;
+              });
+    double margin_sum = 0.0;
+    for (int k = min_fill; k <= n - min_fill; ++k) {
+      BoundingBox b1 = BoundingBox::Empty(), b2 = BoundingBox::Empty();
+      for (int i = 0; i < k; ++i) b1.Extend(box_of(items[i]));
+      for (int i = k; i < n; ++i) b2.Extend(box_of(items[i]));
+      margin_sum += Margin(b1) + Margin(b2);
+    }
+    if (margin_sum < best_margin) {
+      best_margin = margin_sum;
+      best_axis = axis;
+    }
+  }
+
+  // Re-sort on the chosen axis and pick the distribution with minimum
+  // overlap (ties: minimum total area).
+  std::sort(items.begin(), items.end(), [&](const Item& a, const Item& b) {
+    const BoundingBox ba = box_of(a), bb = box_of(b);
+    return best_axis == 0 ? ba.min_lat < bb.min_lat
+                          : ba.min_lng < bb.min_lng;
+  });
+  double best_overlap = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+  int best_k = min_fill;
+  for (int k = min_fill; k <= n - min_fill; ++k) {
+    BoundingBox b1 = BoundingBox::Empty(), b2 = BoundingBox::Empty();
+    for (int i = 0; i < k; ++i) b1.Extend(box_of(items[i]));
+    for (int i = k; i < n; ++i) b2.Extend(box_of(items[i]));
+    const double overlap = Overlap(b1, b2);
+    const double area = b1.AreaDeg2() + b2.AreaDeg2();
+    if (overlap < best_overlap ||
+        (overlap == best_overlap && area < best_area)) {
+      best_overlap = overlap;
+      best_area = area;
+      best_k = k;
+    }
+  }
+  return best_k;
+}
+
+std::unique_ptr<Node> SplitNode(Node* node, int max_entries) {
+  const int min_fill =
+      std::max(1, static_cast<int>(std::ceil(0.4 * (max_entries + 1))));
+  auto sibling = std::make_unique<Node>();
+  sibling->leaf = node->leaf;
+
+  if (node->leaf) {
+    const int k = ChooseSplit(
+        node->entries,
+        [](const RStarTree::Entry& e) {
+          return BoundingBox::FromPoint(e.point);
+        },
+        min_fill);
+    sibling->entries.assign(node->entries.begin() + k, node->entries.end());
+    node->entries.resize(static_cast<size_t>(k));
+  } else {
+    const int k = ChooseSplit(
+        node->children,
+        [](const std::unique_ptr<Node>& c) { return c->box; }, min_fill);
+    sibling->children.assign(
+        std::make_move_iterator(node->children.begin() + k),
+        std::make_move_iterator(node->children.end()));
+    node->children.resize(static_cast<size_t>(k));
+  }
+  node->RecomputeBox();
+  sibling->RecomputeBox();
+  return sibling;
+}
+
+// ChooseSubtree (R*): overlap enlargement for nodes whose children are
+// leaves, area enlargement otherwise.
+Node* ChooseSubtree(Node* node, const BoundingBox& ebox) {
+  const bool children_are_leaves = node->children.front()->leaf;
+  Node* best = nullptr;
+  double best_primary = std::numeric_limits<double>::infinity();
+  double best_secondary = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+
+  for (const auto& child : node->children) {
+    BoundingBox enlarged = child->box;
+    enlarged.Extend(ebox);
+    double primary, secondary;
+    if (children_are_leaves) {
+      // Overlap enlargement of this child w.r.t. its siblings.
+      double before = 0.0, after = 0.0;
+      for (const auto& other : node->children) {
+        if (other.get() == child.get()) continue;
+        before += Overlap(child->box, other->box);
+        after += Overlap(enlarged, other->box);
+      }
+      primary = after - before;
+      secondary = enlarged.AreaDeg2() - child->box.AreaDeg2();
+    } else {
+      primary = enlarged.AreaDeg2() - child->box.AreaDeg2();
+      secondary = child->box.AreaDeg2();
+    }
+    const double area = child->box.AreaDeg2();
+    if (primary < best_primary ||
+        (primary == best_primary &&
+         (secondary < best_secondary ||
+          (secondary == best_secondary && area < best_area)))) {
+      best_primary = primary;
+      best_secondary = secondary;
+      best_area = area;
+      best = child.get();
+    }
+  }
+  return best;
+}
+
+// Recursive insert; returns a split sibling when `node` overflowed and
+// splitting (not reinsertion) was chosen by the caller policy.
+std::unique_ptr<Node> InsertRec(Node* node, const RStarTree::Entry& entry,
+                                int max_entries,
+                                std::vector<RStarTree::Entry>* reinsert) {
+  const BoundingBox ebox = BoundingBox::FromPoint(entry.point);
+  node->box.Extend(ebox);
+
+  if (node->leaf) {
+    node->entries.push_back(entry);
+    if (node->Count() <= max_entries) return nullptr;
+    if (reinsert != nullptr) {
+      // Forced reinsertion: remove the ~30% of entries farthest from the
+      // node centre and hand them back for reinsertion from the top.
+      const double clat = (node->box.min_lat + node->box.max_lat) / 2.0;
+      const double clng = (node->box.min_lng + node->box.max_lng) / 2.0;
+      std::sort(node->entries.begin(), node->entries.end(),
+                [&](const RStarTree::Entry& a, const RStarTree::Entry& b) {
+                  auto d = [&](const RStarTree::Entry& e) {
+                    const double dlat = e.point.lat - clat;
+                    const double dlng = e.point.lng - clng;
+                    return dlat * dlat + dlng * dlng;
+                  };
+                  return d(a) < d(b);
+                });
+      const int keep =
+          node->Count() - std::max(1, static_cast<int>(0.3 * node->Count()));
+      reinsert->assign(node->entries.begin() + keep, node->entries.end());
+      node->entries.resize(static_cast<size_t>(keep));
+      node->RecomputeBox();
+      return nullptr;
+    }
+    return SplitNode(node, max_entries);
+  }
+
+  Node* target = ChooseSubtree(node, ebox);
+  std::unique_ptr<Node> split =
+      InsertRec(target, entry, max_entries, reinsert);
+  node->RecomputeBox();
+  node->box.Extend(ebox);
+  if (split) {
+    node->box.Extend(split->box);
+    node->children.push_back(std::move(split));
+    if (node->Count() > max_entries) return SplitNode(node, max_entries);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+RStarTree::RStarTree(int max_entries)
+    : root_(std::make_unique<Node>()),
+      max_entries_(std::max(4, max_entries)) {}
+
+RStarTree::~RStarTree() = default;
+RStarTree::RStarTree(RStarTree&&) noexcept = default;
+RStarTree& RStarTree::operator=(RStarTree&&) noexcept = default;
+
+void RStarTree::InsertEntry(const Entry& entry, bool allow_reinsert) {
+  std::vector<Entry> reinsert;
+  std::unique_ptr<Node> split = InsertRec(
+      root_.get(), entry, max_entries_, allow_reinsert ? &reinsert : nullptr);
+  if (split) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split));
+    new_root->RecomputeBox();
+    root_ = std::move(new_root);
+  }
+  for (const Entry& e : reinsert) {
+    InsertEntry(e, /*allow_reinsert=*/false);
+  }
+}
+
+void RStarTree::Insert(const LatLng& point, int32_t id) {
+  InsertEntry({point, id}, /*allow_reinsert=*/true);
+  ++size_;
+}
+
+RStarTree RStarTree::Build(const std::vector<Entry>& entries,
+                           int max_entries) {
+  RStarTree tree(max_entries);
+  for (const Entry& e : entries) tree.Insert(e.point, e.id);
+  return tree;
+}
+
+std::vector<RStarTree::Neighbor> RStarTree::Nearest(const LatLng& p,
+                                                    int k) const {
+  struct QueueItem {
+    double dist;
+    const Node* node;
+    Entry entry;
+    bool operator>(const QueueItem& o) const { return dist > o.dist; }
+  };
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> pq;
+  if (size_ == 0 || k <= 0) return {};
+  pq.push({root_->box.MinDistanceKm(p), root_.get(), {}});
+
+  std::vector<Neighbor> result;
+  while (!pq.empty() && static_cast<int>(result.size()) < k) {
+    QueueItem item = pq.top();
+    pq.pop();
+    if (item.node == nullptr) {
+      result.push_back({item.entry.id, item.entry.point, item.dist});
+      continue;
+    }
+    if (item.node->leaf) {
+      for (const Entry& e : item.node->entries) {
+        pq.push({HaversineKm(p, e.point), nullptr, e});
+      }
+    } else {
+      for (const auto& child : item.node->children) {
+        pq.push({child->box.MinDistanceKm(p), child.get(), {}});
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<RStarTree::Neighbor> RStarTree::WithinRadius(
+    const LatLng& p, double radius_km) const {
+  std::vector<Neighbor> result;
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (node->box.MinDistanceKm(p) > radius_km) continue;
+    if (node->leaf) {
+      for (const Entry& e : node->entries) {
+        const double d = HaversineKm(p, e.point);
+        if (d <= radius_km) result.push_back({e.id, e.point, d});
+      }
+    } else {
+      for (const auto& child : node->children) stack.push_back(child.get());
+    }
+  }
+  std::sort(result.begin(), result.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              return a.distance_km < b.distance_km;
+            });
+  return result;
+}
+
+std::vector<RStarTree::Entry> RStarTree::InBox(const BoundingBox& box) const {
+  std::vector<Entry> result;
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (!node->box.Intersects(box)) continue;
+    if (node->leaf) {
+      for (const Entry& e : node->entries) {
+        if (box.Contains(e.point)) result.push_back(e);
+      }
+    } else {
+      for (const auto& child : node->children) stack.push_back(child.get());
+    }
+  }
+  return result;
+}
+
+int RStarTree::Height() const {
+  int h = 1;
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    ++h;
+    node = node->children.front().get();
+  }
+  return h;
+}
+
+namespace {
+
+bool CheckNode(const Node* node, bool is_root, int max_entries, int depth,
+               int* leaf_depth, std::string* why) {
+  if (node->Count() > max_entries) {
+    if (why) *why = "node exceeds max_entries";
+    return false;
+  }
+  if (!is_root && node->Count() < 1) {
+    if (why) *why = "empty non-root node";
+    return false;
+  }
+  if (node->leaf) {
+    if (*leaf_depth == -1) *leaf_depth = depth;
+    if (*leaf_depth != depth) {
+      if (why) *why = "leaves at different depths";
+      return false;
+    }
+    for (const auto& e : node->entries) {
+      if (!node->box.Contains(e.point)) {
+        if (why) *why = "leaf box does not contain entry";
+        return false;
+      }
+    }
+  } else {
+    for (const auto& child : node->children) {
+      BoundingBox merged = node->box;
+      merged.Extend(child->box);
+      if (merged.AreaDeg2() > node->box.AreaDeg2() + 1e-12) {
+        if (why) *why = "child box escapes parent box";
+        return false;
+      }
+      if (!CheckNode(child.get(), false, max_entries, depth + 1, leaf_depth,
+                     why)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+double SumAreas(const Node* node) {
+  if (node->leaf) return node->box.AreaDeg2();
+  double total = node->box.AreaDeg2();
+  for (const auto& child : node->children) total += SumAreas(child.get());
+  return total;
+}
+
+}  // namespace
+
+bool RStarTree::CheckInvariants(std::string* why) const {
+  if (size_ == 0) return true;
+  int leaf_depth = -1;
+  return CheckNode(root_.get(), true, max_entries_, 0, &leaf_depth, why);
+}
+
+double RStarTree::TotalInternalAreaDeg2() const {
+  return SumAreas(root_.get());
+}
+
+}  // namespace pa::geo

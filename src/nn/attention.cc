@@ -1,0 +1,65 @@
+#include "nn/attention.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace pa::nn {
+
+using tensor::Tensor;
+
+LocalAttention::LocalAttention(int decoder_dim, int encoder_dim, int window,
+                               util::Rng& rng)
+    : decoder_dim_(decoder_dim),
+      encoder_dim_(encoder_dim),
+      window_(window),
+      w_a_(tensor::XavierInit({decoder_dim, encoder_dim}, rng)),
+      combine_(decoder_dim + encoder_dim, decoder_dim, rng) {}
+
+LocalAttention::Output LocalAttention::Forward(
+    const tensor::Tensor& h_t,
+    const std::vector<tensor::Tensor>& encoder_states, int center) const {
+  const int n = static_cast<int>(encoder_states.size());
+  const int p_t = std::clamp(center, 0, n - 1);
+  const int begin = std::max(0, p_t - window_);
+  const int end = std::min(n - 1, p_t + window_);
+  const int width = end - begin + 1;
+
+  // Stack the windowed encoder states into [width, encoder_dim].
+  std::vector<Tensor> rows(encoder_states.begin() + begin,
+                           encoder_states.begin() + end + 1);
+  Tensor window_states = tensor::ConcatRows(rows);
+
+  // General score: h_t W_a H_win^T -> [1, width].
+  Tensor query = tensor::MatMul(h_t, w_a_);  // [1, encoder_dim]
+  Tensor scores = tensor::MatMul(query, tensor::Transpose(window_states));
+  Tensor align = tensor::Softmax(scores);
+
+  // Gaussian prior centred on p_t with sigma = D / 2; the prior carries no
+  // gradient (it depends only on positions).
+  const float sigma = std::max(1.0f, static_cast<float>(window_) / 2.0f);
+  Tensor gauss = Tensor::Zeros({1, width});
+  for (int s = 0; s < width; ++s) {
+    const float d = static_cast<float>(begin + s - p_t);
+    gauss.data()[s] = std::exp(-(d * d) / (2.0f * sigma * sigma));
+  }
+  Tensor weights = tensor::Mul(align, gauss);
+
+  Output out;
+  out.window_begin = begin;
+  out.weights = weights;
+  out.context = tensor::MatMul(weights, window_states);  // [1, encoder_dim]
+  out.attentional_hidden =
+      tensor::Tanh(combine_.Forward(tensor::ConcatCols({out.context, h_t})));
+  return out;
+}
+
+std::vector<tensor::Tensor> LocalAttention::Parameters() const {
+  std::vector<tensor::Tensor> params = {w_a_};
+  for (const tensor::Tensor& p : combine_.Parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace pa::nn

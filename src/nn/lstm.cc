@@ -1,0 +1,178 @@
+#include "nn/lstm.h"
+
+#include <algorithm>
+
+#include "nn/layers.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace pa::nn {
+
+namespace {
+
+using tensor::Tensor;
+
+// Draws a {0,1} keep-mask tensor; 1 means "preserve the previous state".
+Tensor BernoulliMask(tensor::Shape shape, float keep_prob, util::Rng& rng) {
+  Tensor mask = Tensor::Zeros(shape);
+  for (int64_t i = 0; i < mask.numel(); ++i) {
+    mask.data()[i] = rng.Bernoulli(keep_prob) ? 1.0f : 0.0f;
+  }
+  return mask;
+}
+
+// blend = mask * prev + (1 - mask) * next, where mask carries no gradient.
+Tensor ZoneoutBlend(const Tensor& mask, const Tensor& prev,
+                    const Tensor& next) {
+  Tensor inv = Tensor::Zeros(mask.shape());
+  for (int64_t i = 0; i < mask.numel(); ++i) {
+    inv.data()[i] = 1.0f - mask.data()[i];
+  }
+  return tensor::Add(tensor::Mul(prev, mask), tensor::Mul(next, inv));
+}
+
+}  // namespace
+
+LstmCell::LstmCell(int input_dim, int hidden_dim, util::Rng& rng)
+    : input_dim_(input_dim),
+      hidden_dim_(hidden_dim),
+      w_x_(tensor::XavierInit({input_dim, 4 * hidden_dim}, rng)),
+      w_h_(tensor::XavierInit({hidden_dim, 4 * hidden_dim}, rng)),
+      b_(tensor::Tensor::Zeros({1, 4 * hidden_dim}, /*requires_grad=*/true)) {
+  // Forget-gate bias starts at 1 so early training does not erase memory.
+  for (int j = hidden_dim; j < 2 * hidden_dim; ++j) b_.set(0, j, 1.0f);
+}
+
+LstmState LstmCell::Forward(const tensor::Tensor& x,
+                            const LstmState& prev) const {
+  const int h = hidden_dim_;
+  Tensor gates = tensor::Add(
+      tensor::Add(tensor::MatMul(x, w_x_), tensor::MatMul(prev.h, w_h_)), b_);
+  Tensor i = tensor::Sigmoid(tensor::SliceCols(gates, 0, h));
+  Tensor f = tensor::Sigmoid(tensor::SliceCols(gates, h, h));
+  Tensor g = tensor::Tanh(tensor::SliceCols(gates, 2 * h, h));
+  Tensor o = tensor::Sigmoid(tensor::SliceCols(gates, 3 * h, h));
+  Tensor c = tensor::Add(tensor::Mul(f, prev.c), tensor::Mul(i, g));
+  Tensor hh = tensor::Mul(o, tensor::Tanh(c));
+  return {hh, c};
+}
+
+LstmState LstmCell::ForwardZoneout(const tensor::Tensor& x,
+                                   const LstmState& prev,
+                                   const ZoneoutConfig& zoneout, bool training,
+                                   util::Rng& rng) const {
+  LstmState next = Forward(x, prev);
+  if (!zoneout.enabled()) return next;
+  if (training) {
+    if (zoneout.hidden_prob > 0.0f) {
+      Tensor mask = BernoulliMask(next.h.shape(), zoneout.hidden_prob, rng);
+      next.h = ZoneoutBlend(mask, prev.h, next.h);
+    }
+    if (zoneout.cell_prob > 0.0f) {
+      Tensor mask = BernoulliMask(next.c.shape(), zoneout.cell_prob, rng);
+      next.c = ZoneoutBlend(mask, prev.c, next.c);
+    }
+  } else {
+    // Evaluation uses the expected blend.
+    if (zoneout.hidden_prob > 0.0f) {
+      next.h = tensor::Add(tensor::Scale(prev.h, zoneout.hidden_prob),
+                           tensor::Scale(next.h, 1.0f - zoneout.hidden_prob));
+    }
+    if (zoneout.cell_prob > 0.0f) {
+      next.c = tensor::Add(tensor::Scale(prev.c, zoneout.cell_prob),
+                           tensor::Scale(next.c, 1.0f - zoneout.cell_prob));
+    }
+  }
+  return next;
+}
+
+LstmState LstmCell::InitialState(int batch) const {
+  return {Tensor::Zeros({batch, hidden_dim_}),
+          Tensor::Zeros({batch, hidden_dim_})};
+}
+
+std::vector<tensor::Tensor> LstmCell::Parameters() const {
+  return {w_x_, w_h_, b_};
+}
+
+BiLstm::BiLstm(int input_dim, int hidden_dim, util::Rng& rng)
+    : hidden_dim_(hidden_dim),
+      fw_(input_dim, hidden_dim, rng),
+      bw_(input_dim, hidden_dim, rng) {}
+
+std::vector<tensor::Tensor> BiLstm::Forward(
+    const std::vector<tensor::Tensor>& xs) const {
+  const int n = static_cast<int>(xs.size());
+  std::vector<tensor::Tensor> fw_h(n), bw_h(n);
+  if (n == 0) return {};
+  const int batch = xs[0].rows();
+
+  LstmState state = fw_.InitialState(batch);
+  for (int t = 0; t < n; ++t) {
+    state = fw_.Forward(xs[t], state);
+    fw_h[t] = state.h;
+  }
+  state = bw_.InitialState(batch);
+  for (int t = n - 1; t >= 0; --t) {
+    state = bw_.Forward(xs[t], state);
+    bw_h[t] = state.h;
+  }
+
+  std::vector<tensor::Tensor> out(n);
+  for (int t = 0; t < n; ++t) {
+    out[t] = tensor::ConcatCols({fw_h[t], bw_h[t]});
+  }
+  return out;
+}
+
+std::vector<tensor::Tensor> BiLstm::Parameters() const {
+  return ConcatParameters({&fw_, &bw_});
+}
+
+ResidualBiLstmStack::ResidualBiLstmStack(int input_dim, int hidden_dim,
+                                         bool use_residual, util::Rng& rng)
+    : use_residual_(use_residual),
+      bottom_(input_dim, hidden_dim, rng),
+      top_(2 * hidden_dim, 2 * hidden_dim, rng) {
+  if (use_residual_ && input_dim != 2 * hidden_dim) {
+    input_projection_ = std::make_unique<Linear>(input_dim, 2 * hidden_dim, rng);
+  }
+}
+
+ResidualBiLstmStack::~ResidualBiLstmStack() = default;
+
+int ResidualBiLstmStack::output_dim() const { return top_.hidden_dim(); }
+
+std::vector<tensor::Tensor> ResidualBiLstmStack::Forward(
+    const std::vector<tensor::Tensor>& xs, LstmState* final_state) const {
+  std::vector<tensor::Tensor> bottom_out = bottom_.Forward(xs);
+  const int n = static_cast<int>(bottom_out.size());
+  std::vector<tensor::Tensor> out(n);
+  if (n == 0) return out;
+
+  LstmState state = top_.InitialState(xs[0].rows());
+  for (int t = 0; t < n; ++t) {
+    tensor::Tensor top_in = bottom_out[t];
+    if (use_residual_) {
+      tensor::Tensor skip =
+          input_projection_ ? input_projection_->Forward(xs[t]) : xs[t];
+      top_in = tensor::Add(top_in, skip);  // x^1 = h^1 + x^0 (paper Eq. 3)
+    }
+    state = top_.Forward(top_in, state);
+    out[t] = state.h;
+  }
+  if (final_state != nullptr) *final_state = state;
+  return out;
+}
+
+std::vector<tensor::Tensor> ResidualBiLstmStack::Parameters() const {
+  std::vector<tensor::Tensor> params = ConcatParameters({&bottom_, &top_});
+  if (input_projection_) {
+    for (const tensor::Tensor& p : input_projection_->Parameters()) {
+      params.push_back(p);
+    }
+  }
+  return params;
+}
+
+}  // namespace pa::nn

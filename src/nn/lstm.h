@@ -1,0 +1,126 @@
+#ifndef PA_NN_LSTM_H_
+#define PA_NN_LSTM_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace pa::nn {
+
+/// Hidden and cell state of one LSTM layer at one timestep.
+struct LstmState {
+  tensor::Tensor h;
+  tensor::Tensor c;
+};
+
+/// Zoneout configuration (Krueger et al., 2016), the regularizer the paper
+/// applies during PA-Seq2Seq training (§III-E): at each step, each hidden /
+/// cell unit is kept at its *previous* value with the given probability.
+/// In the check-in context this randomly "removes" part of the check-in
+/// information, teaching the model to cope with unobserved check-ins.
+struct ZoneoutConfig {
+  float hidden_prob = 0.0f;  // Probability of preserving h units.
+  float cell_prob = 0.0f;    // Probability of preserving c units.
+  bool enabled() const { return hidden_prob > 0.0f || cell_prob > 0.0f; }
+};
+
+/// Single LSTM layer (Hochreiter & Schmidhuber, 1997) with optional zoneout.
+///
+/// Gate layout in the fused weight matrices is [input, forget, candidate,
+/// output]. The forget-gate bias is initialized to 1, the standard trick for
+/// long-range gradient flow.
+class LstmCell : public Module {
+ public:
+  LstmCell(int input_dim, int hidden_dim, util::Rng& rng);
+
+  /// Plain step: x is `[batch, input_dim]`, returns the next state.
+  LstmState Forward(const tensor::Tensor& x, const LstmState& prev) const;
+
+  /// Step with zoneout. When `training` is true, units are preserved by
+  /// Bernoulli masks drawn from `rng`; at evaluation time the expectation
+  /// (a convex blend of previous and new state) is used instead, mirroring
+  /// the train/eval asymmetry of dropout.
+  LstmState ForwardZoneout(const tensor::Tensor& x, const LstmState& prev,
+                           const ZoneoutConfig& zoneout, bool training,
+                           util::Rng& rng) const;
+
+  /// Zero state for a batch of the given size.
+  LstmState InitialState(int batch) const;
+
+  std::vector<tensor::Tensor> Parameters() const override;
+
+  int input_dim() const { return input_dim_; }
+  int hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int input_dim_;
+  int hidden_dim_;
+  tensor::Tensor w_x_;  // [input_dim, 4 * hidden_dim]
+  tensor::Tensor w_h_;  // [hidden_dim, 4 * hidden_dim]
+  tensor::Tensor b_;    // [1, 4 * hidden_dim]
+};
+
+/// Bi-directional LSTM layer: a forward cell reading c_1..c_n and a backward
+/// cell reading c_n..c_1 (paper Eq. 1). Per-timestep outputs are the
+/// concatenation `[h_fw, h_bw]` of both direction's hidden states.
+class BiLstm : public Module {
+ public:
+  BiLstm(int input_dim, int hidden_dim, util::Rng& rng);
+
+  /// xs[t] is `[batch, input_dim]`; returns one `[batch, 2 * hidden_dim]`
+  /// tensor per timestep.
+  std::vector<tensor::Tensor> Forward(
+      const std::vector<tensor::Tensor>& xs) const;
+
+  std::vector<tensor::Tensor> Parameters() const override;
+
+  int output_dim() const { return 2 * hidden_dim_; }
+  const LstmCell& forward_cell() const { return fw_; }
+  const LstmCell& backward_cell() const { return bw_; }
+
+ private:
+  int hidden_dim_;
+  LstmCell fw_;
+  LstmCell bw_;
+};
+
+/// The paper's stacked encoder body (Fig. 4): a BiLSTM first layer stacked
+/// with a uni-directional LSTM, joined by a *residual* connection
+/// x_t^1 = h_t^1 + x_t^0 (Eq. 3) rather than a direct one (Eq. 2). Because
+/// the BiLSTM output width (2H) generally differs from the raw input width,
+/// the residual path projects the input with a learned linear map first —
+/// the standard treatment when GNMT-style residuals meet a width change.
+class ResidualBiLstmStack : public Module {
+ public:
+  /// `use_residual=false` reproduces the plain stacking of Eq. 2, which the
+  /// residual ablation benchmark compares against.
+  ResidualBiLstmStack(int input_dim, int hidden_dim, bool use_residual,
+                      util::Rng& rng);
+  ~ResidualBiLstmStack() override;
+
+  /// Returns the top-layer hidden state per timestep, each
+  /// `[batch, 2 * hidden_dim]`, plus the final top-layer state through
+  /// `final_state` if non-null.
+  std::vector<tensor::Tensor> Forward(const std::vector<tensor::Tensor>& xs,
+                                      LstmState* final_state = nullptr) const;
+
+  std::vector<tensor::Tensor> Parameters() const override;
+
+  bool use_residual() const { return use_residual_; }
+  int output_dim() const;
+
+ private:
+  bool use_residual_;
+  BiLstm bottom_;
+  LstmCell top_;
+  // Projects raw inputs onto the BiLSTM output width for the residual sum;
+  // null when the widths already match.
+  std::unique_ptr<class Linear> input_projection_;
+};
+
+}  // namespace pa::nn
+
+#endif  // PA_NN_LSTM_H_

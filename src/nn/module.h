@@ -1,0 +1,43 @@
+#ifndef PA_NN_MODULE_H_
+#define PA_NN_MODULE_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pa::nn {
+
+/// Base class for trainable components.
+///
+/// A module owns leaf parameter tensors and exposes them for optimizers and
+/// serialization. Forward computation is defined per-module (signatures
+/// differ: cells take states, attention takes windows), so the base class
+/// carries only the parameter protocol.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All trainable parameters, in a stable order (required for Save/Load).
+  virtual std::vector<tensor::Tensor> Parameters() const = 0;
+
+  /// Total number of trainable scalars.
+  int64_t NumParameters() const {
+    int64_t n = 0;
+    for (const tensor::Tensor& p : Parameters()) n += p.numel();
+    return n;
+  }
+};
+
+/// Concatenates the parameter lists of several modules.
+inline std::vector<tensor::Tensor> ConcatParameters(
+    std::initializer_list<const Module*> modules) {
+  std::vector<tensor::Tensor> all;
+  for (const Module* m : modules) {
+    for (const tensor::Tensor& p : m->Parameters()) all.push_back(p);
+  }
+  return all;
+}
+
+}  // namespace pa::nn
+
+#endif  // PA_NN_MODULE_H_

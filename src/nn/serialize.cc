@@ -1,0 +1,81 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace pa::nn {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x50415332;  // "PAS2"
+
+template <typename T>
+void WritePod(std::ostream& os, T value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& is, T* value) {
+  is.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(is);
+}
+
+}  // namespace
+
+bool SaveParameters(std::ostream& os,
+                    const std::vector<tensor::Tensor>& params) {
+  WritePod(os, kMagic);
+  WritePod(os, static_cast<uint32_t>(params.size()));
+  for (const tensor::Tensor& p : params) {
+    WritePod(os, static_cast<int32_t>(p.rows()));
+    WritePod(os, static_cast<int32_t>(p.cols()));
+    os.write(reinterpret_cast<const char*>(p.data()),
+             static_cast<std::streamsize>(p.numel() * sizeof(float)));
+  }
+  return static_cast<bool>(os);
+}
+
+bool LoadParameters(std::istream& is, std::vector<tensor::Tensor>& params) {
+  uint32_t magic = 0, count = 0;
+  if (!ReadPod(is, &magic) || magic != kMagic) return false;
+  if (!ReadPod(is, &count) || count != params.size()) return false;
+  for (tensor::Tensor& p : params) {
+    int32_t rows = 0, cols = 0;
+    if (!ReadPod(is, &rows) || !ReadPod(is, &cols)) return false;
+    if (rows != p.rows() || cols != p.cols()) return false;
+    is.read(reinterpret_cast<char*>(p.data()),
+            static_cast<std::streamsize>(p.numel() * sizeof(float)));
+    if (!is) return false;
+  }
+  return true;
+}
+
+bool SaveParametersToFile(const std::string& path,
+                          const std::vector<tensor::Tensor>& params) {
+  std::ofstream os(path, std::ios::binary);
+  return os && SaveParameters(os, params);
+}
+
+bool LoadParametersFromFile(const std::string& path,
+                            std::vector<tensor::Tensor>& params) {
+  std::ifstream is(path, std::ios::binary);
+  return is && LoadParameters(is, params);
+}
+
+bool CopyParameters(const std::vector<tensor::Tensor>& src,
+                    std::vector<tensor::Tensor>& dst) {
+  if (src.size() != dst.size()) return false;
+  for (size_t i = 0; i < src.size(); ++i) {
+    if (!(src[i].shape() == dst[i].shape())) return false;
+  }
+  for (size_t i = 0; i < src.size(); ++i) {
+    std::memcpy(dst[i].data(), src[i].data(),
+                static_cast<size_t>(src[i].numel()) * sizeof(float));
+  }
+  return true;
+}
+
+}  // namespace pa::nn

@@ -1,0 +1,40 @@
+#ifndef PA_NN_SERIALIZE_H_
+#define PA_NN_SERIALIZE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pa::nn {
+
+/// Binary parameter checkpointing.
+///
+/// The format is a magic header, the parameter count, then for each tensor
+/// its shape and raw float payload. `LoadParameters` writes *into* the given
+/// tensors in place (shapes must match exactly), so a module can be
+/// constructed first and then restored — the pattern the multi-stage
+/// PA-Seq2Seq training protocol uses to hand pretrained LSTM weights to the
+/// encoder and decoder.
+
+/// Returns false (and leaves the stream in a failed state untouched
+/// semantically) on I/O errors.
+bool SaveParameters(std::ostream& os, const std::vector<tensor::Tensor>& params);
+bool LoadParameters(std::istream& is, std::vector<tensor::Tensor>& params);
+
+/// File-path convenience wrappers.
+bool SaveParametersToFile(const std::string& path,
+                          const std::vector<tensor::Tensor>& params);
+bool LoadParametersFromFile(const std::string& path,
+                            std::vector<tensor::Tensor>& params);
+
+/// Copies values elementwise from `src` into `dst` (shapes must match
+/// pairwise). Used to initialize encoder/decoder cells from the stage-1
+/// pretrained models.
+bool CopyParameters(const std::vector<tensor::Tensor>& src,
+                    std::vector<tensor::Tensor>& dst);
+
+}  // namespace pa::nn
+
+#endif  // PA_NN_SERIALIZE_H_

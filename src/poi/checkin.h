@@ -1,0 +1,36 @@
+#ifndef PA_POI_CHECKIN_H_
+#define PA_POI_CHECKIN_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace pa::poi {
+
+/// One check-in record: the user-place-time tuple (u, l, t) of §III-A.
+struct Checkin {
+  int32_t user = 0;
+  int32_t poi = 0;
+  int64_t timestamp = 0;  // Seconds since epoch.
+  /// True for records inserted by an augmenter rather than observed; lets
+  /// downstream code and the visualisation benches distinguish the "black"
+  /// and "red" icons of paper Figs. 6–7.
+  bool imputed = false;
+
+  friend bool operator==(const Checkin& a, const Checkin& b) {
+    return a.user == b.user && a.poi == b.poi && a.timestamp == b.timestamp;
+  }
+};
+
+/// A user's check-in sequence ordered by timestamp.
+using CheckinSequence = std::vector<Checkin>;
+
+/// Returns true if the sequence is sorted by non-decreasing timestamp.
+bool IsChronological(const CheckinSequence& seq);
+
+/// Sorts a sequence chronologically (stable, so equal-time records keep
+/// their relative order).
+void SortChronological(CheckinSequence& seq);
+
+}  // namespace pa::poi
+
+#endif  // PA_POI_CHECKIN_H_

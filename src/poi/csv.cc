@@ -1,0 +1,117 @@
+#include "poi/csv.h"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace pa::poi {
+
+bool SaveCheckinsCsv(std::ostream& os, const Dataset& dataset) {
+  os << std::setprecision(12);  // Coordinates survive a round trip.
+  for (const auto& seq : dataset.sequences) {
+    for (const Checkin& c : seq) {
+      const geo::LatLng& p = dataset.pois.coord(c.poi);
+      os << c.user << ',' << c.timestamp << ',' << p.lat << ',' << p.lng
+         << ',' << c.poi << '\n';
+    }
+  }
+  return static_cast<bool>(os);
+}
+
+bool SaveCheckinsCsvFile(const std::string& path, const Dataset& dataset) {
+  std::ofstream os(path);
+  return os && SaveCheckinsCsv(os, dataset);
+}
+
+namespace {
+
+// Splits on tab if present, otherwise comma.
+std::vector<std::string> SplitFields(const std::string& line) {
+  const char sep = line.find('\t') != std::string::npos ? '\t' : ',';
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream is(line);
+  while (std::getline(is, field, sep)) fields.push_back(field);
+  return fields;
+}
+
+}  // namespace
+
+bool LoadCheckinsCsv(std::istream& is, Dataset* dataset, std::string* why) {
+  struct RawRecord {
+    int64_t user, timestamp, poi;
+    geo::LatLng coord;
+  };
+  std::vector<RawRecord> records;
+  std::map<int64_t, int32_t> user_ids;
+  std::map<int64_t, int32_t> poi_ids;
+  std::map<int64_t, geo::LatLng> poi_coords;
+
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    const auto fields = SplitFields(line);
+    if (fields.size() != 5) {
+      if (why) {
+        *why = "line " + std::to_string(lineno) + ": expected 5 fields, got " +
+               std::to_string(fields.size());
+      }
+      return false;
+    }
+    try {
+      RawRecord r;
+      r.user = std::stoll(fields[0]);
+      r.timestamp = std::stoll(fields[1]);
+      r.coord.lat = std::stod(fields[2]);
+      r.coord.lng = std::stod(fields[3]);
+      r.poi = std::stoll(fields[4]);
+      records.push_back(r);
+      user_ids.emplace(r.user, 0);
+      if (poi_ids.emplace(r.poi, 0).second) poi_coords[r.poi] = r.coord;
+    } catch (const std::exception& e) {
+      if (why) *why = "line " + std::to_string(lineno) + ": " + e.what();
+      return false;
+    }
+  }
+
+  // Densify ids in sorted order for determinism.
+  int32_t next = 0;
+  for (auto& [raw, dense] : user_ids) dense = next++;
+  next = 0;
+  for (auto& [raw, dense] : poi_ids) dense = next++;
+
+  Dataset out;
+  std::vector<geo::LatLng> coords(poi_ids.size());
+  for (const auto& [raw, dense] : poi_ids) coords[dense] = poi_coords[raw];
+  out.pois = PoiTable(std::move(coords));
+  out.sequences.resize(user_ids.size());
+  for (const RawRecord& r : records) {
+    Checkin c;
+    c.user = user_ids[r.user];
+    c.poi = poi_ids[r.poi];
+    c.timestamp = r.timestamp;
+    out.sequences[c.user].push_back(c);
+  }
+  for (auto& seq : out.sequences) SortChronological(seq);
+  out.RecountPopularity();
+  *dataset = std::move(out);
+  return true;
+}
+
+bool LoadCheckinsCsvFile(const std::string& path, Dataset* dataset,
+                         std::string* why) {
+  std::ifstream is(path);
+  if (!is) {
+    if (why) *why = "cannot open " + path;
+    return false;
+  }
+  return LoadCheckinsCsv(is, dataset, why);
+}
+
+}  // namespace pa::poi

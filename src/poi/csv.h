@@ -1,0 +1,33 @@
+#ifndef PA_POI_CSV_H_
+#define PA_POI_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "poi/dataset.h"
+
+namespace pa::poi {
+
+/// Check-in file I/O in the SNAP LBSN layout used by the public Gowalla and
+/// Brightkite dumps: one record per line,
+///
+///     user <sep> timestamp <sep> latitude <sep> longitude <sep> location_id
+///
+/// with tab or comma separators. Timestamps are integral seconds (the SNAP
+/// ISO-8601 strings are assumed pre-converted; the synthetic generators emit
+/// seconds directly). User and location ids in the file may be sparse; the
+/// loader densifies both and keeps per-POI coordinates (first occurrence
+/// wins; the dumps repeat identical coordinates per location id).
+
+/// Writes `dataset` in the canonical comma-separated layout.
+bool SaveCheckinsCsv(std::ostream& os, const Dataset& dataset);
+bool SaveCheckinsCsvFile(const std::string& path, const Dataset& dataset);
+
+/// Parses a check-in file; returns false on malformed input.
+bool LoadCheckinsCsv(std::istream& is, Dataset* dataset, std::string* why);
+bool LoadCheckinsCsvFile(const std::string& path, Dataset* dataset,
+                         std::string* why);
+
+}  // namespace pa::poi
+
+#endif  // PA_POI_CSV_H_

@@ -1,0 +1,145 @@
+#include "poi/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+namespace pa::poi {
+
+bool IsChronological(const CheckinSequence& seq) {
+  for (size_t i = 1; i < seq.size(); ++i) {
+    if (seq[i].timestamp < seq[i - 1].timestamp) return false;
+  }
+  return true;
+}
+
+void SortChronological(CheckinSequence& seq) {
+  std::stable_sort(seq.begin(), seq.end(),
+                   [](const Checkin& a, const Checkin& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+}
+
+int64_t Dataset::num_checkins() const {
+  int64_t n = 0;
+  for (const auto& seq : sequences) n += static_cast<int64_t>(seq.size());
+  return n;
+}
+
+double Dataset::Density() const {
+  if (num_users() == 0 || num_pois() == 0) return 0.0;
+  std::set<std::pair<int32_t, int32_t>> pairs;
+  for (const auto& seq : sequences) {
+    for (const Checkin& c : seq) pairs.insert({c.user, c.poi});
+  }
+  return static_cast<double>(pairs.size()) /
+         (static_cast<double>(num_users()) * num_pois());
+}
+
+void Dataset::RecountPopularity() {
+  pois.ResetPopularity();
+  for (const auto& seq : sequences) {
+    for (const Checkin& c : seq) pois.AddPopularity(c.poi, 1);
+  }
+}
+
+bool Dataset::Validate(std::string* why) const {
+  for (int u = 0; u < num_users(); ++u) {
+    if (!IsChronological(sequences[u])) {
+      if (why) *why = "sequence of user " + std::to_string(u) +
+                      " not chronological";
+      return false;
+    }
+    for (const Checkin& c : sequences[u]) {
+      if (c.user != u) {
+        if (why) *why = "check-in user id mismatch";
+        return false;
+      }
+      if (c.poi < 0 || c.poi >= num_pois()) {
+        if (why) *why = "POI id out of range";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+DatasetStats ComputeStats(const Dataset& dataset) {
+  DatasetStats s;
+  s.num_users = dataset.num_users();
+  s.num_pois = dataset.num_pois();
+  s.num_checkins = dataset.num_checkins();
+  s.density = dataset.Density();
+
+  std::vector<double> intervals;
+  double hop_sum = 0.0;
+  int64_t hop_count = 0;
+  for (const auto& seq : dataset.sequences) {
+    for (size_t i = 1; i < seq.size(); ++i) {
+      intervals.push_back(
+          static_cast<double>(seq[i].timestamp - seq[i - 1].timestamp) /
+          3600.0);
+      hop_sum += dataset.pois.DistanceKm(seq[i - 1].poi, seq[i].poi);
+      ++hop_count;
+    }
+  }
+  if (s.num_users > 0) {
+    s.mean_seq_len =
+        static_cast<double>(s.num_checkins) / static_cast<double>(s.num_users);
+  }
+  if (!intervals.empty()) {
+    double sum = 0.0;
+    for (double v : intervals) sum += v;
+    s.mean_interval_hours = sum / static_cast<double>(intervals.size());
+    std::nth_element(intervals.begin(),
+                     intervals.begin() + intervals.size() / 2,
+                     intervals.end());
+    s.median_interval_hours = intervals[intervals.size() / 2];
+  }
+  if (hop_count > 0) s.mean_hop_km = hop_sum / static_cast<double>(hop_count);
+  return s;
+}
+
+std::string FormatStats(const DatasetStats& s) {
+  std::ostringstream os;
+  os << "users=" << s.num_users << " pois=" << s.num_pois
+     << " checkins=" << s.num_checkins << " density=" << s.density * 100.0
+     << "% mean_seq_len=" << s.mean_seq_len
+     << " mean_gap_h=" << s.mean_interval_hours
+     << " median_gap_h=" << s.median_interval_hours
+     << " mean_hop_km=" << s.mean_hop_km;
+  return os.str();
+}
+
+Split ChronologicalSplit(const Dataset& dataset, double train_fraction,
+                         double validation_fraction_of_train) {
+  Split split;
+  split.train.resize(dataset.num_users());
+  split.validation.resize(dataset.num_users());
+  split.test.resize(dataset.num_users());
+  for (int u = 0; u < dataset.num_users(); ++u) {
+    const CheckinSequence& seq = dataset.sequences[u];
+    const int n = static_cast<int>(seq.size());
+    const int train_end = static_cast<int>(std::floor(n * train_fraction));
+    const int val_len = static_cast<int>(
+        std::floor(train_end * validation_fraction_of_train));
+    const int train_len = train_end - val_len;
+    split.train[u].assign(seq.begin(), seq.begin() + train_len);
+    split.validation[u].assign(seq.begin() + train_len,
+                               seq.begin() + train_end);
+    split.test[u].assign(seq.begin() + train_end, seq.end());
+  }
+  return split;
+}
+
+Dataset WithSequences(const Dataset& base,
+                      std::vector<CheckinSequence> sequences) {
+  Dataset out;
+  out.pois = base.pois;
+  out.sequences = std::move(sequences);
+  out.RecountPopularity();
+  return out;
+}
+
+}  // namespace pa::poi

@@ -1,0 +1,67 @@
+#ifndef PA_POI_DATASET_H_
+#define PA_POI_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "poi/checkin.h"
+#include "poi/poi_table.h"
+
+namespace pa::poi {
+
+/// A check-in dataset: the POI universe plus one chronological check-in
+/// sequence per user (user ids are dense `[0, num_users)`).
+struct Dataset {
+  PoiTable pois;
+  std::vector<CheckinSequence> sequences;
+
+  int num_users() const { return static_cast<int>(sequences.size()); }
+  int num_pois() const { return pois.size(); }
+  int64_t num_checkins() const;
+
+  /// Fraction of the user × POI matrix with at least one check-in — the
+  /// "density" the paper reports (0.012% Gowalla, 0.209% Brightkite).
+  double Density() const;
+
+  /// Recomputes POI popularity counters from the sequences.
+  void RecountPopularity();
+
+  /// Asserts structural sanity (chronological sequences, ids in range);
+  /// returns false with a reason when violated.
+  bool Validate(std::string* why = nullptr) const;
+};
+
+/// Aggregate statistics used by dataset reports and tests.
+struct DatasetStats {
+  int num_users = 0;
+  int num_pois = 0;
+  int64_t num_checkins = 0;
+  double density = 0.0;
+  double mean_seq_len = 0.0;
+  double mean_interval_hours = 0.0;    // Mean gap between check-ins.
+  double median_interval_hours = 0.0;
+  double mean_hop_km = 0.0;            // Mean consecutive-check-in distance.
+};
+
+DatasetStats ComputeStats(const Dataset& dataset);
+std::string FormatStats(const DatasetStats& stats);
+
+/// Per-user chronological split (§IV-E): first 80% of each user's check-ins
+/// train, rest test; the last 10% of the training portion is validation.
+struct Split {
+  std::vector<CheckinSequence> train;
+  std::vector<CheckinSequence> validation;
+  std::vector<CheckinSequence> test;
+};
+
+Split ChronologicalSplit(const Dataset& dataset, double train_fraction = 0.8,
+                         double validation_fraction_of_train = 0.1);
+
+/// Builds a dataset that reuses `pois` with the given training sequences
+/// (the augmenters return these: train sequences change, POIs don't).
+Dataset WithSequences(const Dataset& base,
+                      std::vector<CheckinSequence> sequences);
+
+}  // namespace pa::poi
+
+#endif  // PA_POI_DATASET_H_

@@ -1,0 +1,31 @@
+#include "poi/features.h"
+
+#include <algorithm>
+
+namespace pa::poi {
+
+StepFeatures ComputeStepFeatures(const CheckinSequence& seq, size_t i,
+                                 const PoiTable& pois,
+                                 const FeatureScale& scale) {
+  StepFeatures f;
+  if (i == 0 || i >= seq.size()) return f;
+  const double hours =
+      static_cast<double>(seq[i].timestamp - seq[i - 1].timestamp) / 3600.0;
+  const double km = pois.DistanceKm(seq[i - 1].poi, seq[i].poi);
+  // Clamp so pathological month-long gaps don't dominate the input scale.
+  f.delta_t = static_cast<float>(std::min(hours / scale.hours_scale, 10.0));
+  f.delta_d = static_cast<float>(std::min(km / scale.km_scale, 10.0));
+  return f;
+}
+
+std::vector<StepFeatures> ComputeSequenceFeatures(const CheckinSequence& seq,
+                                                  const PoiTable& pois,
+                                                  const FeatureScale& scale) {
+  std::vector<StepFeatures> out(seq.size());
+  for (size_t i = 0; i < seq.size(); ++i) {
+    out[i] = ComputeStepFeatures(seq, i, pois, scale);
+  }
+  return out;
+}
+
+}  // namespace pa::poi

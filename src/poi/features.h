@@ -1,0 +1,37 @@
+#ifndef PA_POI_FEATURES_H_
+#define PA_POI_FEATURES_H_
+
+#include <vector>
+
+#include "poi/dataset.h"
+
+namespace pa::poi {
+
+/// Per-step spatio-temporal context features: the Δt and Δd of §III-A,
+/// normalized to roughly unit scale so they can be concatenated with POI
+/// embeddings (encoder input x_t = [v_l ; Δt ; Δd], paper Fig. 4).
+struct StepFeatures {
+  float delta_t = 0.0f;  // Hours since the previous check-in / scale.
+  float delta_d = 0.0f;  // Km from the previous check-in / scale.
+};
+
+/// Normalization constants; defaults put typical gaps near 1.0.
+struct FeatureScale {
+  float hours_scale = 6.0f;
+  float km_scale = 10.0f;
+};
+
+/// Features for position i of a sequence (i == 0 gets zeros). `pois`
+/// provides the coordinates.
+StepFeatures ComputeStepFeatures(const CheckinSequence& seq, size_t i,
+                                 const PoiTable& pois,
+                                 const FeatureScale& scale = {});
+
+/// Features for every position of a sequence.
+std::vector<StepFeatures> ComputeSequenceFeatures(
+    const CheckinSequence& seq, const PoiTable& pois,
+    const FeatureScale& scale = {});
+
+}  // namespace pa::poi
+
+#endif  // PA_POI_FEATURES_H_

@@ -1,0 +1,44 @@
+#include "poi/poi_table.h"
+
+namespace pa::poi {
+
+const geo::RTree& PoiTable::SpatialIndex() const {
+  if (!index_built_) {
+    geo::RTree fresh;
+    for (int32_t i = 0; i < size(); ++i) fresh.Insert(coords_[i], i);
+    index_ = std::move(fresh);
+    index_built_ = true;
+  }
+  return index_;
+}
+
+int32_t PoiTable::NearestPoi(const geo::LatLng& p) const {
+  auto neighbors = SpatialIndex().Nearest(p, 1);
+  return neighbors.empty() ? -1 : neighbors[0].id;
+}
+
+int32_t PoiTable::MostPopularWithin(const geo::LatLng& p,
+                                    double radius_km) const {
+  auto in_range = SpatialIndex().WithinRadius(p, radius_km);
+  if (in_range.empty()) return NearestPoi(p);
+  int32_t best = -1;
+  int64_t best_pop = -1;
+  for (const auto& n : in_range) {
+    if (popularity_[n.id] > best_pop) {
+      best_pop = popularity_[n.id];
+      best = n.id;
+    }
+  }
+  return best;
+}
+
+std::vector<int32_t> PoiTable::PoisWithin(int32_t poi,
+                                          double radius_km) const {
+  std::vector<int32_t> out;
+  for (const auto& n : SpatialIndex().WithinRadius(coords_[poi], radius_km)) {
+    if (n.id != poi) out.push_back(n.id);
+  }
+  return out;
+}
+
+}  // namespace pa::poi

@@ -1,0 +1,78 @@
+#ifndef PA_POI_POI_TABLE_H_
+#define PA_POI_POI_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/latlng.h"
+#include "geo/rtree.h"
+
+namespace pa::poi {
+
+/// The POI universe: coordinates and (check-in) popularity per POI id.
+/// POI ids are dense `[0, size)`.
+class PoiTable {
+ public:
+  PoiTable() = default;
+  explicit PoiTable(std::vector<geo::LatLng> coords)
+      : coords_(std::move(coords)), popularity_(coords_.size(), 0) {}
+
+  /// Copying copies the POI data but not the lazily built spatial index
+  /// (the copy rebuilds it on first use); the R-tree itself is move-only.
+  PoiTable(const PoiTable& other)
+      : coords_(other.coords_), popularity_(other.popularity_) {}
+  PoiTable& operator=(const PoiTable& other) {
+    if (this != &other) {
+      coords_ = other.coords_;
+      popularity_ = other.popularity_;
+      index_ = geo::RTree();
+      index_built_ = false;
+    }
+    return *this;
+  }
+  PoiTable(PoiTable&&) = default;
+  PoiTable& operator=(PoiTable&&) = default;
+
+  int32_t Add(const geo::LatLng& coord) {
+    coords_.push_back(coord);
+    popularity_.push_back(0);
+    index_built_ = false;
+    return static_cast<int32_t>(coords_.size()) - 1;
+  }
+
+  int size() const { return static_cast<int>(coords_.size()); }
+  const geo::LatLng& coord(int32_t poi) const { return coords_[poi]; }
+  int64_t popularity(int32_t poi) const { return popularity_[poi]; }
+  void AddPopularity(int32_t poi, int64_t delta) { popularity_[poi] += delta; }
+  void ResetPopularity() { popularity_.assign(coords_.size(), 0); }
+
+  /// Distance in km between two POIs.
+  double DistanceKm(int32_t a, int32_t b) const {
+    return geo::HaversineKm(coords_[a], coords_[b]);
+  }
+
+  /// Spatial index over all POIs; built lazily, rebuilt after Add.
+  const geo::RTree& SpatialIndex() const;
+
+  /// POI nearest to `p`; -1 on an empty table.
+  int32_t NearestPoi(const geo::LatLng& p) const;
+
+  /// Most popular POI within `radius_km` of `p`; falls back to the nearest
+  /// POI when the radius is empty. -1 on an empty table. This is exactly the
+  /// query the POP linear-interpolation baseline issues (§IV-C).
+  int32_t MostPopularWithin(const geo::LatLng& p, double radius_km) const;
+
+  /// POIs within `radius_km` of the given POI (excluding itself) — the
+  /// localized-region candidate set of FPMC-LR.
+  std::vector<int32_t> PoisWithin(int32_t poi, double radius_km) const;
+
+ private:
+  std::vector<geo::LatLng> coords_;
+  std::vector<int64_t> popularity_;
+  mutable geo::RTree index_;
+  mutable bool index_built_ = false;
+};
+
+}  // namespace pa::poi
+
+#endif  // PA_POI_POI_TABLE_H_

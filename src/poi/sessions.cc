@@ -1,0 +1,44 @@
+#include "poi/sessions.h"
+
+#include <algorithm>
+
+namespace pa::poi {
+
+std::vector<CheckinSequence> SplitSessions(const CheckinSequence& seq,
+                                           int64_t max_gap_seconds) {
+  std::vector<CheckinSequence> sessions;
+  if (seq.empty()) return sessions;
+  sessions.emplace_back();
+  sessions.back().push_back(seq[0]);
+  for (size_t i = 1; i < seq.size(); ++i) {
+    if (seq[i].timestamp - seq[i - 1].timestamp > max_gap_seconds) {
+      sessions.emplace_back();
+    }
+    sessions.back().push_back(seq[i]);
+  }
+  return sessions;
+}
+
+SessionStats ComputeSessionStats(
+    const std::vector<CheckinSequence>& sessions) {
+  SessionStats stats;
+  stats.num_sessions = static_cast<int>(sessions.size());
+  if (sessions.empty()) return stats;
+  int64_t total = 0;
+  double span_sum = 0.0;
+  for (const CheckinSequence& s : sessions) {
+    total += static_cast<int64_t>(s.size());
+    stats.max_length = std::max(stats.max_length, static_cast<int>(s.size()));
+    if (!s.empty()) {
+      span_sum += static_cast<double>(s.back().timestamp -
+                                      s.front().timestamp) /
+                  3600.0;
+    }
+  }
+  stats.mean_length =
+      static_cast<double>(total) / static_cast<double>(sessions.size());
+  stats.mean_span_hours = span_sum / static_cast<double>(sessions.size());
+  return stats;
+}
+
+}  // namespace pa::poi

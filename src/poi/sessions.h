@@ -1,0 +1,33 @@
+#ifndef PA_POI_SESSIONS_H_
+#define PA_POI_SESSIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "poi/checkin.h"
+
+namespace pa::poi {
+
+/// Sessionization: splits a user's chronological check-in sequence into
+/// *sessions* wherever the gap between consecutive check-ins exceeds
+/// `max_gap_seconds`. LBSN pipelines commonly train sequence models on
+/// sessions rather than whole histories; the bursty observation process of
+/// the synthetic generator makes the session structure visible (bursts
+/// become sessions).
+std::vector<CheckinSequence> SplitSessions(const CheckinSequence& seq,
+                                           int64_t max_gap_seconds);
+
+/// Summary of a sessionized history.
+struct SessionStats {
+  int num_sessions = 0;
+  double mean_length = 0.0;  // Check-ins per session.
+  int max_length = 0;
+  double mean_span_hours = 0.0;  // First-to-last time span per session.
+};
+
+SessionStats ComputeSessionStats(
+    const std::vector<CheckinSequence>& sessions);
+
+}  // namespace pa::poi
+
+#endif  // PA_POI_SESSIONS_H_

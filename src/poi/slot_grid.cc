@@ -1,0 +1,43 @@
+#include "poi/slot_grid.h"
+
+#include <cmath>
+
+namespace pa::poi {
+
+std::vector<Slot> BuildSlotTimeline(const CheckinSequence& seq,
+                                    int64_t interval_seconds,
+                                    int max_missing_per_gap) {
+  std::vector<Slot> timeline;
+  if (seq.empty() || interval_seconds <= 0) return timeline;
+
+  timeline.push_back({seq[0].timestamp, 0});
+  for (size_t i = 1; i < seq.size(); ++i) {
+    const int64_t gap = seq[i].timestamp - seq[i - 1].timestamp;
+    int missing = static_cast<int>(std::llround(
+                      static_cast<double>(gap) / interval_seconds)) -
+                  1;
+    if (missing < 0) missing = 0;
+    if (max_missing_per_gap > 0 && missing > max_missing_per_gap) {
+      missing = max_missing_per_gap;
+    }
+    for (int m = 1; m <= missing; ++m) {
+      const int64_t t =
+          seq[i - 1].timestamp +
+          static_cast<int64_t>(std::llround(
+              static_cast<double>(gap) * m / (missing + 1)));
+      timeline.push_back({t, -1});
+    }
+    timeline.push_back({seq[i].timestamp, static_cast<int>(i)});
+  }
+  return timeline;
+}
+
+int CountMissing(const std::vector<Slot>& timeline) {
+  int n = 0;
+  for (const Slot& s : timeline) {
+    if (s.missing()) ++n;
+  }
+  return n;
+}
+
+}  // namespace pa::poi

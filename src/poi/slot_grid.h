@@ -1,0 +1,41 @@
+#ifndef PA_POI_SLOT_GRID_H_
+#define PA_POI_SLOT_GRID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "poi/checkin.h"
+
+namespace pa::poi {
+
+/// One position on the evenly-spaced timeline of a check-in sequence
+/// (paper Fig. 1). A slot either carries an observed check-in or is a
+/// *missing* slot the augmenter must fill.
+struct Slot {
+  int64_t timestamp = 0;
+  /// Index of the observed check-in occupying the slot, or -1 when missing.
+  int observed_index = -1;
+
+  bool missing() const { return observed_index < 0; }
+};
+
+/// Builds the evenly-spaced timeline for an observed sequence.
+///
+/// Between each consecutive observed pair (t_i, t_j), the number of missing
+/// slots is round((t_j - t_i) / interval) - 1, placed evenly inside the gap.
+/// The paper's Fig. 1 example — check-ins at 8 a.m., 10 a.m. and 7 p.m. with
+/// a 3-hour interval — yields missing slots at 1 p.m. and 4 p.m. (the
+/// 8→10 a.m. gap is shorter than the interval and gets none).
+///
+/// `max_missing_per_gap` caps imputation inside pathologically long gaps
+/// (e.g. a user silent for a month); 0 means no cap.
+std::vector<Slot> BuildSlotTimeline(const CheckinSequence& seq,
+                                    int64_t interval_seconds,
+                                    int max_missing_per_gap = 0);
+
+/// Number of missing slots in a timeline.
+int CountMissing(const std::vector<Slot>& timeline);
+
+}  // namespace pa::poi
+
+#endif  // PA_POI_SLOT_GRID_H_

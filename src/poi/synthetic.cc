@@ -1,0 +1,251 @@
+#include "poi/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/latlng.h"
+
+namespace pa::poi {
+
+LbsnProfile GowallaProfile() {
+  LbsnProfile p;
+  p.name = "gowalla";
+  p.num_pois = 2600;
+  p.num_cities = 5;
+  p.map_extent_km = 400.0;
+  p.city_stddev_km = 4.0;
+  p.zipf_exponent = 1.0;
+  p.num_users = 80;
+  p.min_visits = 170;
+  p.max_visits = 240;
+  p.routine_length = 6;
+  p.home_interleave = 0.45;
+  p.routine_prob = 0.6;
+  p.home_prob = 0.1;
+  p.explore_radius_km = 2.0;
+  p.routine_radius_km = 3.0;
+  p.visit_interval_seconds = 3 * 3600;
+  p.interval_jitter = 0.05;
+  p.observe_active = 0.85;
+  p.observe_silent = 0.08;
+  p.mean_burst_visits = 6.0;
+  p.mean_silence_visits = 7.0;
+  return p;
+}
+
+LbsnProfile BrightkiteProfile() {
+  LbsnProfile p;
+  p.name = "brightkite";
+  p.num_pois = 2000;
+  p.num_cities = 4;
+  p.map_extent_km = 300.0;
+  p.city_stddev_km = 4.0;
+  p.zipf_exponent = 1.2;
+  p.num_users = 80;
+  p.min_visits = 180;
+  p.max_visits = 260;
+  p.routine_length = 4;
+  p.home_interleave = 0.7;  // Brightkite users overwhelmingly revisit home.
+  p.routine_prob = 0.55;
+  p.home_prob = 0.25;
+  p.explore_radius_km = 1.8;
+  p.routine_radius_km = 2.5;
+  p.visit_interval_seconds = 3 * 3600;
+  p.interval_jitter = 0.05;
+  p.observe_active = 0.9;
+  p.observe_silent = 0.15;
+  p.mean_burst_visits = 8.0;
+  p.mean_silence_visits = 4.0;
+  return p;
+}
+
+namespace {
+
+constexpr double kKmPerDegLat = 111.195;  // 2*pi*R/360 at mean radius.
+
+// Converts a local (east_km, north_km) offset around `origin` to LatLng.
+geo::LatLng OffsetKm(const geo::LatLng& origin, double east_km,
+                     double north_km) {
+  const double lat = origin.lat + north_km / kKmPerDegLat;
+  const double cos_lat =
+      std::max(0.05, std::cos(origin.lat * 3.14159265358979 / 180.0));
+  const double lng = origin.lng + east_km / (kKmPerDegLat * cos_lat);
+  return {lat, lng};
+}
+
+struct World {
+  PoiTable pois;
+  std::vector<double> base_popularity;     // Zipf weights.
+  std::vector<int> poi_city;               // City id per POI.
+  std::vector<std::vector<int32_t>> city_pois;
+};
+
+World BuildWorld(const LbsnProfile& profile, util::Rng& rng) {
+  World world;
+  // Anchor the map at a plausible mid-latitude origin.
+  const geo::LatLng origin{37.0, -95.0};
+
+  std::vector<geo::LatLng> cities;
+  cities.reserve(profile.num_cities);
+  for (int c = 0; c < profile.num_cities; ++c) {
+    cities.push_back(OffsetKm(origin,
+                              rng.Uniform(0.0, profile.map_extent_km),
+                              rng.Uniform(0.0, profile.map_extent_km)));
+  }
+
+  world.city_pois.resize(profile.num_cities);
+  world.base_popularity.resize(profile.num_pois);
+  world.poi_city.resize(profile.num_pois);
+  for (int i = 0; i < profile.num_pois; ++i) {
+    const int c = rng.RandInt(0, profile.num_cities - 1);
+    const geo::LatLng coord =
+        OffsetKm(cities[c], rng.Normal(0.0, profile.city_stddev_km),
+                 rng.Normal(0.0, profile.city_stddev_km));
+    const int32_t id = world.pois.Add(coord);
+    world.poi_city[id] = c;
+    world.city_pois[c].push_back(id);
+    // Zipf-like base popularity over a random permutation implied by id.
+    world.base_popularity[id] =
+        1.0 / std::pow(static_cast<double>(i + 1), profile.zipf_exponent);
+  }
+  return world;
+}
+
+// Picks a POI near `from` within the exploration radius, weighted by base
+// popularity; falls back to the nearest few POIs when the radius is empty.
+int32_t ExploreNear(const World& world, int32_t from, double radius_km,
+                    util::Rng& rng) {
+  auto near = world.pois.SpatialIndex().WithinRadius(
+      world.pois.coord(from), radius_km);
+  std::vector<double> weights;
+  std::vector<int32_t> ids;
+  for (const auto& n : near) {
+    if (n.id == from) continue;
+    ids.push_back(n.id);
+    weights.push_back(world.base_popularity[n.id]);
+  }
+  if (ids.empty()) {
+    auto nn = world.pois.SpatialIndex().Nearest(world.pois.coord(from), 4);
+    for (const auto& n : nn) {
+      if (n.id != from) return n.id;
+    }
+    return from;
+  }
+  return ids[static_cast<size_t>(rng.Categorical(weights))];
+}
+
+}  // namespace
+
+SyntheticLbsn GenerateLbsn(const LbsnProfile& profile, util::Rng& rng) {
+  World world = BuildWorld(profile, rng);
+
+  SyntheticLbsn out;
+  out.true_visits.resize(profile.num_users);
+  out.observed_mask.resize(profile.num_users);
+  out.observed.pois = world.pois;
+  out.observed.sequences.resize(profile.num_users);
+
+  for (int u = 0; u < profile.num_users; ++u) {
+    // Home city and anchor.
+    const int city = rng.RandInt(0, profile.num_cities - 1);
+    const auto& city_pois = world.city_pois[city];
+    if (city_pois.empty()) continue;
+    const int32_t home =
+        city_pois[static_cast<size_t>(rng.RandInt(
+            0, static_cast<int>(city_pois.size()) - 1))];
+
+    // Personal routine: a fixed cycle of POIs near home (users' daily lives
+    // are spatially compact). The cycle is the learnable, *non-collinear*
+    // transition pattern.
+    std::vector<int32_t> routine;
+    routine.push_back(home);
+    auto near_home = world.pois.SpatialIndex().WithinRadius(
+        world.pois.coord(home), profile.routine_radius_km);
+    for (int r = 1; r < profile.routine_length; ++r) {
+      int32_t stop;
+      if (near_home.size() > 1) {
+        stop = near_home[static_cast<size_t>(rng.RandInt(
+                             0, static_cast<int>(near_home.size()) - 1))]
+                   .id;
+      } else {
+        stop = city_pois[static_cast<size_t>(
+            rng.RandInt(0, static_cast<int>(city_pois.size()) - 1))];
+      }
+      routine.push_back(stop);
+      // Interleaving home makes P(next | home) multi-modal; see LbsnProfile.
+      if (rng.Bernoulli(profile.home_interleave)) routine.push_back(home);
+    }
+
+    const int num_visits = rng.RandInt(profile.min_visits, profile.max_visits);
+    CheckinSequence visits;
+    visits.reserve(static_cast<size_t>(num_visits));
+
+    int32_t current = home;
+    int routine_pos = 0;
+    int64_t t = 1262304000 +  // 2010-01-01, in the datasets' era.
+                static_cast<int64_t>(rng.RandInt(0, 30 * 24 * 3600));
+    for (int v = 0; v < num_visits; ++v) {
+      Checkin c;
+      c.user = u;
+      c.poi = current;
+      c.timestamp = t;
+      visits.push_back(c);
+
+      // Next step of the mobility model.
+      const double roll = rng.Uniform();
+      if (roll < profile.routine_prob) {
+        routine_pos = (routine_pos + 1) % static_cast<int>(routine.size());
+        current = routine[static_cast<size_t>(routine_pos)];
+      } else if (roll < profile.routine_prob + profile.home_prob) {
+        current = home;
+        routine_pos = 0;
+      } else {
+        current = ExploreNear(world, current, profile.explore_radius_km, rng);
+      }
+
+      const double jitter =
+          1.0 + profile.interval_jitter * rng.Uniform(-1.0, 1.0);
+      t += static_cast<int64_t>(profile.visit_interval_seconds * jitter);
+    }
+
+    // Observation: a two-phase (bursty) process — active phases check in
+    // most visits, silent phases almost none; phase lengths are geometric.
+    // The first and last visits are always kept so every observed sequence
+    // spans the full time range.
+    std::vector<bool> mask(visits.size(), false);
+    bool active = rng.Bernoulli(0.5);
+    for (size_t i = 0; i < visits.size(); ++i) {
+      const double flip_prob =
+          active ? 1.0 / std::max(1.0, profile.mean_burst_visits)
+                 : 1.0 / std::max(1.0, profile.mean_silence_visits);
+      if (rng.Bernoulli(flip_prob)) active = !active;
+      const double rate =
+          active ? profile.observe_active : profile.observe_silent;
+      mask[i] =
+          i == 0 || i + 1 == visits.size() || rng.Bernoulli(rate);
+      if (mask[i]) out.observed.sequences[u].push_back(visits[i]);
+    }
+    out.true_visits[u] = std::move(visits);
+    out.observed_mask[u] = std::move(mask);
+  }
+
+  out.observed.RecountPopularity();
+  return out;
+}
+
+std::vector<ImputationTask> MakeImputationTasks(const SyntheticLbsn& lbsn) {
+  std::vector<ImputationTask> tasks;
+  for (size_t u = 0; u < lbsn.true_visits.size(); ++u) {
+    const auto& visits = lbsn.true_visits[u];
+    const auto& mask = lbsn.observed_mask[u];
+    for (size_t i = 1; i + 1 < visits.size(); ++i) {
+      if (!mask[i]) {
+        tasks.push_back({static_cast<int32_t>(u), static_cast<int>(i),
+                         visits[i].timestamp, visits[i].poi});
+      }
+    }
+  }
+  return tasks;
+}
+
+}  // namespace pa::poi

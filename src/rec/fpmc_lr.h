@@ -1,0 +1,85 @@
+#ifndef PA_REC_FPMC_LR_H_
+#define PA_REC_FPMC_LR_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "rec/recommender.h"
+#include "util/rng.h"
+
+namespace pa::rec {
+
+/// Configuration for FPMC-LR.
+struct FpmcLrConfig {
+  int dim = 16;            // Latent factor dimensionality.
+  float learning_rate = 0.05f;
+  float reg = 0.01f;       // L2 regularization on touched factors.
+  int epochs = 8;
+  int negatives_per_step = 4;  // BPR negative samples per transition.
+  double region_radius_km = 15.0;  // The "localized region" (LR) constraint.
+  uint64_t seed = 11;
+};
+
+/// FPMC-LR (Cheng et al., 2013): Factorized Personalized Markov Chains with
+/// Localized Regions.
+///
+/// The transition tensor P(next | user, prev) is factorized as
+///
+///     score(u, prev, l) = <V_u^{UL}, V_l^{LU}> + <V_l^{LI}, V_prev^{IL}>
+///
+/// trained with BPR (Rendle et al., 2009) by stochastic gradient ascent on
+/// sigmoid(score(pos) - score(neg)). The LR part restricts both negative
+/// sampling and candidate ranking to POIs within `region_radius_km` of the
+/// previous check-in — users rarely jump outside a localized region — which
+/// is also what makes the method sensitive to missing check-ins: a missing
+/// intermediate check-in makes the observed "transition" span two regions.
+class FpmcLr : public Recommender {
+ public:
+  explicit FpmcLr(FpmcLrConfig config = {});
+
+  std::string name() const override { return "FPMC-LR"; }
+  void Fit(const std::vector<poi::CheckinSequence>& train,
+           const poi::PoiTable& pois) override;
+  std::unique_ptr<RecSession> NewSession(int32_t user) const override;
+
+  /// score(u, prev, l); exposed for tests.
+  float Score(int32_t user, int32_t prev, int32_t poi) const;
+
+  /// Mean BPR objective per epoch (ascending when learning works).
+  const std::vector<float>& epoch_objectives() const {
+    return epoch_objectives_;
+  }
+
+ private:
+  friend class FpmcLrSession;
+
+  /// Candidate POIs in the localized region of `prev` (cached).
+  const std::vector<int32_t>& Region(int32_t prev) const;
+
+  float* Row(std::vector<float>& m, int32_t i) const {
+    return m.data() + static_cast<size_t>(i) * config_.dim;
+  }
+  const float* Row(const std::vector<float>& m, int32_t i) const {
+    return m.data() + static_cast<size_t>(i) * config_.dim;
+  }
+
+  FpmcLrConfig config_;
+  util::Rng rng_;
+  const poi::PoiTable* pois_ = nullptr;
+  int num_users_ = 0;
+  int num_pois_ = 0;
+
+  // Factor matrices, row-major [count, dim].
+  std::vector<float> v_ul_;  // User -> next-POI space.
+  std::vector<float> v_lu_;  // Next POI -> user space.
+  std::vector<float> v_li_;  // Next POI -> prev-POI space.
+  std::vector<float> v_il_;  // Prev POI -> next-POI space.
+
+  std::vector<int32_t> popular_;  // Popularity-ranked POIs (fallback).
+  mutable std::unordered_map<int32_t, std::vector<int32_t>> region_cache_;
+  std::vector<float> epoch_objectives_;
+};
+
+}  // namespace pa::rec
+
+#endif  // PA_REC_FPMC_LR_H_

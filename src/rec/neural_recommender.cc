@@ -1,0 +1,229 @@
+#include "rec/neural_recommender.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+
+namespace pa::rec {
+
+namespace {
+
+using tensor::Tensor;
+
+std::vector<int32_t> TopKFromLogits(const Tensor& logits, int k) {
+  const int n = logits.cols();
+  std::vector<int32_t> ids(static_cast<size_t>(n));
+  std::iota(ids.begin(), ids.end(), 0);
+  const int kk = std::min(k, n);
+  std::partial_sort(ids.begin(), ids.begin() + kk, ids.end(),
+                    [&](int32_t a, int32_t b) {
+                      return logits.at(0, a) > logits.at(0, b);
+                    });
+  ids.resize(static_cast<size_t>(kk));
+  return ids;
+}
+
+}  // namespace
+
+NeuralRecommender::NeuralRecommender(NeuralRecConfig config)
+    : config_(config), rng_(config.seed) {}
+
+NeuralRecommender::~NeuralRecommender() = default;
+
+std::string NeuralRecommender::name() const {
+  switch (config_.cell) {
+    case NeuralRecConfig::Cell::kRnn:
+      return "RNN";
+    case NeuralRecConfig::Cell::kLstm:
+      return "LSTM";
+    case NeuralRecConfig::Cell::kGru:
+      return "GRU";
+    case NeuralRecConfig::Cell::kStRnn:
+      return "ST-RNN";
+    case NeuralRecConfig::Cell::kStClstm:
+      return "ST-CLSTM";
+  }
+  return "?";
+}
+
+nn::LstmState NeuralRecommender::InitialState() const {
+  switch (config_.cell) {
+    case NeuralRecConfig::Cell::kRnn:
+      return {rnn_->InitialState(1), Tensor::Zeros({1, 1})};
+    case NeuralRecConfig::Cell::kGru:
+      return {gru_->InitialState(1), Tensor::Zeros({1, 1})};
+    case NeuralRecConfig::Cell::kStRnn:
+      return {st_rnn_->InitialState(1), Tensor::Zeros({1, 1})};
+    case NeuralRecConfig::Cell::kLstm:
+      return lstm_->InitialState(1);
+    case NeuralRecConfig::Cell::kStClstm:
+      return st_clstm_->InitialState(1);
+  }
+  return {};
+}
+
+nn::LstmState NeuralRecommender::Step(const nn::LstmState& state, int poi,
+                                      float delta_t, float delta_d) const {
+  Tensor x = embedding_->Forward({poi});
+  switch (config_.cell) {
+    case NeuralRecConfig::Cell::kRnn:
+      return {rnn_->Forward(x, state.h), state.c};
+    case NeuralRecConfig::Cell::kGru:
+      return {gru_->Forward(x, state.h), state.c};
+    case NeuralRecConfig::Cell::kStRnn:
+      return {st_rnn_->Forward(x, state.h, delta_t, delta_d), state.c};
+    case NeuralRecConfig::Cell::kLstm:
+      return lstm_->Forward(x, state);
+    case NeuralRecConfig::Cell::kStClstm:
+      return st_clstm_->Forward(x, state, delta_t, delta_d);
+  }
+  return state;
+}
+
+void NeuralRecommender::Fit(const std::vector<poi::CheckinSequence>& train,
+                            const poi::PoiTable& pois) {
+  pois_ = &pois;
+  embedding_ =
+      std::make_unique<nn::Embedding>(pois.size(), config_.embedding_dim,
+                                      rng_);
+  output_ = std::make_unique<nn::Linear>(config_.hidden_dim, pois.size(),
+                                         rng_);
+  switch (config_.cell) {
+    case NeuralRecConfig::Cell::kRnn:
+      rnn_ = std::make_unique<nn::RnnCell>(config_.embedding_dim,
+                                           config_.hidden_dim, rng_);
+      break;
+    case NeuralRecConfig::Cell::kGru:
+      gru_ = std::make_unique<nn::GruCell>(config_.embedding_dim,
+                                           config_.hidden_dim, rng_);
+      break;
+    case NeuralRecConfig::Cell::kStRnn:
+      st_rnn_ = std::make_unique<nn::StRnnCell>(config_.embedding_dim,
+                                                config_.hidden_dim, rng_);
+      break;
+    case NeuralRecConfig::Cell::kLstm:
+      lstm_ = std::make_unique<nn::LstmCell>(config_.embedding_dim,
+                                             config_.hidden_dim, rng_);
+      break;
+    case NeuralRecConfig::Cell::kStClstm:
+      st_clstm_ = std::make_unique<nn::StClstmCell>(config_.embedding_dim,
+                                                    config_.hidden_dim, rng_);
+      break;
+  }
+
+  std::vector<Tensor> params = embedding_->Parameters();
+  auto append = [&params](const std::vector<Tensor>& more) {
+    params.insert(params.end(), more.begin(), more.end());
+  };
+  if (rnn_) append(rnn_->Parameters());
+  if (gru_) append(gru_->Parameters());
+  if (st_rnn_) append(st_rnn_->Parameters());
+  if (lstm_) append(lstm_->Parameters());
+  if (st_clstm_) append(st_clstm_->Parameters());
+  append(output_->Parameters());
+  tensor::Adam optimizer(std::move(params), config_.learning_rate);
+
+  // Training chunks: (sequence span, features) with truncated BPTT.
+  struct Chunk {
+    const poi::CheckinSequence* seq;
+    int begin;
+    int len;
+  };
+  std::vector<Chunk> chunks;
+  for (const auto& seq : train) {
+    const int n = static_cast<int>(seq.size());
+    for (int begin = 0; begin < n; begin += config_.max_seq_len) {
+      const int len = std::min(config_.max_seq_len, n - begin);
+      if (len < config_.min_seq_len) break;
+      chunks.push_back({&seq, begin, len});
+    }
+  }
+
+  epoch_losses_.clear();
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng_.Shuffle(chunks);
+    double total = 0.0;
+    int count = 0;
+    for (const Chunk& chunk : chunks) {
+      nn::LstmState state = InitialState();
+      std::vector<Tensor> logit_rows;
+      std::vector<int> targets;
+      for (int i = 0; i < chunk.len - 1; ++i) {
+        const poi::Checkin& cur = (*chunk.seq)[chunk.begin + i];
+        const poi::StepFeatures f = poi::ComputeStepFeatures(
+            *chunk.seq, static_cast<size_t>(chunk.begin + i), *pois_,
+            config_.feature_scale);
+        state = Step(state, cur.poi, f.delta_t, f.delta_d);
+        logit_rows.push_back(output_->Forward(state.h));
+        targets.push_back((*chunk.seq)[chunk.begin + i + 1].poi);
+      }
+      if (logit_rows.empty()) continue;
+      Tensor loss = tensor::CrossEntropyLoss(tensor::ConcatRows(logit_rows),
+                                             targets);
+      optimizer.ZeroGrad();
+      loss.Backward();
+      optimizer.ClipGradNorm(config_.grad_clip);
+      optimizer.Step();
+      total += loss.item();
+      ++count;
+    }
+    epoch_losses_.push_back(count ? static_cast<float>(total / count) : 0.0f);
+  }
+}
+
+/// Session: carries the recurrent state, detached after every step so the
+/// autograd graph does not grow across a user's timeline.
+class NeuralRecSession : public RecSession {
+ public:
+  NeuralRecSession(const NeuralRecommender* rec)
+      : rec_(rec), state_(rec->InitialState()) {}
+
+  void Observe(const poi::Checkin& c) override {
+    float dt = 0.0f, dd = 0.0f;
+    if (has_last_) {
+      const double hours =
+          static_cast<double>(c.timestamp - last_.timestamp) / 3600.0;
+      dt = static_cast<float>(std::min(
+          hours / rec_->config_.feature_scale.hours_scale, 10.0));
+      const double km = rec_->pois_->DistanceKm(last_.poi, c.poi);
+      dd = static_cast<float>(
+          std::min(km / rec_->config_.feature_scale.km_scale, 10.0));
+    }
+    state_ = rec_->Step(state_, c.poi, dt, dd);
+    state_.h = state_.h.Detach();
+    if (state_.c.defined()) state_.c = state_.c.Detach();
+    last_ = c;
+    has_last_ = true;
+  }
+
+  std::vector<int32_t> TopK(int k, int64_t next_timestamp) const override {
+    Tensor hidden = state_.h;
+    // Time-aware ranking: ST-CLSTM advances a phantom step whose time gate
+    // sees the interval to the check-in being predicted.
+    if (rec_->config_.cell == NeuralRecConfig::Cell::kStClstm && has_last_) {
+      const double hours =
+          static_cast<double>(next_timestamp - last_.timestamp) / 3600.0;
+      const float dt = static_cast<float>(std::min(
+          std::max(hours, 0.0) / rec_->config_.feature_scale.hours_scale,
+          10.0));
+      nn::LstmState phantom = rec_->Step(state_, last_.poi, dt, 0.0f);
+      hidden = phantom.h;
+    }
+    Tensor logits = rec_->output_->Forward(hidden);
+    return TopKFromLogits(logits, k);
+  }
+
+ private:
+  const NeuralRecommender* rec_;
+  nn::LstmState state_;
+  poi::Checkin last_;
+  bool has_last_ = false;
+};
+
+std::unique_ptr<RecSession> NeuralRecommender::NewSession(int32_t) const {
+  return std::make_unique<NeuralRecSession>(this);
+}
+
+}  // namespace pa::rec

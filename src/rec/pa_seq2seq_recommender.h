@@ -1,0 +1,41 @@
+#ifndef PA_REC_PA_SEQ2SEQ_RECOMMENDER_H_
+#define PA_REC_PA_SEQ2SEQ_RECOMMENDER_H_
+
+#include <memory>
+
+#include "augment/pa_seq2seq.h"
+#include "rec/recommender.h"
+
+namespace pa::rec {
+
+/// PA-Seq2Seq used *directly* as a next-POI recommender — the paper's §V/§VI
+/// remark that, unlike linear interpolation, the trained model "can also be
+/// applied in the next POI recommendation task directly, as it has learned
+/// the visiting distribution through training".
+///
+/// `Fit` runs the full three-stage PA-Seq2Seq training on the training
+/// sequences; each prediction encodes the session's accumulated history
+/// with one trailing missing slot at the query timestamp and ranks POIs for
+/// it (see `augment::PaSeq2Seq::RankNext`). Each TopK call re-encodes the
+/// recent history, so this recommender trades query latency for the richer
+/// bidirectional context — benchmark accordingly.
+class PaSeq2SeqRecommender : public Recommender {
+ public:
+  explicit PaSeq2SeqRecommender(augment::PaSeq2SeqConfig config = {});
+
+  std::string name() const override { return "PA-Seq2Seq(direct)"; }
+  void Fit(const std::vector<poi::CheckinSequence>& train,
+           const poi::PoiTable& pois) override;
+  std::unique_ptr<RecSession> NewSession(int32_t user) const override;
+
+  /// The underlying trained model (null before Fit).
+  const augment::PaSeq2Seq* model() const { return model_.get(); }
+
+ private:
+  augment::PaSeq2SeqConfig config_;
+  std::unique_ptr<augment::PaSeq2Seq> model_;
+};
+
+}  // namespace pa::rec
+
+#endif  // PA_REC_PA_SEQ2SEQ_RECOMMENDER_H_

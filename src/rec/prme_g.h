@@ -1,0 +1,82 @@
+#ifndef PA_REC_PRME_G_H_
+#define PA_REC_PRME_G_H_
+
+#include <vector>
+
+#include "rec/recommender.h"
+#include "util/rng.h"
+
+namespace pa::rec {
+
+/// Configuration for PRME-G.
+struct PrmeGConfig {
+  int dim = 16;
+  float alpha = 0.4f;        // Weight of the user-preference space.
+  float learning_rate = 0.05f;
+  float reg = 0.01f;
+  int epochs = 8;
+  int negatives_per_step = 4;
+  double geo_gamma_km = 20.0;  // Distance scale of the geo weight.
+  /// Transitions longer than this (in hours) fall back to the pure
+  /// user-preference component, as in the original PRME threshold τ.
+  double tau_hours = 12.0;
+  uint64_t seed = 13;
+};
+
+/// PRME-G (Feng et al., 2015): Personalized Ranking Metric Embedding with
+/// geographical influence.
+///
+/// Two metric spaces: a *sequential* space S embedding POIs so that likely
+/// transitions are close, and a *preference* space P embedding users and
+/// POIs together. The ranking distance for candidate l after prev is
+///
+///     D(u, prev, l) = w(prev, l) · [ α · ||U_u - P_l||²
+///                                  + (1-α) · ||S_prev - S_l||² ]
+///
+/// with geo weight w(prev, l) = 1 + dist_km(prev, l) / γ (farther POIs are
+/// penalized — the "G" extension). When the time since the previous
+/// check-in exceeds τ the sequential component is dropped. Smaller D ranks
+/// higher; training is BPR on -D.
+class PrmeG : public Recommender {
+ public:
+  explicit PrmeG(PrmeGConfig config = {});
+
+  std::string name() const override { return "PRME-G"; }
+  void Fit(const std::vector<poi::CheckinSequence>& train,
+           const poi::PoiTable& pois) override;
+  std::unique_ptr<RecSession> NewSession(int32_t user) const override;
+
+  /// Ranking distance (lower is better); exposed for tests.
+  float Distance(int32_t user, int32_t prev, int32_t poi,
+                 bool use_sequential) const;
+
+  const std::vector<float>& epoch_objectives() const {
+    return epoch_objectives_;
+  }
+
+ private:
+  friend class PrmeGSession;
+
+  float* Row(std::vector<float>& m, int32_t i) const {
+    return m.data() + static_cast<size_t>(i) * config_.dim;
+  }
+  const float* Row(const std::vector<float>& m, int32_t i) const {
+    return m.data() + static_cast<size_t>(i) * config_.dim;
+  }
+
+  PrmeGConfig config_;
+  util::Rng rng_;
+  const poi::PoiTable* pois_ = nullptr;
+  int num_users_ = 0;
+  int num_pois_ = 0;
+
+  std::vector<float> user_;   // U: [users, dim] in preference space.
+  std::vector<float> poi_p_;  // P: [pois, dim] in preference space.
+  std::vector<float> poi_s_;  // S: [pois, dim] in sequential space.
+
+  std::vector<float> epoch_objectives_;
+};
+
+}  // namespace pa::rec
+
+#endif  // PA_REC_PRME_G_H_

@@ -1,0 +1,50 @@
+#ifndef PA_REC_RECOMMENDER_H_
+#define PA_REC_RECOMMENDER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "poi/dataset.h"
+
+namespace pa::rec {
+
+/// A stateful scoring session for one user.
+///
+/// Next-POI evaluation walks a user's timeline: the session observes
+/// check-ins one by one and, before each test check-in, ranks candidates
+/// for what comes next. `next_timestamp` is the (known) time of the
+/// check-in being predicted — time-aware models (ST-CLSTM) use the interval
+/// it implies; others ignore it.
+class RecSession {
+ public:
+  virtual ~RecSession() = default;
+
+  /// Advances the session state past an observed check-in.
+  virtual void Observe(const poi::Checkin& checkin) = 0;
+
+  /// Top-k POI ids for the next check-in, best first.
+  virtual std::vector<int32_t> TopK(int k, int64_t next_timestamp) const = 0;
+};
+
+/// Interface all five next-POI recommenders implement (paper §IV-D):
+/// FPMC-LR, PRME-G, RNN, LSTM and ST-CLSTM.
+class Recommender {
+ public:
+  virtual ~Recommender() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Trains on per-user training sequences (possibly augmented). `pois`
+  /// must outlive the recommender.
+  virtual void Fit(const std::vector<poi::CheckinSequence>& train,
+                   const poi::PoiTable& pois) = 0;
+
+  /// Opens a fresh scoring session for `user`.
+  virtual std::unique_ptr<RecSession> NewSession(int32_t user) const = 0;
+};
+
+}  // namespace pa::rec
+
+#endif  // PA_REC_RECOMMENDER_H_

@@ -1,0 +1,65 @@
+#include "rec/registry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rec/fpmc_lr.h"
+#include "rec/neural_recommender.h"
+#include "rec/prme_g.h"
+
+namespace pa::rec {
+
+std::vector<std::string> StandardRecommenderNames() {
+  return {"FPMC-LR", "PRME-G", "RNN", "LSTM", "ST-CLSTM"};
+}
+
+namespace {
+
+int ScaledEpochs(int base, double scale) {
+  return std::max(1, static_cast<int>(std::lround(base * scale)));
+}
+
+}  // namespace
+
+std::unique_ptr<Recommender> MakeRecommender(const std::string& name,
+                                             uint64_t seed,
+                                             double epochs_scale) {
+  if (name == "FPMC-LR") {
+    FpmcLrConfig config;
+    config.seed = seed;
+    config.epochs = ScaledEpochs(config.epochs, epochs_scale);
+    return std::make_unique<FpmcLr>(config);
+  }
+  if (name == "PRME-G") {
+    PrmeGConfig config;
+    config.seed = seed;
+    config.epochs = ScaledEpochs(config.epochs, epochs_scale);
+    return std::make_unique<PrmeG>(config);
+  }
+  NeuralRecConfig config;
+  config.seed = seed;
+  config.epochs = ScaledEpochs(config.epochs, epochs_scale);
+  if (name == "RNN") {
+    config.cell = NeuralRecConfig::Cell::kRnn;
+    return std::make_unique<NeuralRecommender>(config);
+  }
+  if (name == "LSTM") {
+    config.cell = NeuralRecConfig::Cell::kLstm;
+    return std::make_unique<NeuralRecommender>(config);
+  }
+  if (name == "GRU") {
+    config.cell = NeuralRecConfig::Cell::kGru;
+    return std::make_unique<NeuralRecommender>(config);
+  }
+  if (name == "ST-RNN") {
+    config.cell = NeuralRecConfig::Cell::kStRnn;
+    return std::make_unique<NeuralRecommender>(config);
+  }
+  if (name == "ST-CLSTM") {
+    config.cell = NeuralRecConfig::Cell::kStClstm;
+    return std::make_unique<NeuralRecommender>(config);
+  }
+  return nullptr;
+}
+
+}  // namespace pa::rec

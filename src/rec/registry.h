@@ -1,0 +1,26 @@
+#ifndef PA_REC_REGISTRY_H_
+#define PA_REC_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rec/recommender.h"
+
+namespace pa::rec {
+
+/// The five methods of the paper's Tables I–II, in row order.
+std::vector<std::string> StandardRecommenderNames();
+
+/// Factory by table-row name ("FPMC-LR", "PRME-G", "RNN", "LSTM",
+/// "ST-CLSTM"). Returns null for unknown names. `seed` controls all
+/// stochastic parts (initialization, negative sampling, shuffling);
+/// `epochs_scale` proportionally shrinks/stretches every method's training
+/// epochs (used by quick tests and examples).
+std::unique_ptr<Recommender> MakeRecommender(const std::string& name,
+                                             uint64_t seed = 7,
+                                             double epochs_scale = 1.0);
+
+}  // namespace pa::rec
+
+#endif  // PA_REC_REGISTRY_H_

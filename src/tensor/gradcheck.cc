@@ -1,0 +1,53 @@
+#include "tensor/gradcheck.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace pa::tensor {
+
+GradCheckResult CheckGradients(const std::function<Tensor()>& loss_fn,
+                               std::vector<Tensor> inputs, float epsilon,
+                               float tolerance) {
+  GradCheckResult result;
+
+  // One analytic pass. Gradients accumulate, so clear them first.
+  for (Tensor& in : inputs) in.ZeroGrad();
+  Tensor loss = loss_fn();
+  loss.Backward();
+
+  std::vector<std::vector<float>> analytic;
+  analytic.reserve(inputs.size());
+  for (Tensor& in : inputs) analytic.push_back(in.grad_vector());
+
+  for (size_t k = 0; k < inputs.size(); ++k) {
+    Tensor& in = inputs[k];
+    for (int64_t i = 0; i < in.numel(); ++i) {
+      const float saved = in.data()[i];
+      in.data()[i] = saved + epsilon;
+      const float plus = loss_fn().item();
+      in.data()[i] = saved - epsilon;
+      const float minus = loss_fn().item();
+      in.data()[i] = saved;
+
+      const float numeric = (plus - minus) / (2.0f * epsilon);
+      const float exact = analytic[k][i];
+      const float abs_err = std::fabs(numeric - exact);
+      const float denom =
+          std::max(1.0f, std::max(std::fabs(numeric), std::fabs(exact)));
+      const float rel_err = abs_err / denom;
+
+      if (abs_err > result.max_abs_error) result.max_abs_error = abs_err;
+      if (rel_err > result.max_rel_error) {
+        result.max_rel_error = rel_err;
+        std::ostringstream os;
+        os << "input " << k << " element " << i << ": analytic=" << exact
+           << " numeric=" << numeric;
+        result.worst_location = os.str();
+      }
+      if (rel_err > tolerance) result.ok = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace pa::tensor

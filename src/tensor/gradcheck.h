@@ -1,0 +1,36 @@
+#ifndef PA_TENSOR_GRADCHECK_H_
+#define PA_TENSOR_GRADCHECK_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pa::tensor {
+
+/// Result of comparing analytic and numerical gradients.
+struct GradCheckResult {
+  bool ok = true;
+  float max_abs_error = 0.0f;
+  float max_rel_error = 0.0f;
+  std::string worst_location;
+};
+
+/// Verifies the autograd engine against central finite differences.
+///
+/// `loss_fn` must rebuild the computation each call (the graph is dynamic)
+/// and return a `[1, 1]` scalar computed from `inputs`. Each input is
+/// perturbed elementwise by ±`epsilon`, the numerical derivative compared to
+/// the analytic gradient produced by one `Backward()` pass.
+///
+/// This is the workhorse behind the property-style test sweeps in
+/// `tests/tensor_gradcheck_test.cc`: if the ops compose correctly, *any*
+/// expression built from them passes.
+GradCheckResult CheckGradients(
+    const std::function<Tensor()>& loss_fn, std::vector<Tensor> inputs,
+    float epsilon = 1e-3f, float tolerance = 2e-2f);
+
+}  // namespace pa::tensor
+
+#endif  // PA_TENSOR_GRADCHECK_H_

@@ -1,0 +1,29 @@
+#include "tensor/init.h"
+
+#include <cmath>
+
+namespace pa::tensor {
+
+Tensor UniformInit(Shape shape, float scale, util::Rng& rng) {
+  Tensor t = Tensor::Zeros(shape, /*requires_grad=*/true);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t.data()[i] = static_cast<float>(rng.Uniform(-scale, scale));
+  }
+  return t;
+}
+
+Tensor XavierInit(Shape shape, util::Rng& rng) {
+  const float scale =
+      std::sqrt(6.0f / static_cast<float>(shape.rows + shape.cols));
+  return UniformInit(shape, scale, rng);
+}
+
+Tensor NormalInit(Shape shape, float stddev, util::Rng& rng) {
+  Tensor t = Tensor::Zeros(shape, /*requires_grad=*/true);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t.data()[i] = static_cast<float>(rng.Normal(0.0, stddev));
+  }
+  return t;
+}
+
+}  // namespace pa::tensor

@@ -1,0 +1,24 @@
+#ifndef PA_TENSOR_INIT_H_
+#define PA_TENSOR_INIT_H_
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace pa::tensor {
+
+/// Parameter initializers. All return leaf tensors with `requires_grad` set.
+
+/// Uniform in [-scale, scale].
+Tensor UniformInit(Shape shape, float scale, util::Rng& rng);
+
+/// Xavier/Glorot uniform: scale = sqrt(6 / (fan_in + fan_out)) with
+/// fan_in = rows, fan_out = cols. The standard choice for the gate weight
+/// matrices of the LSTM stacks used throughout the library.
+Tensor XavierInit(Shape shape, util::Rng& rng);
+
+/// Normal with the given standard deviation.
+Tensor NormalInit(Shape shape, float stddev, util::Rng& rng);
+
+}  // namespace pa::tensor
+
+#endif  // PA_TENSOR_INIT_H_

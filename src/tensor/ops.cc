@@ -1,0 +1,543 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+namespace pa::tensor {
+
+namespace {
+
+using internal::TensorImpl;
+
+[[noreturn]] void Fatal(const std::string& msg) {
+  std::fprintf(stderr, "pa::tensor::ops fatal: %s\n", msg.c_str());
+  std::abort();
+}
+
+// A node needs a gradient if it is a leaf the user marked as trainable or an
+// interior node gradients must flow through.
+bool NeedsGrad(const TensorImpl& impl) {
+  return impl.requires_grad || impl.backward_fn != nullptr;
+}
+
+bool NeedsGrad(const Tensor& t) { return NeedsGrad(*t.impl()); }
+
+// Creates the result node of an op. `parents` are recorded for topological
+// ordering; `backward` is installed only if some parent needs a gradient.
+Tensor MakeResult(Shape shape, std::vector<float> data,
+                  std::vector<Tensor> parents,
+                  std::function<void(TensorImpl&)> backward) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->data = std::move(data);
+  bool any = false;
+  for (const Tensor& p : parents) any = any || NeedsGrad(p);
+  if (any) {
+    impl->requires_grad = true;
+    for (const Tensor& p : parents) impl->parents.push_back(p.impl());
+    impl->backward_fn = std::move(backward);
+  }
+  return Tensor::FromImpl(std::move(impl));
+}
+
+// Accumulates `g` into the gradient buffer of `dst` if it needs one.
+void Accumulate(const std::shared_ptr<TensorImpl>& dst,
+                const std::function<float(int64_t)>& g) {
+  if (!NeedsGrad(*dst)) return;
+  dst->EnsureGrad();
+  const int64_t n = dst->shape.numel();
+  for (int64_t i = 0; i < n; ++i) dst->grad[i] += g(i);
+}
+
+enum class BroadcastKind { kSame, kRow, kScalar };
+
+BroadcastKind CheckBroadcast(const Tensor& a, const Tensor& b,
+                             const char* op) {
+  if (a.shape() == b.shape()) return BroadcastKind::kSame;
+  if (b.rows() == 1 && b.cols() == a.cols()) return BroadcastKind::kRow;
+  if (b.rows() == 1 && b.cols() == 1) return BroadcastKind::kScalar;
+  Fatal(std::string(op) + ": incompatible shapes " + a.shape().ToString() +
+        " and " + b.shape().ToString());
+}
+
+// Index of the b-element matching flat index i of a under broadcasting.
+int64_t BIndex(BroadcastKind kind, int64_t i, int cols) {
+  switch (kind) {
+    case BroadcastKind::kSame:
+      return i;
+    case BroadcastKind::kRow:
+      return i % cols;
+    case BroadcastKind::kScalar:
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  const BroadcastKind kind = CheckBroadcast(a, b, "Add");
+  const int cols = a.cols();
+  std::vector<float> out(a.numel());
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    out[i] = a.data()[i] + b.data()[BIndex(kind, i, cols)];
+  }
+  auto ai = a.impl();
+  auto bi = b.impl();
+  return MakeResult(
+      a.shape(), std::move(out), {a, b}, [ai, bi, kind, cols](TensorImpl& y) {
+        Accumulate(ai, [&](int64_t i) { return y.grad[i]; });
+        if (NeedsGrad(*bi)) {
+          bi->EnsureGrad();
+          for (int64_t i = 0; i < y.shape.numel(); ++i) {
+            bi->grad[BIndex(kind, i, cols)] += y.grad[i];
+          }
+        }
+      });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  const BroadcastKind kind = CheckBroadcast(a, b, "Sub");
+  const int cols = a.cols();
+  std::vector<float> out(a.numel());
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    out[i] = a.data()[i] - b.data()[BIndex(kind, i, cols)];
+  }
+  auto ai = a.impl();
+  auto bi = b.impl();
+  return MakeResult(
+      a.shape(), std::move(out), {a, b}, [ai, bi, kind, cols](TensorImpl& y) {
+        Accumulate(ai, [&](int64_t i) { return y.grad[i]; });
+        if (NeedsGrad(*bi)) {
+          bi->EnsureGrad();
+          for (int64_t i = 0; i < y.shape.numel(); ++i) {
+            bi->grad[BIndex(kind, i, cols)] -= y.grad[i];
+          }
+        }
+      });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  const BroadcastKind kind = CheckBroadcast(a, b, "Mul");
+  const int cols = a.cols();
+  std::vector<float> out(a.numel());
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    out[i] = a.data()[i] * b.data()[BIndex(kind, i, cols)];
+  }
+  auto ai = a.impl();
+  auto bi = b.impl();
+  return MakeResult(
+      a.shape(), std::move(out), {a, b}, [ai, bi, kind, cols](TensorImpl& y) {
+        Accumulate(ai, [&](int64_t i) {
+          return y.grad[i] * bi->data[BIndex(kind, i, cols)];
+        });
+        if (NeedsGrad(*bi)) {
+          bi->EnsureGrad();
+          for (int64_t i = 0; i < y.shape.numel(); ++i) {
+            bi->grad[BIndex(kind, i, cols)] += y.grad[i] * ai->data[i];
+          }
+        }
+      });
+}
+
+Tensor Scale(const Tensor& a, float alpha) {
+  std::vector<float> out(a.numel());
+  for (int64_t i = 0; i < a.numel(); ++i) out[i] = a.data()[i] * alpha;
+  auto ai = a.impl();
+  return MakeResult(a.shape(), std::move(out), {a}, [ai, alpha](TensorImpl& y) {
+    Accumulate(ai, [&](int64_t i) { return y.grad[i] * alpha; });
+  });
+}
+
+Tensor AddScalar(const Tensor& a, float alpha) {
+  std::vector<float> out(a.numel());
+  for (int64_t i = 0; i < a.numel(); ++i) out[i] = a.data()[i] + alpha;
+  auto ai = a.impl();
+  return MakeResult(a.shape(), std::move(out), {a}, [ai](TensorImpl& y) {
+    Accumulate(ai, [&](int64_t i) { return y.grad[i]; });
+  });
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  if (a.cols() != b.rows()) {
+    Fatal("MatMul: inner dims mismatch " + a.shape().ToString() + " x " +
+          b.shape().ToString());
+  }
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  std::vector<float> out(static_cast<size_t>(m) * n, 0.0f);
+  for (int i = 0; i < m; ++i) {
+    for (int p = 0; p < k; ++p) {
+      const float av = a.data()[i * k + p];
+      if (av == 0.0f) continue;
+      const float* brow = b.data() + p * n;
+      float* orow = out.data() + i * n;
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  auto ai = a.impl();
+  auto bi = b.impl();
+  return MakeResult(
+      {m, n}, std::move(out), {a, b}, [ai, bi, m, k, n](TensorImpl& y) {
+        if (NeedsGrad(*ai)) {
+          ai->EnsureGrad();
+          // dA = dY * B^T
+          for (int i = 0; i < m; ++i) {
+            for (int p = 0; p < k; ++p) {
+              float acc = 0.0f;
+              const float* grow = y.grad.data() + i * n;
+              const float* brow = bi->data.data() + p * n;
+              for (int j = 0; j < n; ++j) acc += grow[j] * brow[j];
+              ai->grad[i * k + p] += acc;
+            }
+          }
+        }
+        if (NeedsGrad(*bi)) {
+          bi->EnsureGrad();
+          // dB = A^T * dY
+          for (int i = 0; i < m; ++i) {
+            const float* arow = ai->data.data() + i * k;
+            const float* grow = y.grad.data() + i * n;
+            for (int p = 0; p < k; ++p) {
+              const float av = arow[p];
+              if (av == 0.0f) continue;
+              float* brow = bi->grad.data() + p * n;
+              for (int j = 0; j < n; ++j) brow[j] += av * grow[j];
+            }
+          }
+        }
+      });
+}
+
+Tensor Transpose(const Tensor& a) {
+  const int m = a.rows(), n = a.cols();
+  std::vector<float> out(a.numel());
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) out[j * m + i] = a.data()[i * n + j];
+  }
+  auto ai = a.impl();
+  return MakeResult({n, m}, std::move(out), {a}, [ai, m, n](TensorImpl& y) {
+    if (!NeedsGrad(*ai)) return;
+    ai->EnsureGrad();
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) ai->grad[i * n + j] += y.grad[j * m + i];
+    }
+  });
+}
+
+namespace {
+
+// Shared implementation for elementwise unary ops whose derivative is a
+// function of the *output* value (sigmoid, tanh, exp) or *input* value.
+template <typename FwdFn, typename BwdFn>
+Tensor UnaryOp(const Tensor& a, FwdFn fwd, BwdFn bwd_from_in_out) {
+  std::vector<float> out(a.numel());
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    out[i] = fwd(a.data()[i]);
+  }
+  auto ai = a.impl();
+  return MakeResult(a.shape(), std::move(out), {a},
+                    [ai, bwd_from_in_out](TensorImpl& y) {
+                      Accumulate(ai, [&](int64_t i) {
+                        return y.grad[i] *
+                               bwd_from_in_out(ai->data[i], y.data[i]);
+                      });
+                    });
+}
+
+}  // namespace
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float /*x*/, float y) { return y * (1.0f - y); });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::tanh(x); },
+      [](float /*x*/, float y) { return 1.0f - y * y; });
+}
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float /*y*/) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::exp(x); },
+      [](float /*x*/, float y) { return y; });
+}
+
+Tensor Log(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::log(x); },
+      [](float x, float /*y*/) { return 1.0f / x; });
+}
+
+Tensor Square(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return x * x; },
+      [](float x, float /*y*/) { return 2.0f * x; });
+}
+
+Tensor Softmax(const Tensor& a) {
+  const int m = a.rows(), n = a.cols();
+  std::vector<float> out(a.numel());
+  for (int i = 0; i < m; ++i) {
+    const float* row = a.data() + i * n;
+    float mx = row[0];
+    for (int j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+    float sum = 0.0f;
+    for (int j = 0; j < n; ++j) {
+      out[i * n + j] = std::exp(row[j] - mx);
+      sum += out[i * n + j];
+    }
+    for (int j = 0; j < n; ++j) out[i * n + j] /= sum;
+  }
+  auto ai = a.impl();
+  return MakeResult(a.shape(), std::move(out), {a}, [ai, m, n](TensorImpl& y) {
+    if (!NeedsGrad(*ai)) return;
+    ai->EnsureGrad();
+    for (int i = 0; i < m; ++i) {
+      const float* yrow = y.data.data() + i * n;
+      const float* grow = y.grad.data() + i * n;
+      float dot = 0.0f;
+      for (int j = 0; j < n; ++j) dot += yrow[j] * grow[j];
+      for (int j = 0; j < n; ++j) {
+        ai->grad[i * n + j] += yrow[j] * (grow[j] - dot);
+      }
+    }
+  });
+}
+
+Tensor LogSoftmax(const Tensor& a) {
+  const int m = a.rows(), n = a.cols();
+  std::vector<float> out(a.numel());
+  for (int i = 0; i < m; ++i) {
+    const float* row = a.data() + i * n;
+    float mx = row[0];
+    for (int j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+    float sum = 0.0f;
+    for (int j = 0; j < n; ++j) sum += std::exp(row[j] - mx);
+    const float lse = mx + std::log(sum);
+    for (int j = 0; j < n; ++j) out[i * n + j] = row[j] - lse;
+  }
+  auto ai = a.impl();
+  return MakeResult(a.shape(), std::move(out), {a}, [ai, m, n](TensorImpl& y) {
+    if (!NeedsGrad(*ai)) return;
+    ai->EnsureGrad();
+    for (int i = 0; i < m; ++i) {
+      const float* yrow = y.data.data() + i * n;
+      const float* grow = y.grad.data() + i * n;
+      float gsum = 0.0f;
+      for (int j = 0; j < n; ++j) gsum += grow[j];
+      for (int j = 0; j < n; ++j) {
+        ai->grad[i * n + j] += grow[j] - std::exp(yrow[j]) * gsum;
+      }
+    }
+  });
+}
+
+Tensor NllLoss(const Tensor& log_probs, const std::vector<int>& targets) {
+  const int m = log_probs.rows(), n = log_probs.cols();
+  if (static_cast<int>(targets.size()) != m) {
+    Fatal("NllLoss: expected " + std::to_string(m) + " targets, got " +
+          std::to_string(targets.size()));
+  }
+  float loss = 0.0f;
+  for (int i = 0; i < m; ++i) {
+    const int t = targets[i];
+    if (t < 0 || t >= n) Fatal("NllLoss: target out of range");
+    loss -= log_probs.at(i, t);
+  }
+  loss /= static_cast<float>(m);
+  auto li = log_probs.impl();
+  return MakeResult({1, 1}, {loss}, {log_probs},
+                    [li, targets, m, n](TensorImpl& y) {
+                      if (!NeedsGrad(*li)) return;
+                      li->EnsureGrad();
+                      const float g = y.grad[0] / static_cast<float>(m);
+                      for (int i = 0; i < m; ++i) {
+                        li->grad[i * n + targets[i]] -= g;
+                      }
+                    });
+}
+
+Tensor CrossEntropyLoss(const Tensor& logits, const std::vector<int>& targets) {
+  return NllLoss(LogSoftmax(logits), targets);
+}
+
+Tensor ConcatCols(const std::vector<Tensor>& parts) {
+  if (parts.empty()) Fatal("ConcatCols: empty input");
+  const int m = parts[0].rows();
+  int total = 0;
+  for (const Tensor& p : parts) {
+    if (p.rows() != m) Fatal("ConcatCols: row mismatch");
+    total += p.cols();
+  }
+  std::vector<float> out(static_cast<size_t>(m) * total);
+  int off = 0;
+  for (const Tensor& p : parts) {
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < p.cols(); ++j) {
+        out[i * total + off + j] = p.at(i, j);
+      }
+    }
+    off += p.cols();
+  }
+  std::vector<std::shared_ptr<TensorImpl>> impls;
+  impls.reserve(parts.size());
+  for (const Tensor& p : parts) impls.push_back(p.impl());
+  return MakeResult({m, total}, std::move(out), parts,
+                    [impls, m, total](TensorImpl& y) {
+                      int off2 = 0;
+                      for (const auto& pi : impls) {
+                        const int pc = pi->shape.cols;
+                        if (NeedsGrad(*pi)) {
+                          pi->EnsureGrad();
+                          for (int i = 0; i < m; ++i) {
+                            for (int j = 0; j < pc; ++j) {
+                              pi->grad[i * pc + j] +=
+                                  y.grad[i * total + off2 + j];
+                            }
+                          }
+                        }
+                        off2 += pc;
+                      }
+                    });
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  if (parts.empty()) Fatal("ConcatRows: empty input");
+  const int n = parts[0].cols();
+  int total = 0;
+  for (const Tensor& p : parts) {
+    if (p.cols() != n) Fatal("ConcatRows: col mismatch");
+    total += p.rows();
+  }
+  std::vector<float> out;
+  out.reserve(static_cast<size_t>(total) * n);
+  for (const Tensor& p : parts) {
+    out.insert(out.end(), p.data(), p.data() + p.numel());
+  }
+  std::vector<std::shared_ptr<TensorImpl>> impls;
+  impls.reserve(parts.size());
+  for (const Tensor& p : parts) impls.push_back(p.impl());
+  return MakeResult({total, n}, std::move(out), parts,
+                    [impls, n](TensorImpl& y) {
+                      int64_t off = 0;
+                      for (const auto& pi : impls) {
+                        const int64_t cnt = pi->shape.numel();
+                        if (NeedsGrad(*pi)) {
+                          pi->EnsureGrad();
+                          for (int64_t i = 0; i < cnt; ++i) {
+                            pi->grad[i] += y.grad[off + i];
+                          }
+                        }
+                        off += cnt;
+                      }
+                    });
+}
+
+Tensor SliceCols(const Tensor& a, int start, int len) {
+  const int m = a.rows(), n = a.cols();
+  if (start < 0 || len < 0 || start + len > n) Fatal("SliceCols: out of range");
+  std::vector<float> out(static_cast<size_t>(m) * len);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < len; ++j) out[i * len + j] = a.at(i, start + j);
+  }
+  auto ai = a.impl();
+  return MakeResult({m, len}, std::move(out), {a},
+                    [ai, start, len, m, n](TensorImpl& y) {
+                      if (!NeedsGrad(*ai)) return;
+                      ai->EnsureGrad();
+                      for (int i = 0; i < m; ++i) {
+                        for (int j = 0; j < len; ++j) {
+                          ai->grad[i * n + start + j] += y.grad[i * len + j];
+                        }
+                      }
+                    });
+}
+
+Tensor SliceRows(const Tensor& a, int start, int len) {
+  const int m = a.rows(), n = a.cols();
+  if (start < 0 || len < 0 || start + len > m) Fatal("SliceRows: out of range");
+  std::vector<float> out(a.data() + static_cast<size_t>(start) * n,
+                         a.data() + static_cast<size_t>(start + len) * n);
+  auto ai = a.impl();
+  return MakeResult({len, n}, std::move(out), {a},
+                    [ai, start, len, n](TensorImpl& y) {
+                      if (!NeedsGrad(*ai)) return;
+                      ai->EnsureGrad();
+                      for (int64_t i = 0; i < static_cast<int64_t>(len) * n;
+                           ++i) {
+                        ai->grad[static_cast<int64_t>(start) * n + i] +=
+                            y.grad[i];
+                      }
+                    });
+}
+
+Tensor Rows(const Tensor& table, const std::vector<int>& indices) {
+  const int v = table.rows(), d = table.cols();
+  const int b = static_cast<int>(indices.size());
+  std::vector<float> out(static_cast<size_t>(b) * d);
+  for (int i = 0; i < b; ++i) {
+    const int idx = indices[i];
+    if (idx < 0 || idx >= v) Fatal("Rows: index out of range");
+    for (int j = 0; j < d; ++j) out[i * d + j] = table.at(idx, j);
+  }
+  auto ti = table.impl();
+  return MakeResult({b, d}, std::move(out), {table},
+                    [ti, indices, b, d](TensorImpl& y) {
+                      if (!NeedsGrad(*ti)) return;
+                      ti->EnsureGrad();
+                      for (int i = 0; i < b; ++i) {
+                        float* row = ti->grad.data() + indices[i] * d;
+                        for (int j = 0; j < d; ++j) {
+                          row[j] += y.grad[i * d + j];
+                        }
+                      }
+                    });
+}
+
+Tensor Sum(const Tensor& a) {
+  float total = 0.0f;
+  for (int64_t i = 0; i < a.numel(); ++i) total += a.data()[i];
+  auto ai = a.impl();
+  return MakeResult({1, 1}, {total}, {a}, [ai](TensorImpl& y) {
+    Accumulate(ai, [&](int64_t) { return y.grad[0]; });
+  });
+}
+
+Tensor Mean(const Tensor& a) {
+  const float inv = 1.0f / static_cast<float>(a.numel());
+  float total = 0.0f;
+  for (int64_t i = 0; i < a.numel(); ++i) total += a.data()[i];
+  auto ai = a.impl();
+  return MakeResult({1, 1}, {total * inv}, {a}, [ai, inv](TensorImpl& y) {
+    Accumulate(ai, [&](int64_t) { return y.grad[0] * inv; });
+  });
+}
+
+Tensor SumRows(const Tensor& a) {
+  const int m = a.rows(), n = a.cols();
+  std::vector<float> out(m, 0.0f);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) out[i] += a.at(i, j);
+  }
+  auto ai = a.impl();
+  return MakeResult({m, 1}, std::move(out), {a}, [ai, m, n](TensorImpl& y) {
+    if (!NeedsGrad(*ai)) return;
+    ai->EnsureGrad();
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) ai->grad[i * n + j] += y.grad[i];
+    }
+  });
+}
+
+}  // namespace pa::tensor

@@ -1,0 +1,83 @@
+#ifndef PA_TENSOR_OPTIMIZER_H_
+#define PA_TENSOR_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pa::tensor {
+
+/// Gradient-descent optimizers over a fixed list of leaf parameters.
+///
+/// Usage follows the usual loop:
+///   optimizer.ZeroGrad(); loss.Backward(); optimizer.Step();
+///
+/// `Step` consumes whatever is in each parameter's grad buffer, so gradient
+/// accumulation across several losses before one Step also works.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update using the current gradients.
+  virtual void Step() = 0;
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad() {
+    for (Tensor& p : params_) p.ZeroGrad();
+  }
+
+  /// Clips the global L2 norm of all gradients to `max_norm`; returns the
+  /// pre-clip norm. Essential for stability of the deep recurrent stacks.
+  float ClipGradNorm(float max_norm);
+
+  const std::vector<Tensor>& params() const { return params_; }
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+/// Plain stochastic gradient descent with optional L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float lr, float weight_decay = 0.0f)
+      : Optimizer(std::move(params)), lr_(lr), weight_decay_(weight_decay) {}
+
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float weight_decay_;
+};
+
+/// Adam (Kingma & Ba, 2014) — the optimizer the paper trains PA-Seq2Seq with
+/// (learning rate 0.008 in the paper's experiments).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  int64_t step_count_ = 0;
+  std::vector<std::vector<float>> m_;  // First-moment estimates.
+  std::vector<std::vector<float>> v_;  // Second-moment estimates.
+};
+
+}  // namespace pa::tensor
+
+#endif  // PA_TENSOR_OPTIMIZER_H_

@@ -1,0 +1,171 @@
+#include "tensor/tensor.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <unordered_set>
+
+namespace pa::tensor {
+
+std::string Shape::ToString() const {
+  std::ostringstream os;
+  os << "[" << rows << ", " << cols << "]";
+  return os.str();
+}
+
+namespace {
+
+[[noreturn]] void Fatal(const std::string& msg) {
+  std::fprintf(stderr, "pa::tensor fatal: %s\n", msg.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+Tensor Tensor::Zeros(Shape shape, bool requires_grad) {
+  return Full(shape, 0.0f, requires_grad);
+}
+
+Tensor Tensor::Full(Shape shape, float value, bool requires_grad) {
+  if (shape.rows < 0 || shape.cols < 0) Fatal("negative shape");
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = shape;
+  impl->data.assign(static_cast<size_t>(shape.numel()), value);
+  impl->requires_grad = requires_grad;
+  return FromImpl(std::move(impl));
+}
+
+Tensor Tensor::FromData(Shape shape, std::vector<float> data,
+                        bool requires_grad) {
+  if (static_cast<int64_t>(data.size()) != shape.numel()) {
+    Fatal("FromData: buffer size " + std::to_string(data.size()) +
+          " does not match shape " + shape.ToString());
+  }
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = shape;
+  impl->data = std::move(data);
+  impl->requires_grad = requires_grad;
+  return FromImpl(std::move(impl));
+}
+
+Tensor Tensor::Scalar(float value, bool requires_grad) {
+  return FromData({1, 1}, {value}, requires_grad);
+}
+
+Tensor Tensor::FromImpl(std::shared_ptr<internal::TensorImpl> impl) {
+  Tensor t;
+  t.impl_ = std::move(impl);
+  return t;
+}
+
+float Tensor::item() const {
+  if (shape().rows != 1 || shape().cols != 1) {
+    Fatal("item() called on non-scalar tensor of shape " + shape().ToString());
+  }
+  return impl_->data[0];
+}
+
+float* Tensor::grad_data() {
+  impl_->EnsureGrad();
+  return impl_->grad.data();
+}
+
+const std::vector<float>& Tensor::grad_vector() const {
+  impl_->EnsureGrad();
+  return impl_->grad;
+}
+
+float Tensor::grad_at(int r, int c) const {
+  impl_->EnsureGrad();
+  return impl_->grad[Index(r, c)];
+}
+
+void Tensor::ZeroGrad() {
+  impl_->grad.assign(impl_->data.size(), 0.0f);
+}
+
+Tensor Tensor::Detach() const {
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = impl_->shape;
+  impl->data = impl_->data;
+  impl->requires_grad = false;
+  return FromImpl(std::move(impl));
+}
+
+void Tensor::AxpyInPlace(float alpha, const std::vector<float>& delta) {
+  if (delta.size() != impl_->data.size()) Fatal("AxpyInPlace: size mismatch");
+  for (size_t i = 0; i < delta.size(); ++i) {
+    impl_->data[i] += alpha * delta[i];
+  }
+}
+
+namespace {
+
+// Iterative post-order topological sort over the autograd DAG. Recursion is
+// avoided because sequence models routinely build graphs tens of thousands of
+// nodes deep (one LSTM step per check-in per layer).
+void TopoSort(internal::TensorImpl* root,
+              std::vector<internal::TensorImpl*>* order) {
+  std::unordered_set<internal::TensorImpl*> visited;
+  struct Frame {
+    internal::TensorImpl* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root, 0});
+  visited.insert(root);
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_parent < frame.node->parents.size()) {
+      internal::TensorImpl* parent =
+          frame.node->parents[frame.next_parent++].get();
+      if (visited.insert(parent).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order->push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void Tensor::Backward() {
+  if (shape().rows != 1 || shape().cols != 1) {
+    Fatal("Backward() must start from a scalar loss; got shape " +
+          shape().ToString());
+  }
+  std::vector<internal::TensorImpl*> order;
+  TopoSort(impl_.get(), &order);
+
+  impl_->EnsureGrad();
+  impl_->grad[0] += 1.0f;
+
+  // Post-order yields parents before children; reverse iteration visits each
+  // node only after all of its consumers have contributed its gradient.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    internal::TensorImpl* node = *it;
+    if (node->backward_fn) {
+      node->EnsureGrad();
+      node->backward_fn(*node);
+    }
+  }
+}
+
+std::string Tensor::ToString() const {
+  std::ostringstream os;
+  os << "Tensor" << shape().ToString() << " [";
+  const int64_t n = numel();
+  const int64_t show = n > 8 ? 8 : n;
+  for (int64_t i = 0; i < show; ++i) {
+    if (i) os << ", ";
+    os << impl_->data[static_cast<size_t>(i)];
+  }
+  if (show < n) os << ", ...";
+  os << "]";
+  return os.str();
+}
+
+}  // namespace pa::tensor

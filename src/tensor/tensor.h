@@ -1,0 +1,122 @@
+#ifndef PA_TENSOR_TENSOR_H_
+#define PA_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pa::tensor {
+
+/// Shape of a 2-D tensor. The autograd engine in this library is
+/// deliberately restricted to dense 2-D float matrices: every quantity a
+/// recurrent model needs — parameter matrices, hidden states `[batch, dim]`,
+/// logits `[batch, vocab]`, scalar losses `[1, 1]` — is a matrix, and the
+/// restriction keeps every kernel simple enough to verify by hand and by
+/// numerical gradient check.
+struct Shape {
+  int rows = 0;
+  int cols = 0;
+
+  int64_t numel() const { return static_cast<int64_t>(rows) * cols; }
+  bool operator==(const Shape& other) const = default;
+  std::string ToString() const;
+};
+
+namespace internal {
+
+/// Reference-counted tensor storage plus its position in the autograd graph.
+///
+/// A node records its parents and a closure that, given the node's
+/// accumulated output gradient, accumulates gradients into the parents.
+/// `Tensor::Backward` runs these closures in reverse topological order.
+struct TensorImpl {
+  Shape shape;
+  std::vector<float> data;
+  std::vector<float> grad;  // Lazily sized to `data.size()` on first use.
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+  std::function<void(TensorImpl&)> backward_fn;
+
+  void EnsureGrad() {
+    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+  }
+};
+
+}  // namespace internal
+
+/// Value-semantic handle to a node in a dynamically built autograd graph.
+///
+/// Copies are shallow (they alias the same storage and graph node), which is
+/// what makes it cheap to return tensors from ops and to hold parameter
+/// lists. A default-constructed Tensor is "undefined" and may only be
+/// queried via `defined()`.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Creates a tensor filled with zeros.
+  static Tensor Zeros(Shape shape, bool requires_grad = false);
+  /// Creates a tensor where every element is `value`.
+  static Tensor Full(Shape shape, float value, bool requires_grad = false);
+  /// Creates a tensor from a row-major flat buffer; `data.size()` must equal
+  /// `shape.numel()`.
+  static Tensor FromData(Shape shape, std::vector<float> data,
+                         bool requires_grad = false);
+  /// Creates a `[1, 1]` scalar tensor.
+  static Tensor Scalar(float value, bool requires_grad = false);
+
+  bool defined() const { return impl_ != nullptr; }
+  const Shape& shape() const { return impl_->shape; }
+  int rows() const { return impl_->shape.rows; }
+  int cols() const { return impl_->shape.cols; }
+  int64_t numel() const { return impl_->shape.numel(); }
+  bool requires_grad() const { return impl_->requires_grad; }
+
+  float* data() { return impl_->data.data(); }
+  const float* data() const { return impl_->data.data(); }
+
+  /// Element access (bounds-checked in debug builds only through asserts).
+  float at(int r, int c) const { return impl_->data[Index(r, c)]; }
+  void set(int r, int c, float v) { impl_->data[Index(r, c)] = v; }
+
+  /// Value of a `[1, 1]` tensor; aborts on any other shape.
+  float item() const;
+
+  /// Gradient buffer (allocated on demand). Only meaningful after
+  /// `Backward()` has run on a graph containing this tensor.
+  float* grad_data();
+  const std::vector<float>& grad_vector() const;
+  float grad_at(int r, int c) const;
+
+  /// Zeroes this tensor's gradient buffer.
+  void ZeroGrad();
+
+  /// Returns a new leaf tensor sharing no graph history; the data is copied.
+  Tensor Detach() const;
+
+  /// Runs reverse-mode differentiation from this tensor, which must be a
+  /// `[1, 1]` scalar (a loss). Gradients *accumulate* into `grad` buffers of
+  /// all reachable tensors with `requires_grad`.
+  void Backward();
+
+  /// In-place SGD-style update helper used by optimizers: data -= lr * delta.
+  void AxpyInPlace(float alpha, const std::vector<float>& delta);
+
+  std::string ToString() const;
+
+  const std::shared_ptr<internal::TensorImpl>& impl() const { return impl_; }
+
+  /// Wraps an existing impl; used by op implementations.
+  static Tensor FromImpl(std::shared_ptr<internal::TensorImpl> impl);
+
+ private:
+  int Index(int r, int c) const { return r * impl_->shape.cols + c; }
+
+  std::shared_ptr<internal::TensorImpl> impl_;
+};
+
+}  // namespace pa::tensor
+
+#endif  // PA_TENSOR_TENSOR_H_

@@ -1,0 +1,83 @@
+#include "augment/augmenter.h"
+
+#include <gtest/gtest.h>
+
+namespace pa::augment {
+namespace {
+
+constexpr int64_t kHour = 3600;
+
+/// Test double: imputes a fixed POI everywhere.
+class ConstantAugmenter : public Augmenter {
+ public:
+  explicit ConstantAugmenter(int32_t poi) : poi_(poi) {}
+  std::string name() const override { return "Constant"; }
+  std::vector<int32_t> Impute(const MaskedSequence& masked) const override {
+    return std::vector<int32_t>(
+        static_cast<size_t>(poi::CountMissing(masked.timeline)), poi_);
+  }
+
+ private:
+  int32_t poi_;
+};
+
+poi::CheckinSequence GappySequence() {
+  // Gap of 9 hours -> two missing slots at 3-hour spacing.
+  return {{0, 1, 0, false}, {0, 2, 9 * kHour, false}};
+}
+
+TEST(AugmenterTest, MakeMaskedSequenceBuildsTimeline) {
+  MaskedSequence masked = MakeMaskedSequence(GappySequence(), 3 * kHour);
+  EXPECT_EQ(masked.timeline.size(), 4u);
+  EXPECT_EQ(poi::CountMissing(masked.timeline), 2);
+  EXPECT_EQ(masked.observed.size(), 2u);
+}
+
+TEST(AugmenterTest, AugmentSequenceInsertsImputedCheckins) {
+  ConstantAugmenter augmenter(7);
+  poi::CheckinSequence out =
+      AugmentSequence(augmenter, GappySequence(), 0, 3 * kHour);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].poi, 1);
+  EXPECT_EQ(out[1].poi, 7);
+  EXPECT_TRUE(out[1].imputed);
+  EXPECT_EQ(out[1].timestamp, 3 * kHour);
+  EXPECT_EQ(out[2].poi, 7);
+  EXPECT_EQ(out[3].poi, 2);
+  EXPECT_FALSE(out[3].imputed);
+  EXPECT_TRUE(poi::IsChronological(out));
+}
+
+TEST(AugmenterTest, AugmentSequenceNoMissingReturnsInput) {
+  ConstantAugmenter augmenter(7);
+  poi::CheckinSequence dense = {{0, 1, 0, false}, {0, 2, kHour, false}};
+  poi::CheckinSequence out = AugmentSequence(augmenter, dense, 0, 3 * kHour);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(AugmenterTest, AugmentSequencesSetsUserIds) {
+  ConstantAugmenter augmenter(3);
+  std::vector<poi::CheckinSequence> train(2);
+  train[0] = GappySequence();
+  train[1] = {{1, 0, 0, false}, {1, 0, 6 * kHour, false}};
+  auto out = AugmentSequences(augmenter, train, 3 * kHour);
+  ASSERT_EQ(out.size(), 2u);
+  for (size_t u = 0; u < out.size(); ++u) {
+    for (const poi::Checkin& c : out[u]) {
+      EXPECT_EQ(c.user, static_cast<int32_t>(u));
+    }
+  }
+  EXPECT_EQ(out[1].size(), 3u);  // One imputed slot in the 6-hour gap.
+}
+
+TEST(AugmenterTest, MaxMissingPerGapHonored) {
+  ConstantAugmenter augmenter(7);
+  poi::CheckinSequence sparse = {{0, 1, 0, false},
+                                 {0, 2, 30 * kHour, false}};
+  poi::CheckinSequence capped =
+      AugmentSequence(augmenter, sparse, 0, 3 * kHour, 2);
+  EXPECT_EQ(capped.size(), 4u);  // 2 observed + 2 imputed.
+}
+
+}  // namespace
+}  // namespace pa::augment

@@ -1,0 +1,116 @@
+#include "eval/hr_metric.h"
+
+#include <gtest/gtest.h>
+
+namespace pa::eval {
+namespace {
+
+TEST(HrAccumulatorTest, HitAtEachCutoff) {
+  HrAccumulator acc;
+  // Truth at rank 0: counts for HR@1, @5, @10.
+  acc.Add({7, 1, 2, 3, 4, 5, 6, 8, 9, 10}, 7);
+  // Truth at rank 4: counts for @5 and @10 only.
+  acc.Add({1, 2, 3, 4, 7, 5, 6, 8, 9, 10}, 7);
+  // Truth at rank 9: counts for @10 only.
+  acc.Add({1, 2, 3, 4, 5, 6, 8, 9, 10, 7}, 7);
+  // Miss entirely.
+  acc.Add({1, 2, 3, 4, 5, 6, 8, 9, 10, 11}, 7);
+  HrResult r = acc.Result();
+  EXPECT_EQ(r.num_cases, 4);
+  EXPECT_DOUBLE_EQ(r.hr1, 0.25);
+  EXPECT_DOUBLE_EQ(r.hr5, 0.5);
+  EXPECT_DOUBLE_EQ(r.hr10, 0.75);
+}
+
+TEST(HrAccumulatorTest, MrrTruncatedAtTen) {
+  HrAccumulator acc;
+  acc.Add({7, 1, 2}, 7);                                   // rank 1 -> 1.0.
+  acc.Add({1, 2, 3, 7}, 7);                                // rank 4 -> 0.25.
+  acc.Add({1, 2, 3, 4, 5, 6, 8, 9, 10, 11, 7}, 7);         // rank 11 -> 0.
+  HrResult r = acc.Result();
+  EXPECT_NEAR(r.mrr10, (1.0 + 0.25 + 0.0) / 3.0, 1e-12);
+}
+
+TEST(HrAccumulatorTest, ShortRankingHandled) {
+  HrAccumulator acc;
+  acc.Add({3}, 3);
+  acc.Add({4}, 3);
+  HrResult r = acc.Result();
+  EXPECT_DOUBLE_EQ(r.hr1, 0.5);
+  EXPECT_DOUBLE_EQ(r.hr10, 0.5);
+}
+
+TEST(HrAccumulatorTest, EmptyIsZero) {
+  HrResult r = HrAccumulator().Result();
+  EXPECT_EQ(r.num_cases, 0);
+  EXPECT_DOUBLE_EQ(r.hr1, 0.0);
+  EXPECT_FALSE(r.ToString().empty());
+}
+
+TEST(HrAccumulatorTest, RanksBeyondTenIgnored) {
+  HrAccumulator acc;
+  std::vector<int32_t> ranked;
+  for (int i = 0; i < 15; ++i) ranked.push_back(i);
+  acc.Add(ranked, 12);  // Rank 12 > cutoff 10.
+  EXPECT_DOUBLE_EQ(acc.Result().hr10, 0.0);
+}
+
+// A scripted recommender: always predicts the user's previous check-in POI.
+class EchoRecommender : public rec::Recommender {
+ public:
+  std::string name() const override { return "Echo"; }
+  void Fit(const std::vector<poi::CheckinSequence>&,
+           const poi::PoiTable&) override {}
+  std::unique_ptr<rec::RecSession> NewSession(int32_t) const override {
+    class Session : public rec::RecSession {
+     public:
+      void Observe(const poi::Checkin& c) override { last_ = c.poi; }
+      std::vector<int32_t> TopK(int k, int64_t) const override {
+        std::vector<int32_t> out;
+        for (int i = 0; i < k; ++i) out.push_back(last_ + i);
+        return out;
+      }
+
+     private:
+      int32_t last_ = 0;
+    };
+    return std::make_unique<Session>();
+  }
+};
+
+TEST(EvaluateHrTest, WalksTestSequenceWithWarmup) {
+  EchoRecommender rec;
+  // Warmup ends at POI 5; test sequence: 5 (hit@1), 9 (miss from 5's
+  // perspective: predictions 5..14 include 9 at rank 4 -> hit@5), 3 (miss).
+  std::vector<poi::CheckinSequence> warmup = {
+      {{0, 4, 0, false}, {0, 5, 100, false}}};
+  std::vector<poi::CheckinSequence> test = {
+      {{0, 5, 200, false}, {0, 9, 300, false}, {0, 3, 400, false}}};
+  HrResult r = EvaluateHr(rec, warmup, test);
+  EXPECT_EQ(r.num_cases, 3);
+  EXPECT_DOUBLE_EQ(r.hr1, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(r.hr5, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(r.hr10, 2.0 / 3.0);
+}
+
+TEST(EvaluateHrTest, SkipsUsersWithoutTestData) {
+  EchoRecommender rec;
+  std::vector<poi::CheckinSequence> warmup = {{{0, 1, 0, false}}, {}};
+  std::vector<poi::CheckinSequence> test = {{}, {}};
+  HrResult r = EvaluateHr(rec, warmup, test);
+  EXPECT_EQ(r.num_cases, 0);
+}
+
+TEST(EvaluateHrTest, ObservesTestCheckinsAsItGoes) {
+  // Echo predicts the *previous* POI: consecutive repeats in the test
+  // sequence are hits only because Observe advances within the test loop.
+  EchoRecommender rec;
+  std::vector<poi::CheckinSequence> warmup = {{{0, 9, 0, false}}};
+  std::vector<poi::CheckinSequence> test = {
+      {{0, 9, 100, false}, {0, 2, 200, false}, {0, 2, 300, false}}};
+  HrResult r = EvaluateHr(rec, warmup, test);
+  EXPECT_DOUBLE_EQ(r.hr1, 2.0 / 3.0);  // First and third are echo hits.
+}
+
+}  // namespace
+}  // namespace pa::eval

@@ -1,0 +1,75 @@
+#include "geo/grid_index.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "geo/rtree.h"
+#include "util/rng.h"
+
+namespace pa::geo {
+namespace {
+
+TEST(GridIndexTest, EmptyQueries) {
+  GridIndex grid;
+  EXPECT_TRUE(grid.Nearest({0, 0}, 3).empty());
+  EXPECT_TRUE(grid.WithinRadius({0, 0}, 10).empty());
+}
+
+TEST(GridIndexTest, NearestSingle) {
+  GridIndex grid(0.05);
+  grid.Insert({40.0, -100.0}, 1);
+  grid.Insert({40.5, -100.0}, 2);
+  auto nn = grid.Nearest({40.1, -100.0}, 1);
+  ASSERT_EQ(nn.size(), 1u);
+  EXPECT_EQ(nn[0].id, 1);
+}
+
+TEST(GridIndexTest, AgreesWithRTree) {
+  util::Rng rng(1);
+  GridIndex grid(0.1);
+  RTree tree;
+  for (int i = 0; i < 400; ++i) {
+    LatLng p{40.0 + rng.Uniform(0, 1.5), -100.0 + rng.Uniform(0, 1.5)};
+    grid.Insert(p, i);
+    tree.Insert(p, i);
+  }
+  for (int q = 0; q < 30; ++q) {
+    LatLng p{40.0 + rng.Uniform(0, 1.5), -100.0 + rng.Uniform(0, 1.5)};
+    auto a = grid.Nearest(p, 4);
+    auto b = tree.Nearest(p, 4);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_NEAR(a[i].distance_km, b[i].distance_km, 1e-9);
+    }
+
+    auto ra = grid.WithinRadius(p, 15.0);
+    auto rb = tree.WithinRadius(p, 15.0);
+    std::vector<int32_t> ia, ib;
+    for (const auto& n : ra) ia.push_back(n.id);
+    for (const auto& n : rb) ib.push_back(n.id);
+    std::sort(ia.begin(), ia.end());
+    std::sort(ib.begin(), ib.end());
+    EXPECT_EQ(ia, ib);
+  }
+}
+
+TEST(GridIndexTest, NearestAcrossCellBoundary) {
+  // The nearest point may sit in an adjacent cell even when the query cell
+  // is non-empty; the ring search must not stop too early.
+  GridIndex grid(0.1);
+  grid.Insert({40.09, -100.0}, 1);   // Same cell as query, ~8.9 km away.
+  grid.Insert({40.101, -100.0}, 2);  // Next cell, ~0.1 km away.
+  auto nn = grid.Nearest({40.10, -100.0}, 1);
+  ASSERT_EQ(nn.size(), 1u);
+  EXPECT_EQ(nn[0].id, 2);
+}
+
+TEST(GridIndexTest, SizeCounts) {
+  GridIndex grid;
+  for (int i = 0; i < 5; ++i) grid.Insert({1.0 * i, 0.0}, i);
+  EXPECT_EQ(grid.size(), 5u);
+}
+
+}  // namespace
+}  // namespace pa::geo

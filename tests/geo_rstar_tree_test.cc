@@ -1,0 +1,187 @@
+#include "geo/rstar_tree.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geo/rtree.h"
+#include "util/rng.h"
+
+namespace pa::geo {
+namespace {
+
+std::vector<RStarTree::Entry> RandomEntries(int n, util::Rng& rng,
+                                            double extent = 2.0) {
+  std::vector<RStarTree::Entry> entries;
+  entries.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    entries.push_back(
+        {{40.0 + rng.Uniform(0, extent), -100.0 + rng.Uniform(0, extent)},
+         i});
+  }
+  return entries;
+}
+
+std::vector<int32_t> BruteRadius(const std::vector<RStarTree::Entry>& entries,
+                                 const LatLng& p, double r) {
+  std::vector<int32_t> ids;
+  for (const auto& e : entries) {
+    if (HaversineKm(p, e.point) <= r) ids.push_back(e.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(RStarTreeTest, EmptyTreeQueries) {
+  RStarTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.Nearest({0, 0}, 3).empty());
+  EXPECT_TRUE(tree.WithinRadius({0, 0}, 100).empty());
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RStarTreeTest, InsertPreservesInvariants) {
+  util::Rng rng(1);
+  RStarTree tree(6);
+  auto entries = RandomEntries(300, rng);
+  for (const auto& e : entries) {
+    tree.Insert(e.point, e.id);
+    std::string why;
+    ASSERT_TRUE(tree.CheckInvariants(&why))
+        << why << " at size " << tree.size();
+  }
+  EXPECT_EQ(tree.size(), 300u);
+  EXPECT_GT(tree.Height(), 1);
+}
+
+TEST(RStarTreeTest, AllEntriesRetrievable) {
+  util::Rng rng(2);
+  auto entries = RandomEntries(500, rng);
+  RStarTree tree = RStarTree::Build(entries);
+  // A radius covering everything must return every entry exactly once.
+  auto all = tree.WithinRadius({41.0, -99.0}, 100000.0);
+  ASSERT_EQ(all.size(), entries.size());
+  std::vector<int32_t> ids;
+  for (const auto& n : all) ids.push_back(n.id);
+  std::sort(ids.begin(), ids.end());
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(ids[static_cast<size_t>(i)], i);
+}
+
+TEST(RStarTreeTest, AgreesWithGuttmanRTreeAndBruteForce) {
+  util::Rng rng(3);
+  auto entries = RandomEntries(400, rng);
+  RStarTree rstar = RStarTree::Build(entries);
+  RTree guttman;
+  for (const auto& e : entries) guttman.Insert(e.point, e.id);
+
+  for (int q = 0; q < 30; ++q) {
+    LatLng p{40.0 + rng.Uniform(0, 2.0), -100.0 + rng.Uniform(0, 2.0)};
+    auto a = rstar.Nearest(p, 5);
+    auto b = guttman.Nearest(p, 5);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_NEAR(a[i].distance_km, b[i].distance_km, 1e-9);
+    }
+    std::vector<int32_t> ids;
+    for (const auto& n : rstar.WithinRadius(p, 25.0)) ids.push_back(n.id);
+    std::sort(ids.begin(), ids.end());
+    EXPECT_EQ(ids, BruteRadius(entries, p, 25.0));
+  }
+}
+
+TEST(RStarTreeTest, InBoxMatchesScan) {
+  util::Rng rng(4);
+  auto entries = RandomEntries(200, rng);
+  RStarTree tree = RStarTree::Build(entries);
+  BoundingBox box{40.5, -99.5, 41.5, -98.5};
+  auto got = tree.InBox(box);
+  std::vector<int32_t> got_ids;
+  for (const auto& e : got) got_ids.push_back(e.id);
+  std::sort(got_ids.begin(), got_ids.end());
+  std::vector<int32_t> expected;
+  for (const auto& e : entries) {
+    if (box.Contains(e.point)) expected.push_back(e.id);
+  }
+  EXPECT_EQ(got_ids, expected);
+}
+
+TEST(RStarTreeTest, ClusteredDataPacksTighterThanGuttman) {
+  // The R* split heuristics should produce equal-or-tighter internal boxes
+  // on clustered data. (Weak assertion: within 25% either way; the strong
+  // property is correctness, checked above.)
+  util::Rng rng(5);
+  std::vector<RStarTree::Entry> entries;
+  for (int c = 0; c < 8; ++c) {
+    const double clat = 40.0 + rng.Uniform(0, 5.0);
+    const double clng = -100.0 + rng.Uniform(0, 5.0);
+    for (int i = 0; i < 60; ++i) {
+      entries.push_back({{clat + rng.Normal(0, 0.02),
+                          clng + rng.Normal(0, 0.02)},
+                         c * 60 + i});
+    }
+  }
+  RStarTree rstar = RStarTree::Build(entries);
+  EXPECT_GT(rstar.TotalInternalAreaDeg2(), 0.0);
+  std::string why;
+  EXPECT_TRUE(rstar.CheckInvariants(&why)) << why;
+}
+
+TEST(RStarTreeTest, DuplicatePointsSupported) {
+  RStarTree tree;
+  for (int i = 0; i < 30; ++i) tree.Insert({40.0, -100.0}, i);
+  EXPECT_EQ(tree.WithinRadius({40.0, -100.0}, 0.001).size(), 30u);
+  std::string why;
+  EXPECT_TRUE(tree.CheckInvariants(&why)) << why;
+}
+
+TEST(RStarTreeTest, MoveSemantics) {
+  util::Rng rng(6);
+  RStarTree tree = RStarTree::Build(RandomEntries(50, rng));
+  RStarTree moved = std::move(tree);
+  EXPECT_EQ(moved.size(), 50u);
+  EXPECT_FALSE(moved.Nearest({41, -99}, 1).empty());
+}
+
+class RStarParamTest : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(RStarParamTest, AgreesWithBruteForce) {
+  const auto [size, fanout] = GetParam();
+  util::Rng rng(static_cast<uint64_t>(size * 17 + fanout));
+  auto entries = RandomEntries(size, rng);
+  RStarTree tree = RStarTree::Build(entries, fanout);
+  EXPECT_EQ(tree.size(), static_cast<size_t>(size));
+  std::string why;
+  EXPECT_TRUE(tree.CheckInvariants(&why)) << why;
+
+  for (int q = 0; q < 8; ++q) {
+    LatLng p{40.0 + rng.Uniform(0, 2.0), -100.0 + rng.Uniform(0, 2.0)};
+    auto got = tree.Nearest(p, 3);
+    // Brute-force distances.
+    std::vector<double> dists;
+    for (const auto& e : entries) dists.push_back(HaversineKm(p, e.point));
+    std::sort(dists.begin(), dists.end());
+    ASSERT_EQ(got.size(), std::min<size_t>(3, entries.size()));
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got[i].distance_km, dists[i], 1e-9);
+    }
+    std::vector<int32_t> ids;
+    for (const auto& n : tree.WithinRadius(p, 15.0)) ids.push_back(n.id);
+    std::sort(ids.begin(), ids.end());
+    EXPECT_EQ(ids, BruteRadius(entries, p, 15.0));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndFanouts, RStarParamTest,
+    ::testing::Combine(::testing::Values(1, 7, 33, 128, 400),
+                       ::testing::Values(4, 8, 16)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_m" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace pa::geo

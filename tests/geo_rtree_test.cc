@@ -1,0 +1,199 @@
+#include "geo/rtree.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace pa::geo {
+namespace {
+
+std::vector<RTree::Entry> RandomEntries(int n, util::Rng& rng,
+                                        double extent = 2.0) {
+  std::vector<RTree::Entry> entries;
+  entries.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    entries.push_back(
+        {{40.0 + rng.Uniform(0, extent), -100.0 + rng.Uniform(0, extent)},
+         i});
+  }
+  return entries;
+}
+
+// Brute-force references.
+std::vector<int32_t> BruteNearest(const std::vector<RTree::Entry>& entries,
+                                  const LatLng& p, int k) {
+  std::vector<int32_t> ids;
+  for (const auto& e : entries) ids.push_back(e.id);
+  std::sort(ids.begin(), ids.end(), [&](int32_t a, int32_t b) {
+    return HaversineKm(p, entries[a].point) < HaversineKm(p, entries[b].point);
+  });
+  ids.resize(std::min<size_t>(ids.size(), static_cast<size_t>(k)));
+  return ids;
+}
+
+std::vector<int32_t> BruteRadius(const std::vector<RTree::Entry>& entries,
+                                 const LatLng& p, double r) {
+  std::vector<int32_t> ids;
+  for (const auto& e : entries) {
+    if (HaversineKm(p, e.point) <= r) ids.push_back(e.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(RTreeTest, EmptyTreeQueries) {
+  RTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.Nearest({0, 0}, 3).empty());
+  EXPECT_TRUE(tree.WithinRadius({0, 0}, 100).empty());
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RTreeTest, SingleEntry) {
+  RTree tree;
+  tree.Insert({40.0, -100.0}, 7);
+  auto nn = tree.Nearest({41.0, -100.0}, 5);
+  ASSERT_EQ(nn.size(), 1u);
+  EXPECT_EQ(nn[0].id, 7);
+  EXPECT_NEAR(nn[0].distance_km, 111.19, 0.5);
+}
+
+TEST(RTreeTest, SplitsPreserveInvariants) {
+  util::Rng rng(1);
+  RTree tree(4);  // Small fanout forces many splits.
+  auto entries = RandomEntries(200, rng);
+  for (const auto& e : entries) {
+    tree.Insert(e.point, e.id);
+    std::string why;
+    ASSERT_TRUE(tree.CheckInvariants(&why)) << why << " at size "
+                                            << tree.size();
+  }
+  EXPECT_EQ(tree.size(), 200u);
+  EXPECT_GT(tree.Height(), 1);
+}
+
+TEST(RTreeTest, NearestMatchesBruteForce) {
+  util::Rng rng(2);
+  auto entries = RandomEntries(300, rng);
+  RTree tree = RTree::Build(entries);
+  for (int q = 0; q < 50; ++q) {
+    LatLng p{40.0 + rng.Uniform(0, 2.0), -100.0 + rng.Uniform(0, 2.0)};
+    auto got = tree.Nearest(p, 5);
+    auto expected = BruteNearest(entries, p, 5);
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      // Compare by distance (ties may reorder ids).
+      EXPECT_NEAR(got[i].distance_km,
+                  HaversineKm(p, entries[expected[i]].point), 1e-9);
+    }
+  }
+}
+
+TEST(RTreeTest, NearestResultsSortedAscending) {
+  util::Rng rng(3);
+  RTree tree = RTree::Build(RandomEntries(150, rng));
+  auto nn = tree.Nearest({41.0, -99.0}, 20);
+  for (size_t i = 1; i < nn.size(); ++i) {
+    EXPECT_LE(nn[i - 1].distance_km, nn[i].distance_km);
+  }
+}
+
+TEST(RTreeTest, WithinRadiusMatchesBruteForce) {
+  util::Rng rng(4);
+  auto entries = RandomEntries(300, rng);
+  RTree tree = RTree::Build(entries);
+  for (double radius : {1.0, 10.0, 50.0, 500.0}) {
+    LatLng p{41.0, -99.0};
+    auto got = tree.WithinRadius(p, radius);
+    std::vector<int32_t> got_ids;
+    for (const auto& n : got) got_ids.push_back(n.id);
+    std::sort(got_ids.begin(), got_ids.end());
+    EXPECT_EQ(got_ids, BruteRadius(entries, p, radius)) << "r=" << radius;
+  }
+}
+
+TEST(RTreeTest, InBoxMatchesScan) {
+  util::Rng rng(5);
+  auto entries = RandomEntries(200, rng);
+  RTree tree = RTree::Build(entries);
+  BoundingBox box{40.5, -99.5, 41.5, -98.5};
+  auto got = tree.InBox(box);
+  std::vector<int32_t> got_ids;
+  for (const auto& e : got) got_ids.push_back(e.id);
+  std::sort(got_ids.begin(), got_ids.end());
+  std::vector<int32_t> expected;
+  for (const auto& e : entries) {
+    if (box.Contains(e.point)) expected.push_back(e.id);
+  }
+  EXPECT_EQ(got_ids, expected);
+}
+
+TEST(RTreeTest, KLargerThanSizeReturnsAll) {
+  util::Rng rng(6);
+  RTree tree = RTree::Build(RandomEntries(10, rng));
+  EXPECT_EQ(tree.Nearest({41, -99}, 100).size(), 10u);
+}
+
+TEST(RTreeTest, DuplicatePointsAllRetrievable) {
+  RTree tree;
+  for (int i = 0; i < 20; ++i) tree.Insert({40.0, -100.0}, i);
+  auto hits = tree.WithinRadius({40.0, -100.0}, 0.001);
+  EXPECT_EQ(hits.size(), 20u);
+  std::string why;
+  EXPECT_TRUE(tree.CheckInvariants(&why)) << why;
+}
+
+TEST(RTreeTest, MoveSemantics) {
+  util::Rng rng(7);
+  RTree tree = RTree::Build(RandomEntries(50, rng));
+  RTree moved = std::move(tree);
+  EXPECT_EQ(moved.size(), 50u);
+  EXPECT_FALSE(moved.Nearest({41, -99}, 1).empty());
+}
+
+// Property sweep over tree sizes and fanouts: results must always agree
+// with brute force.
+class RTreeParamTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RTreeParamTest, AgreesWithBruteForce) {
+  const auto [size, fanout] = GetParam();
+  util::Rng rng(static_cast<uint64_t>(size * 31 + fanout));
+  auto entries = RandomEntries(size, rng);
+  RTree tree = RTree::Build(entries, fanout);
+  EXPECT_EQ(tree.size(), static_cast<size_t>(size));
+  std::string why;
+  EXPECT_TRUE(tree.CheckInvariants(&why)) << why;
+
+  for (int q = 0; q < 10; ++q) {
+    LatLng p{40.0 + rng.Uniform(0, 2.0), -100.0 + rng.Uniform(0, 2.0)};
+    auto got = tree.Nearest(p, 3);
+    auto expected = BruteNearest(entries, p, 3);
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got[i].distance_km,
+                  HaversineKm(p, entries[expected[i]].point), 1e-9);
+    }
+    auto in_r = tree.WithinRadius(p, 20.0);
+    std::vector<int32_t> ids;
+    for (const auto& n : in_r) ids.push_back(n.id);
+    std::sort(ids.begin(), ids.end());
+    EXPECT_EQ(ids, BruteRadius(entries, p, 20.0));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndFanouts, RTreeParamTest,
+    ::testing::Combine(::testing::Values(1, 5, 17, 64, 257),
+                       ::testing::Values(4, 8, 16)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_m" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace pa::geo

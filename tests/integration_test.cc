@@ -1,0 +1,126 @@
+// End-to-end integration tests: synthetic data -> split -> augmenters ->
+// recommenders -> HR tables; plus the headline reproduction property on a
+// small scale.
+
+#include <gtest/gtest.h>
+
+#include "augment/imputation_eval.h"
+#include "augment/linear_interpolation.h"
+#include "augment/pa_seq2seq.h"
+#include "eval/experiment.h"
+#include "poi/synthetic.h"
+#include "util/rng.h"
+
+namespace pa {
+namespace {
+
+poi::LbsnProfile TinyProfile() {
+  poi::LbsnProfile p = poi::GowallaProfile();
+  p.num_users = 10;
+  p.num_pois = 200;
+  p.min_visits = 70;
+  p.max_visits = 90;
+  return p;
+}
+
+TEST(IntegrationTest, ExperimentTableIsWellFormed) {
+  util::Rng rng(11);
+  poi::SyntheticLbsn lbsn = poi::GenerateLbsn(TinyProfile(), rng);
+
+  eval::ExperimentConfig config;
+  config.epochs_scale = 0.3;
+  config.seq2seq.stage1_epochs = 1;
+  config.seq2seq.stage2_epochs = 1;
+  config.seq2seq.stage3_epochs = 2;
+  config.seq2seq.hidden_dim = 8;
+  config.seq2seq.embedding_dim = 8;
+  config.methods = {"FPMC-LR", "LSTM"};  // Keep the test fast.
+
+  eval::TableResult table =
+      eval::RunAugmentationExperiment(lbsn.observed, "tiny", config);
+  ASSERT_EQ(table.methods.size(), 2u);
+  ASSERT_EQ(table.training_sets.size(), 4u);
+  ASSERT_EQ(table.cells.size(), 2u);
+  for (const auto& row : table.cells) {
+    ASSERT_EQ(row.size(), 4u);
+    for (const auto& cell : row) {
+      EXPECT_GT(cell.num_cases, 0);
+      EXPECT_GE(cell.hr1, 0.0);
+      EXPECT_LE(cell.hr1, cell.hr5 + 1e-12);
+      EXPECT_LE(cell.hr5, cell.hr10 + 1e-12);
+      EXPECT_LE(cell.hr10, 1.0);
+    }
+  }
+  // Renderings do not crash and mention every method.
+  const std::string text = table.ToString();
+  const std::string csv = table.ToCsv();
+  for (const auto& m : table.methods) {
+    EXPECT_NE(text.find(m), std::string::npos);
+    EXPECT_NE(csv.find(m), std::string::npos);
+  }
+}
+
+TEST(IntegrationTest, TrainedPaSeq2SeqBeatsUntrained) {
+  util::Rng rng(12);
+  poi::SyntheticLbsn lbsn = poi::GenerateLbsn(TinyProfile(), rng);
+
+  augment::PaSeq2SeqConfig config;
+  config.embedding_dim = 12;
+  config.hidden_dim = 12;
+  config.stage1_epochs = 1;
+  config.stage2_epochs = 1;
+  config.stage3_epochs = 0;
+  augment::PaSeq2Seq untrained(lbsn.observed.pois, config);
+  // No Fit at all: random weights (candidate restriction still applies).
+  auto untrained_metrics = augment::EvaluateImputation(untrained, lbsn);
+
+  config.stage3_epochs = 8;
+  augment::PaSeq2Seq trained(lbsn.observed.pois, config);
+  trained.Fit(lbsn.observed.sequences);
+  auto trained_metrics = augment::EvaluateImputation(trained, lbsn);
+
+  EXPECT_GT(trained_metrics.accuracy, untrained_metrics.accuracy);
+}
+
+TEST(IntegrationTest, HeadlineClaimPaBeatsLinearInterpolationAccuracy) {
+  // The paper's contribution claim at test scale: PA-Seq2Seq imputes the
+  // hidden check-ins more accurately than the nearest-neighbour linear
+  // interpolation baseline.
+  util::Rng rng(13);
+  poi::LbsnProfile profile = TinyProfile();
+  profile.num_users = 14;
+  util::Rng rng2(13);
+  poi::SyntheticLbsn lbsn = poi::GenerateLbsn(profile, rng2);
+
+  augment::LinearInterpolationAugmenter li_nn(
+      lbsn.observed.pois,
+      augment::LinearInterpolationAugmenter::Mode::kNearestNeighbor);
+  auto li_metrics = augment::EvaluateImputation(li_nn, lbsn);
+
+  augment::PaSeq2SeqConfig config;
+  config.stage3_epochs = 12;
+  augment::PaSeq2Seq pa(lbsn.observed.pois, config);
+  pa.Fit(lbsn.observed.sequences);
+  auto pa_metrics = augment::EvaluateImputation(pa, lbsn);
+
+  EXPECT_GT(pa_metrics.accuracy, li_metrics.accuracy);
+}
+
+TEST(IntegrationTest, AugmentedSequencesAreEvenlySpacedEnough) {
+  // After augmentation no remaining gap should require further slots.
+  util::Rng rng(14);
+  poi::SyntheticLbsn lbsn = poi::GenerateLbsn(TinyProfile(), rng);
+  augment::LinearInterpolationAugmenter li(
+      lbsn.observed.pois,
+      augment::LinearInterpolationAugmenter::Mode::kNearestNeighbor);
+  const int64_t interval = 3 * 3600;
+  auto augmented = augment::AugmentSequences(
+      li, lbsn.observed.sequences, interval, /*max_missing_per_gap=*/0);
+  for (const auto& seq : augmented) {
+    auto timeline = poi::BuildSlotTimeline(seq, interval);
+    EXPECT_EQ(poi::CountMissing(timeline), 0);
+  }
+}
+
+}  // namespace
+}  // namespace pa

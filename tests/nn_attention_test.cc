@@ -1,0 +1,139 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/gradcheck.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace pa::nn {
+namespace {
+
+using tensor::Tensor;
+
+std::vector<Tensor> MakeStates(int n, int dim, util::Rng& rng) {
+  std::vector<Tensor> states;
+  for (int i = 0; i < n; ++i) {
+    states.push_back(tensor::UniformInit({1, dim}, 1.0f, rng).Detach());
+  }
+  return states;
+}
+
+TEST(LocalAttentionTest, OutputShapes) {
+  util::Rng rng(1);
+  LocalAttention attn(4, 6, /*window=*/2, rng);
+  auto states = MakeStates(9, 6, rng);
+  Tensor h = Tensor::Zeros({1, 4});
+  auto out = attn.Forward(h, states, 4);
+  EXPECT_EQ(out.context.cols(), 6);
+  EXPECT_EQ(out.attentional_hidden.cols(), 4);
+  EXPECT_EQ(out.weights.cols(), 5);  // [p-2, p+2].
+  EXPECT_EQ(out.window_begin, 2);
+}
+
+TEST(LocalAttentionTest, WindowClampedAtBoundaries) {
+  util::Rng rng(2);
+  LocalAttention attn(4, 6, 3, rng);
+  auto states = MakeStates(5, 6, rng);
+  Tensor h = Tensor::Zeros({1, 4});
+  auto at_start = attn.Forward(h, states, 0);
+  EXPECT_EQ(at_start.window_begin, 0);
+  EXPECT_EQ(at_start.weights.cols(), 4);  // [0, 3].
+  auto at_end = attn.Forward(h, states, 4);
+  EXPECT_EQ(at_end.window_begin, 1);
+  EXPECT_EQ(at_end.weights.cols(), 4);  // [1, 4].
+  auto beyond = attn.Forward(h, states, 99);  // Clamped to last index.
+  EXPECT_EQ(beyond.window_begin, 1);
+}
+
+TEST(LocalAttentionTest, WeightsAreGaussianDampedSoftmax) {
+  // Weights must be positive and bounded by the pure softmax (the Gaussian
+  // factor is <= 1, equal to 1 only at the centre).
+  util::Rng rng(3);
+  LocalAttention attn(4, 4, 5, rng);
+  auto states = MakeStates(11, 4, rng);
+  Tensor h = tensor::UniformInit({1, 4}, 1.0f, rng).Detach();
+  auto out = attn.Forward(h, states, 5);
+  float sum = 0.0f;
+  for (int j = 0; j < out.weights.cols(); ++j) {
+    EXPECT_GT(out.weights.at(0, j), 0.0f);
+    sum += out.weights.at(0, j);
+  }
+  EXPECT_LE(sum, 1.0f + 1e-5);  // Damped below softmax's exact 1.
+}
+
+TEST(LocalAttentionTest, FarPositionsGetDampedMoreThanCentre) {
+  // With identical encoder states, scores are uniform, so the weight
+  // profile is exactly the Gaussian: centre heaviest, edges lightest.
+  util::Rng rng(4);
+  LocalAttention attn(4, 4, 4, rng);
+  Tensor state = tensor::UniformInit({1, 4}, 1.0f, rng).Detach();
+  std::vector<Tensor> states(9, state);
+  Tensor h = tensor::UniformInit({1, 4}, 1.0f, rng).Detach();
+  auto out = attn.Forward(h, states, 4);
+  const int centre = 4 - out.window_begin;
+  for (int j = 0; j < out.weights.cols(); ++j) {
+    if (j != centre) {
+      EXPECT_LT(out.weights.at(0, j), out.weights.at(0, centre) + 1e-7);
+    }
+  }
+  // Symmetric around the centre for identical states.
+  EXPECT_NEAR(out.weights.at(0, centre - 1), out.weights.at(0, centre + 1),
+              1e-5);
+}
+
+TEST(LocalAttentionTest, ContextIsConvexCombinationForIdenticalStates) {
+  util::Rng rng(5);
+  LocalAttention attn(3, 2, 2, rng);
+  Tensor state = Tensor::FromData({1, 2}, {0.5f, -0.25f});
+  std::vector<Tensor> states(7, state);
+  Tensor h = tensor::UniformInit({1, 3}, 1.0f, rng).Detach();
+  auto out = attn.Forward(h, states, 3);
+  // Context = (sum of weights) * state, elementwise.
+  float wsum = 0.0f;
+  for (int j = 0; j < out.weights.cols(); ++j) wsum += out.weights.at(0, j);
+  EXPECT_NEAR(out.context.at(0, 0), wsum * 0.5f, 1e-5);
+  EXPECT_NEAR(out.context.at(0, 1), wsum * -0.25f, 1e-5);
+}
+
+TEST(LocalAttentionTest, AttentionalHiddenIsBounded) {
+  util::Rng rng(6);
+  LocalAttention attn(4, 4, 2, rng);
+  auto states = MakeStates(5, 4, rng);
+  Tensor h = tensor::UniformInit({1, 4}, 10.0f, rng).Detach();
+  auto out = attn.Forward(h, states, 2);
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_LE(std::fabs(out.attentional_hidden.at(0, j)), 1.0f);  // tanh.
+  }
+}
+
+TEST(LocalAttentionTest, GradCheck) {
+  util::Rng rng(7);
+  LocalAttention attn(3, 3, 2, rng);
+  Tensor h = tensor::UniformInit({1, 3}, 1.0f, rng);
+  Tensor s0 = tensor::UniformInit({1, 3}, 1.0f, rng);
+  Tensor s1 = tensor::UniformInit({1, 3}, 1.0f, rng);
+  Tensor s2 = tensor::UniformInit({1, 3}, 1.0f, rng);
+  auto loss = [&] {
+    auto out = attn.Forward(h, {s0, s1, s2}, 1);
+    return tensor::Sum(tensor::Square(out.attentional_hidden));
+  };
+  std::vector<Tensor> inputs = attn.Parameters();
+  inputs.insert(inputs.end(), {h, s0, s1, s2});
+  auto result = tensor::CheckGradients(loss, inputs, 1e-2f, 5e-2f);
+  EXPECT_TRUE(result.ok) << result.worst_location
+                         << " rel=" << result.max_rel_error;
+}
+
+TEST(LocalAttentionTest, ParameterCount) {
+  util::Rng rng(8);
+  LocalAttention attn(4, 6, 2, rng);
+  // W_a [4x6] + combine W [(4+6)x4] + combine b [4].
+  EXPECT_EQ(attn.NumParameters(), 4 * 6 + 10 * 4 + 4);
+}
+
+}  // namespace
+}  // namespace pa::nn

@@ -1,0 +1,200 @@
+// Tests for the vanilla RNN cell and the spatio-temporal coupled LSTM cell.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/gru_cell.h"
+#include "nn/rnn_cell.h"
+#include "nn/st_clstm.h"
+#include "nn/st_rnn_cell.h"
+#include "tensor/gradcheck.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace pa::nn {
+namespace {
+
+using tensor::Tensor;
+
+TEST(RnnCellTest, ShapeAndBound) {
+  util::Rng rng(1);
+  RnnCell cell(3, 4, rng);
+  Tensor h = cell.InitialState(2);
+  EXPECT_EQ(h.cols(), 4);
+  Tensor next = cell.Forward(tensor::UniformInit({2, 3}, 3.0f, rng), h);
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_LE(std::fabs(next.at(i, j)), 1.0f);  // tanh output.
+    }
+  }
+}
+
+TEST(RnnCellTest, GradCheck) {
+  util::Rng rng(2);
+  RnnCell cell(2, 3, rng);
+  Tensor x = tensor::UniformInit({1, 2}, 1.0f, rng);
+  auto loss = [&] {
+    Tensor h = cell.InitialState(1);
+    h = cell.Forward(x, h);
+    h = cell.Forward(x, h);
+    return tensor::Sum(tensor::Square(h));
+  };
+  std::vector<Tensor> inputs = cell.Parameters();
+  inputs.push_back(x);
+  auto result = tensor::CheckGradients(loss, inputs);
+  EXPECT_TRUE(result.ok) << result.worst_location;
+}
+
+TEST(GruCellTest, ShapeAndConvexBlendProperty) {
+  util::Rng rng(11);
+  GruCell cell(3, 4, rng);
+  Tensor h = cell.InitialState(1);
+  EXPECT_EQ(h.cols(), 4);
+  // From h = 0, h' = (1-z) * n with |n| < 1, so |h'| < 1; iterating keeps
+  // the state a convex blend of bounded candidates.
+  Tensor x = tensor::UniformInit({1, 3}, 3.0f, rng).Detach();
+  for (int t = 0; t < 30; ++t) h = cell.Forward(x, h);
+  for (int j = 0; j < 4; ++j) EXPECT_LT(std::fabs(h.at(0, j)), 1.0f + 1e-5);
+}
+
+TEST(GruCellTest, GradCheck) {
+  util::Rng rng(12);
+  GruCell cell(2, 3, rng);
+  Tensor x = tensor::UniformInit({1, 2}, 1.0f, rng);
+  auto loss = [&] {
+    Tensor h = cell.InitialState(1);
+    h = cell.Forward(x, h);
+    h = cell.Forward(x, h);
+    return tensor::Sum(tensor::Square(h));
+  };
+  std::vector<Tensor> inputs = cell.Parameters();
+  inputs.push_back(x);
+  auto result = tensor::CheckGradients(loss, inputs, 1e-2f, 5e-2f);
+  EXPECT_TRUE(result.ok) << result.worst_location
+                         << " rel=" << result.max_rel_error;
+}
+
+TEST(GruCellTest, ParameterCount) {
+  util::Rng rng(13);
+  GruCell cell(3, 4, rng);
+  EXPECT_EQ(cell.NumParameters(), 3 * 12 + 4 * 12 + 12);
+}
+
+TEST(StClstmTest, StateShapes) {
+  util::Rng rng(3);
+  StClstmCell cell(3, 4, rng);
+  LstmState s = cell.InitialState(1);
+  LstmState next = cell.Forward(Tensor::Zeros({1, 3}), s, 0.5f, 0.2f);
+  EXPECT_EQ(next.h.cols(), 4);
+  EXPECT_EQ(next.c.cols(), 4);
+}
+
+TEST(StClstmTest, CoupledGateKeepsCellBounded) {
+  // c = (1 - i~) c_prev + i~ g is a convex blend, so |c| <= max(|c_prev|, 1).
+  util::Rng rng(4);
+  StClstmCell cell(2, 3, rng);
+  LstmState s = cell.InitialState(1);
+  Tensor x = tensor::UniformInit({1, 2}, 4.0f, rng);
+  for (int t = 0; t < 50; ++t) s = cell.Forward(x, s, 1.0f, 1.0f);
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_LE(std::fabs(s.c.at(0, j)), 1.0f + 1e-5);
+  }
+}
+
+TEST(StClstmTest, IntervalsChangeTheOutput) {
+  // The time/distance gates must make Δt and Δd matter.
+  util::Rng rng(5);
+  StClstmCell cell(2, 3, rng);
+  LstmState s = cell.InitialState(1);
+  Tensor x = tensor::UniformInit({1, 2}, 1.0f, rng).Detach();
+  LstmState near = cell.Forward(x, s, 0.0f, 0.0f);
+  LstmState far = cell.Forward(x, s, 8.0f, 8.0f);
+  float diff = 0.0f;
+  for (int j = 0; j < 3; ++j) {
+    diff += std::fabs(near.h.at(0, j) - far.h.at(0, j));
+  }
+  EXPECT_GT(diff, 1e-4f);
+}
+
+TEST(StClstmTest, GradCheckWithIntervals) {
+  util::Rng rng(6);
+  StClstmCell cell(2, 2, rng);
+  Tensor x = tensor::UniformInit({1, 2}, 1.0f, rng);
+  auto loss = [&] {
+    LstmState s = cell.InitialState(1);
+    s = cell.Forward(x, s, 0.7f, 0.3f);
+    s = cell.Forward(x, s, 1.5f, 0.1f);
+    return tensor::Sum(tensor::Square(s.h));
+  };
+  std::vector<Tensor> inputs = cell.Parameters();
+  inputs.push_back(x);
+  auto result = tensor::CheckGradients(loss, inputs, 1e-2f, 5e-2f);
+  EXPECT_TRUE(result.ok) << result.worst_location
+                         << " rel=" << result.max_rel_error;
+}
+
+TEST(StClstmTest, ParameterList) {
+  util::Rng rng(7);
+  StClstmCell cell(3, 4, rng);
+  EXPECT_EQ(cell.Parameters().size(), 9u);
+  // 3 fused (i,g,o) matrices + 2 gates x (input weights, interval weights,
+  // bias).
+  EXPECT_EQ(cell.NumParameters(), 3 * 12 + 4 * 12 + 12 +  // w_x, w_h, b
+                                      (3 * 4 + 4 + 4) * 2);
+}
+
+TEST(StRnnCellTest, BucketAssignment) {
+  util::Rng rng(20);
+  StRnnCell cell(3, 4, rng, /*time_buckets=*/4, /*distance_buckets=*/4,
+                 /*max_interval=*/4.0f);
+  EXPECT_EQ(cell.TimeBucket(-1.0f), 0);
+  EXPECT_EQ(cell.TimeBucket(0.0f), 0);
+  EXPECT_EQ(cell.TimeBucket(0.5f), 0);
+  EXPECT_EQ(cell.TimeBucket(1.5f), 1);
+  EXPECT_EQ(cell.TimeBucket(3.9f), 3);
+  EXPECT_EQ(cell.TimeBucket(100.0f), 3);
+  EXPECT_EQ(cell.DistanceBucket(2.5f), 2);
+}
+
+TEST(StRnnCellTest, DifferentBucketsDifferentDynamics) {
+  util::Rng rng(21);
+  StRnnCell cell(2, 3, rng);
+  Tensor x = tensor::UniformInit({1, 2}, 1.0f, rng).Detach();
+  Tensor h = tensor::UniformInit({1, 3}, 0.5f, rng).Detach();
+  Tensor near = cell.Forward(x, h, 0.1f, 0.1f);
+  Tensor far = cell.Forward(x, h, 3.9f, 3.9f);
+  float diff = 0.0f;
+  for (int j = 0; j < 3; ++j) diff += std::fabs(near.at(0, j) - far.at(0, j));
+  EXPECT_GT(diff, 1e-4f);
+  // Same bucket -> identical transition.
+  Tensor near2 = cell.Forward(x, h, 0.2f, 0.3f);
+  for (int j = 0; j < 3; ++j) EXPECT_FLOAT_EQ(near.at(0, j), near2.at(0, j));
+}
+
+TEST(StRnnCellTest, GradCheckPerBucket) {
+  util::Rng rng(22);
+  StRnnCell cell(2, 2, rng, 2, 2, 2.0f);
+  Tensor x = tensor::UniformInit({1, 2}, 1.0f, rng);
+  auto loss = [&] {
+    Tensor h = cell.InitialState(1);
+    h = cell.Forward(x, h, 0.5f, 1.5f);   // Buckets (0, 1).
+    h = cell.Forward(x, h, 1.5f, 0.5f);   // Buckets (1, 0).
+    return tensor::Sum(tensor::Square(h));
+  };
+  std::vector<Tensor> inputs = cell.Parameters();
+  inputs.push_back(x);
+  auto result = tensor::CheckGradients(loss, inputs, 1e-2f, 5e-2f);
+  EXPECT_TRUE(result.ok) << result.worst_location;
+}
+
+TEST(StRnnCellTest, ParameterCount) {
+  util::Rng rng(23);
+  StRnnCell cell(3, 4, rng, 4, 4);
+  // 4 input matrices [3x4] + 4 recurrent [4x4] + bias [4].
+  EXPECT_EQ(cell.NumParameters(), 4 * 12 + 4 * 16 + 4);
+}
+
+}  // namespace
+}  // namespace pa::nn

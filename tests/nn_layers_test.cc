@@ -1,0 +1,83 @@
+#include "nn/layers.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/gradcheck.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace pa::nn {
+namespace {
+
+using tensor::Tensor;
+
+TEST(LinearTest, OutputShape) {
+  util::Rng rng(1);
+  Linear layer(4, 3, rng);
+  Tensor x = Tensor::Zeros({2, 4});
+  Tensor y = layer.Forward(x);
+  EXPECT_EQ(y.rows(), 2);
+  EXPECT_EQ(y.cols(), 3);
+}
+
+TEST(LinearTest, ZeroInputYieldsBias) {
+  util::Rng rng(1);
+  Linear layer(4, 3, rng);
+  Tensor y = layer.Forward(Tensor::Zeros({1, 4}));
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_FLOAT_EQ(y.at(0, j), layer.bias().at(0, j));
+  }
+}
+
+TEST(LinearTest, ParameterCount) {
+  util::Rng rng(1);
+  Linear layer(4, 3, rng);
+  EXPECT_EQ(layer.NumParameters(), 4 * 3 + 3);
+  EXPECT_EQ(layer.Parameters().size(), 2u);
+}
+
+TEST(LinearTest, GradCheck) {
+  util::Rng rng(5);
+  Linear layer(3, 2, rng);
+  Tensor x = tensor::UniformInit({2, 3}, 1.0f, rng);
+  auto loss = [&] { return tensor::Sum(tensor::Square(layer.Forward(x))); };
+  std::vector<Tensor> inputs = layer.Parameters();
+  inputs.push_back(x);
+  auto result = tensor::CheckGradients(loss, inputs);
+  EXPECT_TRUE(result.ok) << result.worst_location;
+}
+
+TEST(EmbeddingTest, LooksUpRows) {
+  util::Rng rng(1);
+  Embedding emb(5, 3, rng);
+  Tensor y = emb.Forward({4, 0});
+  EXPECT_EQ(y.rows(), 2);
+  EXPECT_EQ(y.cols(), 3);
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_FLOAT_EQ(y.at(0, j), emb.table().at(4, j));
+    EXPECT_FLOAT_EQ(y.at(1, j), emb.table().at(0, j));
+  }
+}
+
+TEST(EmbeddingTest, GradientOnlyTouchesLookedUpRows) {
+  util::Rng rng(1);
+  Embedding emb(5, 2, rng);
+  tensor::Tensor table = emb.table();
+  table.ZeroGrad();
+  tensor::Sum(emb.Forward({1})).Backward();
+  EXPECT_FLOAT_EQ(table.grad_at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(table.grad_at(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(table.grad_at(2, 0), 0.0f);
+}
+
+TEST(ModuleTest, ConcatParametersMergesInOrder) {
+  util::Rng rng(1);
+  Linear a(2, 2, rng);
+  Embedding b(3, 2, rng);
+  auto params = ConcatParameters({&a, &b});
+  EXPECT_EQ(params.size(), 3u);  // Weight, bias, table.
+}
+
+}  // namespace
+}  // namespace pa::nn

@@ -1,0 +1,103 @@
+#include "nn/serialize.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+#include "nn/lstm.h"
+#include "tensor/init.h"
+#include "util/rng.h"
+
+namespace pa::nn {
+namespace {
+
+using tensor::Tensor;
+
+TEST(SerializeTest, RoundTripRestoresValues) {
+  util::Rng rng(1);
+  Linear src(3, 4, rng);
+  Linear dst(3, 4, rng);  // Different random init.
+
+  std::stringstream buf;
+  const std::vector<Tensor> src_params = src.Parameters();
+  ASSERT_TRUE(SaveParameters(buf, src_params));
+  std::vector<Tensor> dst_params = dst.Parameters();
+  ASSERT_TRUE(LoadParameters(buf, dst_params));
+
+  for (size_t i = 0; i < dst_params.size(); ++i) {
+    const Tensor& a = src_params[i];
+    for (int64_t j = 0; j < a.numel(); ++j) {
+      EXPECT_FLOAT_EQ(a.data()[j], dst_params[i].data()[j]);
+    }
+  }
+}
+
+TEST(SerializeTest, RejectsWrongParameterCount) {
+  util::Rng rng(1);
+  Linear src(2, 2, rng);
+  Embedding other(3, 2, rng);
+  std::stringstream buf;
+  ASSERT_TRUE(SaveParameters(buf, src.Parameters()));
+  std::vector<Tensor> dst = other.Parameters();  // 1 tensor, saved 2.
+  EXPECT_FALSE(LoadParameters(buf, dst));
+}
+
+TEST(SerializeTest, RejectsWrongShape) {
+  util::Rng rng(1);
+  Linear src(2, 2, rng);
+  Linear bigger(2, 3, rng);
+  std::stringstream buf;
+  ASSERT_TRUE(SaveParameters(buf, src.Parameters()));
+  std::vector<Tensor> dst = bigger.Parameters();
+  EXPECT_FALSE(LoadParameters(buf, dst));
+}
+
+TEST(SerializeTest, RejectsGarbageMagic) {
+  std::stringstream buf;
+  buf << "not a checkpoint";
+  util::Rng rng(1);
+  Linear layer(2, 2, rng);
+  std::vector<Tensor> dst = layer.Parameters();
+  EXPECT_FALSE(LoadParameters(buf, dst));
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  util::Rng rng(2);
+  LstmCell src(3, 4, rng);
+  LstmCell dst(3, 4, rng);
+  const std::string path = ::testing::TempDir() + "/params.bin";
+  ASSERT_TRUE(SaveParametersToFile(path, src.Parameters()));
+  std::vector<Tensor> dst_params = dst.Parameters();
+  ASSERT_TRUE(LoadParametersFromFile(path, dst_params));
+  const std::vector<Tensor> src_params = src.Parameters();
+  EXPECT_FLOAT_EQ(dst_params[0].at(0, 0), src_params[0].at(0, 0));
+}
+
+TEST(SerializeTest, LoadFromMissingFileFails) {
+  util::Rng rng(1);
+  Linear layer(2, 2, rng);
+  std::vector<Tensor> dst = layer.Parameters();
+  EXPECT_FALSE(LoadParametersFromFile("/nonexistent/params.bin", dst));
+}
+
+TEST(SerializeTest, CopyParametersCopiesInPlace) {
+  util::Rng rng(3);
+  Linear a(2, 3, rng);
+  Linear b(2, 3, rng);
+  std::vector<Tensor> dst = b.Parameters();
+  ASSERT_TRUE(CopyParameters(a.Parameters(), dst));
+  // b's own view reflects the copy (parameters are shared handles).
+  EXPECT_FLOAT_EQ(b.weight().at(0, 0), a.weight().at(0, 0));
+}
+
+TEST(SerializeTest, CopyParametersRejectsMismatch) {
+  util::Rng rng(3);
+  Linear a(2, 3, rng);
+  Linear b(3, 3, rng);
+  std::vector<Tensor> dst = b.Parameters();
+  EXPECT_FALSE(CopyParameters(a.Parameters(), dst));
+}
+
+}  // namespace
+}  // namespace pa::nn

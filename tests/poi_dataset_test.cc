@@ -1,0 +1,177 @@
+#include "poi/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace pa::poi {
+namespace {
+
+Dataset TinyDataset() {
+  Dataset d;
+  d.pois = PoiTable({{40.0, -100.0}, {40.1, -100.0}, {40.2, -100.0}});
+  d.sequences.resize(2);
+  for (int i = 0; i < 10; ++i) {
+    d.sequences[0].push_back({0, i % 3, 1000 + i * 100, false});
+  }
+  for (int i = 0; i < 5; ++i) {
+    d.sequences[1].push_back({1, i % 2, 2000 + i * 100, false});
+  }
+  d.RecountPopularity();
+  return d;
+}
+
+TEST(CheckinTest, ChronologicalHelpers) {
+  CheckinSequence seq = {{0, 1, 300}, {0, 2, 100}, {0, 3, 200}};
+  EXPECT_FALSE(IsChronological(seq));
+  SortChronological(seq);
+  EXPECT_TRUE(IsChronological(seq));
+  EXPECT_EQ(seq[0].poi, 2);
+}
+
+TEST(DatasetTest, Counts) {
+  Dataset d = TinyDataset();
+  EXPECT_EQ(d.num_users(), 2);
+  EXPECT_EQ(d.num_pois(), 3);
+  EXPECT_EQ(d.num_checkins(), 15);
+}
+
+TEST(DatasetTest, DensityCountsDistinctPairs) {
+  Dataset d = TinyDataset();
+  // User 0 visits POIs {0,1,2}, user 1 visits {0,1} -> 5 pairs of 6.
+  EXPECT_NEAR(d.Density(), 5.0 / 6.0, 1e-9);
+}
+
+TEST(DatasetTest, PopularityRecount) {
+  Dataset d = TinyDataset();
+  // User 0: POI 0 appears 4 times (i=0,3,6,9); user 1: 3 times (i=0,2,4).
+  EXPECT_EQ(d.pois.popularity(0), 7);
+  EXPECT_EQ(d.pois.popularity(2), 3);
+}
+
+TEST(DatasetTest, ValidateDetectsOutOfOrder) {
+  Dataset d = TinyDataset();
+  std::swap(d.sequences[0][0], d.sequences[0][5]);
+  std::string why;
+  EXPECT_FALSE(d.Validate(&why));
+  EXPECT_NE(why.find("chronological"), std::string::npos);
+}
+
+TEST(DatasetTest, ValidateDetectsBadPoi) {
+  Dataset d = TinyDataset();
+  d.sequences[1][0].poi = 99;
+  EXPECT_FALSE(d.Validate());
+}
+
+TEST(DatasetTest, ValidateDetectsUserMismatch) {
+  Dataset d = TinyDataset();
+  d.sequences[1][0].user = 0;
+  EXPECT_FALSE(d.Validate());
+}
+
+TEST(DatasetTest, ValidatePassesOnClean) {
+  EXPECT_TRUE(TinyDataset().Validate());
+}
+
+TEST(DatasetTest, StatsComputation) {
+  Dataset d = TinyDataset();
+  DatasetStats s = ComputeStats(d);
+  EXPECT_EQ(s.num_checkins, 15);
+  EXPECT_DOUBLE_EQ(s.mean_seq_len, 7.5);
+  // All gaps are 100 s.
+  EXPECT_NEAR(s.mean_interval_hours, 100.0 / 3600.0, 1e-9);
+  EXPECT_NEAR(s.median_interval_hours, 100.0 / 3600.0, 1e-9);
+  EXPECT_GT(s.mean_hop_km, 0.0);
+  EXPECT_FALSE(FormatStats(s).empty());
+}
+
+TEST(SplitTest, FractionsPerUser) {
+  Dataset d;
+  d.pois = PoiTable({{0, 0}});
+  d.sequences.resize(1);
+  for (int i = 0; i < 100; ++i) d.sequences[0].push_back({0, 0, i, false});
+  Split split = ChronologicalSplit(d);
+  // 80 train total, of which the last 8 are validation.
+  EXPECT_EQ(split.train[0].size(), 72u);
+  EXPECT_EQ(split.validation[0].size(), 8u);
+  EXPECT_EQ(split.test[0].size(), 20u);
+}
+
+TEST(SplitTest, ChronologicalOrderPreserved) {
+  Dataset d;
+  d.pois = PoiTable({{0, 0}});
+  d.sequences.resize(1);
+  for (int i = 0; i < 50; ++i) d.sequences[0].push_back({0, 0, i * 10, false});
+  Split split = ChronologicalSplit(d);
+  // Validation strictly after train, test strictly after validation.
+  EXPECT_LT(split.train[0].back().timestamp,
+            split.validation[0].front().timestamp);
+  EXPECT_LT(split.validation[0].back().timestamp,
+            split.test[0].front().timestamp);
+}
+
+TEST(SplitTest, ShortSequencesDoNotCrash) {
+  Dataset d;
+  d.pois = PoiTable({{0, 0}});
+  d.sequences.resize(2);
+  d.sequences[0] = {{0, 0, 1, false}};
+  // sequences[1] empty.
+  Split split = ChronologicalSplit(d);
+  EXPECT_EQ(split.train[0].size() + split.validation[0].size() +
+                split.test[0].size(),
+            1u);
+  EXPECT_TRUE(split.train[1].empty());
+}
+
+TEST(SplitTest, PartitionIsComplete) {
+  Dataset d = TinyDataset();
+  Split split = ChronologicalSplit(d);
+  for (int u = 0; u < d.num_users(); ++u) {
+    EXPECT_EQ(split.train[u].size() + split.validation[u].size() +
+                  split.test[u].size(),
+              d.sequences[u].size());
+  }
+}
+
+TEST(WithSequencesTest, SwapsSequencesAndRecounts) {
+  Dataset d = TinyDataset();
+  std::vector<CheckinSequence> only_poi2(2);
+  only_poi2[0] = {{0, 2, 100, false}, {0, 2, 200, false}};
+  Dataset swapped = WithSequences(d, only_poi2);
+  EXPECT_EQ(swapped.num_checkins(), 2);
+  EXPECT_EQ(swapped.pois.popularity(2), 2);
+  EXPECT_EQ(swapped.pois.popularity(0), 0);
+  // Original untouched.
+  EXPECT_EQ(d.pois.popularity(0), 7);
+}
+
+TEST(PoiTableTest, NearestAndRegionQueries) {
+  PoiTable pois({{40.0, -100.0}, {40.05, -100.0}, {41.0, -100.0}});
+  EXPECT_EQ(pois.NearestPoi({40.01, -100.0}), 0);
+  auto region = pois.PoisWithin(0, 10.0);
+  ASSERT_EQ(region.size(), 1u);  // Only POI 1 within 10 km; excludes self.
+  EXPECT_EQ(region[0], 1);
+}
+
+TEST(PoiTableTest, MostPopularWithinRadius) {
+  PoiTable pois({{40.0, -100.0}, {40.01, -100.0}, {41.0, -100.0}});
+  pois.AddPopularity(0, 1);
+  pois.AddPopularity(1, 10);
+  pois.AddPopularity(2, 100);
+  // Within 5 km of (40.005,-100): POIs 0 and 1 -> POI 1 wins.
+  EXPECT_EQ(pois.MostPopularWithin({40.005, -100.0}, 5.0), 1);
+  // Empty radius falls back to nearest.
+  EXPECT_EQ(pois.MostPopularWithin({45.0, -100.0}, 0.1), 2);
+}
+
+TEST(PoiTableTest, CopyRebuildsIndexLazily) {
+  PoiTable pois({{40.0, -100.0}, {41.0, -100.0}});
+  (void)pois.SpatialIndex();  // Build.
+  PoiTable copy = pois;       // Index not copied.
+  EXPECT_EQ(copy.NearestPoi({40.9, -100.0}), 1);  // Rebuilds lazily.
+  // Copy is independent: adding to the copy doesn't affect the original.
+  copy.Add({42.0, -100.0});
+  EXPECT_EQ(copy.size(), 3);
+  EXPECT_EQ(pois.size(), 2);
+}
+
+}  // namespace
+}  // namespace pa::poi

@@ -1,0 +1,65 @@
+#include "poi/features.h"
+
+#include <gtest/gtest.h>
+
+namespace pa::poi {
+namespace {
+
+PoiTable TwoPois() {
+  // ~11.1 km apart (0.1 degrees of latitude).
+  return PoiTable({{40.0, -100.0}, {40.1, -100.0}});
+}
+
+TEST(FeaturesTest, FirstPositionIsZero) {
+  PoiTable pois = TwoPois();
+  CheckinSequence seq = {{0, 0, 0}, {0, 1, 3600}};
+  StepFeatures f = ComputeStepFeatures(seq, 0, pois);
+  EXPECT_FLOAT_EQ(f.delta_t, 0.0f);
+  EXPECT_FLOAT_EQ(f.delta_d, 0.0f);
+}
+
+TEST(FeaturesTest, NormalizedDeltas) {
+  PoiTable pois = TwoPois();
+  CheckinSequence seq = {{0, 0, 0}, {0, 1, 6 * 3600}};
+  FeatureScale scale;  // 6 h, 10 km.
+  StepFeatures f = ComputeStepFeatures(seq, 1, pois, scale);
+  EXPECT_NEAR(f.delta_t, 1.0f, 1e-6);        // 6 h / 6 h.
+  EXPECT_NEAR(f.delta_d, 1.112f, 2e-3);      // 11.12 km / 10 km.
+}
+
+TEST(FeaturesTest, ClampsPathologicalGaps) {
+  PoiTable pois = TwoPois();
+  CheckinSequence seq = {{0, 0, 0}, {0, 1, 365LL * 24 * 3600}};
+  StepFeatures f = ComputeStepFeatures(seq, 1, pois);
+  EXPECT_FLOAT_EQ(f.delta_t, 10.0f);  // Clamped.
+}
+
+TEST(FeaturesTest, SameLocationZeroDistance) {
+  PoiTable pois = TwoPois();
+  CheckinSequence seq = {{0, 1, 0}, {0, 1, 3600}};
+  StepFeatures f = ComputeStepFeatures(seq, 1, pois);
+  EXPECT_FLOAT_EQ(f.delta_d, 0.0f);
+  EXPECT_GT(f.delta_t, 0.0f);
+}
+
+TEST(FeaturesTest, SequenceFeaturesAlignWithPerStep) {
+  PoiTable pois = TwoPois();
+  CheckinSequence seq = {{0, 0, 0}, {0, 1, 3600}, {0, 0, 7200}};
+  auto all = ComputeSequenceFeatures(seq, pois);
+  ASSERT_EQ(all.size(), 3u);
+  for (size_t i = 0; i < seq.size(); ++i) {
+    StepFeatures f = ComputeStepFeatures(seq, i, pois);
+    EXPECT_FLOAT_EQ(all[i].delta_t, f.delta_t);
+    EXPECT_FLOAT_EQ(all[i].delta_d, f.delta_d);
+  }
+}
+
+TEST(FeaturesTest, OutOfRangeIndexIsZero) {
+  PoiTable pois = TwoPois();
+  CheckinSequence seq = {{0, 0, 0}};
+  StepFeatures f = ComputeStepFeatures(seq, 5, pois);
+  EXPECT_FLOAT_EQ(f.delta_t, 0.0f);
+}
+
+}  // namespace
+}  // namespace pa::poi

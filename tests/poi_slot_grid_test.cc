@@ -1,0 +1,109 @@
+#include "poi/slot_grid.h"
+
+#include <gtest/gtest.h>
+
+namespace pa::poi {
+namespace {
+
+constexpr int64_t kHour = 3600;
+
+CheckinSequence SequenceAtHours(std::initializer_list<int> hours) {
+  CheckinSequence seq;
+  int poi = 0;
+  for (int h : hours) seq.push_back({0, poi++, h * kHour, false});
+  return seq;
+}
+
+// The paper's Fig. 1: check-ins at 8 a.m., 10 a.m., 7 p.m.; with a 3-hour
+// interval the missing check-ins are at 1 p.m. and 4 p.m.
+TEST(SlotGridTest, PaperFigureOneExample) {
+  CheckinSequence seq = SequenceAtHours({8, 10, 19});
+  auto timeline = BuildSlotTimeline(seq, 3 * kHour);
+  ASSERT_EQ(timeline.size(), 5u);
+  EXPECT_EQ(timeline[0].observed_index, 0);  // 8 a.m.
+  EXPECT_EQ(timeline[1].observed_index, 1);  // 10 a.m. (2h gap: no slot).
+  EXPECT_TRUE(timeline[2].missing());        // 1 p.m.
+  EXPECT_EQ(timeline[2].timestamp, 13 * kHour);
+  EXPECT_TRUE(timeline[3].missing());        // 4 p.m.
+  EXPECT_EQ(timeline[3].timestamp, 16 * kHour);
+  EXPECT_EQ(timeline[4].observed_index, 2);  // 7 p.m.
+  EXPECT_EQ(CountMissing(timeline), 2);
+}
+
+TEST(SlotGridTest, NoMissingForDenseSequence) {
+  CheckinSequence seq = SequenceAtHours({0, 3, 6, 9});
+  auto timeline = BuildSlotTimeline(seq, 3 * kHour);
+  EXPECT_EQ(timeline.size(), 4u);
+  EXPECT_EQ(CountMissing(timeline), 0);
+}
+
+TEST(SlotGridTest, GapShorterThanIntervalGetsNoSlot) {
+  CheckinSequence seq = SequenceAtHours({0, 2});
+  auto timeline = BuildSlotTimeline(seq, 3 * kHour);
+  EXPECT_EQ(timeline.size(), 2u);
+}
+
+TEST(SlotGridTest, RoundingSplitsGapEvenly) {
+  // 10-hour gap with 3-hour interval: round(10/3)-1 = 2 missing slots at
+  // one-third fractions.
+  CheckinSequence seq = SequenceAtHours({0, 10});
+  auto timeline = BuildSlotTimeline(seq, 3 * kHour);
+  ASSERT_EQ(timeline.size(), 4u);
+  EXPECT_EQ(timeline[1].timestamp, 10 * kHour / 3);
+  EXPECT_EQ(timeline[2].timestamp, 2 * 10 * kHour / 3);
+}
+
+TEST(SlotGridTest, CapLimitsLongGaps) {
+  CheckinSequence seq = SequenceAtHours({0, 300});  // 100 slots uncapped.
+  auto uncapped = BuildSlotTimeline(seq, 3 * kHour);
+  EXPECT_EQ(CountMissing(uncapped), 99);
+  auto capped = BuildSlotTimeline(seq, 3 * kHour, 4);
+  EXPECT_EQ(CountMissing(capped), 4);
+  // Capped slots still evenly spread across the gap.
+  EXPECT_EQ(capped[1].timestamp, 60 * kHour);
+}
+
+TEST(SlotGridTest, EmptyAndSingleInputs) {
+  EXPECT_TRUE(BuildSlotTimeline({}, 3 * kHour).empty());
+  CheckinSequence one = SequenceAtHours({5});
+  auto timeline = BuildSlotTimeline(one, 3 * kHour);
+  ASSERT_EQ(timeline.size(), 1u);
+  EXPECT_EQ(timeline[0].observed_index, 0);
+}
+
+TEST(SlotGridTest, NonPositiveIntervalYieldsEmpty) {
+  CheckinSequence seq = SequenceAtHours({0, 10});
+  EXPECT_TRUE(BuildSlotTimeline(seq, 0).empty());
+}
+
+TEST(SlotGridTest, TimelineIsChronologicalAndPreservesObserved) {
+  CheckinSequence seq = SequenceAtHours({1, 9, 12, 30});
+  auto timeline = BuildSlotTimeline(seq, 3 * kHour);
+  int observed_count = 0;
+  for (size_t i = 0; i < timeline.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GE(timeline[i].timestamp, timeline[i - 1].timestamp);
+    }
+    if (!timeline[i].missing()) {
+      EXPECT_EQ(timeline[i].timestamp,
+                seq[static_cast<size_t>(timeline[i].observed_index)]
+                    .timestamp);
+      ++observed_count;
+    }
+  }
+  EXPECT_EQ(observed_count, 4);
+}
+
+TEST(SlotGridTest, MidGapRoundsToNearestSlotCount) {
+  // 4.4-hour gap: round(4.4/3) - 1 = 0 missing.
+  CheckinSequence seq;
+  seq.push_back({0, 0, 0, false});
+  seq.push_back({0, 1, static_cast<int64_t>(4.4 * kHour), false});
+  EXPECT_EQ(CountMissing(BuildSlotTimeline(seq, 3 * kHour)), 0);
+  // 4.6-hour gap: round(4.6/3) - 1 = 1 missing.
+  seq[1].timestamp = static_cast<int64_t>(4.6 * kHour);
+  EXPECT_EQ(CountMissing(BuildSlotTimeline(seq, 3 * kHour)), 1);
+}
+
+}  // namespace
+}  // namespace pa::poi

@@ -1,0 +1,189 @@
+#include "poi/synthetic.h"
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "poi/slot_grid.h"
+#include "util/rng.h"
+
+namespace pa::poi {
+namespace {
+
+LbsnProfile SmallProfile() {
+  LbsnProfile p = GowallaProfile();
+  p.num_users = 10;
+  p.num_pois = 150;
+  p.min_visits = 40;
+  p.max_visits = 60;
+  return p;
+}
+
+TEST(SyntheticTest, CountsMatchProfile) {
+  util::Rng rng(1);
+  SyntheticLbsn lbsn = GenerateLbsn(SmallProfile(), rng);
+  EXPECT_EQ(lbsn.observed.num_users(), 10);
+  EXPECT_EQ(lbsn.observed.num_pois(), 150);
+  EXPECT_EQ(lbsn.true_visits.size(), 10u);
+  for (int u = 0; u < 10; ++u) {
+    EXPECT_GE(lbsn.true_visits[u].size(), 40u);
+    EXPECT_LE(lbsn.true_visits[u].size(), 60u);
+  }
+}
+
+TEST(SyntheticTest, DatasetValidates) {
+  util::Rng rng(2);
+  SyntheticLbsn lbsn = GenerateLbsn(SmallProfile(), rng);
+  std::string why;
+  EXPECT_TRUE(lbsn.observed.Validate(&why)) << why;
+}
+
+TEST(SyntheticTest, ObservedIsMaskedSubsetOfTruth) {
+  util::Rng rng(3);
+  SyntheticLbsn lbsn = GenerateLbsn(SmallProfile(), rng);
+  for (int u = 0; u < lbsn.observed.num_users(); ++u) {
+    const auto& visits = lbsn.true_visits[u];
+    const auto& mask = lbsn.observed_mask[u];
+    ASSERT_EQ(mask.size(), visits.size());
+    size_t next = 0;
+    for (size_t i = 0; i < visits.size(); ++i) {
+      if (mask[i]) {
+        ASSERT_LT(next, lbsn.observed.sequences[u].size());
+        EXPECT_EQ(lbsn.observed.sequences[u][next], visits[i]);
+        ++next;
+      }
+    }
+    EXPECT_EQ(next, lbsn.observed.sequences[u].size());
+  }
+}
+
+TEST(SyntheticTest, FirstAndLastVisitsAlwaysObserved) {
+  util::Rng rng(4);
+  SyntheticLbsn lbsn = GenerateLbsn(SmallProfile(), rng);
+  for (const auto& mask : lbsn.observed_mask) {
+    ASSERT_FALSE(mask.empty());
+    EXPECT_TRUE(mask.front());
+    EXPECT_TRUE(mask.back());
+  }
+}
+
+TEST(SyntheticTest, TrueVisitsEvenlySpacedWithinJitter) {
+  LbsnProfile p = SmallProfile();
+  p.interval_jitter = 0.05;
+  util::Rng rng(5);
+  SyntheticLbsn lbsn = GenerateLbsn(p, rng);
+  for (const auto& visits : lbsn.true_visits) {
+    for (size_t i = 1; i < visits.size(); ++i) {
+      const double gap =
+          static_cast<double>(visits[i].timestamp - visits[i - 1].timestamp);
+      EXPECT_GE(gap, p.visit_interval_seconds * 0.94);
+      EXPECT_LE(gap, p.visit_interval_seconds * 1.06);
+    }
+  }
+}
+
+TEST(SyntheticTest, UsersAreSpatiallyCompact) {
+  // Most consecutive hops should be within a few km (routine radius).
+  util::Rng rng(6);
+  SyntheticLbsn lbsn = GenerateLbsn(SmallProfile(), rng);
+  DatasetStats stats = ComputeStats(lbsn.observed);
+  EXPECT_LT(stats.mean_hop_km, 10.0);
+}
+
+TEST(SyntheticTest, ImputationTasksAreExactlyTheHiddenInteriorVisits) {
+  util::Rng rng(7);
+  SyntheticLbsn lbsn = GenerateLbsn(SmallProfile(), rng);
+  auto tasks = MakeImputationTasks(lbsn);
+  int expected = 0;
+  for (size_t u = 0; u < lbsn.observed_mask.size(); ++u) {
+    for (size_t i = 1; i + 1 < lbsn.observed_mask[u].size(); ++i) {
+      if (!lbsn.observed_mask[u][i]) ++expected;
+    }
+  }
+  EXPECT_EQ(static_cast<int>(tasks.size()), expected);
+  for (const auto& t : tasks) {
+    EXPECT_FALSE(lbsn.observed_mask[t.user][t.true_index]);
+    EXPECT_EQ(lbsn.true_visits[t.user][t.true_index].poi, t.true_poi);
+    EXPECT_EQ(lbsn.true_visits[t.user][t.true_index].timestamp, t.timestamp);
+  }
+}
+
+TEST(SyntheticTest, DeterministicGivenSeed) {
+  util::Rng rng1(42), rng2(42);
+  SyntheticLbsn a = GenerateLbsn(SmallProfile(), rng1);
+  SyntheticLbsn b = GenerateLbsn(SmallProfile(), rng2);
+  ASSERT_EQ(a.observed.num_checkins(), b.observed.num_checkins());
+  for (int u = 0; u < a.observed.num_users(); ++u) {
+    ASSERT_EQ(a.observed.sequences[u].size(), b.observed.sequences[u].size());
+    for (size_t i = 0; i < a.observed.sequences[u].size(); ++i) {
+      EXPECT_EQ(a.observed.sequences[u][i], b.observed.sequences[u][i]);
+    }
+  }
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  util::Rng rng1(1), rng2(2);
+  SyntheticLbsn a = GenerateLbsn(SmallProfile(), rng1);
+  SyntheticLbsn b = GenerateLbsn(SmallProfile(), rng2);
+  EXPECT_NE(a.observed.num_checkins(), b.observed.num_checkins());
+}
+
+TEST(SyntheticTest, BrightkiteDenserThanGowalla) {
+  // The Brightkite profile must reproduce the paper's density contrast: higher
+  // observation rate -> higher density and per-user check-in counts.
+  util::Rng rng1(8), rng2(8);
+  LbsnProfile g = GowallaProfile();
+  LbsnProfile b = BrightkiteProfile();
+  g.num_users = b.num_users = 12;
+  g.min_visits = b.min_visits = 60;
+  g.max_visits = b.max_visits = 80;
+  SyntheticLbsn gow = GenerateLbsn(g, rng1);
+  SyntheticLbsn bri = GenerateLbsn(b, rng2);
+  const double g_rate = static_cast<double>(gow.observed.num_checkins()) /
+                        (12 * 70.0);
+  const double b_rate = static_cast<double>(bri.observed.num_checkins()) /
+                        (12 * 70.0);
+  EXPECT_GT(b_rate, g_rate);
+  EXPECT_GT(bri.observed.Density(), gow.observed.Density());
+}
+
+TEST(SyntheticTest, BrightkiteHomeDominanceStronger) {
+  // Fraction of check-ins at the user's single most-visited POI.
+  auto top_share = [](const SyntheticLbsn& lbsn) {
+    double total_share = 0.0;
+    int users = 0;
+    for (const auto& seq : lbsn.observed.sequences) {
+      if (seq.size() < 10) continue;
+      std::map<int32_t, int> counts;
+      for (const auto& c : seq) ++counts[c.poi];
+      int top = 0;
+      for (const auto& [poi, n] : counts) top = std::max(top, n);
+      total_share += static_cast<double>(top) / seq.size();
+      ++users;
+    }
+    return total_share / users;
+  };
+  util::Rng rng1(9), rng2(9);
+  LbsnProfile g = GowallaProfile(), b = BrightkiteProfile();
+  g.num_users = b.num_users = 15;
+  SyntheticLbsn gow = GenerateLbsn(g, rng1);
+  SyntheticLbsn bri = GenerateLbsn(b, rng2);
+  EXPECT_GT(top_share(bri), top_share(gow));
+}
+
+TEST(SyntheticTest, ObservedSequencesProduceMissingSlots) {
+  // The observation process must actually create imputation work at the
+  // profile's own interval.
+  util::Rng rng(10);
+  SyntheticLbsn lbsn = GenerateLbsn(SmallProfile(), rng);
+  int missing = 0;
+  for (const auto& seq : lbsn.observed.sequences) {
+    missing += CountMissing(
+        BuildSlotTimeline(seq, GowallaProfile().visit_interval_seconds));
+  }
+  EXPECT_GT(missing, 50);
+}
+
+}  // namespace
+}  // namespace pa::poi

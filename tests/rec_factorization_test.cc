@@ -1,0 +1,180 @@
+// Tests for the FPMC-LR and PRME-G factorization recommenders.
+
+#include <gtest/gtest.h>
+
+#include "rec/fpmc_lr.h"
+#include "rec/prme_g.h"
+
+namespace pa::rec {
+namespace {
+
+constexpr int64_t kHour = 3600;
+
+// Six POIs in one small region; users deterministically alternate between
+// two personal POIs, so P(next | user, prev) is fully determined.
+poi::PoiTable RegionPois() {
+  std::vector<geo::LatLng> coords;
+  for (int i = 0; i < 6; ++i) coords.push_back({40.0 + 0.01 * i, -100.0});
+  return poi::PoiTable(std::move(coords));
+}
+
+std::vector<poi::CheckinSequence> AlternatingData(int users, int length) {
+  std::vector<poi::CheckinSequence> train(users);
+  for (int u = 0; u < users; ++u) {
+    const int a = u % 3;        // User's first POI.
+    const int b = 3 + (u % 3);  // User's second POI.
+    for (int i = 0; i < length; ++i) {
+      train[u].push_back({u, i % 2 == 0 ? a : b, i * 3 * kHour, false});
+    }
+  }
+  return train;
+}
+
+TEST(FpmcLrTest, ObjectiveImprovesOverEpochs) {
+  poi::PoiTable pois = RegionPois();
+  FpmcLrConfig config;
+  config.epochs = 6;
+  FpmcLr model(config);
+  model.Fit(AlternatingData(6, 40), pois);
+  const auto& obj = model.epoch_objectives();
+  ASSERT_EQ(obj.size(), 6u);
+  EXPECT_GT(obj.back(), obj.front());  // BPR objective ascends.
+}
+
+TEST(FpmcLrTest, LearnsDeterministicAlternation) {
+  poi::PoiTable pois = RegionPois();
+  FpmcLrConfig config;
+  config.epochs = 12;
+  FpmcLr model(config);
+  auto train = AlternatingData(6, 40);
+  model.Fit(train, pois);
+
+  int hits = 0, cases = 0;
+  for (int u = 0; u < 6; ++u) {
+    auto session = model.NewSession(u);
+    session->Observe(train[u][0]);
+    for (size_t i = 1; i < 10; ++i) {
+      auto top = session->TopK(1, train[u][i].timestamp);
+      ASSERT_FALSE(top.empty());
+      if (top[0] == train[u][i].poi) ++hits;
+      ++cases;
+      session->Observe(train[u][i]);
+    }
+  }
+  EXPECT_GT(static_cast<double>(hits) / cases, 0.8);
+}
+
+TEST(FpmcLrTest, ScoreIsUserAndTransitionSpecific) {
+  poi::PoiTable pois = RegionPois();
+  FpmcLrConfig config;
+  config.epochs = 10;
+  FpmcLr model(config);
+  model.Fit(AlternatingData(6, 40), pois);
+  // User 0 alternates 0 <-> 3: score(0, 0, 3) should beat score(0, 0, 4).
+  EXPECT_GT(model.Score(0, 0, 3), model.Score(0, 0, 4));
+}
+
+TEST(FpmcLrTest, TopKReturnsRequestedCount) {
+  poi::PoiTable pois = RegionPois();
+  FpmcLr model;
+  model.Fit(AlternatingData(3, 20), pois);
+  auto session = model.NewSession(0);
+  session->Observe({0, 0, 0, false});
+  EXPECT_EQ(session->TopK(5, kHour).size(), 5u);
+  // More than the POI count is clamped.
+  EXPECT_LE(session->TopK(100, kHour).size(), 6u);
+}
+
+TEST(FpmcLrTest, SessionBeforeAnyObservationStillRanks) {
+  poi::PoiTable pois = RegionPois();
+  FpmcLr model;
+  model.Fit(AlternatingData(3, 20), pois);
+  auto session = model.NewSession(0);
+  EXPECT_FALSE(session->TopK(3, 0).empty());
+}
+
+TEST(PrmeGTest, ObjectiveImprovesOverEpochs) {
+  poi::PoiTable pois = RegionPois();
+  PrmeGConfig config;
+  config.epochs = 6;
+  PrmeG model(config);
+  model.Fit(AlternatingData(6, 40), pois);
+  const auto& obj = model.epoch_objectives();
+  ASSERT_EQ(obj.size(), 6u);
+  EXPECT_GT(obj.back(), obj.front());
+}
+
+TEST(PrmeGTest, LearnsDeterministicAlternation) {
+  poi::PoiTable pois = RegionPois();
+  PrmeGConfig config;
+  config.epochs = 15;
+  PrmeG model(config);
+  auto train = AlternatingData(6, 40);
+  model.Fit(train, pois);
+  int hits = 0, cases = 0;
+  for (int u = 0; u < 6; ++u) {
+    auto session = model.NewSession(u);
+    session->Observe(train[u][0]);
+    for (size_t i = 1; i < 10; ++i) {
+      auto top = session->TopK(3, train[u][i].timestamp);
+      for (int32_t p : top) {
+        if (p == train[u][i].poi) {
+          ++hits;
+          break;
+        }
+      }
+      ++cases;
+      session->Observe(train[u][i]);
+    }
+  }
+  EXPECT_GT(static_cast<double>(hits) / cases, 0.7);
+}
+
+TEST(PrmeGTest, DistanceLowerForTrueSuccessor) {
+  poi::PoiTable pois = RegionPois();
+  PrmeGConfig config;
+  config.epochs = 15;
+  PrmeG model(config);
+  model.Fit(AlternatingData(6, 40), pois);
+  EXPECT_LT(model.Distance(0, 0, 3, true), model.Distance(0, 0, 4, true));
+}
+
+TEST(PrmeGTest, LongGapFallsBackToPreferenceOnly) {
+  poi::PoiTable pois = RegionPois();
+  PrmeGConfig config;
+  config.tau_hours = 12.0;
+  PrmeG model(config);
+  auto train = AlternatingData(3, 30);
+  model.Fit(train, pois);
+  auto session = model.NewSession(0);
+  session->Observe({0, 0, 0, false});
+  // Within tau vs far beyond tau can produce different rankings; both must
+  // be well-formed.
+  auto near = session->TopK(6, 3 * kHour);
+  auto far = session->TopK(6, 100 * kHour);
+  EXPECT_EQ(near.size(), 6u);
+  EXPECT_EQ(far.size(), 6u);
+}
+
+TEST(PrmeGTest, GeoWeightPenalizesFarPois) {
+  // With untrained (symmetric random) embeddings the geo weight dominates:
+  // a near POI should usually rank above an equally-scored far one. We test
+  // the Distance function directly: scaling distance up increases D.
+  std::vector<geo::LatLng> coords = {
+      {40.0, -100.0}, {40.01, -100.0}, {44.0, -100.0}};
+  poi::PoiTable pois{std::move(coords)};
+  PrmeGConfig config;
+  config.epochs = 0;  // Untrained; embeddings random.
+  PrmeG model(config);
+  model.Fit({{ {0, 0, 0, false}, {0, 1, kHour, false} }}, pois);
+  // Same embeddings-ish; compare weight effect via the ratio of distances
+  // to a near and a far POI: multiply-by-w behaviour.
+  const float d_near = model.Distance(0, 0, 1, true);
+  const float d_far = model.Distance(0, 0, 2, true);
+  // Cannot assert strict ordering of random embeddings, but the geo weight
+  // for the far POI is ~23x larger, which should dominate in practice.
+  EXPECT_GT(d_far / (d_near + 1e-6f), 1.0f);
+}
+
+}  // namespace
+}  // namespace pa::rec

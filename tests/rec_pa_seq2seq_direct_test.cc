@@ -1,0 +1,149 @@
+// Tests for PA-Seq2Seq used directly as a next-POI recommender (paper §VI)
+// and its supporting RankNext / ImputeTrip model APIs.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "rec/pa_seq2seq_recommender.h"
+
+namespace pa::rec {
+namespace {
+
+constexpr int64_t kHour = 3600;
+
+poi::PoiTable SmallPois() {
+  std::vector<geo::LatLng> coords;
+  for (int i = 0; i < 8; ++i) coords.push_back({40.0 + 0.01 * i, -100.0});
+  return poi::PoiTable(std::move(coords));
+}
+
+std::vector<poi::CheckinSequence> CycleData(int users, int length) {
+  std::vector<poi::CheckinSequence> train(users);
+  for (int u = 0; u < users; ++u) {
+    for (int i = 0; i < length; ++i) {
+      train[u].push_back({u, i % 4, i * 3 * kHour, false});
+    }
+  }
+  return train;
+}
+
+augment::PaSeq2SeqConfig FastConfig() {
+  augment::PaSeq2SeqConfig config;
+  config.embedding_dim = 8;
+  config.hidden_dim = 8;
+  config.stage1_epochs = 2;
+  config.stage2_epochs = 2;
+  config.stage3_epochs = 16;
+  config.candidate_radius_km = 0.0;
+  return config;
+}
+
+TEST(PaSeq2SeqDirectTest, PredictsDeterministicCycle) {
+  PaSeq2SeqRecommender rec(FastConfig());
+  poi::PoiTable pois = SmallPois();
+  rec.Fit(CycleData(3, 60), pois);
+
+  auto session = rec.NewSession(0);
+  int hits = 0, cases = 0;
+  for (int i = 0; i < 16; ++i) {
+    poi::Checkin c{0, i % 4, i * 3 * kHour, false};
+    if (i >= 4) {
+      auto top = session->TopK(1, c.timestamp);
+      ASSERT_FALSE(top.empty());
+      if (top[0] == c.poi) ++hits;
+      ++cases;
+    }
+    session->Observe(c);
+  }
+  EXPECT_GT(static_cast<double>(hits) / cases, 0.7);
+}
+
+TEST(PaSeq2SeqDirectTest, EmptyHistoryReturnsEmpty) {
+  PaSeq2SeqRecommender rec(FastConfig());
+  poi::PoiTable pois = SmallPois();
+  rec.Fit(CycleData(2, 30), pois);
+  auto session = rec.NewSession(0);
+  EXPECT_TRUE(session->TopK(5, 0).empty());
+}
+
+TEST(PaSeq2SeqDirectTest, RankNextReturnsKDistinctPois) {
+  augment::PaSeq2Seq model(SmallPois(), FastConfig());
+  // Untrained is fine for the ranking contract.
+  poi::CheckinSequence history = {{0, 0, 0, false}, {0, 1, 3 * kHour, false}};
+  auto static_pois = SmallPois();
+  augment::PaSeq2Seq trained(static_pois, FastConfig());
+  auto ranked = trained.RankNext(history, 6 * kHour, 5);
+  ASSERT_EQ(ranked.size(), 5u);
+  std::set<int32_t> unique(ranked.begin(), ranked.end());
+  EXPECT_EQ(unique.size(), ranked.size());
+  for (int32_t id : ranked) {
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, 8);
+  }
+}
+
+TEST(PaSeq2SeqDirectTest, RankNextPadsShortCandidateSets) {
+  // With a candidate radius covering only ~2 POIs, a request for 5 must be
+  // padded from the unrestricted ranking.
+  augment::PaSeq2SeqConfig config = FastConfig();
+  config.candidate_radius_km = 1.2;  // ~1 neighbour at 0.01 deg spacing.
+  poi::PoiTable pois = SmallPois();
+  augment::PaSeq2Seq model(pois, config);
+  poi::CheckinSequence history = {{0, 0, 0, false}};
+  auto ranked = model.RankNext(history, 3 * kHour, 5);
+  EXPECT_EQ(ranked.size(), 5u);
+}
+
+TEST(PaSeq2SeqDirectTest, ImputeTripFillsTimeBudget) {
+  poi::PoiTable pois = SmallPois();
+  augment::PaSeq2SeqConfig config = FastConfig();
+  config.stage1_epochs = 1;
+  config.stage2_epochs = 1;
+  config.stage3_epochs = 6;
+  augment::PaSeq2Seq model(pois, config);
+  model.Fit(CycleData(3, 60));
+
+  poi::Checkin start{0, 0, 0, false};
+  poi::Checkin end{0, 3, 9 * kHour, false};
+  poi::CheckinSequence trip = model.ImputeTrip(start, end, 3 * kHour);
+  // 9h budget at 3h slots: start + 2 imputed + end.
+  ASSERT_EQ(trip.size(), 4u);
+  EXPECT_EQ(trip.front().poi, 0);
+  EXPECT_FALSE(trip.front().imputed);
+  EXPECT_TRUE(trip[1].imputed);
+  EXPECT_TRUE(trip[2].imputed);
+  EXPECT_EQ(trip.back().poi, 3);
+  EXPECT_TRUE(poi::IsChronological(trip));
+}
+
+TEST(PaSeq2SeqDirectTest, ImputeTripLearnsCycleWaypoints) {
+  poi::PoiTable pois = SmallPois();
+  augment::PaSeq2SeqConfig config = FastConfig();
+  config.stage1_epochs = 1;
+  config.stage2_epochs = 1;
+  config.stage3_epochs = 10;
+  augment::PaSeq2Seq model(pois, config);
+  model.Fit(CycleData(4, 60));
+  poi::Checkin start{0, 0, 0, false};
+  poi::Checkin end{0, 3, 9 * kHour, false};
+  poi::CheckinSequence trip = model.ImputeTrip(start, end, 3 * kHour);
+  ASSERT_EQ(trip.size(), 4u);
+  // The global cycle 0 -> 1 -> 2 -> 3 dictates the waypoints.
+  EXPECT_EQ(trip[1].poi, 1);
+  EXPECT_EQ(trip[2].poi, 2);
+}
+
+TEST(PaSeq2SeqDirectTest, NameAndModelAccessor) {
+  augment::PaSeq2SeqConfig config = FastConfig();
+  config.stage3_epochs = 1;
+  PaSeq2SeqRecommender rec(config);
+  EXPECT_EQ(rec.name(), "PA-Seq2Seq(direct)");
+  EXPECT_EQ(rec.model(), nullptr);
+  poi::PoiTable pois = SmallPois();
+  rec.Fit(CycleData(2, 20), pois);
+  EXPECT_NE(rec.model(), nullptr);
+}
+
+}  // namespace
+}  // namespace pa::rec

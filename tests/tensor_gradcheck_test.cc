@@ -1,0 +1,233 @@
+// Property-style sweep: every differentiable op (and several compositions)
+// is verified against central finite differences. If these pass, arbitrary
+// expressions built from the op set are trustworthy.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/gradcheck.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace pa::tensor {
+namespace {
+
+struct GradCase {
+  std::string name;
+  // Builds (loss_fn, inputs) from an rng.
+  std::function<std::pair<std::function<Tensor()>, std::vector<Tensor>>(
+      util::Rng&)>
+      build;
+};
+
+Tensor RandomInput(Shape shape, util::Rng& rng, float scale = 1.0f) {
+  return UniformInit(shape, scale, rng);
+}
+
+const std::vector<GradCase>& AllCases() {
+  static const std::vector<GradCase>& cases = *new std::vector<GradCase>([] {
+  std::vector<GradCase> cases;
+  auto add = [&cases](std::string name, auto fn) {
+    cases.push_back({std::move(name), fn});
+  };
+
+  add("add", [](util::Rng& rng) {
+    Tensor a = RandomInput({2, 3}, rng), b = RandomInput({2, 3}, rng);
+    return std::make_pair(
+        std::function<Tensor()>([=] { return Sum(Add(a, b)); }),
+        std::vector<Tensor>{a, b});
+  });
+  add("add_row_broadcast", [](util::Rng& rng) {
+    Tensor a = RandomInput({3, 4}, rng), b = RandomInput({1, 4}, rng);
+    return std::make_pair(
+        std::function<Tensor()>([=] { return Sum(Mul(Add(a, b), a)); }),
+        std::vector<Tensor>{a, b});
+  });
+  add("sub_mul", [](util::Rng& rng) {
+    Tensor a = RandomInput({2, 2}, rng), b = RandomInput({2, 2}, rng);
+    return std::make_pair(
+        std::function<Tensor()>([=] { return Sum(Mul(Sub(a, b), b)); }),
+        std::vector<Tensor>{a, b});
+  });
+  add("mul_scalar_broadcast", [](util::Rng& rng) {
+    Tensor a = RandomInput({2, 3}, rng), s = RandomInput({1, 1}, rng);
+    return std::make_pair(
+        std::function<Tensor()>([=] { return Sum(Mul(a, s)); }),
+        std::vector<Tensor>{a, s});
+  });
+  add("matmul", [](util::Rng& rng) {
+    Tensor a = RandomInput({2, 3}, rng), b = RandomInput({3, 4}, rng);
+    return std::make_pair(
+        std::function<Tensor()>([=] { return Sum(MatMul(a, b)); }),
+        std::vector<Tensor>{a, b});
+  });
+  add("matmul_chain", [](util::Rng& rng) {
+    Tensor a = RandomInput({2, 3}, rng, 0.5f);
+    Tensor b = RandomInput({3, 3}, rng, 0.5f);
+    Tensor c = RandomInput({3, 2}, rng, 0.5f);
+    return std::make_pair(std::function<Tensor()>([=] {
+                            return Sum(MatMul(MatMul(a, b), c));
+                          }),
+                          std::vector<Tensor>{a, b, c});
+  });
+  add("transpose", [](util::Rng& rng) {
+    Tensor a = RandomInput({2, 3}, rng);
+    return std::make_pair(std::function<Tensor()>([=] {
+                            return Sum(MatMul(Transpose(a), a));
+                          }),
+                          std::vector<Tensor>{a});
+  });
+  add("sigmoid", [](util::Rng& rng) {
+    Tensor a = RandomInput({2, 3}, rng);
+    return std::make_pair(
+        std::function<Tensor()>([=] { return Sum(Sigmoid(a)); }),
+        std::vector<Tensor>{a});
+  });
+  add("tanh", [](util::Rng& rng) {
+    Tensor a = RandomInput({2, 3}, rng);
+    return std::make_pair(
+        std::function<Tensor()>([=] { return Sum(Tanh(a)); }),
+        std::vector<Tensor>{a});
+  });
+  add("exp", [](util::Rng& rng) {
+    Tensor a = RandomInput({2, 2}, rng);
+    return std::make_pair(
+        std::function<Tensor()>([=] { return Sum(Exp(a)); }),
+        std::vector<Tensor>{a});
+  });
+  add("log", [](util::Rng& rng) {
+    Tensor a = RandomInput({2, 2}, rng);
+    // Keep inputs positive and away from zero.
+    for (int64_t i = 0; i < a.numel(); ++i) {
+      a.data()[i] = 1.0f + std::fabs(a.data()[i]);
+    }
+    return std::make_pair(
+        std::function<Tensor()>([=] { return Sum(Log(a)); }),
+        std::vector<Tensor>{a});
+  });
+  add("square", [](util::Rng& rng) {
+    Tensor a = RandomInput({1, 4}, rng);
+    return std::make_pair(
+        std::function<Tensor()>([=] { return Sum(Square(a)); }),
+        std::vector<Tensor>{a});
+  });
+  add("softmax_weighted", [](util::Rng& rng) {
+    Tensor a = RandomInput({2, 4}, rng);
+    Tensor w = RandomInput({2, 4}, rng);
+    return std::make_pair(
+        std::function<Tensor()>([=] { return Sum(Mul(Softmax(a), w)); }),
+        std::vector<Tensor>{a, w});
+  });
+  add("log_softmax_nll", [](util::Rng& rng) {
+    Tensor a = RandomInput({3, 5}, rng);
+    return std::make_pair(std::function<Tensor()>([=] {
+                            return NllLoss(LogSoftmax(a), {1, 4, 0});
+                          }),
+                          std::vector<Tensor>{a});
+  });
+  add("cross_entropy", [](util::Rng& rng) {
+    Tensor a = RandomInput({2, 6}, rng);
+    return std::make_pair(std::function<Tensor()>([=] {
+                            return CrossEntropyLoss(a, {5, 2});
+                          }),
+                          std::vector<Tensor>{a});
+  });
+  add("concat_cols_slice", [](util::Rng& rng) {
+    Tensor a = RandomInput({2, 2}, rng), b = RandomInput({2, 3}, rng);
+    return std::make_pair(std::function<Tensor()>([=] {
+                            Tensor y = ConcatCols({a, b});
+                            return Sum(Square(SliceCols(y, 1, 3)));
+                          }),
+                          std::vector<Tensor>{a, b});
+  });
+  add("concat_rows_slice", [](util::Rng& rng) {
+    Tensor a = RandomInput({1, 3}, rng), b = RandomInput({2, 3}, rng);
+    return std::make_pair(std::function<Tensor()>([=] {
+                            Tensor y = ConcatRows({a, b});
+                            return Sum(Square(SliceRows(y, 1, 2)));
+                          }),
+                          std::vector<Tensor>{a, b});
+  });
+  add("rows_gather", [](util::Rng& rng) {
+    Tensor table = RandomInput({4, 3}, rng);
+    return std::make_pair(std::function<Tensor()>([=] {
+                            return Sum(Square(Rows(table, {3, 1, 3})));
+                          }),
+                          std::vector<Tensor>{table});
+  });
+  add("mean_sumrows", [](util::Rng& rng) {
+    Tensor a = RandomInput({3, 3}, rng);
+    return std::make_pair(std::function<Tensor()>([=] {
+                            return Mean(Square(SumRows(a)));
+                          }),
+                          std::vector<Tensor>{a});
+  });
+  add("lstm_like_gate_expression", [](util::Rng& rng) {
+    // A miniature LSTM step, end to end.
+    Tensor x = RandomInput({1, 3}, rng);
+    Tensor wx = RandomInput({3, 8}, rng, 0.5f);
+    Tensor h = RandomInput({1, 2}, rng);
+    Tensor wh = RandomInput({2, 8}, rng, 0.5f);
+    Tensor c_prev = RandomInput({1, 2}, rng);
+    return std::make_pair(
+        std::function<Tensor()>([=] {
+          Tensor gates = Add(MatMul(x, wx), MatMul(h, wh));
+          Tensor i = Sigmoid(SliceCols(gates, 0, 2));
+          Tensor f = Sigmoid(SliceCols(gates, 2, 2));
+          Tensor g = Tanh(SliceCols(gates, 4, 2));
+          Tensor o = Sigmoid(SliceCols(gates, 6, 2));
+          Tensor c = Add(Mul(f, c_prev), Mul(i, g));
+          return Sum(Square(Mul(o, Tanh(c))));
+        }),
+        std::vector<Tensor>{x, wx, h, wh, c_prev});
+  });
+  add("attention_like_expression", [](util::Rng& rng) {
+    Tensor q = RandomInput({1, 3}, rng);
+    Tensor wa = RandomInput({3, 3}, rng, 0.5f);
+    Tensor keys = RandomInput({4, 3}, rng);
+    return std::make_pair(
+        std::function<Tensor()>([=] {
+          Tensor scores = MatMul(MatMul(q, wa), Transpose(keys));
+          Tensor weights = Softmax(scores);
+          Tensor context = MatMul(weights, keys);
+          return Sum(Square(context));
+        }),
+        std::vector<Tensor>{q, wa, keys});
+  });
+  return cases;
+}());
+  return cases;
+}
+
+class GradCheckSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GradCheckSweep, AnalyticMatchesNumeric) {
+  const GradCase& c = AllCases()[GetParam()];
+  // Three random restarts per case.
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    util::Rng rng(seed);
+    auto [loss_fn, inputs] = c.build(rng);
+    for (Tensor& in : inputs) {
+      // Mark everything trainable so gradients are produced.
+      // (UniformInit already sets requires_grad.)
+      ASSERT_TRUE(in.requires_grad());
+    }
+    GradCheckResult result = CheckGradients(loss_fn, inputs);
+    EXPECT_TRUE(result.ok) << c.name << " seed=" << seed
+                           << " worst: " << result.worst_location
+                           << " rel_err=" << result.max_rel_error;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, GradCheckSweep, ::testing::Range<size_t>(0, AllCases().size()),
+    [](const ::testing::TestParamInfo<size_t>& info) {
+      return AllCases()[info.param].name;
+    });
+
+}  // namespace
+}  // namespace pa::tensor

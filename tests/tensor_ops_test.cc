@@ -1,0 +1,218 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace pa::tensor {
+namespace {
+
+TEST(OpsTest, AddSameShape) {
+  Tensor a = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromData({2, 2}, {10, 20, 30, 40});
+  Tensor y = Add(a, b);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(y.at(1, 1), 44.0f);
+}
+
+TEST(OpsTest, AddRowBroadcast) {
+  Tensor a = Tensor::FromData({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor bias = Tensor::FromData({1, 3}, {10, 20, 30});
+  Tensor y = Add(a, bias);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(y.at(1, 2), 36.0f);
+}
+
+TEST(OpsTest, AddRowBroadcastBackwardSumsRows) {
+  Tensor a = Tensor::Zeros({3, 2}, /*requires_grad=*/true);
+  Tensor bias = Tensor::Zeros({1, 2}, /*requires_grad=*/true);
+  Sum(Add(a, bias)).Backward();
+  EXPECT_FLOAT_EQ(bias.grad_at(0, 0), 3.0f);  // One per row.
+  EXPECT_FLOAT_EQ(bias.grad_at(0, 1), 3.0f);
+}
+
+TEST(OpsTest, AddScalarBroadcast) {
+  Tensor a = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  Tensor s = Tensor::Scalar(5.0f);
+  Tensor y = Add(a, s);
+  EXPECT_FLOAT_EQ(y.at(1, 0), 8.0f);
+}
+
+TEST(OpsTest, SubAndMul) {
+  Tensor a = Tensor::FromData({1, 3}, {4, 6, 8});
+  Tensor b = Tensor::FromData({1, 3}, {1, 2, 3});
+  Tensor d = Sub(a, b);
+  Tensor m = Mul(a, b);
+  EXPECT_FLOAT_EQ(d.at(0, 2), 5.0f);
+  EXPECT_FLOAT_EQ(m.at(0, 1), 12.0f);
+}
+
+TEST(OpsTest, MatMulKnownResult) {
+  Tensor a = Tensor::FromData({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromData({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor y = MatMul(a, b);
+  EXPECT_EQ(y.rows(), 2);
+  EXPECT_EQ(y.cols(), 2);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(y.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(y.at(1, 1), 154.0f);
+}
+
+TEST(OpsTest, TransposeRoundTrip) {
+  Tensor a = Tensor::FromData({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = Transpose(a);
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_FLOAT_EQ(t.at(2, 1), 6.0f);
+  Tensor tt = Transpose(t);
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 3; ++j) EXPECT_FLOAT_EQ(tt.at(i, j), a.at(i, j));
+  }
+}
+
+TEST(OpsTest, SigmoidTanhReluValues) {
+  Tensor x = Tensor::FromData({1, 3}, {-1.0f, 0.0f, 2.0f});
+  Tensor s = Sigmoid(x);
+  EXPECT_NEAR(s.at(0, 0), 0.26894f, 1e-4);
+  EXPECT_NEAR(s.at(0, 1), 0.5f, 1e-6);
+  Tensor t = Tanh(x);
+  EXPECT_NEAR(t.at(0, 2), std::tanh(2.0f), 1e-6);
+  Tensor r = Relu(x);
+  EXPECT_FLOAT_EQ(r.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(r.at(0, 2), 2.0f);
+}
+
+TEST(OpsTest, ExpLogSquare) {
+  Tensor x = Tensor::FromData({1, 2}, {1.0f, 2.0f});
+  EXPECT_NEAR(Exp(x).at(0, 1), std::exp(2.0f), 1e-4);
+  EXPECT_NEAR(Log(x).at(0, 1), std::log(2.0f), 1e-6);
+  EXPECT_FLOAT_EQ(Square(x).at(0, 1), 4.0f);
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  Tensor x = Tensor::FromData({2, 3}, {1, 2, 3, -1, 0, 1});
+  Tensor y = Softmax(x);
+  for (int i = 0; i < 2; ++i) {
+    float sum = 0.0f;
+    for (int j = 0; j < 3; ++j) {
+      sum += y.at(i, j);
+      EXPECT_GT(y.at(i, j), 0.0f);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+  }
+  // Monotone in the logits.
+  EXPECT_LT(y.at(0, 0), y.at(0, 2));
+}
+
+TEST(OpsTest, SoftmaxIsShiftInvariant) {
+  Tensor x = Tensor::FromData({1, 3}, {1, 2, 3});
+  Tensor x_shifted = Tensor::FromData({1, 3}, {1001, 1002, 1003});
+  Tensor a = Softmax(x);
+  Tensor b = Softmax(x_shifted);
+  for (int j = 0; j < 3; ++j) EXPECT_NEAR(a.at(0, j), b.at(0, j), 1e-5);
+}
+
+TEST(OpsTest, LogSoftmaxMatchesLogOfSoftmax) {
+  Tensor x = Tensor::FromData({1, 4}, {0.5f, -1.0f, 2.0f, 0.0f});
+  Tensor ls = LogSoftmax(x);
+  Tensor s = Softmax(x);
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_NEAR(ls.at(0, j), std::log(s.at(0, j)), 1e-5);
+  }
+}
+
+TEST(OpsTest, NllLossPicksTargets) {
+  Tensor logp = Tensor::FromData({2, 2}, {std::log(0.25f), std::log(0.75f),
+                                          std::log(0.5f), std::log(0.5f)});
+  Tensor loss = NllLoss(logp, {1, 0});
+  EXPECT_NEAR(loss.item(), -(std::log(0.75f) + std::log(0.5f)) / 2.0f, 1e-5);
+}
+
+TEST(OpsTest, CrossEntropyOfUniformLogitsIsLogN) {
+  Tensor logits = Tensor::Zeros({3, 8});
+  Tensor loss = CrossEntropyLoss(logits, {0, 3, 7});
+  EXPECT_NEAR(loss.item(), std::log(8.0f), 1e-5);
+}
+
+TEST(OpsTest, CrossEntropyGradientIsSoftmaxMinusOneHot) {
+  Tensor logits = Tensor::FromData({1, 3}, {1, 2, 3}, /*requires_grad=*/true);
+  CrossEntropyLoss(logits, {2}).Backward();
+  Tensor p = Softmax(Tensor::FromData({1, 3}, {1, 2, 3}));
+  EXPECT_NEAR(logits.grad_at(0, 0), p.at(0, 0), 1e-5);
+  EXPECT_NEAR(logits.grad_at(0, 1), p.at(0, 1), 1e-5);
+  EXPECT_NEAR(logits.grad_at(0, 2), p.at(0, 2) - 1.0f, 1e-5);
+}
+
+TEST(OpsTest, ConcatColsLayout) {
+  Tensor a = Tensor::FromData({2, 1}, {1, 2});
+  Tensor b = Tensor::FromData({2, 2}, {3, 4, 5, 6});
+  Tensor y = ConcatCols({a, b});
+  EXPECT_EQ(y.cols(), 3);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 3.0f);
+  EXPECT_FLOAT_EQ(y.at(1, 2), 6.0f);
+}
+
+TEST(OpsTest, ConcatRowsLayout) {
+  Tensor a = Tensor::FromData({1, 2}, {1, 2});
+  Tensor b = Tensor::FromData({2, 2}, {3, 4, 5, 6});
+  Tensor y = ConcatRows({a, b});
+  EXPECT_EQ(y.rows(), 3);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(y.at(2, 0), 5.0f);
+}
+
+TEST(OpsTest, SliceColsAndBackwardScatter) {
+  Tensor a = Tensor::FromData({2, 4}, {1, 2, 3, 4, 5, 6, 7, 8},
+                              /*requires_grad=*/true);
+  Tensor y = SliceCols(a, 1, 2);
+  EXPECT_EQ(y.cols(), 2);
+  EXPECT_FLOAT_EQ(y.at(1, 0), 6.0f);
+  Sum(y).Backward();
+  EXPECT_FLOAT_EQ(a.grad_at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(a.grad_at(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(a.grad_at(1, 2), 1.0f);
+  EXPECT_FLOAT_EQ(a.grad_at(1, 3), 0.0f);
+}
+
+TEST(OpsTest, SliceRows) {
+  Tensor a = Tensor::FromData({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor y = SliceRows(a, 1, 2);
+  EXPECT_EQ(y.rows(), 2);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(y.at(1, 1), 6.0f);
+}
+
+TEST(OpsTest, RowsGatherAndScatterAdd) {
+  Tensor table = Tensor::FromData({3, 2}, {1, 2, 3, 4, 5, 6},
+                                  /*requires_grad=*/true);
+  Tensor y = Rows(table, {2, 0, 2});
+  EXPECT_EQ(y.rows(), 3);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(y.at(1, 1), 2.0f);
+  Sum(y).Backward();
+  EXPECT_FLOAT_EQ(table.grad_at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(table.grad_at(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(table.grad_at(2, 0), 2.0f);  // Gathered twice.
+}
+
+TEST(OpsTest, SumMeanSumRows) {
+  Tensor a = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(Sum(a).item(), 10.0f);
+  EXPECT_FLOAT_EQ(Mean(a).item(), 2.5f);
+  Tensor r = SumRows(a);
+  EXPECT_EQ(r.cols(), 1);
+  EXPECT_FLOAT_EQ(r.at(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(r.at(1, 0), 7.0f);
+}
+
+TEST(OpsTest, ScaleAndAddScalar) {
+  Tensor a = Tensor::FromData({1, 2}, {2, 4});
+  EXPECT_FLOAT_EQ(Scale(a, 0.5f).at(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(AddScalar(a, 1.0f).at(0, 0), 3.0f);
+}
+
+}  // namespace
+}  // namespace pa::tensor

@@ -1,0 +1,138 @@
+#include "tensor/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace pa::tensor {
+namespace {
+
+// Fits y = 2x + 1 by least squares; both optimizers must converge.
+template <typename MakeOpt>
+void FitLine(MakeOpt make_opt, float tol) {
+  util::Rng rng(3);
+  Tensor w = Tensor::Scalar(0.0f, /*requires_grad=*/true);
+  Tensor b = Tensor::Scalar(0.0f, /*requires_grad=*/true);
+  auto opt = make_opt(std::vector<Tensor>{w, b});
+
+  const int n = 32;
+  std::vector<float> xs(n), ys(n);
+  for (int i = 0; i < n; ++i) {
+    xs[i] = static_cast<float>(rng.Uniform(-1.0, 1.0));
+    ys[i] = 2.0f * xs[i] + 1.0f;
+  }
+  Tensor x = Tensor::FromData({n, 1}, xs);
+  Tensor y = Tensor::FromData({n, 1}, ys);
+
+  for (int step = 0; step < 400; ++step) {
+    Tensor pred = Add(Mul(x, w), b);
+    Tensor loss = Mean(Square(Sub(pred, y)));
+    opt->ZeroGrad();
+    loss.Backward();
+    opt->Step();
+  }
+  EXPECT_NEAR(w.item(), 2.0f, tol);
+  EXPECT_NEAR(b.item(), 1.0f, tol);
+}
+
+TEST(OptimizerTest, SgdConvergesOnLinearRegression) {
+  FitLine(
+      [](std::vector<Tensor> p) {
+        return std::make_unique<Sgd>(std::move(p), 0.1f);
+      },
+      0.05f);
+}
+
+TEST(OptimizerTest, AdamConvergesOnLinearRegression) {
+  FitLine(
+      [](std::vector<Tensor> p) {
+        return std::make_unique<Adam>(std::move(p), 0.05f);
+      },
+      0.05f);
+}
+
+TEST(OptimizerTest, SgdStepMovesAgainstGradient) {
+  Tensor w = Tensor::Scalar(1.0f, /*requires_grad=*/true);
+  Sgd opt({w}, 0.5f);
+  Square(w).Backward();  // grad = 2.
+  opt.Step();
+  EXPECT_FLOAT_EQ(w.item(), 0.0f);  // 1 - 0.5 * 2.
+}
+
+TEST(OptimizerTest, WeightDecayShrinksWeights) {
+  Tensor w = Tensor::Scalar(1.0f, /*requires_grad=*/true);
+  Sgd opt({w}, 0.1f, /*weight_decay=*/1.0f);
+  opt.ZeroGrad();
+  opt.Step();  // Zero gradient, pure decay.
+  EXPECT_NEAR(w.item(), 0.9f, 1e-6);
+}
+
+TEST(OptimizerTest, ClipGradNormScalesLargeGradients) {
+  Tensor a = Tensor::FromData({1, 2}, {0, 0}, /*requires_grad=*/true);
+  Sgd opt({a}, 0.1f);
+  a.grad_data()[0] = 3.0f;
+  a.grad_data()[1] = 4.0f;  // Norm 5.
+  const float pre = opt.ClipGradNorm(1.0f);
+  EXPECT_FLOAT_EQ(pre, 5.0f);
+  EXPECT_NEAR(a.grad_at(0, 0), 0.6f, 1e-5);
+  EXPECT_NEAR(a.grad_at(0, 1), 0.8f, 1e-5);
+}
+
+TEST(OptimizerTest, ClipGradNormLeavesSmallGradients) {
+  Tensor a = Tensor::FromData({1, 2}, {0, 0}, /*requires_grad=*/true);
+  Sgd opt({a}, 0.1f);
+  a.grad_data()[0] = 0.3f;
+  opt.ClipGradNorm(1.0f);
+  EXPECT_FLOAT_EQ(a.grad_at(0, 0), 0.3f);
+}
+
+TEST(OptimizerTest, AdamFirstStepIsLrSized) {
+  // With bias correction, the very first Adam step is ~lr in magnitude.
+  Tensor w = Tensor::Scalar(0.0f, /*requires_grad=*/true);
+  Adam opt({w}, 0.01f);
+  Square(AddScalar(w, 1.0f)).Backward();  // Nonzero gradient.
+  opt.Step();
+  EXPECT_NEAR(std::fabs(w.item()), 0.01f, 1e-4);
+}
+
+TEST(OptimizerTest, ZeroGradResetsAllParams) {
+  Tensor a = Tensor::Scalar(1.0f, /*requires_grad=*/true);
+  Tensor b = Tensor::Scalar(2.0f, /*requires_grad=*/true);
+  Sgd opt({a, b}, 0.1f);
+  Sum(ConcatCols({Square(a), Square(b)})).Backward();
+  EXPECT_NE(a.grad_at(0, 0), 0.0f);
+  opt.ZeroGrad();
+  EXPECT_FLOAT_EQ(a.grad_at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(b.grad_at(0, 0), 0.0f);
+}
+
+TEST(InitTest, XavierRangeAndGradFlag) {
+  util::Rng rng(1);
+  Tensor t = XavierInit({10, 10}, rng);
+  EXPECT_TRUE(t.requires_grad());
+  const float bound = std::sqrt(6.0f / 20.0f);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_LE(std::fabs(t.data()[i]), bound + 1e-6);
+  }
+}
+
+TEST(InitTest, NormalInitHasRoughlyRightSpread) {
+  util::Rng rng(2);
+  Tensor t = NormalInit({50, 50}, 0.1f, rng);
+  double sum = 0.0, sq = 0.0;
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    sum += t.data()[i];
+    sq += static_cast<double>(t.data()[i]) * t.data()[i];
+  }
+  const double mean = sum / t.numel();
+  const double stddev = std::sqrt(sq / t.numel() - mean * mean);
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(stddev, 0.1, 0.01);
+}
+
+}  // namespace
+}  // namespace pa::tensor
