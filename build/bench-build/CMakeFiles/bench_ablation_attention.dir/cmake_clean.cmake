@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_attention"
+  "../bench/bench_ablation_attention.pdb"
+  "CMakeFiles/bench_ablation_attention.dir/bench_ablation_attention.cc.o"
+  "CMakeFiles/bench_ablation_attention.dir/bench_ablation_attention.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

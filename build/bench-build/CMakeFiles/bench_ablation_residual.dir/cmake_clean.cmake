@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_residual"
+  "../bench/bench_ablation_residual.pdb"
+  "CMakeFiles/bench_ablation_residual.dir/bench_ablation_residual.cc.o"
+  "CMakeFiles/bench_ablation_residual.dir/bench_ablation_residual.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_residual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_training"
+  "../bench/bench_ablation_training.pdb"
+  "CMakeFiles/bench_ablation_training.dir/bench_ablation_training.cc.o"
+  "CMakeFiles/bench_ablation_training.dir/bench_ablation_training.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_direct_recommendation"
+  "../bench/bench_direct_recommendation.pdb"
+  "CMakeFiles/bench_direct_recommendation.dir/bench_direct_recommendation.cc.o"
+  "CMakeFiles/bench_direct_recommendation.dir/bench_direct_recommendation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_direct_recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

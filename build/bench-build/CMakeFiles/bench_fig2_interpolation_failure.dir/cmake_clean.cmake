@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_interpolation_failure"
+  "../bench/bench_fig2_interpolation_failure.pdb"
+  "CMakeFiles/bench_fig2_interpolation_failure.dir/bench_fig2_interpolation_failure.cc.o"
+  "CMakeFiles/bench_fig2_interpolation_failure.dir/bench_fig2_interpolation_failure.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_interpolation_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

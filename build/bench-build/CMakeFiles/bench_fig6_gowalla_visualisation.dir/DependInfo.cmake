@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6_gowalla_visualisation.cc" "bench-build/CMakeFiles/bench_fig6_gowalla_visualisation.dir/bench_fig6_gowalla_visualisation.cc.o" "gcc" "bench-build/CMakeFiles/bench_fig6_gowalla_visualisation.dir/bench_fig6_gowalla_visualisation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/pa_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/pa_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/rec/CMakeFiles/pa_rec.dir/DependInfo.cmake"
+  "/root/repo/build/src/augment/CMakeFiles/pa_augment.dir/DependInfo.cmake"
+  "/root/repo/build/src/poi/CMakeFiles/pa_poi.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/pa_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/pa_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pa_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_gowalla_visualisation"
+  "../bench/bench_fig6_gowalla_visualisation.pdb"
+  "CMakeFiles/bench_fig6_gowalla_visualisation.dir/bench_fig6_gowalla_visualisation.cc.o"
+  "CMakeFiles/bench_fig6_gowalla_visualisation.dir/bench_fig6_gowalla_visualisation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_gowalla_visualisation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

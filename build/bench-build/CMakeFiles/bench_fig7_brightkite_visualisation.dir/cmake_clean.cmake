@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_brightkite_visualisation"
+  "../bench/bench_fig7_brightkite_visualisation.pdb"
+  "CMakeFiles/bench_fig7_brightkite_visualisation.dir/bench_fig7_brightkite_visualisation.cc.o"
+  "CMakeFiles/bench_fig7_brightkite_visualisation.dir/bench_fig7_brightkite_visualisation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_brightkite_visualisation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

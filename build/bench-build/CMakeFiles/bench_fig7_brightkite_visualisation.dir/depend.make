@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_brightkite_visualisation.
+# This may be replaced when dependencies are built.

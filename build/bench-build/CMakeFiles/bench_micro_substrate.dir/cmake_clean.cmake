@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_substrate"
+  "../bench/bench_micro_substrate.pdb"
+  "CMakeFiles/bench_micro_substrate.dir/bench_micro_substrate.cc.o"
+  "CMakeFiles/bench_micro_substrate.dir/bench_micro_substrate.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

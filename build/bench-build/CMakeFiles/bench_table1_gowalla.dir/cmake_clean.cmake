@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_gowalla"
+  "../bench/bench_table1_gowalla.pdb"
+  "CMakeFiles/bench_table1_gowalla.dir/bench_table1_gowalla.cc.o"
+  "CMakeFiles/bench_table1_gowalla.dir/bench_table1_gowalla.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_gowalla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

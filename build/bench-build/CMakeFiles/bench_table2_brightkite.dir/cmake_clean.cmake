@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_brightkite"
+  "../bench/bench_table2_brightkite.pdb"
+  "CMakeFiles/bench_table2_brightkite.dir/bench_table2_brightkite.cc.o"
+  "CMakeFiles/bench_table2_brightkite.dir/bench_table2_brightkite.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_brightkite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

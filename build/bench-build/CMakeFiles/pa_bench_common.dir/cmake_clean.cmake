@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_bench_common.dir/ablation_common.cc.o"
+  "CMakeFiles/pa_bench_common.dir/ablation_common.cc.o.d"
+  "CMakeFiles/pa_bench_common.dir/table_common.cc.o"
+  "CMakeFiles/pa_bench_common.dir/table_common.cc.o.d"
+  "CMakeFiles/pa_bench_common.dir/visualisation_common.cc.o"
+  "CMakeFiles/pa_bench_common.dir/visualisation_common.cc.o.d"
+  "libpa_bench_common.a"
+  "libpa_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

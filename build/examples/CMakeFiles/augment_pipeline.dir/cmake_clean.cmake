@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augment_pipeline.dir/augment_pipeline.cpp.o"
+  "CMakeFiles/augment_pipeline.dir/augment_pipeline.cpp.o.d"
+  "augment_pipeline"
+  "augment_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augment_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_recommenders.dir/compare_recommenders.cpp.o"
+  "CMakeFiles/compare_recommenders.dir/compare_recommenders.cpp.o.d"
+  "compare_recommenders"
+  "compare_recommenders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_recommenders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

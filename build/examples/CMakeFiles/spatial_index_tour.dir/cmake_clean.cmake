@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatial_index_tour.dir/spatial_index_tour.cpp.o"
+  "CMakeFiles/spatial_index_tour.dir/spatial_index_tour.cpp.o.d"
+  "spatial_index_tour"
+  "spatial_index_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatial_index_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

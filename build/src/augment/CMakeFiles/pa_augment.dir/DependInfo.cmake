@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/augment/augmenter.cc" "src/augment/CMakeFiles/pa_augment.dir/augmenter.cc.o" "gcc" "src/augment/CMakeFiles/pa_augment.dir/augmenter.cc.o.d"
+  "/root/repo/src/augment/imputation_eval.cc" "src/augment/CMakeFiles/pa_augment.dir/imputation_eval.cc.o" "gcc" "src/augment/CMakeFiles/pa_augment.dir/imputation_eval.cc.o.d"
+  "/root/repo/src/augment/linear_interpolation.cc" "src/augment/CMakeFiles/pa_augment.dir/linear_interpolation.cc.o" "gcc" "src/augment/CMakeFiles/pa_augment.dir/linear_interpolation.cc.o.d"
+  "/root/repo/src/augment/markov_baseline.cc" "src/augment/CMakeFiles/pa_augment.dir/markov_baseline.cc.o" "gcc" "src/augment/CMakeFiles/pa_augment.dir/markov_baseline.cc.o.d"
+  "/root/repo/src/augment/pa_seq2seq.cc" "src/augment/CMakeFiles/pa_augment.dir/pa_seq2seq.cc.o" "gcc" "src/augment/CMakeFiles/pa_augment.dir/pa_seq2seq.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/pa_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/poi/CMakeFiles/pa_poi.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/pa_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pa_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_augment.dir/augmenter.cc.o"
+  "CMakeFiles/pa_augment.dir/augmenter.cc.o.d"
+  "CMakeFiles/pa_augment.dir/imputation_eval.cc.o"
+  "CMakeFiles/pa_augment.dir/imputation_eval.cc.o.d"
+  "CMakeFiles/pa_augment.dir/linear_interpolation.cc.o"
+  "CMakeFiles/pa_augment.dir/linear_interpolation.cc.o.d"
+  "CMakeFiles/pa_augment.dir/markov_baseline.cc.o"
+  "CMakeFiles/pa_augment.dir/markov_baseline.cc.o.d"
+  "CMakeFiles/pa_augment.dir/pa_seq2seq.cc.o"
+  "CMakeFiles/pa_augment.dir/pa_seq2seq.cc.o.d"
+  "libpa_augment.a"
+  "libpa_augment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_augment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

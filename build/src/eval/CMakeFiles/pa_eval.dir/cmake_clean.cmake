@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_eval.dir/experiment.cc.o"
+  "CMakeFiles/pa_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/pa_eval.dir/hr_metric.cc.o"
+  "CMakeFiles/pa_eval.dir/hr_metric.cc.o.d"
+  "libpa_eval.a"
+  "libpa_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/grid_index.cc" "src/geo/CMakeFiles/pa_geo.dir/grid_index.cc.o" "gcc" "src/geo/CMakeFiles/pa_geo.dir/grid_index.cc.o.d"
+  "/root/repo/src/geo/latlng.cc" "src/geo/CMakeFiles/pa_geo.dir/latlng.cc.o" "gcc" "src/geo/CMakeFiles/pa_geo.dir/latlng.cc.o.d"
+  "/root/repo/src/geo/rstar_tree.cc" "src/geo/CMakeFiles/pa_geo.dir/rstar_tree.cc.o" "gcc" "src/geo/CMakeFiles/pa_geo.dir/rstar_tree.cc.o.d"
+  "/root/repo/src/geo/rtree.cc" "src/geo/CMakeFiles/pa_geo.dir/rtree.cc.o" "gcc" "src/geo/CMakeFiles/pa_geo.dir/rtree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

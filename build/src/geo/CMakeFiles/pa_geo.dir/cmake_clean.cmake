@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_geo.dir/grid_index.cc.o"
+  "CMakeFiles/pa_geo.dir/grid_index.cc.o.d"
+  "CMakeFiles/pa_geo.dir/latlng.cc.o"
+  "CMakeFiles/pa_geo.dir/latlng.cc.o.d"
+  "CMakeFiles/pa_geo.dir/rstar_tree.cc.o"
+  "CMakeFiles/pa_geo.dir/rstar_tree.cc.o.d"
+  "CMakeFiles/pa_geo.dir/rtree.cc.o"
+  "CMakeFiles/pa_geo.dir/rtree.cc.o.d"
+  "libpa_geo.a"
+  "libpa_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

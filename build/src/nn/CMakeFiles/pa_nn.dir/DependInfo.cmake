@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cc" "src/nn/CMakeFiles/pa_nn.dir/attention.cc.o" "gcc" "src/nn/CMakeFiles/pa_nn.dir/attention.cc.o.d"
+  "/root/repo/src/nn/gru_cell.cc" "src/nn/CMakeFiles/pa_nn.dir/gru_cell.cc.o" "gcc" "src/nn/CMakeFiles/pa_nn.dir/gru_cell.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/nn/CMakeFiles/pa_nn.dir/layers.cc.o" "gcc" "src/nn/CMakeFiles/pa_nn.dir/layers.cc.o.d"
+  "/root/repo/src/nn/lstm.cc" "src/nn/CMakeFiles/pa_nn.dir/lstm.cc.o" "gcc" "src/nn/CMakeFiles/pa_nn.dir/lstm.cc.o.d"
+  "/root/repo/src/nn/rnn_cell.cc" "src/nn/CMakeFiles/pa_nn.dir/rnn_cell.cc.o" "gcc" "src/nn/CMakeFiles/pa_nn.dir/rnn_cell.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/pa_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/pa_nn.dir/serialize.cc.o.d"
+  "/root/repo/src/nn/st_clstm.cc" "src/nn/CMakeFiles/pa_nn.dir/st_clstm.cc.o" "gcc" "src/nn/CMakeFiles/pa_nn.dir/st_clstm.cc.o.d"
+  "/root/repo/src/nn/st_rnn_cell.cc" "src/nn/CMakeFiles/pa_nn.dir/st_rnn_cell.cc.o" "gcc" "src/nn/CMakeFiles/pa_nn.dir/st_rnn_cell.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/pa_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_nn.dir/attention.cc.o"
+  "CMakeFiles/pa_nn.dir/attention.cc.o.d"
+  "CMakeFiles/pa_nn.dir/gru_cell.cc.o"
+  "CMakeFiles/pa_nn.dir/gru_cell.cc.o.d"
+  "CMakeFiles/pa_nn.dir/layers.cc.o"
+  "CMakeFiles/pa_nn.dir/layers.cc.o.d"
+  "CMakeFiles/pa_nn.dir/lstm.cc.o"
+  "CMakeFiles/pa_nn.dir/lstm.cc.o.d"
+  "CMakeFiles/pa_nn.dir/rnn_cell.cc.o"
+  "CMakeFiles/pa_nn.dir/rnn_cell.cc.o.d"
+  "CMakeFiles/pa_nn.dir/serialize.cc.o"
+  "CMakeFiles/pa_nn.dir/serialize.cc.o.d"
+  "CMakeFiles/pa_nn.dir/st_clstm.cc.o"
+  "CMakeFiles/pa_nn.dir/st_clstm.cc.o.d"
+  "CMakeFiles/pa_nn.dir/st_rnn_cell.cc.o"
+  "CMakeFiles/pa_nn.dir/st_rnn_cell.cc.o.d"
+  "libpa_nn.a"
+  "libpa_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

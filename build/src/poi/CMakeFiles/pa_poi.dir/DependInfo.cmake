@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/poi/csv.cc" "src/poi/CMakeFiles/pa_poi.dir/csv.cc.o" "gcc" "src/poi/CMakeFiles/pa_poi.dir/csv.cc.o.d"
+  "/root/repo/src/poi/dataset.cc" "src/poi/CMakeFiles/pa_poi.dir/dataset.cc.o" "gcc" "src/poi/CMakeFiles/pa_poi.dir/dataset.cc.o.d"
+  "/root/repo/src/poi/features.cc" "src/poi/CMakeFiles/pa_poi.dir/features.cc.o" "gcc" "src/poi/CMakeFiles/pa_poi.dir/features.cc.o.d"
+  "/root/repo/src/poi/poi_table.cc" "src/poi/CMakeFiles/pa_poi.dir/poi_table.cc.o" "gcc" "src/poi/CMakeFiles/pa_poi.dir/poi_table.cc.o.d"
+  "/root/repo/src/poi/sessions.cc" "src/poi/CMakeFiles/pa_poi.dir/sessions.cc.o" "gcc" "src/poi/CMakeFiles/pa_poi.dir/sessions.cc.o.d"
+  "/root/repo/src/poi/slot_grid.cc" "src/poi/CMakeFiles/pa_poi.dir/slot_grid.cc.o" "gcc" "src/poi/CMakeFiles/pa_poi.dir/slot_grid.cc.o.d"
+  "/root/repo/src/poi/synthetic.cc" "src/poi/CMakeFiles/pa_poi.dir/synthetic.cc.o" "gcc" "src/poi/CMakeFiles/pa_poi.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/pa_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_poi.dir/csv.cc.o"
+  "CMakeFiles/pa_poi.dir/csv.cc.o.d"
+  "CMakeFiles/pa_poi.dir/dataset.cc.o"
+  "CMakeFiles/pa_poi.dir/dataset.cc.o.d"
+  "CMakeFiles/pa_poi.dir/features.cc.o"
+  "CMakeFiles/pa_poi.dir/features.cc.o.d"
+  "CMakeFiles/pa_poi.dir/poi_table.cc.o"
+  "CMakeFiles/pa_poi.dir/poi_table.cc.o.d"
+  "CMakeFiles/pa_poi.dir/sessions.cc.o"
+  "CMakeFiles/pa_poi.dir/sessions.cc.o.d"
+  "CMakeFiles/pa_poi.dir/slot_grid.cc.o"
+  "CMakeFiles/pa_poi.dir/slot_grid.cc.o.d"
+  "CMakeFiles/pa_poi.dir/synthetic.cc.o"
+  "CMakeFiles/pa_poi.dir/synthetic.cc.o.d"
+  "libpa_poi.a"
+  "libpa_poi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_poi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

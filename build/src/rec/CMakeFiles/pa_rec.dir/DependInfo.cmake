@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rec/fpmc_lr.cc" "src/rec/CMakeFiles/pa_rec.dir/fpmc_lr.cc.o" "gcc" "src/rec/CMakeFiles/pa_rec.dir/fpmc_lr.cc.o.d"
+  "/root/repo/src/rec/neural_recommender.cc" "src/rec/CMakeFiles/pa_rec.dir/neural_recommender.cc.o" "gcc" "src/rec/CMakeFiles/pa_rec.dir/neural_recommender.cc.o.d"
+  "/root/repo/src/rec/pa_seq2seq_recommender.cc" "src/rec/CMakeFiles/pa_rec.dir/pa_seq2seq_recommender.cc.o" "gcc" "src/rec/CMakeFiles/pa_rec.dir/pa_seq2seq_recommender.cc.o.d"
+  "/root/repo/src/rec/prme_g.cc" "src/rec/CMakeFiles/pa_rec.dir/prme_g.cc.o" "gcc" "src/rec/CMakeFiles/pa_rec.dir/prme_g.cc.o.d"
+  "/root/repo/src/rec/registry.cc" "src/rec/CMakeFiles/pa_rec.dir/registry.cc.o" "gcc" "src/rec/CMakeFiles/pa_rec.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/augment/CMakeFiles/pa_augment.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/pa_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/poi/CMakeFiles/pa_poi.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pa_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/pa_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

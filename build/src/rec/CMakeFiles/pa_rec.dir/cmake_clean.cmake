@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_rec.dir/fpmc_lr.cc.o"
+  "CMakeFiles/pa_rec.dir/fpmc_lr.cc.o.d"
+  "CMakeFiles/pa_rec.dir/neural_recommender.cc.o"
+  "CMakeFiles/pa_rec.dir/neural_recommender.cc.o.d"
+  "CMakeFiles/pa_rec.dir/pa_seq2seq_recommender.cc.o"
+  "CMakeFiles/pa_rec.dir/pa_seq2seq_recommender.cc.o.d"
+  "CMakeFiles/pa_rec.dir/prme_g.cc.o"
+  "CMakeFiles/pa_rec.dir/prme_g.cc.o.d"
+  "CMakeFiles/pa_rec.dir/registry.cc.o"
+  "CMakeFiles/pa_rec.dir/registry.cc.o.d"
+  "libpa_rec.a"
+  "libpa_rec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_rec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

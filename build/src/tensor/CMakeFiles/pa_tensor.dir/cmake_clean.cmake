@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_tensor.dir/gradcheck.cc.o"
+  "CMakeFiles/pa_tensor.dir/gradcheck.cc.o.d"
+  "CMakeFiles/pa_tensor.dir/init.cc.o"
+  "CMakeFiles/pa_tensor.dir/init.cc.o.d"
+  "CMakeFiles/pa_tensor.dir/ops.cc.o"
+  "CMakeFiles/pa_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/pa_tensor.dir/optimizer.cc.o"
+  "CMakeFiles/pa_tensor.dir/optimizer.cc.o.d"
+  "CMakeFiles/pa_tensor.dir/tensor.cc.o"
+  "CMakeFiles/pa_tensor.dir/tensor.cc.o.d"
+  "libpa_tensor.a"
+  "libpa_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augment_augmenter_test.dir/augment_augmenter_test.cc.o"
+  "CMakeFiles/augment_augmenter_test.dir/augment_augmenter_test.cc.o.d"
+  "augment_augmenter_test"
+  "augment_augmenter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augment_augmenter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

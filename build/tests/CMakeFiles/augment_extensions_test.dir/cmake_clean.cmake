@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augment_extensions_test.dir/augment_extensions_test.cc.o"
+  "CMakeFiles/augment_extensions_test.dir/augment_extensions_test.cc.o.d"
+  "augment_extensions_test"
+  "augment_extensions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augment_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

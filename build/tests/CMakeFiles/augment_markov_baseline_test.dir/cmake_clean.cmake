@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augment_markov_baseline_test.dir/augment_markov_baseline_test.cc.o"
+  "CMakeFiles/augment_markov_baseline_test.dir/augment_markov_baseline_test.cc.o.d"
+  "augment_markov_baseline_test"
+  "augment_markov_baseline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augment_markov_baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

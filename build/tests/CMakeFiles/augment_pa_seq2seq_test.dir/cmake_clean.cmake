@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augment_pa_seq2seq_test.dir/augment_pa_seq2seq_test.cc.o"
+  "CMakeFiles/augment_pa_seq2seq_test.dir/augment_pa_seq2seq_test.cc.o.d"
+  "augment_pa_seq2seq_test"
+  "augment_pa_seq2seq_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augment_pa_seq2seq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for augment_pa_seq2seq_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_hr_test.dir/eval_hr_test.cc.o"
+  "CMakeFiles/eval_hr_test.dir/eval_hr_test.cc.o.d"
+  "eval_hr_test"
+  "eval_hr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_hr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_latlng_test.dir/geo_latlng_test.cc.o"
+  "CMakeFiles/geo_latlng_test.dir/geo_latlng_test.cc.o.d"
+  "geo_latlng_test"
+  "geo_latlng_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_latlng_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_rstar_tree_test.dir/geo_rstar_tree_test.cc.o"
+  "CMakeFiles/geo_rstar_tree_test.dir/geo_rstar_tree_test.cc.o.d"
+  "geo_rstar_tree_test"
+  "geo_rstar_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_rstar_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

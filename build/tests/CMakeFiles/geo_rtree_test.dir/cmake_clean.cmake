@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_rtree_test.dir/geo_rtree_test.cc.o"
+  "CMakeFiles/geo_rtree_test.dir/geo_rtree_test.cc.o.d"
+  "geo_rtree_test"
+  "geo_rtree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_rtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

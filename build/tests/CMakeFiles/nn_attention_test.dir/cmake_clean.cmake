@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_attention_test.dir/nn_attention_test.cc.o"
+  "CMakeFiles/nn_attention_test.dir/nn_attention_test.cc.o.d"
+  "nn_attention_test"
+  "nn_attention_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_attention_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_cells_test.dir/nn_cells_test.cc.o"
+  "CMakeFiles/nn_cells_test.dir/nn_cells_test.cc.o.d"
+  "nn_cells_test"
+  "nn_cells_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_cells_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

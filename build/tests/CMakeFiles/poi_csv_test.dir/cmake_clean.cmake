@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poi_csv_test.dir/poi_csv_test.cc.o"
+  "CMakeFiles/poi_csv_test.dir/poi_csv_test.cc.o.d"
+  "poi_csv_test"
+  "poi_csv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poi_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poi_dataset_test.dir/poi_dataset_test.cc.o"
+  "CMakeFiles/poi_dataset_test.dir/poi_dataset_test.cc.o.d"
+  "poi_dataset_test"
+  "poi_dataset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poi_dataset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

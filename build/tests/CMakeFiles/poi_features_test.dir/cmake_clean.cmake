@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poi_features_test.dir/poi_features_test.cc.o"
+  "CMakeFiles/poi_features_test.dir/poi_features_test.cc.o.d"
+  "poi_features_test"
+  "poi_features_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poi_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

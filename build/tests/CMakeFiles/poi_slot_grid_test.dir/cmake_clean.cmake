@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poi_slot_grid_test.dir/poi_slot_grid_test.cc.o"
+  "CMakeFiles/poi_slot_grid_test.dir/poi_slot_grid_test.cc.o.d"
+  "poi_slot_grid_test"
+  "poi_slot_grid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poi_slot_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

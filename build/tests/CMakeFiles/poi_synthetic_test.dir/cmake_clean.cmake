@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poi_synthetic_test.dir/poi_synthetic_test.cc.o"
+  "CMakeFiles/poi_synthetic_test.dir/poi_synthetic_test.cc.o.d"
+  "poi_synthetic_test"
+  "poi_synthetic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poi_synthetic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rec_factorization_test.dir/rec_factorization_test.cc.o"
+  "CMakeFiles/rec_factorization_test.dir/rec_factorization_test.cc.o.d"
+  "rec_factorization_test"
+  "rec_factorization_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rec_factorization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rec_neural_test.dir/rec_neural_test.cc.o"
+  "CMakeFiles/rec_neural_test.dir/rec_neural_test.cc.o.d"
+  "rec_neural_test"
+  "rec_neural_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rec_neural_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

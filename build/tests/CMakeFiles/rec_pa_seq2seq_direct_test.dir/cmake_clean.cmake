@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rec_pa_seq2seq_direct_test.dir/rec_pa_seq2seq_direct_test.cc.o"
+  "CMakeFiles/rec_pa_seq2seq_direct_test.dir/rec_pa_seq2seq_direct_test.cc.o.d"
+  "rec_pa_seq2seq_direct_test"
+  "rec_pa_seq2seq_direct_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rec_pa_seq2seq_direct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rec_pa_seq2seq_direct_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_gradcheck_test.dir/tensor_gradcheck_test.cc.o"
+  "CMakeFiles/tensor_gradcheck_test.dir/tensor_gradcheck_test.cc.o.d"
+  "tensor_gradcheck_test"
+  "tensor_gradcheck_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_gradcheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
