@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the standard build + full test suite, then a
+# ThreadSanitizer build of the concurrency-sensitive tests (thread pool,
+# cross-thread determinism, parallel eval/training paths).
+#
+# Usage: scripts/tier1.sh [--no-tsan]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc)"
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+if [[ "${1:-}" == "--no-tsan" ]]; then
+  exit 0
+fi
+
+# TSan pass: only the tests that exercise the parallel execution layer need
+# rebuilding under -fsanitize=thread; a race anywhere in ParallelFor users
+# shows up here even on a single-core host.
+cmake -B build-tsan -S . -DPA_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j"$(nproc)" --target \
+  util_thread_pool_test parallel_determinism_test
+ctest --test-dir build-tsan --output-on-failure \
+  -R 'util_thread_pool_test|parallel_determinism_test'

@@ -8,6 +8,7 @@
 
 #include "nn/serialize.h"
 #include "tensor/ops.h"
+#include "util/thread_pool.h"
 
 namespace pa::augment {
 
@@ -101,7 +102,8 @@ int64_t PaSeq2Seq::NumParameters() const {
 
 tensor::Tensor PaSeq2Seq::Decode(
     const WorkItem& item, bool training, std::vector<int>* predictions,
-    std::vector<std::vector<int32_t>>* rankings) const {
+    std::vector<std::vector<int32_t>>* rankings, util::Rng* rng) const {
+  util::Rng& zrng = rng != nullptr ? *rng : rng_;
   const int n = static_cast<int>(item.enc_tokens.size());
   if (n < 2) return {};
 
@@ -148,12 +150,12 @@ tensor::Tensor PaSeq2Seq::Decode(
         {1, 2}, {item.feats[t].delta_t, item.feats[t].delta_d});
     Tensor x = tensor::ConcatCols({emb, feat});
 
-    s1 = dec_bottom_.ForwardZoneout(x, s1, zoneout, training, rng_);
+    s1 = dec_bottom_.ForwardZoneout(x, s1, zoneout, training, zrng);
     Tensor top_in = s1.h;
     if (config_.use_residual) {
       top_in = tensor::Add(top_in, dec_input_projection_.Forward(x));
     }
-    s2 = dec_top_.ForwardZoneout(top_in, s2, zoneout, training, rng_);
+    s2 = dec_top_.ForwardZoneout(top_in, s2, zoneout, training, zrng);
 
     if (!is_target[t]) continue;
 
@@ -190,7 +192,9 @@ tensor::Tensor PaSeq2Seq::Decode(
   return tensor::CrossEntropyLoss(tensor::ConcatRows(loss_rows), loss_targets);
 }
 
-tensor::Tensor PaSeq2Seq::DecoderLmLoss(const WorkItem& item) const {
+tensor::Tensor PaSeq2Seq::DecoderLmLoss(const WorkItem& item,
+                                        util::Rng* rng) const {
+  util::Rng& zrng = rng != nullptr ? *rng : rng_;
   const int n = static_cast<int>(item.enc_tokens.size());
   if (n < 2) return {};
   const nn::ZoneoutConfig zoneout{config_.zoneout_prob, config_.zoneout_prob};
@@ -204,12 +208,12 @@ tensor::Tensor PaSeq2Seq::DecoderLmLoss(const WorkItem& item) const {
     Tensor feat = Tensor::FromData(
         {1, 2}, {item.feats[t].delta_t, item.feats[t].delta_d});
     Tensor x = tensor::ConcatCols({emb, feat});
-    s1 = dec_bottom_.ForwardZoneout(x, s1, zoneout, /*training=*/true, rng_);
+    s1 = dec_bottom_.ForwardZoneout(x, s1, zoneout, /*training=*/true, zrng);
     Tensor top_in = s1.h;
     if (config_.use_residual) {
       top_in = tensor::Add(top_in, dec_input_projection_.Forward(x));
     }
-    s2 = dec_top_.ForwardZoneout(top_in, s2, zoneout, /*training=*/true, rng_);
+    s2 = dec_top_.ForwardZoneout(top_in, s2, zoneout, /*training=*/true, zrng);
     loss_rows.push_back(output_.Forward(s2.h));
     loss_targets.push_back(item.truth[t]);
   }
@@ -259,13 +263,14 @@ std::vector<PaSeq2Seq::WorkItem> PaSeq2Seq::MakeTrainingItems(
   return items;
 }
 
-PaSeq2Seq::WorkItem PaSeq2Seq::MaskItem(const WorkItem& item,
-                                        float ratio) const {
+PaSeq2Seq::WorkItem PaSeq2Seq::MaskItem(const WorkItem& item, float ratio,
+                                        util::Rng* rng) const {
+  util::Rng& mrng = rng != nullptr ? *rng : rng_;
   WorkItem masked = item;
   masked.target_positions.clear();
   const int n = static_cast<int>(item.enc_tokens.size());
   for (int t = 1; t < n; ++t) {
-    if (rng_.Uniform() < ratio) {
+    if (mrng.Uniform() < ratio) {
       masked.enc_tokens[t] = missing_token();
       masked.target_positions.push_back(t);
       // Distances touching an unobserved check-in are unknowable at
@@ -275,7 +280,7 @@ PaSeq2Seq::WorkItem PaSeq2Seq::MaskItem(const WorkItem& item,
     }
   }
   if (masked.target_positions.empty()) {
-    const int t = rng_.RandInt(1, n - 1);
+    const int t = mrng.RandInt(1, n - 1);
     masked.enc_tokens[t] = missing_token();
     masked.target_positions.push_back(t);
     masked.feats[t].delta_d = 0.0f;
@@ -286,20 +291,80 @@ PaSeq2Seq::WorkItem PaSeq2Seq::MaskItem(const WorkItem& item,
 
 float PaSeq2Seq::RunEpoch(
     std::vector<WorkItem>& items,
-    const std::function<tensor::Tensor(const WorkItem&)>& loss_fn,
+    const std::function<tensor::Tensor(const WorkItem&, util::Rng&)>& loss_fn,
     tensor::Adam& optimizer) {
   rng_.Shuffle(items);
   double total = 0.0;
   int count = 0;
-  for (const WorkItem& item : items) {
-    Tensor loss = loss_fn(item);
-    if (!loss.defined()) continue;
+
+  const int batch = std::max(1, config_.batch_size);
+  if (batch == 1) {
+    // Per-item SGD, every draw from rng_ — the historical training loop.
+    for (const WorkItem& item : items) {
+      Tensor loss = loss_fn(item, rng_);
+      if (!loss.defined()) continue;
+      optimizer.ZeroGrad();
+      loss.Backward();
+      optimizer.ClipGradNorm(config_.grad_clip);
+      optimizer.Step();
+      total += loss.item();
+      ++count;
+    }
+    return count > 0 ? static_cast<float>(total / count) : 0.0f;
+  }
+
+  // Data-parallel mini-batches. Each item runs forward + backward under a
+  // GradRedirectScope on whichever pool thread picks it up, drawing from a
+  // private stream; the per-item gradient buffers are merged in item order
+  // (a fixed floating-point reduction order), so the result depends on the
+  // batch size but not the thread count.
+  std::vector<Tensor> params = Parameters();
+  struct ItemResult {
+    bool defined = false;
+    float loss = 0.0f;
+    std::vector<std::vector<float>> grads;
+  };
+  for (size_t start = 0; start < items.size();
+       start += static_cast<size_t>(batch)) {
+    const size_t end =
+        std::min(items.size(), start + static_cast<size_t>(batch));
+    // One rng_ draw per batch roots the item streams, keeping rng_'s
+    // consumption independent of the batch contents.
+    const uint64_t batch_seed = rng_.engine()();
+    std::vector<ItemResult> results = util::GlobalPool().ParallelMap(
+        static_cast<int64_t>(start), static_cast<int64_t>(end), /*grain=*/1,
+        [&](int64_t i) {
+          util::Rng item_rng(util::StreamSeed(
+              batch_seed, static_cast<uint64_t>(i - start)));
+          tensor::GradRedirectScope scope(params);
+          ItemResult r;
+          Tensor loss = loss_fn(items[static_cast<size_t>(i)], item_rng);
+          if (loss.defined()) {
+            loss.Backward();
+            r.defined = true;
+            r.loss = loss.item();
+          }
+          r.grads = scope.TakeBuffers();
+          return r;
+        });
+
+    int contributed = 0;
+    for (const ItemResult& r : results) contributed += r.defined ? 1 : 0;
+    if (contributed == 0) continue;
     optimizer.ZeroGrad();
-    loss.Backward();
+    const float scale = 1.0f / static_cast<float>(contributed);
+    for (const ItemResult& r : results) {  // Item order: fixed merge order.
+      if (!r.defined) continue;
+      for (size_t p = 0; p < params.size(); ++p) {
+        float* dst = params[p].grad_data();
+        const std::vector<float>& src = r.grads[p];
+        for (size_t j = 0; j < src.size(); ++j) dst[j] += src[j] * scale;
+      }
+      total += r.loss;
+      ++count;
+    }
     optimizer.ClipGradNorm(config_.grad_clip);
     optimizer.Step();
-    total += loss.item();
-    ++count;
   }
   return count > 0 ? static_cast<float>(total / count) : 0.0f;
 }
@@ -314,8 +379,8 @@ void PaSeq2Seq::Fit(const std::vector<poi::CheckinSequence>& train) {
   for (int e = 0; e < config_.stage1_epochs; ++e) {
     const float loss = RunEpoch(
         items,
-        [this](const WorkItem& item) {
-          Tensor dec = DecoderLmLoss(item);
+        [this](const WorkItem& item, util::Rng& rng) {
+          Tensor dec = DecoderLmLoss(item, &rng);
           Tensor enc = EncoderLmLoss(item);
           if (!dec.defined()) return enc;
           if (!enc.defined()) return dec;
@@ -333,8 +398,8 @@ void PaSeq2Seq::Fit(const std::vector<poi::CheckinSequence>& train) {
   for (int e = 0; e < config_.stage2_epochs; ++e) {
     const float loss = RunEpoch(
         items,
-        [this](const WorkItem& item) {
-          return Decode(item, /*training=*/true, nullptr);
+        [this](const WorkItem& item, util::Rng& rng) {
+          return Decode(item, /*training=*/true, nullptr, nullptr, &rng);
         },
         optimizer);
     stats_.stage2.push_back(loss);
@@ -355,8 +420,9 @@ void PaSeq2Seq::Fit(const std::vector<poi::CheckinSequence>& train) {
     }
     const float loss = RunEpoch(
         items,
-        [this, ratio](const WorkItem& item) {
-          return Decode(MaskItem(item, ratio), /*training=*/true, nullptr);
+        [this, ratio](const WorkItem& item, util::Rng& rng) {
+          return Decode(MaskItem(item, ratio, &rng), /*training=*/true,
+                        nullptr, nullptr, &rng);
         },
         optimizer);
     stats_.stage3.push_back(loss);

@@ -51,6 +51,14 @@ struct PaSeq2SeqConfig {
   // Practicalities.
   int max_seq_len = 100;     // Training/inference chunk length.
   int min_seq_len = 4;       // Chunks shorter than this are skipped.
+  /// Training mini-batch size. 1 (the default) is the paper's per-item SGD
+  /// and is bit-identical to the historical sequential trainer. Larger
+  /// values run the items of each batch forward+backward in parallel on the
+  /// global thread pool — per-item gradients accumulate in private buffers
+  /// (see tensor::GradRedirectScope) and are merged in item order, then
+  /// averaged for one optimizer step, so the result depends on `batch_size`
+  /// but NOT on the thread count.
+  int batch_size = 1;
   uint64_t seed = 42;
   poi::FeatureScale feature_scale;
 
@@ -164,28 +172,46 @@ class PaSeq2Seq : public Augmenter {
   /// inputs from `truth`); in inference mode fills `predictions` (aligned
   /// with `target_positions`), optionally `rankings` (top `item.top_k`
   /// POIs per target), and returns an undefined tensor.
+  ///
+  /// `rng` supplies the zoneout draws in training mode; nullptr uses the
+  /// model's `rng_`. Data-parallel training passes a per-item stream so
+  /// concurrent items never touch the shared rng (which also keeps the
+  /// draws independent of the thread count). Inference draws nothing.
   tensor::Tensor Decode(const WorkItem& item, bool training,
                         std::vector<int>* predictions,
-                        std::vector<std::vector<int32_t>>* rankings =
-                            nullptr) const;
+                        std::vector<std::vector<int32_t>>* rankings = nullptr,
+                        util::Rng* rng = nullptr) const;
 
-  /// Decoder-only language-model loss (stage 1a).
-  tensor::Tensor DecoderLmLoss(const WorkItem& item) const;
-  /// Encoder next-token loss (stage 1b).
+  /// Decoder-only language-model loss (stage 1a). `rng` as in Decode.
+  tensor::Tensor DecoderLmLoss(const WorkItem& item,
+                               util::Rng* rng = nullptr) const;
+  /// Encoder next-token loss (stage 1b); deterministic (no zoneout).
   tensor::Tensor EncoderLmLoss(const WorkItem& item) const;
 
   /// Splits training sequences into chunk WorkItems.
   std::vector<WorkItem> MakeTrainingItems(
       const std::vector<poi::CheckinSequence>& train) const;
 
-  /// Runs one epoch over `items` with per-item loss `loss_fn`; returns the
-  /// mean loss.
-  float RunEpoch(std::vector<WorkItem>& items,
-                 const std::function<tensor::Tensor(const WorkItem&)>& loss_fn,
-                 tensor::Adam& optimizer);
+  /// Runs one epoch over `items`; returns the mean loss. `loss_fn` receives
+  /// the item plus the rng all of the item's stochastic draws (masking,
+  /// zoneout) must come from.
+  ///
+  /// With `config_.batch_size == 1` this is plain sequential per-item SGD
+  /// driven by `rng_` (the historical behavior, bit for bit). With larger
+  /// batches, each batch's items run forward+backward concurrently on the
+  /// global pool under a GradRedirectScope, each with a private rng stream
+  /// derived from one `rng_` draw per batch; gradients merge in item order
+  /// and are averaged for a single optimizer step per batch.
+  float RunEpoch(
+      std::vector<WorkItem>& items,
+      const std::function<tensor::Tensor(const WorkItem&, util::Rng&)>&
+          loss_fn,
+      tensor::Adam& optimizer);
 
-  /// Applies the stage-3 mask (ratio `ratio`) to a pristine item.
-  WorkItem MaskItem(const WorkItem& item, float ratio) const;
+  /// Applies the stage-3 mask (ratio `ratio`) to a pristine item, drawing
+  /// from `rng` (nullptr uses the model's `rng_`).
+  WorkItem MaskItem(const WorkItem& item, float ratio,
+                    util::Rng* rng = nullptr) const;
 
   const poi::PoiTable& pois_;
   PaSeq2SeqConfig config_;

@@ -1,6 +1,9 @@
 #include "eval/hr_metric.h"
 
+#include <algorithm>
 #include <sstream>
+
+#include "util/thread_pool.h"
 
 namespace pa::eval {
 
@@ -13,15 +16,32 @@ std::string HrResult::ToString() const {
 
 void HrAccumulator::Add(const std::vector<int32_t>& ranked, int32_t truth) {
   ++num_cases_;
-  for (size_t i = 0; i < ranked.size() && i < 10; ++i) {
-    if (ranked[i] == truth) {
-      if (i < 1) ++hits1_;
-      if (i < 5) ++hits5_;
+  // Rank positions are assigned over *distinct* ids: a recommender that
+  // emits [a, a, truth] has truth at effective rank 2, not 3, and a
+  // duplicated truth cannot be counted twice.
+  int32_t seen[10];
+  int num_seen = 0;
+  for (int32_t id : ranked) {
+    if (std::find(seen, seen + num_seen, id) != seen + num_seen) continue;
+    if (id == truth) {
+      const int rank = num_seen;  // 0-based rank among distinct ids.
+      if (rank < 1) ++hits1_;
+      if (rank < 5) ++hits5_;
       ++hits10_;
-      reciprocal_sum_ += 1.0 / static_cast<double>(i + 1);
-      break;
+      reciprocal_sum_ += 1.0 / static_cast<double>(rank + 1);
+      return;
     }
+    seen[num_seen++] = id;
+    if (num_seen >= 10) return;  // Clamp: ignore entries past 10 distinct.
   }
+}
+
+void HrAccumulator::Merge(const HrAccumulator& other) {
+  num_cases_ += other.num_cases_;
+  hits1_ += other.hits1_;
+  hits5_ += other.hits5_;
+  hits10_ += other.hits10_;
+  reciprocal_sum_ += other.reciprocal_sum_;
 }
 
 HrResult HrAccumulator::Result() const {
@@ -39,21 +59,32 @@ HrResult HrAccumulator::Result() const {
 HrResult EvaluateHr(const rec::Recommender& recommender,
                     const std::vector<poi::CheckinSequence>& warmup,
                     const std::vector<poi::CheckinSequence>& test) {
-  HrAccumulator acc;
   const size_t num_users = std::max(warmup.size(), test.size());
-  for (size_t u = 0; u < num_users; ++u) {
-    const bool has_test = u < test.size() && !test[u].empty();
-    if (!has_test) continue;
-    auto session = recommender.NewSession(static_cast<int32_t>(u));
-    if (u < warmup.size()) {
-      for (const poi::Checkin& c : warmup[u]) session->Observe(c);
-    }
-    for (const poi::Checkin& c : test[u]) {
-      acc.Add(session->TopK(10, c.timestamp), c.poi);
-      session->Observe(c);
-    }
-  }
-  return acc.Result();
+  // Each user evaluates into a private accumulator on the pool;
+  // ParallelMap returns them indexed by user, independent of which thread
+  // ran which user.
+  std::vector<HrAccumulator> per_user = util::GlobalPool().ParallelMap(
+      int64_t{0}, static_cast<int64_t>(num_users), /*grain=*/1,
+      [&](int64_t u) {
+        HrAccumulator acc;
+        const size_t us = static_cast<size_t>(u);
+        const bool has_test = us < test.size() && !test[us].empty();
+        if (!has_test) return acc;
+        auto session = recommender.NewSession(static_cast<int32_t>(u));
+        if (us < warmup.size()) {
+          for (const poi::Checkin& c : warmup[us]) session->Observe(c);
+        }
+        for (const poi::Checkin& c : test[us]) {
+          acc.Add(session->TopK(10, c.timestamp), c.poi);
+          session->Observe(c);
+        }
+        return acc;
+      });
+  // Ascending user order: the mrr10 double sum has a fixed reduction order,
+  // so HR@{1,5,10} *and* MRR are bit-identical at any thread count.
+  HrAccumulator total;
+  for (const HrAccumulator& acc : per_user) total.Merge(acc);
+  return total.Result();
 }
 
 }  // namespace pa::eval

@@ -29,7 +29,18 @@ struct HrResult {
 class HrAccumulator {
  public:
   /// Records one test case: the rank list (best first) and the truth.
+  ///
+  /// Defensive against malformed recommender output: duplicate POI ids are
+  /// ignored after their first occurrence (a duplicated id must not be
+  /// credited twice or push later ids past a cutoff twice), and only the
+  /// first 10 *distinct* entries are considered even if the list is longer.
   void Add(const std::vector<int32_t>& ranked, int32_t truth);
+
+  /// Folds another accumulator's counts into this one. Order-insensitive for
+  /// the integer hit counts; the reciprocal-rank sum is a double, so callers
+  /// that need bit-identical MRR across thread counts must merge partial
+  /// accumulators in a fixed (user) order — `EvaluateHr` does.
+  void Merge(const HrAccumulator& other);
 
   HrResult Result() const;
 
@@ -45,6 +56,13 @@ class HrAccumulator {
 /// user, the session replays the warm-up history (training + validation
 /// check-ins), then each test check-in is predicted given everything before
 /// it and subsequently observed.
+///
+/// Users are independent, so they are evaluated in parallel on the global
+/// thread pool (`PA_THREADS`), each into a private `HrAccumulator`; the
+/// per-user accumulators are merged in ascending user order, so the result
+/// is bit-identical at any thread count. The recommender's `NewSession` /
+/// session methods must therefore be safe to call concurrently from
+/// different sessions — all in-tree recommenders are.
 HrResult EvaluateHr(const rec::Recommender& recommender,
                     const std::vector<poi::CheckinSequence>& warmup,
                     const std::vector<poi::CheckinSequence>& test);

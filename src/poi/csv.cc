@@ -1,11 +1,13 @@
 #include "poi/csv.h"
 
+#include <charconv>
 #include <fstream>
 #include <iomanip>
 #include <istream>
 #include <map>
 #include <ostream>
 #include <sstream>
+#include <system_error>
 #include <vector>
 
 namespace pa::poi {
@@ -39,6 +41,30 @@ std::vector<std::string> SplitFields(const std::string& line) {
   return fields;
 }
 
+// Parses the ENTIRE field as a number. Unlike std::stoll/std::stod — which
+// accept leading whitespace and silently ignore trailing garbage, so a
+// corrupt field like "12abc" used to load as 12 — this rejects partial
+// matches, empty fields, and out-of-range values.
+template <typename T>
+bool ParseField(const std::string& field, T* out) {
+  const char* first = field.data();
+  const char* last = field.data() + field.size();
+  if (first == last) return false;
+  auto [ptr, ec] = std::from_chars(first, last, *out);
+  return ec == std::errc() && ptr == last;
+}
+
+constexpr const char* kFieldNames[5] = {"user", "timestamp", "lat", "lng",
+                                        "poi"};
+
+void FieldError(std::string* why, int lineno, int field_idx,
+                const std::string& field) {
+  if (why == nullptr) return;
+  *why = "line " + std::to_string(lineno) + ": field " +
+         std::to_string(field_idx + 1) + " (" + kFieldNames[field_idx] +
+         ") is not a valid number: \"" + field + "\"";
+}
+
 }  // namespace
 
 bool LoadCheckinsCsv(std::istream& is, Dataset* dataset, std::string* why) {
@@ -55,6 +81,10 @@ bool LoadCheckinsCsv(std::istream& is, Dataset* dataset, std::string* why) {
   int lineno = 0;
   while (std::getline(is, line)) {
     ++lineno;
+    // Files written on Windows (or fetched in binary mode) end lines with
+    // \r\n; getline leaves the \r on the last field, which used to make
+    // every row of a CRLF file fail to parse.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty() || line[0] == '#') continue;
     const auto fields = SplitFields(line);
     if (fields.size() != 5) {
@@ -64,20 +94,21 @@ bool LoadCheckinsCsv(std::istream& is, Dataset* dataset, std::string* why) {
       }
       return false;
     }
-    try {
-      RawRecord r;
-      r.user = std::stoll(fields[0]);
-      r.timestamp = std::stoll(fields[1]);
-      r.coord.lat = std::stod(fields[2]);
-      r.coord.lng = std::stod(fields[3]);
-      r.poi = std::stoll(fields[4]);
-      records.push_back(r);
-      user_ids.emplace(r.user, 0);
-      if (poi_ids.emplace(r.poi, 0).second) poi_coords[r.poi] = r.coord;
-    } catch (const std::exception& e) {
-      if (why) *why = "line " + std::to_string(lineno) + ": " + e.what();
-      return false;
+    RawRecord r;
+    int64_t* const int_slots[5] = {&r.user, &r.timestamp, nullptr, nullptr,
+                                   &r.poi};
+    double* const real_slots[5] = {nullptr, nullptr, &r.coord.lat,
+                                   &r.coord.lng, nullptr};
+    bool ok = true;
+    for (int f = 0; f < 5 && ok; ++f) {
+      ok = int_slots[f] != nullptr ? ParseField(fields[f], int_slots[f])
+                                   : ParseField(fields[f], real_slots[f]);
+      if (!ok) FieldError(why, lineno, f, fields[f]);
     }
+    if (!ok) return false;
+    records.push_back(r);
+    user_ids.emplace(r.user, 0);
+    if (poi_ids.emplace(r.poi, 0).second) poi_coords[r.poi] = r.coord;
   }
 
   // Densify ids in sorted order for determinism.

@@ -3,11 +3,16 @@
 namespace pa::poi {
 
 const geo::RTree& PoiTable::SpatialIndex() const {
-  if (!index_built_) {
-    geo::RTree fresh;
-    for (int32_t i = 0; i < size(); ++i) fresh.Insert(coords_[i], i);
-    index_ = std::move(fresh);
-    index_built_ = true;
+  // Double-checked build: the acquire load pairs with the release store so
+  // a reader that sees index_built_ == true also sees the finished tree.
+  if (!index_built_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    if (!index_built_.load(std::memory_order_relaxed)) {
+      geo::RTree fresh;
+      for (int32_t i = 0; i < size(); ++i) fresh.Insert(coords_[i], i);
+      index_ = std::move(fresh);
+      index_built_.store(true, std::memory_order_release);
+    }
   }
   return index_;
 }

@@ -1,7 +1,9 @@
 #ifndef PA_POI_POI_TABLE_H_
 #define PA_POI_POI_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "geo/latlng.h"
@@ -26,17 +28,33 @@ class PoiTable {
       coords_ = other.coords_;
       popularity_ = other.popularity_;
       index_ = geo::RTree();
-      index_built_ = false;
+      index_built_.store(false, std::memory_order_relaxed);
     }
     return *this;
   }
-  PoiTable(PoiTable&&) = default;
-  PoiTable& operator=(PoiTable&&) = default;
+  /// Moves are manual because the index-build mutex is neither movable nor
+  /// needed by the destination (a fresh one is constructed). Moving a table
+  /// that other threads are concurrently querying is a caller bug.
+  PoiTable(PoiTable&& other) noexcept
+      : coords_(std::move(other.coords_)),
+        popularity_(std::move(other.popularity_)),
+        index_(std::move(other.index_)),
+        index_built_(other.index_built_.load(std::memory_order_relaxed)) {}
+  PoiTable& operator=(PoiTable&& other) noexcept {
+    if (this != &other) {
+      coords_ = std::move(other.coords_);
+      popularity_ = std::move(other.popularity_);
+      index_ = std::move(other.index_);
+      index_built_.store(other.index_built_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    }
+    return *this;
+  }
 
   int32_t Add(const geo::LatLng& coord) {
     coords_.push_back(coord);
     popularity_.push_back(0);
-    index_built_ = false;
+    index_built_.store(false, std::memory_order_relaxed);
     return static_cast<int32_t>(coords_.size()) - 1;
   }
 
@@ -51,7 +69,10 @@ class PoiTable {
     return geo::HaversineKm(coords_[a], coords_[b]);
   }
 
-  /// Spatial index over all POIs; built lazily, rebuilt after Add.
+  /// Spatial index over all POIs; built lazily, rebuilt after Add. The
+  /// build is guarded by a mutex, so concurrent readers (parallel eval /
+  /// generation sessions) may race to the first query safely. `Add` itself
+  /// is NOT thread-safe; mutate the table before sharing it.
   const geo::RTree& SpatialIndex() const;
 
   /// POI nearest to `p`; -1 on an empty table.
@@ -69,8 +90,9 @@ class PoiTable {
  private:
   std::vector<geo::LatLng> coords_;
   std::vector<int64_t> popularity_;
+  mutable std::mutex index_mu_;  // Guards the lazy build of index_.
   mutable geo::RTree index_;
-  mutable bool index_built_ = false;
+  mutable std::atomic<bool> index_built_{false};
 };
 
 }  // namespace pa::poi

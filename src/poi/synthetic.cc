@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "geo/latlng.h"
+#include "util/thread_pool.h"
 
 namespace pa::poi {
 
@@ -134,10 +136,103 @@ int32_t ExploreNear(const World& world, int32_t from, double radius_km,
   return ids[static_cast<size_t>(rng.Categorical(weights))];
 }
 
+// One user's trajectory + observation mask, written into the user's own
+// output slots. Reads only shared immutable state (the world) and the
+// user-private `rng`, so users can run concurrently on the pool.
+void GenerateUser(const LbsnProfile& profile, const World& world, int u,
+                  util::Rng& rng, CheckinSequence* out_visits,
+                  std::vector<bool>* out_mask,
+                  CheckinSequence* out_observed) {
+  // Home city and anchor.
+  const int city = rng.RandInt(0, profile.num_cities - 1);
+  const auto& city_pois = world.city_pois[city];
+  if (city_pois.empty()) return;
+  const int32_t home =
+      city_pois[static_cast<size_t>(rng.RandInt(
+          0, static_cast<int>(city_pois.size()) - 1))];
+
+  // Personal routine: a fixed cycle of POIs near home (users' daily lives
+  // are spatially compact). The cycle is the learnable, *non-collinear*
+  // transition pattern.
+  std::vector<int32_t> routine;
+  routine.push_back(home);
+  auto near_home = world.pois.SpatialIndex().WithinRadius(
+      world.pois.coord(home), profile.routine_radius_km);
+  for (int r = 1; r < profile.routine_length; ++r) {
+    int32_t stop;
+    if (near_home.size() > 1) {
+      stop = near_home[static_cast<size_t>(rng.RandInt(
+                           0, static_cast<int>(near_home.size()) - 1))]
+                 .id;
+    } else {
+      stop = city_pois[static_cast<size_t>(
+          rng.RandInt(0, static_cast<int>(city_pois.size()) - 1))];
+    }
+    routine.push_back(stop);
+    // Interleaving home makes P(next | home) multi-modal; see LbsnProfile.
+    if (rng.Bernoulli(profile.home_interleave)) routine.push_back(home);
+  }
+
+  const int num_visits = rng.RandInt(profile.min_visits, profile.max_visits);
+  CheckinSequence visits;
+  visits.reserve(static_cast<size_t>(num_visits));
+
+  int32_t current = home;
+  int routine_pos = 0;
+  int64_t t = 1262304000 +  // 2010-01-01, in the datasets' era.
+              static_cast<int64_t>(rng.RandInt(0, 30 * 24 * 3600));
+  for (int v = 0; v < num_visits; ++v) {
+    Checkin c;
+    c.user = u;
+    c.poi = current;
+    c.timestamp = t;
+    visits.push_back(c);
+
+    // Next step of the mobility model.
+    const double roll = rng.Uniform();
+    if (roll < profile.routine_prob) {
+      routine_pos = (routine_pos + 1) % static_cast<int>(routine.size());
+      current = routine[static_cast<size_t>(routine_pos)];
+    } else if (roll < profile.routine_prob + profile.home_prob) {
+      current = home;
+      routine_pos = 0;
+    } else {
+      current = ExploreNear(world, current, profile.explore_radius_km, rng);
+    }
+
+    const double jitter =
+        1.0 + profile.interval_jitter * rng.Uniform(-1.0, 1.0);
+    t += static_cast<int64_t>(profile.visit_interval_seconds * jitter);
+  }
+
+  // Observation: a two-phase (bursty) process — active phases check in
+  // most visits, silent phases almost none; phase lengths are geometric.
+  // The first and last visits are always kept so every observed sequence
+  // spans the full time range.
+  std::vector<bool> mask(visits.size(), false);
+  bool active = rng.Bernoulli(0.5);
+  for (size_t i = 0; i < visits.size(); ++i) {
+    const double flip_prob =
+        active ? 1.0 / std::max(1.0, profile.mean_burst_visits)
+               : 1.0 / std::max(1.0, profile.mean_silence_visits);
+    if (rng.Bernoulli(flip_prob)) active = !active;
+    const double rate =
+        active ? profile.observe_active : profile.observe_silent;
+    mask[i] =
+        i == 0 || i + 1 == visits.size() || rng.Bernoulli(rate);
+    if (mask[i]) out_observed->push_back(visits[i]);
+  }
+  *out_visits = std::move(visits);
+  *out_mask = std::move(mask);
+}
+
 }  // namespace
 
 SyntheticLbsn GenerateLbsn(const LbsnProfile& profile, util::Rng& rng) {
   World world = BuildWorld(profile, rng);
+  // Force the lazy spatial index now, while still single-threaded; the
+  // parallel region below only reads it.
+  world.pois.SpatialIndex();
 
   SyntheticLbsn out;
   out.true_visits.resize(profile.num_users);
@@ -145,89 +240,19 @@ SyntheticLbsn GenerateLbsn(const LbsnProfile& profile, util::Rng& rng) {
   out.observed.pois = world.pois;
   out.observed.sequences.resize(profile.num_users);
 
-  for (int u = 0; u < profile.num_users; ++u) {
-    // Home city and anchor.
-    const int city = rng.RandInt(0, profile.num_cities - 1);
-    const auto& city_pois = world.city_pois[city];
-    if (city_pois.empty()) continue;
-    const int32_t home =
-        city_pois[static_cast<size_t>(rng.RandInt(
-            0, static_cast<int>(city_pois.size()) - 1))];
-
-    // Personal routine: a fixed cycle of POIs near home (users' daily lives
-    // are spatially compact). The cycle is the learnable, *non-collinear*
-    // transition pattern.
-    std::vector<int32_t> routine;
-    routine.push_back(home);
-    auto near_home = world.pois.SpatialIndex().WithinRadius(
-        world.pois.coord(home), profile.routine_radius_km);
-    for (int r = 1; r < profile.routine_length; ++r) {
-      int32_t stop;
-      if (near_home.size() > 1) {
-        stop = near_home[static_cast<size_t>(rng.RandInt(
-                             0, static_cast<int>(near_home.size()) - 1))]
-                   .id;
-      } else {
-        stop = city_pois[static_cast<size_t>(
-            rng.RandInt(0, static_cast<int>(city_pois.size()) - 1))];
-      }
-      routine.push_back(stop);
-      // Interleaving home makes P(next | home) multi-modal; see LbsnProfile.
-      if (rng.Bernoulli(profile.home_interleave)) routine.push_back(home);
-    }
-
-    const int num_visits = rng.RandInt(profile.min_visits, profile.max_visits);
-    CheckinSequence visits;
-    visits.reserve(static_cast<size_t>(num_visits));
-
-    int32_t current = home;
-    int routine_pos = 0;
-    int64_t t = 1262304000 +  // 2010-01-01, in the datasets' era.
-                static_cast<int64_t>(rng.RandInt(0, 30 * 24 * 3600));
-    for (int v = 0; v < num_visits; ++v) {
-      Checkin c;
-      c.user = u;
-      c.poi = current;
-      c.timestamp = t;
-      visits.push_back(c);
-
-      // Next step of the mobility model.
-      const double roll = rng.Uniform();
-      if (roll < profile.routine_prob) {
-        routine_pos = (routine_pos + 1) % static_cast<int>(routine.size());
-        current = routine[static_cast<size_t>(routine_pos)];
-      } else if (roll < profile.routine_prob + profile.home_prob) {
-        current = home;
-        routine_pos = 0;
-      } else {
-        current = ExploreNear(world, current, profile.explore_radius_km, rng);
-      }
-
-      const double jitter =
-          1.0 + profile.interval_jitter * rng.Uniform(-1.0, 1.0);
-      t += static_cast<int64_t>(profile.visit_interval_seconds * jitter);
-    }
-
-    // Observation: a two-phase (bursty) process — active phases check in
-    // most visits, silent phases almost none; phase lengths are geometric.
-    // The first and last visits are always kept so every observed sequence
-    // spans the full time range.
-    std::vector<bool> mask(visits.size(), false);
-    bool active = rng.Bernoulli(0.5);
-    for (size_t i = 0; i < visits.size(); ++i) {
-      const double flip_prob =
-          active ? 1.0 / std::max(1.0, profile.mean_burst_visits)
-                 : 1.0 / std::max(1.0, profile.mean_silence_visits);
-      if (rng.Bernoulli(flip_prob)) active = !active;
-      const double rate =
-          active ? profile.observe_active : profile.observe_silent;
-      mask[i] =
-          i == 0 || i + 1 == visits.size() || rng.Bernoulli(rate);
-      if (mask[i]) out.observed.sequences[u].push_back(visits[i]);
-    }
-    out.true_visits[u] = std::move(visits);
-    out.observed_mask[u] = std::move(mask);
-  }
+  // One draw from the caller's rng roots every user's private stream, so
+  // the dataset is a pure function of the seed: each user writes only its
+  // own output slots, whichever thread runs it.
+  const uint64_t user_seed_base = rng.engine()();
+  util::GlobalPool().ParallelFor(
+      0, profile.num_users, /*grain=*/1, [&](int64_t u) {
+        util::Rng user_rng(
+            util::StreamSeed(user_seed_base, static_cast<uint64_t>(u)));
+        const size_t us = static_cast<size_t>(u);
+        GenerateUser(profile, world, static_cast<int>(u), user_rng,
+                     &out.true_visits[us], &out.observed_mask[us],
+                     &out.observed.sequences[us]);
+      });
 
   out.observed.RecountPopularity();
   return out;

@@ -90,6 +90,11 @@ struct SyntheticLbsn {
   std::vector<std::vector<bool>> observed_mask;
 };
 
+/// Generates a synthetic dataset. The POI world is built sequentially from
+/// `rng`; user trajectories are then generated in parallel on the global
+/// thread pool, each user drawing from its own RNG stream seeded via
+/// `util::StreamSeed(base, user)` where `base` is one draw from `rng`.
+/// The output therefore depends only on the seed, not the thread count.
 SyntheticLbsn GenerateLbsn(const LbsnProfile& profile, util::Rng& rng);
 
 /// One imputation problem extracted from a synthetic dataset: an observed

@@ -24,10 +24,17 @@ float FpmcLr::Score(int32_t user, int32_t prev, int32_t poi) const {
 }
 
 const std::vector<int32_t>& FpmcLr::Region(int32_t prev) const {
-  auto it = region_cache_.find(prev);
-  if (it != region_cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(region_mu_);
+    auto it = region_cache_.find(prev);
+    if (it != region_cache_.end()) return it->second;
+  }
+  // Compute outside the lock — the spatial query is the expensive part and
+  // is itself safe for concurrent readers. A racing thread may compute the
+  // same region; emplace keeps whichever landed first.
   std::vector<int32_t> region =
       pois_->PoisWithin(prev, config_.region_radius_km);
+  std::lock_guard<std::mutex> lock(region_mu_);
   return region_cache_.emplace(prev, std::move(region)).first->second;
 }
 

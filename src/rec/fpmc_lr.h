@@ -1,6 +1,7 @@
 #ifndef PA_REC_FPMC_LR_H_
 #define PA_REC_FPMC_LR_H_
 
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -53,7 +54,10 @@ class FpmcLr : public Recommender {
  private:
   friend class FpmcLrSession;
 
-  /// Candidate POIs in the localized region of `prev` (cached).
+  /// Candidate POIs in the localized region of `prev`. Cached under a mutex
+  /// so concurrent sessions (parallel evaluation) may query it; the returned
+  /// reference stays valid because unordered_map never moves mapped values
+  /// on insert.
   const std::vector<int32_t>& Region(int32_t prev) const;
 
   float* Row(std::vector<float>& m, int32_t i) const {
@@ -76,6 +80,7 @@ class FpmcLr : public Recommender {
   std::vector<float> v_il_;  // Prev POI -> next-POI space.
 
   std::vector<int32_t> popular_;  // Popularity-ranked POIs (fallback).
+  mutable std::mutex region_mu_;  // Guards region_cache_.
   mutable std::unordered_map<int32_t, std::vector<int32_t>> region_cache_;
   std::vector<float> epoch_objectives_;
 };

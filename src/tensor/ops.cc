@@ -6,6 +6,8 @@
 #include <memory>
 #include <string>
 
+#include "util/thread_pool.h"
+
 namespace pa::tensor {
 
 namespace {
@@ -43,13 +45,16 @@ Tensor MakeResult(Shape shape, std::vector<float> data,
   return Tensor::FromImpl(std::move(impl));
 }
 
-// Accumulates `g` into the gradient buffer of `dst` if it needs one.
+// Accumulates `g` into the gradient buffer of `dst` if it needs one. All
+// parent-gradient writes go through internal::GradBuffer so data-parallel
+// training can redirect them into thread-private buffers (see
+// GradRedirectScope in tensor.h).
 void Accumulate(const std::shared_ptr<TensorImpl>& dst,
                 const std::function<float(int64_t)>& g) {
   if (!NeedsGrad(*dst)) return;
-  dst->EnsureGrad();
+  std::vector<float>& grad = internal::GradBuffer(*dst);
   const int64_t n = dst->shape.numel();
-  for (int64_t i = 0; i < n; ++i) dst->grad[i] += g(i);
+  for (int64_t i = 0; i < n; ++i) grad[i] += g(i);
 }
 
 enum class BroadcastKind { kSame, kRow, kScalar };
@@ -91,9 +96,9 @@ Tensor Add(const Tensor& a, const Tensor& b) {
       a.shape(), std::move(out), {a, b}, [ai, bi, kind, cols](TensorImpl& y) {
         Accumulate(ai, [&](int64_t i) { return y.grad[i]; });
         if (NeedsGrad(*bi)) {
-          bi->EnsureGrad();
+          std::vector<float>& bgrad = internal::GradBuffer(*bi);
           for (int64_t i = 0; i < y.shape.numel(); ++i) {
-            bi->grad[BIndex(kind, i, cols)] += y.grad[i];
+            bgrad[BIndex(kind, i, cols)] += y.grad[i];
           }
         }
       });
@@ -112,9 +117,9 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
       a.shape(), std::move(out), {a, b}, [ai, bi, kind, cols](TensorImpl& y) {
         Accumulate(ai, [&](int64_t i) { return y.grad[i]; });
         if (NeedsGrad(*bi)) {
-          bi->EnsureGrad();
+          std::vector<float>& bgrad = internal::GradBuffer(*bi);
           for (int64_t i = 0; i < y.shape.numel(); ++i) {
-            bi->grad[BIndex(kind, i, cols)] -= y.grad[i];
+            bgrad[BIndex(kind, i, cols)] -= y.grad[i];
           }
         }
       });
@@ -135,9 +140,9 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
           return y.grad[i] * bi->data[BIndex(kind, i, cols)];
         });
         if (NeedsGrad(*bi)) {
-          bi->EnsureGrad();
+          std::vector<float>& bgrad = internal::GradBuffer(*bi);
           for (int64_t i = 0; i < y.shape.numel(); ++i) {
-            bi->grad[BIndex(kind, i, cols)] += y.grad[i] * ai->data[i];
+            bgrad[BIndex(kind, i, cols)] += y.grad[i] * ai->data[i];
           }
         }
       });
@@ -161,6 +166,58 @@ Tensor AddScalar(const Tensor& a, float alpha) {
   });
 }
 
+namespace {
+
+// Below this many multiply-adds a MatMul (or one side of its backward) runs
+// sequentially — pool dispatch would cost more than it saves.
+constexpr int64_t kMatMulParallelFlops = int64_t{1} << 16;
+
+// Whether an m x k x n product is worth tiling across the pool.
+bool MatMulParallelWorthwhile(int m, int k, int n) {
+  return static_cast<int64_t>(m) * k * n >= kMatMulParallelFlops &&
+         util::GlobalPool().num_threads() > 1;
+}
+
+// out[i, j] for rows [row_lo, row_hi) and columns [col_lo, col_hi) of
+// A (m x k) * B (k x n). Each output element is an ascending-p sum, the same
+// order as the sequential triple loop, so tiling never changes a bit.
+void MatMulTile(const float* a, const float* b, float* out, int k, int n,
+                int row_lo, int row_hi, int col_lo, int col_hi) {
+  for (int i = row_lo; i < row_hi; ++i) {
+    for (int p = 0; p < k; ++p) {
+      const float av = a[i * k + p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n + col_lo;
+      float* orow = out + i * n + col_lo;
+      for (int j = 0; j < col_hi - col_lo; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+// Tiles rows across the pool when there are enough of them, otherwise
+// columns (the library's hot products are [1, k] x [k, vocab], all columns).
+void MatMulCompute(const float* a, const float* b, float* out, int m, int k,
+                   int n) {
+  if (!MatMulParallelWorthwhile(m, k, n)) {
+    MatMulTile(a, b, out, k, n, 0, m, 0, n);
+    return;
+  }
+  util::ThreadPool& pool = util::GlobalPool();
+  if (m >= pool.num_threads()) {
+    pool.ParallelForRange(0, m, 1, [&](int64_t lo, int64_t hi) {
+      MatMulTile(a, b, out, k, n, static_cast<int>(lo), static_cast<int>(hi),
+                 0, n);
+    });
+  } else {
+    pool.ParallelForRange(0, n, 64, [&](int64_t lo, int64_t hi) {
+      MatMulTile(a, b, out, k, n, 0, m, static_cast<int>(lo),
+                 static_cast<int>(hi));
+    });
+  }
+}
+
+}  // namespace
+
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   if (a.cols() != b.rows()) {
     Fatal("MatMul: inner dims mismatch " + a.shape().ToString() + " x " +
@@ -168,44 +225,57 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   }
   const int m = a.rows(), k = a.cols(), n = b.cols();
   std::vector<float> out(static_cast<size_t>(m) * n, 0.0f);
-  for (int i = 0; i < m; ++i) {
-    for (int p = 0; p < k; ++p) {
-      const float av = a.data()[i * k + p];
-      if (av == 0.0f) continue;
-      const float* brow = b.data() + p * n;
-      float* orow = out.data() + i * n;
-      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+  MatMulCompute(a.data(), b.data(), out.data(), m, k, n);
   auto ai = a.impl();
   auto bi = b.impl();
   return MakeResult(
       {m, n}, std::move(out), {a, b}, [ai, bi, m, k, n](TensorImpl& y) {
+        // Gradient buffers resolve on this thread (GradBuffer consults
+        // thread-local redirection), then tiles write disjoint elements.
         if (NeedsGrad(*ai)) {
-          ai->EnsureGrad();
-          // dA = dY * B^T
-          for (int i = 0; i < m; ++i) {
-            for (int p = 0; p < k; ++p) {
-              float acc = 0.0f;
-              const float* grow = y.grad.data() + i * n;
-              const float* brow = bi->data.data() + p * n;
-              for (int j = 0; j < n; ++j) acc += grow[j] * brow[j];
-              ai->grad[i * k + p] += acc;
+          float* agrad = internal::GradBuffer(*ai).data();
+          const float* grad = y.grad.data();
+          const float* bdata = bi->data.data();
+          // dA = dY * B^T; each dA row is independent, and for a single row
+          // the k entries are independent dot products.
+          auto rows = [&](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i) {
+              for (int p = 0; p < k; ++p) {
+                float acc = 0.0f;
+                const float* grow = grad + i * n;
+                const float* brow = bdata + p * n;
+                for (int j = 0; j < n; ++j) acc += grow[j] * brow[j];
+                agrad[i * k + p] += acc;
+              }
             }
+          };
+          if (MatMulParallelWorthwhile(m, k, n) && m > 1) {
+            util::GlobalPool().ParallelForRange(0, m, 1, rows);
+          } else {
+            rows(0, m);
           }
         }
         if (NeedsGrad(*bi)) {
-          bi->EnsureGrad();
-          // dB = A^T * dY
-          for (int i = 0; i < m; ++i) {
-            const float* arow = ai->data.data() + i * k;
-            const float* grow = y.grad.data() + i * n;
-            for (int p = 0; p < k; ++p) {
-              const float av = arow[p];
-              if (av == 0.0f) continue;
-              float* brow = bi->grad.data() + p * n;
-              for (int j = 0; j < n; ++j) brow[j] += av * grow[j];
+          float* bgrad = internal::GradBuffer(*bi).data();
+          const float* grad = y.grad.data();
+          const float* adata = ai->data.data();
+          // dB = A^T * dY; partitioned by dB row p — for fixed (p, j) the
+          // sum over i runs ascending exactly as in the sequential loop.
+          auto rows = [&](int64_t lo, int64_t hi) {
+            for (int64_t p = lo; p < hi; ++p) {
+              float* brow = bgrad + p * n;
+              for (int i = 0; i < m; ++i) {
+                const float av = adata[i * k + p];
+                if (av == 0.0f) continue;
+                const float* grow = grad + i * n;
+                for (int j = 0; j < n; ++j) brow[j] += av * grow[j];
+              }
             }
+          };
+          if (MatMulParallelWorthwhile(m, k, n) && k > 1) {
+            util::GlobalPool().ParallelForRange(0, k, 1, rows);
+          } else {
+            rows(0, k);
           }
         }
       });
@@ -220,9 +290,9 @@ Tensor Transpose(const Tensor& a) {
   auto ai = a.impl();
   return MakeResult({n, m}, std::move(out), {a}, [ai, m, n](TensorImpl& y) {
     if (!NeedsGrad(*ai)) return;
-    ai->EnsureGrad();
+    std::vector<float>& agrad = internal::GradBuffer(*ai);
     for (int i = 0; i < m; ++i) {
-      for (int j = 0; j < n; ++j) ai->grad[i * n + j] += y.grad[j * m + i];
+      for (int j = 0; j < n; ++j) agrad[i * n + j] += y.grad[j * m + i];
     }
   });
 }
@@ -302,14 +372,14 @@ Tensor Softmax(const Tensor& a) {
   auto ai = a.impl();
   return MakeResult(a.shape(), std::move(out), {a}, [ai, m, n](TensorImpl& y) {
     if (!NeedsGrad(*ai)) return;
-    ai->EnsureGrad();
+    std::vector<float>& agrad = internal::GradBuffer(*ai);
     for (int i = 0; i < m; ++i) {
       const float* yrow = y.data.data() + i * n;
       const float* grow = y.grad.data() + i * n;
       float dot = 0.0f;
       for (int j = 0; j < n; ++j) dot += yrow[j] * grow[j];
       for (int j = 0; j < n; ++j) {
-        ai->grad[i * n + j] += yrow[j] * (grow[j] - dot);
+        agrad[i * n + j] += yrow[j] * (grow[j] - dot);
       }
     }
   });
@@ -330,14 +400,14 @@ Tensor LogSoftmax(const Tensor& a) {
   auto ai = a.impl();
   return MakeResult(a.shape(), std::move(out), {a}, [ai, m, n](TensorImpl& y) {
     if (!NeedsGrad(*ai)) return;
-    ai->EnsureGrad();
+    std::vector<float>& agrad = internal::GradBuffer(*ai);
     for (int i = 0; i < m; ++i) {
       const float* yrow = y.data.data() + i * n;
       const float* grow = y.grad.data() + i * n;
       float gsum = 0.0f;
       for (int j = 0; j < n; ++j) gsum += grow[j];
       for (int j = 0; j < n; ++j) {
-        ai->grad[i * n + j] += grow[j] - std::exp(yrow[j]) * gsum;
+        agrad[i * n + j] += grow[j] - std::exp(yrow[j]) * gsum;
       }
     }
   });
@@ -360,10 +430,10 @@ Tensor NllLoss(const Tensor& log_probs, const std::vector<int>& targets) {
   return MakeResult({1, 1}, {loss}, {log_probs},
                     [li, targets, m, n](TensorImpl& y) {
                       if (!NeedsGrad(*li)) return;
-                      li->EnsureGrad();
+                      std::vector<float>& lgrad = internal::GradBuffer(*li);
                       const float g = y.grad[0] / static_cast<float>(m);
                       for (int i = 0; i < m; ++i) {
-                        li->grad[i * n + targets[i]] -= g;
+                        lgrad[i * n + targets[i]] -= g;
                       }
                     });
 }
@@ -399,10 +469,11 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
                       for (const auto& pi : impls) {
                         const int pc = pi->shape.cols;
                         if (NeedsGrad(*pi)) {
-                          pi->EnsureGrad();
+                          std::vector<float>& pgrad =
+                              internal::GradBuffer(*pi);
                           for (int i = 0; i < m; ++i) {
                             for (int j = 0; j < pc; ++j) {
-                              pi->grad[i * pc + j] +=
+                              pgrad[i * pc + j] +=
                                   y.grad[i * total + off2 + j];
                             }
                           }
@@ -434,9 +505,10 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
                       for (const auto& pi : impls) {
                         const int64_t cnt = pi->shape.numel();
                         if (NeedsGrad(*pi)) {
-                          pi->EnsureGrad();
+                          std::vector<float>& pgrad =
+                              internal::GradBuffer(*pi);
                           for (int64_t i = 0; i < cnt; ++i) {
-                            pi->grad[i] += y.grad[off + i];
+                            pgrad[i] += y.grad[off + i];
                           }
                         }
                         off += cnt;
@@ -455,10 +527,10 @@ Tensor SliceCols(const Tensor& a, int start, int len) {
   return MakeResult({m, len}, std::move(out), {a},
                     [ai, start, len, m, n](TensorImpl& y) {
                       if (!NeedsGrad(*ai)) return;
-                      ai->EnsureGrad();
+                      std::vector<float>& agrad = internal::GradBuffer(*ai);
                       for (int i = 0; i < m; ++i) {
                         for (int j = 0; j < len; ++j) {
-                          ai->grad[i * n + start + j] += y.grad[i * len + j];
+                          agrad[i * n + start + j] += y.grad[i * len + j];
                         }
                       }
                     });
@@ -473,10 +545,10 @@ Tensor SliceRows(const Tensor& a, int start, int len) {
   return MakeResult({len, n}, std::move(out), {a},
                     [ai, start, len, n](TensorImpl& y) {
                       if (!NeedsGrad(*ai)) return;
-                      ai->EnsureGrad();
+                      std::vector<float>& agrad = internal::GradBuffer(*ai);
                       for (int64_t i = 0; i < static_cast<int64_t>(len) * n;
                            ++i) {
-                        ai->grad[static_cast<int64_t>(start) * n + i] +=
+                        agrad[static_cast<int64_t>(start) * n + i] +=
                             y.grad[i];
                       }
                     });
@@ -495,9 +567,9 @@ Tensor Rows(const Tensor& table, const std::vector<int>& indices) {
   return MakeResult({b, d}, std::move(out), {table},
                     [ti, indices, b, d](TensorImpl& y) {
                       if (!NeedsGrad(*ti)) return;
-                      ti->EnsureGrad();
+                      std::vector<float>& tgrad = internal::GradBuffer(*ti);
                       for (int i = 0; i < b; ++i) {
-                        float* row = ti->grad.data() + indices[i] * d;
+                        float* row = tgrad.data() + indices[i] * d;
                         for (int j = 0; j < d; ++j) {
                           row[j] += y.grad[i * d + j];
                         }
@@ -533,9 +605,9 @@ Tensor SumRows(const Tensor& a) {
   auto ai = a.impl();
   return MakeResult({m, 1}, std::move(out), {a}, [ai, m, n](TensorImpl& y) {
     if (!NeedsGrad(*ai)) return;
-    ai->EnsureGrad();
+    std::vector<float>& agrad = internal::GradBuffer(*ai);
     for (int i = 0; i < m; ++i) {
-      for (int j = 0; j < n; ++j) ai->grad[i * n + j] += y.grad[i];
+      for (int j = 0; j < n; ++j) agrad[i * n + j] += y.grad[i];
     }
   });
 }

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
+#include <unordered_map>
 #include <unordered_set>
 
 namespace pa::tensor {
@@ -152,6 +153,48 @@ void Tensor::Backward() {
       node->backward_fn(*node);
     }
   }
+}
+
+namespace {
+
+// Active gradient redirection on this thread: leaf impl -> private buffer.
+thread_local std::unordered_map<internal::TensorImpl*, std::vector<float>*>*
+    t_grad_redirect = nullptr;
+
+}  // namespace
+
+namespace internal {
+
+std::vector<float>& GradBuffer(TensorImpl& impl) {
+  if (t_grad_redirect != nullptr) {
+    auto it = t_grad_redirect->find(&impl);
+    if (it != t_grad_redirect->end()) return *it->second;
+  }
+  impl.EnsureGrad();
+  return impl.grad;
+}
+
+}  // namespace internal
+
+GradRedirectScope::GradRedirectScope(const std::vector<Tensor>& leaves) {
+  if (t_grad_redirect != nullptr) {
+    Fatal("GradRedirectScope: scopes must not nest on one thread");
+  }
+  buffers_.resize(leaves.size());
+  auto* map =
+      new std::unordered_map<internal::TensorImpl*, std::vector<float>*>();
+  map->reserve(leaves.size());
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    buffers_[i].assign(leaves[i].impl()->data.size(), 0.0f);
+    // emplace: a duplicated leaf keeps accumulating into its first buffer.
+    map->emplace(leaves[i].impl().get(), &buffers_[i]);
+  }
+  t_grad_redirect = map;
+}
+
+GradRedirectScope::~GradRedirectScope() {
+  delete t_grad_redirect;
+  t_grad_redirect = nullptr;
 }
 
 std::string Tensor::ToString() const {

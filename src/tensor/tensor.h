@@ -44,6 +44,12 @@ struct TensorImpl {
   }
 };
 
+/// Gradient buffer the current thread should accumulate into for `impl`:
+/// the thread-local redirect buffer while a `GradRedirectScope` on this
+/// thread covers `impl` (data-parallel training), else `impl.grad`. All op
+/// backward closures route their parent-gradient writes through this.
+std::vector<float>& GradBuffer(TensorImpl& impl);
+
 }  // namespace internal
 
 /// Value-semantic handle to a node in a dynamically built autograd graph.
@@ -115,6 +121,34 @@ class Tensor {
   int Index(int r, int c) const { return r * impl_->shape.cols + c; }
 
   std::shared_ptr<internal::TensorImpl> impl_;
+};
+
+/// Redirects gradient accumulation for a set of leaf tensors (parameters)
+/// into private per-scope buffers on the *constructing thread*.
+///
+/// This is what makes data-parallel training deterministic: each work item
+/// runs forward + `Backward()` inside its own scope on its own thread, so
+/// shared parameters never see concurrent `grad` writes, and the caller
+/// merges the per-item buffers into the real `grad` vectors in item order —
+/// a fixed floating-point reduction order whatever the thread count.
+///
+/// Scopes must not nest on one thread, and a scope must be destroyed on the
+/// thread that created it. Interior (non-covered) nodes are untouched: their
+/// gradients live in the per-item graph, which is thread-private anyway.
+class GradRedirectScope {
+ public:
+  explicit GradRedirectScope(const std::vector<Tensor>& leaves);
+  ~GradRedirectScope();
+
+  GradRedirectScope(const GradRedirectScope&) = delete;
+  GradRedirectScope& operator=(const GradRedirectScope&) = delete;
+
+  /// The captured gradients, aligned with the constructor's `leaves`.
+  /// (A leaf listed twice gets all its gradient in its first buffer.)
+  std::vector<std::vector<float>> TakeBuffers() { return std::move(buffers_); }
+
+ private:
+  std::vector<std::vector<float>> buffers_;
 };
 
 }  // namespace pa::tensor

@@ -13,6 +13,12 @@ namespace pa::util {
 /// generators, BPR negative sampling) takes an explicit `Rng&` so that
 /// experiments are reproducible from a single seed. The engine is a
 /// Mersenne twister; helpers below cover the draw types the library needs.
+///
+/// An `Rng` is NOT thread-safe. Parallel code must never share one across
+/// work items: derive an independent per-item seed with
+/// `util::StreamSeed` (thread_pool.h) and construct a local `Rng` from it,
+/// so draws are independent of both the thread count and the execution
+/// order.
 class Rng {
  public:
   explicit Rng(uint64_t seed = 42) : engine_(seed) {}

@@ -1,0 +1,152 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+
+namespace pa::util {
+
+namespace {
+
+// Set while a thread is executing pool work; nested ParallelFor calls from
+// such a thread run inline instead of re-entering the queue (re-entry could
+// deadlock: every worker could end up blocked waiting for queued sub-tasks
+// that no thread is free to run).
+thread_local bool t_in_pool_worker = false;
+
+int DefaultThreadCount() {
+  if (const char* env = std::getenv("PA_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 1024) {
+      return static_cast<int>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelForRange(
+    int64_t begin, int64_t end, int64_t grain,
+    const std::function<void(int64_t, int64_t)>& fn) {
+  if (end <= begin) return;
+  grain = std::max<int64_t>(1, grain);
+  const int64_t n = end - begin;
+
+  // Sequential path: a 1-thread pool, a range that fits in one grain, or a
+  // call from inside a worker (nested parallelism).
+  if (num_threads_ == 1 || n <= grain || t_in_pool_worker) {
+    fn(begin, end);
+    return;
+  }
+
+  // Split into blocks. A few blocks per thread smooths load imbalance
+  // without flooding the queue.
+  const int64_t max_blocks = static_cast<int64_t>(num_threads_) * 4;
+  const int64_t blocks =
+      std::min(max_blocks, (n + grain - 1) / grain);
+  const int64_t block_len = (n + blocks - 1) / blocks;
+
+  struct SharedState {
+    std::atomic<int64_t> remaining;
+    std::mutex mu;
+    std::condition_variable done;
+  };
+  auto state = std::make_shared<SharedState>();
+  state->remaining.store(blocks, std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // The calling thread runs block 0 itself; queue the rest.
+    for (int64_t b = 1; b < blocks; ++b) {
+      const int64_t lo = begin + b * block_len;
+      const int64_t hi = std::min(end, lo + block_len);
+      queue_.emplace_back([state, lo, hi, &fn] {
+        fn(lo, hi);
+        if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard<std::mutex> done_lock(state->mu);
+          state->done.notify_all();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+
+  {
+    const bool was_worker = t_in_pool_worker;
+    t_in_pool_worker = true;  // Nested calls inside fn stay inline.
+    fn(begin, std::min(end, begin + block_len));
+    t_in_pool_worker = was_worker;
+  }
+  if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->done.wait(lock, [&] {
+      return state->remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             const std::function<void(int64_t)>& fn) {
+  ParallelForRange(begin, end, grain, [&fn](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+namespace {
+
+std::unique_ptr<ThreadPool> g_pool;
+std::mutex g_pool_mu;
+
+}  // namespace
+
+ThreadPool& GlobalPool() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(DefaultThreadCount());
+  return *g_pool;
+}
+
+int ThreadCount() { return GlobalPool().num_threads(); }
+
+void SetThreadCount(int n) {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  g_pool.reset();  // Join old workers before the new pool spins up.
+  g_pool = std::make_unique<ThreadPool>(n <= 0 ? DefaultThreadCount() : n);
+}
+
+}  // namespace pa::util

@@ -1,0 +1,107 @@
+#ifndef PA_UTIL_THREAD_POOL_H_
+#define PA_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pa::util {
+
+/// Fixed-size worker pool behind the library's deterministic parallel
+/// helpers.
+///
+/// Design rules (see DESIGN.md "Threading model"):
+///  * Work is always partitioned by *index*, never by arrival order: every
+///    index writes only its own output slot, and callers merge partial
+///    results in index order. Output is therefore bit-identical regardless
+///    of the thread count — a 1-thread pool runs the exact computation the
+///    N-thread pool runs, just inline.
+///  * A `ParallelFor` issued from inside a worker thread runs inline on
+///    that worker (no re-entry into the queue), so nested parallelism —
+///    e.g. a parallel `MatMul` inside a parallel training item — cannot
+///    deadlock the pool.
+///  * Stochastic per-index work must draw from a per-index RNG stream
+///    (seed it via `SplitMix64`), never from a shared `Rng`.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers (the calling thread is the Nth).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs `fn(lo, hi)` over disjoint sub-ranges covering [begin, end).
+  /// Ranges are contiguous, at least `grain` long (except the last), and
+  /// processed by whichever thread gets there first; `fn` must only write
+  /// state owned by its indices.
+  void ParallelForRange(int64_t begin, int64_t end, int64_t grain,
+                        const std::function<void(int64_t, int64_t)>& fn);
+
+  /// Element-wise variant: runs `fn(i)` for every i in [begin, end).
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<void(int64_t)>& fn);
+
+  /// Ordered map: returns {fn(begin), ..., fn(end-1)} with result i stored
+  /// at slot i - begin. Merging the results in vector order gives the same
+  /// reduction order as a sequential loop, whatever the thread count.
+  template <typename Fn>
+  auto ParallelMap(int64_t begin, int64_t end, int64_t grain, Fn&& fn)
+      -> std::vector<decltype(fn(int64_t{}))> {
+    using R = decltype(fn(int64_t{}));
+    std::vector<R> results(static_cast<size_t>(end - begin));
+    ParallelFor(begin, end, grain, [&](int64_t i) {
+      results[static_cast<size_t>(i - begin)] = fn(i);
+    });
+    return results;
+  }
+
+ private:
+  void WorkerLoop();
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// The process-wide pool used by all parallel hot paths. Sized on first use
+/// from the `PA_THREADS` environment variable (falling back to
+/// `std::thread::hardware_concurrency()`); `PA_THREADS=1` forces every
+/// parallel helper onto the plain sequential path.
+ThreadPool& GlobalPool();
+
+/// Thread count of the global pool.
+int ThreadCount();
+
+/// Resizes the global pool (used by tests and benches to compare thread
+/// counts in-process). `n <= 0` restores the PA_THREADS / hardware default.
+/// Must not be called while parallel work is in flight.
+void SetThreadCount(int n);
+
+/// SplitMix64 mixing function (Steele et al.) — derives statistically
+/// independent seeds for per-index RNG streams, so stochastic parallel work
+/// is reproducible and independent of the thread count.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Seed for the i-th stream of a family rooted at `base`.
+inline uint64_t StreamSeed(uint64_t base, uint64_t i) {
+  return SplitMix64(base + (i + 1) * 0x9E3779B97F4A7C15ULL);
+}
+
+}  // namespace pa::util
+
+#endif  // PA_UTIL_THREAD_POOL_H_

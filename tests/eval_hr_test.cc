@@ -55,6 +55,75 @@ TEST(HrAccumulatorTest, RanksBeyondTenIgnored) {
   EXPECT_DOUBLE_EQ(acc.Result().hr10, 0.0);
 }
 
+TEST(HrAccumulatorTest, DuplicatePoiIdsCollapseToOneRank) {
+  // A recommender that emits the same id at multiple ranks must not inflate
+  // the effective rank of later entries: [8, 8, 8, 7] has 7 at distinct
+  // rank 1, so it is a hit for HR@5 with reciprocal rank 1/2.
+  HrAccumulator acc;
+  acc.Add({8, 8, 8, 7}, 7);
+  HrResult r = acc.Result();
+  EXPECT_DOUBLE_EQ(r.hr1, 0.0);
+  EXPECT_DOUBLE_EQ(r.hr5, 1.0);
+  EXPECT_NEAR(r.mrr10, 0.5, 1e-12);
+}
+
+TEST(HrAccumulatorTest, DuplicateTruthCountsOnce) {
+  // The truth appearing twice is one hit at its first occurrence, never two.
+  HrAccumulator acc;
+  acc.Add({7, 7, 1, 2}, 7);
+  HrResult r = acc.Result();
+  EXPECT_EQ(r.num_cases, 1);
+  EXPECT_DOUBLE_EQ(r.hr1, 1.0);
+  EXPECT_DOUBLE_EQ(r.hr10, 1.0);
+  EXPECT_NEAR(r.mrr10, 1.0, 1e-12);
+}
+
+TEST(HrAccumulatorTest, DuplicatesDoNotExtendTheCutoff) {
+  // 11 distinct ids precede the truth; duplicates interleaved among them
+  // must not push the truth inside the top-10 window...
+  HrAccumulator acc;
+  std::vector<int32_t> ranked;
+  for (int i = 0; i < 11; ++i) {
+    ranked.push_back(i);
+    ranked.push_back(i);  // Duplicate each entry.
+  }
+  ranked.push_back(99);
+  acc.Add(ranked, 99);
+  EXPECT_DOUBLE_EQ(acc.Result().hr10, 0.0);
+
+  // ...while 5 distinct ids padded with duplicates leave the truth at
+  // distinct rank 5, inside the window.
+  HrAccumulator acc2;
+  acc2.Add({0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 99}, 99);
+  HrResult r2 = acc2.Result();
+  EXPECT_DOUBLE_EQ(r2.hr10, 1.0);
+  EXPECT_NEAR(r2.mrr10, 1.0 / 6.0, 1e-12);
+}
+
+TEST(HrAccumulatorTest, MergeMatchesSequentialAccumulation) {
+  HrAccumulator whole;
+  HrAccumulator part1, part2;
+  whole.Add({7, 1, 2}, 7);
+  part1.Add({7, 1, 2}, 7);
+  whole.Add({1, 2, 3, 7}, 7);
+  part1.Add({1, 2, 3, 7}, 7);
+  whole.Add({1, 2, 3}, 7);
+  part2.Add({1, 2, 3}, 7);
+  whole.Add({2, 7}, 7);
+  part2.Add({2, 7}, 7);
+
+  HrAccumulator merged;
+  merged.Merge(part1);
+  merged.Merge(part2);
+  HrResult a = whole.Result();
+  HrResult b = merged.Result();
+  EXPECT_EQ(a.num_cases, b.num_cases);
+  EXPECT_DOUBLE_EQ(a.hr1, b.hr1);
+  EXPECT_DOUBLE_EQ(a.hr5, b.hr5);
+  EXPECT_DOUBLE_EQ(a.hr10, b.hr10);
+  EXPECT_DOUBLE_EQ(a.mrr10, b.mrr10);
+}
+
 // A scripted recommender: always predicts the user's previous check-in POI.
 class EchoRecommender : public rec::Recommender {
  public:

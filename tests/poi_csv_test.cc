@@ -58,6 +58,71 @@ TEST(CsvTest, RejectsNonNumeric) {
   EXPECT_FALSE(LoadCheckinsCsv(is, &d, &why));
 }
 
+TEST(CsvTest, RejectsTrailingGarbageInField) {
+  // std::stoll-based parsing accepted "12abc" as 12; whole-field validation
+  // must reject it and name the offending field.
+  std::istringstream is("12abc,100,40.0,-100.0,5\n");
+  Dataset d;
+  std::string why;
+  EXPECT_FALSE(LoadCheckinsCsv(is, &d, &why));
+  EXPECT_NE(why.find("line 1"), std::string::npos);
+  EXPECT_NE(why.find("user"), std::string::npos);
+  EXPECT_NE(why.find("12abc"), std::string::npos);
+}
+
+TEST(CsvTest, RejectsTrailingGarbageInCoordinate) {
+  std::istringstream is("1,100,40.0x,-100.0,5\n");
+  Dataset d;
+  std::string why;
+  EXPECT_FALSE(LoadCheckinsCsv(is, &d, &why));
+  EXPECT_NE(why.find("lat"), std::string::npos);
+}
+
+TEST(CsvTest, RejectsEmptyField) {
+  std::istringstream is("1,,40.0,-100.0,5\n");
+  Dataset d;
+  std::string why;
+  EXPECT_FALSE(LoadCheckinsCsv(is, &d, &why));
+  EXPECT_NE(why.find("timestamp"), std::string::npos);
+}
+
+TEST(CsvTest, RejectsLeadingWhitespaceInField) {
+  // stoll also used to skip leading whitespace; the format has none.
+  std::istringstream is("1, 100,40.0,-100.0,5\n");
+  Dataset d;
+  std::string why;
+  EXPECT_FALSE(LoadCheckinsCsv(is, &d, &why));
+}
+
+TEST(CsvTest, ParsesCrlfLineEndings) {
+  // Windows-written files carry \r\n; the \r must not corrupt the last
+  // field (it used to make every row unparseable).
+  std::istringstream is(
+      "7,1000,40.5,-100.25,55\r\n"
+      "7,2000,40.6,-100.35,66\r\n");
+  Dataset d;
+  std::string why;
+  ASSERT_TRUE(LoadCheckinsCsv(is, &d, &why)) << why;
+  EXPECT_EQ(d.num_checkins(), 2);
+  EXPECT_EQ(d.num_pois(), 2);
+}
+
+TEST(CsvTest, ParsesCrlfTabSeparated) {
+  std::istringstream is("0\t1287530127\t30.23\t-97.79\t22847\r\n");
+  Dataset d;
+  std::string why;
+  ASSERT_TRUE(LoadCheckinsCsv(is, &d, &why)) << why;
+  EXPECT_EQ(d.num_checkins(), 1);
+}
+
+TEST(CsvTest, RejectsNegativeOverflow) {
+  std::istringstream is("99999999999999999999999,100,40.0,-100.0,5\n");
+  Dataset d;
+  std::string why;
+  EXPECT_FALSE(LoadCheckinsCsv(is, &d, &why));
+  EXPECT_NE(why.find("user"), std::string::npos);
+}
+
 TEST(CsvTest, SortsOutOfOrderRecords) {
   std::istringstream is(
       "1,300,40.0,-100.0,5\n"
