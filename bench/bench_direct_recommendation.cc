@@ -4,7 +4,12 @@
 // claims the trained model "has learned the visiting distribution" and can
 // recommend directly; this bench quantifies that claim at build scale.
 
+// Usage: bench_direct_recommendation [METHOD...] — defaults to the five
+// standard methods; unknown names fail fast listing the valid ones.
+
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "eval/hr_metric.h"
 #include "poi/synthetic.h"
@@ -12,8 +17,21 @@
 #include "rec/registry.h"
 #include "util/rng.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pa;
+
+  std::vector<std::string> methods;
+  for (int i = 1; i < argc; ++i) {
+    if (!rec::MakeRecommender(argv[i])) {
+      std::fprintf(stderr,
+                   "bench_direct_recommendation: unknown recommender \"%s\" "
+                   "(known: %s)\n",
+                   argv[i], rec::KnownRecommenderNamesString().c_str());
+      return 2;
+    }
+    methods.push_back(argv[i]);
+  }
+  if (methods.empty()) methods = rec::StandardRecommenderNames();
 
   std::printf(
       "=== Extension: PA-Seq2Seq as a direct next-POI recommender ===\n");
@@ -38,7 +56,7 @@ int main() {
 
   std::printf("%-20s %8s %8s %8s %8s\n", "method", "HR@1", "HR@5", "HR@10",
               "MRR@10");
-  for (const std::string& name : rec::StandardRecommenderNames()) {
+  for (const std::string& name : methods) {
     auto recommender = rec::MakeRecommender(name, /*seed=*/7);
     recommender->Fit(split.train, train_view.pois);
     const eval::HrResult hr =

@@ -11,12 +11,17 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "eval/hr_metric.h"
 #include "poi/synthetic.h"
 #include "rec/fpmc_lr.h"
+#include "serve/json.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -101,6 +106,29 @@ int Run() {
                          serial.hr.mrr10 == parallel.hr.mrr10;
   std::printf("bit-identical across thread counts: %s\n",
               identical ? "YES" : "NO");
+
+  // Machine-readable summary for CI tracking (working directory, or
+  // $PA_BENCH_DIR when set).
+  serve::JsonWriter w;
+  w.BeginObject()
+      .Field("bench", "parallel_eval")
+      .Field("threads_wide", wide)
+      .Field("hardware_concurrency", hw)
+      .Field("serial_seconds", serial.seconds)
+      .Field("parallel_seconds", parallel.seconds)
+      .Field("speedup", serial.seconds / parallel.seconds)
+      .Field("hr10", serial.hr.hr10)
+      .Field("mrr10", serial.hr.mrr10)
+      .Field("bit_identical", identical)
+      .EndObject();
+  std::string out_path = "BENCH_parallel_eval.json";
+  if (const char* dir = std::getenv("PA_BENCH_DIR")) {
+    out_path = (std::filesystem::path(dir) / out_path).string();
+  }
+  std::ofstream out(out_path);
+  out << w.str() << "\n";
+  std::printf("wrote %s\n", out_path.c_str());
+
   return identical ? 0 : 1;
 }
 

@@ -1,0 +1,172 @@
+// Serving load generator: trains a small LSTM on a Gowalla-profile
+// synthetic snapshot, publishes it through a temporary serve::ModelStore,
+// loads it back the way a serving process would, and replays a query
+// stream against serve::Engine — measuring end-to-end request latency
+// (p50/p95/p99) and throughput.
+//
+// The numbers are written to BENCH_serving.json (working directory, or
+// $PA_BENCH_DIR) as machine-readable JSON so CI can track them. The binary
+// exits non-zero if any request misses the default deadline: on this
+// workload every request should finish well inside 250 ms, so a timeout
+// means the serving path regressed.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "poi/synthetic.h"
+#include "rec/registry.h"
+#include "serve/engine.h"
+#include "serve/json.h"
+#include "serve/model_store.h"
+#include "util/rng.h"
+
+namespace pa {
+namespace {
+
+namespace fs = std::filesystem;
+
+double Seconds(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+std::string BenchOutputPath(const char* filename) {
+  if (const char* dir = std::getenv("PA_BENCH_DIR")) {
+    return (fs::path(dir) / filename).string();
+  }
+  return filename;
+}
+
+int Run() {
+  // --- Train a quick LSTM on a Gowalla-shaped snapshot. -------------------
+  poi::LbsnProfile profile = poi::GowallaProfile();
+  profile.num_users = 32;
+  profile.num_pois = 500;
+  profile.min_visits = 100;
+  profile.max_visits = 140;
+
+  util::Rng rng(20260806);
+  std::printf("generating synthetic LBSN (%d users / %d POIs)...\n",
+              profile.num_users, profile.num_pois);
+  poi::SyntheticLbsn lbsn = poi::GenerateLbsn(profile, rng);
+
+  std::unique_ptr<rec::Recommender> model =
+      rec::MakeRecommender("LSTM", 7, 0.25);
+  std::printf("training %s...\n", model->name().c_str());
+  model->Fit(lbsn.observed.sequences, lbsn.observed.pois);
+
+  // --- Publish + reload through the store (the real serving path). --------
+  const fs::path store_dir =
+      fs::temp_directory_path() / "pa_bench_serving_store";
+  fs::remove_all(store_dir);
+  serve::ModelStore store(store_dir);
+  std::string error;
+  const int version = store.Publish(*model, lbsn.observed.pois, &error);
+  if (version < 0) {
+    std::fprintf(stderr, "publish failed: %s\n", error.c_str());
+    return 1;
+  }
+  serve::LoadedModel loaded;
+  if (!store.LoadActive(model->name(), &loaded, &error)) {
+    std::fprintf(stderr, "load failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("published and reloaded %s v%d\n", loaded.name.c_str(), version);
+
+  serve::EngineConfig config;  // Default 250 ms deadline.
+  serve::Engine engine(
+      std::make_shared<const serve::LoadedModel>(std::move(loaded)), config);
+
+  // --- Build the query stream from the snapshot's own sequences. ----------
+  // First 80% of each user's check-ins seed serving history (warm
+  // sessions); the rest replay as interleaved observe + topk traffic, the
+  // shape a frontend produces when users check in and immediately ask
+  // where to go next.
+  struct Query {
+    poi::Checkin checkin;
+  };
+  std::vector<Query> queries;
+  for (const poi::CheckinSequence& seq : lbsn.observed.sequences) {
+    if (seq.size() < 10) continue;
+    const size_t cut = seq.size() * 4 / 5;
+    engine.Observe(seq.front());  // Creates the session.
+    std::vector<poi::Checkin> warm(seq.begin() + 1, seq.begin() + cut);
+    for (const poi::Checkin& c : warm) engine.Observe(c);
+    for (size_t i = cut; i < seq.size(); ++i) queries.push_back({seq[i]});
+  }
+  std::printf("replaying %zu queries...\n", queries.size());
+
+  // --- Replay: for each test check-in, ask top-10 then observe it. --------
+  const auto t0 = std::chrono::steady_clock::now();
+  uint64_t failed = 0;
+  constexpr int kBatch = 16;
+  for (size_t base = 0; base < queries.size(); base += kBatch) {
+    const size_t n = std::min<size_t>(kBatch, queries.size() - base);
+    std::vector<serve::TopKRequest> batch(n);
+    for (size_t i = 0; i < n; ++i) {
+      batch[i].user = queries[base + i].checkin.user;
+      batch[i].k = 10;
+      batch[i].next_timestamp = queries[base + i].checkin.timestamp;
+    }
+    const std::vector<serve::TopKResponse> responses = engine.TopKBatch(batch);
+    for (const serve::TopKResponse& r : responses) {
+      if (r.status != serve::RequestStatus::kOk) ++failed;
+    }
+    for (size_t i = 0; i < n; ++i) engine.Observe(queries[base + i].checkin);
+  }
+  const double elapsed = Seconds(std::chrono::steady_clock::now() - t0);
+
+  const serve::EngineStats stats = engine.Stats();
+  const double qps = elapsed > 0 ? double(queries.size()) / elapsed : 0.0;
+
+  std::printf("\n  requests   %llu\n  timeouts   %llu\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.timeouts));
+  std::printf("  p50        %.1f us\n  p95        %.1f us\n  p99        %.1f us\n",
+              stats.p50_micros, stats.p95_micros, stats.p99_micros);
+  std::printf("  throughput %.0f topk/s (%.3f s total)\n", qps, elapsed);
+  std::printf("  sessions   %llu live, %llu hits / %llu misses / %llu evictions\n",
+              static_cast<unsigned long long>(stats.live_sessions),
+              static_cast<unsigned long long>(stats.session_hits),
+              static_cast<unsigned long long>(stats.session_misses),
+              static_cast<unsigned long long>(stats.session_evictions));
+
+  // --- Machine-readable summary. ------------------------------------------
+  serve::JsonWriter w;
+  w.BeginObject()
+      .Field("bench", "serving")
+      .Field("model", engine.model_name())
+      .Field("version", version)
+      .Field("num_queries", static_cast<uint64_t>(queries.size()))
+      .Field("batch_size", kBatch)
+      .Field("deadline_ms", config.deadline_ms)
+      .Field("failed", failed)
+      .Field("throughput_qps", qps)
+      .Field("elapsed_seconds", elapsed)
+      .RawField("engine", stats.ToJson())
+      .EndObject();
+  const std::string out_path = BenchOutputPath("BENCH_serving.json");
+  std::ofstream out(out_path);
+  out << w.str() << "\n";
+  std::printf("wrote %s\n", out_path.c_str());
+
+  fs::remove_all(store_dir);
+  if (failed > 0) {
+    std::fprintf(stderr, "FAIL: %llu requests missed the %lld ms deadline\n",
+                 static_cast<unsigned long long>(failed),
+                 static_cast<long long>(config.deadline_ms));
+    return 1;
+  }
+  std::printf("all requests inside the deadline: YES\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pa
+
+int main() { return pa::Run(); }

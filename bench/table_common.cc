@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <stdexcept>
 
 #include "eval/experiment.h"
 #include "util/rng.h"
@@ -22,8 +23,15 @@ int RunTableBenchmark(const poi::LbsnProfile& profile,
   eval::ExperimentConfig config;
   config.verbose = true;
   config.seq2seq.stage3_epochs = 24;
-  eval::TableResult table =
-      eval::RunAugmentationExperiment(lbsn.observed, profile.name, config);
+  eval::TableResult table;
+  try {
+    table =
+        eval::RunAugmentationExperiment(lbsn.observed, profile.name, config);
+  } catch (const std::invalid_argument& e) {
+    // E.g. a method-row name the registry does not know.
+    std::fprintf(stderr, "%s: %s\n", label.c_str(), e.what());
+    return 2;
+  }
 
   std::printf("\nMeasured (this build, synthetic %s profile):\n%s\n",
               profile.name.c_str(), table.ToString().c_str());

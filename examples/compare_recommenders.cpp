@@ -3,10 +3,15 @@
 // for each — the "Original" column of Tables I/II, as a standalone tour of
 // the recommender API and registry.
 //
-// Usage: compare_recommenders [gowalla|brightkite]
+// Usage: compare_recommenders [gowalla|brightkite] [METHOD...]
+//
+// With no METHOD arguments the five standard methods run; otherwise only
+// the named ones (case-insensitive, e.g. "lstm gru").
 
 #include <cstdio>
 #include <cstring>
+#include <string>
+#include <vector>
 
 #include "eval/hr_metric.h"
 #include "poi/synthetic.h"
@@ -20,6 +25,26 @@ int main(int argc, char** argv) {
       (argc > 1 && std::strcmp(argv[1], "brightkite") == 0)
           ? poi::BrightkiteProfile()
           : poi::GowallaProfile();
+
+  // Any argument past the profile selects methods; validate before the
+  // (slow) dataset generation so typos fail instantly.
+  std::vector<std::string> methods;
+  const int first_method =
+      (argc > 1 && (std::strcmp(argv[1], "brightkite") == 0 ||
+                    std::strcmp(argv[1], "gowalla") == 0))
+          ? 2
+          : 1;
+  for (int i = first_method; i < argc; ++i) {
+    if (!rec::MakeRecommender(argv[i])) {
+      std::fprintf(stderr,
+                   "compare_recommenders: unknown recommender \"%s\" "
+                   "(known: %s)\n",
+                   argv[i], rec::KnownRecommenderNamesString().c_str());
+      return 2;
+    }
+    methods.push_back(argv[i]);
+  }
+  if (methods.empty()) methods = rec::StandardRecommenderNames();
   profile.num_users = 30;
   profile.num_pois = 800;
   profile.min_visits = 120;
@@ -39,7 +64,7 @@ int main(int argc, char** argv) {
   poi::Dataset train_view = poi::WithSequences(lbsn.observed, split.train);
 
   std::printf("%-10s %8s %8s %8s\n", "method", "HR@1", "HR@5", "HR@10");
-  for (const std::string& name : rec::StandardRecommenderNames()) {
+  for (const std::string& name : methods) {
     auto recommender = rec::MakeRecommender(name, /*seed=*/7);
     recommender->Fit(split.train, train_view.pois);
     const eval::HrResult hr =

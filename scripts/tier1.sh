@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the standard build + full test suite, then a
 # ThreadSanitizer build of the concurrency-sensitive tests (thread pool,
-# cross-thread determinism, parallel eval/training paths).
+# cross-thread determinism, parallel eval/training paths), then an
+# ASan/UBSan build of the serialization + serving tests (the subsystem that
+# parses attacker-shaped bytes and juggles shared session state).
 #
-# Usage: scripts/tier1.sh [--no-tsan]
+# Usage: scripts/tier1.sh [--no-tsan]   (the flag skips both sanitizer passes)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,3 +26,13 @@ cmake --build build-tsan -j"$(nproc)" --target \
   util_thread_pool_test parallel_determinism_test
 ctest --test-dir build-tsan --output-on-failure \
   -R 'util_thread_pool_test|parallel_determinism_test'
+
+# ASan/UBSan pass over the checkpoint parser and the serving subsystem:
+# these tests feed truncated/corrupted byte streams and hammer the session
+# LRU from request paths, exactly where memory bugs would hide.
+cmake -B build-asan -S . -DPA_SANITIZE=address,undefined >/dev/null
+cmake --build build-asan -j"$(nproc)" --target \
+  nn_serialize_test serve_json_test serve_artifact_test \
+  serve_model_store_test serve_session_store_test serve_engine_test
+ctest --test-dir build-asan --output-on-failure \
+  -R 'nn_serialize_test|serve_json_test|serve_artifact_test|serve_model_store_test|serve_session_store_test|serve_engine_test'

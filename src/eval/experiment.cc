@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <iomanip>
 #include <sstream>
+#include <stdexcept>
 
 #include "augment/linear_interpolation.h"
 #include "rec/registry.h"
@@ -102,6 +103,11 @@ TableResult RunAugmentationExperiment(const poi::Dataset& dataset,
     for (size_t c = 0; c < table.training_sets.size(); ++c) {
       auto recommender = rec::MakeRecommender(
           table.methods[r], config.seed, config.epochs_scale);
+      if (!recommender) {
+        throw std::invalid_argument(
+            "unknown recommender \"" + table.methods[r] +
+            "\" (known: " + rec::KnownRecommenderNamesString() + ")");
+      }
       if (config.verbose) {
         std::fprintf(stderr, "[experiment] %s on %s\n",
                      table.methods[r].c_str(),

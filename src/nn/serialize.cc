@@ -11,6 +11,10 @@ namespace pa::nn {
 namespace {
 
 constexpr uint32_t kMagic = 0x50415332;  // "PAS2"
+// v1 files follow the magic directly with the parameter count; v2+ files
+// put this tag there instead (no real checkpoint has 2^32-1 parameters),
+// then the version word — which is how the loader tells the formats apart.
+constexpr uint32_t kV2Tag = 0xFFFFFFFFu;
 
 template <typename T>
 void WritePod(std::ostream& os, T value) {
@@ -23,46 +27,150 @@ bool ReadPod(std::istream& is, T* value) {
   return static_cast<bool>(is);
 }
 
+void SetError(std::string* error, const std::string& message) {
+  if (error) *error = message;
+}
+
+/// Folds one tensor block (shape words + float payload) into a checksum.
+uint64_t HashBlock(uint64_t h, const tensor::Tensor& p) {
+  const int32_t rows = p.rows();
+  const int32_t cols = p.cols();
+  h = Checksum64(&rows, sizeof(rows), h);
+  h = Checksum64(&cols, sizeof(cols), h);
+  return Checksum64(p.data(), static_cast<size_t>(p.numel()) * sizeof(float),
+                    h);
+}
+
 }  // namespace
 
-bool SaveParameters(std::ostream& os,
-                    const std::vector<tensor::Tensor>& params) {
+uint64_t Checksum64(const void* bytes, size_t n, uint64_t seed) {
+  const unsigned char* p = static_cast<const unsigned char*>(bytes);
+  uint64_t h = seed;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+bool SaveParameters(std::ostream& os, const std::vector<tensor::Tensor>& params,
+                    std::string* error) {
+  uint64_t checksum = kChecksumSeed;
+  for (const tensor::Tensor& p : params) checksum = HashBlock(checksum, p);
+
   WritePod(os, kMagic);
+  WritePod(os, kV2Tag);
+  WritePod(os, kParameterFormatVersion);
   WritePod(os, static_cast<uint32_t>(params.size()));
+  WritePod(os, checksum);
   for (const tensor::Tensor& p : params) {
     WritePod(os, static_cast<int32_t>(p.rows()));
     WritePod(os, static_cast<int32_t>(p.cols()));
     os.write(reinterpret_cast<const char*>(p.data()),
              static_cast<std::streamsize>(p.numel() * sizeof(float)));
   }
-  return static_cast<bool>(os);
+  if (!os) {
+    SetError(error, "I/O error writing parameter checkpoint");
+    return false;
+  }
+  return true;
 }
 
-bool LoadParameters(std::istream& is, std::vector<tensor::Tensor>& params) {
-  uint32_t magic = 0, count = 0;
-  if (!ReadPod(is, &magic) || magic != kMagic) return false;
-  if (!ReadPod(is, &count) || count != params.size()) return false;
+bool LoadParameters(std::istream& is, std::vector<tensor::Tensor>& params,
+                    std::string* error) {
+  uint32_t magic = 0;
+  if (!ReadPod(is, &magic) || magic != kMagic) {
+    SetError(error, "not a parameter checkpoint (bad magic)");
+    return false;
+  }
+  uint32_t second = 0;
+  if (!ReadPod(is, &second)) {
+    SetError(error, "truncated checkpoint (missing header)");
+    return false;
+  }
+
+  uint32_t count = 0;
+  uint64_t expected_checksum = 0;
+  bool verify_checksum = false;
+  if (second == kV2Tag) {
+    uint32_t version = 0;
+    if (!ReadPod(is, &version)) {
+      SetError(error, "truncated checkpoint (missing version)");
+      return false;
+    }
+    if (version != kParameterFormatVersion) {
+      SetError(error, "unsupported checkpoint format version " +
+                          std::to_string(version) + " (this build reads v1-v" +
+                          std::to_string(kParameterFormatVersion) + ")");
+      return false;
+    }
+    if (!ReadPod(is, &count) || !ReadPod(is, &expected_checksum)) {
+      SetError(error, "truncated checkpoint (missing count/checksum)");
+      return false;
+    }
+    verify_checksum = true;
+  } else {
+    // Legacy v1 header: `second` is the parameter count; no checksum.
+    count = second;
+  }
+
+  if (count != params.size()) {
+    SetError(error, "parameter count mismatch (file has " +
+                        std::to_string(count) + ", model expects " +
+                        std::to_string(params.size()) + ")");
+    return false;
+  }
+
+  uint64_t checksum = kChecksumSeed;
   for (tensor::Tensor& p : params) {
     int32_t rows = 0, cols = 0;
-    if (!ReadPod(is, &rows) || !ReadPod(is, &cols)) return false;
-    if (rows != p.rows() || cols != p.cols()) return false;
+    if (!ReadPod(is, &rows) || !ReadPod(is, &cols)) {
+      SetError(error, "truncated checkpoint (missing tensor header)");
+      return false;
+    }
+    if (rows != p.rows() || cols != p.cols()) {
+      SetError(error, "tensor shape mismatch (file has [" +
+                          std::to_string(rows) + ", " + std::to_string(cols) +
+                          "], model expects " + p.shape().ToString() + ")");
+      return false;
+    }
     is.read(reinterpret_cast<char*>(p.data()),
             static_cast<std::streamsize>(p.numel() * sizeof(float)));
-    if (!is) return false;
+    if (!is) {
+      SetError(error, "truncated checkpoint (incomplete tensor payload)");
+      return false;
+    }
+    if (verify_checksum) {
+      checksum = HashBlock(checksum, p);
+    }
+  }
+  if (verify_checksum && checksum != expected_checksum) {
+    SetError(error, "checksum mismatch (corrupt checkpoint)");
+    return false;
   }
   return true;
 }
 
 bool SaveParametersToFile(const std::string& path,
-                          const std::vector<tensor::Tensor>& params) {
+                          const std::vector<tensor::Tensor>& params,
+                          std::string* error) {
   std::ofstream os(path, std::ios::binary);
-  return os && SaveParameters(os, params);
+  if (!os) {
+    SetError(error, "cannot open " + path + " for writing");
+    return false;
+  }
+  return SaveParameters(os, params, error);
 }
 
 bool LoadParametersFromFile(const std::string& path,
-                            std::vector<tensor::Tensor>& params) {
+                            std::vector<tensor::Tensor>& params,
+                            std::string* error) {
   std::ifstream is(path, std::ios::binary);
-  return is && LoadParameters(is, params);
+  if (!is) {
+    SetError(error, "cannot open " + path + " for reading");
+    return false;
+  }
+  return LoadParameters(is, params, error);
 }
 
 bool CopyParameters(const std::vector<tensor::Tensor>& src,

@@ -1,6 +1,7 @@
 #ifndef PA_NN_SERIALIZE_H_
 #define PA_NN_SERIALIZE_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -11,23 +12,44 @@ namespace pa::nn {
 
 /// Binary parameter checkpointing.
 ///
-/// The format is a magic header, the parameter count, then for each tensor
-/// its shape and raw float payload. `LoadParameters` writes *into* the given
-/// tensors in place (shapes must match exactly), so a module can be
-/// constructed first and then restored — the pattern the multi-stage
-/// PA-Seq2Seq training protocol uses to hand pretrained LSTM weights to the
-/// encoder and decoder.
+/// Current (v2) layout: a magic word, a v2 tag, the format version, the
+/// parameter count, an FNV-1a checksum over every tensor block, then the
+/// blocks themselves (shape + raw float payload). The checksum makes
+/// truncated or bit-flipped checkpoints fail loudly instead of loading
+/// garbage into a model. Legacy v1 files (magic + count, no version or
+/// checksum) still load; `SaveParameters` always writes v2.
+///
+/// `LoadParameters` writes *into* the given tensors in place (shapes must
+/// match exactly), so a module can be constructed first and then restored —
+/// the pattern the multi-stage PA-Seq2Seq training protocol uses to hand
+/// pretrained LSTM weights to the encoder and decoder. On failure the
+/// target tensors may be partially overwritten; callers must treat the
+/// model as unusable when loading fails.
 
-/// Returns false (and leaves the stream in a failed state untouched
-/// semantically) on I/O errors.
-bool SaveParameters(std::ostream& os, const std::vector<tensor::Tensor>& params);
-bool LoadParameters(std::istream& is, std::vector<tensor::Tensor>& params);
+/// The version `SaveParameters` writes.
+inline constexpr uint32_t kParameterFormatVersion = 2;
+
+/// FNV-1a over a byte range, chainable via `seed` (pass a previous result
+/// to extend the hash). This is the checksum the v2 header stores and the
+/// one `serve::` artifacts reuse for their payload framing.
+inline constexpr uint64_t kChecksumSeed = 0xCBF29CE484222325ULL;
+uint64_t Checksum64(const void* bytes, size_t n, uint64_t seed = kChecksumSeed);
+
+/// Return false on failure; when `error` is non-null it receives a
+/// one-line reason (bad magic, version mismatch, truncation, checksum
+/// mismatch, shape mismatch, I/O error).
+bool SaveParameters(std::ostream& os, const std::vector<tensor::Tensor>& params,
+                    std::string* error = nullptr);
+bool LoadParameters(std::istream& is, std::vector<tensor::Tensor>& params,
+                    std::string* error = nullptr);
 
 /// File-path convenience wrappers.
 bool SaveParametersToFile(const std::string& path,
-                          const std::vector<tensor::Tensor>& params);
+                          const std::vector<tensor::Tensor>& params,
+                          std::string* error = nullptr);
 bool LoadParametersFromFile(const std::string& path,
-                            std::vector<tensor::Tensor>& params);
+                            std::vector<tensor::Tensor>& params,
+                            std::string* error = nullptr);
 
 /// Copies values elementwise from `src` into `dst` (shapes must match
 /// pairwise). Used to initialize encoder/decoder cells from the stage-1

@@ -4,9 +4,14 @@
 #include <cmath>
 #include <numeric>
 
+#include "nn/serialize.h"
+#include "rec/model_io.h"
+
 namespace pa::rec {
 
 namespace {
+
+constexpr uint32_t kFpmcLrPayloadVersion = 1;
 
 float Dot(const float* a, const float* b, int dim) {
   float s = 0.0f;
@@ -174,6 +179,91 @@ class FpmcLrSession : public RecSession {
 
 std::unique_ptr<RecSession> FpmcLr::NewSession(int32_t user) const {
   return std::make_unique<FpmcLrSession>(this, user);
+}
+
+bool FpmcLr::Save(std::ostream& os, std::string* error) const {
+  if (pois_ == nullptr || v_ul_.empty()) {
+    io::SetError(error, "FPMC-LR: Save() called before Fit()");
+    return false;
+  }
+  io::WritePod(os, kFpmcLrPayloadVersion);
+  io::WritePod(os, static_cast<int32_t>(config_.dim));
+  io::WritePod(os, config_.learning_rate);
+  io::WritePod(os, config_.reg);
+  io::WritePod(os, static_cast<int32_t>(config_.epochs));
+  io::WritePod(os, static_cast<int32_t>(config_.negatives_per_step));
+  io::WritePod(os, config_.region_radius_km);
+  io::WritePod(os, config_.seed);
+  io::WritePod(os, static_cast<int32_t>(num_users_));
+  io::WritePod(os, static_cast<int32_t>(num_pois_));
+  const std::vector<tensor::Tensor> factors = {
+      io::WrapMatrix(v_ul_, num_users_, config_.dim),
+      io::WrapMatrix(v_lu_, num_pois_, config_.dim),
+      io::WrapMatrix(v_li_, num_pois_, config_.dim),
+      io::WrapMatrix(v_il_, num_pois_, config_.dim)};
+  if (!nn::SaveParameters(os, factors, error)) return false;
+  io::WriteI32Vec(os, popular_);
+  if (!os) {
+    io::SetError(error, "FPMC-LR: I/O error writing model");
+    return false;
+  }
+  return true;
+}
+
+bool FpmcLr::Load(std::istream& is, const poi::PoiTable& pois,
+                  std::string* error) {
+  uint32_t version = 0;
+  if (!io::ReadPod(is, &version) || version != kFpmcLrPayloadVersion) {
+    io::SetError(error, "FPMC-LR: unsupported model payload version");
+    return false;
+  }
+  int32_t dim = 0, epochs = 0, negatives = 0, num_users = 0, num_pois = 0;
+  if (!io::ReadPod(is, &dim) || !io::ReadPod(is, &config_.learning_rate) ||
+      !io::ReadPod(is, &config_.reg) || !io::ReadPod(is, &epochs) ||
+      !io::ReadPod(is, &negatives) ||
+      !io::ReadPod(is, &config_.region_radius_km) ||
+      !io::ReadPod(is, &config_.seed) || !io::ReadPod(is, &num_users) ||
+      !io::ReadPod(is, &num_pois) || dim <= 0 || num_users < 0 ||
+      num_pois < 0) {
+    io::SetError(error, "FPMC-LR: truncated or corrupt model header");
+    return false;
+  }
+  if (num_pois != pois.size()) {
+    io::SetError(error, "FPMC-LR: POI table size mismatch (model has " +
+                            std::to_string(num_pois) + " POIs, table has " +
+                            std::to_string(pois.size()) + ")");
+    return false;
+  }
+  config_.dim = dim;
+  config_.epochs = epochs;
+  config_.negatives_per_step = negatives;
+  num_users_ = num_users;
+  num_pois_ = num_pois;
+
+  std::vector<tensor::Tensor> factors = {
+      tensor::Tensor::Zeros({num_users_, dim}),
+      tensor::Tensor::Zeros({num_pois_, dim}),
+      tensor::Tensor::Zeros({num_pois_, dim}),
+      tensor::Tensor::Zeros({num_pois_, dim})};
+  if (!nn::LoadParameters(is, factors, error)) return false;
+  io::UnwrapMatrix(factors[0], &v_ul_);
+  io::UnwrapMatrix(factors[1], &v_lu_);
+  io::UnwrapMatrix(factors[2], &v_li_);
+  io::UnwrapMatrix(factors[3], &v_il_);
+
+  if (!io::ReadI32Vec(is, &popular_) ||
+      popular_.size() != static_cast<size_t>(num_pois_)) {
+    io::SetError(error, "FPMC-LR: truncated popularity ranking");
+    return false;
+  }
+  pois_ = &pois;
+  rng_ = util::Rng(config_.seed);
+  {
+    std::lock_guard<std::mutex> lock(region_mu_);
+    region_cache_.clear();
+  }
+  epoch_objectives_.clear();
+  return true;
 }
 
 }  // namespace pa::rec

@@ -42,6 +42,9 @@ class FpmcLr : public Recommender {
   void Fit(const std::vector<poi::CheckinSequence>& train,
            const poi::PoiTable& pois) override;
   std::unique_ptr<RecSession> NewSession(int32_t user) const override;
+  bool Save(std::ostream& os, std::string* error = nullptr) const override;
+  bool Load(std::istream& is, const poi::PoiTable& pois,
+            std::string* error = nullptr) override;
 
   /// score(u, prev, l); exposed for tests.
   float Score(int32_t user, int32_t prev, int32_t poi) const;

@@ -1,0 +1,65 @@
+#ifndef PA_REC_MODEL_IO_H_
+#define PA_REC_MODEL_IO_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pa::rec::io {
+
+/// POD and vector (de)serialization helpers shared by the recommenders'
+/// `Save`/`Load` implementations. Numeric payloads (factor matrices,
+/// network parameters) go through `nn::SaveParameters`, which carries the
+/// format version and checksum; these helpers cover the small config/shape
+/// preamble each class writes around it.
+
+template <typename T>
+void WritePod(std::ostream& os, T value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& is, T* value) {
+  is.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(is);
+}
+
+inline void WriteI32Vec(std::ostream& os, const std::vector<int32_t>& v) {
+  WritePod(os, static_cast<uint64_t>(v.size()));
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(int32_t)));
+}
+
+inline bool ReadI32Vec(std::istream& is, std::vector<int32_t>* v,
+                       uint64_t max_size = (1ull << 32)) {
+  uint64_t size = 0;
+  if (!ReadPod(is, &size) || size > max_size) return false;
+  v->resize(static_cast<size_t>(size));
+  is.read(reinterpret_cast<char*>(v->data()),
+          static_cast<std::streamsize>(v->size() * sizeof(int32_t)));
+  return static_cast<bool>(is);
+}
+
+/// Wraps a row-major [rows, cols] factor matrix in a Tensor (copying) so it
+/// rides the versioned, checksummed `nn::SaveParameters` container.
+inline tensor::Tensor WrapMatrix(const std::vector<float>& m, int rows,
+                                 int cols) {
+  return tensor::Tensor::FromData({rows, cols}, m);
+}
+
+/// Copies a loaded Tensor back into a flat factor matrix.
+inline void UnwrapMatrix(const tensor::Tensor& t, std::vector<float>* m) {
+  m->assign(t.data(), t.data() + t.numel());
+}
+
+inline void SetError(std::string* error, const std::string& message) {
+  if (error) *error = message;
+}
+
+}  // namespace pa::rec::io
+
+#endif  // PA_REC_MODEL_IO_H_

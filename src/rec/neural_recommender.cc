@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <numeric>
 
+#include "nn/serialize.h"
+#include "rec/model_io.h"
 #include "tensor/ops.h"
 #include "tensor/optimizer.h"
 
 namespace pa::rec {
 
 namespace {
+
+constexpr uint32_t kNeuralPayloadVersion = 1;
 
 using tensor::Tensor;
 
@@ -82,14 +86,17 @@ nn::LstmState NeuralRecommender::Step(const nn::LstmState& state, int poi,
   return state;
 }
 
-void NeuralRecommender::Fit(const std::vector<poi::CheckinSequence>& train,
-                            const poi::PoiTable& pois) {
-  pois_ = &pois;
+void NeuralRecommender::BuildModules(int num_pois) {
+  embedding_.reset();
+  rnn_.reset();
+  gru_.reset();
+  st_rnn_.reset();
+  lstm_.reset();
+  st_clstm_.reset();
+  output_.reset();
   embedding_ =
-      std::make_unique<nn::Embedding>(pois.size(), config_.embedding_dim,
-                                      rng_);
-  output_ = std::make_unique<nn::Linear>(config_.hidden_dim, pois.size(),
-                                         rng_);
+      std::make_unique<nn::Embedding>(num_pois, config_.embedding_dim, rng_);
+  output_ = std::make_unique<nn::Linear>(config_.hidden_dim, num_pois, rng_);
   switch (config_.cell) {
     case NeuralRecConfig::Cell::kRnn:
       rnn_ = std::make_unique<nn::RnnCell>(config_.embedding_dim,
@@ -112,7 +119,9 @@ void NeuralRecommender::Fit(const std::vector<poi::CheckinSequence>& train,
                                                     config_.hidden_dim, rng_);
       break;
   }
+}
 
+std::vector<Tensor> NeuralRecommender::CollectParameters() const {
   std::vector<Tensor> params = embedding_->Parameters();
   auto append = [&params](const std::vector<Tensor>& more) {
     params.insert(params.end(), more.begin(), more.end());
@@ -123,7 +132,14 @@ void NeuralRecommender::Fit(const std::vector<poi::CheckinSequence>& train,
   if (lstm_) append(lstm_->Parameters());
   if (st_clstm_) append(st_clstm_->Parameters());
   append(output_->Parameters());
-  tensor::Adam optimizer(std::move(params), config_.learning_rate);
+  return params;
+}
+
+void NeuralRecommender::Fit(const std::vector<poi::CheckinSequence>& train,
+                            const poi::PoiTable& pois) {
+  pois_ = &pois;
+  BuildModules(pois.size());
+  tensor::Adam optimizer(CollectParameters(), config_.learning_rate);
 
   // Training chunks: (sequence span, features) with truncated BPTT.
   struct Chunk {
@@ -224,6 +240,78 @@ class NeuralRecSession : public RecSession {
 
 std::unique_ptr<RecSession> NeuralRecommender::NewSession(int32_t) const {
   return std::make_unique<NeuralRecSession>(this);
+}
+
+bool NeuralRecommender::Save(std::ostream& os, std::string* error) const {
+  if (pois_ == nullptr || !output_) {
+    io::SetError(error, name() + ": Save() called before Fit()");
+    return false;
+  }
+  io::WritePod(os, kNeuralPayloadVersion);
+  io::WritePod(os, static_cast<uint8_t>(config_.cell));
+  io::WritePod(os, static_cast<int32_t>(config_.embedding_dim));
+  io::WritePod(os, static_cast<int32_t>(config_.hidden_dim));
+  io::WritePod(os, config_.learning_rate);
+  io::WritePod(os, static_cast<int32_t>(config_.epochs));
+  io::WritePod(os, config_.grad_clip);
+  io::WritePod(os, static_cast<int32_t>(config_.max_seq_len));
+  io::WritePod(os, static_cast<int32_t>(config_.min_seq_len));
+  io::WritePod(os, config_.seed);
+  io::WritePod(os, config_.feature_scale.hours_scale);
+  io::WritePod(os, config_.feature_scale.km_scale);
+  io::WritePod(os, static_cast<int32_t>(embedding_->vocab_size()));
+  if (!nn::SaveParameters(os, CollectParameters(), error)) return false;
+  if (!os) {
+    io::SetError(error, name() + ": I/O error writing model");
+    return false;
+  }
+  return true;
+}
+
+bool NeuralRecommender::Load(std::istream& is, const poi::PoiTable& pois,
+                             std::string* error) {
+  uint32_t version = 0;
+  if (!io::ReadPod(is, &version) || version != kNeuralPayloadVersion) {
+    io::SetError(error, name() + ": unsupported model payload version");
+    return false;
+  }
+  uint8_t cell = 0;
+  int32_t embedding_dim = 0, hidden_dim = 0, epochs = 0;
+  int32_t max_seq_len = 0, min_seq_len = 0, num_pois = 0;
+  if (!io::ReadPod(is, &cell) ||
+      cell > static_cast<uint8_t>(NeuralRecConfig::Cell::kStClstm) ||
+      !io::ReadPod(is, &embedding_dim) || !io::ReadPod(is, &hidden_dim) ||
+      !io::ReadPod(is, &config_.learning_rate) || !io::ReadPod(is, &epochs) ||
+      !io::ReadPod(is, &config_.grad_clip) || !io::ReadPod(is, &max_seq_len) ||
+      !io::ReadPod(is, &min_seq_len) || !io::ReadPod(is, &config_.seed) ||
+      !io::ReadPod(is, &config_.feature_scale.hours_scale) ||
+      !io::ReadPod(is, &config_.feature_scale.km_scale) ||
+      !io::ReadPod(is, &num_pois) || embedding_dim <= 0 || hidden_dim <= 0) {
+    io::SetError(error, name() + ": truncated or corrupt model header");
+    return false;
+  }
+  if (num_pois != pois.size()) {
+    io::SetError(error, name() + ": POI table size mismatch (model has " +
+                            std::to_string(num_pois) + " POIs, table has " +
+                            std::to_string(pois.size()) + ")");
+    return false;
+  }
+  config_.cell = static_cast<NeuralRecConfig::Cell>(cell);
+  config_.embedding_dim = embedding_dim;
+  config_.hidden_dim = hidden_dim;
+  config_.epochs = epochs;
+  config_.max_seq_len = max_seq_len;
+  config_.min_seq_len = min_seq_len;
+
+  // Rebuild the module structure (random init), then overwrite every
+  // parameter from the checkpoint.
+  rng_ = util::Rng(config_.seed);
+  BuildModules(num_pois);
+  std::vector<Tensor> params = CollectParameters();
+  if (!nn::LoadParameters(is, params, error)) return false;
+  pois_ = &pois;
+  epoch_losses_.clear();
+  return true;
 }
 
 }  // namespace pa::rec

@@ -56,6 +56,9 @@ class NeuralRecommender : public Recommender {
   void Fit(const std::vector<poi::CheckinSequence>& train,
            const poi::PoiTable& pois) override;
   std::unique_ptr<RecSession> NewSession(int32_t user) const override;
+  bool Save(std::ostream& os, std::string* error = nullptr) const override;
+  bool Load(std::istream& is, const poi::PoiTable& pois,
+            std::string* error = nullptr) override;
 
   /// Mean training loss per epoch (tests assert it decreases).
   const std::vector<float>& epoch_losses() const { return epoch_losses_; }
@@ -67,6 +70,12 @@ class NeuralRecommender : public Recommender {
   nn::LstmState Step(const nn::LstmState& state, int poi, float delta_t,
                      float delta_d) const;
   nn::LstmState InitialState() const;
+
+  /// (Re)creates the embedding, cell and output modules for a POI universe
+  /// of the given size — the structure both `Fit` and `Load` need.
+  void BuildModules(int num_pois);
+  /// Every trainable tensor, in the fixed order Save/Load and Fit use.
+  std::vector<tensor::Tensor> CollectParameters() const;
 
   NeuralRecConfig config_;
   mutable util::Rng rng_;

@@ -4,9 +4,14 @@
 #include <cmath>
 #include <numeric>
 
+#include "nn/serialize.h"
+#include "rec/model_io.h"
+
 namespace pa::rec {
 
 namespace {
+
+constexpr uint32_t kPrmeGPayloadVersion = 1;
 
 float SquaredL2Diff(const float* a, const float* b, int dim) {
   float s = 0.0f;
@@ -171,6 +176,79 @@ class PrmeGSession : public RecSession {
 
 std::unique_ptr<RecSession> PrmeG::NewSession(int32_t user) const {
   return std::make_unique<PrmeGSession>(this, user);
+}
+
+bool PrmeG::Save(std::ostream& os, std::string* error) const {
+  if (pois_ == nullptr || user_.empty()) {
+    io::SetError(error, "PRME-G: Save() called before Fit()");
+    return false;
+  }
+  io::WritePod(os, kPrmeGPayloadVersion);
+  io::WritePod(os, static_cast<int32_t>(config_.dim));
+  io::WritePod(os, config_.alpha);
+  io::WritePod(os, config_.learning_rate);
+  io::WritePod(os, config_.reg);
+  io::WritePod(os, static_cast<int32_t>(config_.epochs));
+  io::WritePod(os, static_cast<int32_t>(config_.negatives_per_step));
+  io::WritePod(os, config_.geo_gamma_km);
+  io::WritePod(os, config_.tau_hours);
+  io::WritePod(os, config_.seed);
+  io::WritePod(os, static_cast<int32_t>(num_users_));
+  io::WritePod(os, static_cast<int32_t>(num_pois_));
+  const std::vector<tensor::Tensor> factors = {
+      io::WrapMatrix(user_, num_users_, config_.dim),
+      io::WrapMatrix(poi_p_, num_pois_, config_.dim),
+      io::WrapMatrix(poi_s_, num_pois_, config_.dim)};
+  if (!nn::SaveParameters(os, factors, error)) return false;
+  if (!os) {
+    io::SetError(error, "PRME-G: I/O error writing model");
+    return false;
+  }
+  return true;
+}
+
+bool PrmeG::Load(std::istream& is, const poi::PoiTable& pois,
+                 std::string* error) {
+  uint32_t version = 0;
+  if (!io::ReadPod(is, &version) || version != kPrmeGPayloadVersion) {
+    io::SetError(error, "PRME-G: unsupported model payload version");
+    return false;
+  }
+  int32_t dim = 0, epochs = 0, negatives = 0, num_users = 0, num_pois = 0;
+  if (!io::ReadPod(is, &dim) || !io::ReadPod(is, &config_.alpha) ||
+      !io::ReadPod(is, &config_.learning_rate) ||
+      !io::ReadPod(is, &config_.reg) || !io::ReadPod(is, &epochs) ||
+      !io::ReadPod(is, &negatives) || !io::ReadPod(is, &config_.geo_gamma_km) ||
+      !io::ReadPod(is, &config_.tau_hours) || !io::ReadPod(is, &config_.seed) ||
+      !io::ReadPod(is, &num_users) || !io::ReadPod(is, &num_pois) || dim <= 0 ||
+      num_users < 0 || num_pois < 0) {
+    io::SetError(error, "PRME-G: truncated or corrupt model header");
+    return false;
+  }
+  if (num_pois != pois.size()) {
+    io::SetError(error, "PRME-G: POI table size mismatch (model has " +
+                            std::to_string(num_pois) + " POIs, table has " +
+                            std::to_string(pois.size()) + ")");
+    return false;
+  }
+  config_.dim = dim;
+  config_.epochs = epochs;
+  config_.negatives_per_step = negatives;
+  num_users_ = num_users;
+  num_pois_ = num_pois;
+
+  std::vector<tensor::Tensor> factors = {tensor::Tensor::Zeros({num_users_, dim}),
+                                         tensor::Tensor::Zeros({num_pois_, dim}),
+                                         tensor::Tensor::Zeros({num_pois_, dim})};
+  if (!nn::LoadParameters(is, factors, error)) return false;
+  io::UnwrapMatrix(factors[0], &user_);
+  io::UnwrapMatrix(factors[1], &poi_p_);
+  io::UnwrapMatrix(factors[2], &poi_s_);
+
+  pois_ = &pois;
+  rng_ = util::Rng(config_.seed);
+  epoch_objectives_.clear();
+  return true;
 }
 
 }  // namespace pa::rec

@@ -45,6 +45,9 @@ class PrmeG : public Recommender {
   void Fit(const std::vector<poi::CheckinSequence>& train,
            const poi::PoiTable& pois) override;
   std::unique_ptr<RecSession> NewSession(int32_t user) const override;
+  bool Save(std::ostream& os, std::string* error = nullptr) const override;
+  bool Load(std::istream& is, const poi::PoiTable& pois,
+            std::string* error = nullptr) override;
 
   /// Ranking distance (lower is better); exposed for tests.
   float Distance(int32_t user, int32_t prev, int32_t poi,

@@ -2,6 +2,7 @@
 #define PA_REC_RECOMMENDER_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -43,6 +44,31 @@ class Recommender {
 
   /// Opens a fresh scoring session for `user`.
   virtual std::unique_ptr<RecSession> NewSession(int32_t user) const = 0;
+
+  /// Serializes the *fitted* model to a versioned binary stream so it can
+  /// be published to a `serve::ModelStore` and reloaded in another process.
+  /// The payload does not include the POI table; `Load` takes the same
+  /// table the model was fitted on. The round trip is bit-exact: a loaded
+  /// model produces identical `TopK` lists to the one saved.
+  ///
+  /// Default: unsupported (returns false). All five standard methods plus
+  /// the GRU / ST-RNN extensions override both hooks.
+  virtual bool Save(std::ostream& os, std::string* error = nullptr) const {
+    (void)os;
+    if (error) *error = name() + " does not support Save()";
+    return false;
+  }
+
+  /// Restores a model previously written by `Save`. `pois` must be the POI
+  /// universe the model was fitted on (same size and ids) and must outlive
+  /// the recommender. On failure the model is unusable.
+  virtual bool Load(std::istream& is, const poi::PoiTable& pois,
+                    std::string* error = nullptr) {
+    (void)is;
+    (void)pois;
+    if (error) *error = name() + " does not support Load()";
+    return false;
+  }
 };
 
 }  // namespace pa::rec

@@ -1,6 +1,7 @@
 #include "rec/registry.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 
 #include "rec/fpmc_lr.h"
@@ -13,10 +14,31 @@ std::vector<std::string> StandardRecommenderNames() {
   return {"FPMC-LR", "PRME-G", "RNN", "LSTM", "ST-CLSTM"};
 }
 
+std::vector<std::string> KnownRecommenderNames() {
+  return {"FPMC-LR", "PRME-G", "RNN", "LSTM", "GRU", "ST-RNN", "ST-CLSTM"};
+}
+
+std::string KnownRecommenderNamesString() {
+  std::string joined;
+  for (const std::string& name : KnownRecommenderNames()) {
+    if (!joined.empty()) joined += ", ";
+    joined += name;
+  }
+  return joined;
+}
+
 namespace {
 
 int ScaledEpochs(int base, double scale) {
   return std::max(1, static_cast<int>(std::lround(base * scale)));
+}
+
+std::string ToUpper(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::toupper(c));
+  });
+  return out;
 }
 
 }  // namespace
@@ -24,13 +46,14 @@ int ScaledEpochs(int base, double scale) {
 std::unique_ptr<Recommender> MakeRecommender(const std::string& name,
                                              uint64_t seed,
                                              double epochs_scale) {
-  if (name == "FPMC-LR") {
+  const std::string key = ToUpper(name);
+  if (key == "FPMC-LR") {
     FpmcLrConfig config;
     config.seed = seed;
     config.epochs = ScaledEpochs(config.epochs, epochs_scale);
     return std::make_unique<FpmcLr>(config);
   }
-  if (name == "PRME-G") {
+  if (key == "PRME-G") {
     PrmeGConfig config;
     config.seed = seed;
     config.epochs = ScaledEpochs(config.epochs, epochs_scale);
@@ -39,27 +62,43 @@ std::unique_ptr<Recommender> MakeRecommender(const std::string& name,
   NeuralRecConfig config;
   config.seed = seed;
   config.epochs = ScaledEpochs(config.epochs, epochs_scale);
-  if (name == "RNN") {
+  if (key == "RNN") {
     config.cell = NeuralRecConfig::Cell::kRnn;
     return std::make_unique<NeuralRecommender>(config);
   }
-  if (name == "LSTM") {
+  if (key == "LSTM") {
     config.cell = NeuralRecConfig::Cell::kLstm;
     return std::make_unique<NeuralRecommender>(config);
   }
-  if (name == "GRU") {
+  if (key == "GRU") {
     config.cell = NeuralRecConfig::Cell::kGru;
     return std::make_unique<NeuralRecommender>(config);
   }
-  if (name == "ST-RNN") {
+  if (key == "ST-RNN") {
     config.cell = NeuralRecConfig::Cell::kStRnn;
     return std::make_unique<NeuralRecommender>(config);
   }
-  if (name == "ST-CLSTM") {
+  if (key == "ST-CLSTM") {
     config.cell = NeuralRecConfig::Cell::kStClstm;
     return std::make_unique<NeuralRecommender>(config);
   }
   return nullptr;
+}
+
+std::unique_ptr<Recommender> LoadRecommender(const std::string& name,
+                                             std::istream& is,
+                                             const poi::PoiTable& pois,
+                                             std::string* error) {
+  std::unique_ptr<Recommender> model = MakeRecommender(name);
+  if (!model) {
+    if (error) {
+      *error = "unknown recommender \"" + name + "\" (known: " +
+               KnownRecommenderNamesString() + ")";
+    }
+    return nullptr;
+  }
+  if (!model->Load(is, pois, error)) return nullptr;
+  return model;
 }
 
 }  // namespace pa::rec

@@ -1,6 +1,7 @@
 #ifndef PA_REC_REGISTRY_H_
 #define PA_REC_REGISTRY_H_
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -12,14 +13,33 @@ namespace pa::rec {
 /// The five methods of the paper's Tables I–II, in row order.
 std::vector<std::string> StandardRecommenderNames();
 
+/// Every name `MakeRecommender` accepts: the five standard methods plus the
+/// GRU and ST-RNN library extensions.
+std::vector<std::string> KnownRecommenderNames();
+
+/// The known names joined as "FPMC-LR, PRME-G, ..." — for error messages at
+/// call sites that receive an unknown name.
+std::string KnownRecommenderNamesString();
+
 /// Factory by table-row name ("FPMC-LR", "PRME-G", "RNN", "LSTM",
-/// "ST-CLSTM"). Returns null for unknown names. `seed` controls all
-/// stochastic parts (initialization, negative sampling, shuffling);
-/// `epochs_scale` proportionally shrinks/stretches every method's training
-/// epochs (used by quick tests and examples).
+/// "ST-CLSTM"; also "GRU" / "ST-RNN"). Matching is case-insensitive
+/// ("lstm" works). Returns null for unknown names — callers should report
+/// `KnownRecommenderNamesString()`. `seed` controls all stochastic parts
+/// (initialization, negative sampling, shuffling); `epochs_scale`
+/// proportionally shrinks/stretches every method's training epochs (used by
+/// quick tests and examples).
 std::unique_ptr<Recommender> MakeRecommender(const std::string& name,
                                              uint64_t seed = 7,
                                              double epochs_scale = 1.0);
+
+/// Constructs the named recommender and restores it from a stream written
+/// by `Recommender::Save`. `pois` must be the POI universe the model was
+/// fitted on and must outlive the returned recommender. Returns null (and
+/// sets `error`) on unknown name or malformed payload.
+std::unique_ptr<Recommender> LoadRecommender(const std::string& name,
+                                             std::istream& is,
+                                             const poi::PoiTable& pois,
+                                             std::string* error = nullptr);
 
 }  // namespace pa::rec
 

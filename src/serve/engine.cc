@@ -1,0 +1,157 @@
+#include "serve/engine.h"
+
+#include "serve/json.h"
+#include "util/thread_pool.h"
+
+namespace pa::serve {
+
+const char* RequestStatusName(RequestStatus status) {
+  switch (status) {
+    case RequestStatus::kOk: return "ok";
+    case RequestStatus::kDeadlineExceeded: return "deadline_exceeded";
+    case RequestStatus::kInvalidArgument: return "invalid_argument";
+  }
+  return "unknown";
+}
+
+std::string EngineStats::ToJson() const {
+  JsonWriter w;
+  w.BeginObject()
+      .Field("requests", requests)
+      .Field("timeouts", timeouts)
+      .Field("session_hits", session_hits)
+      .Field("session_misses", session_misses)
+      .Field("session_evictions", session_evictions)
+      .Field("live_sessions", live_sessions)
+      .Field("p50_micros", p50_micros)
+      .Field("p95_micros", p95_micros)
+      .Field("p99_micros", p99_micros)
+      .EndObject();
+  return w.str();
+}
+
+Engine::Engine(std::shared_ptr<const LoadedModel> model, EngineConfig config)
+    : model_(std::move(model)),
+      config_(config),
+      sessions_(std::make_shared<SessionStore>(model_, config_.sessions)) {}
+
+std::string Engine::model_name() const {
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  return model_->name;
+}
+
+void Engine::Observe(const poi::Checkin& checkin) {
+  std::shared_ptr<SessionStore> sessions;
+  {
+    std::lock_guard<std::mutex> lock(swap_mu_);
+    sessions = sessions_;
+  }
+  sessions->Observe(checkin);
+}
+
+TopKResponse Engine::Run(const TopKRequest& request,
+                         Clock::time_point enqueue) {
+  const auto deadline =
+      enqueue + std::chrono::milliseconds(config_.deadline_ms);
+  TopKResponse response;
+  ++requests_;
+
+  auto finish = [&](Clock::time_point now) {
+    response.latency_micros =
+        std::chrono::duration<double, std::micro>(now - enqueue).count();
+    latency_.Record(response.latency_micros);
+  };
+
+  if (request.k <= 0) {
+    response.status = RequestStatus::kInvalidArgument;
+    finish(Clock::now());
+    return response;
+  }
+  // Skip check: still queued past the deadline → fail fast, don't occupy
+  // the session (the expensive part) at all.
+  if (Clock::now() >= deadline) {
+    response.status = RequestStatus::kDeadlineExceeded;
+    ++timeouts_;
+    finish(Clock::now());
+    return response;
+  }
+
+  std::shared_ptr<SessionStore> sessions;
+  {
+    std::lock_guard<std::mutex> lock(swap_mu_);
+    sessions = sessions_;
+  }
+  std::vector<int32_t> pois =
+      sessions->TopK(request.user, request.k, request.next_timestamp);
+
+  const auto now = Clock::now();
+  if (now > deadline) {
+    // Finished late: the work ran to completion (deadlines are checked,
+    // never interrupt), but the caller contract is "answer by the deadline
+    // or admit you didn't".
+    response.status = RequestStatus::kDeadlineExceeded;
+    ++timeouts_;
+  } else {
+    response.status = RequestStatus::kOk;
+    response.pois = std::move(pois);
+  }
+  finish(now);
+  return response;
+}
+
+TopKResponse Engine::TopK(const TopKRequest& request) {
+  return Run(request, Clock::now());
+}
+
+std::vector<TopKResponse> Engine::TopKBatch(
+    const std::vector<TopKRequest>& requests) {
+  const auto enqueue = Clock::now();
+  std::vector<TopKResponse> responses(requests.size());
+  util::GlobalPool().ParallelFor(
+      0, static_cast<int64_t>(requests.size()), 1, [&](int64_t i) {
+        responses[static_cast<size_t>(i)] =
+            Run(requests[static_cast<size_t>(i)], enqueue);
+      });
+  return responses;
+}
+
+std::future<TopKResponse> Engine::TopKAsync(const TopKRequest& request) {
+  const auto enqueue = Clock::now();
+  auto task = std::make_shared<std::packaged_task<TopKResponse()>>(
+      [this, request, enqueue] { return Run(request, enqueue); });
+  std::future<TopKResponse> future = task->get_future();
+  util::GlobalPool().Submit([task] { (*task)(); });
+  return future;
+}
+
+void Engine::SwapModel(std::shared_ptr<const LoadedModel> model) {
+  auto sessions =
+      std::make_shared<SessionStore>(model, config_.sessions);
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  model_ = std::move(model);
+  sessions_ = std::move(sessions);
+  // The old SessionStore dies when its last in-flight request releases it;
+  // each live entry pins the old LoadedModel until then.
+}
+
+EngineStats Engine::Stats() const {
+  EngineStats stats;
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.timeouts = timeouts_.load(std::memory_order_relaxed);
+  std::shared_ptr<SessionStore> sessions;
+  {
+    std::lock_guard<std::mutex> lock(swap_mu_);
+    sessions = sessions_;
+  }
+  const SessionStoreStats s = sessions->Stats();
+  stats.session_hits = s.hits;
+  stats.session_misses = s.misses;
+  stats.session_evictions = s.evictions;
+  stats.live_sessions = s.live_sessions;
+  stats.p50_micros = latency_.PercentileMicros(0.50);
+  stats.p95_micros = latency_.PercentileMicros(0.95);
+  stats.p99_micros = latency_.PercentileMicros(0.99);
+  return stats;
+}
+
+}  // namespace pa::serve

@@ -1,0 +1,118 @@
+#ifndef PA_SERVE_ENGINE_H_
+#define PA_SERVE_ENGINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/metrics.h"
+#include "serve/session_store.h"
+
+namespace pa::serve {
+
+/// Typed request outcome. Errors are values, not exceptions: a timed-out
+/// request returns `kDeadlineExceeded` with an empty ranking and the caller
+/// decides what to degrade to.
+enum class RequestStatus {
+  kOk = 0,
+  kDeadlineExceeded,
+  kInvalidArgument,
+};
+
+const char* RequestStatusName(RequestStatus status);
+
+struct TopKRequest {
+  int32_t user = 0;
+  int k = 10;
+  int64_t next_timestamp = 0;
+};
+
+struct TopKResponse {
+  RequestStatus status = RequestStatus::kOk;
+  std::vector<int32_t> pois;  // Best first; empty unless kOk.
+  double latency_micros = 0.0;
+};
+
+struct EngineConfig {
+  /// Budget per request, measured from enqueue. A request that is still
+  /// queued past its deadline is skipped (fails fast without occupying a
+  /// worker); one that finishes late is reported as timed out. 0 fails
+  /// everything — useful for drain tests.
+  int64_t deadline_ms = 250;
+  SessionStoreConfig sessions;
+};
+
+struct EngineStats {
+  uint64_t requests = 0;
+  uint64_t timeouts = 0;
+  uint64_t session_hits = 0;
+  uint64_t session_misses = 0;
+  uint64_t session_evictions = 0;
+  uint64_t live_sessions = 0;
+  double p50_micros = 0.0;
+  double p95_micros = 0.0;
+  double p99_micros = 0.0;
+
+  std::string ToJson() const;
+};
+
+/// The serving engine: request-level API over one active model.
+///
+/// Synchronous `Observe`/`TopK` run on the calling thread. `TopKBatch` fans
+/// a batch across the global `util::ThreadPool` (grain 1 — requests are
+/// coarse units); `TopKAsync` enqueues one request and returns a future.
+/// Deadlines never block the pool: expiry is *checked*, at dequeue and at
+/// completion, not enforced by interruption — a slow model call runs to
+/// completion and is then reported as timed out.
+class Engine {
+ public:
+  Engine(std::shared_ptr<const LoadedModel> model, EngineConfig config = {});
+
+  /// Name of the currently active model (by value: hot-swap may replace the
+  /// model concurrently).
+  std::string model_name() const;
+
+  /// Feeds a check-in into the user's session (and serving history).
+  void Observe(const poi::Checkin& checkin);
+
+  /// Answers one request synchronously.
+  TopKResponse TopK(const TopKRequest& request);
+
+  /// Answers a batch; response i corresponds to request i. All requests
+  /// share one enqueue instant, so the whole batch races one deadline —
+  /// matching how a frontend flushes a batch of user queries at once.
+  std::vector<TopKResponse> TopKBatch(const std::vector<TopKRequest>& requests);
+
+  /// Enqueues one request on the pool.
+  std::future<TopKResponse> TopKAsync(const TopKRequest& request);
+
+  /// Hot-swaps the active model. Sessions and histories are cleared: state
+  /// built against the old parameters is meaningless against the new ones.
+  /// In-flight requests finish against the model they started with (entries
+  /// pin it via shared_ptr).
+  void SwapModel(std::shared_ptr<const LoadedModel> model);
+
+  EngineStats Stats() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  TopKResponse Run(const TopKRequest& request, Clock::time_point enqueue);
+
+  std::shared_ptr<const LoadedModel> model_;
+  EngineConfig config_;
+  std::shared_ptr<SessionStore> sessions_;
+  mutable std::mutex swap_mu_;  // Guards model_ / sessions_ swap.
+
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> timeouts_{0};
+  LatencyHistogram latency_;
+};
+
+}  // namespace pa::serve
+
+#endif  // PA_SERVE_ENGINE_H_

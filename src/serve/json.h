@@ -1,0 +1,77 @@
+#ifndef PA_SERVE_JSON_H_
+#define PA_SERVE_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace pa::serve {
+
+/// Minimal JSON support for the serving frontends.
+///
+/// The `pa_serve` wire protocol is newline-delimited *flat* JSON objects —
+/// scalar values only, no nesting — which keeps the hand-rolled parser
+/// small enough to audit while staying interoperable with `jq`, Python,
+/// shell pipelines, etc. Responses are emitted through `JsonWriter`, which
+/// can produce nested objects and arrays (one-way generation is easy; only
+/// parsing is restricted).
+
+/// One scalar value of a flat JSON object.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+  int64_t AsInt() const { return static_cast<int64_t>(number); }
+};
+
+/// Parses `{"key": scalar, ...}`. Returns false (with a reason in `error`)
+/// on malformed input or nested containers. Duplicate keys keep the last
+/// value. An empty object `{}` is valid.
+bool ParseFlatObject(const std::string& text,
+                     std::map<std::string, JsonValue>* out,
+                     std::string* error = nullptr);
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes added).
+std::string EscapeJson(const std::string& s);
+
+/// Tiny append-style JSON builder:
+///
+///   JsonWriter w;
+///   w.BeginObject().Field("ok", true).Field("n", 3).EndObject();
+///   w.str()  // {"ok":true,"n":3}
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray(const std::string& key = "");
+  JsonWriter& EndArray();
+  JsonWriter& Field(const std::string& key, const std::string& value);
+  JsonWriter& Field(const std::string& key, const char* value);
+  JsonWriter& Field(const std::string& key, double value);
+  JsonWriter& Field(const std::string& key, int64_t value);
+  JsonWriter& Field(const std::string& key, int value);
+  JsonWriter& Field(const std::string& key, uint64_t value);
+  JsonWriter& Field(const std::string& key, bool value);
+  /// Raw (pre-serialized) value, e.g. a nested object built separately.
+  JsonWriter& RawField(const std::string& key, const std::string& json);
+  JsonWriter& Element(int64_t value);
+  JsonWriter& Element(double value);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void Comma();
+  void Key(const std::string& key);
+
+  std::string out_;
+  bool need_comma_ = false;
+};
+
+}  // namespace pa::serve
+
+#endif  // PA_SERVE_JSON_H_

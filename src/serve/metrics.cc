@@ -1,0 +1,59 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pa::serve {
+
+namespace {
+
+// log(1.5) — bucket index is floor(log(micros) / log(ratio)).
+const double kLogRatio = std::log(LatencyHistogram::kRatio);
+
+int BucketIndex(double micros) {
+  if (micros <= LatencyHistogram::kFirstBucketMicros) return 0;
+  const int idx = static_cast<int>(
+      std::log(micros / LatencyHistogram::kFirstBucketMicros) / kLogRatio);
+  return std::clamp(idx, 0, LatencyHistogram::kBuckets - 1);
+}
+
+double BucketLowerMicros(int i) {
+  return LatencyHistogram::kFirstBucketMicros *
+         std::pow(LatencyHistogram::kRatio, i);
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(double micros) {
+  counts_[BucketIndex(micros)].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double LatencyHistogram::PercentileMicros(double q) const {
+  const uint64_t total = total_.load(std::memory_order_relaxed);
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample, 1-based.
+  const uint64_t rank =
+      std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(q * total)));
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const uint64_t c = counts_[i].load(std::memory_order_relaxed);
+    if (seen + c >= rank) {
+      // Interpolate inside the bucket by the rank's position in it.
+      const double frac = c == 0 ? 0.0 : double(rank - seen) / double(c);
+      const double lo = BucketLowerMicros(i);
+      const double hi = lo * kRatio;
+      return lo + frac * (hi - lo);
+    }
+    seen += c;
+  }
+  return BucketLowerMicros(kBuckets - 1) * kRatio;
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  total_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace pa::serve

@@ -1,0 +1,40 @@
+#ifndef PA_SERVE_METRICS_H_
+#define PA_SERVE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace pa::serve {
+
+/// Lock-free latency histogram with geometric buckets.
+///
+/// Bucket i covers latencies in [1µs * 1.5^i, 1µs * 1.5^(i+1)); 64 buckets
+/// span ~1µs to ~2.4e11µs, far beyond any request this engine serves, so
+/// the last bucket acts as a catch-all. Percentiles interpolate linearly
+/// inside the winning bucket, which bounds relative error by the bucket
+/// ratio (50%) in the worst case and far less in practice — plenty for the
+/// p50/p95/p99 the serving bench reports.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 64;
+  static constexpr double kFirstBucketMicros = 1.0;
+  static constexpr double kRatio = 1.5;
+
+  void Record(double micros);
+
+  /// Latency (µs) at quantile `q` in [0, 1]; 0 when empty.
+  double PercentileMicros(double q) const;
+
+  uint64_t count() const { return total_.load(std::memory_order_relaxed); }
+
+  void Reset();
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> counts_{};
+  std::atomic<uint64_t> total_{0};
+};
+
+}  // namespace pa::serve
+
+#endif  // PA_SERVE_METRICS_H_

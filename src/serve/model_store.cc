@@ -1,0 +1,166 @@
+#include "serve/model_store.h"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+namespace pa::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kArtifactExt = ".pam";
+constexpr const char* kActiveFile = "ACTIVE";
+
+bool Fail(std::string* error, const std::string& why) {
+  if (error) *error = why;
+  return false;
+}
+
+/// Parses "v<N>.pam" → N; -1 for anything else.
+int VersionFromFilename(const std::string& filename) {
+  if (filename.size() < 6 || filename[0] != 'v') return -1;
+  if (!filename.ends_with(kArtifactExt)) return -1;
+  const char* first = filename.data() + 1;
+  const char* last = filename.data() + filename.size() - 4;
+  int v = 0;
+  const auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec != std::errc() || ptr != last || v <= 0) return -1;
+  return v;
+}
+
+/// Writes `content` to `path` atomically: temp file in the same directory
+/// (same filesystem, so rename is atomic), fsync-less but crash-consistent
+/// at the rename boundary.
+bool AtomicWrite(const fs::path& path, const std::string& content,
+                 std::string* error) {
+  const fs::path tmp = path.parent_path() / (path.filename().string() + ".tmp");
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Fail(error, "cannot open " + tmp.string());
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+    if (!out.good()) {
+      return Fail(error, "write failed for " + tmp.string());
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return Fail(error, "rename failed for " + path.string());
+  }
+  return true;
+}
+
+}  // namespace
+
+ModelStore::ModelStore(fs::path root) : root_(std::move(root)) {
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+}
+
+fs::path ModelStore::ModelDir(const std::string& name) const {
+  return root_ / name;
+}
+
+fs::path ModelStore::ArtifactPath(const std::string& name, int version) const {
+  return ModelDir(name) / ("v" + std::to_string(version) + kArtifactExt);
+}
+
+int ModelStore::Publish(const rec::Recommender& model,
+                        const poi::PoiTable& pois, std::string* error) {
+  // Serialize outside the lock — only directory bookkeeping needs it.
+  std::ostringstream artifact(std::ios::binary);
+  if (!SaveArtifact(artifact, model, pois, error)) return -1;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string name = model.name();
+  const fs::path dir = ModelDir(name);
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    Fail(error, "cannot create " + dir.string());
+    return -1;
+  }
+
+  int version = 1;
+  for (const int v : ListVersionsLocked(name)) version = std::max(version, v + 1);
+
+  if (!AtomicWrite(ArtifactPath(name, version), artifact.str(), error)) {
+    return -1;
+  }
+  if (!AtomicWrite(dir / kActiveFile, std::to_string(version) + "\n", error)) {
+    return -1;
+  }
+  return version;
+}
+
+std::vector<std::string> ModelStore::ListModels() const {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(root_, ec)) {
+    if (!entry.is_directory()) continue;
+    if (!ListVersions(entry.path().filename().string()).empty()) {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::vector<int> ModelStore::ListVersionsLocked(const std::string& name) const {
+  std::vector<int> versions;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(ModelDir(name), ec)) {
+    if (!entry.is_regular_file()) continue;
+    const int v = VersionFromFilename(entry.path().filename().string());
+    if (v > 0) versions.push_back(v);
+  }
+  std::sort(versions.begin(), versions.end());
+  return versions;
+}
+
+std::vector<int> ModelStore::ListVersions(const std::string& name) const {
+  return ListVersionsLocked(name);
+}
+
+int ModelStore::ActiveVersion(const std::string& name) const {
+  std::ifstream in(ModelDir(name) / kActiveFile);
+  int v = -1;
+  if (!(in >> v) || v <= 0) return -1;
+  return v;
+}
+
+bool ModelStore::SetActive(const std::string& name, int version,
+                           std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::error_code ec;
+  if (!fs::exists(ArtifactPath(name, version), ec)) {
+    return Fail(error, "no version " + std::to_string(version) + " of \"" +
+                           name + "\"");
+  }
+  return AtomicWrite(ModelDir(name) / kActiveFile,
+                     std::to_string(version) + "\n", error);
+}
+
+bool ModelStore::Load(const std::string& name, int version, LoadedModel* out,
+                      std::string* error) const {
+  const fs::path path = ArtifactPath(name, version);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Fail(error, "cannot open " + path.string());
+  return LoadArtifact(in, out, error);
+}
+
+bool ModelStore::LoadActive(const std::string& name, LoadedModel* out,
+                            std::string* error) const {
+  const int version = ActiveVersion(name);
+  if (version < 0) {
+    return Fail(error, "no active version for \"" + name + "\"");
+  }
+  return Load(name, version, out, error);
+}
+
+}  // namespace pa::serve

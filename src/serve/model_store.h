@@ -1,0 +1,77 @@
+#ifndef PA_SERVE_MODEL_STORE_H_
+#define PA_SERVE_MODEL_STORE_H_
+
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/artifact.h"
+
+namespace pa::serve {
+
+/// On-disk registry of versioned serving artifacts.
+///
+/// Layout under the store root:
+///
+///   <root>/<model-name>/v1.pam
+///   <root>/<model-name>/v2.pam
+///   <root>/<model-name>/ACTIVE        — text file holding a version number
+///
+/// `Publish` assigns the next version, writes the artifact to a temp file in
+/// the same directory and `rename`s it into place — readers never observe a
+/// half-written artifact — then points ACTIVE at it. ACTIVE updates go
+/// through the same temp+rename dance, so a crash leaves either the old or
+/// the new active version, never an empty file.
+///
+/// All methods are safe to call from multiple threads of one process; the
+/// store does not arbitrate between processes.
+class ModelStore {
+ public:
+  explicit ModelStore(std::filesystem::path root);
+
+  const std::filesystem::path& root() const { return root_; }
+
+  /// Saves `model` (+ its POI table) as the next version of
+  /// `model.name()` and marks that version active. Returns the published
+  /// version, or -1 with `error` set.
+  int Publish(const rec::Recommender& model, const poi::PoiTable& pois,
+              std::string* error = nullptr);
+
+  /// Model names with at least one published version, sorted.
+  std::vector<std::string> ListModels() const;
+
+  /// Published versions of `name`, ascending; empty if unknown.
+  std::vector<int> ListVersions(const std::string& name) const;
+
+  /// The active version of `name`, or -1 if none.
+  int ActiveVersion(const std::string& name) const;
+
+  /// Repoints ACTIVE at an existing version (rollback / roll-forward).
+  bool SetActive(const std::string& name, int version,
+                 std::string* error = nullptr);
+
+  /// Loads a specific version.
+  bool Load(const std::string& name, int version, LoadedModel* out,
+            std::string* error = nullptr) const;
+
+  /// Loads the active version.
+  bool LoadActive(const std::string& name, LoadedModel* out,
+                  std::string* error = nullptr) const;
+
+  /// Path of a version's artifact file (exists or not).
+  std::filesystem::path ArtifactPath(const std::string& name,
+                                     int version) const;
+
+ private:
+  std::filesystem::path ModelDir(const std::string& name) const;
+  // Directory scan behind ListVersions; takes no lock (callers may hold mu_).
+  std::vector<int> ListVersionsLocked(const std::string& name) const;
+
+  std::filesystem::path root_;
+  mutable std::mutex mu_;  // Serializes publish / SetActive bookkeeping.
+};
+
+}  // namespace pa::serve
+
+#endif  // PA_SERVE_MODEL_STORE_H_

@@ -1,0 +1,261 @@
+// pa_serve — offline-first serving frontend for trained POI recommenders.
+//
+// Subcommands:
+//
+//   pa_serve publish --store DIR --method LSTM [--csv FILE] [--seed N]
+//                    [--epochs-scale X] [--users N] [--pois N]
+//                    [--profile gowalla|brightkite]
+//     Trains `--method` (on a CSV dataset, or on a synthetic snapshot when
+//     no CSV is given) and publishes it to the model store as the next
+//     version, marking it active.
+//
+//   pa_serve list --store DIR
+//     Prints models, versions and the active version as JSON.
+//
+//   pa_serve activate --store DIR --model LSTM --version N
+//     Repoints ACTIVE (rollback / roll-forward).
+//
+//   pa_serve serve --store DIR --model LSTM [--version N] [--deadline-ms N]
+//     Loads the model and answers newline-delimited JSON requests on stdin,
+//     one response line per request on stdout:
+//
+//       {"op":"observe","user":3,"poi":17,"timestamp":7200}
+//       {"op":"topk","user":3,"k":5,"timestamp":10800}
+//       {"op":"stats"}
+//       {"op":"quit"}
+//
+//     No network: pipe a file in, or wire the process to a socket with
+//     standard tooling (`socat`, inetd) if remote access is ever needed.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "poi/csv.h"
+#include "poi/synthetic.h"
+#include "rec/registry.h"
+#include "serve/engine.h"
+#include "serve/json.h"
+#include "serve/model_store.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace pa;
+
+struct Flags {
+  std::map<std::string, std::string> values;
+
+  std::string Get(const std::string& key, const std::string& def = "") const {
+    auto it = values.find(key);
+    return it == values.end() ? def : it->second;
+  }
+  long GetInt(const std::string& key, long def) const {
+    auto it = values.find(key);
+    return it == values.end() ? def : std::stol(it->second);
+  }
+  double GetDouble(const std::string& key, double def) const {
+    auto it = values.find(key);
+    return it == values.end() ? def : std::stod(it->second);
+  }
+};
+
+bool ParseFlags(int argc, char** argv, int first, Flags* flags) {
+  for (int i = first; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0 || i + 1 >= argc) {
+      std::fprintf(stderr, "pa_serve: bad argument \"%s\"\n", arg);
+      return false;
+    }
+    flags->values[arg + 2] = argv[++i];
+  }
+  return true;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: pa_serve <publish|list|activate|serve> --store DIR "
+               "[options]\n(see the header of src/serve/pa_serve_main.cc)\n");
+  return 2;
+}
+
+int CmdPublish(const Flags& flags) {
+  const std::string method = flags.Get("method", "LSTM");
+  const std::string csv = flags.Get("csv");
+
+  poi::Dataset dataset;
+  if (!csv.empty()) {
+    std::string why;
+    if (!poi::LoadCheckinsCsvFile(csv, &dataset, &why)) {
+      std::fprintf(stderr, "pa_serve: cannot load %s: %s\n", csv.c_str(),
+                   why.c_str());
+      return 1;
+    }
+  } else {
+    poi::LbsnProfile profile = flags.Get("profile", "gowalla") == "brightkite"
+                                   ? poi::BrightkiteProfile()
+                                   : poi::GowallaProfile();
+    profile.num_users = static_cast<int>(flags.GetInt("users", 32));
+    profile.num_pois = static_cast<int>(flags.GetInt("pois", 500));
+    util::Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 7)));
+    dataset = poi::GenerateLbsn(profile, rng).observed;
+  }
+
+  std::unique_ptr<rec::Recommender> model = rec::MakeRecommender(
+      method, static_cast<uint64_t>(flags.GetInt("seed", 7)),
+      flags.GetDouble("epochs-scale", 1.0));
+  if (!model) {
+    std::fprintf(stderr, "pa_serve: unknown recommender \"%s\" (known: %s)\n",
+                 method.c_str(), rec::KnownRecommenderNamesString().c_str());
+    return 1;
+  }
+
+  std::fprintf(stderr, "pa_serve: training %s on %d users / %d POIs...\n",
+               model->name().c_str(), dataset.num_users(), dataset.num_pois());
+  model->Fit(dataset.sequences, dataset.pois);
+
+  serve::ModelStore store(flags.Get("store", "model_store"));
+  std::string error;
+  const int version = store.Publish(*model, dataset.pois, &error);
+  if (version < 0) {
+    std::fprintf(stderr, "pa_serve: publish failed: %s\n", error.c_str());
+    return 1;
+  }
+
+  serve::JsonWriter w;
+  w.BeginObject()
+      .Field("model", model->name())
+      .Field("version", version)
+      .Field("path", store.ArtifactPath(model->name(), version).string())
+      .EndObject();
+  std::printf("%s\n", w.str().c_str());
+  return 0;
+}
+
+int CmdList(const Flags& flags) {
+  serve::ModelStore store(flags.Get("store", "model_store"));
+  serve::JsonWriter w;
+  w.BeginObject().BeginArray("models");
+  for (const std::string& name : store.ListModels()) {
+    w.BeginObject().Field("name", name).Field("active",
+                                              store.ActiveVersion(name));
+    w.BeginArray("versions");
+    for (const int v : store.ListVersions(name)) w.Element(int64_t{v});
+    w.EndArray().EndObject();
+  }
+  w.EndArray().EndObject();
+  std::printf("%s\n", w.str().c_str());
+  return 0;
+}
+
+int CmdActivate(const Flags& flags) {
+  serve::ModelStore store(flags.Get("store", "model_store"));
+  std::string error;
+  if (!store.SetActive(flags.Get("model"),
+                       static_cast<int>(flags.GetInt("version", -1)), &error)) {
+    std::fprintf(stderr, "pa_serve: %s\n", error.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+void Reply(const std::string& json) {
+  std::fputs(json.c_str(), stdout);
+  std::fputc('\n', stdout);
+  std::fflush(stdout);  // A line-oriented peer must see the line now.
+}
+
+void ReplyError(const std::string& why) {
+  serve::JsonWriter w;
+  w.BeginObject().Field("ok", false).Field("error", why).EndObject();
+  Reply(w.str());
+}
+
+int CmdServe(const Flags& flags) {
+  serve::ModelStore store(flags.Get("store", "model_store"));
+  const std::string name = flags.Get("model", "LSTM");
+  const int version = static_cast<int>(flags.GetInt("version", -1));
+
+  serve::LoadedModel loaded;
+  std::string error;
+  const bool ok = version > 0 ? store.Load(name, version, &loaded, &error)
+                              : store.LoadActive(name, &loaded, &error);
+  if (!ok) {
+    std::fprintf(stderr, "pa_serve: cannot load \"%s\": %s\n", name.c_str(),
+                 error.c_str());
+    return 1;
+  }
+
+  serve::EngineConfig config;
+  config.deadline_ms = flags.GetInt("deadline-ms", 250);
+  const int num_pois = loaded.pois->size();
+  serve::Engine engine(
+      std::make_shared<const serve::LoadedModel>(std::move(loaded)), config);
+  std::fprintf(stderr, "pa_serve: serving %s (%d POIs); reading NDJSON\n",
+               engine.model_name().c_str(), num_pois);
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    std::map<std::string, serve::JsonValue> request;
+    std::string parse_error;
+    if (!serve::ParseFlatObject(line, &request, &parse_error)) {
+      ReplyError("bad request: " + parse_error);
+      continue;
+    }
+    const std::string op = request["op"].string;
+    if (op == "quit") {
+      break;
+    } else if (op == "observe") {
+      poi::Checkin checkin;
+      checkin.user = static_cast<int32_t>(request["user"].AsInt());
+      checkin.poi = static_cast<int32_t>(request["poi"].AsInt());
+      checkin.timestamp = request["timestamp"].AsInt();
+      engine.Observe(checkin);
+      serve::JsonWriter w;
+      w.BeginObject().Field("ok", true).EndObject();
+      Reply(w.str());
+    } else if (op == "topk") {
+      serve::TopKRequest topk;
+      topk.user = static_cast<int32_t>(request["user"].AsInt());
+      topk.k = request.count("k") ? static_cast<int>(request["k"].AsInt()) : 10;
+      topk.next_timestamp = request["timestamp"].AsInt();
+      const serve::TopKResponse response = engine.TopK(topk);
+      serve::JsonWriter w;
+      w.BeginObject()
+          .Field("ok", true)
+          .Field("status", serve::RequestStatusName(response.status))
+          .Field("latency_micros", response.latency_micros);
+      w.BeginArray("pois");
+      for (const int32_t poi : response.pois) w.Element(int64_t{poi});
+      w.EndArray().EndObject();
+      Reply(w.str());
+    } else if (op == "stats") {
+      serve::JsonWriter w;
+      w.BeginObject().Field("ok", true).RawField("stats",
+                                                 engine.Stats().ToJson());
+      w.EndObject();
+      Reply(w.str());
+    } else {
+      ReplyError("unknown op \"" + op + "\" (observe, topk, stats, quit)");
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  Flags flags;
+  if (!ParseFlags(argc, argv, 2, &flags)) return 2;
+  if (command == "publish") return CmdPublish(flags);
+  if (command == "list") return CmdList(flags);
+  if (command == "activate") return CmdActivate(flags);
+  if (command == "serve") return CmdServe(flags);
+  return Usage();
+}

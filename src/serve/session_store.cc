@@ -1,0 +1,115 @@
+#include "serve/session_store.h"
+
+#include <algorithm>
+
+namespace pa::serve {
+
+SessionStore::SessionStore(std::shared_ptr<const LoadedModel> model,
+                           SessionStoreConfig config)
+    : model_(std::move(model)), config_(config) {
+  capacity_ = std::max<size_t>(
+      1, config_.memory_cap_bytes / std::max<size_t>(1, config_.approx_session_bytes));
+}
+
+std::shared_ptr<SessionStore::Entry> SessionStore::GetOrCreate(
+    int32_t user, bool count_traffic) {
+  std::vector<std::shared_ptr<Entry>> evicted;  // Freed outside the lock.
+  std::shared_ptr<Entry> entry;
+  std::deque<poi::Checkin> replay;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(user);
+    if (it != sessions_.end()) {
+      if (count_traffic) ++stats_.hits;
+      // Move to the front of the LRU list.
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->entry;
+    }
+
+    if (count_traffic) ++stats_.misses;
+    entry = std::make_shared<Entry>();
+    entry->model = model_;
+    lru_.push_front(LruNode{user, entry});
+    sessions_[user] = lru_.begin();
+
+    while (lru_.size() > capacity_) {
+      LruNode& victim = lru_.back();
+      sessions_.erase(victim.user);
+      evicted.push_back(std::move(victim.entry));
+      lru_.pop_back();
+      ++stats_.evictions;
+    }
+
+    // Copy the replay history under the lock; replay it outside (model
+    // inference can be slow and must not serialise the whole store).
+    auto h = history_.find(user);
+    if (h != history_.end()) replay = h->second;
+  }
+
+  // Build the session outside the global lock, guarded by the entry mutex so
+  // a concurrent request for the same user waits for the rebuild.
+  {
+    std::lock_guard<std::mutex> entry_lock(entry->mu);
+    if (!entry->session) {
+      entry->session = entry->model->model->NewSession(user);
+      for (const poi::Checkin& c : replay) entry->session->Observe(c);
+    }
+  }
+  return entry;
+}
+
+void SessionStore::Observe(const poi::Checkin& checkin) {
+  std::shared_ptr<Entry> entry = GetOrCreate(checkin.user, true);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::deque<poi::Checkin>& h = history_[checkin.user];
+    h.push_back(checkin);
+    while (static_cast<int>(h.size()) > config_.max_history) h.pop_front();
+  }
+  std::lock_guard<std::mutex> entry_lock(entry->mu);
+  entry->session->Observe(checkin);
+}
+
+void SessionStore::SeedHistory(int32_t user,
+                               const std::vector<poi::Checkin>& checkins) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::deque<poi::Checkin>& h = history_[user];
+  for (const poi::Checkin& c : checkins) {
+    h.push_back(c);
+    while (static_cast<int>(h.size()) > config_.max_history) h.pop_front();
+  }
+  // Any live session predates the new history; drop it so the next request
+  // rebuilds from the seeded state.
+  auto it = sessions_.find(user);
+  if (it != sessions_.end()) {
+    lru_.erase(it->second);
+    sessions_.erase(it);
+  }
+}
+
+std::vector<int32_t> SessionStore::TopK(int32_t user, int k,
+                                        int64_t next_timestamp) {
+  std::shared_ptr<Entry> entry = GetOrCreate(user, true);
+  std::lock_guard<std::mutex> entry_lock(entry->mu);
+  return entry->session->TopK(k, next_timestamp);
+}
+
+void SessionStore::Clear() {
+  std::list<LruNode> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    dropped.swap(lru_);  // Destroy entries outside the lock.
+    sessions_.clear();
+    history_.clear();
+  }
+}
+
+SessionStoreStats SessionStore::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SessionStoreStats stats = stats_;
+  stats.live_sessions = lru_.size();
+  return stats;
+}
+
+}  // namespace pa::serve

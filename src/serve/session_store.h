@@ -1,0 +1,108 @@
+#ifndef PA_SERVE_SESSION_STORE_H_
+#define PA_SERVE_SESSION_STORE_H_
+
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "poi/checkin.h"
+#include "serve/artifact.h"
+
+namespace pa::serve {
+
+struct SessionStoreConfig {
+  /// Soft cap on resident session memory. Capacity (in sessions) is
+  /// memory_cap_bytes / approx_session_bytes, at least 1.
+  size_t memory_cap_bytes = size_t{8} << 20;
+  /// Budgeted footprint of one live session (model session state + history
+  /// deque + map/list overhead). Deliberately a config knob, not a measured
+  /// value: `RecSession` state is method-dependent and opaque.
+  size_t approx_session_bytes = size_t{32} << 10;
+  /// Check-ins of history retained per user; the rebuild source after an
+  /// eviction. Sequence models only look this far back anyway (cf.
+  /// NeuralRecConfig::max_seq_len).
+  int max_history = 64;
+};
+
+struct SessionStoreStats {
+  uint64_t hits = 0;        // Lookup found a live session.
+  uint64_t misses = 0;      // Lookup created (or rebuilt) a session.
+  uint64_t evictions = 0;   // Sessions dropped by the LRU cap.
+  uint64_t live_sessions = 0;
+};
+
+/// Per-user serving sessions with LRU eviction and rebuild-on-miss.
+///
+/// The store keeps two things per user:
+///  * a *history* — the last `max_history` observed check-ins. Histories are
+///    small, bounded, and never evicted; they are the source of truth.
+///  * a *session* — the model's `RecSession`, rebuilt from the history when
+///    a request arrives for a user whose session was evicted. Because the
+///    history is capped, a rebuilt session can differ from the evicted one
+///    for users whose total history exceeded the cap; sequence models
+///    truncate context the same way, so this is by design (documented in
+///    DESIGN.md "Serving").
+///
+/// Thread safety: a global mutex guards the maps and LRU list; each entry
+/// carries its own mutex serialising Observe/TopK on that user's session.
+/// Entries are `shared_ptr`s, so an eviction racing a request on the same
+/// user frees the entry only after the request finishes with it.
+class SessionStore {
+ public:
+  SessionStore(std::shared_ptr<const LoadedModel> model,
+               SessionStoreConfig config = {});
+
+  /// Appends to the user's history and advances their session.
+  void Observe(const poi::Checkin& checkin);
+
+  /// Pre-loads history (e.g. from a dataset's training tail) without
+  /// counting the lookups as cache traffic.
+  void SeedHistory(int32_t user, const std::vector<poi::Checkin>& checkins);
+
+  /// Top-k POI ids for the user's next check-in, best first.
+  std::vector<int32_t> TopK(int32_t user, int k, int64_t next_timestamp);
+
+  /// Drops every session AND every history (model swap: old state is
+  /// meaningless against new parameters).
+  void Clear();
+
+  SessionStoreStats Stats() const;
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::mutex mu;
+    std::unique_ptr<rec::RecSession> session;
+    // Pins the model: a swap may drop the store's reference while a request
+    // still runs on this entry.
+    std::shared_ptr<const LoadedModel> model;
+  };
+
+  /// Returns the user's entry, creating/rebuilding it on miss. Evicts LRU
+  /// entries over capacity. Caller must NOT hold mu_.
+  std::shared_ptr<Entry> GetOrCreate(int32_t user, bool count_traffic);
+
+  std::shared_ptr<const LoadedModel> model_;
+  SessionStoreConfig config_;
+  size_t capacity_;
+
+  mutable std::mutex mu_;
+  // LRU list: most-recent at front; map values point into it.
+  struct LruNode {
+    int32_t user;
+    std::shared_ptr<Entry> entry;
+  };
+  std::list<LruNode> lru_;
+  std::unordered_map<int32_t, std::list<LruNode>::iterator> sessions_;
+  std::unordered_map<int32_t, std::deque<poi::Checkin>> history_;
+  SessionStoreStats stats_;
+};
+
+}  // namespace pa::serve
+
+#endif  // PA_SERVE_SESSION_STORE_H_

@@ -61,6 +61,18 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+void ThreadPool::Submit(std::function<void()> task) {
+  if (num_threads_ == 1) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.emplace_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
 void ThreadPool::ParallelForRange(
     int64_t begin, int64_t end, int64_t grain,
     const std::function<void(int64_t, int64_t)>& fn) {

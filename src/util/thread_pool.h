@@ -37,6 +37,13 @@ class ThreadPool {
 
   int num_threads() const { return num_threads_; }
 
+  /// Enqueues one independent task and returns immediately. With a 1-thread
+  /// pool (no workers) the task runs inline instead, so submitted work never
+  /// sits in a queue nothing drains. Unlike `ParallelFor`, `Submit` never
+  /// waits: completion signalling is the caller's job (the serving engine
+  /// pairs it with `std::packaged_task` futures).
+  void Submit(std::function<void()> task);
+
   /// Runs `fn(lo, hi)` over disjoint sub-ranges covering [begin, end).
   /// Ranges are contiguous, at least `grain` long (except the last), and
   /// processed by whichever thread gets there first; `fn` must only write

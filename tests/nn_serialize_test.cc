@@ -1,5 +1,6 @@
 #include "nn/serialize.h"
 
+#include <cstring>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -97,6 +98,124 @@ TEST(SerializeTest, CopyParametersRejectsMismatch) {
   Linear b(3, 3, rng);
   std::vector<Tensor> dst = b.Parameters();
   EXPECT_FALSE(CopyParameters(a.Parameters(), dst));
+}
+
+// --- Format-version / checksum paths (v2 container). -----------------------
+
+namespace {
+
+template <typename T>
+void Append(std::string& buf, const T& value) {
+  buf.append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+/// Hand-writes a *v1* checkpoint (pre-checksum format: magic, count,
+/// blocks) holding one `rows x cols` tensor filled with `fill`.
+std::string MakeV1Checkpoint(int32_t rows, int32_t cols, float fill) {
+  std::string buf;
+  Append(buf, uint32_t{0x50415332});  // "PAS2" magic.
+  Append(buf, uint32_t{1});           // v1: this word is the tensor count.
+  Append(buf, rows);
+  Append(buf, cols);
+  for (int32_t i = 0; i < rows * cols; ++i) Append(buf, fill);
+  return buf;
+}
+
+}  // namespace
+
+TEST(SerializeTest, SaveWritesCurrentFormatVersion) {
+  EXPECT_EQ(kParameterFormatVersion, 2u);
+  util::Rng rng(1);
+  Linear layer(2, 2, rng);
+  std::stringstream buf;
+  ASSERT_TRUE(SaveParameters(buf, layer.Parameters()));
+  const std::string bytes = buf.str();
+  // [magic][v2 tag][version] — the tag distinguishes v2 from a v1 count.
+  ASSERT_GE(bytes.size(), 12u);
+  uint32_t tag = 0, version = 0;
+  std::memcpy(&tag, bytes.data() + 4, 4);
+  std::memcpy(&version, bytes.data() + 8, 4);
+  EXPECT_EQ(tag, 0xFFFFFFFFu);
+  EXPECT_EQ(version, 2u);
+}
+
+TEST(SerializeTest, LoadsLegacyV1Checkpoint) {
+  std::stringstream buf(MakeV1Checkpoint(2, 3, 0.25f));
+  std::vector<Tensor> dst = {tensor::Tensor::Zeros({2, 3})};
+  std::string error;
+  ASSERT_TRUE(LoadParameters(buf, dst, &error)) << error;
+  for (int64_t i = 0; i < dst[0].numel(); ++i) {
+    EXPECT_FLOAT_EQ(dst[0].data()[i], 0.25f);
+  }
+}
+
+TEST(SerializeTest, RejectsTruncatedPayload) {
+  util::Rng rng(1);
+  Linear layer(3, 3, rng);
+  std::stringstream buf;
+  ASSERT_TRUE(SaveParameters(buf, layer.Parameters()));
+  const std::string bytes = buf.str();
+  std::stringstream cut(bytes.substr(0, bytes.size() - 7));
+  std::vector<Tensor> dst = layer.Parameters();
+  std::string error;
+  EXPECT_FALSE(LoadParameters(cut, dst, &error));
+  EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+}
+
+TEST(SerializeTest, RejectsCorruptedPayloadViaChecksum) {
+  util::Rng rng(1);
+  Linear layer(3, 3, rng);
+  std::stringstream buf;
+  ASSERT_TRUE(SaveParameters(buf, layer.Parameters()));
+  std::string bytes = buf.str();
+  bytes[bytes.size() - 2] ^= 0x40;  // Flip one bit deep in the last tensor.
+  std::stringstream corrupt(bytes);
+  std::vector<Tensor> dst = layer.Parameters();
+  std::string error;
+  EXPECT_FALSE(LoadParameters(corrupt, dst, &error));
+  EXPECT_NE(error.find("checksum"), std::string::npos) << error;
+}
+
+TEST(SerializeTest, RejectsUnsupportedFutureVersion) {
+  util::Rng rng(1);
+  Linear layer(2, 2, rng);
+  std::stringstream buf;
+  ASSERT_TRUE(SaveParameters(buf, layer.Parameters()));
+  std::string bytes = buf.str();
+  const uint32_t future = 99;
+  std::memcpy(bytes.data() + 8, &future, 4);  // Overwrite the version word.
+  std::stringstream is(bytes);
+  std::vector<Tensor> dst = layer.Parameters();
+  std::string error;
+  EXPECT_FALSE(LoadParameters(is, dst, &error));
+  EXPECT_NE(error.find("version 99"), std::string::npos) << error;
+}
+
+TEST(SerializeTest, ErrorMessagesNameTheFailure) {
+  util::Rng rng(1);
+  Linear layer(2, 2, rng);
+  std::vector<Tensor> dst = layer.Parameters();
+  std::string error;
+
+  std::stringstream garbage("definitely not a checkpoint");
+  EXPECT_FALSE(LoadParameters(garbage, dst, &error));
+  EXPECT_NE(error.find("bad magic"), std::string::npos) << error;
+
+  std::stringstream buf;
+  ASSERT_TRUE(SaveParameters(buf, layer.Parameters()));
+  Embedding other(3, 2, rng);
+  std::vector<Tensor> wrong_count = other.Parameters();
+  EXPECT_FALSE(LoadParameters(buf, wrong_count, &error));
+  EXPECT_NE(error.find("count mismatch"), std::string::npos) << error;
+}
+
+TEST(SerializeTest, Checksum64IsStableAndSensitive) {
+  const char data[] = "abcdef";
+  const uint64_t h1 = Checksum64(data, 6);
+  EXPECT_EQ(h1, Checksum64(data, 6));  // Deterministic.
+  char flipped[] = "abcdeg";
+  EXPECT_NE(h1, Checksum64(flipped, 6));
+  EXPECT_NE(Checksum64(data, 5), h1);  // Length-sensitive.
 }
 
 }  // namespace

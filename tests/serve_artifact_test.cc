@@ -1,0 +1,179 @@
+#include "serve/artifact.h"
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rec/registry.h"
+
+namespace pa::serve {
+namespace {
+
+constexpr int64_t kHour = 3600;
+
+poi::PoiTable SmallPois() {
+  std::vector<geo::LatLng> coords;
+  for (int i = 0; i < 8; ++i) coords.push_back({40.0 + 0.01 * i, -100.0});
+  return poi::PoiTable(std::move(coords));
+}
+
+// Users share a deterministic cycle 0 -> 1 -> 2 -> 3 -> 0 ...
+std::vector<poi::CheckinSequence> CycleData(int users, int length) {
+  std::vector<poi::CheckinSequence> train(users);
+  for (int u = 0; u < users; ++u) {
+    for (int i = 0; i < length; ++i) {
+      train[u].push_back({u, i % 4, i * 3 * kHour, false});
+    }
+  }
+  return train;
+}
+
+/// Walks a probe sequence and collects the TopK(10) list before each step —
+/// the signature the round-trip tests compare bit-for-bit.
+std::vector<std::vector<int32_t>> TopKTrace(const rec::Recommender& model,
+                                            int32_t user, int steps) {
+  std::vector<std::vector<int32_t>> trace;
+  auto session = model.NewSession(user);
+  for (int i = 0; i < steps; ++i) {
+    const poi::Checkin c{user, i % 4, i * 3 * kHour, false};
+    trace.push_back(session->TopK(10, c.timestamp));
+    session->Observe(c);
+  }
+  return trace;
+}
+
+class ArtifactRoundTripTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ArtifactRoundTripTest, TopKIsBitIdenticalAfterSaveLoad) {
+  const std::string method = GetParam();
+  poi::PoiTable pois = SmallPois();
+  auto model = rec::MakeRecommender(method, /*seed=*/7, /*epochs_scale=*/0.2);
+  ASSERT_NE(model, nullptr);
+  model->Fit(CycleData(3, 40), pois);
+
+  std::stringstream artifact(std::ios::in | std::ios::out | std::ios::binary);
+  std::string error;
+  ASSERT_TRUE(SaveArtifact(artifact, *model, pois, &error)) << error;
+
+  LoadedModel loaded;
+  ASSERT_TRUE(LoadArtifact(artifact, &loaded, &error)) << error;
+  EXPECT_EQ(loaded.name, model->name());
+  ASSERT_EQ(loaded.pois->size(), pois.size());
+  for (int i = 0; i < pois.size(); ++i) {
+    EXPECT_EQ(loaded.pois->coord(i), pois.coord(i));
+    EXPECT_EQ(loaded.pois->popularity(i), pois.popularity(i));
+  }
+
+  const auto before = TopKTrace(*model, /*user=*/1, /*steps=*/12);
+  const auto after = TopKTrace(*loaded.model, /*user=*/1, /*steps=*/12);
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i], after[i]) << method << " diverged at step " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, ArtifactRoundTripTest,
+                         ::testing::Values("FPMC-LR", "PRME-G", "RNN", "LSTM",
+                                           "ST-CLSTM"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(ArtifactTest, RecommenderStreamRoundTripViaRegistry) {
+  poi::PoiTable pois = SmallPois();
+  auto model = rec::MakeRecommender("LSTM", 7, 0.2);
+  model->Fit(CycleData(2, 40), pois);
+
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  std::string error;
+  ASSERT_TRUE(model->Save(buf, &error)) << error;
+  auto loaded = rec::LoadRecommender("LSTM", buf, pois, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+  EXPECT_EQ(TopKTrace(*model, 0, 8), TopKTrace(*loaded, 0, 8));
+}
+
+TEST(ArtifactTest, SaveRequiresFittedModel) {
+  auto model = rec::MakeRecommender("FPMC-LR");
+  std::stringstream buf;
+  std::string error;
+  EXPECT_FALSE(model->Save(buf, &error));
+  EXPECT_NE(error.find("before Fit"), std::string::npos) << error;
+}
+
+TEST(ArtifactTest, LoadRejectsCorruptedBytes) {
+  poi::PoiTable pois = SmallPois();
+  auto model = rec::MakeRecommender("PRME-G", 7, 0.2);
+  model->Fit(CycleData(2, 30), pois);
+  std::stringstream artifact(std::ios::in | std::ios::out | std::ios::binary);
+  std::string error;
+  ASSERT_TRUE(SaveArtifact(artifact, *model, pois, &error)) << error;
+
+  std::string bytes = artifact.str();
+  bytes[bytes.size() / 2] ^= 0x10;
+  std::stringstream corrupt(bytes,
+                            std::ios::in | std::ios::out | std::ios::binary);
+  LoadedModel loaded;
+  EXPECT_FALSE(LoadArtifact(corrupt, &loaded, &error));
+  EXPECT_NE(error.find("checksum"), std::string::npos) << error;
+}
+
+TEST(ArtifactTest, LoadRejectsTruncation) {
+  poi::PoiTable pois = SmallPois();
+  auto model = rec::MakeRecommender("FPMC-LR", 7, 0.2);
+  model->Fit(CycleData(2, 30), pois);
+  std::stringstream artifact(std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(SaveArtifact(artifact, *model, pois));
+
+  const std::string bytes = artifact.str();
+  std::stringstream cut(bytes.substr(0, bytes.size() - 9),
+                        std::ios::in | std::ios::out | std::ios::binary);
+  LoadedModel loaded;
+  std::string error;
+  EXPECT_FALSE(LoadArtifact(cut, &loaded, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ArtifactTest, LoadRejectsBadMagic) {
+  std::stringstream junk("this is not an artifact at all, not even close",
+                         std::ios::in | std::ios::out | std::ios::binary);
+  LoadedModel loaded;
+  std::string error;
+  EXPECT_FALSE(LoadArtifact(junk, &loaded, &error));
+  EXPECT_NE(error.find("magic"), std::string::npos) << error;
+}
+
+// --- Registry satellite behaviours. ----------------------------------------
+
+TEST(RegistryTest, MakeRecommenderIsCaseInsensitive) {
+  for (const char* name : {"lstm", "Lstm", "LSTM", "fpmc-lr", "st-clstm"}) {
+    EXPECT_NE(rec::MakeRecommender(name), nullptr) << name;
+  }
+  EXPECT_EQ(rec::MakeRecommender("definitely-not-a-model"), nullptr);
+}
+
+TEST(RegistryTest, KnownNamesStringListsEveryName) {
+  const std::string joined = rec::KnownRecommenderNamesString();
+  for (const std::string& name : rec::KnownRecommenderNames()) {
+    EXPECT_NE(joined.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(RegistryTest, LoadRecommenderReportsUnknownNameWithKnownList) {
+  poi::PoiTable pois = SmallPois();
+  std::stringstream empty;
+  std::string error;
+  EXPECT_EQ(rec::LoadRecommender("nope", empty, pois, &error), nullptr);
+  EXPECT_NE(error.find("unknown recommender"), std::string::npos) << error;
+  EXPECT_NE(error.find("FPMC-LR"), std::string::npos) << error;
+  EXPECT_NE(error.find("ST-CLSTM"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace pa::serve

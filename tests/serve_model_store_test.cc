@@ -1,0 +1,144 @@
+#include "serve/model_store.h"
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rec/registry.h"
+
+namespace pa::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr int64_t kHour = 3600;
+
+poi::PoiTable SmallPois() {
+  std::vector<geo::LatLng> coords;
+  for (int i = 0; i < 8; ++i) coords.push_back({40.0 + 0.01 * i, -100.0});
+  return poi::PoiTable(std::move(coords));
+}
+
+std::vector<poi::CheckinSequence> CycleData(int users, int length) {
+  std::vector<poi::CheckinSequence> train(users);
+  for (int u = 0; u < users; ++u) {
+    for (int i = 0; i < length; ++i) {
+      train[u].push_back({u, i % 4, i * 3 * kHour, false});
+    }
+  }
+  return train;
+}
+
+class ModelStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::path(::testing::TempDir()) /
+            ("pa_model_store_" +
+             std::to_string(::testing::UnitTest::GetInstance()
+                                ->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name());
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  fs::path root_;
+};
+
+TEST_F(ModelStoreTest, PublishAssignsIncreasingVersionsAndTracksActive) {
+  poi::PoiTable pois = SmallPois();
+  auto model = rec::MakeRecommender("FPMC-LR", 7, 0.2);
+  model->Fit(CycleData(2, 30), pois);
+
+  ModelStore store(root_);
+  std::string error;
+  EXPECT_EQ(store.Publish(*model, pois, &error), 1) << error;
+  EXPECT_EQ(store.Publish(*model, pois, &error), 2) << error;
+
+  EXPECT_EQ(store.ListModels(), std::vector<std::string>{"FPMC-LR"});
+  EXPECT_EQ(store.ListVersions("FPMC-LR"), (std::vector<int>{1, 2}));
+  EXPECT_EQ(store.ActiveVersion("FPMC-LR"), 2);
+
+  LoadedModel loaded;
+  ASSERT_TRUE(store.LoadActive("FPMC-LR", &loaded, &error)) << error;
+  EXPECT_EQ(loaded.name, "FPMC-LR");
+  EXPECT_EQ(loaded.pois->size(), pois.size());
+}
+
+TEST_F(ModelStoreTest, SetActiveRollsBack) {
+  poi::PoiTable pois = SmallPois();
+  auto model = rec::MakeRecommender("FPMC-LR", 7, 0.2);
+  model->Fit(CycleData(2, 30), pois);
+
+  ModelStore store(root_);
+  ASSERT_EQ(store.Publish(*model, pois), 1);
+  ASSERT_EQ(store.Publish(*model, pois), 2);
+
+  std::string error;
+  ASSERT_TRUE(store.SetActive("FPMC-LR", 1, &error)) << error;
+  EXPECT_EQ(store.ActiveVersion("FPMC-LR"), 1);
+
+  // A version that does not exist is refused and leaves ACTIVE untouched.
+  EXPECT_FALSE(store.SetActive("FPMC-LR", 9, &error));
+  EXPECT_NE(error.find("no version 9"), std::string::npos) << error;
+  EXPECT_EQ(store.ActiveVersion("FPMC-LR"), 1);
+}
+
+TEST_F(ModelStoreTest, LoadRejectsCorruptArtifactFile) {
+  poi::PoiTable pois = SmallPois();
+  auto model = rec::MakeRecommender("FPMC-LR", 7, 0.2);
+  model->Fit(CycleData(2, 30), pois);
+
+  ModelStore store(root_);
+  ASSERT_EQ(store.Publish(*model, pois), 1);
+
+  // Flip a byte in the middle of the published artifact.
+  const fs::path path = store.ArtifactPath("FPMC-LR", 1);
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good());
+  f.seekg(0, std::ios::end);
+  const auto size = static_cast<long long>(f.tellg());
+  f.seekp(size / 2);
+  char byte = 0;
+  f.seekg(size / 2);
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x20);
+  f.seekp(size / 2);
+  f.write(&byte, 1);
+  f.close();
+
+  LoadedModel loaded;
+  std::string error;
+  EXPECT_FALSE(store.Load("FPMC-LR", 1, &loaded, &error));
+  EXPECT_NE(error.find("checksum"), std::string::npos) << error;
+}
+
+TEST_F(ModelStoreTest, PublishLeavesNoTempFiles) {
+  poi::PoiTable pois = SmallPois();
+  auto model = rec::MakeRecommender("FPMC-LR", 7, 0.2);
+  model->Fit(CycleData(2, 30), pois);
+
+  ModelStore store(root_);
+  ASSERT_EQ(store.Publish(*model, pois), 1);
+  for (const auto& entry : fs::recursive_directory_iterator(root_)) {
+    EXPECT_TRUE(entry.path().string().find(".tmp") == std::string::npos)
+        << "stray temp file: " << entry.path();
+  }
+}
+
+TEST_F(ModelStoreTest, MissingModelFailsCleanly) {
+  ModelStore store(root_);
+  EXPECT_EQ(store.ActiveVersion("ghost"), -1);
+  EXPECT_TRUE(store.ListVersions("ghost").empty());
+  LoadedModel loaded;
+  std::string error;
+  EXPECT_FALSE(store.LoadActive("ghost", &loaded, &error));
+  EXPECT_NE(error.find("no active version"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace pa::serve
