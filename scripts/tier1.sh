@@ -18,14 +18,16 @@ if [[ "${1:-}" == "--no-tsan" ]]; then
   exit 0
 fi
 
-# TSan pass: only the tests that exercise the parallel execution layer need
-# rebuilding under -fsanitize=thread; a race anywhere in ParallelFor users
-# shows up here even on a single-core host.
+# TSan pass: the tests that exercise the parallel execution layer and the
+# concurrent serving state (session LRU, request engine) get rebuilt under
+# -fsanitize=thread; a race anywhere in ParallelFor users or the session
+# store shows up here even on a single-core host.
 cmake -B build-tsan -S . -DPA_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$(nproc)" --target \
-  util_thread_pool_test parallel_determinism_test
+  util_thread_pool_test parallel_determinism_test \
+  serve_session_store_test serve_engine_test
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'util_thread_pool_test|parallel_determinism_test'
+  -R 'util_thread_pool_test|parallel_determinism_test|serve_session_store_test|serve_engine_test'
 
 # ASan/UBSan pass over the checkpoint parser and the serving subsystem:
 # these tests feed truncated/corrupted byte streams and hammer the session

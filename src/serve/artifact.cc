@@ -3,7 +3,6 @@
 #include <cstdint>
 #include <cstring>
 #include <istream>
-#include <iterator>
 #include <ostream>
 #include <sstream>
 #include <vector>
@@ -20,8 +19,10 @@ namespace {
 constexpr uint32_t kMagic = 0x50415356;
 constexpr uint32_t kContainerVersion = 1;
 // Artifacts above this size are assumed corrupt rather than real (the
-// largest model in this library is a few MB).
-constexpr uint64_t kMaxBodyBytes = uint64_t{1} << 32;
+// largest model in this library is a few MB). The loader enforces this as
+// a running cap while reading, so a corrupt or hostile file is rejected
+// after at most this much allocation, not after slurping the whole stream.
+constexpr uint64_t kMaxBodyBytes = uint64_t{1} << 28;
 
 bool Fail(std::string* error, const std::string& why) {
   if (error) *error = why;
@@ -94,13 +95,21 @@ bool LoadArtifact(std::istream& is, LoadedModel* out, std::string* error) {
                            std::to_string(kContainerVersion) + ")");
   }
 
-  // Read the whole body, verify the checksum, then parse from memory — the
-  // parse below can trust every length field it reads.
-  std::string body((std::istreambuf_iterator<char>(is)),
-                   std::istreambuf_iterator<char>());
-  if (body.size() > kMaxBodyBytes) {
-    return Fail(error, "artifact body implausibly large");
+  // Read the body in chunks with a running size cap, verify the checksum,
+  // then parse from memory — the parse below can trust every length field
+  // it reads, and an implausibly large file is rejected without first
+  // buffering all of it.
+  std::string body;
+  char chunk[64 * 1024];
+  while (true) {
+    is.read(chunk, sizeof(chunk));
+    body.append(chunk, static_cast<size_t>(is.gcount()));
+    if (body.size() > kMaxBodyBytes) {
+      return Fail(error, "artifact body implausibly large");
+    }
+    if (!is.good()) break;
   }
+  if (is.bad()) return Fail(error, "read failed while loading artifact");
   if (nn::Checksum64(body.data(), body.size()) != checksum) {
     return Fail(error, "checksum mismatch (corrupt artifact)");
   }

@@ -28,7 +28,9 @@
 //     standard tooling (`socat`, inetd) if remote access is ever needed.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -46,6 +48,16 @@ namespace {
 
 using namespace pa;
 
+// Exits with the same diagnostic style ParseFlags uses for malformed
+// arguments; std::stol/std::stod would otherwise throw an uncaught
+// exception on values like `--version abc`.
+[[noreturn]] void BadFlagValue(const std::string& key,
+                               const std::string& value) {
+  std::fprintf(stderr, "pa_serve: bad value for --%s: \"%s\"\n", key.c_str(),
+               value.c_str());
+  std::exit(2);
+}
+
 struct Flags {
   std::map<std::string, std::string> values;
 
@@ -55,11 +67,27 @@ struct Flags {
   }
   long GetInt(const std::string& key, long def) const {
     auto it = values.find(key);
-    return it == values.end() ? def : std::stol(it->second);
+    if (it == values.end()) return def;
+    try {
+      size_t pos = 0;
+      const long value = std::stol(it->second, &pos);
+      if (pos != it->second.size()) BadFlagValue(key, it->second);
+      return value;
+    } catch (const std::exception&) {
+      BadFlagValue(key, it->second);
+    }
   }
   double GetDouble(const std::string& key, double def) const {
     auto it = values.find(key);
-    return it == values.end() ? def : std::stod(it->second);
+    if (it == values.end()) return def;
+    try {
+      size_t pos = 0;
+      const double value = std::stod(it->second, &pos);
+      if (pos != it->second.size()) BadFlagValue(key, it->second);
+      return value;
+    } catch (const std::exception&) {
+      BadFlagValue(key, it->second);
+    }
   }
 };
 

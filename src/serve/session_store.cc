@@ -15,7 +15,6 @@ std::shared_ptr<SessionStore::Entry> SessionStore::GetOrCreate(
     int32_t user, bool count_traffic) {
   std::vector<std::shared_ptr<Entry>> evicted;  // Freed outside the lock.
   std::shared_ptr<Entry> entry;
-  std::deque<poi::Checkin> replay;
 
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -40,34 +39,45 @@ std::shared_ptr<SessionStore::Entry> SessionStore::GetOrCreate(
       lru_.pop_back();
       ++stats_.evictions;
     }
+  }
 
-    // Copy the replay history under the lock; replay it outside (model
-    // inference can be slow and must not serialise the whole store).
+  // The entry is published with a null session; every access path calls
+  // EnsureSessionLocked under entry->mu before touching it, so whichever
+  // request reaches the entry first performs the build/rebuild and any
+  // concurrent request for the same user waits on entry->mu.
+  return entry;
+}
+
+void SessionStore::EnsureSessionLocked(Entry& entry, int32_t user) {
+  if (entry.session) return;
+  // Copy the replay history under the global lock; replay it outside (model
+  // inference can be slow and must not serialise the whole store). Lock
+  // order is always entry.mu -> mu_; GetOrCreate never holds mu_ while
+  // acquiring an entry mutex.
+  std::deque<poi::Checkin> replay;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
     auto h = history_.find(user);
     if (h != history_.end()) replay = h->second;
   }
-
-  // Build the session outside the global lock, guarded by the entry mutex so
-  // a concurrent request for the same user waits for the rebuild.
-  {
-    std::lock_guard<std::mutex> entry_lock(entry->mu);
-    if (!entry->session) {
-      entry->session = entry->model->model->NewSession(user);
-      for (const poi::Checkin& c : replay) entry->session->Observe(c);
-    }
-  }
-  return entry;
+  entry.session = entry.model->model->NewSession(user);
+  for (const poi::Checkin& c : replay) entry.session->Observe(c);
 }
 
 void SessionStore::Observe(const poi::Checkin& checkin) {
   std::shared_ptr<Entry> entry = GetOrCreate(checkin.user, true);
+  // entry->mu is held across both the history append and the session
+  // update, so concurrent Observes apply to the live session in the same
+  // order they land in the stored history (a rebuild after eviction then
+  // replays the exact sequence the evicted session saw).
+  std::lock_guard<std::mutex> entry_lock(entry->mu);
+  EnsureSessionLocked(*entry, checkin.user);
   {
     std::lock_guard<std::mutex> lock(mu_);
     std::deque<poi::Checkin>& h = history_[checkin.user];
     h.push_back(checkin);
     while (static_cast<int>(h.size()) > config_.max_history) h.pop_front();
   }
-  std::lock_guard<std::mutex> entry_lock(entry->mu);
   entry->session->Observe(checkin);
 }
 
@@ -92,6 +102,7 @@ std::vector<int32_t> SessionStore::TopK(int32_t user, int k,
                                         int64_t next_timestamp) {
   std::shared_ptr<Entry> entry = GetOrCreate(user, true);
   std::lock_guard<std::mutex> entry_lock(entry->mu);
+  EnsureSessionLocked(*entry, user);
   return entry->session->TopK(k, next_timestamp);
 }
 

@@ -49,8 +49,13 @@ struct SessionStoreStats {
 ///
 /// Thread safety: a global mutex guards the maps and LRU list; each entry
 /// carries its own mutex serialising Observe/TopK on that user's session.
-/// Entries are `shared_ptr`s, so an eviction racing a request on the same
-/// user frees the entry only after the request finishes with it.
+/// A newly created entry is published into the map with a null session;
+/// every access path lazily builds it under the entry mutex
+/// (EnsureSessionLocked), so no path ever dereferences a session another
+/// thread is still constructing. Lock order is entry mutex, then global
+/// mutex — never the reverse. Entries are `shared_ptr`s, so an eviction
+/// racing a request on the same user frees the entry only after the
+/// request finishes with it.
 class SessionStore {
  public:
   SessionStore(std::shared_ptr<const LoadedModel> model,
@@ -83,9 +88,14 @@ class SessionStore {
     std::shared_ptr<const LoadedModel> model;
   };
 
-  /// Returns the user's entry, creating/rebuilding it on miss. Evicts LRU
-  /// entries over capacity. Caller must NOT hold mu_.
+  /// Returns the user's entry, creating one (with a null session) on miss.
+  /// Evicts LRU entries over capacity. Caller must NOT hold mu_.
   std::shared_ptr<Entry> GetOrCreate(int32_t user, bool count_traffic);
+
+  /// Builds the entry's session from the stored history if it is still
+  /// null. Caller must hold entry.mu and must NOT hold mu_ (this method
+  /// takes mu_ briefly to copy the replay history).
+  void EnsureSessionLocked(Entry& entry, int32_t user);
 
   std::shared_ptr<const LoadedModel> model_;
   SessionStoreConfig config_;

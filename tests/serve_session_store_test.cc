@@ -1,6 +1,8 @@
 #include "serve/session_store.h"
 
+#include <atomic>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -143,6 +145,81 @@ TEST(SessionStoreTest, ClearDropsSessionsAndHistory) {
   // gone too): identical to a store that never saw the observes.
   SessionStore fresh(model, TinyCapacity(4));
   EXPECT_EQ(store.TopK(0, 5, 2 * kHour), fresh.TopK(0, 5, 2 * kHour));
+}
+
+// Regression: GetOrCreate used to publish an entry whose session was still
+// null; a concurrent TopK/Observe on the same cold user could win the race
+// to the entry mutex and dereference the null session. Hammer cold users
+// from many threads (with a seeded history so the first access replays)
+// and require every lookup to return a full, valid top-k list.
+TEST(SessionStoreTest, ConcurrentColdUserAccessIsSafe) {
+  auto model = FittedModel();
+  constexpr int kUsers = 4;
+  constexpr int kThreadsPerUser = 4;
+  constexpr int kRounds = 8;
+
+  // Capacity 1 forces constant eviction, so nearly every request hits the
+  // cold (rebuild) path.
+  SessionStore store(model, TinyCapacity(1));
+  for (int u = 0; u < kUsers; ++u) {
+    std::vector<poi::Checkin> history;
+    for (int i = 0; i < 6; ++i) {
+      history.push_back({u, i % 4, i * 3 * kHour, false});
+    }
+    store.SeedHistory(u, history);
+  }
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int u = 0; u < kUsers; ++u) {
+    for (int t = 0; t < kThreadsPerUser; ++t) {
+      threads.emplace_back([&store, &failed, u, t] {
+        for (int round = 0; round < kRounds; ++round) {
+          if (t % 2 == 0) {
+            const std::vector<int32_t> top =
+                store.TopK(u, 3, (6 + round) * 3 * kHour);
+            if (top.size() != 3u) failed = true;
+          } else {
+            store.Observe({u, round % 4, (6 + round) * 3 * kHour, false});
+          }
+        }
+      });
+    }
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_FALSE(failed.load());
+
+  const SessionStoreStats stats = store.Stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kUsers * kThreadsPerUser * kRounds));
+}
+
+// Concurrent Observes on one user serialise under the entry mutex, so the
+// live session's order always matches the stored history's order: a
+// rebuild after eviction must answer identically to the pre-eviction
+// session.
+TEST(SessionStoreTest, RebuildAfterConcurrentObservesMatchesLiveSession) {
+  auto model = FittedModel();
+  SessionStore store(model, TinyCapacity(2));
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const int step = t * kPerThread + i;
+        store.Observe({0, step % 4, step * 3 * kHour, false});
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const int64_t next = kThreads * kPerThread * 3 * kHour;
+  const std::vector<int32_t> live = store.TopK(0, 5, next);
+  store.TopK(1, 5, 0);  // Evict user 0 from the capacity-2 store.
+  store.TopK(2, 5, 0);
+  EXPECT_EQ(store.TopK(0, 5, next), live);
 }
 
 TEST(SessionStoreTest, HistoryIsCappedAtMaxHistory) {
