@@ -1,0 +1,320 @@
+// Measures the graph-free inference fast path against graph-building
+// forward on the recurrent workloads this library actually serves:
+//
+//   * lstm_forward      — per-step ns/op for an LSTM-shaped rollout
+//                         (embedding -> LstmCell -> detach) at the production
+//                         NeuralRecConfig shape (embedding 16, hidden 24).
+//                         The gated workload: graph-free must be >= 2x.
+//   * st_clstm_forward  — the same rollout through the ST-CLSTM cell.
+//   * lstm_forward_h128 — informational larger-hidden variant, where raw
+//                         MatMul flops start to amortise the graph overhead.
+//   * topk              — end-to-end QPS of session Observe + TopK on a
+//                         trained LSTM recommender (output layer + ranking
+//                         included), graph vs graph-free.
+//
+// The graph-building reference runs under
+// tensor::internal::ScopedInferenceDisable, which turns the wired-in
+// InferenceModeScopes into no-ops — the exact pre-fast-path behaviour.
+// Bit-identity between the two modes is the hard gate (exit 1 on mismatch);
+// in full mode the >= 2x lstm_forward speedup is also enforced.
+//
+// Writes BENCH_inference.json (flat JSON, $PA_BENCH_DIR honoured) in the
+// schema shared with bench_serving / bench_parallel_eval:
+// {"bench": ..., "schema_version": 1, <metric>: number, ...} where tracked
+// metric suffixes are _ns_op (lower is better), _qps and _speedup (higher
+// is better) — see scripts/bench_compare.py.
+//
+// Usage: bench_inference_path [--smoke]   (--smoke: reduced iterations for
+// the tier-1 schema check; timings meaningless, gates limited to identity).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/lstm.h"
+#include "nn/st_clstm.h"
+#include "poi/synthetic.h"
+#include "rec/registry.h"
+#include "serve/json.h"
+#include "tensor/buffer_pool.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace pa {
+namespace {
+
+using tensor::Tensor;
+
+double Seconds(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+struct RolloutResult {
+  double ns_per_step = 0.0;
+  std::vector<float> final_h;  // For the bit-identity gate.
+};
+
+// One timed pass: `rollouts` rollouts of `steps` cell steps. `step(state, t)
+// -> state` performs embedding lookup + cell forward (+ detach on the graph
+// path, matching the production session loop).
+template <typename InitFn, typename StepFn>
+void OneArmPass(InitFn& init, StepFn& step, int steps, int rollouts,
+                RolloutResult* out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  nn::LstmState state;
+  for (int it = 0; it < rollouts; ++it) {
+    state = init();
+    for (int t = 0; t < steps; ++t) state = step(state, t);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  out->ns_per_step =
+      std::min(out->ns_per_step,
+               Seconds(t1 - t0) * 1e9 / (static_cast<double>(rollouts) * steps));
+  out->final_h.assign(state.h.data(), state.h.data() + state.h.numel());
+}
+
+struct ModePair {
+  RolloutResult graph;
+  RolloutResult nograph;
+  double speedup() const {
+    return nograph.ns_per_step > 0.0 ? graph.ns_per_step / nograph.ns_per_step
+                                     : 0.0;
+  }
+  bool identical() const { return graph.final_h == nograph.final_h; }
+};
+
+// Best-of-`reps` for both arms, with the arms *interleaved* per rep: slow
+// drift in host speed (frequency scaling, noisy neighbours) then biases both
+// numerators and denominators alike instead of skewing the ratio. One
+// untimed warmup pass per arm populates the thread's buffer/node pools and
+// faults in the weight pages — the first rollout in a fresh process
+// otherwise reads ~20% slow.
+template <typename InitFn, typename GraphFn, typename FastFn>
+ModePair TimeModePair(InitFn init, GraphFn step_graph, FastFn step_fast,
+                      int steps, int rollouts, int reps) {
+  ModePair pair;
+  pair.graph.ns_per_step = 1e300;
+  pair.nograph.ns_per_step = 1e300;
+  for (int r = -1; r < reps; ++r) {
+    RolloutResult warmup_sink{1e300, {}};
+    {
+      tensor::internal::ScopedInferenceDisable disable;
+      tensor::InferenceModeScope scope;  // Disabled: graph-building reference.
+      OneArmPass(init, step_graph, steps, rollouts,
+                 r < 0 ? &warmup_sink : &pair.graph);
+    }
+    {
+      tensor::InferenceModeScope scope;
+      OneArmPass(init, step_fast, steps, rollouts,
+                 r < 0 ? &warmup_sink : &pair.nograph);
+    }
+  }
+  return pair;
+}
+
+// LSTM-shaped rollout at a given hidden size: embedding(vocab, dim) ->
+// LstmCell(dim, hidden), detached each step exactly like NeuralRecSession.
+ModePair BenchLstmForward(int dim, int hidden, int steps, int rollouts,
+                          int reps) {
+  const int vocab = 500;
+  util::Rng rng(42);
+  nn::Embedding embedding(vocab, dim, rng);
+  nn::LstmCell cell(dim, hidden, rng);
+  std::vector<int> ids(1);
+  auto init = [&] { return cell.InitialState(1); };
+  auto step_graph = [&](const nn::LstmState& state, int t) {
+    ids[0] = (t * 31) % vocab;
+    nn::LstmState next = cell.Forward(embedding.Forward(ids), state);
+    next.h = next.h.Detach();
+    next.c = next.c.Detach();
+    return next;
+  };
+  auto step_fast = [&](const nn::LstmState& state, int t) {
+    ids[0] = (t * 31) % vocab;
+    return cell.Forward(embedding.Forward(ids), state);
+  };
+  return TimeModePair(init, step_graph, step_fast, steps, rollouts, reps);
+}
+
+ModePair BenchStClstmForward(int dim, int hidden, int steps, int rollouts,
+                             int reps) {
+  const int vocab = 500;
+  util::Rng rng(43);
+  nn::Embedding embedding(vocab, dim, rng);
+  nn::StClstmCell cell(dim, hidden, rng);
+  std::vector<int> ids(1);
+  auto init = [&] { return cell.InitialState(1); };
+  auto step_graph = [&](const nn::LstmState& state, int t) {
+    ids[0] = (t * 17) % vocab;
+    nn::LstmState next = cell.Forward(embedding.Forward(ids), state,
+                                      0.25f + 0.01f * (t % 7),
+                                      0.5f + 0.02f * (t % 5));
+    next.h = next.h.Detach();
+    next.c = next.c.Detach();
+    return next;
+  };
+  auto step_fast = [&](const nn::LstmState& state, int t) {
+    ids[0] = (t * 17) % vocab;
+    return cell.Forward(embedding.Forward(ids), state,
+                        0.25f + 0.01f * (t % 7), 0.5f + 0.02f * (t % 5));
+  };
+  return TimeModePair(init, step_graph, step_fast, steps, rollouts, reps);
+}
+
+struct TopKResult {
+  double qps = 0.0;
+  std::vector<std::vector<int32_t>> rankings;  // Identity gate.
+};
+
+TopKResult TimeTopK(const rec::Recommender& model,
+                    const std::vector<poi::CheckinSequence>& warmup,
+                    const std::vector<poi::CheckinSequence>& test, int reps) {
+  TopKResult out;
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    out.rankings.clear();
+    int calls = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (size_t u = 0; u < warmup.size(); ++u) {
+      auto session = model.NewSession(static_cast<int32_t>(u));
+      for (const poi::Checkin& c : warmup[u]) session->Observe(c);
+      for (const poi::Checkin& c : test[u]) {
+        out.rankings.push_back(session->TopK(10, c.timestamp));
+        session->Observe(c);
+        ++calls;
+      }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, Seconds(t1 - t0) / std::max(1, calls));
+  }
+  out.qps = best > 0.0 ? 1.0 / best : 0.0;
+  return out;
+}
+
+int Run(bool smoke) {
+  const int steps = 64;
+  const int rollouts = smoke ? 2 : 60;
+  const int reps = smoke ? 1 : 3;
+
+  std::printf("inference fast path vs graph-building forward%s\n",
+              smoke ? " (smoke)" : "");
+
+  const ModePair lstm = BenchLstmForward(16, 24, steps, rollouts, reps);
+  const ModePair st_clstm = BenchStClstmForward(16, 24, steps, rollouts, reps);
+  const ModePair lstm_big =
+      BenchLstmForward(64, 128, steps, smoke ? 1 : 20, reps);
+
+  auto report = [](const char* name, const ModePair& p) {
+    std::printf("  %-18s graph %9.1f ns/op   graph-free %9.1f ns/op   "
+                "%5.2fx   bit-identical: %s\n",
+                name, p.graph.ns_per_step, p.nograph.ns_per_step, p.speedup(),
+                p.identical() ? "YES" : "NO");
+  };
+  report("lstm_forward", lstm);
+  report("st_clstm_forward", st_clstm);
+  report("lstm_forward_h128", lstm_big);
+
+  // End-to-end: trained LSTM recommender, Observe + TopK over a small world.
+  poi::LbsnProfile profile = poi::GowallaProfile();
+  profile.num_users = smoke ? 4 : 16;
+  profile.num_pois = 300;
+  profile.min_visits = smoke ? 20 : 60;
+  profile.max_visits = smoke ? 25 : 80;
+  util::Rng rng(20260806);
+  poi::SyntheticLbsn lbsn = poi::GenerateLbsn(profile, rng);
+  std::vector<poi::CheckinSequence> warmup(lbsn.observed.sequences.size());
+  std::vector<poi::CheckinSequence> test(lbsn.observed.sequences.size());
+  for (size_t u = 0; u < lbsn.observed.sequences.size(); ++u) {
+    const auto& seq = lbsn.observed.sequences[u];
+    const size_t cut = seq.size() * 4 / 5;
+    warmup[u].assign(seq.begin(), seq.begin() + cut);
+    test[u].assign(seq.begin() + cut, seq.end());
+  }
+  std::printf("fitting LSTM recommender for the TopK workload...\n");
+  auto model = rec::MakeRecommender("LSTM", 7, smoke ? 0.125 : 0.25);
+  model->Fit(warmup, lbsn.observed.pois);
+
+  TopKResult topk_graph;
+  {
+    tensor::internal::ScopedInferenceDisable disable;
+    topk_graph = TimeTopK(*model, warmup, test, reps);
+  }
+  const TopKResult topk_fast = TimeTopK(*model, warmup, test, reps);
+  const double topk_speedup =
+      topk_graph.qps > 0.0 ? topk_fast.qps / topk_graph.qps : 0.0;
+  const bool topk_identical = topk_graph.rankings == topk_fast.rankings;
+  std::printf("  %-18s graph %9.0f qps     graph-free %9.0f qps     "
+              "%5.2fx   identical rankings: %s\n",
+              "topk", topk_graph.qps, topk_fast.qps, topk_speedup,
+              topk_identical ? "YES" : "NO");
+
+  const auto& pool_stats = tensor::internal::BufferPool::ThisThread().stats();
+  const double reuse_rate =
+      pool_stats.acquires > 0
+          ? static_cast<double>(pool_stats.reuses) / pool_stats.acquires
+          : 0.0;
+  std::printf("  pool: %llu acquires, %.1f%% served from freelist\n",
+              static_cast<unsigned long long>(pool_stats.acquires),
+              100.0 * reuse_rate);
+
+  const bool identical = lstm.identical() && st_clstm.identical() &&
+                         lstm_big.identical() && topk_identical;
+
+  serve::JsonWriter w;
+  w.BeginObject()
+      .Field("bench", "inference_path")
+      .Field("schema_version", 1)
+      .Field("smoke", smoke)
+      .Field("lstm_forward_graph_ns_op", lstm.graph.ns_per_step)
+      .Field("lstm_forward_nograph_ns_op", lstm.nograph.ns_per_step)
+      .Field("lstm_forward_speedup", lstm.speedup())
+      .Field("st_clstm_forward_graph_ns_op", st_clstm.graph.ns_per_step)
+      .Field("st_clstm_forward_nograph_ns_op", st_clstm.nograph.ns_per_step)
+      .Field("st_clstm_forward_speedup", st_clstm.speedup())
+      .Field("lstm_forward_h128_graph_ns_op", lstm_big.graph.ns_per_step)
+      .Field("lstm_forward_h128_nograph_ns_op", lstm_big.nograph.ns_per_step)
+      .Field("lstm_forward_h128_speedup", lstm_big.speedup())
+      .Field("topk_graph_qps", topk_graph.qps)
+      .Field("topk_nograph_qps", topk_fast.qps)
+      .Field("topk_speedup", topk_speedup)
+      .Field("pool_acquires", pool_stats.acquires)
+      .Field("pool_reuse_rate", reuse_rate)
+      .Field("bit_identical", identical)
+      .EndObject();
+  std::string out_path = "BENCH_inference.json";
+  if (const char* dir = std::getenv("PA_BENCH_DIR")) {
+    out_path = (std::filesystem::path(dir) / out_path).string();
+  }
+  std::ofstream out(out_path);
+  out << w.str() << "\n";
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!identical) {
+    std::fprintf(stderr, "FAIL: graph-free forward diverged from the "
+                         "graph-building path\n");
+    return 1;
+  }
+  if (!smoke && lstm.speedup() < 2.0) {
+    std::fprintf(stderr, "FAIL: lstm_forward graph-free speedup %.2fx < 2x\n",
+                 lstm.speedup());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pa
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  return pa::Run(smoke);
+}

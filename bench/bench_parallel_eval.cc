@@ -112,6 +112,7 @@ int Run() {
   serve::JsonWriter w;
   w.BeginObject()
       .Field("bench", "parallel_eval")
+      .Field("schema_version", 1)
       .Field("threads_wide", wide)
       .Field("hardware_concurrency", hw)
       .Field("serial_seconds", serial.seconds)

@@ -140,6 +140,7 @@ int Run() {
   serve::JsonWriter w;
   w.BeginObject()
       .Field("bench", "serving")
+      .Field("schema_version", 1)
       .Field("model", engine.model_name())
       .Field("version", version)
       .Field("num_queries", static_cast<uint64_t>(queries.size()))

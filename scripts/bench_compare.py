@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json files and fail on regressions.
+
+Every benchmark binary in bench/ writes a flat JSON object of the form
+
+    {"bench": "<name>", "schema_version": 1, "<metric>": <number>, ...}
+
+This script has two modes:
+
+  bench_compare.py BASELINE.json CURRENT.json [--threshold 0.15]
+      Diff the numeric metrics of two runs of the same benchmark. A metric
+      is a regression when it moves in its "worse" direction by more than
+      the threshold fraction (default 15%). Exits 1 if any metric
+      regressed, 2 on malformed input.
+
+  bench_compare.py --schema FILE.json [FILE.json ...]
+      Validate that each file parses, carries the required keys
+      ("bench", "schema_version"), and that every metric value is a
+      finite number (or bool/string metadata). Exits 2 on any violation.
+      Used by tier1.sh as a cheap smoke gate without needing a baseline.
+
+Metric direction is inferred from the key name:
+  lower is better:  *_ns_op, *_seconds, *_micros, *_ms
+  higher is better: *_qps, *speedup*, *_rate, hr*, mrr*
+Keys matching neither family are reported but never gate.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+LOWER_BETTER = ("_ns_op", "_seconds", "_micros", "_ms")
+HIGHER_BETTER = ("_qps", "speedup", "_rate")
+HIGHER_PREFIXES = ("hr", "mrr")
+
+REQUIRED_KEYS = ("bench", "schema_version")
+
+
+def direction(key):
+    """Returns -1 (lower is better), +1 (higher is better), or 0 (neutral)."""
+    lk = key.lower()
+    if lk.endswith(LOWER_BETTER):
+        return -1
+    if any(tok in lk for tok in HIGHER_BETTER) or lk.startswith(HIGHER_PREFIXES):
+        return +1
+    return 0
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(doc, dict):
+        print(f"bench_compare: {path}: top level must be an object", file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def numeric_metrics(doc):
+    out = {}
+    for key, value in doc.items():
+        # bool is an int subclass in Python; treat it as metadata, not a metric.
+        if isinstance(value, bool) or key in REQUIRED_KEYS:
+            continue
+        if isinstance(value, (int, float)):
+            out[key] = float(value)
+    return out
+
+
+def check_schema(paths):
+    failures = 0
+    for path in paths:
+        doc = load(path)
+        problems = []
+        for key in REQUIRED_KEYS:
+            if key not in doc:
+                problems.append(f"missing required key '{key}'")
+        if not isinstance(doc.get("bench", ""), str) or not doc.get("bench"):
+            problems.append("'bench' must be a non-empty string")
+        if not isinstance(doc.get("schema_version", 0), int):
+            problems.append("'schema_version' must be an integer")
+        metrics = numeric_metrics(doc)
+        if not metrics:
+            problems.append("no numeric metrics found")
+        for key, value in metrics.items():
+            if not math.isfinite(value):
+                problems.append(f"metric '{key}' is not finite ({value})")
+        if problems:
+            failures += 1
+            for p in problems:
+                print(f"bench_compare: {path}: {p}", file=sys.stderr)
+        else:
+            print(f"{path}: OK ({doc['bench']}, schema_version "
+                  f"{doc['schema_version']}, {len(metrics)} metrics)")
+    return 2 if failures else 0
+
+
+def compare(baseline_path, current_path, threshold):
+    baseline = load(baseline_path)
+    current = load(current_path)
+    if baseline.get("bench") != current.get("bench"):
+        print(f"bench_compare: benchmark mismatch: {baseline.get('bench')!r} "
+              f"vs {current.get('bench')!r}", file=sys.stderr)
+        return 2
+
+    base_metrics = numeric_metrics(baseline)
+    cur_metrics = numeric_metrics(current)
+    regressions = 0
+    print(f"bench: {current.get('bench')}  (threshold {threshold:.0%})")
+    for key in sorted(base_metrics):
+        if key not in cur_metrics:
+            print(f"  {key:<28} dropped from current run", file=sys.stderr)
+            regressions += 1
+            continue
+        old, new = base_metrics[key], cur_metrics[key]
+        sign = direction(key)
+        if old == 0.0 or sign == 0:
+            print(f"  {key:<28} {old:>12.4g} -> {new:>12.4g}  (informational)")
+            continue
+        # Positive delta = got worse, regardless of metric direction.
+        delta = (old - new) / old if sign > 0 else (new - old) / old
+        verdict = "ok"
+        if delta > threshold:
+            verdict = "REGRESSION"
+            regressions += 1
+        elif delta < -threshold:
+            verdict = "improved"
+        print(f"  {key:<28} {old:>12.4g} -> {new:>12.4g}  "
+              f"{-delta:+8.1%}  {verdict}")
+    for key in sorted(set(cur_metrics) - set(base_metrics)):
+        print(f"  {key:<28} new metric: {cur_metrics[key]:.4g}")
+    if regressions:
+        print(f"bench_compare: {regressions} metric(s) regressed more than "
+              f"{threshold:.0%}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+",
+                        help="BASELINE CURRENT, or files to --schema check")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="regression tolerance as a fraction (default 0.15)")
+    parser.add_argument("--schema", action="store_true",
+                        help="validate file structure instead of comparing")
+    args = parser.parse_args()
+
+    if args.schema:
+        return check_schema(args.files)
+    if len(args.files) != 2:
+        parser.error("compare mode takes exactly two files: BASELINE CURRENT")
+    return compare(args.files[0], args.files[1], args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,20 +14,29 @@ cmake -B build -S . >/dev/null
 cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
+# Inference fast-path smoke: the bench binary in --smoke mode checks
+# bit-identity between the graph and graph-free forward paths (skipping the
+# slow timed speedup gate), and bench_compare.py validates the emitted JSON
+# so a malformed BENCH file fails here rather than in CI diffing.
+PA_BENCH_DIR=build build/bench/bench_inference_path --smoke
+python3 scripts/bench_compare.py --schema build/BENCH_inference.json
+
 if [[ "${1:-}" == "--no-tsan" ]]; then
   exit 0
 fi
 
 # TSan pass: the tests that exercise the parallel execution layer and the
 # concurrent serving state (session LRU, request engine) get rebuilt under
-# -fsanitize=thread; a race anywhere in ParallelFor users or the session
-# store shows up here even on a single-core host.
+# -fsanitize=thread; a race anywhere in ParallelFor users, the session
+# store, or the thread-local inference buffer pools shows up here even on a
+# single-core host.
 cmake -B build-tsan -S . -DPA_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$(nproc)" --target \
   util_thread_pool_test parallel_determinism_test \
-  serve_session_store_test serve_engine_test
+  serve_session_store_test serve_engine_test \
+  tensor_inference_test inference_equivalence_test
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'util_thread_pool_test|parallel_determinism_test|serve_session_store_test|serve_engine_test'
+  -R 'util_thread_pool_test|parallel_determinism_test|serve_session_store_test|serve_engine_test|tensor_inference_test|inference_equivalence_test'
 
 # ASan/UBSan pass over the checkpoint parser and the serving subsystem:
 # these tests feed truncated/corrupted byte streams and hammer the session

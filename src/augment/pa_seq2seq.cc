@@ -435,6 +435,9 @@ void PaSeq2Seq::Fit(const std::vector<poi::CheckinSequence>& train) {
 }
 
 std::vector<int32_t> PaSeq2Seq::Impute(const MaskedSequence& masked) const {
+  // Decode-only entry point: no Backward() ever runs on these forwards.
+  // (Decode itself is shared with training and must NOT scope itself.)
+  const tensor::InferenceModeScope inference;
   const auto& timeline = masked.timeline;
   const int n = static_cast<int>(timeline.size());
   std::vector<int32_t> result;
@@ -550,6 +553,8 @@ std::vector<int32_t> PaSeq2Seq::RankNext(const poi::CheckinSequence& history,
                                          int64_t next_timestamp,
                                          int k) const {
   if (history.empty()) return {};
+  // Decode-only entry point (see Impute).
+  const tensor::InferenceModeScope inference;
 
   // Tail of the history plus one trailing missing slot.
   const int tail = std::min<int>(static_cast<int>(history.size()),
@@ -597,6 +602,8 @@ poi::CheckinSequence PaSeq2Seq::ImputeTrip(const poi::Checkin& start,
 
 std::vector<int32_t> PaSeq2Seq::ImputeBeam(const MaskedSequence& masked,
                                            int beam_width) const {
+  // Decode-only entry point (see Impute).
+  const tensor::InferenceModeScope inference;
   const auto& timeline = masked.timeline;
   const int n = static_cast<int>(timeline.size());
   const int total_missing = poi::CountMissing(timeline);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "tensor/tensor.h"
 #include "util/thread_pool.h"
 
 namespace pa::eval {
@@ -66,6 +67,10 @@ HrResult EvaluateHr(const rec::Recommender& recommender,
   std::vector<HrAccumulator> per_user = util::GlobalPool().ParallelMap(
       int64_t{0}, static_cast<int64_t>(num_users), /*grain=*/1,
       [&](int64_t u) {
+        // Evaluation never backpropagates: run every session forward on the
+        // graph-free fast path. The scope is per worker thread, entered here
+        // because pool workers do not inherit the caller's scope.
+        const tensor::InferenceModeScope inference;
         HrAccumulator acc;
         const size_t us = static_cast<size_t>(u);
         const bool has_test = us < test.size() && !test[us].empty();

@@ -51,7 +51,7 @@ LstmState StClstmCell::Forward(const tensor::Tensor& x, const LstmState& prev,
   Tensor c = tensor::Add(tensor::Mul(OneMinus(effective_i), prev.c),
                          tensor::Mul(effective_i, g));
   Tensor hh = tensor::Mul(o, tensor::Tanh(c));
-  return {hh, c};
+  return {std::move(hh), std::move(c)};
 }
 
 LstmState StClstmCell::InitialState(int batch) const {

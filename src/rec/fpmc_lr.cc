@@ -6,6 +6,7 @@
 
 #include "nn/serialize.h"
 #include "rec/model_io.h"
+#include "tensor/tensor.h"
 
 namespace pa::rec {
 
@@ -145,6 +146,9 @@ class FpmcLrSession : public RecSession {
   }
 
   std::vector<int32_t> TopK(int k, int64_t) const override {
+    // Scoring is raw float arithmetic (no tensor ops), but the scope keeps
+    // the contract uniform: every recommender's TopK runs in inference mode.
+    const tensor::InferenceModeScope inference;
     std::vector<int32_t> candidates;
     if (has_last_) {
       candidates = rec_->Region(last_poi_);

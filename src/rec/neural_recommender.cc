@@ -197,6 +197,8 @@ class NeuralRecSession : public RecSession {
       : rec_(rec), state_(rec->InitialState()) {}
 
   void Observe(const poi::Checkin& c) override {
+    // Session forwards never backpropagate; skip graph construction.
+    const tensor::InferenceModeScope inference;
     float dt = 0.0f, dd = 0.0f;
     if (has_last_) {
       const double hours =
@@ -208,13 +210,19 @@ class NeuralRecSession : public RecSession {
           std::min(km / rec_->config_.feature_scale.km_scale, 10.0));
     }
     state_ = rec_->Step(state_, c.poi, dt, dd);
-    state_.h = state_.h.Detach();
-    if (state_.c.defined()) state_.c = state_.c.Detach();
+    if (!tensor::InferenceModeScope::Active()) {
+      // Graph-building forward (the test override disables inference mode):
+      // detach so the graph does not grow across the user's timeline. The
+      // fast path has no graph to sever, so the copies would be pure waste.
+      state_.h = state_.h.Detach();
+      if (state_.c.defined()) state_.c = state_.c.Detach();
+    }
     last_ = c;
     has_last_ = true;
   }
 
   std::vector<int32_t> TopK(int k, int64_t next_timestamp) const override {
+    const tensor::InferenceModeScope inference;
     Tensor hidden = state_.h;
     // Time-aware ranking: ST-CLSTM advances a phantom step whose time gate
     // sees the interval to the check-in being predicted.

@@ -1,6 +1,7 @@
 #include "serve/engine.h"
 
 #include "serve/json.h"
+#include "tensor/tensor.h"
 #include "util/thread_pool.h"
 
 namespace pa::serve {
@@ -41,6 +42,9 @@ std::string Engine::model_name() const {
 }
 
 void Engine::Observe(const poi::Checkin& checkin) {
+  // Serving never backpropagates: model forwards under this request run on
+  // the tensor engine's graph-free fast path.
+  const tensor::InferenceModeScope inference;
   std::shared_ptr<SessionStore> sessions;
   {
     std::lock_guard<std::mutex> lock(swap_mu_);
@@ -51,6 +55,10 @@ void Engine::Observe(const poi::Checkin& checkin) {
 
 TopKResponse Engine::Run(const TopKRequest& request,
                          Clock::time_point enqueue) {
+  // Run executes on whatever thread carries the request (caller, pool
+  // worker via TopKBatch/TopKAsync); the scope is per-thread, so it is
+  // entered here rather than at the batch fan-out.
+  const tensor::InferenceModeScope inference;
   const auto deadline =
       enqueue + std::chrono::milliseconds(config_.deadline_ms);
   TopKResponse response;

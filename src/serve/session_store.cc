@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "tensor/tensor.h"
+
 namespace pa::serve {
 
 SessionStore::SessionStore(std::shared_ptr<const LoadedModel> model,
@@ -50,6 +52,10 @@ std::shared_ptr<SessionStore::Entry> SessionStore::GetOrCreate(
 
 void SessionStore::EnsureSessionLocked(Entry& entry, int32_t user) {
   if (entry.session) return;
+  // Session rebuild replays the stored history through model forwards;
+  // nothing here ever backpropagates, so run graph-free. (Callers that
+  // already hold a scope nest harmlessly.)
+  const tensor::InferenceModeScope inference;
   // Copy the replay history under the global lock; replay it outside (model
   // inference can be slow and must not serialise the whole store). Lock
   // order is always entry.mu -> mu_; GetOrCreate never holds mu_ while
@@ -71,6 +77,7 @@ void SessionStore::Observe(const poi::Checkin& checkin) {
   // order they land in the stored history (a rebuild after eviction then
   // replays the exact sequence the evicted session saw).
   std::lock_guard<std::mutex> entry_lock(entry->mu);
+  const tensor::InferenceModeScope inference;
   EnsureSessionLocked(*entry, checkin.user);
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -102,6 +109,7 @@ std::vector<int32_t> SessionStore::TopK(int32_t user, int k,
                                         int64_t next_timestamp) {
   std::shared_ptr<Entry> entry = GetOrCreate(user, true);
   std::lock_guard<std::mutex> entry_lock(entry->mu);
+  const tensor::InferenceModeScope inference;
   EnsureSessionLocked(*entry, user);
   return entry->session->TopK(k, next_timestamp);
 }

@@ -1,0 +1,45 @@
+#include "tensor/buffer_pool.h"
+
+namespace pa::tensor::internal {
+
+// The live-pool pointers are nulled by the owners' destructors. TensorImpl
+// destructors may run during (or after) thread_local teardown on this
+// thread; checking the pointer instead of re-entering a function-local
+// static avoids resurrecting a half-destroyed pool.
+thread_local BufferPool* t_buffer_pool = nullptr;
+thread_local NodeBlockPool* t_node_pool = nullptr;
+
+namespace {
+
+struct PoolOwner {
+  BufferPool pool;
+  PoolOwner() { t_buffer_pool = &pool; }
+  ~PoolOwner() { t_buffer_pool = nullptr; }
+};
+
+struct NodePoolOwner {
+  NodeBlockPool pool;
+  NodePoolOwner() { t_node_pool = &pool; }
+  ~NodePoolOwner() { t_node_pool = nullptr; }
+};
+
+}  // namespace
+
+BufferPool& BufferPool::ThisThread() {
+  thread_local PoolOwner owner;
+  return owner.pool;
+}
+
+void* AcquireNodeBlockSlow(size_t bytes) {
+  thread_local NodePoolOwner owner;
+  NodeBlockPool& pool = owner.pool;
+  if (pool.block_bytes == 0) pool.block_bytes = bytes;
+  if (bytes == pool.block_bytes && !pool.free.empty()) {
+    void* p = pool.free.back();
+    pool.free.pop_back();
+    return p;
+  }
+  return ::operator new(bytes);
+}
+
+}  // namespace pa::tensor::internal

@@ -1,0 +1,224 @@
+#ifndef PA_TENSOR_BUFFER_POOL_H_
+#define PA_TENSOR_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace pa::tensor::internal {
+
+struct BufferPoolStats {
+  uint64_t acquires = 0;
+  uint64_t reuses = 0;    // Acquires served from the freelist.
+  uint64_t releases = 0;
+  uint64_t discards = 0;  // Releases dropped because the pool was full.
+};
+
+/// Thread-local freelist of `std::vector<float>` storage.
+///
+/// Inference-mode ops (see `InferenceModeScope` in tensor.h) draw their
+/// output buffers from here instead of the allocator, and `TensorImpl`
+/// destructors return pooled buffers to the pool of whatever thread drops
+/// the last reference. The pool is strictly thread-local — no locks, no
+/// cross-thread sharing — so a buffer acquired on one thread and destroyed
+/// on another simply migrates between pools.
+///
+/// Recycling rules:
+///  - `Acquire(n)` returns a vector of size exactly `n` whose *contents are
+///    unspecified* (stale floats from a previous tensor). Every caller must
+///    fully overwrite all `n` elements; `set_debug_poison(true)` fills
+///    acquired buffers with NaN so a violation shows up as a bit-mismatch
+///    against the unpooled path.
+///  - `AcquireZeroed(n)` returns a vector of `n` zeros (for accumulate-style
+///    kernels such as the MatMul `+=` loop).
+///  - The freelist is capped (count and bytes); releases beyond the cap are
+///    discarded to the allocator so one huge tensor cannot pin memory.
+///
+/// The hot entry points are defined inline (with the raw thread-local
+/// pointers below) so the per-op acquire/release round trip costs a TLS load
+/// and a few branches, not an out-of-line call with an init guard.
+class BufferPool {
+ public:
+  std::vector<float> Acquire(size_t n) {
+    ++stats_.acquires;
+    // Best-fit scan: smallest cached capacity that still holds n. The list
+    // is capped at kMaxBuffers entries, so the scan is bounded and cheap
+    // next to the allocation it replaces. Scanning newest-first finds the
+    // just-released buffer of the same size — the overwhelmingly common
+    // case in a steady-state forward loop — in one or two probes, and an
+    // exact capacity match ends the scan (nothing fits tighter).
+    size_t best = free_.size();
+    for (size_t i = free_.size(); i-- > 0;) {
+      const size_t cap = free_[i].capacity();
+      if (cap < n) continue;
+      if (cap == n) {
+        best = i;
+        break;
+      }
+      if (best == free_.size() || cap < free_[best].capacity()) {
+        best = i;
+      }
+    }
+    std::vector<float> buf;
+    if (best != free_.size()) {
+      buf = std::move(free_[best]);
+      free_[best] = std::move(free_.back());
+      free_.pop_back();
+      cached_bytes_ -= buf.capacity() * sizeof(float);
+      ++stats_.reuses;
+    }
+    buf.resize(n);
+    if (debug_poison_) {
+      buf.assign(n, std::numeric_limits<float>::quiet_NaN());
+    }
+    return buf;
+  }
+
+  std::vector<float> AcquireZeroed(size_t n) {
+    std::vector<float> buf = Acquire(n);
+    buf.assign(n, 0.0f);
+    return buf;
+  }
+
+  void Release(std::vector<float> buf) {
+    ++stats_.releases;
+    const size_t bytes = buf.capacity() * sizeof(float);
+    if (bytes == 0 || free_.size() >= kMaxBuffers ||
+        cached_bytes_ + bytes > kMaxBytes) {
+      ++stats_.discards;
+      return;  // buf frees on scope exit.
+    }
+    cached_bytes_ += bytes;
+    free_.push_back(std::move(buf));
+  }
+
+  /// Drops every cached buffer back to the allocator.
+  void Trim() {
+    free_.clear();
+    free_.shrink_to_fit();
+    cached_bytes_ = 0;
+  }
+
+  const BufferPoolStats& stats() const { return stats_; }
+  size_t cached_buffers() const { return free_.size(); }
+  size_t cached_bytes() const { return cached_bytes_; }
+  void set_debug_poison(bool on) { debug_poison_ = on; }
+
+  /// The calling thread's pool (created on first use, destroyed with the
+  /// thread). `ReleaseToThreadPool` below is teardown-safe; this accessor is
+  /// not and must only be called from live code paths.
+  static BufferPool& ThisThread();
+
+ private:
+  static constexpr size_t kMaxBuffers = 64;
+  static constexpr size_t kMaxBytes = size_t{16} << 20;  // 16 MiB per thread.
+
+  std::vector<std::vector<float>> free_;
+  size_t cached_bytes_ = 0;
+  bool debug_poison_ = false;
+  BufferPoolStats stats_;
+};
+
+/// Raw pointer to the calling thread's live BufferPool, or null both before
+/// the thread first touches the pool and after thread_local teardown.
+/// Maintained by buffer_pool.cc; treat as read-only everywhere else.
+extern thread_local BufferPool* t_buffer_pool;
+
+/// Returns `buf` to the calling thread's pool, or frees it normally when the
+/// pool has already been torn down (a `TensorImpl` can die after its thread's
+/// thread_local destructors have run).
+inline void ReleaseToThreadPool(std::vector<float>&& buf) {
+  if (t_buffer_pool != nullptr) t_buffer_pool->Release(std::move(buf));
+}
+
+/// Fast-path equivalent of `BufferPool::ThisThread()`: one TLS load and a
+/// branch once the pool exists, falling back to the guarded constructor on
+/// the thread's first touch. Live code paths only, like ThisThread().
+inline BufferPool& ThisThreadPool() {
+  BufferPool* pool = t_buffer_pool;
+  return pool != nullptr ? *pool : BufferPool::ThisThread();
+}
+
+/// Fixed-size raw-block recycling for inference-mode graph nodes.
+///
+/// Every inference-mode op heap-allocates exactly one block: the
+/// `allocate_shared` control block with its in-place `TensorImpl`. Those
+/// blocks are all the same size, die at the same rate they are born, and —
+/// like pooled float buffers — may be freed on a different thread than the
+/// one that made them. The freelist is strictly thread-local (no locks):
+/// acquire pops from the calling thread's list, release pushes to the
+/// destroying thread's list. The first-seen block size pins the pool; blocks
+/// of any other size fall through to the allocator.
+struct NodeBlockPool {
+  // At most this many cached node blocks per thread. Blocks are ~200 bytes,
+  // so the cap bounds the cache at ~50 KiB while still covering the deepest
+  // single-expression graphs the forward passes build.
+  static constexpr size_t kMaxNodeBlocks = 256;
+
+  std::vector<void*> free;
+  size_t block_bytes = 0;
+
+  ~NodeBlockPool() {
+    for (void* p : free) ::operator delete(p);
+  }
+};
+
+/// Same teardown guard as t_buffer_pool: null before first acquire on this
+/// thread and after thread_local teardown.
+extern thread_local NodeBlockPool* t_node_pool;
+
+/// Out-of-line slow path: constructs the calling thread's node pool.
+void* AcquireNodeBlockSlow(size_t bytes);
+
+inline void* AcquireNodeBlock(size_t bytes) {
+  NodeBlockPool* pool = t_node_pool;
+  if (pool != nullptr && bytes == pool->block_bytes && !pool->free.empty()) {
+    void* p = pool->free.back();
+    pool->free.pop_back();
+    return p;
+  }
+  return AcquireNodeBlockSlow(bytes);
+}
+
+/// Returns `block` (of `bytes` bytes) to the calling thread's node pool, or
+/// frees it when the pool is full, torn down, or pinned to another size. A
+/// release-only thread (pooled impls migrating here) just frees.
+inline void ReleaseNodeBlock(void* block, size_t bytes) {
+  NodeBlockPool* pool = t_node_pool;
+  if (pool != nullptr && bytes == pool->block_bytes &&
+      pool->free.size() < NodeBlockPool::kMaxNodeBlocks) {
+    pool->free.push_back(block);
+    return;
+  }
+  ::operator delete(block);
+}
+
+/// STL allocator over Acquire/ReleaseNodeBlock; `std::allocate_shared` with
+/// this allocator turns a node + control block into one recycled block.
+template <typename T>
+struct NodeBlockAllocator {
+  using value_type = T;
+  NodeBlockAllocator() = default;
+  template <typename U>
+  NodeBlockAllocator(const NodeBlockAllocator<U>&) {}
+  T* allocate(size_t n) {
+    return static_cast<T*>(AcquireNodeBlock(n * sizeof(T)));
+  }
+  void deallocate(T* p, size_t n) { ReleaseNodeBlock(p, n * sizeof(T)); }
+};
+
+template <typename T, typename U>
+bool operator==(const NodeBlockAllocator<T>&, const NodeBlockAllocator<U>&) {
+  return true;
+}
+template <typename T, typename U>
+bool operator!=(const NodeBlockAllocator<T>&, const NodeBlockAllocator<U>&) {
+  return false;
+}
+
+}  // namespace pa::tensor::internal
+
+#endif  // PA_TENSOR_BUFFER_POOL_H_

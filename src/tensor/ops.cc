@@ -1,11 +1,13 @@
 #include "tensor/ops.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
 
+#include "tensor/buffer_pool.h"
 #include "util/thread_pool.h"
 
 namespace pa::tensor {
@@ -45,6 +47,38 @@ Tensor MakeResult(Shape shape, std::vector<float> data,
   return Tensor::FromImpl(std::move(impl));
 }
 
+// Result node on the graph-free inference path: no parents, no backward
+// closure, no requires_grad propagation. The storage came from the
+// thread-local BufferPool and returns there when the node dies; the node
+// allocation itself recycles through the thread-local node-block pool.
+Tensor MakeInferenceResult(Shape shape, std::vector<float> data) {
+  auto impl = std::allocate_shared<TensorImpl>(
+      internal::NodeBlockAllocator<TensorImpl>());
+  impl->shape = shape;
+  impl->data = std::move(data);
+  impl->pooled = true;
+  return Tensor::FromImpl(std::move(impl));
+}
+
+// Output storage for an op's forward pass: recycled pool capacity under
+// inference mode, a plain allocation otherwise. Contents are unspecified —
+// every caller fully overwrites all `n` elements before the tensor escapes.
+std::vector<float> ForwardBuffer(int64_t n, bool inference) {
+  if (inference) {
+    return internal::ThisThreadPool().Acquire(static_cast<size_t>(n));
+  }
+  return std::vector<float>(static_cast<size_t>(n));
+}
+
+// Zero-initialised variant for accumulate-style kernels (`+=` into out).
+std::vector<float> ZeroedForwardBuffer(int64_t n, bool inference) {
+  if (inference) {
+    return internal::ThisThreadPool().AcquireZeroed(
+        static_cast<size_t>(n));
+  }
+  return std::vector<float>(static_cast<size_t>(n), 0.0f);
+}
+
 // Accumulates `g` into the gradient buffer of `dst` if it needs one. All
 // parent-gradient writes go through internal::GradBuffer so data-parallel
 // training can redirect them into thread-private buffers (see
@@ -81,90 +115,209 @@ int64_t BIndex(BroadcastKind kind, int64_t i, int cols) {
   return 0;
 }
 
+// Forward loop of the elementwise binary ops, specialised per broadcast kind
+// with hoisted raw pointers. Calling the accessors (impl deref + defined
+// check) or BIndex (a switch) per element defeats vectorization; the
+// per-element arithmetic is unchanged, so results are bit-identical.
+template <typename F>
+void BinaryForward(const float* a, const float* b, float* out, int64_t numel,
+                   int cols, BroadcastKind kind, F f) {
+  switch (kind) {
+    case BroadcastKind::kSame:
+      for (int64_t i = 0; i < numel; ++i) out[i] = f(a[i], b[i]);
+      break;
+    case BroadcastKind::kRow:
+      for (int64_t r = 0; r < numel / cols; ++r) {
+        const float* arow = a + r * cols;
+        float* orow = out + r * cols;
+        for (int j = 0; j < cols; ++j) orow[j] = f(arow[j], b[j]);
+      }
+      break;
+    case BroadcastKind::kScalar: {
+      const float bv = b[0];
+      for (int64_t i = 0; i < numel; ++i) out[i] = f(a[i], bv);
+      break;
+    }
+  }
+}
+
+// In-place forward of the binary ops when the *output aliases `a` exactly*
+// (the rvalue-overload fast path below). Every element is read before the
+// same index is written and the arithmetic matches BinaryForward, so the
+// values are bit-identical to the allocating path. `b` belongs to a
+// different live impl (guaranteed by the unique-owner check in
+// ReusableTemp), hence __restrict keeps the loops vectorized.
+template <typename F>
+void BinaryForwardInPlace(float* __restrict a, const float* __restrict b,
+                          int64_t numel, int cols, BroadcastKind kind, F f) {
+  switch (kind) {
+    case BroadcastKind::kSame:
+      for (int64_t i = 0; i < numel; ++i) a[i] = f(a[i], b[i]);
+      break;
+    case BroadcastKind::kRow:
+      for (int64_t r = 0; r < numel / cols; ++r) {
+        float* arow = a + r * cols;
+        for (int j = 0; j < cols; ++j) arow[j] = f(arow[j], b[j]);
+      }
+      break;
+    case BroadcastKind::kScalar: {
+      const float bv = b[0];
+      for (int64_t i = 0; i < numel; ++i) a[i] = f(a[i], bv);
+      break;
+    }
+  }
+}
+
+// Same, but the output aliases `b` (kSame only — the result has `a`'s
+// shape, which matches `b`'s only under kSame).
+template <typename F>
+void BinaryForwardInPlaceRhs(const float* __restrict a, float* __restrict b,
+                             int64_t numel, F f) {
+  for (int64_t i = 0; i < numel; ++i) b[i] = f(a[i], b[i]);
+}
+
+// Whether an op bound through an rvalue overload may overwrite `t`'s
+// storage in place and return `t`'s node as its result. Requires inference
+// mode (graph mode must record the parent's values for backward), that the
+// caller's reference is the impl's only owner — i.e. the argument really is
+// a dying temporary, not a moved-from named tensor someone still shares —
+// and that no autograd state is attached. The overwrite is elementwise
+// read-then-write at the same index, so the result is bit-identical to the
+// allocating path; only the allocation round trip disappears.
+bool ReusableTemp(const Tensor& t, bool inference) {
+  const std::shared_ptr<TensorImpl>& impl = t.impl();
+  return inference && impl.use_count() == 1 && !impl->requires_grad &&
+         impl->backward_fn == nullptr;
+}
+
+template <typename F>
+Tensor BinaryOp(const char* name, const Tensor& a, const Tensor& b,
+                bool reuse_a, bool reuse_b, F f,
+                std::function<void(TensorImpl&)> (*make_backward)(
+                    std::shared_ptr<TensorImpl>, std::shared_ptr<TensorImpl>,
+                    BroadcastKind, int)) {
+  const BroadcastKind kind = CheckBroadcast(a, b, name);
+  const int cols = a.cols();
+  const int64_t numel = a.numel();
+  const bool inference = internal::InferenceModeActive();
+  if (inference) {
+    if (reuse_a && ReusableTemp(a, true)) {
+      BinaryForwardInPlace(a.impl()->data.data(), b.data(), numel, cols, kind,
+                           f);
+      return Tensor::FromImpl(a.impl());
+    }
+    if (reuse_b && kind == BroadcastKind::kSame && ReusableTemp(b, true)) {
+      BinaryForwardInPlaceRhs(a.data(), b.impl()->data.data(), numel, f);
+      return Tensor::FromImpl(b.impl());
+    }
+    std::vector<float> out = ForwardBuffer(numel, true);
+    BinaryForward(a.data(), b.data(), out.data(), numel, cols, kind, f);
+    return MakeInferenceResult(a.shape(), std::move(out));
+  }
+  std::vector<float> out = ForwardBuffer(numel, false);
+  BinaryForward(a.data(), b.data(), out.data(), numel, cols, kind, f);
+  return MakeResult(a.shape(), std::move(out), {a, b},
+                    make_backward(a.impl(), b.impl(), kind, cols));
+}
+
+std::function<void(TensorImpl&)> AddBackward(std::shared_ptr<TensorImpl> ai,
+                                             std::shared_ptr<TensorImpl> bi,
+                                             BroadcastKind kind, int cols) {
+  return [ai, bi, kind, cols](TensorImpl& y) {
+    Accumulate(ai, [&](int64_t i) { return y.grad[i]; });
+    if (NeedsGrad(*bi)) {
+      std::vector<float>& bgrad = internal::GradBuffer(*bi);
+      for (int64_t i = 0; i < y.shape.numel(); ++i) {
+        bgrad[BIndex(kind, i, cols)] += y.grad[i];
+      }
+    }
+  };
+}
+
+std::function<void(TensorImpl&)> SubBackward(std::shared_ptr<TensorImpl> ai,
+                                             std::shared_ptr<TensorImpl> bi,
+                                             BroadcastKind kind, int cols) {
+  return [ai, bi, kind, cols](TensorImpl& y) {
+    Accumulate(ai, [&](int64_t i) { return y.grad[i]; });
+    if (NeedsGrad(*bi)) {
+      std::vector<float>& bgrad = internal::GradBuffer(*bi);
+      for (int64_t i = 0; i < y.shape.numel(); ++i) {
+        bgrad[BIndex(kind, i, cols)] -= y.grad[i];
+      }
+    }
+  };
+}
+
+float AddFwd(float x, float y) { return x + y; }
+float SubFwd(float x, float y) { return x - y; }
+
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
-  const BroadcastKind kind = CheckBroadcast(a, b, "Add");
-  const int cols = a.cols();
-  std::vector<float> out(a.numel());
-  for (int64_t i = 0; i < a.numel(); ++i) {
-    out[i] = a.data()[i] + b.data()[BIndex(kind, i, cols)];
-  }
-  auto ai = a.impl();
-  auto bi = b.impl();
-  return MakeResult(
-      a.shape(), std::move(out), {a, b}, [ai, bi, kind, cols](TensorImpl& y) {
-        Accumulate(ai, [&](int64_t i) { return y.grad[i]; });
-        if (NeedsGrad(*bi)) {
-          std::vector<float>& bgrad = internal::GradBuffer(*bi);
-          for (int64_t i = 0; i < y.shape.numel(); ++i) {
-            bgrad[BIndex(kind, i, cols)] += y.grad[i];
-          }
-        }
-      });
+  return BinaryOp("Add", a, b, false, false, AddFwd, AddBackward);
+}
+
+Tensor Add(Tensor&& a, const Tensor& b) {
+  return BinaryOp("Add", a, b, true, false, AddFwd, AddBackward);
+}
+
+Tensor Add(const Tensor& a, Tensor&& b) {
+  return BinaryOp("Add", a, b, false, true, AddFwd, AddBackward);
+}
+
+Tensor Add(Tensor&& a, Tensor&& b) {
+  return BinaryOp("Add", a, b, true, true, AddFwd, AddBackward);
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  const BroadcastKind kind = CheckBroadcast(a, b, "Sub");
-  const int cols = a.cols();
-  std::vector<float> out(a.numel());
-  for (int64_t i = 0; i < a.numel(); ++i) {
-    out[i] = a.data()[i] - b.data()[BIndex(kind, i, cols)];
-  }
-  auto ai = a.impl();
-  auto bi = b.impl();
-  return MakeResult(
-      a.shape(), std::move(out), {a, b}, [ai, bi, kind, cols](TensorImpl& y) {
-        Accumulate(ai, [&](int64_t i) { return y.grad[i]; });
-        if (NeedsGrad(*bi)) {
-          std::vector<float>& bgrad = internal::GradBuffer(*bi);
-          for (int64_t i = 0; i < y.shape.numel(); ++i) {
-            bgrad[BIndex(kind, i, cols)] -= y.grad[i];
-          }
-        }
-      });
+  return BinaryOp("Sub", a, b, false, false, SubFwd, SubBackward);
 }
+
+Tensor Sub(Tensor&& a, const Tensor& b) {
+  return BinaryOp("Sub", a, b, true, false, SubFwd, SubBackward);
+}
+
+namespace {
+
+// Mul's backward reads the *parents'* forward values, which is why in-place
+// reuse is restricted to inference mode: under a graph, a parent's buffer
+// must survive untouched until Backward().
+std::function<void(TensorImpl&)> MulBackward(std::shared_ptr<TensorImpl> ai,
+                                             std::shared_ptr<TensorImpl> bi,
+                                             BroadcastKind kind, int cols) {
+  return [ai, bi, kind, cols](TensorImpl& y) {
+    Accumulate(ai, [&](int64_t i) {
+      return y.grad[i] * bi->data[BIndex(kind, i, cols)];
+    });
+    if (NeedsGrad(*bi)) {
+      std::vector<float>& bgrad = internal::GradBuffer(*bi);
+      for (int64_t i = 0; i < y.shape.numel(); ++i) {
+        bgrad[BIndex(kind, i, cols)] += y.grad[i] * ai->data[i];
+      }
+    }
+  };
+}
+
+float MulFwd(float x, float y) { return x * y; }
+
+}  // namespace
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  const BroadcastKind kind = CheckBroadcast(a, b, "Mul");
-  const int cols = a.cols();
-  std::vector<float> out(a.numel());
-  for (int64_t i = 0; i < a.numel(); ++i) {
-    out[i] = a.data()[i] * b.data()[BIndex(kind, i, cols)];
-  }
-  auto ai = a.impl();
-  auto bi = b.impl();
-  return MakeResult(
-      a.shape(), std::move(out), {a, b}, [ai, bi, kind, cols](TensorImpl& y) {
-        Accumulate(ai, [&](int64_t i) {
-          return y.grad[i] * bi->data[BIndex(kind, i, cols)];
-        });
-        if (NeedsGrad(*bi)) {
-          std::vector<float>& bgrad = internal::GradBuffer(*bi);
-          for (int64_t i = 0; i < y.shape.numel(); ++i) {
-            bgrad[BIndex(kind, i, cols)] += y.grad[i] * ai->data[i];
-          }
-        }
-      });
+  return BinaryOp("Mul", a, b, false, false, MulFwd, MulBackward);
 }
 
-Tensor Scale(const Tensor& a, float alpha) {
-  std::vector<float> out(a.numel());
-  for (int64_t i = 0; i < a.numel(); ++i) out[i] = a.data()[i] * alpha;
-  auto ai = a.impl();
-  return MakeResult(a.shape(), std::move(out), {a}, [ai, alpha](TensorImpl& y) {
-    Accumulate(ai, [&](int64_t i) { return y.grad[i] * alpha; });
-  });
+Tensor Mul(Tensor&& a, const Tensor& b) {
+  return BinaryOp("Mul", a, b, true, false, MulFwd, MulBackward);
 }
 
-Tensor AddScalar(const Tensor& a, float alpha) {
-  std::vector<float> out(a.numel());
-  for (int64_t i = 0; i < a.numel(); ++i) out[i] = a.data()[i] + alpha;
-  auto ai = a.impl();
-  return MakeResult(a.shape(), std::move(out), {a}, [ai](TensorImpl& y) {
-    Accumulate(ai, [&](int64_t i) { return y.grad[i]; });
-  });
+Tensor Mul(const Tensor& a, Tensor&& b) {
+  return BinaryOp("Mul", a, b, false, true, MulFwd, MulBackward);
 }
+
+Tensor Mul(Tensor&& a, Tensor&& b) {
+  return BinaryOp("Mul", a, b, true, true, MulFwd, MulBackward);
+}
+
 
 namespace {
 
@@ -216,6 +369,52 @@ void MatMulCompute(const float* a, const float* b, float* out, int m, int k,
   }
 }
 
+// Inference-only fast path for m >= 2: packs B transposed into a pooled,
+// tile-aligned scratch buffer (column j of B becomes the contiguous run
+// bt[j*stride .. j*stride+k), with stride rounded up to 8 floats so packed
+// columns start on 32-byte boundaries), making the inner dot contiguous in
+// both operands. Each out[i, j] is the same ascending-p accumulation — with
+// the same exact-zero skip — as MatMulTile's in-place `+=` chain starting
+// from 0.0f, so the product is bit-identical to the graph-mode path. Fully
+// overwrites `out` (no zero-init needed). Not used for m == 1: packing all
+// of B for a single output row doubles the memory traffic for nothing.
+void MatMulPackedCompute(const float* a, const float* b, float* out, int m,
+                         int k, int n) {
+  internal::BufferPool& pool = internal::ThisThreadPool();
+  const int stride = (k + 7) & ~7;
+  std::vector<float> bt =
+      pool.Acquire(static_cast<size_t>(stride) * static_cast<size_t>(n));
+  for (int p = 0; p < k; ++p) {
+    const float* brow = b + static_cast<size_t>(p) * n;
+    for (int j = 0; j < n; ++j) {
+      bt[static_cast<size_t>(j) * stride + p] = brow[j];
+    }
+  }
+  const float* btd = bt.data();
+  auto rows = [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* arow = a + i * k;
+      float* orow = out + i * n;
+      for (int j = 0; j < n; ++j) {
+        const float* bcol = btd + static_cast<size_t>(j) * stride;
+        float acc = 0.0f;
+        for (int p = 0; p < k; ++p) {
+          const float av = arow[p];
+          if (av == 0.0f) continue;
+          acc += av * bcol[p];
+        }
+        orow[j] = acc;
+      }
+    }
+  };
+  if (MatMulParallelWorthwhile(m, k, n) && m > 1) {
+    util::GlobalPool().ParallelForRange(0, m, 1, rows);
+  } else {
+    rows(0, m);
+  }
+  pool.Release(std::move(bt));
+}
+
 }  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
@@ -224,6 +423,17 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
           b.shape().ToString());
   }
   const int m = a.rows(), k = a.cols(), n = b.cols();
+  if (internal::InferenceModeActive()) {
+    const int64_t numel = static_cast<int64_t>(m) * n;
+    if (m >= 2) {
+      std::vector<float> out = ForwardBuffer(numel, true);
+      MatMulPackedCompute(a.data(), b.data(), out.data(), m, k, n);
+      return MakeInferenceResult({m, n}, std::move(out));
+    }
+    std::vector<float> out = ZeroedForwardBuffer(numel, true);
+    MatMulCompute(a.data(), b.data(), out.data(), m, k, n);
+    return MakeInferenceResult({m, n}, std::move(out));
+  }
   std::vector<float> out(static_cast<size_t>(m) * n, 0.0f);
   MatMulCompute(a.data(), b.data(), out.data(), m, k, n);
   auto ai = a.impl();
@@ -283,10 +493,13 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 
 Tensor Transpose(const Tensor& a) {
   const int m = a.rows(), n = a.cols();
-  std::vector<float> out(a.numel());
+  const bool inference = internal::InferenceModeActive();
+  std::vector<float> out = ForwardBuffer(a.numel(), inference);
+  const float* ad = a.data();
   for (int i = 0; i < m; ++i) {
-    for (int j = 0; j < n; ++j) out[j * m + i] = a.data()[i * n + j];
+    for (int j = 0; j < n; ++j) out[j * m + i] = ad[i * n + j];
   }
+  if (inference) return MakeInferenceResult({n, m}, std::move(out));
   auto ai = a.impl();
   return MakeResult({n, m}, std::move(out), {a}, [ai, m, n](TensorImpl& y) {
     if (!NeedsGrad(*ai)) return;
@@ -301,12 +514,23 @@ namespace {
 
 // Shared implementation for elementwise unary ops whose derivative is a
 // function of the *output* value (sigmoid, tanh, exp) or *input* value.
+// `reuse` (set by the rvalue overloads) lets inference mode overwrite a
+// dying temporary in place — see ReusableTemp.
 template <typename FwdFn, typename BwdFn>
-Tensor UnaryOp(const Tensor& a, FwdFn fwd, BwdFn bwd_from_in_out) {
-  std::vector<float> out(a.numel());
-  for (int64_t i = 0; i < a.numel(); ++i) {
-    out[i] = fwd(a.data()[i]);
+Tensor UnaryOp(const Tensor& a, bool reuse, FwdFn fwd, BwdFn bwd_from_in_out) {
+  const int64_t numel = a.numel();
+  const bool inference = internal::InferenceModeActive();
+  if (reuse && ReusableTemp(a, inference)) {
+    float* d = a.impl()->data.data();
+    for (int64_t i = 0; i < numel; ++i) d[i] = fwd(d[i]);
+    return Tensor::FromImpl(a.impl());
   }
+  std::vector<float> out = ForwardBuffer(numel, inference);
+  const float* ad = a.data();
+  for (int64_t i = 0; i < numel; ++i) {
+    out[i] = fwd(ad[i]);
+  }
+  if (inference) return MakeInferenceResult(a.shape(), std::move(out));
   auto ai = a.impl();
   return MakeResult(a.shape(), std::move(out), {a},
                     [ai, bwd_from_in_out](TensorImpl& y) {
@@ -319,45 +543,98 @@ Tensor UnaryOp(const Tensor& a, FwdFn fwd, BwdFn bwd_from_in_out) {
 
 }  // namespace
 
-Tensor Sigmoid(const Tensor& a) {
+namespace {
+
+// tanh evaluated in single precision via one expf. glibc's tanhf routes
+// through the double-precision tanh (~3x the cost of expf), which is the
+// single most expensive kernel in an LSTM step. The final subtraction is
+// exact (Sterbenz: 2/(e+1) is in [0, 1]), so the absolute error is that of
+// the expf/divide chain — at most ~1.2e-7 over the whole range — and the
+// output never leaves [-1, 1]. ±0, ±inf, saturation, and NaN all match
+// std::tanh; signbit keeps -0 -> -0.
+inline float FastTanh(float x) {
+  const float e = std::exp(2.0f * std::fabs(x));
+  const float y = 1.0f - 2.0f / (e + 1.0f);
+  return std::signbit(x) ? -y : y;
+}
+
+Tensor SigmoidOp(const Tensor& a, bool reuse) {
   return UnaryOp(
-      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      a, reuse, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
       [](float /*x*/, float y) { return y * (1.0f - y); });
 }
 
-Tensor Tanh(const Tensor& a) {
+Tensor TanhOp(const Tensor& a, bool reuse) {
   return UnaryOp(
-      a, [](float x) { return std::tanh(x); },
+      a, reuse, [](float x) { return FastTanh(x); },
       [](float /*x*/, float y) { return 1.0f - y * y; });
 }
 
-Tensor Relu(const Tensor& a) {
+Tensor ReluOp(const Tensor& a, bool reuse) {
   return UnaryOp(
-      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      a, reuse, [](float x) { return x > 0.0f ? x : 0.0f; },
       [](float x, float /*y*/) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+}  // namespace
+
+Tensor Sigmoid(const Tensor& a) { return SigmoidOp(a, false); }
+Tensor Sigmoid(Tensor&& a) { return SigmoidOp(a, true); }
+
+Tensor Tanh(const Tensor& a) { return TanhOp(a, false); }
+Tensor Tanh(Tensor&& a) { return TanhOp(a, true); }
+
+Tensor Relu(const Tensor& a) { return ReluOp(a, false); }
+Tensor Relu(Tensor&& a) { return ReluOp(a, true); }
+
+namespace {
+
+Tensor ScaleOp(const Tensor& a, float alpha, bool reuse) {
+  return UnaryOp(
+      a, reuse, [alpha](float x) { return x * alpha; },
+      [alpha](float /*x*/, float /*y*/) { return alpha; });
+}
+
+Tensor AddScalarOp(const Tensor& a, float alpha, bool reuse) {
+  return UnaryOp(
+      a, reuse, [alpha](float x) { return x + alpha; },
+      [](float /*x*/, float /*y*/) { return 1.0f; });
+}
+
+}  // namespace
+
+Tensor Scale(const Tensor& a, float alpha) { return ScaleOp(a, alpha, false); }
+Tensor Scale(Tensor&& a, float alpha) { return ScaleOp(a, alpha, true); }
+
+Tensor AddScalar(const Tensor& a, float alpha) {
+  return AddScalarOp(a, alpha, false);
+}
+Tensor AddScalar(Tensor&& a, float alpha) {
+  return AddScalarOp(a, alpha, true);
 }
 
 Tensor Exp(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return std::exp(x); },
+      a, false, [](float x) { return std::exp(x); },
       [](float /*x*/, float y) { return y; });
 }
 
 Tensor Log(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return std::log(x); },
+      a, false, [](float x) { return std::log(x); },
       [](float x, float /*y*/) { return 1.0f / x; });
 }
 
 Tensor Square(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return x * x; },
+      a, false, [](float x) { return x * x; },
       [](float x, float /*y*/) { return 2.0f * x; });
 }
 
 Tensor Softmax(const Tensor& a) {
   const int m = a.rows(), n = a.cols();
-  std::vector<float> out(a.numel());
+  const bool inference = internal::InferenceModeActive();
+  std::vector<float> out = ForwardBuffer(a.numel(), inference);
   for (int i = 0; i < m; ++i) {
     const float* row = a.data() + i * n;
     float mx = row[0];
@@ -369,6 +646,7 @@ Tensor Softmax(const Tensor& a) {
     }
     for (int j = 0; j < n; ++j) out[i * n + j] /= sum;
   }
+  if (inference) return MakeInferenceResult(a.shape(), std::move(out));
   auto ai = a.impl();
   return MakeResult(a.shape(), std::move(out), {a}, [ai, m, n](TensorImpl& y) {
     if (!NeedsGrad(*ai)) return;
@@ -387,7 +665,8 @@ Tensor Softmax(const Tensor& a) {
 
 Tensor LogSoftmax(const Tensor& a) {
   const int m = a.rows(), n = a.cols();
-  std::vector<float> out(a.numel());
+  const bool inference = internal::InferenceModeActive();
+  std::vector<float> out = ForwardBuffer(a.numel(), inference);
   for (int i = 0; i < m; ++i) {
     const float* row = a.data() + i * n;
     float mx = row[0];
@@ -397,6 +676,7 @@ Tensor LogSoftmax(const Tensor& a) {
     const float lse = mx + std::log(sum);
     for (int j = 0; j < n; ++j) out[i * n + j] = row[j] - lse;
   }
+  if (inference) return MakeInferenceResult(a.shape(), std::move(out));
   auto ai = a.impl();
   return MakeResult(a.shape(), std::move(out), {a}, [ai, m, n](TensorImpl& y) {
     if (!NeedsGrad(*ai)) return;
@@ -426,6 +706,11 @@ Tensor NllLoss(const Tensor& log_probs, const std::vector<int>& targets) {
     loss -= log_probs.at(i, t);
   }
   loss /= static_cast<float>(m);
+  if (internal::InferenceModeActive()) {
+    std::vector<float> out = ForwardBuffer(1, true);
+    out[0] = loss;
+    return MakeInferenceResult({1, 1}, std::move(out));
+  }
   auto li = log_probs.impl();
   return MakeResult({1, 1}, {loss}, {log_probs},
                     [li, targets, m, n](TensorImpl& y) {
@@ -450,7 +735,9 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
     if (p.rows() != m) Fatal("ConcatCols: row mismatch");
     total += p.cols();
   }
-  std::vector<float> out(static_cast<size_t>(m) * total);
+  const bool inference = internal::InferenceModeActive();
+  std::vector<float> out =
+      ForwardBuffer(static_cast<int64_t>(m) * total, inference);
   int off = 0;
   for (const Tensor& p : parts) {
     for (int i = 0; i < m; ++i) {
@@ -460,6 +747,7 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
     }
     off += p.cols();
   }
+  if (inference) return MakeInferenceResult({m, total}, std::move(out));
   std::vector<std::shared_ptr<TensorImpl>> impls;
   impls.reserve(parts.size());
   for (const Tensor& p : parts) impls.push_back(p.impl());
@@ -491,27 +779,32 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
     if (p.cols() != n) Fatal("ConcatRows: col mismatch");
     total += p.rows();
   }
-  std::vector<float> out;
-  out.reserve(static_cast<size_t>(total) * n);
+  const bool inference = internal::InferenceModeActive();
+  std::vector<float> out =
+      ForwardBuffer(static_cast<int64_t>(total) * n, inference);
+  size_t off = 0;
   for (const Tensor& p : parts) {
-    out.insert(out.end(), p.data(), p.data() + p.numel());
+    const size_t cnt = static_cast<size_t>(p.numel());
+    std::copy(p.data(), p.data() + cnt, out.begin() + off);
+    off += cnt;
   }
+  if (inference) return MakeInferenceResult({total, n}, std::move(out));
   std::vector<std::shared_ptr<TensorImpl>> impls;
   impls.reserve(parts.size());
   for (const Tensor& p : parts) impls.push_back(p.impl());
   return MakeResult({total, n}, std::move(out), parts,
                     [impls, n](TensorImpl& y) {
-                      int64_t off = 0;
+                      int64_t off2 = 0;
                       for (const auto& pi : impls) {
                         const int64_t cnt = pi->shape.numel();
                         if (NeedsGrad(*pi)) {
                           std::vector<float>& pgrad =
                               internal::GradBuffer(*pi);
                           for (int64_t i = 0; i < cnt; ++i) {
-                            pgrad[i] += y.grad[off + i];
+                            pgrad[i] += y.grad[off2 + i];
                           }
                         }
-                        off += cnt;
+                        off2 += cnt;
                       }
                     });
 }
@@ -519,10 +812,15 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
 Tensor SliceCols(const Tensor& a, int start, int len) {
   const int m = a.rows(), n = a.cols();
   if (start < 0 || len < 0 || start + len > n) Fatal("SliceCols: out of range");
-  std::vector<float> out(static_cast<size_t>(m) * len);
+  const bool inference = internal::InferenceModeActive();
+  std::vector<float> out =
+      ForwardBuffer(static_cast<int64_t>(m) * len, inference);
+  const float* ad = a.data();
   for (int i = 0; i < m; ++i) {
-    for (int j = 0; j < len; ++j) out[i * len + j] = a.at(i, start + j);
+    const float* arow = ad + static_cast<int64_t>(i) * n + start;
+    for (int j = 0; j < len; ++j) out[i * len + j] = arow[j];
   }
+  if (inference) return MakeInferenceResult({m, len}, std::move(out));
   auto ai = a.impl();
   return MakeResult({m, len}, std::move(out), {a},
                     [ai, start, len, m, n](TensorImpl& y) {
@@ -539,8 +837,12 @@ Tensor SliceCols(const Tensor& a, int start, int len) {
 Tensor SliceRows(const Tensor& a, int start, int len) {
   const int m = a.rows(), n = a.cols();
   if (start < 0 || len < 0 || start + len > m) Fatal("SliceRows: out of range");
-  std::vector<float> out(a.data() + static_cast<size_t>(start) * n,
-                         a.data() + static_cast<size_t>(start + len) * n);
+  const bool inference = internal::InferenceModeActive();
+  std::vector<float> out =
+      ForwardBuffer(static_cast<int64_t>(len) * n, inference);
+  std::copy(a.data() + static_cast<size_t>(start) * n,
+            a.data() + static_cast<size_t>(start + len) * n, out.begin());
+  if (inference) return MakeInferenceResult({len, n}, std::move(out));
   auto ai = a.impl();
   return MakeResult({len, n}, std::move(out), {a},
                     [ai, start, len, n](TensorImpl& y) {
@@ -557,12 +859,17 @@ Tensor SliceRows(const Tensor& a, int start, int len) {
 Tensor Rows(const Tensor& table, const std::vector<int>& indices) {
   const int v = table.rows(), d = table.cols();
   const int b = static_cast<int>(indices.size());
-  std::vector<float> out(static_cast<size_t>(b) * d);
+  const bool inference = internal::InferenceModeActive();
+  std::vector<float> out =
+      ForwardBuffer(static_cast<int64_t>(b) * d, inference);
+  const float* td = table.data();
   for (int i = 0; i < b; ++i) {
     const int idx = indices[i];
     if (idx < 0 || idx >= v) Fatal("Rows: index out of range");
-    for (int j = 0; j < d; ++j) out[i * d + j] = table.at(idx, j);
+    const float* trow = td + static_cast<int64_t>(idx) * d;
+    for (int j = 0; j < d; ++j) out[i * d + j] = trow[j];
   }
+  if (inference) return MakeInferenceResult({b, d}, std::move(out));
   auto ti = table.impl();
   return MakeResult({b, d}, std::move(out), {table},
                     [ti, indices, b, d](TensorImpl& y) {
@@ -578,8 +885,15 @@ Tensor Rows(const Tensor& table, const std::vector<int>& indices) {
 }
 
 Tensor Sum(const Tensor& a) {
+  const int64_t numel = a.numel();
+  const float* ad = a.data();
   float total = 0.0f;
-  for (int64_t i = 0; i < a.numel(); ++i) total += a.data()[i];
+  for (int64_t i = 0; i < numel; ++i) total += ad[i];
+  if (internal::InferenceModeActive()) {
+    std::vector<float> out = ForwardBuffer(1, true);
+    out[0] = total;
+    return MakeInferenceResult({1, 1}, std::move(out));
+  }
   auto ai = a.impl();
   return MakeResult({1, 1}, {total}, {a}, [ai](TensorImpl& y) {
     Accumulate(ai, [&](int64_t) { return y.grad[0]; });
@@ -587,9 +901,16 @@ Tensor Sum(const Tensor& a) {
 }
 
 Tensor Mean(const Tensor& a) {
-  const float inv = 1.0f / static_cast<float>(a.numel());
+  const int64_t numel = a.numel();
+  const float inv = 1.0f / static_cast<float>(numel);
+  const float* ad = a.data();
   float total = 0.0f;
-  for (int64_t i = 0; i < a.numel(); ++i) total += a.data()[i];
+  for (int64_t i = 0; i < numel; ++i) total += ad[i];
+  if (internal::InferenceModeActive()) {
+    std::vector<float> out = ForwardBuffer(1, true);
+    out[0] = total * inv;
+    return MakeInferenceResult({1, 1}, std::move(out));
+  }
   auto ai = a.impl();
   return MakeResult({1, 1}, {total * inv}, {a}, [ai, inv](TensorImpl& y) {
     Accumulate(ai, [&](int64_t) { return y.grad[0] * inv; });
@@ -598,10 +919,12 @@ Tensor Mean(const Tensor& a) {
 
 Tensor SumRows(const Tensor& a) {
   const int m = a.rows(), n = a.cols();
-  std::vector<float> out(m, 0.0f);
+  const bool inference = internal::InferenceModeActive();
+  std::vector<float> out = ZeroedForwardBuffer(m, inference);
   for (int i = 0; i < m; ++i) {
     for (int j = 0; j < n; ++j) out[i] += a.at(i, j);
   }
+  if (inference) return MakeInferenceResult({m, 1}, std::move(out));
   auto ai = a.impl();
   return MakeResult({m, 1}, std::move(out), {a}, [ai, m, n](TensorImpl& y) {
     if (!NeedsGrad(*ai)) return;

@@ -26,15 +26,37 @@ Tensor Scale(const Tensor& a, float alpha);
 /// a + alpha elementwise.
 Tensor AddScalar(const Tensor& a, float alpha);
 
+/// Rvalue overloads of the elementwise hot-path ops. When an argument is a
+/// dying temporary (`Sigmoid(SliceCols(...))`, `Add(MatMul(...), MatMul(...))`
+/// — the pattern every recurrent cell is built from), inference mode
+/// overwrites that temporary's storage in place and returns its node,
+/// skipping the output allocation round trip entirely. Results are
+/// bit-identical to the const& forms; under a graph (training) these defer
+/// to the allocating path, so autograd semantics are unchanged. Only bind
+/// via std::move if the moved-from tensor is never read again.
+Tensor Add(Tensor&& a, const Tensor& b);
+Tensor Add(const Tensor& a, Tensor&& b);
+Tensor Add(Tensor&& a, Tensor&& b);
+Tensor Sub(Tensor&& a, const Tensor& b);
+Tensor Mul(Tensor&& a, const Tensor& b);
+Tensor Mul(const Tensor& a, Tensor&& b);
+Tensor Mul(Tensor&& a, Tensor&& b);
+Tensor Scale(Tensor&& a, float alpha);
+Tensor AddScalar(Tensor&& a, float alpha);
+
 /// Matrix product of `[m, k]` and `[k, n]`.
 Tensor MatMul(const Tensor& a, const Tensor& b);
 /// Matrix transpose.
 Tensor Transpose(const Tensor& a);
 
-/// Elementwise nonlinearities.
+/// Elementwise nonlinearities. The rvalue overloads recycle a dying
+/// temporary in place under inference mode (see the binary-op note above).
 Tensor Sigmoid(const Tensor& a);
+Tensor Sigmoid(Tensor&& a);
 Tensor Tanh(const Tensor& a);
+Tensor Tanh(Tensor&& a);
 Tensor Relu(const Tensor& a);
+Tensor Relu(Tensor&& a);
 Tensor Exp(const Tensor& a);
 /// Natural log; input values must be strictly positive.
 Tensor Log(const Tensor& a);

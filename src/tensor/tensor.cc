@@ -1,11 +1,14 @@
 #include "tensor/tensor.h"
 
+#include <atomic>
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
+
+#include "tensor/buffer_pool.h"
 
 namespace pa::tensor {
 
@@ -22,7 +25,47 @@ namespace {
   std::abort();
 }
 
+// Inference-mode nesting depth for this thread (see InferenceModeScope).
+thread_local int t_inference_depth = 0;
+
+// Test-only process-wide override; relaxed is enough because it is flipped
+// only while no worker thread is mid-forward (see ScopedInferenceDisable).
+std::atomic<bool> g_inference_disabled{false};
+
 }  // namespace
+
+namespace internal {
+
+TensorImpl::~TensorImpl() {
+  if (pooled) ReleaseToThreadPool(std::move(data));
+}
+
+bool InferenceModeActive() {
+  return t_inference_depth > 0 &&
+         !g_inference_disabled.load(std::memory_order_relaxed);
+}
+
+ScopedInferenceDisable::ScopedInferenceDisable() {
+  g_inference_disabled.store(true, std::memory_order_relaxed);
+}
+
+ScopedInferenceDisable::~ScopedInferenceDisable() {
+  g_inference_disabled.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace internal
+
+InferenceModeScope::InferenceModeScope() { ++t_inference_depth; }
+
+InferenceModeScope::~InferenceModeScope() { --t_inference_depth; }
+
+bool InferenceModeScope::Active() { return internal::InferenceModeActive(); }
+
+void Tensor::DieUndefined(const char* accessor) {
+  Fatal(std::string("Tensor::") + accessor +
+        " called on a default-constructed (undefined) Tensor; check "
+        "defined() first");
+}
 
 Tensor Tensor::Zeros(Shape shape, bool requires_grad) {
   return Full(shape, 0.0f, requires_grad);
@@ -30,9 +73,22 @@ Tensor Tensor::Zeros(Shape shape, bool requires_grad) {
 
 Tensor Tensor::Full(Shape shape, float value, bool requires_grad) {
   if (shape.rows < 0 || shape.cols < 0) Fatal("negative shape");
-  auto impl = std::make_shared<internal::TensorImpl>();
+  const bool inference = !requires_grad && internal::InferenceModeActive();
+  auto impl = inference
+                  ? std::allocate_shared<internal::TensorImpl>(
+                        internal::NodeBlockAllocator<internal::TensorImpl>())
+                  : std::make_shared<internal::TensorImpl>();
   impl->shape = shape;
-  impl->data.assign(static_cast<size_t>(shape.numel()), value);
+  const size_t n = static_cast<size_t>(shape.numel());
+  if (inference) {
+    // Transient fill tensors (initial hidden states, masks) recycle pool
+    // capacity like any other inference-mode intermediate.
+    impl->data = internal::ThisThreadPool().Acquire(n);
+    impl->data.assign(n, value);
+    impl->pooled = true;
+  } else {
+    impl->data.assign(n, value);
+  }
   impl->requires_grad = requires_grad;
   return FromImpl(std::move(impl));
 }
@@ -87,9 +143,19 @@ void Tensor::ZeroGrad() {
 }
 
 Tensor Tensor::Detach() const {
-  auto impl = std::make_shared<internal::TensorImpl>();
+  const bool inference = internal::InferenceModeActive();
+  auto impl = inference
+                  ? std::allocate_shared<internal::TensorImpl>(
+                        internal::NodeBlockAllocator<internal::TensorImpl>())
+                  : std::make_shared<internal::TensorImpl>();
   impl->shape = impl_->shape;
-  impl->data = impl_->data;
+  if (inference) {
+    impl->data = internal::ThisThreadPool().Acquire(impl_->data.size());
+    impl->data.assign(impl_->data.begin(), impl_->data.end());
+    impl->pooled = true;
+  } else {
+    impl->data = impl_->data;
+  }
   impl->requires_grad = false;
   return FromImpl(std::move(impl));
 }
@@ -152,6 +218,19 @@ void Tensor::Backward() {
       node->EnsureGrad();
       node->backward_fn(*node);
     }
+  }
+
+  // Eager graph release: no caller retains a graph for a second Backward()
+  // over the same nodes (leaf gradients accumulate across *rebuilt* graphs),
+  // so drop every edge and closure now. This caps peak memory at one graph's
+  // tensors and severs any accidental shared_ptr cycle through captured
+  // impls. Iterating `order` forward (parents before consumers) means a node
+  // whose only owners are its consumers' parent lists is destroyed only
+  // after its own slot has been processed, and with its parent list already
+  // empty — so teardown is iterative, never a deep destructor recursion.
+  for (internal::TensorImpl* node : order) {
+    node->parents.clear();
+    node->backward_fn = nullptr;
   }
 }
 

@@ -36,8 +36,16 @@ struct TensorImpl {
   std::vector<float> data;
   std::vector<float> grad;  // Lazily sized to `data.size()` on first use.
   bool requires_grad = false;
+  // True when `data` came from the thread-local BufferPool (inference mode);
+  // the destructor then recycles the storage instead of freeing it.
+  bool pooled = false;
   std::vector<std::shared_ptr<TensorImpl>> parents;
   std::function<void(TensorImpl&)> backward_fn;
+
+  TensorImpl() = default;
+  ~TensorImpl();
+  TensorImpl(const TensorImpl&) = delete;
+  TensorImpl& operator=(const TensorImpl&) = delete;
 
   void EnsureGrad() {
     if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
@@ -49,6 +57,26 @@ struct TensorImpl {
 /// thread covers `impl` (data-parallel training), else `impl.grad`. All op
 /// backward closures route their parent-gradient writes through this.
 std::vector<float>& GradBuffer(TensorImpl& impl);
+
+/// True while the calling thread is inside at least one `InferenceModeScope`
+/// (and the process-wide test override below is not engaged). Ops consult
+/// this once per call to pick the graph-free path.
+bool InferenceModeActive();
+
+/// Test/bench-only: while alive, `InferenceModeActive()` reports false on
+/// every thread even inside an `InferenceModeScope`. This is the reference
+/// hook the equivalence tests and benchmarks use to re-run a wired-up
+/// inference path (e.g. EvaluateHr, which scopes its own workers) with full
+/// graph construction for bit-comparison. Process-wide and not meant to be
+/// toggled while worker threads are mid-forward; production code must never
+/// use it.
+class ScopedInferenceDisable {
+ public:
+  ScopedInferenceDisable();
+  ~ScopedInferenceDisable();
+  ScopedInferenceDisable(const ScopedInferenceDisable&) = delete;
+  ScopedInferenceDisable& operator=(const ScopedInferenceDisable&) = delete;
+};
 
 }  // namespace internal
 
@@ -74,14 +102,35 @@ class Tensor {
   static Tensor Scalar(float value, bool requires_grad = false);
 
   bool defined() const { return impl_ != nullptr; }
-  const Shape& shape() const { return impl_->shape; }
-  int rows() const { return impl_->shape.rows; }
-  int cols() const { return impl_->shape.cols; }
-  int64_t numel() const { return impl_->shape.numel(); }
-  bool requires_grad() const { return impl_->requires_grad; }
+  const Shape& shape() const {
+    CheckDefined("shape()");
+    return impl_->shape;
+  }
+  int rows() const {
+    CheckDefined("rows()");
+    return impl_->shape.rows;
+  }
+  int cols() const {
+    CheckDefined("cols()");
+    return impl_->shape.cols;
+  }
+  int64_t numel() const {
+    CheckDefined("numel()");
+    return impl_->shape.numel();
+  }
+  bool requires_grad() const {
+    CheckDefined("requires_grad()");
+    return impl_->requires_grad;
+  }
 
-  float* data() { return impl_->data.data(); }
-  const float* data() const { return impl_->data.data(); }
+  float* data() {
+    CheckDefined("data()");
+    return impl_->data.data();
+  }
+  const float* data() const {
+    CheckDefined("data()");
+    return impl_->data.data();
+  }
 
   /// Element access (bounds-checked in debug builds only through asserts).
   float at(int r, int c) const { return impl_->data[Index(r, c)]; }
@@ -120,7 +169,39 @@ class Tensor {
  private:
   int Index(int r, int c) const { return r * impl_->shape.cols + c; }
 
+  // Aborts with a clear message instead of dereferencing a null impl_ (raw
+  // UB) when an accessor is called on a default-constructed Tensor.
+  void CheckDefined(const char* accessor) const {
+    if (impl_ == nullptr) DieUndefined(accessor);
+  }
+  [[noreturn]] static void DieUndefined(const char* accessor);
+
   std::shared_ptr<internal::TensorImpl> impl_;
+};
+
+/// Thread-local RAII switch that puts every tensor op on this thread onto the
+/// graph-free inference fast path: ops skip parent recording, backward
+/// closures, and `requires_grad` propagation entirely, and draw their output
+/// storage from the thread-local `BufferPool` instead of the allocator.
+///
+/// Invariants:
+///  - Forward values are bit-identical to the graph-building path (the ops
+///    run the exact same floating-point sequence; only bookkeeping differs).
+///  - Tensors created under the scope never require grad and are permanent
+///    leaves; calling `Backward()` through them is a no-op beyond the root.
+///  - Scopes nest freely (a depth counter — inner scopes are no-ops) and are
+///    strictly per-thread: pool worker threads must enter their own scope.
+///  - Pooled tensors may outlive the scope; their storage returns to the
+///    pool of whichever thread drops the last reference.
+class InferenceModeScope {
+ public:
+  InferenceModeScope();
+  ~InferenceModeScope();
+  InferenceModeScope(const InferenceModeScope&) = delete;
+  InferenceModeScope& operator=(const InferenceModeScope&) = delete;
+
+  /// Equivalent to `internal::InferenceModeActive()`.
+  static bool Active();
 };
 
 /// Redirects gradient accumulation for a set of leaf tensors (parameters)

@@ -1,0 +1,207 @@
+// Inference-vs-training forward equivalence: the graph-free fast path (the
+// production default on every TopK/eval/serving surface) must produce
+// bit-identical results to full graph-building forward for all seven
+// recommenders and the PA-Seq2Seq decoder, serial and parallel, including
+// nested-scope misuse. The graph-building reference is obtained with
+// tensor::internal::ScopedInferenceDisable, which turns every wired-in
+// InferenceModeScope into a no-op.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "augment/augmenter.h"
+#include "augment/pa_seq2seq.h"
+#include "eval/hr_metric.h"
+#include "poi/synthetic.h"
+#include "rec/recommender.h"
+#include "rec/registry.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace pa {
+namespace {
+
+constexpr int64_t kHour = 3600;
+
+struct World {
+  poi::SyntheticLbsn lbsn;
+  std::vector<poi::CheckinSequence> warmup;
+  std::vector<poi::CheckinSequence> test;
+};
+
+const World& SharedWorld() {
+  static const World* world = [] {
+    auto* w = new World();
+    poi::LbsnProfile profile = poi::GowallaProfile();
+    profile.num_users = 10;
+    profile.num_pois = 60;
+    profile.min_visits = 30;
+    profile.max_visits = 40;
+    util::Rng rng(99);
+    w->lbsn = poi::GenerateLbsn(profile, rng);
+    const auto& seqs = w->lbsn.observed.sequences;
+    w->warmup.resize(seqs.size());
+    w->test.resize(seqs.size());
+    for (size_t u = 0; u < seqs.size(); ++u) {
+      const size_t cut = seqs[u].size() * 3 / 4;
+      w->warmup[u].assign(seqs[u].begin(), seqs[u].begin() + cut);
+      w->test[u].assign(seqs[u].begin() + cut, seqs[u].end());
+    }
+    return w;
+  }();
+  return *world;
+}
+
+// Replays a user's warmup and collects a deep ranking (k = 30, most of the
+// vocabulary) at each test step — a full argsort of the logits, so any
+// single-bit divergence in the forward pass shows up as a reordering or is
+// at minimum constrained to exactly tied scores.
+std::vector<std::vector<int32_t>> CollectRankings(const rec::Recommender& model,
+                                                  const World& world) {
+  std::vector<std::vector<int32_t>> rankings;
+  for (size_t u = 0; u < world.warmup.size(); ++u) {
+    auto session = model.NewSession(static_cast<int32_t>(u));
+    for (const poi::Checkin& c : world.warmup[u]) session->Observe(c);
+    for (const poi::Checkin& c : world.test[u]) {
+      rankings.push_back(session->TopK(30, c.timestamp));
+      session->Observe(c);
+    }
+  }
+  return rankings;
+}
+
+bool SameHr(const eval::HrResult& a, const eval::HrResult& b) {
+  return a.num_cases == b.num_cases && a.hr1 == b.hr1 && a.hr5 == b.hr5 &&
+         a.hr10 == b.hr10 && a.mrr10 == b.mrr10;
+}
+
+class InferenceEquivalenceTest : public ::testing::TestWithParam<std::string> {
+};
+
+TEST_P(InferenceEquivalenceTest, RankingsAndHrBitIdenticalInAndOutOfScope) {
+  const World& world = SharedWorld();
+  std::unique_ptr<rec::Recommender> model =
+      rec::MakeRecommender(GetParam(), /*seed=*/7, /*epochs_scale=*/0.25);
+  ASSERT_NE(model, nullptr);
+  model->Fit(world.warmup, world.lbsn.observed.pois);
+
+  // Fast path (wired-in scopes active) vs graph-building reference.
+  const auto fast = CollectRankings(*model, world);
+  std::vector<std::vector<int32_t>> reference;
+  {
+    tensor::internal::ScopedInferenceDisable disable;
+    reference = CollectRankings(*model, world);
+  }
+  ASSERT_EQ(fast.size(), reference.size());
+  for (size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_EQ(fast[i], reference[i]) << "case " << i;
+  }
+
+  // Nested-scope misuse: an extra caller-held scope around the already
+  // scoped session paths changes nothing and must not crash.
+  {
+    tensor::InferenceModeScope outer;
+    const auto nested = CollectRankings(*model, world);
+    ASSERT_EQ(nested.size(), fast.size());
+    for (size_t i = 0; i < fast.size(); ++i) EXPECT_EQ(nested[i], fast[i]);
+  }
+
+  // End-to-end HR: fast vs reference, serial and PA_THREADS > 1 — all four
+  // runs bit-identical.
+  util::SetThreadCount(1);
+  const eval::HrResult serial_fast =
+      eval::EvaluateHr(*model, world.warmup, world.test);
+  eval::HrResult serial_ref;
+  {
+    tensor::internal::ScopedInferenceDisable disable;
+    serial_ref = eval::EvaluateHr(*model, world.warmup, world.test);
+  }
+  util::SetThreadCount(4);
+  const eval::HrResult parallel_fast =
+      eval::EvaluateHr(*model, world.warmup, world.test);
+  eval::HrResult parallel_ref;
+  {
+    tensor::internal::ScopedInferenceDisable disable;
+    parallel_ref = eval::EvaluateHr(*model, world.warmup, world.test);
+  }
+  util::SetThreadCount(0);
+  EXPECT_GT(serial_fast.num_cases, 0);
+  EXPECT_TRUE(SameHr(serial_fast, serial_ref));
+  EXPECT_TRUE(SameHr(serial_fast, parallel_fast));
+  EXPECT_TRUE(SameHr(serial_fast, parallel_ref));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRecommenders, InferenceEquivalenceTest,
+                         ::testing::Values("FPMC-LR", "PRME-G", "RNN", "LSTM",
+                                           "GRU", "ST-RNN", "ST-CLSTM"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// The PA-Seq2Seq decoder's two decode-only entry points (next-POI ranking
+// and imputation) must also be bit-equivalent in and out of inference mode.
+TEST(PaSeq2SeqInferenceEquivalenceTest, DecodeOnlyPathsMatchGraphPath) {
+  poi::PoiTable pois = [] {
+    std::vector<geo::LatLng> coords;
+    for (int i = 0; i < 6; ++i) {
+      coords.push_back({40.0 + 0.01 * i, -100.0 + 0.005 * i});
+    }
+    return poi::PoiTable(std::move(coords));
+  }();
+  augment::PaSeq2SeqConfig config;
+  config.embedding_dim = 8;
+  config.hidden_dim = 8;
+  config.stage1_epochs = 1;
+  config.stage2_epochs = 1;
+  config.stage3_epochs = 4;
+  config.candidate_radius_km = 0.0;
+  config.seed = 5;
+  augment::PaSeq2Seq model(pois, config);
+  std::vector<poi::CheckinSequence> train(3);
+  for (int u = 0; u < 3; ++u) {
+    for (int i = 0; i < 45; ++i) {
+      train[u].push_back({u, i % 3, i * 3 * kHour, false});
+    }
+  }
+  model.Fit(train);
+
+  poi::CheckinSequence history;
+  for (int i = 0; i < 12; ++i) history.push_back({0, i % 3, i * 3 * kHour, false});
+  const int64_t next_ts = 12 * 3 * kHour;
+
+  const auto rank_fast = model.RankNext(history, next_ts, 6);
+  std::vector<int32_t> rank_ref;
+  {
+    tensor::internal::ScopedInferenceDisable disable;
+    rank_ref = model.RankNext(history, next_ts, 6);
+  }
+  EXPECT_EQ(rank_fast, rank_ref);
+  EXPECT_FALSE(rank_fast.empty());
+
+  poi::CheckinSequence observed;
+  for (int i = 0; i < 18; ++i) {
+    if (i % 3 == 2) continue;  // Dropped slot -> imputation target.
+    observed.push_back({0, i % 3, i * 3 * kHour, false});
+  }
+  augment::MaskedSequence masked =
+      augment::MakeMaskedSequence(observed, 3 * kHour);
+  const auto imputed_fast = model.Impute(masked);
+  std::vector<int32_t> imputed_ref;
+  {
+    tensor::internal::ScopedInferenceDisable disable;
+    imputed_ref = model.Impute(masked);
+  }
+  EXPECT_EQ(imputed_fast, imputed_ref);
+  EXPECT_FALSE(imputed_fast.empty());
+}
+
+}  // namespace
+}  // namespace pa

@@ -125,6 +125,19 @@ TEST(TensorTest, GradFlowsThroughInteriorNodes) {
   EXPECT_FLOAT_EQ(a.grad_at(0, 0), 16.0f);
 }
 
+TEST(TensorDeathTest, AccessorsOnUndefinedTensorAbortWithMessage) {
+  // A default-constructed Tensor has no impl; the accessors must die with a
+  // diagnostic rather than dereference null (raw UB).
+  Tensor t;
+  ASSERT_FALSE(t.defined());
+  EXPECT_DEATH(t.shape(), "default-constructed");
+  EXPECT_DEATH(t.rows(), "default-constructed");
+  EXPECT_DEATH(t.cols(), "default-constructed");
+  EXPECT_DEATH(t.numel(), "default-constructed");
+  EXPECT_DEATH(t.requires_grad(), "default-constructed");
+  EXPECT_DEATH(t.data(), "default-constructed");
+}
+
 TEST(ShapeTest, EqualityAndToString) {
   Shape a{2, 3}, b{2, 3}, c{3, 2};
   EXPECT_EQ(a, b);
