@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "eval/hr_metric.h"
+#include "obs/metrics.h"
 #include "poi/synthetic.h"
 #include "rec/fpmc_lr.h"
 #include "serve/json.h"
@@ -121,6 +122,7 @@ int Run() {
       .Field("hr10", serial.hr.hr10)
       .Field("mrr10", serial.hr.mrr10)
       .Field("bit_identical", identical)
+      .RawField("metrics", obs::MetricRegistry::Global().SnapshotJson())
       .EndObject();
   std::string out_path = "BENCH_parallel_eval.json";
   if (const char* dir = std::getenv("PA_BENCH_DIR")) {

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "poi/synthetic.h"
 #include "rec/registry.h"
 #include "serve/engine.h"
@@ -150,6 +151,7 @@ int Run() {
       .Field("throughput_qps", qps)
       .Field("elapsed_seconds", elapsed)
       .RawField("engine", stats.ToJson())
+      .RawField("metrics", obs::MetricRegistry::Global().SnapshotJson())
       .EndObject();
   const std::string out_path = BenchOutputPath("BENCH_serving.json");
   std::ofstream out(out_path);

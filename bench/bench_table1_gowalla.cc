@@ -9,10 +9,15 @@
 // reproduction targets are the orderings discussed in EXPERIMENTS.md.
 
 #include <cstdio>
+#include <cstring>
 
 #include "bench/table_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
   return pa::bench::RunTableBenchmark(
       pa::poi::GowallaProfile(), "Gowalla (synthetic profile)",
       /*paper_reference=*/
@@ -28,5 +33,6 @@ int main() {
       "  LSTM      | .073 .151 .191    | .079 .158 .198    | .084 .164 "
       ".205    | .089 .171 .215\n"
       "  ST-CLSTM  | .085 .147 .179    | .090 .162 .195    | .091 .163 "
-      ".196    | .095 .172 .207\n");
+      ".196    | .095 .172 .207\n",
+      smoke);
 }

@@ -3,9 +3,15 @@
 // dominant home anchor -> much higher absolute HR than Gowalla, as in the
 // paper).
 
+#include <cstring>
+
 #include "bench/table_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
   return pa::bench::RunTableBenchmark(
       pa::poi::BrightkiteProfile(), "Brightkite (synthetic profile)",
       /*paper_reference=*/
@@ -21,5 +27,6 @@ int main() {
       "  LSTM      | .356 .445 .483    | .364 .454 .482    | .379 .460 "
       ".483    | .396 .464 .488\n"
       "  ST-CLSTM  | .446 .496 .522    | .456 .495 .517    | .450 .499 "
-      ".523    | .457 .512 .543\n");
+      ".523    | .457 .512 .543\n",
+      smoke);
 }

@@ -11,18 +11,32 @@ namespace pa::bench {
 
 int RunTableBenchmark(const poi::LbsnProfile& profile,
                       const std::string& label,
-                      const std::string& paper_reference) {
+                      const std::string& paper_reference, bool smoke) {
   const auto start = std::chrono::steady_clock::now();
 
+  poi::LbsnProfile world = profile;
+  if (smoke) {
+    world.num_users = 6;
+    world.num_pois = 120;
+    world.min_visits = 30;
+    world.max_visits = 40;
+  }
   util::Rng rng(1);
-  poi::SyntheticLbsn lbsn = poi::GenerateLbsn(profile, rng);
-  std::printf("=== %s ===\n", label.c_str());
+  poi::SyntheticLbsn lbsn = poi::GenerateLbsn(world, rng);
+  std::printf("=== %s%s ===\n", label.c_str(), smoke ? " (smoke)" : "");
   std::printf("dataset: %s\n\n",
               poi::FormatStats(poi::ComputeStats(lbsn.observed)).c_str());
 
   eval::ExperimentConfig config;
   config.verbose = true;
   config.seq2seq.stage3_epochs = 24;
+  if (smoke) {
+    config.methods = {"LSTM"};
+    config.epochs_scale = 0.125;
+    config.seq2seq.stage1_epochs = 1;
+    config.seq2seq.stage2_epochs = 1;
+    config.seq2seq.stage3_epochs = 2;
+  }
   eval::TableResult table;
   try {
     table =

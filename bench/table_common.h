@@ -12,9 +12,16 @@ namespace pa::bench {
 /// augmentation experiment (4 training sets x 5 recommenders x HR@{1,5,10})
 /// and prints the measured table next to the paper's reference rows.
 /// Returns a process exit code.
+///
+/// `smoke` shrinks the world (few users/POIs, 1-2 epochs per stage, LSTM
+/// row only) so the full pipeline — augmentation, training, evaluation —
+/// exercises every instrumented code path in seconds; the HR numbers it
+/// produces are meaningless. Tier-1 uses it to smoke the PA_OBS_TRACE
+/// export end to end.
 int RunTableBenchmark(const poi::LbsnProfile& profile,
                       const std::string& label,
-                      const std::string& paper_reference);
+                      const std::string& paper_reference,
+                      bool smoke = false);
 
 }  // namespace pa::bench
 

@@ -16,7 +16,11 @@ This script has two modes:
   bench_compare.py --schema FILE.json [FILE.json ...]
       Validate that each file parses, carries the required keys
       ("bench", "schema_version"), and that every metric value is a
-      finite number (or bool/string metadata). Exits 2 on any violation.
+      finite number (or bool/string metadata). When the file embeds an
+      obs::MetricRegistry snapshot under "metrics", its shape is checked
+      too: objects named "counters"/"gauges"/"histograms", counters are
+      non-negative integers, gauges finite numbers, and each histogram
+      carries finite count/p50/p95/p99/mean. Exits 2 on any violation.
       Used by tier1.sh as a cheap smoke gate without needing a baseline.
 
 Metric direction is inferred from the key name:
@@ -71,6 +75,43 @@ def numeric_metrics(doc):
     return out
 
 
+HISTOGRAM_FIELDS = ("count", "p50", "p95", "p99", "mean")
+
+
+def check_registry_snapshot(snapshot):
+    """Problems (possibly none) with an embedded obs::MetricRegistry dump."""
+    problems = []
+    if not isinstance(snapshot, dict):
+        return ["'metrics' must be an object"]
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(snapshot.get(section), dict):
+            problems.append(f"'metrics.{section}' missing or not an object")
+    for name, value in snapshot.get("counters", {}).items() \
+            if isinstance(snapshot.get("counters"), dict) else []:
+        if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+            problems.append(
+                f"counter '{name}' must be a non-negative integer ({value!r})")
+    for name, value in snapshot.get("gauges", {}).items() \
+            if isinstance(snapshot.get("gauges"), dict) else []:
+        if isinstance(value, bool) or not isinstance(value, (int, float)) \
+                or not math.isfinite(value):
+            problems.append(f"gauge '{name}' must be finite ({value!r})")
+    histograms = snapshot.get("histograms")
+    if isinstance(histograms, dict):
+        for name, digest in histograms.items():
+            if not isinstance(digest, dict):
+                problems.append(f"histogram '{name}' must be an object")
+                continue
+            for field in HISTOGRAM_FIELDS:
+                value = digest.get(field)
+                if isinstance(value, bool) or \
+                        not isinstance(value, (int, float)) or \
+                        not math.isfinite(value):
+                    problems.append(f"histogram '{name}.{field}' must be "
+                                    f"finite ({value!r})")
+    return problems
+
+
 def check_schema(paths):
     failures = 0
     for path in paths:
@@ -89,6 +130,8 @@ def check_schema(paths):
         for key, value in metrics.items():
             if not math.isfinite(value):
                 problems.append(f"metric '{key}' is not finite ({value})")
+        if "metrics" in doc:
+            problems.extend(check_registry_snapshot(doc["metrics"]))
         if problems:
             failures += 1
             for p in problems:

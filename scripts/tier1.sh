@@ -17,9 +17,37 @@ ctest --test-dir build --output-on-failure -j"$(nproc)"
 # Inference fast-path smoke: the bench binary in --smoke mode checks
 # bit-identity between the graph and graph-free forward paths (skipping the
 # slow timed speedup gate), and bench_compare.py validates the emitted JSON
-# so a malformed BENCH file fails here rather than in CI diffing.
+# — including the embedded obs::MetricRegistry snapshot — so a malformed
+# BENCH file fails here rather than in CI diffing.
 PA_BENCH_DIR=build build/bench/bench_inference_path --smoke
 python3 scripts/bench_compare.py --schema build/BENCH_inference.json
+
+# Observability smoke: a tiny end-to-end table run with tracing enabled must
+# produce a trace that chrome://tracing would load and trace_summary.py can
+# aggregate (both fail loudly on malformed JSON / broken nesting).
+PA_OBS_TRACE=build/tier1_trace.json build/bench/bench_table1_gowalla --smoke \
+  >/dev/null
+python3 scripts/trace_summary.py build/tier1_trace.json --top 10
+
+# pa_serve stats smoke: publish a small model into a scratch store, then the
+# stats subcommand must emit a registry snapshot covering the serving,
+# session-store and thread-pool instruments.
+rm -rf build/tier1_store
+build/src/serve/pa_serve publish --store build/tier1_store \
+  --users 4 --pois 60 --epochs-scale 0.125 >/dev/null
+build/src/serve/pa_serve stats --store build/tier1_store | python3 -c '
+import json, sys
+doc = json.loads(sys.stdin.readline())
+assert doc["ok"] is True, doc
+reg = doc["registry"]
+for name in ("serve.requests", "util.pool.submitted", "tensor.pool.hits"):
+    assert name in reg["counters"], f"missing counter {name}"
+assert "serve.sessions.live" in reg["gauges"], "missing session gauge"
+assert "serve.latency_us" in reg["histograms"], "missing latency histogram"
+c, g, h = len(reg["counters"]), len(reg["gauges"]), len(reg["histograms"])
+print(f"pa_serve stats: registry snapshot OK "
+      f"({c} counters, {g} gauges, {h} histograms)")
+'
 
 if [[ "${1:-}" == "--no-tsan" ]]; then
   exit 0
@@ -34,9 +62,10 @@ cmake -B build-tsan -S . -DPA_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$(nproc)" --target \
   util_thread_pool_test parallel_determinism_test \
   serve_session_store_test serve_engine_test \
-  tensor_inference_test inference_equivalence_test
+  tensor_inference_test inference_equivalence_test \
+  obs_metrics_test obs_trace_test
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'util_thread_pool_test|parallel_determinism_test|serve_session_store_test|serve_engine_test|tensor_inference_test|inference_equivalence_test'
+  -R 'util_thread_pool_test|parallel_determinism_test|serve_session_store_test|serve_engine_test|tensor_inference_test|inference_equivalence_test|obs_metrics_test|obs_trace_test'
 
 # ASan/UBSan pass over the checkpoint parser and the serving subsystem:
 # these tests feed truncated/corrupted byte streams and hammer the session

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Summarize a PA_OBS_TRACE dump: top spans by total and self time.
+
+Input is either format the obs tracer writes:
+
+  * chrome://tracing Trace Event JSON ({"traceEvents": [...]}) — the default
+    PA_OBS_TRACE=<path>.json output, loadable in chrome://tracing / Perfetto;
+  * flat NDJSON (one {"name","ts_us","dur_us","tid"} object per line) — the
+    <path>.ndjson variant.
+
+For every span name the summary reports call count, total wall time, and
+*self* time — total minus the time covered by spans nested inside it on the
+same thread (a parent's self time excludes its children, so "where is time
+actually spent" reads directly off the column). Nesting is reconstructed
+per thread from start/end order, which is exactly how the RAII spans nest.
+
+Usage: trace_summary.py TRACE_FILE [--top N]
+
+Exits 0 on success, 2 on unreadable or malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_events(path):
+    """Returns a list of (name, start_us, dur_us, tid), or exits 2."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        print(f"trace_summary: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+    events = []
+
+    def add(name, ts, dur, tid):
+        if not isinstance(name, str) or not name:
+            raise ValueError("span name must be a non-empty string")
+        ts = float(ts)
+        dur = float(dur)
+        if dur < 0:
+            raise ValueError(f"negative duration on '{name}'")
+        events.append((name, ts, dur, int(tid)))
+
+    try:
+        stripped = text.lstrip()
+        if stripped.startswith("{") and '"traceEvents"' in stripped:
+            doc = json.loads(text)
+            trace_events = doc.get("traceEvents")
+            if not isinstance(trace_events, list):
+                raise ValueError("'traceEvents' must be an array")
+            for ev in trace_events:
+                if ev.get("ph") != "X":
+                    continue  # Only complete events carry durations.
+                add(ev.get("name"), ev.get("ts"), ev.get("dur"),
+                    ev.get("tid", 0))
+        else:
+            for lineno, line in enumerate(text.splitlines(), 1):
+                if not line.strip():
+                    continue
+                try:
+                    ev = json.loads(line)
+                except json.JSONDecodeError as e:
+                    raise ValueError(f"line {lineno}: {e}") from e
+                add(ev.get("name"), ev.get("ts_us"), ev.get("dur_us"),
+                    ev.get("tid", 0))
+    except (ValueError, TypeError, json.JSONDecodeError) as e:
+        print(f"trace_summary: {path}: malformed trace: {e}", file=sys.stderr)
+        sys.exit(2)
+
+    return events
+
+
+def summarize(events):
+    """Per-name {count, total_us, self_us} with per-thread stack nesting."""
+    stats = {}
+    by_tid = {}
+    for ev in events:
+        by_tid.setdefault(ev[3], []).append(ev)
+
+    for tid_events in by_tid.values():
+        # Sort by start; ties put the longer (outer) span first so a parent
+        # precedes children that begin at the same microsecond.
+        tid_events.sort(key=lambda ev: (ev[1], -ev[2]))
+        stack = []  # Open frames: [end_us, name, dur_us, child_time_us].
+
+        def pop_frame():
+            _end, name, dur, child_time = stack.pop()
+            stats[name]["self"] += max(0.0, dur - child_time)
+
+        for name, start, dur, _tid in tid_events:
+            while stack and stack[-1][0] <= start:
+                pop_frame()
+            entry = stats.setdefault(name,
+                                     {"count": 0, "total": 0.0, "self": 0.0})
+            entry["count"] += 1
+            entry["total"] += dur
+            if stack:
+                # The full child duration counts against the immediate
+                # parent's self time (grandchildren are the child's problem).
+                stack[-1][3] += dur
+            stack.append([start + dur, name, dur, 0.0])
+        while stack:
+            pop_frame()
+    return stats
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="trace file (Trace Event JSON or NDJSON)")
+    parser.add_argument("--top", type=int, default=15,
+                        help="rows to show per ranking (default 15)")
+    args = parser.parse_args()
+
+    events = load_events(args.trace)
+    if not events:
+        print(f"{args.trace}: no span events")
+        return 0
+    stats = summarize(events)
+
+    threads = len({ev[3] for ev in events})
+    wall = max(ev[1] + ev[2] for ev in events) - min(ev[1] for ev in events)
+    print(f"{args.trace}: {len(events)} spans, {len(stats)} distinct names, "
+          f"{threads} thread(s), {wall / 1e3:.2f} ms spanned")
+
+    def table(title, key):
+        print(f"\ntop {min(args.top, len(stats))} spans by {title}:")
+        print(f"  {'name':<28} {'count':>8} {'total ms':>10} {'self ms':>10} "
+              f"{'avg us':>9}")
+        ranked = sorted(stats.items(), key=lambda kv: -kv[1][key])
+        for name, s in ranked[:args.top]:
+            avg = s["total"] / s["count"] if s["count"] else 0.0
+            print(f"  {name:<28} {s['count']:>8} {s['total'] / 1e3:>10.2f} "
+                  f"{s['self'] / 1e3:>10.2f} {avg:>9.1f}")
+
+    table("total time", "total")
+    table("self time", "self")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,12 +1,15 @@
 #include "augment/pa_seq2seq.h"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
 #include <unordered_map>
 #include <cmath>
 #include <cstdio>
 
 #include "nn/serialize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/thread_pool.h"
 
@@ -15,6 +18,29 @@ namespace pa::augment {
 namespace {
 
 using tensor::Tensor;
+
+// Training instruments, resolved once per process against the immortal
+// registry. Loss gauges carry the latest epoch's mean loss per stage, so a
+// snapshot taken mid-Fit (or embedded in a bench JSON) shows where the
+// curves currently sit.
+struct TrainInstruments {
+  obs::Counter& epochs;
+  obs::Histogram& epoch_ms;
+  obs::Gauge& stage1_loss;
+  obs::Gauge& stage2_loss;
+  obs::Gauge& stage3_loss;
+
+  static TrainInstruments& Get() {
+    auto& registry = obs::MetricRegistry::Global();
+    static TrainInstruments instruments{
+        registry.GetCounter("train.epochs"),
+        registry.GetHistogram("train.epoch_ms"),
+        registry.GetGauge("train.stage1.loss"),
+        registry.GetGauge("train.stage2.loss"),
+        registry.GetGauge("train.stage3.loss")};
+    return instruments;
+  }
+};
 
 // Argmax over a [1, n] logits row, optionally restricted to `candidates`.
 int ArgmaxRow(const Tensor& logits, const std::vector<int32_t>& candidates) {
@@ -293,6 +319,9 @@ float PaSeq2Seq::RunEpoch(
     std::vector<WorkItem>& items,
     const std::function<tensor::Tensor(const WorkItem&, util::Rng&)>& loss_fn,
     tensor::Adam& optimizer) {
+  PA_TRACE_SPAN("train.epoch");
+  auto& instruments = TrainInstruments::Get();
+  const auto epoch_start = std::chrono::steady_clock::now();
   rng_.Shuffle(items);
   double total = 0.0;
   int count = 0;
@@ -301,6 +330,7 @@ float PaSeq2Seq::RunEpoch(
   if (batch == 1) {
     // Per-item SGD, every draw from rng_ — the historical training loop.
     for (const WorkItem& item : items) {
+      PA_TRACE_SPAN("train.item");
       Tensor loss = loss_fn(item, rng_);
       if (!loss.defined()) continue;
       optimizer.ZeroGrad();
@@ -310,6 +340,11 @@ float PaSeq2Seq::RunEpoch(
       total += loss.item();
       ++count;
     }
+    instruments.epochs.Increment();
+    instruments.epoch_ms.Record(std::chrono::duration<double, std::milli>(
+                                    std::chrono::steady_clock::now() -
+                                    epoch_start)
+                                    .count());
     return count > 0 ? static_cast<float>(total / count) : 0.0f;
   }
 
@@ -334,6 +369,7 @@ float PaSeq2Seq::RunEpoch(
     std::vector<ItemResult> results = util::GlobalPool().ParallelMap(
         static_cast<int64_t>(start), static_cast<int64_t>(end), /*grain=*/1,
         [&](int64_t i) {
+          PA_TRACE_SPAN("train.item");
           util::Rng item_rng(util::StreamSeed(
               batch_seed, static_cast<uint64_t>(i - start)));
           tensor::GradRedirectScope scope(params);
@@ -366,6 +402,11 @@ float PaSeq2Seq::RunEpoch(
     optimizer.ClipGradNorm(config_.grad_clip);
     optimizer.Step();
   }
+  instruments.epochs.Increment();
+  instruments.epoch_ms.Record(std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() -
+                                  epoch_start)
+                                  .count());
   return count > 0 ? static_cast<float>(total / count) : 0.0f;
 }
 
@@ -374,62 +415,77 @@ void PaSeq2Seq::Fit(const std::vector<poi::CheckinSequence>& train) {
   if (items.empty()) return;
   tensor::Adam optimizer(Parameters(), config_.learning_rate);
 
+  auto& instruments = TrainInstruments::Get();
+
   // Stage 1: MLE pretraining of the uni-directional (decoder) and
   // bi-directional (encoder) LSTM paths.
-  for (int e = 0; e < config_.stage1_epochs; ++e) {
-    const float loss = RunEpoch(
-        items,
-        [this](const WorkItem& item, util::Rng& rng) {
-          Tensor dec = DecoderLmLoss(item, &rng);
-          Tensor enc = EncoderLmLoss(item);
-          if (!dec.defined()) return enc;
-          if (!enc.defined()) return dec;
-          return tensor::Scale(tensor::Add(dec, enc), 0.5f);
-        },
-        optimizer);
-    stats_.stage1.push_back(loss);
-    if (config_.verbose) {
-      std::fprintf(stderr, "[pa-seq2seq] stage1 epoch %d loss %.4f\n", e,
-                   loss);
+  {
+    PA_TRACE_SPAN("train.stage1");
+    for (int e = 0; e < config_.stage1_epochs; ++e) {
+      const float loss = RunEpoch(
+          items,
+          [this](const WorkItem& item, util::Rng& rng) {
+            Tensor dec = DecoderLmLoss(item, &rng);
+            Tensor enc = EncoderLmLoss(item);
+            if (!dec.defined()) return enc;
+            if (!enc.defined()) return dec;
+            return tensor::Scale(tensor::Add(dec, enc), 0.5f);
+          },
+          optimizer);
+      stats_.stage1.push_back(loss);
+      instruments.stage1_loss.Set(loss);
+      if (config_.verbose) {
+        std::fprintf(stderr, "[pa-seq2seq] stage1 epoch %d loss %.4f\n", e,
+                     loss);
+      }
     }
   }
 
   // Stage 2: MLE pretraining of the full seq2seq (no masking).
-  for (int e = 0; e < config_.stage2_epochs; ++e) {
-    const float loss = RunEpoch(
-        items,
-        [this](const WorkItem& item, util::Rng& rng) {
-          return Decode(item, /*training=*/true, nullptr, nullptr, &rng);
-        },
-        optimizer);
-    stats_.stage2.push_back(loss);
-    if (config_.verbose) {
-      std::fprintf(stderr, "[pa-seq2seq] stage2 epoch %d loss %.4f\n", e,
-                   loss);
+  {
+    PA_TRACE_SPAN("train.stage2");
+    for (int e = 0; e < config_.stage2_epochs; ++e) {
+      const float loss = RunEpoch(
+          items,
+          [this](const WorkItem& item, util::Rng& rng) {
+            return Decode(item, /*training=*/true, nullptr, nullptr, &rng);
+          },
+          optimizer);
+      stats_.stage2.push_back(loss);
+      instruments.stage2_loss.Set(loss);
+      if (config_.verbose) {
+        std::fprintf(stderr, "[pa-seq2seq] stage2 epoch %d loss %.4f\n", e,
+                     loss);
+      }
     }
   }
 
   // Stage 3: mask training with the ratio ramping from mask_start to
   // mask_end across epochs (the paper ramps 10% -> 50%).
-  for (int e = 0; e < config_.stage3_epochs; ++e) {
-    float ratio = config_.mask_end;
-    if (config_.ramp_mask && config_.stage3_epochs > 1) {
-      const float f =
-          static_cast<float>(e) / static_cast<float>(config_.stage3_epochs - 1);
-      ratio = config_.mask_start + f * (config_.mask_end - config_.mask_start);
-    }
-    const float loss = RunEpoch(
-        items,
-        [this, ratio](const WorkItem& item, util::Rng& rng) {
-          return Decode(MaskItem(item, ratio, &rng), /*training=*/true,
-                        nullptr, nullptr, &rng);
-        },
-        optimizer);
-    stats_.stage3.push_back(loss);
-    if (config_.verbose) {
-      std::fprintf(stderr,
-                   "[pa-seq2seq] stage3 epoch %d mask %.2f loss %.4f\n", e,
-                   ratio, loss);
+  {
+    PA_TRACE_SPAN("train.stage3");
+    for (int e = 0; e < config_.stage3_epochs; ++e) {
+      float ratio = config_.mask_end;
+      if (config_.ramp_mask && config_.stage3_epochs > 1) {
+        const float f = static_cast<float>(e) /
+                        static_cast<float>(config_.stage3_epochs - 1);
+        ratio =
+            config_.mask_start + f * (config_.mask_end - config_.mask_start);
+      }
+      const float loss = RunEpoch(
+          items,
+          [this, ratio](const WorkItem& item, util::Rng& rng) {
+            return Decode(MaskItem(item, ratio, &rng), /*training=*/true,
+                          nullptr, nullptr, &rng);
+          },
+          optimizer);
+      stats_.stage3.push_back(loss);
+      instruments.stage3_loss.Set(loss);
+      if (config_.verbose) {
+        std::fprintf(stderr,
+                     "[pa-seq2seq] stage3 epoch %d mask %.2f loss %.4f\n", e,
+                     ratio, loss);
+      }
     }
   }
 }

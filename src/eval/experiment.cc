@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "augment/linear_interpolation.h"
+#include "obs/trace.h"
 #include "rec/registry.h"
 
 namespace pa::eval {
@@ -75,32 +76,39 @@ TableResult RunAugmentationExperiment(const poi::Dataset& dataset,
   std::vector<std::vector<poi::CheckinSequence>> training_sets;
   training_sets.push_back(split.train);  // Original.
 
-  augment::LinearInterpolationAugmenter li_pop(
-      train_view.pois, augment::LinearInterpolationAugmenter::Mode::kMostPopular,
-      config.pop_radius_km);
-  training_sets.push_back(augment::AugmentSequences(
-      li_pop, split.train, config.interval_seconds,
-      config.max_missing_per_gap));
+  {
+    PA_TRACE_SPAN("experiment.augment");
+    augment::LinearInterpolationAugmenter li_pop(
+        train_view.pois,
+        augment::LinearInterpolationAugmenter::Mode::kMostPopular,
+        config.pop_radius_km);
+    training_sets.push_back(augment::AugmentSequences(
+        li_pop, split.train, config.interval_seconds,
+        config.max_missing_per_gap));
 
-  augment::LinearInterpolationAugmenter li_nn(
-      train_view.pois,
-      augment::LinearInterpolationAugmenter::Mode::kNearestNeighbor);
-  training_sets.push_back(augment::AugmentSequences(
-      li_nn, split.train, config.interval_seconds,
-      config.max_missing_per_gap));
+    augment::LinearInterpolationAugmenter li_nn(
+        train_view.pois,
+        augment::LinearInterpolationAugmenter::Mode::kNearestNeighbor);
+    training_sets.push_back(augment::AugmentSequences(
+        li_nn, split.train, config.interval_seconds,
+        config.max_missing_per_gap));
 
-  augment::PaSeq2SeqConfig s2s_config = config.seq2seq;
-  s2s_config.seed = config.seed;
-  augment::PaSeq2Seq pa(train_view.pois, s2s_config);
-  if (config.verbose) std::fprintf(stderr, "[experiment] fitting PA-Seq2Seq\n");
-  pa.Fit(split.train);
-  training_sets.push_back(augment::AugmentSequences(
-      pa, split.train, config.interval_seconds, config.max_missing_per_gap));
+    augment::PaSeq2SeqConfig s2s_config = config.seq2seq;
+    s2s_config.seed = config.seed;
+    augment::PaSeq2Seq pa(train_view.pois, s2s_config);
+    if (config.verbose) {
+      std::fprintf(stderr, "[experiment] fitting PA-Seq2Seq\n");
+    }
+    pa.Fit(split.train);
+    training_sets.push_back(augment::AugmentSequences(
+        pa, split.train, config.interval_seconds, config.max_missing_per_gap));
+  }
 
   table.cells.assign(table.methods.size(),
                      std::vector<HrResult>(table.training_sets.size()));
   for (size_t r = 0; r < table.methods.size(); ++r) {
     for (size_t c = 0; c < table.training_sets.size(); ++c) {
+      PA_TRACE_SPAN("experiment.cell");
       auto recommender = rec::MakeRecommender(
           table.methods[r], config.seed, config.epochs_scale);
       if (!recommender) {

@@ -1,8 +1,12 @@
 #include "eval/hr_metric.h"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tensor/buffer_pool.h"
 #include "tensor/tensor.h"
 #include "util/thread_pool.h"
 
@@ -60,6 +64,11 @@ HrResult HrAccumulator::Result() const {
 HrResult EvaluateHr(const rec::Recommender& recommender,
                     const std::vector<poi::CheckinSequence>& warmup,
                     const std::vector<poi::CheckinSequence>& test) {
+  PA_TRACE_SPAN("eval.hr");
+  static obs::Counter& cases =
+      obs::MetricRegistry::Global().GetCounter("eval.cases");
+  static obs::Histogram& user_us =
+      obs::MetricRegistry::Global().GetHistogram("eval.user_us");
   const size_t num_users = std::max(warmup.size(), test.size());
   // Each user evaluates into a private accumulator on the pool;
   // ParallelMap returns them indexed by user, independent of which thread
@@ -67,6 +76,7 @@ HrResult EvaluateHr(const rec::Recommender& recommender,
   std::vector<HrAccumulator> per_user = util::GlobalPool().ParallelMap(
       int64_t{0}, static_cast<int64_t>(num_users), /*grain=*/1,
       [&](int64_t u) {
+        PA_TRACE_SPAN("eval.user");
         // Evaluation never backpropagates: run every session forward on the
         // graph-free fast path. The scope is per worker thread, entered here
         // because pool workers do not inherit the caller's scope.
@@ -75,6 +85,7 @@ HrResult EvaluateHr(const rec::Recommender& recommender,
         const size_t us = static_cast<size_t>(u);
         const bool has_test = us < test.size() && !test[us].empty();
         if (!has_test) return acc;
+        const auto start = std::chrono::steady_clock::now();
         auto session = recommender.NewSession(static_cast<int32_t>(u));
         if (us < warmup.size()) {
           for (const poi::Checkin& c : warmup[us]) session->Observe(c);
@@ -83,6 +94,13 @@ HrResult EvaluateHr(const rec::Recommender& recommender,
           acc.Add(session->TopK(10, c.timestamp), c.poi);
           session->Observe(c);
         }
+        // Per-worker throughput: one wall-time sample and one cases bump per
+        // evaluated user, then the thread's pool tallies flush as deltas.
+        user_us.Record(std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - start)
+                           .count());
+        cases.Add(static_cast<uint64_t>(test[us].size()));
+        tensor::internal::ThisThreadPool().FlushStatsToRegistry();
         return acc;
       });
   // Ascending user order: the mrr10 double sum has a fixed reduction order,

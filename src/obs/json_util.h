@@ -1,0 +1,58 @@
+#ifndef PA_OBS_JSON_UTIL_H_
+#define PA_OBS_JSON_UTIL_H_
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace pa::obs::internal {
+
+/// Minimal JSON emission helpers for the observability exporters.
+///
+/// `obs` sits below every other layer (serve, eval, augment all report
+/// through it), so it cannot borrow serve::JsonWriter without inverting the
+/// dependency graph; these two functions are all the generation it needs.
+
+/// Appends `s` to `out` escaped for inclusion inside a JSON string literal
+/// (quotes not added).
+inline void AppendJsonEscaped(const std::string& s, std::string* out) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+/// Appends `value` as a JSON number. Integral values print without a
+/// fractional part; non-finite values (which valid snapshots never produce,
+/// but a caller-supplied gauge callback might) degrade to 0 so the output
+/// stays schema-clean rather than emitting bare `nan`/`inf` tokens.
+inline void AppendJsonNumber(double value, std::string* out) {
+  if (!std::isfinite(value)) {
+    *out += "0";
+    return;
+  }
+  char buf[40];
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+  }
+  *out += buf;
+}
+
+}  // namespace pa::obs::internal
+
+#endif  // PA_OBS_JSON_UTIL_H_

@@ -1,0 +1,260 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/json_util.h"
+
+namespace pa::obs {
+
+namespace {
+
+// log(1.5) — bucket index is floor(log(value) / log(ratio)).
+const double kLogRatio = std::log(Histogram::kRatio);
+
+int BucketIndex(double value) {
+  if (value <= Histogram::kFirstBucket) return 0;
+  const int idx =
+      static_cast<int>(std::log(value / Histogram::kFirstBucket) / kLogRatio);
+  return std::clamp(idx, 0, Histogram::kBuckets - 1);
+}
+
+double BucketLower(int i) {
+  return Histogram::kFirstBucket * std::pow(Histogram::kRatio, i);
+}
+
+// Percentile over a consistent bucket snapshot whose total is `total`.
+double PercentileOf(const std::array<uint64_t, Histogram::kBuckets>& counts,
+                    uint64_t total, double q) {
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample, 1-based.
+  const uint64_t rank =
+      std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(q * total)));
+  uint64_t seen = 0;
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    const uint64_t c = counts[i];
+    if (seen + c >= rank) {
+      // Interpolate inside the bucket by the rank's position in it.
+      const double frac =
+          c == 0 ? 0.0 : double(rank - seen) / double(c);
+      const double lo = BucketLower(i);
+      const double hi = lo * Histogram::kRatio;
+      return lo + frac * (hi - lo);
+    }
+    seen += c;
+  }
+  return BucketLower(Histogram::kBuckets - 1) * Histogram::kRatio;
+}
+
+}  // namespace
+
+void Histogram::Record(double value) {
+  counts_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::array<uint64_t, Histogram::kBuckets> Histogram::SnapshotBuckets() const {
+  std::array<uint64_t, kBuckets> snap;
+  for (int i = 0; i < kBuckets; ++i) {
+    snap[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+double Histogram::Percentile(double q) const {
+  const auto snap = SnapshotBuckets();
+  uint64_t total = 0;
+  for (const uint64_t c : snap) total += c;
+  return PercentileOf(snap, total, q);
+}
+
+uint64_t Histogram::count() const {
+  uint64_t total = 0;
+  for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+HistogramStats Histogram::Stats() const {
+  const auto snap = SnapshotBuckets();
+  HistogramStats stats;
+  double weighted = 0.0;
+  for (int i = 0; i < kBuckets; ++i) {
+    stats.count += snap[i];
+    if (snap[i] > 0) {
+      const double lo = BucketLower(i);
+      weighted += static_cast<double>(snap[i]) * (lo + lo * kRatio) * 0.5;
+    }
+  }
+  stats.p50 = PercentileOf(snap, stats.count, 0.50);
+  stats.p95 = PercentileOf(snap, stats.count, 0.95);
+  stats.p99 = PercentileOf(snap, stats.count, 0.99);
+  stats.mean = stats.count > 0 ? weighted / double(stats.count) : 0.0;
+  return stats;
+}
+
+void Histogram::Reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+}
+
+MetricRegistry& MetricRegistry::Global() {
+  // Leaked: instruments must outlive atexit hooks (trace dump, bench
+  // snapshots) and worker-thread teardown flushes.
+  static MetricRegistry* registry = new MetricRegistry;
+  return *registry;
+}
+
+Counter& MetricRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  if (e.kind != Entry::Kind::kCounter || e.owned_counter == nullptr) {
+    e = Entry{};
+    e.kind = Entry::Kind::kCounter;
+    e.owned_counter = std::make_unique<Counter>();
+    e.counter = e.owned_counter.get();
+  }
+  return *e.owned_counter;
+}
+
+Gauge& MetricRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  if (e.kind != Entry::Kind::kGauge || e.owned_gauge == nullptr) {
+    e = Entry{};
+    e.kind = Entry::Kind::kGauge;
+    e.owned_gauge = std::make_unique<Gauge>();
+    e.gauge = e.owned_gauge.get();
+  }
+  return *e.owned_gauge;
+}
+
+Histogram& MetricRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  if (e.kind != Entry::Kind::kHistogram || e.owned_histogram == nullptr) {
+    e = Entry{};
+    e.kind = Entry::Kind::kHistogram;
+    e.owned_histogram = std::make_unique<Histogram>();
+    e.histogram = e.owned_histogram.get();
+  }
+  return *e.owned_histogram;
+}
+
+void MetricRegistry::RegisterCounter(const std::string& name,
+                                     const Counter* instrument) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry e;
+  e.kind = Entry::Kind::kCounter;
+  e.counter = instrument;
+  e.owner = instrument;
+  entries_[name] = std::move(e);
+}
+
+void MetricRegistry::RegisterGauge(const std::string& name,
+                                   const Gauge* instrument) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry e;
+  e.kind = Entry::Kind::kGauge;
+  e.gauge = instrument;
+  e.owner = instrument;
+  entries_[name] = std::move(e);
+}
+
+void MetricRegistry::RegisterHistogram(const std::string& name,
+                                       const Histogram* instrument) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry e;
+  e.kind = Entry::Kind::kHistogram;
+  e.histogram = instrument;
+  e.owner = instrument;
+  entries_[name] = std::move(e);
+}
+
+void MetricRegistry::RegisterCallbackGauge(const std::string& name,
+                                           const void* owner,
+                                           std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry e;
+  e.kind = Entry::Kind::kCallbackGauge;
+  e.callback = std::move(fn);
+  e.owner = owner;
+  entries_[name] = std::move(e);
+}
+
+void MetricRegistry::Unregister(const std::string& name, const void* owner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end() && it->second.owner == owner) {
+    entries_.erase(it);
+  }
+}
+
+MetricRegistry::Snapshot MetricRegistry::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  for (const auto& [name, e] : entries_) {
+    switch (e.kind) {
+      case Entry::Kind::kCounter:
+        snap.counters[name] = e.counter->value();
+        break;
+      case Entry::Kind::kGauge:
+        snap.gauges[name] = e.gauge->value();
+        break;
+      case Entry::Kind::kCallbackGauge:
+        snap.gauges[name] = e.callback ? e.callback() : 0.0;
+        break;
+      case Entry::Kind::kHistogram:
+        snap.histograms[name] = e.histogram->Stats();
+        break;
+      case Entry::Kind::kNone:
+        break;
+    }
+  }
+  return snap;
+}
+
+std::string MetricRegistry::SnapshotJson() const {
+  const Snapshot snap = TakeSnapshot();
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    internal::AppendJsonEscaped(name, &out);
+    out += "\":";
+    out += std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    internal::AppendJsonEscaped(name, &out);
+    out += "\":";
+    internal::AppendJsonNumber(value, &out);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    internal::AppendJsonEscaped(name, &out);
+    out += "\":{\"count\":";
+    out += std::to_string(h.count);
+    out += ",\"p50\":";
+    internal::AppendJsonNumber(h.p50, &out);
+    out += ",\"p95\":";
+    internal::AppendJsonNumber(h.p95, &out);
+    out += ",\"p99\":";
+    internal::AppendJsonNumber(h.p99, &out);
+    out += ",\"mean\":";
+    internal::AppendJsonNumber(h.mean, &out);
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace pa::obs

@@ -1,0 +1,196 @@
+#ifndef PA_OBS_METRICS_H_
+#define PA_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace pa::obs {
+
+/// Process-wide metrics: named lock-free instruments behind a registry.
+///
+/// Three instrument kinds, all safe to bump from any thread with relaxed
+/// atomics (one atomic RMW per update — cheap enough for per-request and
+/// per-epoch call sites; per-op hot loops should accumulate thread-locally
+/// and flush deltas, see tensor::internal::BufferPool):
+///
+///  * `Counter`   — monotonically increasing uint64.
+///  * `Gauge`     — last-written double, with `Add` and `UpdateMax` CAS
+///                  helpers (queue depths, high-water marks, loss values).
+///  * `Histogram` — geometric-bucket distribution promoted from the former
+///                  serve::LatencyHistogram; records values (canonically
+///                  microseconds) and answers interpolated percentiles.
+///
+/// Instruments are addressable by string name through `MetricRegistry`:
+/// `GetCounter(name)` creates on first use and returns a stable reference,
+/// so hot call sites cache the handle once (function-local static) and the
+/// steady-state cost is the atomic bump alone. Components with
+/// per-instance state (e.g. serve::Engine) can instead *register* the
+/// instruments they own so the snapshot covers them without double
+/// counting; see RegisterCounter et al.
+
+class Counter {
+ public:
+  void Increment() { value_.fetch_add(1, std::memory_order_relaxed); }
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  /// Raises the gauge to `v` if larger (high-water marks).
+  void UpdateMax(double v) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (cur < v && !value_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Point-in-time digest of a histogram, derived from one bucket snapshot so
+/// count and percentiles always describe the same sample set.
+struct HistogramStats {
+  uint64_t count = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  /// Bucket-midpoint estimate of the mean (no extra atomic on Record).
+  double mean = 0.0;
+};
+
+/// Lock-free histogram with geometric buckets.
+///
+/// Bucket i covers values in [1 * 1.5^i, 1 * 1.5^(i+1)); 64 buckets span
+/// ~1 to ~2.4e11 (µs: ~1µs to ~66 hours), so the last bucket acts as a
+/// catch-all. Percentiles interpolate linearly inside the winning bucket,
+/// bounding relative error by the bucket ratio (50%) in the worst case and
+/// far less in practice.
+///
+/// There is deliberately no separate total counter: every read path copies
+/// the buckets once and derives the count from that same copy, so a reader
+/// concurrent with `Record` or `Reset` sees an internally consistent (if
+/// slightly stale or partially reset) sample set — never a total that
+/// disagrees with the buckets. This replaces the torn-reset-prone
+/// `total_` + buckets design of the old serve::LatencyHistogram.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+  static constexpr double kFirstBucket = 1.0;
+  static constexpr double kRatio = 1.5;
+
+  void Record(double value);
+
+  /// Value at quantile `q` in [0, 1]; 0 when empty.
+  double Percentile(double q) const;
+
+  /// Total recorded samples (one consistent bucket pass).
+  uint64_t count() const;
+
+  /// One consistent digest (single bucket snapshot for all fields).
+  HistogramStats Stats() const;
+
+  void Reset();
+
+ private:
+  std::array<uint64_t, kBuckets> SnapshotBuckets() const;
+
+  std::array<std::atomic<uint64_t>, kBuckets> counts_{};
+};
+
+/// The process-wide instrument registry.
+///
+/// Lookup takes a mutex; instrument updates do not. `Get*` instruments are
+/// owned by the registry and live forever (stable addresses — cache the
+/// reference). `Register*` attaches caller-owned instruments (or a callback
+/// computing a gauge value on demand) under a name; a second registration
+/// under the same name replaces the first (last wins), and `Unregister`
+/// detaches only if `owner` still matches — so an Engine being destroyed
+/// never evicts its replacement.
+class MetricRegistry {
+ public:
+  static MetricRegistry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  /// Caller-owned instruments; `instrument` doubles as the owner tag.
+  /// The pointee must stay alive until Unregister.
+  void RegisterCounter(const std::string& name, const Counter* instrument);
+  void RegisterGauge(const std::string& name, const Gauge* instrument);
+  void RegisterHistogram(const std::string& name, const Histogram* instrument);
+
+  /// Gauge whose value is computed at snapshot time (e.g. live session
+  /// count). `fn` runs under the registry mutex: it must not call back into
+  /// the registry.
+  void RegisterCallbackGauge(const std::string& name, const void* owner,
+                             std::function<double()> fn);
+
+  /// Removes `name` if it is still owned by `owner` (the instrument pointer
+  /// passed to Register*, or the `owner` of a callback gauge).
+  void Unregister(const std::string& name, const void* owner);
+
+  /// Typed snapshot for tests and embedding.
+  struct Snapshot {
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramStats> histograms;
+  };
+  Snapshot TakeSnapshot() const;
+
+  /// The snapshot as one JSON object:
+  ///   {"counters":{...},"gauges":{...},
+  ///    "histograms":{"name":{"count":...,"p50":...,"p95":...,"p99":...,
+  ///                  "mean":...}}}
+  /// Keys are sorted, values always finite — the shape
+  /// scripts/bench_compare.py --schema validates inside BENCH_*.json.
+  std::string SnapshotJson() const;
+
+ private:
+  struct Entry {
+    enum class Kind { kNone, kCounter, kGauge, kHistogram, kCallbackGauge };
+    Kind kind = Kind::kNone;
+    // Registry-owned instruments (Get*). unique_ptr keeps the address
+    // stable even though map nodes already are; it also allows one Entry
+    // type for both owned and external instruments.
+    std::unique_ptr<Counter> owned_counter;
+    std::unique_ptr<Gauge> owned_gauge;
+    std::unique_ptr<Histogram> owned_histogram;
+    // Read-side pointers: for owned instruments these alias the unique_ptrs;
+    // for Register* they point at caller-owned storage.
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const Histogram* histogram = nullptr;
+    std::function<double()> callback;
+    const void* owner = nullptr;  // nullptr for registry-owned entries.
+  };
+
+  mutable std::mutex mu_;
+  // node-based map: entry addresses are stable across inserts.
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace pa::obs
+
+#endif  // PA_OBS_METRICS_H_

@@ -1,0 +1,251 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+#include "obs/json_util.h"
+
+namespace pa::obs {
+
+namespace internal {
+std::atomic<bool> g_tracing{false};
+}  // namespace internal
+
+namespace {
+
+// Most recent spans kept per thread; older spans are overwritten (ring).
+// 64Ki events * 32 bytes = 2 MiB per tracing thread, bounded.
+constexpr size_t kMaxEventsPerThread = size_t{1} << 16;
+
+struct ThreadTraceBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;  // Ring once it reaches the cap.
+  size_t next = 0;                 // Overwrite cursor when full.
+  uint64_t overwritten = 0;
+  uint32_t tid = 0;
+};
+
+// All trace globals are leaked on purpose: the PA_OBS_TRACE dump runs from
+// atexit, after static destructors of later-initialized translation units
+// may already have run, and exited threads' buffers must survive into the
+// final drain.
+std::mutex& BuffersMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+std::vector<std::shared_ptr<ThreadTraceBuffer>>& Buffers() {
+  static auto* buffers = new std::vector<std::shared_ptr<ThreadTraceBuffer>>;
+  return *buffers;
+}
+
+std::atomic<uint64_t> g_dropped_after_teardown{0};
+
+// Teardown-safe thread-local pointer (same pattern as
+// tensor::internal::t_buffer_pool): null before first span and after
+// thread_local destructors; spans in either window are dropped, not
+// recorded into a half-dead buffer.
+thread_local ThreadTraceBuffer* t_trace_buffer = nullptr;
+thread_local bool t_trace_torn_down = false;
+
+struct TraceBufferOwner {
+  std::shared_ptr<ThreadTraceBuffer> buffer;
+  TraceBufferOwner() : buffer(std::make_shared<ThreadTraceBuffer>()) {
+    std::lock_guard<std::mutex> lock(BuffersMutex());
+    buffer->tid = static_cast<uint32_t>(Buffers().size());
+    Buffers().push_back(buffer);
+    t_trace_buffer = buffer.get();
+  }
+  ~TraceBufferOwner() {
+    t_trace_buffer = nullptr;
+    t_trace_torn_down = true;
+    // The global Buffers() vector keeps the buffer itself alive for the
+    // final drain.
+  }
+};
+
+ThreadTraceBuffer* ThisThreadBuffer() {
+  ThreadTraceBuffer* buf = t_trace_buffer;
+  if (buf != nullptr) return buf;
+  if (t_trace_torn_down) return nullptr;
+  thread_local TraceBufferOwner owner;
+  return owner.buffer.get();
+}
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+// Force the epoch anchor before any span math happens.
+[[maybe_unused]] const auto g_epoch_anchor = TraceEpoch();
+
+}  // namespace
+
+namespace internal {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - TraceEpoch())
+          .count());
+}
+
+void RecordSpan(const char* name, uint64_t start_ns, uint64_t end_ns) {
+  ThreadTraceBuffer* buf = ThisThreadBuffer();
+  if (buf == nullptr) {
+    g_dropped_after_teardown.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceEvent event;
+  event.name = name;
+  event.start_ns = start_ns;
+  event.dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
+  event.tid = buf->tid;
+  std::lock_guard<std::mutex> lock(buf->mu);
+  if (buf->events.size() < kMaxEventsPerThread) {
+    buf->events.push_back(event);
+  } else {
+    buf->events[buf->next] = event;
+    buf->next = (buf->next + 1) % kMaxEventsPerThread;
+    ++buf->overwritten;
+  }
+}
+
+}  // namespace internal
+
+void SetTracingEnabled(bool on) {
+  internal::g_tracing.store(on, std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> DrainTraceEvents() {
+  std::vector<std::shared_ptr<ThreadTraceBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(BuffersMutex());
+    buffers = Buffers();
+  }
+  std::vector<TraceEvent> events;
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    // Ring order: oldest surviving event first.
+    for (size_t i = 0; i < buf->events.size(); ++i) {
+      events.push_back(buf->events[(buf->next + i) % buf->events.size()]);
+    }
+    buf->events.clear();
+    buf->next = 0;
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                              : a.dur_ns > b.dur_ns;
+            });
+  return events;
+}
+
+uint64_t TraceEventsDropped() {
+  uint64_t dropped = g_dropped_after_teardown.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(BuffersMutex());
+  for (const auto& buf : Buffers()) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    dropped += buf->overwritten;
+  }
+  return dropped;
+}
+
+namespace {
+
+void AppendMicros(uint64_t ns, std::string* out) {
+  // Microseconds with nanosecond precision, without going through double
+  // (keeps long traces exact).
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  *out += buf;
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    internal::AppendJsonEscaped(e.name != nullptr ? e.name : "?", &out);
+    out += "\",\"cat\":\"pa\",\"ph\":\"X\",\"ts\":";
+    AppendMicros(e.start_ns, &out);
+    out += ",\"dur\":";
+    AppendMicros(e.dur_ns, &out);
+    out += ",\"pid\":1,\"tid\":";
+    out += std::to_string(e.tid);
+    out += '}';
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+std::string TraceNdjson(const std::vector<TraceEvent>& events) {
+  std::string out;
+  for (const TraceEvent& e : events) {
+    out += "{\"name\":\"";
+    internal::AppendJsonEscaped(e.name != nullptr ? e.name : "?", &out);
+    out += "\",\"ts_us\":";
+    AppendMicros(e.start_ns, &out);
+    out += ",\"dur_us\":";
+    AppendMicros(e.dur_ns, &out);
+    out += ",\"tid\":";
+    out += std::to_string(e.tid);
+    out += "}\n";
+  }
+  return out;
+}
+
+bool WriteTraceFile(const std::string& path) {
+  const std::vector<TraceEvent> events = DrainTraceEvents();
+  const bool ndjson =
+      path.size() >= 7 && path.compare(path.size() - 7, 7, ".ndjson") == 0;
+  const std::string body =
+      ndjson ? TraceNdjson(events) : ChromeTraceJson(events);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const int close_rc = std::fclose(f);
+  return written == body.size() && close_rc == 0;
+}
+
+namespace {
+
+// PA_OBS_TRACE=<path>: tracing on from process start, trace dumped at exit.
+// Lives here (not in a runtime init function) so every binary that links
+// any instrumented layer gets the switch for free.
+std::string* g_exit_trace_path = nullptr;
+
+void DumpTraceAtExit() {
+  if (g_exit_trace_path == nullptr) return;
+  if (!WriteTraceFile(*g_exit_trace_path)) {
+    std::fprintf(stderr, "obs: cannot write PA_OBS_TRACE file %s\n",
+                 g_exit_trace_path->c_str());
+  }
+}
+
+struct TraceEnvInit {
+  TraceEnvInit() {
+    const char* path = std::getenv("PA_OBS_TRACE");
+    if (path == nullptr || *path == '\0') return;
+    g_exit_trace_path = new std::string(path);
+    SetTracingEnabled(true);
+    std::atexit(DumpTraceAtExit);
+  }
+};
+TraceEnvInit g_trace_env_init;
+
+}  // namespace
+
+}  // namespace pa::obs

@@ -1,0 +1,110 @@
+#ifndef PA_OBS_TRACE_H_
+#define PA_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pa::obs {
+
+/// Scoped tracing with per-thread ring buffers.
+///
+/// Usage at a call site:
+///
+///   void Engine::Run(...) {
+///     PA_TRACE_SPAN("serve.request");
+///     ...
+///   }  // span closes here
+///
+/// `name` must be a string literal (or otherwise outlive the trace): spans
+/// store the pointer, not a copy, so the hot path never allocates.
+///
+/// Off by default. When tracing is off a span is one relaxed atomic load
+/// and a branch — the constructor reads the global flag and records
+/// nothing. When on, begin/end take one steady-clock read each and the
+/// completed span is appended to the calling thread's ring buffer (per
+/// buffer mutex, uncontended except against a concurrent drain). Buffers
+/// hold the most recent `kMaxEventsPerThread` spans per thread; older spans
+/// are overwritten and counted as dropped.
+///
+/// Enable programmatically with `SetTracingEnabled(true)` and export with
+/// `DrainTraceEvents` + `ChromeTraceJson`/`TraceNdjson`, or set
+/// `PA_OBS_TRACE=<path>` in the environment: any binary linking an
+/// instrumented layer then starts with tracing on and dumps the trace to
+/// `<path>` at process exit (Trace Event JSON for chrome://tracing /
+/// Perfetto, or NDJSON when the path ends in ".ndjson").
+
+/// One completed span. Times are steady-clock nanoseconds relative to the
+/// process trace epoch; `tid` is a small dense id assigned per thread in
+/// first-span order (the exporter uses it as the chrome tid).
+struct TraceEvent {
+  const char* name = nullptr;
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  uint32_t tid = 0;
+};
+
+namespace internal {
+extern std::atomic<bool> g_tracing;
+/// Appends one completed span to the calling thread's ring buffer.
+void RecordSpan(const char* name, uint64_t start_ns, uint64_t end_ns);
+/// Steady-clock nanoseconds since the process trace epoch.
+uint64_t NowNs();
+}  // namespace internal
+
+inline bool TracingEnabled() {
+  return internal::g_tracing.load(std::memory_order_relaxed);
+}
+void SetTracingEnabled(bool on);
+
+/// Moves every buffered span out of every thread's ring buffer (including
+/// threads that have since exited) and returns them sorted by start time.
+std::vector<TraceEvent> DrainTraceEvents();
+
+/// Spans lost to ring overflow or recorded after thread teardown.
+uint64_t TraceEventsDropped();
+
+/// Trace Event JSON ("X" complete events) that chrome://tracing and
+/// Perfetto load directly: {"traceEvents":[{"name":...,"ph":"X",...}]}.
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events);
+
+/// One flat JSON object per line:
+/// {"name":...,"ts_us":...,"dur_us":...,"tid":...}
+std::string TraceNdjson(const std::vector<TraceEvent>& events);
+
+/// Drains and writes to `path` (NDJSON when the path ends in ".ndjson",
+/// Trace Event JSON otherwise). Returns false on I/O failure.
+bool WriteTraceFile(const std::string& path);
+
+/// RAII span; prefer the PA_TRACE_SPAN macro.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (internal::g_tracing.load(std::memory_order_relaxed)) {
+      name_ = name;
+      start_ns_ = internal::NowNs();
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      internal::RecordSpan(name_, start_ns_, internal::NowNs());
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  uint64_t start_ns_ = 0;
+};
+
+#define PA_OBS_CONCAT_INNER_(a, b) a##b
+#define PA_OBS_CONCAT_(a, b) PA_OBS_CONCAT_INNER_(a, b)
+/// Opens a span covering the rest of the enclosing scope.
+#define PA_TRACE_SPAN(name) \
+  ::pa::obs::TraceSpan PA_OBS_CONCAT_(pa_trace_span_, __LINE__)(name)
+
+}  // namespace pa::obs
+
+#endif  // PA_OBS_TRACE_H_

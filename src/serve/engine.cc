@@ -1,6 +1,8 @@
 #include "serve/engine.h"
 
+#include "obs/trace.h"
 #include "serve/json.h"
+#include "tensor/buffer_pool.h"
 #include "tensor/tensor.h"
 #include "util/thread_pool.h"
 
@@ -34,7 +36,46 @@ std::string EngineStats::ToJson() const {
 Engine::Engine(std::shared_ptr<const LoadedModel> model, EngineConfig config)
     : model_(std::move(model)),
       config_(config),
-      sessions_(std::make_shared<SessionStore>(model_, config_.sessions)) {}
+      sessions_(std::make_shared<SessionStore>(model_, config_.sessions)) {
+  // Expose this engine's instruments process-wide. The session gauges read
+  // through the current store (callbacks run at snapshot time, so they
+  // follow model swaps automatically).
+  auto& registry = obs::MetricRegistry::Global();
+  registry.RegisterCounter("serve.requests", &requests_);
+  registry.RegisterCounter("serve.timeouts", &timeouts_);
+  registry.RegisterHistogram("serve.latency_us", &latency_);
+  auto session_stat = [this](uint64_t SessionStoreStats::*field) {
+    std::shared_ptr<SessionStore> sessions;
+    {
+      std::lock_guard<std::mutex> lock(swap_mu_);
+      sessions = sessions_;
+    }
+    return static_cast<double>(sessions->Stats().*field);
+  };
+  registry.RegisterCallbackGauge(
+      "serve.sessions.live", this,
+      [session_stat] { return session_stat(&SessionStoreStats::live_sessions); });
+  registry.RegisterCallbackGauge(
+      "serve.sessions.hits", this,
+      [session_stat] { return session_stat(&SessionStoreStats::hits); });
+  registry.RegisterCallbackGauge(
+      "serve.sessions.misses", this,
+      [session_stat] { return session_stat(&SessionStoreStats::misses); });
+  registry.RegisterCallbackGauge(
+      "serve.sessions.evictions", this,
+      [session_stat] { return session_stat(&SessionStoreStats::evictions); });
+}
+
+Engine::~Engine() {
+  auto& registry = obs::MetricRegistry::Global();
+  registry.Unregister("serve.requests", &requests_);
+  registry.Unregister("serve.timeouts", &timeouts_);
+  registry.Unregister("serve.latency_us", &latency_);
+  registry.Unregister("serve.sessions.live", this);
+  registry.Unregister("serve.sessions.hits", this);
+  registry.Unregister("serve.sessions.misses", this);
+  registry.Unregister("serve.sessions.evictions", this);
+}
 
 std::string Engine::model_name() const {
   std::lock_guard<std::mutex> lock(swap_mu_);
@@ -42,6 +83,7 @@ std::string Engine::model_name() const {
 }
 
 void Engine::Observe(const poi::Checkin& checkin) {
+  PA_TRACE_SPAN("serve.observe");
   // Serving never backpropagates: model forwards under this request run on
   // the tensor engine's graph-free fast path.
   const tensor::InferenceModeScope inference;
@@ -55,6 +97,7 @@ void Engine::Observe(const poi::Checkin& checkin) {
 
 TopKResponse Engine::Run(const TopKRequest& request,
                          Clock::time_point enqueue) {
+  PA_TRACE_SPAN("serve.request");
   // Run executes on whatever thread carries the request (caller, pool
   // worker via TopKBatch/TopKAsync); the scope is per-thread, so it is
   // entered here rather than at the batch fan-out.
@@ -62,7 +105,7 @@ TopKResponse Engine::Run(const TopKRequest& request,
   const auto deadline =
       enqueue + std::chrono::milliseconds(config_.deadline_ms);
   TopKResponse response;
-  ++requests_;
+  requests_.Increment();
 
   auto finish = [&](Clock::time_point now) {
     response.latency_micros =
@@ -79,7 +122,7 @@ TopKResponse Engine::Run(const TopKRequest& request,
   // the session (the expensive part) at all.
   if (Clock::now() >= deadline) {
     response.status = RequestStatus::kDeadlineExceeded;
-    ++timeouts_;
+    timeouts_.Increment();
     finish(Clock::now());
     return response;
   }
@@ -98,12 +141,16 @@ TopKResponse Engine::Run(const TopKRequest& request,
     // never interrupt), but the caller contract is "answer by the deadline
     // or admit you didn't".
     response.status = RequestStatus::kDeadlineExceeded;
-    ++timeouts_;
+    timeouts_.Increment();
   } else {
     response.status = RequestStatus::kOk;
     response.pois = std::move(pois);
   }
   finish(now);
+  // The model forward above drew from this thread's buffer pool; publish
+  // the per-thread tallies (a handful of relaxed adds against cached
+  // registry handles — see BufferPool::FlushStatsToRegistry).
+  tensor::internal::ThisThreadPool().FlushStatsToRegistry();
   return response;
 }
 
@@ -144,8 +191,8 @@ void Engine::SwapModel(std::shared_ptr<const LoadedModel> model) {
 
 EngineStats Engine::Stats() const {
   EngineStats stats;
-  stats.requests = requests_.load(std::memory_order_relaxed);
-  stats.timeouts = timeouts_.load(std::memory_order_relaxed);
+  stats.requests = requests_.value();
+  stats.timeouts = timeouts_.value();
   std::shared_ptr<SessionStore> sessions;
   {
     std::lock_guard<std::mutex> lock(swap_mu_);
@@ -156,9 +203,12 @@ EngineStats Engine::Stats() const {
   stats.session_misses = s.misses;
   stats.session_evictions = s.evictions;
   stats.live_sessions = s.live_sessions;
-  stats.p50_micros = latency_.PercentileMicros(0.50);
-  stats.p95_micros = latency_.PercentileMicros(0.95);
-  stats.p99_micros = latency_.PercentileMicros(0.99);
+  // One consistent digest: count and percentiles from the same bucket
+  // snapshot (the old two-counter design could be observed torn mid-Reset).
+  const obs::HistogramStats latency = latency_.Stats();
+  stats.p50_micros = latency.p50;
+  stats.p95_micros = latency.p95;
+  stats.p99_micros = latency.p99;
   return stats;
 }
 

@@ -9,7 +9,7 @@
 #include <string>
 #include <vector>
 
-#include "serve/metrics.h"
+#include "obs/metrics.h"
 #include "serve/session_store.h"
 
 namespace pa::serve {
@@ -71,6 +71,10 @@ struct EngineStats {
 class Engine {
  public:
   Engine(std::shared_ptr<const LoadedModel> model, EngineConfig config = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
 
   /// Name of the currently active model (by value: hot-swap may replace the
   /// model concurrently).
@@ -108,9 +112,13 @@ class Engine {
   std::shared_ptr<SessionStore> sessions_;
   mutable std::mutex swap_mu_;  // Guards model_ / sessions_ swap.
 
-  std::atomic<uint64_t> requests_{0};
-  std::atomic<uint64_t> timeouts_{0};
-  LatencyHistogram latency_;
+  // Per-engine instruments (tests rely on a fresh engine starting at zero),
+  // registered with the process-wide obs::MetricRegistry under the
+  // "serve.*" names so `pa_serve stats` and bench snapshots see them.
+  // Last-constructed engine wins the names; the destructor unregisters.
+  obs::Counter requests_;
+  obs::Counter timeouts_;
+  obs::Histogram latency_;
 };
 
 }  // namespace pa::serve

@@ -24,9 +24,21 @@
 //       {"op":"stats"}
 //       {"op":"quit"}
 //
+//     The stats reply carries both the engine digest and a full
+//     obs::MetricRegistry snapshot ("registry": counters, gauges,
+//     histogram percentiles for every instrumented subsystem).
+//
 //     No network: pipe a file in, or wire the process to a socket with
 //     standard tooling (`socat`, inetd) if remote access is ever needed.
+//
+//   pa_serve stats --store DIR [--model LSTM] [--version N] [--probe N]
+//     Loads the model, drives a small probe workload (N users each observe
+//     a couple of check-ins, then one top-k batch) through a fresh engine,
+//     and prints one NDJSON line with the full metric-registry snapshot —
+//     a self-contained health check covering serving, session-store,
+//     thread-pool and tensor-pool metrics.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,7 +47,9 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "obs/metrics.h"
 #include "poi/csv.h"
 #include "poi/synthetic.h"
 #include "rec/registry.h"
@@ -105,8 +119,9 @@ bool ParseFlags(int argc, char** argv, int first, Flags* flags) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: pa_serve <publish|list|activate|serve> --store DIR "
-               "[options]\n(see the header of src/serve/pa_serve_main.cc)\n");
+               "usage: pa_serve <publish|list|activate|serve|stats> --store "
+               "DIR [options]\n(see the header of src/serve/pa_serve_main.cc)"
+               "\n");
   return 2;
 }
 
@@ -265,12 +280,67 @@ int CmdServe(const Flags& flags) {
       serve::JsonWriter w;
       w.BeginObject().Field("ok", true).RawField("stats",
                                                  engine.Stats().ToJson());
+      w.RawField("registry", obs::MetricRegistry::Global().SnapshotJson());
       w.EndObject();
       Reply(w.str());
     } else {
       ReplyError("unknown op \"" + op + "\" (observe, topk, stats, quit)");
     }
   }
+  return 0;
+}
+
+int CmdStats(const Flags& flags) {
+  serve::ModelStore store(flags.Get("store", "model_store"));
+  const std::string name = flags.Get("model", "LSTM");
+  const int version = static_cast<int>(flags.GetInt("version", -1));
+
+  serve::LoadedModel loaded;
+  std::string error;
+  const bool ok = version > 0 ? store.Load(name, version, &loaded, &error)
+                              : store.LoadActive(name, &loaded, &error);
+  if (!ok) {
+    std::fprintf(stderr, "pa_serve: cannot load \"%s\": %s\n", name.c_str(),
+                 error.c_str());
+    return 1;
+  }
+
+  const int num_pois = loaded.pois->size();
+  serve::Engine engine(
+      std::make_shared<const serve::LoadedModel>(std::move(loaded)));
+
+  // Drive a tiny deterministic probe workload so every serving-side
+  // instrument (request counters, latency histogram, session gauges,
+  // thread-pool and tensor-pool stats) reflects real traffic rather than
+  // printing an all-zero snapshot.
+  const int probe_users =
+      static_cast<int>(std::max(1L, flags.GetInt("probe", 4)));
+  std::vector<serve::TopKRequest> batch;
+  for (int user = 0; user < probe_users; ++user) {
+    for (int step = 0; step < 2; ++step) {
+      poi::Checkin checkin;
+      checkin.user = user;
+      checkin.poi = (user * 7 + step * 3) % std::max(1, num_pois);
+      checkin.timestamp = 3600 * (step + 1);
+      engine.Observe(checkin);
+    }
+    serve::TopKRequest request;
+    request.user = user;
+    request.k = 5;
+    request.next_timestamp = 3600 * 3;
+    batch.push_back(request);
+  }
+  engine.TopKBatch(batch);
+
+  serve::JsonWriter w;
+  w.BeginObject()
+      .Field("ok", true)
+      .Field("model", engine.model_name())
+      .Field("probe_users", int64_t{probe_users})
+      .RawField("stats", engine.Stats().ToJson())
+      .RawField("registry", obs::MetricRegistry::Global().SnapshotJson())
+      .EndObject();
+  std::printf("%s\n", w.str().c_str());
   return 0;
 }
 
@@ -285,5 +355,6 @@ int main(int argc, char** argv) {
   if (command == "list") return CmdList(flags);
   if (command == "activate") return CmdActivate(flags);
   if (command == "serve") return CmdServe(flags);
+  if (command == "stats") return CmdStats(flags);
   return Usage();
 }

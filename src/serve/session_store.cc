@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/tensor.h"
 
 namespace pa::serve {
@@ -52,6 +54,13 @@ std::shared_ptr<SessionStore::Entry> SessionStore::GetOrCreate(
 
 void SessionStore::EnsureSessionLocked(Entry& entry, int32_t user) {
   if (entry.session) return;
+  // Rebuilds are the expensive tail of serving (full history replay through
+  // the model); count and trace them so eviction pressure shows up in
+  // `pa_serve stats` and traces rather than only as a latency mystery.
+  PA_TRACE_SPAN("serve.session.rebuild");
+  static obs::Counter& rebuilds =
+      obs::MetricRegistry::Global().GetCounter("serve.session.rebuilds");
+  rebuilds.Increment();
   // Session rebuild replays the stored history through model forwards;
   // nothing here ever backpropagates, so run graph-free. (Callers that
   // already hold a scope nest harmlessly.)

@@ -1,5 +1,7 @@
 #include "tensor/buffer_pool.h"
 
+#include "obs/metrics.h"
+
 namespace pa::tensor::internal {
 
 // The live-pool pointers are nulled by the owners' destructors. TensorImpl
@@ -14,7 +16,14 @@ namespace {
 struct PoolOwner {
   BufferPool pool;
   PoolOwner() { t_buffer_pool = &pool; }
-  ~PoolOwner() { t_buffer_pool = nullptr; }
+  ~PoolOwner() {
+    t_buffer_pool = nullptr;
+    // Publish whatever the thread accumulated since its last flush; pool
+    // threads that never hit an explicit flush point still show up in the
+    // registry. The registry itself is immortal (leaked singleton), so
+    // flushing from thread_local teardown is safe.
+    pool.FlushStatsToRegistry();
+  }
 };
 
 struct NodePoolOwner {
@@ -28,6 +37,28 @@ struct NodePoolOwner {
 BufferPool& BufferPool::ThisThread() {
   thread_local PoolOwner owner;
   return owner.pool;
+}
+
+void BufferPool::FlushStatsToRegistry() {
+  // Function-local statics: one registry lookup per process, then every
+  // flush is four relaxed adds and a CAS max against stable instruments.
+  static obs::Counter& hits =
+      obs::MetricRegistry::Global().GetCounter("tensor.pool.hits");
+  static obs::Counter& misses =
+      obs::MetricRegistry::Global().GetCounter("tensor.pool.misses");
+  static obs::Counter& releases =
+      obs::MetricRegistry::Global().GetCounter("tensor.pool.releases");
+  static obs::Counter& discards =
+      obs::MetricRegistry::Global().GetCounter("tensor.pool.discards");
+  static obs::Gauge& high_water =
+      obs::MetricRegistry::Global().GetGauge("tensor.pool.high_water_bytes");
+  hits.Add(stats_.reuses - flushed_.reuses);
+  misses.Add((stats_.acquires - stats_.reuses) -
+             (flushed_.acquires - flushed_.reuses));
+  releases.Add(stats_.releases - flushed_.releases);
+  discards.Add(stats_.discards - flushed_.discards);
+  high_water.UpdateMax(static_cast<double>(high_water_bytes_));
+  flushed_ = stats_;
 }
 
 void* AcquireNodeBlockSlow(size_t bytes) {

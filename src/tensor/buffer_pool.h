@@ -92,6 +92,7 @@ class BufferPool {
       return;  // buf frees on scope exit.
     }
     cached_bytes_ += bytes;
+    if (cached_bytes_ > high_water_bytes_) high_water_bytes_ = cached_bytes_;
     free_.push_back(std::move(buf));
   }
 
@@ -105,7 +106,17 @@ class BufferPool {
   const BufferPoolStats& stats() const { return stats_; }
   size_t cached_buffers() const { return free_.size(); }
   size_t cached_bytes() const { return cached_bytes_; }
+  size_t high_water_bytes() const { return high_water_bytes_; }
   void set_debug_poison(bool on) { debug_poison_ = on; }
+
+  /// Publishes this pool's tallies as deltas-since-last-flush to the
+  /// process-wide obs::MetricRegistry ("tensor.pool.hits" / ".misses" /
+  /// ".releases" / ".discards" counters, ".high_water_bytes" max gauge).
+  /// The hot Acquire/Release path stays plain thread-local arithmetic; call
+  /// this at coarse boundaries (request end, per-user eval, thread exit —
+  /// the pool owner's destructor flushes automatically). Cost: a few
+  /// relaxed atomic adds against cached registry handles.
+  void FlushStatsToRegistry();
 
   /// The calling thread's pool (created on first use, destroyed with the
   /// thread). `ReleaseToThreadPool` below is teardown-safe; this accessor is
@@ -118,8 +129,10 @@ class BufferPool {
 
   std::vector<std::vector<float>> free_;
   size_t cached_bytes_ = 0;
+  size_t high_water_bytes_ = 0;
   bool debug_poison_ = false;
   BufferPoolStats stats_;
+  BufferPoolStats flushed_;  // Last tallies published to the registry.
 };
 
 /// Raw pointer to the calling thread's live BufferPool, or null both before

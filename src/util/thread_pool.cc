@@ -2,12 +2,35 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <memory>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pa::util {
 
 namespace {
+
+// Registry handles resolved once per process. The instruments themselves are
+// registry-owned and immortal, so workers may keep updating them during
+// static teardown (the global pool's destructor joins after main).
+struct PoolInstruments {
+  obs::Counter& submitted;
+  obs::Gauge& queue_depth;
+  obs::Gauge& queue_high_water;
+  obs::Histogram& task_wait_us;
+
+  static PoolInstruments& Get() {
+    static PoolInstruments instruments{
+        obs::MetricRegistry::Global().GetCounter("util.pool.submitted"),
+        obs::MetricRegistry::Global().GetGauge("util.pool.queue_depth"),
+        obs::MetricRegistry::Global().GetGauge("util.pool.queue_high_water"),
+        obs::MetricRegistry::Global().GetHistogram("util.pool.task_wait_us")};
+    return instruments;
+  }
+};
 
 // Set while a thread is executing pool work; nested ParallelFor calls from
 // such a thread run inline instead of re-entering the queue (re-entry could
@@ -31,6 +54,9 @@ int DefaultThreadCount() {
 
 ThreadPool::ThreadPool(int num_threads)
     : num_threads_(std::max(1, num_threads)) {
+  // Touch the pool instruments so every snapshot carries them (zeros beat
+  // absent keys for dashboards and the bench schema check).
+  PoolInstruments::Get();
   workers_.reserve(static_cast<size_t>(num_threads_ - 1));
   for (int i = 0; i < num_threads_ - 1; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -48,28 +74,48 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::WorkerLoop() {
   t_in_pool_worker = true;
+  auto& instruments = PoolInstruments::Get();
   for (;;) {
     std::function<void()> task;
+    size_t depth;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
+      depth = queue_.size();
     }
+    instruments.queue_depth.Set(static_cast<double>(depth));
     task();
   }
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  auto& instruments = PoolInstruments::Get();
+  instruments.submitted.Increment();
   if (num_threads_ == 1) {
+    // Inline execution has no queueing delay by construction; record the
+    // zero so a 1-thread run still shows one wait sample per Submit.
+    instruments.task_wait_us.Record(0.0);
     task();
     return;
   }
+  const auto enqueue = std::chrono::steady_clock::now();
+  size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.emplace_back(std::move(task));
+    queue_.emplace_back([task = std::move(task), enqueue] {
+      PoolInstruments::Get().task_wait_us.Record(
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - enqueue)
+              .count());
+      task();
+    });
+    depth = queue_.size();
   }
+  instruments.queue_depth.Set(static_cast<double>(depth));
+  instruments.queue_high_water.UpdateMax(static_cast<double>(depth));
   cv_.notify_one();
 }
 
@@ -87,6 +133,10 @@ void ThreadPool::ParallelForRange(
     return;
   }
 
+  // Only genuine fan-outs get a span: the inline paths above run per-op in
+  // tight numeric loops and would drown a trace in zero-width events.
+  PA_TRACE_SPAN("util.parallel_for");
+
   // Split into blocks. A few blocks per thread smooths load imbalance
   // without flooding the queue.
   const int64_t max_blocks = static_cast<int64_t>(num_threads_) * 4;
@@ -102,6 +152,8 @@ void ThreadPool::ParallelForRange(
   auto state = std::make_shared<SharedState>();
   state->remaining.store(blocks, std::memory_order_relaxed);
 
+  auto& instruments = PoolInstruments::Get();
+  size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);
     // The calling thread runs block 0 itself; queue the rest.
@@ -116,7 +168,11 @@ void ThreadPool::ParallelForRange(
         }
       });
     }
+    depth = queue_.size();
   }
+  instruments.submitted.Add(static_cast<uint64_t>(blocks - 1));
+  instruments.queue_depth.Set(static_cast<double>(depth));
+  instruments.queue_high_water.UpdateMax(static_cast<double>(depth));
   cv_.notify_all();
 
   {

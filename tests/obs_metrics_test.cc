@@ -1,0 +1,286 @@
+// Tests for the obs:: metrics layer: instrument semantics, the registry's
+// ownership model (registry-owned Get* vs caller-owned Register* with
+// owner-tagged Unregister), snapshot JSON shape, and — under TSan — that
+// concurrent bumps, snapshots and resets are race-free. The histogram
+// tests pin the no-torn-reset contract that replaced the old
+// serve::LatencyHistogram's separate total counter.
+
+#include "obs/metrics.h"
+
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace pa::obs {
+namespace {
+
+TEST(Counter, IncrementAddResetAreVisible) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAddUpdateMax) {
+  Gauge g;
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.Add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.UpdateMax(10.0);
+  EXPECT_DOUBLE_EQ(g.value(), 10.0);
+  g.UpdateMax(3.0);  // Lower value must not win.
+  EXPECT_DOUBLE_EQ(g.value(), 10.0);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Histogram, PercentilesInterpolateWithinBucketError) {
+  Histogram h;
+  for (int v = 1; v <= 1000; ++v) h.Record(static_cast<double>(v));
+  EXPECT_EQ(h.count(), 1000u);
+  const HistogramStats stats = h.Stats();
+  EXPECT_EQ(stats.count, 1000u);
+  // Geometric buckets (ratio 1.5) bound relative error by the bucket width.
+  EXPECT_GT(stats.p50, 500.0 / Histogram::kRatio);
+  EXPECT_LT(stats.p50, 500.0 * Histogram::kRatio);
+  EXPECT_GT(stats.p99, 990.0 / Histogram::kRatio);
+  EXPECT_LT(stats.p99, 990.0 * Histogram::kRatio);
+  EXPECT_LE(stats.p50, stats.p95);
+  EXPECT_LE(stats.p95, stats.p99);
+  EXPECT_GT(stats.mean, 500.5 / Histogram::kRatio);
+  EXPECT_LT(stats.mean, 500.5 * Histogram::kRatio);
+}
+
+TEST(Histogram, ExtremesLandInEdgeBuckets) {
+  Histogram h;
+  h.Record(0.0);      // Below the first bucket: clamps, must not crash.
+  h.Record(-5.0);     // Negative: same.
+  h.Record(1e300);    // Far past the last bucket: clamps to the catch-all.
+  EXPECT_EQ(h.count(), 3u);
+  const HistogramStats stats = h.Stats();
+  EXPECT_TRUE(std::isfinite(stats.p99));
+  EXPECT_TRUE(std::isfinite(stats.mean));
+}
+
+TEST(Histogram, ResetClearsEverythingConsistently) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Record(50.0);
+  EXPECT_EQ(h.count(), 100u);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.99), 0.0);
+  const HistogramStats stats = h.Stats();
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_DOUBLE_EQ(stats.p50, 0.0);
+}
+
+// The torn-reset regression: with the old separate-total design a reader
+// racing a Reset could observe total > 0 against zeroed buckets (or the
+// reverse) and report wild percentiles. Count and percentiles now derive
+// from one bucket snapshot, so every digest a reader sees — even mid-Reset,
+// mid-Record — must be internally consistent. TSan also proves the data-race
+// freedom of the three-way concurrency.
+TEST(Histogram, ConcurrentRecordResetReadersSeeConsistentDigests) {
+  Histogram h;
+  std::atomic<bool> stop{false};
+
+  std::thread writer([&] {
+    uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      h.Record(static_cast<double>(1 + (i++ % 2048)));
+    }
+  });
+  std::thread resetter([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      h.Reset();
+      std::this_thread::yield();
+    }
+  });
+
+  for (int i = 0; i < 3000; ++i) {
+    const HistogramStats stats = h.Stats();
+    ASSERT_TRUE(std::isfinite(stats.p50));
+    ASSERT_TRUE(std::isfinite(stats.p99));
+    ASSERT_LE(stats.p50, stats.p95);
+    ASSERT_LE(stats.p95, stats.p99);
+    if (stats.count == 0) {
+      ASSERT_DOUBLE_EQ(stats.p50, 0.0);
+      ASSERT_DOUBLE_EQ(stats.p99, 0.0);
+    } else {
+      // All recorded values are in [1, 2048]; a consistent digest can never
+      // interpolate past the bucket containing the max by more than the
+      // bucket ratio.
+      ASSERT_GT(stats.p99, 0.0);
+      ASSERT_LT(stats.p99, 2048.0 * Histogram::kRatio);
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  resetter.join();
+}
+
+TEST(MetricRegistry, GetReturnsStableAddresses) {
+  auto& registry = MetricRegistry::Global();
+  Counter& a = registry.GetCounter("test.registry.stable");
+  Counter& b = registry.GetCounter("test.registry.stable");
+  EXPECT_EQ(&a, &b);
+  a.Increment();
+  EXPECT_EQ(registry.TakeSnapshot().counters.at("test.registry.stable"), 1u);
+  registry.Unregister("test.registry.stable", nullptr);
+}
+
+TEST(MetricRegistry, GetWithKindMismatchRebindsTheName) {
+  auto& registry = MetricRegistry::Global();
+  registry.GetCounter("test.registry.kind").Add(7);
+  Gauge& g = registry.GetGauge("test.registry.kind");
+  g.Set(1.25);
+  const auto snap = registry.TakeSnapshot();
+  EXPECT_EQ(snap.counters.count("test.registry.kind"), 0u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("test.registry.kind"), 1.25);
+  registry.Unregister("test.registry.kind", nullptr);
+}
+
+TEST(MetricRegistry, RegisteredInstrumentsLastWinsAndOwnerTaggedUnregister) {
+  auto& registry = MetricRegistry::Global();
+  Counter first;
+  first.Add(5);
+  registry.RegisterCounter("test.registry.owned", &first);
+  EXPECT_EQ(registry.TakeSnapshot().counters.at("test.registry.owned"), 5u);
+
+  Counter second;
+  second.Add(7);
+  registry.RegisterCounter("test.registry.owned", &second);  // Last wins.
+  EXPECT_EQ(registry.TakeSnapshot().counters.at("test.registry.owned"), 7u);
+
+  // The replaced owner's teardown must not evict its replacement.
+  registry.Unregister("test.registry.owned", &first);
+  EXPECT_EQ(registry.TakeSnapshot().counters.at("test.registry.owned"), 7u);
+
+  registry.Unregister("test.registry.owned", &second);
+  EXPECT_EQ(registry.TakeSnapshot().counters.count("test.registry.owned"), 0u);
+}
+
+TEST(MetricRegistry, CallbackGaugeComputedAtSnapshotTime) {
+  auto& registry = MetricRegistry::Global();
+  double live = 3.0;
+  const int owner_tag = 0;
+  registry.RegisterCallbackGauge("test.registry.callback", &owner_tag,
+                                 [&live] { return live; });
+  EXPECT_DOUBLE_EQ(registry.TakeSnapshot().gauges.at("test.registry.callback"),
+                   3.0);
+  live = 9.0;
+  EXPECT_DOUBLE_EQ(registry.TakeSnapshot().gauges.at("test.registry.callback"),
+                   9.0);
+  registry.Unregister("test.registry.callback", &owner_tag);
+  EXPECT_EQ(registry.TakeSnapshot().gauges.count("test.registry.callback"),
+            0u);
+}
+
+TEST(MetricRegistry, SnapshotJsonShapeAndEscaping) {
+  auto& registry = MetricRegistry::Global();
+  registry.GetCounter("test.json.count\"er\\x").Add(3);
+  registry.GetGauge("test.json.gauge").Set(2.5);
+  registry.GetHistogram("test.json.hist").Record(100.0);
+  const std::string json = registry.SnapshotJson();
+
+  EXPECT_NE(json.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":{"), std::string::npos);
+  // The quote and backslash in the counter name must be escaped.
+  EXPECT_NE(json.find("\"test.json.count\\\"er\\\\x\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.gauge\":2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+
+  // Structurally balanced (quotes toggled off, every close matches an open).
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char ch : json) {
+    if (escaped) {
+      escaped = false;
+    } else if (ch == '\\') {
+      escaped = true;
+    } else if (ch == '"') {
+      in_string = !in_string;
+    } else if (!in_string && ch == '{') {
+      ++depth;
+    } else if (!in_string && ch == '}') {
+      ASSERT_GT(depth, 0);
+      --depth;
+    }
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+
+  registry.Unregister("test.json.count\"er\\x", nullptr);
+  registry.Unregister("test.json.gauge", nullptr);
+  registry.Unregister("test.json.hist", nullptr);
+}
+
+// Concurrent Get + bump + snapshot across threads: the registry mutex only
+// guards the name table, instrument updates are lock-free, and TakeSnapshot
+// may run at any time. TSan gates this path in tier-1.
+TEST(MetricRegistry, ConcurrentGetBumpAndSnapshot) {
+  auto& registry = MetricRegistry::Global();
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      // Shared instrument: all threads contend on one counter; private
+      // instrument: each thread owns a name. Both resolved inside the loop
+      // on first iteration only (function-local cache pattern).
+      Counter& shared = registry.GetCounter("test.concurrent.shared");
+      Counter& mine = registry.GetCounter("test.concurrent.t" +
+                                          std::to_string(t));
+      Histogram& latency = registry.GetHistogram("test.concurrent.latency");
+      for (int i = 0; i < kIters; ++i) {
+        shared.Increment();
+        mine.Increment();
+        latency.Record(static_cast<double>(1 + i % 100));
+      }
+    });
+  }
+  std::atomic<bool> stop{false};
+  threads.emplace_back([&registry, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto snap = registry.TakeSnapshot();
+      auto it = snap.counters.find("test.concurrent.shared");
+      if (it != snap.counters.end()) {
+        ASSERT_LE(it->second, uint64_t{kThreads} * kIters);
+      }
+    }
+  });
+  for (int t = 0; t < kThreads; ++t) threads[static_cast<size_t>(t)].join();
+  stop.store(true, std::memory_order_relaxed);
+  threads.back().join();
+
+  const auto snap = registry.TakeSnapshot();
+  EXPECT_EQ(snap.counters.at("test.concurrent.shared"),
+            uint64_t{kThreads} * kIters);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(snap.counters.at("test.concurrent.t" + std::to_string(t)),
+              static_cast<uint64_t>(kIters));
+  }
+  EXPECT_EQ(snap.histograms.at("test.concurrent.latency").count,
+            uint64_t{kThreads} * kIters);
+
+  registry.Unregister("test.concurrent.shared", nullptr);
+  registry.Unregister("test.concurrent.latency", nullptr);
+  for (int t = 0; t < kThreads; ++t) {
+    registry.Unregister("test.concurrent.t" + std::to_string(t), nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace pa::obs

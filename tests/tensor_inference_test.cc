@@ -15,6 +15,7 @@
 
 #include "nn/layers.h"
 #include "nn/lstm.h"
+#include "obs/metrics.h"
 #include "tensor/buffer_pool.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
@@ -228,6 +229,52 @@ TEST(BufferPoolTest, RecyclesCapacityAcrossForwardPasses) {
   pool.Trim();
   EXPECT_EQ(pool.cached_buffers(), 0u);
   EXPECT_EQ(pool.cached_bytes(), 0u);
+}
+
+// FlushStatsToRegistry publishes deltas-since-last-flush: recycling done
+// between two flushes must show up in the process-wide counters exactly
+// once, and a flush with no intervening pool activity must add nothing.
+TEST(BufferPoolTest, FlushStatsPublishesDeltasToRegistry) {
+  auto& registry = obs::MetricRegistry::Global();
+  internal::BufferPool& pool = internal::BufferPool::ThisThread();
+  pool.FlushStatsToRegistry();  // Drain tallies from earlier tests.
+
+  auto counter_at = [&registry](const char* name) -> uint64_t {
+    const auto snap = registry.TakeSnapshot();
+    auto it = snap.counters.find(name);
+    return it == snap.counters.end() ? 0 : it->second;
+  };
+  const uint64_t hits0 = counter_at("tensor.pool.hits");
+  const uint64_t misses0 = counter_at("tensor.pool.misses");
+  const uint64_t releases0 = counter_at("tensor.pool.releases");
+
+  util::Rng rng(5);
+  Tensor a = RandomTensor({8, 8}, rng);
+  Tensor b = RandomTensor({8, 8}, rng);
+  pool.Trim();  // Next acquire must miss; the following nine recycle.
+  {
+    InferenceModeScope scope;
+    for (int i = 0; i < 10; ++i) {
+      Tensor c = Tanh(Add(a, b));
+    }
+  }
+
+  // The tallies stay thread-local until flushed.
+  EXPECT_EQ(counter_at("tensor.pool.hits"), hits0);
+  pool.FlushStatsToRegistry();
+  EXPECT_GE(counter_at("tensor.pool.hits") - hits0, 9u);
+  EXPECT_GE(counter_at("tensor.pool.misses") - misses0, 1u);
+  EXPECT_GE(counter_at("tensor.pool.releases") - releases0, 10u);
+  const auto snap = registry.TakeSnapshot();
+  ASSERT_EQ(snap.gauges.count("tensor.pool.high_water_bytes"), 1u);
+  EXPECT_GT(snap.gauges.at("tensor.pool.high_water_bytes"), 0.0);
+
+  // Idempotent when nothing happened in between.
+  const uint64_t hits1 = counter_at("tensor.pool.hits");
+  const uint64_t misses1 = counter_at("tensor.pool.misses");
+  pool.FlushStatsToRegistry();
+  EXPECT_EQ(counter_at("tensor.pool.hits"), hits1);
+  EXPECT_EQ(counter_at("tensor.pool.misses"), misses1);
 }
 
 TEST(InferenceOpsTest, RvalueOverloadRecyclesDyingTempInPlace) {
