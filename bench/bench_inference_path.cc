@@ -184,7 +184,10 @@ struct OverheadResult {
 // once plain and once with the per-step instrumentation budget the real hot
 // paths carry (one trace span and one counter bump), with tracing forced
 // off. A disabled span must cost one relaxed load and a branch, a counter
-// one relaxed add; the non-smoke gate holds the ratio within 3%.
+// one relaxed add; the non-smoke gate holds the ratio within 3%. The
+// continuous-telemetry layer (TelemetrySampler, ExpositionServer) is linked
+// into this binary but never started, which is exactly the idle state the
+// gate certifies: neither touches any hot path until Start().
 //
 // 3% is inside this host's run-to-run noise, so the gate metric is the
 // median over many *paired single-rollout samples* rather than a ratio of

@@ -23,6 +23,12 @@ This script has two modes:
       carries finite count/p50/p95/p99/mean. Exits 2 on any violation.
       Used by tier1.sh as a cheap smoke gate without needing a baseline.
 
+      Files ending in .ndjson are validated as PA_OBS_TIMESERIES dumps
+      instead (schema "pa.timeseries.v1", one object per line): seq must
+      be strictly increasing, ts_ms/uptime_ms/dropped monotonic
+      non-decreasing, counter deltas non-negative integers, gauges finite,
+      histogram digests finite.
+
 Metric direction is inferred from the key name:
   lower is better:  *_ns_op, *_seconds, *_micros, *_ms
   higher is better: *_qps, *speedup*, *_rate, hr*, mrr*
@@ -112,9 +118,90 @@ def check_registry_snapshot(snapshot):
     return problems
 
 
+TIMESERIES_SCHEMA = "pa.timeseries.v1"
+
+
+def check_timeseries(path):
+    """Problems (possibly none) with a PA_OBS_TIMESERIES NDJSON dump."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        return [f"cannot read: {e}"]
+    lines = text.splitlines()
+    # The sampler is stopped by process exit, so the very last line may be
+    # cut mid-write. Only a line missing its terminating newline gets that
+    # benefit of the doubt.
+    if lines and not text.endswith("\n"):
+        lines.pop()
+    problems = []
+    prev = None  # (seq, ts_ms, uptime_ms, dropped)
+    samples = 0
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as e:
+            problems.append(f"line {lineno}: not JSON: {e}")
+            continue
+        if not isinstance(doc, dict):
+            problems.append(f"line {lineno}: not an object")
+            continue
+        samples += 1
+        if doc.get("schema") != TIMESERIES_SCHEMA:
+            problems.append(f"line {lineno}: 'schema' must be "
+                            f"'{TIMESERIES_SCHEMA}' ({doc.get('schema')!r})")
+        fields = {}
+        for key in ("seq", "ts_ms", "uptime_ms", "dropped"):
+            value = doc.get(key)
+            if isinstance(value, bool) or not isinstance(value, int) \
+                    or value < 0:
+                problems.append(f"line {lineno}: '{key}' must be a "
+                                f"non-negative integer ({value!r})")
+                value = None
+            fields[key] = value
+        if prev is not None and None not in fields.values():
+            if fields["seq"] <= prev[0]:
+                problems.append(f"line {lineno}: seq not strictly increasing "
+                                f"({prev[0]} -> {fields['seq']})")
+            if fields["ts_ms"] < prev[1]:
+                problems.append(f"line {lineno}: ts_ms went backwards "
+                                f"({prev[1]} -> {fields['ts_ms']})")
+            if fields["uptime_ms"] < prev[2]:
+                problems.append(f"line {lineno}: uptime_ms went backwards "
+                                f"({prev[2]} -> {fields['uptime_ms']})")
+            if fields["dropped"] < prev[3]:
+                problems.append(f"line {lineno}: dropped went backwards "
+                                f"({prev[3]} -> {fields['dropped']})")
+        if None not in fields.values():
+            prev = (fields["seq"], fields["ts_ms"], fields["uptime_ms"],
+                    fields["dropped"])
+        # Each line carries a registry snapshot body: counters are per-tick
+        # deltas but still non-negative integers, so the snapshot checker
+        # applies as-is.
+        for p in check_registry_snapshot(
+                {k: doc.get(k) for k in ("counters", "gauges", "histograms")}):
+            problems.append(f"line {lineno}: {p.replace('metrics.', '')}")
+    if samples == 0:
+        problems.append("no samples")
+    return problems
+
+
 def check_schema(paths):
     failures = 0
     for path in paths:
+        if path.endswith(".ndjson"):
+            problems = check_timeseries(path)
+            if problems:
+                failures += 1
+                for p in problems:
+                    print(f"bench_compare: {path}: {p}", file=sys.stderr)
+            else:
+                with open(path, "r", encoding="utf-8") as f:
+                    n = sum(1 for line in f if line.strip())
+                print(f"{path}: OK ({TIMESERIES_SCHEMA}, {n} samples)")
+            continue
         doc = load(path)
         problems = []
         for key in REQUIRED_KEYS:

@@ -44,10 +44,90 @@ for name in ("serve.requests", "util.pool.submitted", "tensor.pool.hits"):
     assert name in reg["counters"], f"missing counter {name}"
 assert "serve.sessions.live" in reg["gauges"], "missing session gauge"
 assert "serve.latency_us" in reg["histograms"], "missing latency histogram"
+delta = doc["probe_delta"]
+assert delta["counters"].get("serve.requests", 0) > 0, \
+    "probe_delta must attribute the probe requests"
+probe_requests = delta["counters"]["serve.requests"]
+assert probe_requests <= reg["counters"]["serve.requests"]
 c, g, h = len(reg["counters"]), len(reg["gauges"]), len(reg["histograms"])
 print(f"pa_serve stats: registry snapshot OK "
-      f"({c} counters, {g} gauges, {h} histograms)")
+      f"({c} counters, {g} gauges, {h} histograms; probe delta "
+      f"{probe_requests} requests)")
 '
+
+# Continuous-telemetry smoke: run the serve loop with the time-series
+# sampler on and a metrics port bound, drive a few requests, and check the
+# whole exposition surface end to end — /metrics must be parseable
+# Prometheus text covering the serving instruments, /healthz must report
+# ok, /varz must be the registry JSON, and the NDJSON time-series the
+# sampler wrote must pass the schema gate (monotonic seq/ts, non-negative
+# counter deltas).
+rm -f build/tier1_timeseries.ndjson
+PA_OBS_TIMESERIES=build/tier1_timeseries.ndjson PA_OBS_SAMPLE_PERIOD_MS=50 \
+python3 - build/src/serve/pa_serve build/tier1_store <<'EOF'
+import http.client, json, re, subprocess, sys, time
+
+proc = subprocess.Popen(
+    [sys.argv[1], "serve", "--store", sys.argv[2], "--metrics-port", "0"],
+    stdin=subprocess.PIPE, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+    text=True)
+try:
+    port = None
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        line = proc.stderr.readline()
+        if not line:
+            raise SystemExit("pa_serve exited before binding metrics port")
+        m = re.search(r"metrics listening on http://127\.0\.0\.1:(\d+)", line)
+        if m:
+            port = int(m.group(1))
+            break
+    assert port, "no metrics port announced within 30s"
+
+    for i in range(4):
+        proc.stdin.write(json.dumps(
+            {"op": "topk", "user": 1, "k": 5, "timestamp": 1000 + i}) + "\n")
+    proc.stdin.flush()
+    for _ in range(4):
+        assert json.loads(proc.stdout.readline())["ok"] is True
+
+    def get(path):
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+        conn.request("GET", path)
+        resp = conn.getresponse()
+        body = resp.read().decode()
+        conn.close()
+        return resp.status, body
+
+    status, metrics = get("/metrics")
+    assert status == 200, (status, metrics)
+    names = set()
+    for line in metrics.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        m = re.match(r"([A-Za-z_:][A-Za-z0-9_:]*)(\{[^}]*\})? (\S+)", line)
+        assert m, f"unparseable /metrics line: {line!r}"
+        names.add(m.group(1))
+        float(m.group(3))  # Value must be numeric (inf/nan allowed).
+    for needed in ("serve_requests", "serve_latency_us_bucket",
+                   "serve_latency_us_count", "pa_health_status"):
+        assert needed in names, f"/metrics missing {needed}"
+
+    status, health = get("/healthz")
+    assert status == 200 and json.loads(health)["status"] == "ok", health
+    status, varz = get("/varz")
+    assert status == 200 and "serve.requests" in json.loads(varz)["counters"]
+
+    time.sleep(0.3)  # A few 50ms sampler ticks with traffic recorded.
+    proc.stdin.write('{"op":"quit"}\n')
+    proc.stdin.close()
+    assert proc.wait(timeout=30) == 0
+    print(f"pa_serve exposition smoke: OK ({len(names)} metric families)")
+finally:
+    if proc.poll() is None:
+        proc.kill()
+EOF
+python3 scripts/bench_compare.py --schema build/tier1_timeseries.ndjson
 
 if [[ "${1:-}" == "--no-tsan" ]]; then
   exit 0
@@ -63,9 +143,10 @@ cmake --build build-tsan -j"$(nproc)" --target \
   util_thread_pool_test parallel_determinism_test \
   serve_session_store_test serve_engine_test \
   tensor_inference_test inference_equivalence_test \
-  obs_metrics_test obs_trace_test
+  obs_metrics_test obs_trace_test \
+  obs_health_test obs_telemetry_test obs_http_exposition_test
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'util_thread_pool_test|parallel_determinism_test|serve_session_store_test|serve_engine_test|tensor_inference_test|inference_equivalence_test|obs_metrics_test|obs_trace_test'
+  -R 'util_thread_pool_test|parallel_determinism_test|serve_session_store_test|serve_engine_test|tensor_inference_test|inference_equivalence_test|obs_metrics_test|obs_trace_test|obs_health_test|obs_telemetry_test|obs_http_exposition_test'
 
 # ASan/UBSan pass over the checkpoint parser and the serving subsystem:
 # these tests feed truncated/corrupted byte streams and hammer the session

@@ -5,8 +5,8 @@ Input is either format the obs tracer writes:
 
   * chrome://tracing Trace Event JSON ({"traceEvents": [...]}) — the default
     PA_OBS_TRACE=<path>.json output, loadable in chrome://tracing / Perfetto;
-  * flat NDJSON (one {"name","ts_us","dur_us","tid"} object per line) — the
-    <path>.ndjson variant.
+  * flat NDJSON (one {"name","ts_us","dur_us","tid","id"} object per line) —
+    the <path>.ndjson variant.
 
 For every span name the summary reports call count, total wall time, and
 *self* time — total minus the time covered by spans nested inside it on the
@@ -14,7 +14,12 @@ same thread (a parent's self time excludes its children, so "where is time
 actually spent" reads directly off the column). Nesting is reconstructed
 per thread from start/end order, which is exactly how the RAII spans nest.
 
-Usage: trace_summary.py TRACE_FILE [--top N]
+Usage: trace_summary.py TRACE_FILE [--top N] [--span ID]
+
+--span ID looks up one span by its process-unique id instead of printing
+the rankings — the lookup direction for histogram exemplars: /metrics and
+`pa_serve stats` report a `p99_exemplar_span` id, this flag shows the
+actual request behind that tail latency. Exits 1 when the id is absent.
 
 Exits 0 on success, 2 on unreadable or malformed input.
 """
@@ -25,7 +30,7 @@ import sys
 
 
 def load_events(path):
-    """Returns a list of (name, start_us, dur_us, tid), or exits 2."""
+    """Returns a list of (name, start_us, dur_us, tid, id), or exits 2."""
     try:
         with open(path, "r", encoding="utf-8") as f:
             text = f.read()
@@ -35,14 +40,14 @@ def load_events(path):
 
     events = []
 
-    def add(name, ts, dur, tid):
+    def add(name, ts, dur, tid, span_id):
         if not isinstance(name, str) or not name:
             raise ValueError("span name must be a non-empty string")
         ts = float(ts)
         dur = float(dur)
         if dur < 0:
             raise ValueError(f"negative duration on '{name}'")
-        events.append((name, ts, dur, int(tid)))
+        events.append((name, ts, dur, int(tid), int(span_id)))
 
     try:
         stripped = text.lstrip()
@@ -55,7 +60,7 @@ def load_events(path):
                 if ev.get("ph") != "X":
                     continue  # Only complete events carry durations.
                 add(ev.get("name"), ev.get("ts"), ev.get("dur"),
-                    ev.get("tid", 0))
+                    ev.get("tid", 0), ev.get("id", 0))
         else:
             for lineno, line in enumerate(text.splitlines(), 1):
                 if not line.strip():
@@ -65,7 +70,7 @@ def load_events(path):
                 except json.JSONDecodeError as e:
                     raise ValueError(f"line {lineno}: {e}") from e
                 add(ev.get("name"), ev.get("ts_us"), ev.get("dur_us"),
-                    ev.get("tid", 0))
+                    ev.get("tid", 0), ev.get("id", 0))
     except (ValueError, TypeError, json.JSONDecodeError) as e:
         print(f"trace_summary: {path}: malformed trace: {e}", file=sys.stderr)
         sys.exit(2)
@@ -90,7 +95,7 @@ def summarize(events):
             _end, name, dur, child_time = stack.pop()
             stats[name]["self"] += max(0.0, dur - child_time)
 
-        for name, start, dur, _tid in tid_events:
+        for name, start, dur, _tid, _id in tid_events:
             while stack and stack[-1][0] <= start:
                 pop_frame()
             entry = stats.setdefault(name,
@@ -112,9 +117,22 @@ def main():
     parser.add_argument("trace", help="trace file (Trace Event JSON or NDJSON)")
     parser.add_argument("--top", type=int, default=15,
                         help="rows to show per ranking (default 15)")
+    parser.add_argument("--span", type=int, default=None, metavar="ID",
+                        help="look up one span by id (exemplar resolution) "
+                             "instead of printing rankings")
     args = parser.parse_args()
 
     events = load_events(args.trace)
+    if args.span is not None:
+        matches = [ev for ev in events if ev[4] == args.span]
+        if not matches:
+            print(f"{args.trace}: no span with id {args.span}",
+                  file=sys.stderr)
+            return 1
+        for name, start, dur, tid, span_id in matches:
+            print(f"span {span_id}: {name}  start {start / 1e3:.3f} ms  "
+                  f"dur {dur / 1e3:.3f} ms ({dur:.1f} us)  tid {tid}")
+        return 0
     if not events:
         print(f"{args.trace}: no span events")
         return 0

@@ -29,6 +29,9 @@ struct TrainInstruments {
   obs::Gauge& stage1_loss;
   obs::Gauge& stage2_loss;
   obs::Gauge& stage3_loss;
+  obs::Gauge& stage1_grad_norm;
+  obs::Gauge& stage2_grad_norm;
+  obs::Gauge& stage3_grad_norm;
 
   static TrainInstruments& Get() {
     auto& registry = obs::MetricRegistry::Global();
@@ -37,8 +40,23 @@ struct TrainInstruments {
         registry.GetHistogram("train.epoch_ms"),
         registry.GetGauge("train.stage1.loss"),
         registry.GetGauge("train.stage2.loss"),
-        registry.GetGauge("train.stage3.loss")};
+        registry.GetGauge("train.stage3.loss"),
+        registry.GetGauge("train.stage1.grad_norm"),
+        registry.GetGauge("train.stage2.grad_norm"),
+        registry.GetGauge("train.stage3.grad_norm")};
     return instruments;
+  }
+
+  /// Latest pre-clip gradient norm for `stage` (1-based).
+  obs::Gauge& GradNormGauge(int stage) {
+    switch (stage) {
+      case 1:
+        return stage1_grad_norm;
+      case 2:
+        return stage2_grad_norm;
+      default:
+        return stage3_grad_norm;
+    }
   }
 };
 
@@ -318,9 +336,10 @@ PaSeq2Seq::WorkItem PaSeq2Seq::MaskItem(const WorkItem& item, float ratio,
 float PaSeq2Seq::RunEpoch(
     std::vector<WorkItem>& items,
     const std::function<tensor::Tensor(const WorkItem&, util::Rng&)>& loss_fn,
-    tensor::Adam& optimizer) {
+    tensor::Adam& optimizer, int stage, TrainWatchdog* watchdog) {
   PA_TRACE_SPAN("train.epoch");
   auto& instruments = TrainInstruments::Get();
+  obs::Gauge& grad_norm_gauge = instruments.GradNormGauge(stage);
   const auto epoch_start = std::chrono::steady_clock::now();
   rng_.Shuffle(items);
   double total = 0.0;
@@ -333,11 +352,19 @@ float PaSeq2Seq::RunEpoch(
       PA_TRACE_SPAN("train.item");
       Tensor loss = loss_fn(item, rng_);
       if (!loss.defined()) continue;
+      const float loss_value = loss.item();
       optimizer.ZeroGrad();
       loss.Backward();
-      optimizer.ClipGradNorm(config_.grad_clip);
+      const float grad_norm = optimizer.ClipGradNorm(config_.grad_clip);
+      grad_norm_gauge.Set(grad_norm);
+      // Veto BEFORE Step: a non-finite loss or gradient must not touch the
+      // parameters.
+      if (watchdog != nullptr &&
+          !watchdog->ObserveStep(stage, loss_value, grad_norm)) {
+        break;
+      }
       optimizer.Step();
-      total += loss.item();
+      total += loss_value;
       ++count;
     }
     instruments.epochs.Increment();
@@ -389,6 +416,7 @@ float PaSeq2Seq::RunEpoch(
     if (contributed == 0) continue;
     optimizer.ZeroGrad();
     const float scale = 1.0f / static_cast<float>(contributed);
+    double batch_total = 0.0;
     for (const ItemResult& r : results) {  // Item order: fixed merge order.
       if (!r.defined) continue;
       for (size_t p = 0; p < params.size(); ++p) {
@@ -396,10 +424,17 @@ float PaSeq2Seq::RunEpoch(
         const std::vector<float>& src = r.grads[p];
         for (size_t j = 0; j < src.size(); ++j) dst[j] += src[j] * scale;
       }
+      batch_total += r.loss;
       total += r.loss;
       ++count;
     }
-    optimizer.ClipGradNorm(config_.grad_clip);
+    const float grad_norm = optimizer.ClipGradNorm(config_.grad_clip);
+    grad_norm_gauge.Set(grad_norm);
+    if (watchdog != nullptr &&
+        !watchdog->ObserveStep(
+            stage, static_cast<float>(batch_total / contributed), grad_norm)) {
+      break;
+    }
     optimizer.Step();
   }
   instruments.epochs.Increment();
@@ -416,12 +451,13 @@ void PaSeq2Seq::Fit(const std::vector<poi::CheckinSequence>& train) {
   tensor::Adam optimizer(Parameters(), config_.learning_rate);
 
   auto& instruments = TrainInstruments::Get();
+  TrainWatchdog watchdog(config_.watchdog);
 
   // Stage 1: MLE pretraining of the uni-directional (decoder) and
   // bi-directional (encoder) LSTM paths.
   {
     PA_TRACE_SPAN("train.stage1");
-    for (int e = 0; e < config_.stage1_epochs; ++e) {
+    for (int e = 0; e < config_.stage1_epochs && !watchdog.aborted(); ++e) {
       const float loss = RunEpoch(
           items,
           [this](const WorkItem& item, util::Rng& rng) {
@@ -431,40 +467,42 @@ void PaSeq2Seq::Fit(const std::vector<poi::CheckinSequence>& train) {
             if (!enc.defined()) return dec;
             return tensor::Scale(tensor::Add(dec, enc), 0.5f);
           },
-          optimizer);
+          optimizer, /*stage=*/1, &watchdog);
       stats_.stage1.push_back(loss);
       instruments.stage1_loss.Set(loss);
       if (config_.verbose) {
         std::fprintf(stderr, "[pa-seq2seq] stage1 epoch %d loss %.4f\n", e,
                      loss);
       }
+      if (!watchdog.aborted()) watchdog.ObserveEpoch(1, loss);
     }
   }
 
   // Stage 2: MLE pretraining of the full seq2seq (no masking).
-  {
+  if (!watchdog.aborted()) {
     PA_TRACE_SPAN("train.stage2");
-    for (int e = 0; e < config_.stage2_epochs; ++e) {
+    for (int e = 0; e < config_.stage2_epochs && !watchdog.aborted(); ++e) {
       const float loss = RunEpoch(
           items,
           [this](const WorkItem& item, util::Rng& rng) {
             return Decode(item, /*training=*/true, nullptr, nullptr, &rng);
           },
-          optimizer);
+          optimizer, /*stage=*/2, &watchdog);
       stats_.stage2.push_back(loss);
       instruments.stage2_loss.Set(loss);
       if (config_.verbose) {
         std::fprintf(stderr, "[pa-seq2seq] stage2 epoch %d loss %.4f\n", e,
                      loss);
       }
+      if (!watchdog.aborted()) watchdog.ObserveEpoch(2, loss);
     }
   }
 
   // Stage 3: mask training with the ratio ramping from mask_start to
   // mask_end across epochs (the paper ramps 10% -> 50%).
-  {
+  if (!watchdog.aborted()) {
     PA_TRACE_SPAN("train.stage3");
-    for (int e = 0; e < config_.stage3_epochs; ++e) {
+    for (int e = 0; e < config_.stage3_epochs && !watchdog.aborted(); ++e) {
       float ratio = config_.mask_end;
       if (config_.ramp_mask && config_.stage3_epochs > 1) {
         const float f = static_cast<float>(e) /
@@ -478,7 +516,7 @@ void PaSeq2Seq::Fit(const std::vector<poi::CheckinSequence>& train) {
             return Decode(MaskItem(item, ratio, &rng), /*training=*/true,
                           nullptr, nullptr, &rng);
           },
-          optimizer);
+          optimizer, /*stage=*/3, &watchdog);
       stats_.stage3.push_back(loss);
       instruments.stage3_loss.Set(loss);
       if (config_.verbose) {
@@ -486,7 +524,13 @@ void PaSeq2Seq::Fit(const std::vector<poi::CheckinSequence>& train) {
                      "[pa-seq2seq] stage3 epoch %d mask %.2f loss %.4f\n", e,
                      ratio, loss);
       }
+      if (!watchdog.aborted()) watchdog.ObserveEpoch(3, loss);
     }
+  }
+
+  if (watchdog.aborted()) {
+    std::fprintf(stderr, "[pa-seq2seq] training aborted by watchdog: %s\n",
+                 watchdog.diagnostic().c_str());
   }
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "augment/augmenter.h"
+#include "augment/train_watchdog.h"
 #include "nn/attention.h"
 #include "nn/layers.h"
 #include "nn/lstm.h"
@@ -66,6 +67,13 @@ struct PaSeq2SeqConfig {
   bool use_residual = true;   // Eq. 3 vs Eq. 2 stacking.
   bool use_attention = true;  // Local attention vs plain decoder output.
   bool ramp_mask = true;      // Ramped vs fixed (mask_end) mask ratio.
+
+  /// Training-health watchdog (NaN/Inf guards, loss-divergence detector).
+  /// On by default: a poisoned step or a diverging run aborts Fit with a
+  /// diagnostic and flips /healthz to FAILED instead of silently training
+  /// on garbage. Set `watchdog.enabled = false` for experiments that
+  /// deliberately explore divergence.
+  TrainWatchdogConfig watchdog;
 
   bool verbose = false;
 };
@@ -202,11 +210,14 @@ class PaSeq2Seq : public Augmenter {
   /// global pool under a GradRedirectScope, each with a private rng stream
   /// derived from one `rng_` draw per batch; gradients merge in item order
   /// and are averaged for a single optimizer step per batch.
+  /// `stage` (1-based) labels the grad-norm gauge and watchdog state;
+  /// `watchdog` (may be null) vetoes poisoned optimizer steps — on veto the
+  /// epoch stops early and the mean over the completed items is returned.
   float RunEpoch(
       std::vector<WorkItem>& items,
       const std::function<tensor::Tensor(const WorkItem&, util::Rng&)>&
           loss_fn,
-      tensor::Adam& optimizer);
+      tensor::Adam& optimizer, int stage, TrainWatchdog* watchdog);
 
   /// Applies the stage-3 mask (ratio `ratio`) to a pristine item, drawing
   /// from `rng` (nullptr uses the model's `rng_`).

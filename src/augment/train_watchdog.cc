@@ -1,0 +1,116 @@
+#include "augment/train_watchdog.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/health.h"
+
+namespace pa::augment {
+
+TrainWatchdog::TrainWatchdog(TrainWatchdogConfig config)
+    : config_(std::move(config)) {
+  if (config_.window < 1) config_.window = 1;
+  if (config_.patience < 1) config_.patience = 1;
+  if (config_.enabled) Publish();  // Start visible as OK.
+}
+
+TrainWatchdog::~TrainWatchdog() {
+  // A healthy watchdog leaves no residue; a FAILED one stays registered so
+  // /healthz keeps reporting the dead training run until something replaces
+  // the component.
+  if (config_.enabled && !failed_) {
+    obs::HealthRegistry::Global().Remove(config_.component);
+  }
+}
+
+void TrainWatchdog::ResetStage(int stage) {
+  stage_ = stage;
+  ewma_ = 0.0;
+  have_ewma_ = false;
+  window_.clear();
+  strikes_ = 0;
+}
+
+void TrainWatchdog::Publish() {
+  const obs::HealthStatus status =
+      failed_ ? obs::HealthStatus::kFailed
+              : degraded_ ? obs::HealthStatus::kDegraded
+                          : obs::HealthStatus::kOk;
+  obs::HealthRegistry::Global().Set(config_.component, status, diagnostic_);
+}
+
+bool TrainWatchdog::Fail(const std::string& diagnostic) {
+  failed_ = true;
+  diagnostic_ = diagnostic;
+  Publish();
+  std::fprintf(stderr, "[train-watchdog] FAILED: %s%s\n", diagnostic.c_str(),
+               config_.abort_on_failure ? " — aborting training" : "");
+  if (config_.abort_on_failure) {
+    aborted_ = true;
+    return false;
+  }
+  return true;
+}
+
+bool TrainWatchdog::ObserveStep(int stage, float loss, float grad_norm) {
+  if (!config_.enabled || aborted_) return !aborted_;
+  if (stage != stage_) ResetStage(stage);
+  if (!std::isfinite(loss)) {
+    return Fail("non-finite loss at stage " + std::to_string(stage) +
+                " (loss=" + std::to_string(loss) + ")");
+  }
+  if (!std::isfinite(grad_norm)) {
+    return Fail("non-finite gradient norm at stage " + std::to_string(stage) +
+                " (grad_norm=" + std::to_string(grad_norm) + ")");
+  }
+  return true;
+}
+
+bool TrainWatchdog::ObserveEpoch(int stage, float mean_loss) {
+  if (!config_.enabled || aborted_) return !aborted_;
+  if (stage != stage_) ResetStage(stage);
+  if (!std::isfinite(mean_loss)) {
+    return Fail("non-finite epoch loss at stage " + std::to_string(stage));
+  }
+
+  ewma_ = have_ewma_
+              ? config_.ewma_alpha * mean_loss +
+                    (1.0 - config_.ewma_alpha) * ewma_
+              : mean_loss;
+  have_ewma_ = true;
+
+  // Divergence needs a baseline: with no history yet this epoch only seeds
+  // the window.
+  if (!window_.empty()) {
+    const double baseline = *std::min_element(window_.begin(), window_.end());
+    // The small epsilon keeps near-zero baselines (a converged stage) from
+    // flagging noise.
+    if (ewma_ > config_.divergence_factor * baseline + 1e-6) {
+      ++strikes_;
+      diagnostic_ = "loss diverging at stage " + std::to_string(stage) +
+                    ": ewma " + std::to_string(ewma_) + " vs window min " +
+                    std::to_string(baseline) + " (strike " +
+                    std::to_string(strikes_) + "/" +
+                    std::to_string(config_.patience) + ")";
+      if (strikes_ >= config_.patience) return Fail(diagnostic_);
+      degraded_ = true;
+      Publish();
+    } else {
+      strikes_ = 0;
+      if (degraded_ && !failed_) {
+        degraded_ = false;
+        diagnostic_.clear();
+        Publish();
+      }
+    }
+  }
+
+  window_.push_back(mean_loss);
+  while (static_cast<int>(window_.size()) > config_.window) {
+    window_.pop_front();
+  }
+  return true;
+}
+
+}  // namespace pa::augment

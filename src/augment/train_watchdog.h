@@ -1,0 +1,92 @@
+#ifndef PA_AUGMENT_TRAIN_WATCHDOG_H_
+#define PA_AUGMENT_TRAIN_WATCHDOG_H_
+
+#include <deque>
+#include <string>
+
+namespace pa::augment {
+
+struct TrainWatchdogConfig {
+  /// Master switch: off ⇒ every Observe* is a no-op returning true, nothing
+  /// is published to the health registry. Turn off for experiments that
+  /// deliberately explore divergence.
+  bool enabled = true;
+
+  /// When a check fails, Observe* returns false and the training loop is
+  /// expected to abort the epoch. Set false to keep training (health still
+  /// flips FAILED — the run is observably sick but not interrupted).
+  bool abort_on_failure = true;
+
+  /// Loss-divergence detector: an EWMA of per-epoch mean losses is compared
+  /// to the *minimum* over the last `window` epochs of the same stage. A
+  /// windowed minimum (not a stage-global one) tolerates the legitimate
+  /// slow loss rise of the stage-3 mask-ratio ramp while still catching a
+  /// runaway: the first epoch whose EWMA exceeds `divergence_factor` times
+  /// the window minimum marks the run DEGRADED; `patience` *consecutive*
+  /// such epochs mark it FAILED.
+  double ewma_alpha = 0.3;
+  int window = 8;
+  double divergence_factor = 4.0;
+  int patience = 3;
+
+  /// HealthRegistry component name.
+  std::string component = "train.watchdog";
+};
+
+/// Training-health watchdog for the PA-Seq2Seq three-stage protocol.
+///
+/// Two probes, both called from the training loop:
+///
+///  * `ObserveStep(stage, loss, grad_norm)` — per optimizer step, *before*
+///    the step is applied: a non-finite loss or gradient norm flips FAILED
+///    immediately and (by default) vetoes the step, so one poisoned batch
+///    cannot contaminate the parameters.
+///  * `ObserveEpoch(stage, mean_loss)` — per epoch: the EWMA-vs-window-min
+///    divergence detector described on the config.
+///
+/// State resets at stage boundaries (the three stages train different
+/// objectives at different loss scales). Every transition is published to
+/// `obs::HealthRegistry::Global()` under `config.component` with the
+/// diagnostic as the detail, so `GET /healthz` on a serving process — or a
+/// PA_OBS_TIMESERIES scrape — shows a sick training run as it happens.
+///
+/// Not thread-safe: call from the training thread only (the data-parallel
+/// trainer already funnels optimizer steps through one thread).
+class TrainWatchdog {
+ public:
+  explicit TrainWatchdog(TrainWatchdogConfig config = {});
+  ~TrainWatchdog();
+  TrainWatchdog(const TrainWatchdog&) = delete;
+  TrainWatchdog& operator=(const TrainWatchdog&) = delete;
+
+  /// Returns false when training must abort (FAILED and abort_on_failure).
+  bool ObserveStep(int stage, float loss, float grad_norm);
+  bool ObserveEpoch(int stage, float mean_loss);
+
+  bool failed() const { return failed_; }
+  /// True once a check has both failed and requested an abort.
+  bool aborted() const { return aborted_; }
+  /// Human-readable reason for the current non-OK state; empty when OK.
+  const std::string& diagnostic() const { return diagnostic_; }
+
+ private:
+  void ResetStage(int stage);
+  /// Publishes the current status + diagnostic to the health registry.
+  void Publish();
+  bool Fail(const std::string& diagnostic);
+
+  TrainWatchdogConfig config_;
+  int stage_ = -1;
+  double ewma_ = 0.0;
+  bool have_ewma_ = false;
+  std::deque<double> window_;  // Recent per-epoch mean losses, this stage.
+  int strikes_ = 0;            // Consecutive diverging epochs.
+  bool degraded_ = false;
+  bool failed_ = false;
+  bool aborted_ = false;
+  std::string diagnostic_;
+};
+
+}  // namespace pa::augment
+
+#endif  // PA_AUGMENT_TRAIN_WATCHDOG_H_

@@ -1,0 +1,67 @@
+#ifndef PA_OBS_HEALTH_H_
+#define PA_OBS_HEALTH_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pa::obs {
+
+/// Process-wide component health: named components each report OK, DEGRADED,
+/// or FAILED plus a human-readable detail line. Consumers:
+///
+///  * `GET /healthz` on the exposition server renders the registry as JSON
+///    and answers 503 iff the overall status is FAILED (load balancers and
+///    smoke tests key off the status code alone);
+///  * the PA-Seq2Seq training watchdog publishes "train.watchdog" so a
+///    diverging or NaN run is visible to a scraper before the process
+///    decides to abort.
+///
+/// Updates take a mutex — health transitions are rare (per-epoch, per-model
+/// swap), never per-request, so there is no lock-free fast path to preserve.
+
+enum class HealthStatus { kOk, kDegraded, kFailed };
+
+/// "ok" / "degraded" / "failed".
+const char* HealthStatusName(HealthStatus status);
+
+class HealthRegistry {
+ public:
+  static HealthRegistry& Global();
+
+  /// Sets (or creates) `component`'s status. `detail` should say *why* for
+  /// anything other than OK ("loss diverged: 12.3 vs window min 0.8").
+  void Set(const std::string& component, HealthStatus status,
+           const std::string& detail = "");
+
+  /// Removes `component` (e.g. a serve loop shutting down cleanly).
+  void Remove(const std::string& component);
+
+  struct Component {
+    std::string name;
+    HealthStatus status = HealthStatus::kOk;
+    std::string detail;
+  };
+
+  /// All components, sorted by name.
+  std::vector<Component> Components() const;
+
+  /// Worst status across components; OK when none are registered (an empty
+  /// registry means "nothing has complained", not "nothing works").
+  HealthStatus Overall() const;
+
+  /// {"status":"ok","components":{"name":{"status":...,"detail":...},...}}
+  std::string Json() const;
+
+  /// Test hook: drops every component.
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Component> components_;
+};
+
+}  // namespace pa::obs
+
+#endif  // PA_OBS_HEALTH_H_

@@ -1,0 +1,211 @@
+#include "obs/http_exposition.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/health.h"
+#include "obs/metrics.h"
+
+namespace pa::obs {
+
+namespace internal {
+
+namespace {
+
+const char* StatusReason(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 503:
+      return "Service Unavailable";
+  }
+  return "Error";
+}
+
+/// Health as Prometheus gauges, appended after the metric registry so
+/// /metrics alone carries the full signal set.
+std::string HealthPrometheusText() {
+  std::string out = "# TYPE pa_health_status gauge\n";
+  for (const auto& c : HealthRegistry::Global().Components()) {
+    out += "pa_health_status{component=\"";
+    // Component names are code-chosen identifiers; strip the one character
+    // that would break the label syntax.
+    for (const char ch : c.name) {
+      if (ch != '"' && ch != '\\' && ch != '\n') out += ch;
+    }
+    out += "\"} ";
+    out += std::to_string(static_cast<int>(c.status));
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+HttpResponse Route(const std::string& method, const std::string& path) {
+  HttpResponse r;
+  if (method != "GET") {
+    r.status = 405;
+    r.content_type = "text/plain";
+    r.body = "method not allowed\n";
+    return r;
+  }
+  if (path == "/metrics") {
+    r.content_type = "text/plain; version=0.0.4";
+    r.body = MetricRegistry::Global().PrometheusText() +
+             HealthPrometheusText();
+  } else if (path == "/varz") {
+    r.content_type = "application/json";
+    r.body = MetricRegistry::Global().SnapshotJson() + "\n";
+  } else if (path == "/healthz") {
+    r.content_type = "application/json";
+    r.body = HealthRegistry::Global().Json() + "\n";
+    if (HealthRegistry::Global().Overall() == HealthStatus::kFailed) {
+      r.status = 503;
+    }
+  } else {
+    r.status = 404;
+    r.content_type = "text/plain";
+    r.body = "not found; try /metrics /varz /healthz\n";
+  }
+  return r;
+}
+
+std::string RenderHttpResponse(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 ";
+  out += std::to_string(response.status);
+  out += ' ';
+  out += StatusReason(response.status);
+  out += "\r\nContent-Type: ";
+  out += response.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(response.body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+}  // namespace internal
+
+namespace {
+
+/// Reads up to the end of the request headers (or a size cap) and answers
+/// one request. Deliberately minimal: the request body, if any, is ignored,
+/// and only the request line is parsed.
+void HandleConnection(int fd) {
+  // A scraper that dawdles must not wedge the single listener thread.
+  timeval timeout{};
+  timeout.tv_sec = 5;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+
+  std::string request;
+  char buf[2048];
+  while (request.size() < 16 * 1024 &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<size_t>(n));
+  }
+
+  internal::HttpResponse response;
+  const size_t line_end = request.find("\r\n");
+  if (line_end == std::string::npos) {
+    response.status = 400;
+    response.content_type = "text/plain";
+    response.body = "bad request\n";
+  } else {
+    // "GET /path HTTP/1.1"
+    const std::string line = request.substr(0, line_end);
+    const size_t sp1 = line.find(' ');
+    const size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                                : line.find(' ', sp1 + 1);
+    if (sp2 == std::string::npos) {
+      response.status = 400;
+      response.content_type = "text/plain";
+      response.body = "bad request\n";
+    } else {
+      const std::string method = line.substr(0, sp1);
+      std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      const size_t query = path.find('?');
+      if (query != std::string::npos) path.resize(query);
+      response = internal::Route(method, path);
+    }
+  }
+
+  const std::string wire = internal::RenderHttpResponse(response);
+  size_t off = 0;
+  while (off < wire.size()) {
+    const ssize_t n = send(fd, wire.data() + off, wire.size() - off, 0);
+    if (n <= 0) break;
+    off += static_cast<size_t>(n);
+  }
+  close(fd);
+}
+
+}  // namespace
+
+bool ExpositionServer::Start(uint16_t port) {
+  if (thread_.joinable()) return false;
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      listen(fd, 16) != 0) {
+    close(fd);
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    close(fd);
+    return false;
+  }
+  listen_fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+  stop_requested_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread(&ExpositionServer::Run, this);
+  return true;
+}
+
+void ExpositionServer::Stop() {
+  if (!thread_.joinable()) return;
+  stop_requested_.store(true, std::memory_order_relaxed);
+  thread_.join();
+  close(listen_fd_);
+  listen_fd_ = -1;
+  port_ = 0;
+}
+
+void ExpositionServer::Run() {
+  // poll with a timeout rather than blocking accept: Stop() only has to
+  // flip the flag and wait at most one poll interval.
+  while (!stop_requested_.load(std::memory_order_relaxed)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int rc = poll(&pfd, 1, /*timeout_ms=*/100);
+    if (rc <= 0) continue;  // Timeout or EINTR; re-check the stop flag.
+    const int conn = accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    HandleConnection(conn);
+  }
+}
+
+}  // namespace pa::obs

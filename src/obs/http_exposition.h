@@ -1,0 +1,76 @@
+#ifndef PA_OBS_HTTP_EXPOSITION_H_
+#define PA_OBS_HTTP_EXPOSITION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+namespace pa::obs {
+
+/// Minimal dependency-free HTTP/1.1 exposition server — the repo's first
+/// network surface, deliberately tiny: one listener thread, short-lived
+/// connections handled inline (`Connection: close` on every response), no
+/// keep-alive, no TLS, loopback only. It exists to let a scraper watch a
+/// long-lived process, not to serve traffic.
+///
+/// Endpoints (GET only):
+///
+///   /metrics   Prometheus text exposition of MetricRegistry::Global()
+///              plus one `pa_health_status{component=...}` gauge per
+///              HealthRegistry component (0=ok 1=degraded 2=failed).
+///   /varz      MetricRegistry::Global().SnapshotJson() (application/json).
+///   /healthz   HealthRegistry::Global().Json(); status 200 unless the
+///              overall health is FAILED, then 503 — load balancers and
+///              smoke tests can key off the status code alone.
+///
+/// Anything else answers 404; non-GET answers 405.
+class ExpositionServer {
+ public:
+  ExpositionServer() = default;
+  ~ExpositionServer() { Stop(); }
+  ExpositionServer(const ExpositionServer&) = delete;
+  ExpositionServer& operator=(const ExpositionServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = kernel-assigned ephemeral port) and starts
+  /// the listener thread. Returns false if the socket cannot be bound or
+  /// the server is already running.
+  bool Start(uint16_t port);
+
+  /// Unblocks the listener, joins the thread, closes the socket. Safe to
+  /// call when not running.
+  void Stop();
+
+  bool running() const { return thread_.joinable(); }
+
+  /// The bound port (useful with port 0); 0 when not running.
+  uint16_t port() const { return port_; }
+
+ private:
+  void Run();
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_requested_{false};
+  std::thread thread_;
+};
+
+namespace internal {
+
+/// Routing logic, separated from the sockets so tests can hit it directly.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type;
+  std::string body;
+};
+HttpResponse Route(const std::string& method, const std::string& path);
+
+/// Serializes status line + headers + body (adds Content-Length and
+/// Connection: close).
+std::string RenderHttpResponse(const HttpResponse& response);
+
+}  // namespace internal
+
+}  // namespace pa::obs
+
+#endif  // PA_OBS_HTTP_EXPOSITION_H_

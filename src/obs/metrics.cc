@@ -24,8 +24,11 @@ double BucketLower(int i) {
 }
 
 // Percentile over a consistent bucket snapshot whose total is `total`.
+// `bucket_out`, when non-null, receives the index of the bucket the
+// percentile fell in (the last bucket when the scan runs off the end).
 double PercentileOf(const std::array<uint64_t, Histogram::kBuckets>& counts,
-                    uint64_t total, double q) {
+                    uint64_t total, double q, int* bucket_out = nullptr) {
+  if (bucket_out != nullptr) *bucket_out = Histogram::kBuckets - 1;
   if (total == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   // Rank of the target sample, 1-based.
@@ -40,6 +43,7 @@ double PercentileOf(const std::array<uint64_t, Histogram::kBuckets>& counts,
           c == 0 ? 0.0 : double(rank - seen) / double(c);
       const double lo = BucketLower(i);
       const double hi = lo * Histogram::kRatio;
+      if (bucket_out != nullptr) *bucket_out = i;
       return lo + frac * (hi - lo);
     }
     seen += c;
@@ -51,6 +55,14 @@ double PercentileOf(const std::array<uint64_t, Histogram::kBuckets>& counts,
 
 void Histogram::Record(double value) {
   counts_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+void Histogram::RecordWithExemplar(double value, uint64_t span_id) {
+  const int i = BucketIndex(value);
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+  if (span_id != 0) {
+    exemplar_span_[i].store(span_id, std::memory_order_relaxed);
+  }
 }
 
 std::array<uint64_t, Histogram::kBuckets> Histogram::SnapshotBuckets() const {
@@ -87,13 +99,44 @@ HistogramStats Histogram::Stats() const {
   }
   stats.p50 = PercentileOf(snap, stats.count, 0.50);
   stats.p95 = PercentileOf(snap, stats.count, 0.95);
-  stats.p99 = PercentileOf(snap, stats.count, 0.99);
+  int p99_bucket = kBuckets - 1;
+  stats.p99 = PercentileOf(snap, stats.count, 0.99, &p99_bucket);
   stats.mean = stats.count > 0 ? weighted / double(stats.count) : 0.0;
+  if (stats.count > 0) {
+    // Exemplar for the tail: the p99 bucket itself, else the nearest bucket
+    // above (a more extreme tail sample), else the nearest below.
+    for (int i = p99_bucket; i < kBuckets && stats.p99_exemplar_span == 0;
+         ++i) {
+      stats.p99_exemplar_span =
+          exemplar_span_[i].load(std::memory_order_relaxed);
+    }
+    for (int i = p99_bucket - 1; i >= 0 && stats.p99_exemplar_span == 0;
+         --i) {
+      stats.p99_exemplar_span =
+          exemplar_span_[i].load(std::memory_order_relaxed);
+    }
+  }
   return stats;
+}
+
+Histogram::Export Histogram::ExportBuckets() const {
+  Export out;
+  for (int i = 0; i < kBuckets; ++i) {
+    out.counts[i] = counts_[i].load(std::memory_order_relaxed);
+    out.exemplar_span[i] = exemplar_span_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::BucketLowerBound(int i) { return BucketLower(i); }
+
+double Histogram::BucketUpperBound(int i) {
+  return BucketLower(i) * kRatio;
 }
 
 void Histogram::Reset() {
   for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  for (auto& e : exemplar_span_) e.store(0, std::memory_order_relaxed);
 }
 
 MetricRegistry& MetricRegistry::Global() {
@@ -213,7 +256,10 @@ MetricRegistry::Snapshot MetricRegistry::TakeSnapshot() const {
 }
 
 std::string MetricRegistry::SnapshotJson() const {
-  const Snapshot snap = TakeSnapshot();
+  return SnapshotToJson(TakeSnapshot());
+}
+
+std::string SnapshotToJson(const MetricRegistry::Snapshot& snap) {
   std::string out = "{\"counters\":{";
   bool first = true;
   for (const auto& [name, value] : snap.counters) {
@@ -251,9 +297,117 @@ std::string MetricRegistry::SnapshotJson() const {
     internal::AppendJsonNumber(h.p99, &out);
     out += ",\"mean\":";
     internal::AppendJsonNumber(h.mean, &out);
+    out += ",\"p99_exemplar_span\":";
+    out += std::to_string(h.p99_exemplar_span);
     out += '}';
   }
   out += "}}";
+  return out;
+}
+
+std::string SnapshotDeltaJson(const MetricRegistry::Snapshot& before,
+                              const MetricRegistry::Snapshot& after) {
+  MetricRegistry::Snapshot delta = after;
+  for (auto& [name, value] : delta.counters) {
+    const auto it = before.counters.find(name);
+    if (it != before.counters.end() && it->second <= value) {
+      value -= it->second;
+    }  // else: new or re-registered counter — report the absolute value.
+  }
+  for (auto& [name, h] : delta.histograms) {
+    const auto it = before.histograms.find(name);
+    if (it != before.histograms.end() && it->second.count <= h.count) {
+      h.count -= it->second.count;
+    }
+  }
+  return SnapshotToJson(delta);
+}
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:] with a non-digit first
+// character; everything else (the registry's '.' separators, most notably)
+// maps to '_'.
+std::string PrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, "_");
+  return out;
+}
+
+void AppendPrometheusNumber(double value, std::string* out) {
+  if (std::isnan(value)) {
+    *out += "NaN";
+  } else if (std::isinf(value)) {
+    *out += value > 0 ? "+Inf" : "-Inf";
+  } else {
+    internal::AppendJsonNumber(value, out);
+  }
+}
+
+}  // namespace
+
+std::string MetricRegistry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, e] : entries_) {
+    const std::string pname = PrometheusName(name);
+    switch (e.kind) {
+      case Entry::Kind::kCounter:
+        out += "# TYPE " + pname + " counter\n";
+        out += pname + ' ' + std::to_string(e.counter->value()) + '\n';
+        break;
+      case Entry::Kind::kGauge:
+      case Entry::Kind::kCallbackGauge: {
+        const double v = e.kind == Entry::Kind::kGauge
+                             ? e.gauge->value()
+                             : (e.callback ? e.callback() : 0.0);
+        out += "# TYPE " + pname + " gauge\n";
+        out += pname + ' ';
+        AppendPrometheusNumber(v, &out);
+        out += '\n';
+        break;
+      }
+      case Entry::Kind::kHistogram: {
+        const Histogram::Export exp = e.histogram->ExportBuckets();
+        out += "# TYPE " + pname + " histogram\n";
+        uint64_t cumulative = 0;
+        double sum = 0.0;
+        for (int i = 0; i < Histogram::kBuckets; ++i) {
+          if (exp.counts[i] == 0 && exp.exemplar_span[i] == 0) continue;
+          cumulative += exp.counts[i];
+          const double lo = Histogram::BucketLowerBound(i);
+          const double hi = Histogram::BucketUpperBound(i);
+          sum += static_cast<double>(exp.counts[i]) * (lo + hi) * 0.5;
+          out += pname + "_bucket{le=\"";
+          AppendPrometheusNumber(hi, &out);
+          out += "\"} " + std::to_string(cumulative);
+          if (exp.exemplar_span[i] != 0) {
+            // OpenMetrics exemplar: the most recent trace span that landed
+            // in this bucket, valued at the bucket bound.
+            out += " # {span_id=\"" +
+                   std::to_string(exp.exemplar_span[i]) + "\"} ";
+            AppendPrometheusNumber(hi, &out);
+          }
+          out += '\n';
+        }
+        out += pname + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) +
+               '\n';
+        out += pname + "_sum ";
+        AppendPrometheusNumber(sum, &out);
+        out += '\n';
+        out += pname + "_count " + std::to_string(cumulative) + '\n';
+        break;
+      }
+      case Entry::Kind::kNone:
+        break;
+    }
+  }
   return out;
 }
 

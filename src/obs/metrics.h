@@ -77,6 +77,11 @@ struct HistogramStats {
   double p99 = 0.0;
   /// Bucket-midpoint estimate of the mean (no extra atomic on Record).
   double mean = 0.0;
+  /// Trace-span id exemplifying the p99 bucket (0 = none recorded): the most
+  /// recent RecordWithExemplar that landed in the bucket the p99 falls in,
+  /// falling back to the nearest occupied bucket above, then below. Links a
+  /// tail percentile to a concrete span in the PA_OBS_TRACE dump.
+  uint64_t p99_exemplar_span = 0;
 };
 
 /// Lock-free histogram with geometric buckets.
@@ -101,6 +106,13 @@ class Histogram {
 
   void Record(double value);
 
+  /// Record plus exemplar: remembers `span_id` as the most recent trace span
+  /// to land in the value's bucket (last-wins per bucket, one extra relaxed
+  /// store). `span_id == 0` (tracing off) degrades to a plain Record, so
+  /// call sites can pass `TraceSpan::id()` unconditionally at zero cost when
+  /// tracing is disabled.
+  void RecordWithExemplar(double value, uint64_t span_id);
+
   /// Value at quantile `q` in [0, 1]; 0 when empty.
   double Percentile(double q) const;
 
@@ -110,12 +122,30 @@ class Histogram {
   /// One consistent digest (single bucket snapshot for all fields).
   HistogramStats Stats() const;
 
+  /// Raw per-bucket view for exposition formats that need real buckets
+  /// (Prometheus text): counts plus the last exemplar span id per bucket
+  /// (0 = none). Both arrays come from one pass each; they are advisory
+  /// (an exemplar may be newer than the counts next to it).
+  struct Export {
+    std::array<uint64_t, kBuckets> counts{};
+    std::array<uint64_t, kBuckets> exemplar_span{};
+  };
+  Export ExportBuckets() const;
+
+  /// Inclusive lower / exclusive upper value bound of bucket `i`.
+  static double BucketLowerBound(int i);
+  static double BucketUpperBound(int i);
+
   void Reset();
 
  private:
   std::array<uint64_t, kBuckets> SnapshotBuckets() const;
 
   std::array<std::atomic<uint64_t>, kBuckets> counts_{};
+  // Most recent exemplar span id per bucket; written only by
+  // RecordWithExemplar with a nonzero id, so the common Record path never
+  // touches it.
+  std::array<std::atomic<uint64_t>, kBuckets> exemplar_span_{};
 };
 
 /// The process-wide instrument registry.
@@ -162,10 +192,19 @@ class MetricRegistry {
   /// The snapshot as one JSON object:
   ///   {"counters":{...},"gauges":{...},
   ///    "histograms":{"name":{"count":...,"p50":...,"p95":...,"p99":...,
-  ///                  "mean":...}}}
+  ///                  "mean":...,"p99_exemplar_span":...}}}
   /// Keys are sorted, values always finite — the shape
   /// scripts/bench_compare.py --schema validates inside BENCH_*.json.
   std::string SnapshotJson() const;
+
+  /// Prometheus text exposition of every instrument: `# TYPE` lines plus
+  /// one sample line per counter/gauge and cumulative `_bucket{le=...}` /
+  /// `_sum` / `_count` lines per histogram. Names are sanitized to the
+  /// Prometheus charset ('.' and other illegal characters become '_').
+  /// Buckets carrying an exemplar span id append it in OpenMetrics exemplar
+  /// syntax (` # {span_id="N"} <bound>`), linking the tail of a latency
+  /// histogram to a concrete span in a PA_OBS_TRACE dump.
+  std::string PrometheusText() const;
 
  private:
   struct Entry {
@@ -190,6 +229,21 @@ class MetricRegistry {
   // node-based map: entry addresses are stable across inserts.
   std::map<std::string, Entry> entries_;
 };
+
+/// Serializes an already-taken snapshot in the exact SnapshotJson shape —
+/// lets callers render modified snapshots (e.g. the telemetry sampler's
+/// delta-encoded counters) without a second registry pass.
+std::string SnapshotToJson(const MetricRegistry::Snapshot& snapshot);
+
+/// The change between two snapshots of the same registry, as one JSON
+/// object mirroring the SnapshotJson shape: counters carry `after - before`
+/// (a counter absent from `before`, or one that went backwards after a
+/// re-registration, reports its `after` value), histograms carry the count
+/// delta plus `after`'s percentiles, and gauges are point-in-time so they
+/// carry `after`'s value unchanged. `pa_serve stats` uses this to report
+/// its probe workload separately from whatever the process counted before.
+std::string SnapshotDeltaJson(const MetricRegistry::Snapshot& before,
+                              const MetricRegistry::Snapshot& after);
 
 }  // namespace pa::obs
 

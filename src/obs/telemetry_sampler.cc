@@ -1,0 +1,167 @@
+#include "obs/telemetry_sampler.h"
+
+#include <chrono>
+#include <cstdlib>
+
+namespace pa::obs {
+
+namespace {
+
+uint64_t SteadyNowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+bool TelemetrySampler::Start(const Options& options) {
+  if (thread_.joinable()) return false;
+  options_ = options;
+  if (options_.period_ms == 0) options_.period_ms = 1;
+  if (options_.ring_size == 0) options_.ring_size = 1;
+  if (!options_.sink_path.empty()) {
+    sink_ = std::fopen(options_.sink_path.c_str(), "w");
+    if (sink_ == nullptr) return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = false;
+    ring_.clear();
+    dropped_ = 0;
+    next_seq_ = 0;
+    have_prev_ = false;
+  }
+  thread_ = std::thread(&TelemetrySampler::Run, this);
+  return true;
+}
+
+void TelemetrySampler::Stop() {
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  if (sink_ != nullptr) {
+    std::fclose(sink_);
+    sink_ = nullptr;
+  }
+}
+
+std::vector<TelemetrySampler::Sample> TelemetrySampler::RecentSamples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+uint64_t TelemetrySampler::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void TelemetrySampler::Run() {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point start = Clock::now();
+  const auto period = std::chrono::milliseconds(options_.period_ms);
+  // Absolute deadlines, not sleep-after-work: a tick whose work overruns
+  // the period skips the missed deadlines (counted as drops) instead of
+  // drifting.
+  Clock::time_point deadline = start + period;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    if (!cv_.wait_until(lock, deadline, [this] { return stop_requested_; })) {
+      lock.unlock();
+      const uint64_t uptime_ms = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                                start)
+              .count());
+      const bool wrote = SampleOnce(uptime_ms);
+      // Count deadlines that elapsed while sampling/writing as drops, and
+      // jump past them.
+      uint64_t missed = 0;
+      const Clock::time_point now = Clock::now();
+      deadline += period;
+      while (deadline <= now) {
+        deadline += period;
+        ++missed;
+      }
+      lock.lock();
+      if (!wrote) ++dropped_;
+      dropped_ += missed;
+    }
+  }
+}
+
+bool TelemetrySampler::SampleOnce(uint64_t uptime_ms) {
+  const MetricRegistry::Snapshot raw = registry_.TakeSnapshot();
+
+  Sample sample;
+  sample.uptime_ms = uptime_ms;
+  sample.snapshot = raw;
+  // Delta-encode counters against the previous tick; a counter that is new
+  // or went backwards (re-registration) reports its absolute value.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (have_prev_) {
+      for (auto& [name, value] : sample.snapshot.counters) {
+        const auto it = prev_.counters.find(name);
+        if (it != prev_.counters.end() && it->second <= value) {
+          value -= it->second;
+        }
+      }
+    }
+    prev_.counters = raw.counters;
+    have_prev_ = true;
+    sample.seq = next_seq_++;
+    sample.dropped = dropped_;
+    ring_.push_back(sample);
+    while (ring_.size() > options_.ring_size) ring_.pop_front();
+  }
+
+  if (sink_ == nullptr) return true;
+  std::string line = "{\"schema\":\"pa.timeseries.v1\",\"seq\":";
+  line += std::to_string(sample.seq);
+  line += ",\"ts_ms\":";
+  line += std::to_string(SteadyNowMs());
+  line += ",\"uptime_ms\":";
+  line += std::to_string(sample.uptime_ms);
+  line += ",\"dropped\":";
+  line += std::to_string(sample.dropped);
+  // Splice the registry fields into the same object: SnapshotToJson yields
+  // {"counters":...}; drop its outer '{'.
+  const std::string body = SnapshotToJson(sample.snapshot);
+  line += ',';
+  line.append(body, 1, body.size() - 1);
+  line += '\n';
+  const size_t written = std::fwrite(line.data(), 1, line.size(), sink_);
+  if (written != line.size()) return false;
+  return std::fflush(sink_) == 0;
+}
+
+bool TelemetrySampler::MaybeStartFromEnv() {
+  static TelemetrySampler* sampler = nullptr;
+  if (sampler != nullptr) return sampler->running();
+  const char* path = std::getenv("PA_OBS_TIMESERIES");
+  if (path == nullptr || *path == '\0') return false;
+  Options options;
+  options.sink_path = path;
+  if (const char* period = std::getenv("PA_OBS_SAMPLE_PERIOD_MS");
+      period != nullptr && *period != '\0') {
+    const long v = std::strtol(period, nullptr, 10);
+    if (v > 0) options.period_ms = static_cast<uint64_t>(v);
+  }
+  // Leaked: the sampler must outlive main() callers; the sink is flushed
+  // per line so losing the destructor's Stop() only forfeits the final
+  // partial period.
+  sampler = new TelemetrySampler(MetricRegistry::Global());
+  if (!sampler->Start(options)) {
+    std::fprintf(stderr, "obs: cannot open PA_OBS_TIMESERIES file %s\n",
+                 path);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace pa::obs

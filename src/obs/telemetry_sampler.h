@@ -1,0 +1,112 @@
+#ifndef PA_OBS_TELEMETRY_SAMPLER_H_
+#define PA_OBS_TELEMETRY_SAMPLER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace pa::obs {
+
+/// Background time-series sampler over a MetricRegistry.
+///
+/// A single thread wakes every `period_ms`, takes one registry snapshot,
+/// and appends it to (a) an in-memory ring of the most recent `ring_size`
+/// samples (for embedding into a stats dump) and (b) an optional NDJSON
+/// sink, one line per tick:
+///
+///   {"schema":"pa.timeseries.v1","seq":3,"ts_ms":1500,"uptime_ms":1500,
+///    "dropped":0,"counters":{...deltas...},"gauges":{...},
+///    "histograms":{...}}
+///
+/// Counters are delta-encoded against the previous tick (seq 0 carries the
+/// absolute values); gauges and histogram digests are point-in-time.
+/// `ts_ms` derives from the steady clock so consecutive lines are always
+/// monotonic — `scripts/bench_compare.py --schema` enforces this shape.
+///
+/// Drop accounting: a tick that cannot happen on time (snapshot + write
+/// overran the period) or whose sink write fails increments `dropped`,
+/// which is carried on every subsequent line — a gap in `seq` plus a
+/// matching `dropped` rise tells a consumer data is missing rather than
+/// the process being idle.
+///
+/// Not started ⇒ zero cost: no thread, no atomics on any hot path.
+/// Start/Stop are not thread-safe against each other; call from one owner.
+class TelemetrySampler {
+ public:
+  struct Options {
+    uint64_t period_ms = 1000;
+    /// Most recent samples kept in memory.
+    size_t ring_size = 128;
+    /// NDJSON sink path; empty = ring only.
+    std::string sink_path;
+  };
+
+  struct Sample {
+    uint64_t seq = 0;
+    /// Milliseconds since sampler start (steady clock).
+    uint64_t uptime_ms = 0;
+    /// Ticks lost so far (missed deadlines + failed sink writes).
+    uint64_t dropped = 0;
+    /// Counters as deltas vs. the previous tick; gauges/histograms as-is.
+    MetricRegistry::Snapshot snapshot;
+  };
+
+  explicit TelemetrySampler(MetricRegistry& registry) : registry_(registry) {}
+  ~TelemetrySampler() { Stop(); }
+  TelemetrySampler(const TelemetrySampler&) = delete;
+  TelemetrySampler& operator=(const TelemetrySampler&) = delete;
+
+  /// Launches the sampling thread. Returns false (and stays stopped) if the
+  /// sink path cannot be opened or the sampler is already running.
+  bool Start(const Options& options);
+
+  /// Signals the thread, waits for it to exit, flushes + closes the sink.
+  /// Safe to call when not running.
+  void Stop();
+
+  bool running() const { return thread_.joinable(); }
+
+  /// Ring contents, oldest first.
+  std::vector<Sample> RecentSamples() const;
+
+  /// Ticks lost so far (see class comment).
+  uint64_t dropped() const;
+
+  /// Reads PA_OBS_TIMESERIES (sink path) and PA_OBS_SAMPLE_PERIOD_MS
+  /// (default 1000) and starts the process-wide sampler over
+  /// MetricRegistry::Global() if the former is set. Returns whether a
+  /// sampler is now running. Called from long-lived binaries' main();
+  /// idempotent.
+  static bool MaybeStartFromEnv();
+
+ private:
+  void Run();
+  /// One tick: snapshot, delta-encode, append to ring + sink. Returns false
+  /// when the sink write failed.
+  bool SampleOnce(uint64_t uptime_ms);
+
+  MetricRegistry& registry_;
+  Options options_;
+  std::FILE* sink_ = nullptr;
+
+  std::thread thread_;
+  mutable std::mutex mu_;  // Guards ring_, dropped_, and stop signaling.
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  std::deque<Sample> ring_;
+  uint64_t dropped_ = 0;
+  uint64_t next_seq_ = 0;
+  bool have_prev_ = false;
+  MetricRegistry::Snapshot prev_;  // Previous tick's raw counters.
+};
+
+}  // namespace pa::obs
+
+#endif  // PA_OBS_TELEMETRY_SAMPLER_H_

@@ -96,7 +96,13 @@ uint64_t NowNs() {
           .count());
 }
 
-void RecordSpan(const char* name, uint64_t start_ns, uint64_t end_ns) {
+uint64_t NextSpanId() {
+  static std::atomic<uint64_t> g_next_span_id{1};
+  return g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RecordSpan(const char* name, uint64_t start_ns, uint64_t end_ns,
+                uint64_t id) {
   ThreadTraceBuffer* buf = ThisThreadBuffer();
   if (buf == nullptr) {
     g_dropped_after_teardown.fetch_add(1, std::memory_order_relaxed);
@@ -107,6 +113,7 @@ void RecordSpan(const char* name, uint64_t start_ns, uint64_t end_ns) {
   event.start_ns = start_ns;
   event.dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
   event.tid = buf->tid;
+  event.id = id;
   std::lock_guard<std::mutex> lock(buf->mu);
   if (buf->events.size() < kMaxEventsPerThread) {
     buf->events.push_back(event);
@@ -185,6 +192,9 @@ std::string ChromeTraceJson(const std::vector<TraceEvent>& events) {
     AppendMicros(e.dur_ns, &out);
     out += ",\"pid\":1,\"tid\":";
     out += std::to_string(e.tid);
+    // Top-level (non-standard) field; chrome://tracing ignores unknown keys.
+    out += ",\"id\":";
+    out += std::to_string(e.id);
     out += '}';
   }
   out += "],\"displayTimeUnit\":\"ms\"}";
@@ -202,6 +212,8 @@ std::string TraceNdjson(const std::vector<TraceEvent>& events) {
     AppendMicros(e.dur_ns, &out);
     out += ",\"tid\":";
     out += std::to_string(e.tid);
+    out += ",\"id\":";
+    out += std::to_string(e.id);
     out += "}\n";
   }
   return out;

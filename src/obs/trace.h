@@ -43,14 +43,22 @@ struct TraceEvent {
   uint64_t start_ns = 0;
   uint64_t dur_ns = 0;
   uint32_t tid = 0;
+  /// Process-unique span id (1-based; 0 only in hand-built events). Lets
+  /// other signals reference a specific span — e.g. histogram exemplars
+  /// (Histogram::RecordWithExemplar) link a p99 latency to the request span
+  /// that produced it.
+  uint64_t id = 0;
 };
 
 namespace internal {
 extern std::atomic<bool> g_tracing;
 /// Appends one completed span to the calling thread's ring buffer.
-void RecordSpan(const char* name, uint64_t start_ns, uint64_t end_ns);
+void RecordSpan(const char* name, uint64_t start_ns, uint64_t end_ns,
+                uint64_t id);
 /// Steady-clock nanoseconds since the process trace epoch.
 uint64_t NowNs();
+/// Next process-unique span id (never 0).
+uint64_t NextSpanId();
 }  // namespace internal
 
 inline bool TracingEnabled() {
@@ -70,33 +78,42 @@ uint64_t TraceEventsDropped();
 std::string ChromeTraceJson(const std::vector<TraceEvent>& events);
 
 /// One flat JSON object per line:
-/// {"name":...,"ts_us":...,"dur_us":...,"tid":...}
+/// {"name":...,"ts_us":...,"dur_us":...,"tid":...,"id":...}
 std::string TraceNdjson(const std::vector<TraceEvent>& events);
 
 /// Drains and writes to `path` (NDJSON when the path ends in ".ndjson",
 /// Trace Event JSON otherwise). Returns false on I/O failure.
 bool WriteTraceFile(const std::string& path);
 
-/// RAII span; prefer the PA_TRACE_SPAN macro.
+/// RAII span; prefer the PA_TRACE_SPAN macro. Use a named TraceSpan when a
+/// call site wants the span's `id()` (e.g. to attach it as a histogram
+/// exemplar).
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name) {
     if (internal::g_tracing.load(std::memory_order_relaxed)) {
       name_ = name;
       start_ns_ = internal::NowNs();
+      id_ = internal::NextSpanId();
     }
   }
   ~TraceSpan() {
     if (name_ != nullptr) {
-      internal::RecordSpan(name_, start_ns_, internal::NowNs());
+      internal::RecordSpan(name_, start_ns_, internal::NowNs(), id_);
     }
   }
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
 
+  /// Process-unique id of this span, or 0 when tracing was off at
+  /// construction — safe to pass straight to RecordWithExemplar, which
+  /// treats 0 as "no exemplar".
+  uint64_t id() const { return id_; }
+
  private:
   const char* name_ = nullptr;
   uint64_t start_ns_ = 0;
+  uint64_t id_ = 0;
 };
 
 #define PA_OBS_CONCAT_INNER_(a, b) a##b

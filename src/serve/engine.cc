@@ -97,7 +97,11 @@ void Engine::Observe(const poi::Checkin& checkin) {
 
 TopKResponse Engine::Run(const TopKRequest& request,
                          Clock::time_point enqueue) {
-  PA_TRACE_SPAN("serve.request");
+  // Named span (not PA_TRACE_SPAN): its id feeds the latency histogram as
+  // an exemplar, so a p99 in `pa_serve stats` or /metrics links back to
+  // this request's span in the PA_OBS_TRACE dump. id() is 0 when tracing
+  // is off, which degrades to a plain Record.
+  const obs::TraceSpan span("serve.request");
   // Run executes on whatever thread carries the request (caller, pool
   // worker via TopKBatch/TopKAsync); the scope is per-thread, so it is
   // entered here rather than at the batch fan-out.
@@ -110,7 +114,7 @@ TopKResponse Engine::Run(const TopKRequest& request,
   auto finish = [&](Clock::time_point now) {
     response.latency_micros =
         std::chrono::duration<double, std::micro>(now - enqueue).count();
-    latency_.Record(response.latency_micros);
+    latency_.RecordWithExemplar(response.latency_micros, span.id());
   };
 
   if (request.k <= 0) {

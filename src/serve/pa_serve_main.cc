@@ -16,6 +16,7 @@
 //     Repoints ACTIVE (rollback / roll-forward).
 //
 //   pa_serve serve --store DIR --model LSTM [--version N] [--deadline-ms N]
+//                  [--metrics-port N]
 //     Loads the model and answers newline-delimited JSON requests on stdin,
 //     one response line per request on stdout:
 //
@@ -28,15 +29,24 @@
 //     obs::MetricRegistry snapshot ("registry": counters, gauges,
 //     histogram percentiles for every instrumented subsystem).
 //
-//     No network: pipe a file in, or wire the process to a socket with
-//     standard tooling (`socat`, inetd) if remote access is ever needed.
+//     Request traffic stays on stdin/stdout; `--metrics-port N` (0 = an
+//     ephemeral port, printed to stderr) additionally starts the loopback
+//     HTTP exposition server with GET /metrics (Prometheus text), /varz
+//     (registry JSON) and /healthz (component health, 503 on FAILED) so a
+//     scraper can watch a long-lived loop.
 //
 //   pa_serve stats --store DIR [--model LSTM] [--version N] [--probe N]
 //     Loads the model, drives a small probe workload (N users each observe
 //     a couple of check-ins, then one top-k batch) through a fresh engine,
 //     and prints one NDJSON line with the full metric-registry snapshot —
 //     a self-contained health check covering serving, session-store,
-//     thread-pool and tensor-pool metrics.
+//     thread-pool and tensor-pool metrics. "probe_delta" carries only what
+//     the probe itself contributed (snapshot-before/after delta), so the
+//     probe is separable from whatever the process counted before it.
+//
+// All long-lived subcommands honor PA_OBS_TIMESERIES=<path> (+ optional
+// PA_OBS_SAMPLE_PERIOD_MS): a background sampler appends one NDJSON
+// registry snapshot per period with delta-encoded counters.
 
 #include <algorithm>
 #include <cstdio>
@@ -49,7 +59,10 @@
 #include <string>
 #include <vector>
 
+#include "obs/health.h"
+#include "obs/http_exposition.h"
 #include "obs/metrics.h"
+#include "obs/telemetry_sampler.h"
 #include "poi/csv.h"
 #include "poi/synthetic.h"
 #include "rec/registry.h"
@@ -108,8 +121,17 @@ struct Flags {
 bool ParseFlags(int argc, char** argv, int first, Flags* flags) {
   for (int i = first; i < argc; ++i) {
     const char* arg = argv[i];
-    if (std::strncmp(arg, "--", 2) != 0 || i + 1 >= argc) {
+    if (std::strncmp(arg, "--", 2) != 0) {
       std::fprintf(stderr, "pa_serve: bad argument \"%s\"\n", arg);
+      return false;
+    }
+    // Both --key value and --key=value.
+    if (const char* eq = std::strchr(arg + 2, '=')) {
+      flags->values[std::string(arg + 2, eq)] = eq + 1;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "pa_serve: missing value for \"%s\"\n", arg);
       return false;
     }
     flags->values[arg + 2] = argv[++i];
@@ -239,6 +261,22 @@ int CmdServe(const Flags& flags) {
       std::make_shared<const serve::LoadedModel>(std::move(loaded)), config);
   std::fprintf(stderr, "pa_serve: serving %s (%d POIs); reading NDJSON\n",
                engine.model_name().c_str(), num_pois);
+  obs::HealthRegistry::Global().Set("serve.model", obs::HealthStatus::kOk,
+                                    engine.model_name());
+
+  obs::ExpositionServer exposition;
+  if (flags.values.count("metrics-port")) {
+    const long port = flags.GetInt("metrics-port", 0);
+    if (port < 0 || port > 65535 ||
+        !exposition.Start(static_cast<uint16_t>(port))) {
+      std::fprintf(stderr, "pa_serve: cannot bind metrics port %ld\n", port);
+      return 1;
+    }
+    // Machine-parseable (tier1 smoke reads this line to find an ephemeral
+    // port).
+    std::fprintf(stderr, "pa_serve: metrics listening on http://127.0.0.1:%u\n",
+                 static_cast<unsigned>(exposition.port()));
+  }
 
   std::string line;
   while (std::getline(std::cin, line)) {
@@ -312,7 +350,12 @@ int CmdStats(const Flags& flags) {
   // Drive a tiny deterministic probe workload so every serving-side
   // instrument (request counters, latency histogram, session gauges,
   // thread-pool and tensor-pool stats) reflects real traffic rather than
-  // printing an all-zero snapshot.
+  // printing an all-zero snapshot. The before-snapshot separates the
+  // probe's own contribution from pre-existing counts (model training in
+  // this process, a warm registry, ...): "registry" is the absolute
+  // after-state, "probe_delta" is just the probe.
+  const obs::MetricRegistry::Snapshot before =
+      obs::MetricRegistry::Global().TakeSnapshot();
   const int probe_users =
       static_cast<int>(std::max(1L, flags.GetInt("probe", 4)));
   std::vector<serve::TopKRequest> batch;
@@ -332,13 +375,16 @@ int CmdStats(const Flags& flags) {
   }
   engine.TopKBatch(batch);
 
+  const obs::MetricRegistry::Snapshot after =
+      obs::MetricRegistry::Global().TakeSnapshot();
   serve::JsonWriter w;
   w.BeginObject()
       .Field("ok", true)
       .Field("model", engine.model_name())
       .Field("probe_users", int64_t{probe_users})
       .RawField("stats", engine.Stats().ToJson())
-      .RawField("registry", obs::MetricRegistry::Global().SnapshotJson())
+      .RawField("registry", obs::SnapshotToJson(after))
+      .RawField("probe_delta", obs::SnapshotDeltaJson(before, after))
       .EndObject();
   std::printf("%s\n", w.str().c_str());
   return 0;
@@ -351,6 +397,10 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   Flags flags;
   if (!ParseFlags(argc, argv, 2, &flags)) return 2;
+  // PA_OBS_TIMESERIES=<path>: continuous registry sampling for any
+  // subcommand (most useful under `serve`, but `publish` training runs
+  // produce a time series too).
+  obs::TelemetrySampler::MaybeStartFromEnv();
   if (command == "publish") return CmdPublish(flags);
   if (command == "list") return CmdList(flags);
   if (command == "activate") return CmdActivate(flags);

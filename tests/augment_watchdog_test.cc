@@ -1,0 +1,201 @@
+// Tests for the training-health watchdog: NaN/Inf guards, the
+// EWMA-vs-window-min divergence detector (DEGRADED → FAILED escalation,
+// stage resets, recovery), health-registry publication, and the
+// fault-injected end-to-end contract — an absurd learning rate must abort
+// PA-Seq2Seq training and flip /healthz to FAILED instead of finishing a
+// run full of NaN parameters.
+
+#include "augment/train_watchdog.h"
+
+#include <cmath>
+#include <limits>
+
+#include "augment/pa_seq2seq.h"
+#include "gtest/gtest.h"
+#include "obs/health.h"
+#include "poi/poi_table.h"
+
+namespace pa::augment {
+namespace {
+
+constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+obs::HealthStatus ComponentStatus(const std::string& name) {
+  for (const auto& c : obs::HealthRegistry::Global().Components()) {
+    if (c.name == name) return c.status;
+  }
+  ADD_FAILURE() << "component not registered: " << name;
+  return obs::HealthStatus::kOk;
+}
+
+class WatchdogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::HealthRegistry::Global().Clear(); }
+  void TearDown() override { obs::HealthRegistry::Global().Clear(); }
+};
+
+TEST_F(WatchdogTest, StartsVisibleAsOk) {
+  TrainWatchdog watchdog;
+  EXPECT_EQ(ComponentStatus("train.watchdog"), obs::HealthStatus::kOk);
+  EXPECT_FALSE(watchdog.failed());
+}
+
+TEST_F(WatchdogTest, HealthyWatchdogDeregistersOnDestruction) {
+  { TrainWatchdog watchdog; }
+  EXPECT_TRUE(obs::HealthRegistry::Global().Components().empty());
+}
+
+TEST_F(WatchdogTest, NonFiniteLossOrGradNormFailsImmediately) {
+  {
+    TrainWatchdog watchdog;
+    EXPECT_TRUE(watchdog.ObserveStep(1, 0.5f, 2.0f));
+    EXPECT_FALSE(watchdog.ObserveStep(1, kNan, 2.0f));
+    EXPECT_TRUE(watchdog.failed());
+    EXPECT_TRUE(watchdog.aborted());
+    EXPECT_NE(watchdog.diagnostic().find("non-finite loss"),
+              std::string::npos);
+    EXPECT_EQ(ComponentStatus("train.watchdog"), obs::HealthStatus::kFailed);
+  }
+  // A FAILED watchdog stays registered after destruction: the sick run
+  // remains visible to /healthz.
+  EXPECT_EQ(ComponentStatus("train.watchdog"), obs::HealthStatus::kFailed);
+
+  obs::HealthRegistry::Global().Clear();
+  TrainWatchdog watchdog;
+  EXPECT_FALSE(watchdog.ObserveStep(2, 0.5f, kInf));
+  EXPECT_NE(watchdog.diagnostic().find("gradient norm"), std::string::npos);
+}
+
+TEST_F(WatchdogTest, AbortOnFailureFalseKeepsTrainingButFlipsHealth) {
+  TrainWatchdogConfig config;
+  config.abort_on_failure = false;
+  TrainWatchdog watchdog(config);
+  EXPECT_TRUE(watchdog.ObserveStep(1, kNan, 1.0f));  // Keep going...
+  EXPECT_TRUE(watchdog.failed());                    // ...but observably sick.
+  EXPECT_FALSE(watchdog.aborted());
+  EXPECT_EQ(ComponentStatus("train.watchdog"), obs::HealthStatus::kFailed);
+}
+
+TEST_F(WatchdogTest, DisabledWatchdogIsInert) {
+  TrainWatchdogConfig config;
+  config.enabled = false;
+  TrainWatchdog watchdog(config);
+  EXPECT_TRUE(watchdog.ObserveStep(1, kNan, kInf));
+  EXPECT_TRUE(watchdog.ObserveEpoch(1, kNan));
+  EXPECT_FALSE(watchdog.failed());
+  EXPECT_TRUE(obs::HealthRegistry::Global().Components().empty());
+}
+
+TEST_F(WatchdogTest, DivergenceEscalatesThroughDegradedToFailed) {
+  TrainWatchdogConfig config;
+  config.divergence_factor = 2.0;
+  config.patience = 3;
+  TrainWatchdog watchdog(config);
+
+  // A converging run never trips anything.
+  for (int e = 0; e < 6; ++e) {
+    EXPECT_TRUE(watchdog.ObserveEpoch(1, 1.0f - 0.1f * e));
+  }
+  EXPECT_EQ(ComponentStatus("train.watchdog"), obs::HealthStatus::kOk);
+
+  // Diverging epochs: the EWMA climbs past factor × window-min. Strikes
+  // 1 and 2 mark DEGRADED, strike 3 (== patience) fails and aborts.
+  EXPECT_TRUE(watchdog.ObserveEpoch(1, 50.0f));
+  EXPECT_EQ(ComponentStatus("train.watchdog"), obs::HealthStatus::kDegraded);
+  EXPECT_TRUE(watchdog.ObserveEpoch(1, 80.0f));
+  EXPECT_FALSE(watchdog.ObserveEpoch(1, 120.0f));
+  EXPECT_TRUE(watchdog.aborted());
+  EXPECT_EQ(ComponentStatus("train.watchdog"), obs::HealthStatus::kFailed);
+  EXPECT_NE(watchdog.diagnostic().find("diverging"), std::string::npos);
+}
+
+TEST_F(WatchdogTest, OneBadEpochRecoversToOk) {
+  TrainWatchdogConfig config;
+  config.divergence_factor = 2.0;
+  // The EWMA needs a few healthy epochs to decay back under the threshold
+  // after one spike; patience must outlast that decay for this to count as
+  // recovery rather than failure.
+  config.patience = 4;
+  TrainWatchdog watchdog(config);
+  for (int e = 0; e < 4; ++e) {
+    EXPECT_TRUE(watchdog.ObserveEpoch(1, 1.0f));
+  }
+  EXPECT_TRUE(watchdog.ObserveEpoch(1, 10.0f));  // One spike: DEGRADED.
+  EXPECT_EQ(ComponentStatus("train.watchdog"), obs::HealthStatus::kDegraded);
+  // EWMA decays back under the threshold → strikes reset, OK again.
+  for (int e = 0; e < 6; ++e) {
+    EXPECT_TRUE(watchdog.ObserveEpoch(1, 1.0f));
+  }
+  EXPECT_EQ(ComponentStatus("train.watchdog"), obs::HealthStatus::kOk);
+  EXPECT_FALSE(watchdog.failed());
+}
+
+TEST_F(WatchdogTest, StageBoundariesResetTheBaseline) {
+  TrainWatchdogConfig config;
+  config.divergence_factor = 2.0;
+  TrainWatchdog watchdog(config);
+  // Stage 1 converges to a tiny loss...
+  for (int e = 0; e < 5; ++e) {
+    EXPECT_TRUE(watchdog.ObserveEpoch(1, 0.01f));
+  }
+  // ...stage 2 starts at a much larger loss (different objective). With a
+  // stage-global baseline this would instantly strike; the reset makes it
+  // a fresh seed instead.
+  EXPECT_TRUE(watchdog.ObserveEpoch(2, 3.0f));
+  EXPECT_EQ(ComponentStatus("train.watchdog"), obs::HealthStatus::kOk);
+}
+
+// The slow legitimate loss rise of the stage-3 mask ramp (10% → 50% masked
+// tokens across epochs) must not be mistaken for divergence: the windowed
+// minimum tracks the ramp.
+TEST_F(WatchdogTest, SlowRampIsNotDivergence) {
+  TrainWatchdogConfig config;
+  config.divergence_factor = 4.0;
+  config.window = 8;
+  TrainWatchdog watchdog(config);
+  float loss = 1.0f;
+  for (int e = 0; e < 30; ++e) {
+    EXPECT_TRUE(watchdog.ObserveEpoch(3, loss)) << "epoch " << e;
+    loss *= 1.10f;  // +10% per epoch: a ramp, not a runaway.
+  }
+  EXPECT_FALSE(watchdog.failed());
+}
+
+// Fault injection end to end: an absurd learning rate explodes the
+// parameters after the first Adam steps, losses/gradients go non-finite,
+// and Fit must abort early with /healthz FAILED — instead of burning all
+// configured epochs training garbage.
+TEST_F(WatchdogTest, NanTrainingRunAbortsFitAndFailsHealth) {
+  std::vector<geo::LatLng> coords;
+  for (int i = 0; i < 6; ++i) {
+    coords.push_back({40.0 + 0.01 * i, -100.0 + 0.005 * i});
+  }
+  poi::PoiTable pois(std::move(coords));
+  std::vector<poi::CheckinSequence> train(2);
+  for (int u = 0; u < 2; ++u) {
+    for (int i = 0; i < 24; ++i) {
+      train[u].push_back({u, i % 3, int64_t{i} * 3 * 3600, false});
+    }
+  }
+
+  PaSeq2SeqConfig config;
+  config.embedding_dim = 8;
+  config.hidden_dim = 8;
+  config.stage1_epochs = 4;
+  config.stage2_epochs = 4;
+  config.stage3_epochs = 4;
+  config.seed = 5;
+  config.learning_rate = 1e20f;  // Guaranteed blow-up.
+  PaSeq2Seq model(pois, config);
+  model.Fit(train);
+
+  const auto& stats = model.train_stats();
+  const size_t epochs_run =
+      stats.stage1.size() + stats.stage2.size() + stats.stage3.size();
+  EXPECT_LT(epochs_run, 12u) << "watchdog did not abort the run";
+  EXPECT_EQ(ComponentStatus("train.watchdog"), obs::HealthStatus::kFailed);
+}
+
+}  // namespace
+}  // namespace pa::augment

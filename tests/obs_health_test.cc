@@ -1,0 +1,71 @@
+// Tests for obs::HealthRegistry: status aggregation (worst component wins),
+// the JSON shape /healthz serves, and registration lifecycle.
+
+#include "obs/health.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace pa::obs {
+namespace {
+
+class HealthTest : public ::testing::Test {
+ protected:
+  void SetUp() override { HealthRegistry::Global().Clear(); }
+  void TearDown() override { HealthRegistry::Global().Clear(); }
+};
+
+TEST_F(HealthTest, EmptyRegistryIsOk) {
+  EXPECT_EQ(HealthRegistry::Global().Overall(), HealthStatus::kOk);
+  EXPECT_EQ(HealthRegistry::Global().Json(),
+            "{\"status\":\"ok\",\"components\":{}}");
+}
+
+TEST_F(HealthTest, WorstComponentWins) {
+  auto& registry = HealthRegistry::Global();
+  registry.Set("a", HealthStatus::kOk);
+  EXPECT_EQ(registry.Overall(), HealthStatus::kOk);
+  registry.Set("b", HealthStatus::kDegraded, "queue backing up");
+  EXPECT_EQ(registry.Overall(), HealthStatus::kDegraded);
+  registry.Set("c", HealthStatus::kFailed, "loss is NaN");
+  EXPECT_EQ(registry.Overall(), HealthStatus::kFailed);
+  // A FAILED component recovering drops the overall status back down.
+  registry.Set("c", HealthStatus::kOk);
+  EXPECT_EQ(registry.Overall(), HealthStatus::kDegraded);
+}
+
+TEST_F(HealthTest, SetReplacesAndRemoveDrops) {
+  auto& registry = HealthRegistry::Global();
+  registry.Set("train.watchdog", HealthStatus::kFailed, "diverged");
+  ASSERT_EQ(registry.Components().size(), 1u);
+  EXPECT_EQ(registry.Components()[0].detail, "diverged");
+
+  registry.Set("train.watchdog", HealthStatus::kOk, "");
+  ASSERT_EQ(registry.Components().size(), 1u);
+  EXPECT_EQ(registry.Components()[0].status, HealthStatus::kOk);
+
+  registry.Remove("train.watchdog");
+  EXPECT_TRUE(registry.Components().empty());
+}
+
+TEST_F(HealthTest, JsonCarriesStatusAndEscapedDetail) {
+  auto& registry = HealthRegistry::Global();
+  registry.Set("serve.model", HealthStatus::kOk, "LSTM");
+  registry.Set("train.watchdog", HealthStatus::kFailed, "said \"nan\"");
+  const std::string json = registry.Json();
+  EXPECT_NE(json.find("\"status\":\"failed\""), std::string::npos);
+  EXPECT_NE(json.find("\"serve.model\":{\"status\":\"ok\",\"detail\":\"LSTM\"}"),
+            std::string::npos);
+  // The quote inside the detail must be escaped.
+  EXPECT_NE(json.find("said \\\"nan\\\""), std::string::npos);
+}
+
+TEST_F(HealthTest, StatusNames) {
+  EXPECT_STREQ(HealthStatusName(HealthStatus::kOk), "ok");
+  EXPECT_STREQ(HealthStatusName(HealthStatus::kDegraded), "degraded");
+  EXPECT_STREQ(HealthStatusName(HealthStatus::kFailed), "failed");
+}
+
+}  // namespace
+}  // namespace pa::obs

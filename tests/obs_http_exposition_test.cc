@@ -1,0 +1,242 @@
+// Tests for the exposition server: routing logic (sockets-free via
+// internal::Route), Prometheus text shape — every registry instrument must
+// appear and every line must parse — and a real-socket round trip against
+// a server on an ephemeral port, including the /healthz 503 contract.
+
+#include "obs/http_exposition.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/health.h"
+#include "obs/metrics.h"
+
+namespace pa::obs {
+namespace {
+
+// Sends one request to 127.0.0.1:`port` and returns the raw response.
+std::string HttpGet(uint16_t port, const std::string& request_line) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    close(fd);
+    return "";
+  }
+  const std::string wire = request_line + "\r\nHost: localhost\r\n\r\n";
+  size_t off = 0;
+  while (off < wire.size()) {
+    const ssize_t n = send(fd, wire.data() + off, wire.size() - off, 0);
+    if (n <= 0) break;
+    off += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+  return response;
+}
+
+// Minimal Prometheus text-format check: every line is either a comment or
+// `name[{labels}] value[ # exemplar]` with a sanitized name and a numeric
+// value. Returns the metric names seen.
+std::vector<std::string> ParsePrometheusText(const std::string& text) {
+  std::vector<std::string> names;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      EXPECT_EQ(line.rfind("# TYPE ", 0), 0u) << "unexpected comment: " << line;
+      continue;
+    }
+    size_t i = 0;
+    EXPECT_TRUE(std::isalpha(static_cast<unsigned char>(line[0])) ||
+                line[0] == '_' || line[0] == ':')
+        << line;
+    while (i < line.size() &&
+           (std::isalnum(static_cast<unsigned char>(line[i])) ||
+            line[i] == '_' || line[i] == ':')) {
+      ++i;
+    }
+    if (i == 0) {
+      ADD_FAILURE() << "no metric name: " << line;
+      continue;
+    }
+    names.push_back(line.substr(0, i));
+    if (i < line.size() && line[i] == '{') {
+      const size_t close = line.find('}', i);
+      if (close == std::string::npos) {
+        ADD_FAILURE() << "unterminated labels: " << line;
+        continue;
+      }
+      i = close + 1;
+    }
+    if (i >= line.size() || line[i] != ' ') {
+      ADD_FAILURE() << "no value separator: " << line;
+      continue;
+    }
+    // The value must parse as a number (NaN/±Inf allowed by the format).
+    const std::string rest = line.substr(i + 1);
+    const size_t exemplar = rest.find(" # ");
+    const std::string value =
+        exemplar == std::string::npos ? rest : rest.substr(0, exemplar);
+    EXPECT_FALSE(value.empty()) << line;
+    size_t parsed = 0;
+    (void)std::stod(value, &parsed);  // Throws → test aborts with a clue.
+    EXPECT_EQ(parsed, value.size()) << line;
+  }
+  return names;
+}
+
+bool Contains(const std::vector<std::string>& names,
+              const std::string& needle) {
+  for (const std::string& n : names) {
+    if (n == needle || n.rfind(needle + "_", 0) == 0) return true;
+  }
+  return false;
+}
+
+TEST(Route, MethodAndPathDispatch) {
+  HealthRegistry::Global().Clear();
+  const auto post = internal::Route("POST", "/metrics");
+  EXPECT_EQ(post.status, 405);
+  const auto missing = internal::Route("GET", "/nope");
+  EXPECT_EQ(missing.status, 404);
+
+  const auto varz = internal::Route("GET", "/varz");
+  EXPECT_EQ(varz.status, 200);
+  EXPECT_EQ(varz.content_type, "application/json");
+  EXPECT_NE(varz.body.find("\"counters\""), std::string::npos);
+
+  const auto healthz = internal::Route("GET", "/healthz");
+  EXPECT_EQ(healthz.status, 200);
+  EXPECT_NE(healthz.body.find("\"status\":\"ok\""), std::string::npos);
+}
+
+TEST(Route, HealthzAnswers503OnlyWhenFailed) {
+  HealthRegistry::Global().Clear();
+  HealthRegistry::Global().Set("x", HealthStatus::kDegraded, "meh");
+  EXPECT_EQ(internal::Route("GET", "/healthz").status, 200);
+  HealthRegistry::Global().Set("x", HealthStatus::kFailed, "dead");
+  const auto r = internal::Route("GET", "/healthz");
+  EXPECT_EQ(r.status, 503);
+  EXPECT_NE(r.body.find("\"status\":\"failed\""), std::string::npos);
+  HealthRegistry::Global().Clear();
+}
+
+TEST(Route, MetricsCoversEveryRegistryInstrument) {
+  auto& registry = MetricRegistry::Global();
+  registry.GetCounter("test.expo.counter").Add(5);
+  registry.GetGauge("test.expo.gauge").Set(-2.5);
+  Histogram& h = registry.GetHistogram("test.expo.hist");
+  for (int i = 0; i < 100; ++i) h.Record(100.0);
+  h.RecordWithExemplar(5000.0, 77);
+  HealthRegistry::Global().Clear();
+  HealthRegistry::Global().Set("comp", HealthStatus::kOk);
+
+  const auto r = internal::Route("GET", "/metrics");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.content_type.rfind("text/plain", 0), 0u);
+  const std::vector<std::string> names = ParsePrometheusText(r.body);
+
+  // Every instrument in the registry snapshot must be exposed (modulo name
+  // sanitization) — the acceptance contract for /metrics.
+  const auto snap = registry.TakeSnapshot();
+  auto sanitized = [](std::string name) {
+    for (char& c : name) {
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+          c != ':') {
+        c = '_';
+      }
+    }
+    return name;
+  };
+  for (const auto& [name, v] : snap.counters) {
+    EXPECT_TRUE(Contains(names, sanitized(name))) << name;
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    EXPECT_TRUE(Contains(names, sanitized(name))) << name;
+  }
+  for (const auto& [name, v] : snap.histograms) {
+    EXPECT_TRUE(Contains(names, sanitized(name))) << name;
+  }
+  // Health rides along as a gauge, and the exemplar links the tail bucket
+  // to span 77 in OpenMetrics syntax.
+  EXPECT_TRUE(Contains(names, "pa_health_status"));
+  EXPECT_NE(r.body.find("# {span_id=\"77\"}"), std::string::npos);
+  // Histogram samples: cumulative buckets, +Inf terminal, sum and count.
+  EXPECT_NE(r.body.find("test_expo_hist_bucket{le=\"+Inf\"} 101"),
+            std::string::npos);
+  EXPECT_NE(r.body.find("test_expo_hist_count 101"), std::string::npos);
+
+  registry.Unregister("test.expo.counter", nullptr);
+  registry.Unregister("test.expo.gauge", nullptr);
+  registry.Unregister("test.expo.hist", nullptr);
+  HealthRegistry::Global().Clear();
+}
+
+TEST(RenderHttpResponse, StatusLineHeadersAndBody) {
+  internal::HttpResponse r;
+  r.status = 404;
+  r.content_type = "text/plain";
+  r.body = "nope\n";
+  const std::string wire = internal::RenderHttpResponse(r);
+  EXPECT_EQ(wire.rfind("HTTP/1.1 404 Not Found\r\n", 0), 0u);
+  EXPECT_NE(wire.find("Content-Length: 5\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("\r\n\r\nnope\n"), std::string::npos);
+}
+
+TEST(ExpositionServer, ServesOverARealSocket) {
+  auto& registry = MetricRegistry::Global();
+  registry.GetCounter("test.expo.live").Add(3);
+  HealthRegistry::Global().Clear();
+
+  ExpositionServer server;
+  ASSERT_TRUE(server.Start(0));  // Ephemeral port.
+  ASSERT_NE(server.port(), 0);
+  EXPECT_FALSE(server.Start(0));  // Already running.
+
+  const std::string metrics = HttpGet(server.port(), "GET /metrics HTTP/1.1");
+  EXPECT_EQ(metrics.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  EXPECT_NE(metrics.find("test_expo_live 3"), std::string::npos);
+
+  const std::string healthz = HttpGet(server.port(), "GET /healthz HTTP/1.1");
+  EXPECT_EQ(healthz.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+
+  HealthRegistry::Global().Set("broken", HealthStatus::kFailed, "boom");
+  const std::string sick = HttpGet(server.port(), "GET /healthz HTTP/1.1");
+  EXPECT_EQ(sick.rfind("HTTP/1.1 503 Service Unavailable\r\n", 0), 0u);
+  EXPECT_NE(sick.find("boom"), std::string::npos);
+  HealthRegistry::Global().Clear();
+
+  // Query strings are stripped; bad request lines answer 400.
+  const std::string q = HttpGet(server.port(), "GET /varz?pretty=1 HTTP/1.1");
+  EXPECT_EQ(q.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  const std::string bad = HttpGet(server.port(), "GARBAGE");
+  EXPECT_EQ(bad.rfind("HTTP/1.1 400 Bad Request\r\n", 0), 0u);
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  server.Stop();  // Idempotent.
+  registry.Unregister("test.expo.live", nullptr);
+}
+
+}  // namespace
+}  // namespace pa::obs

@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -68,6 +69,96 @@ TEST(Histogram, ExtremesLandInEdgeBuckets) {
   const HistogramStats stats = h.Stats();
   EXPECT_TRUE(std::isfinite(stats.p99));
   EXPECT_TRUE(std::isfinite(stats.mean));
+}
+
+// Direct edge-case coverage for the interpolated-percentile code.
+TEST(Histogram, PercentileEdgeCases) {
+  Histogram empty;
+  EXPECT_DOUBLE_EQ(empty.Percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Percentile(1.0), 0.0);
+
+  // All mass in one bucket: every quantile interpolates inside that bucket,
+  // so the answers are bounded by the bucket edges containing 10.0.
+  Histogram single;
+  for (int i = 0; i < 1000; ++i) single.Record(10.0);
+  const double lo = 10.0 / Histogram::kRatio;
+  const double hi = 10.0 * Histogram::kRatio;
+  for (const double q : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    const double v = single.Percentile(q);
+    EXPECT_GE(v, lo) << "q=" << q;
+    EXPECT_LE(v, hi) << "q=" << q;
+  }
+  // q=0 targets the first sample, q=1 the last; with one bucket they agree
+  // up to intra-bucket interpolation and must be ordered.
+  EXPECT_LE(single.Percentile(0.0), single.Percentile(1.0));
+
+  // Values beyond the last bucket boundary clamp into the catch-all bucket:
+  // finite percentiles, no overflow past the final upper bound.
+  Histogram beyond;
+  beyond.Record(1e300);
+  beyond.Record(1e301);
+  for (const double q : {0.0, 0.5, 1.0}) {
+    const double v = beyond.Percentile(q);
+    EXPECT_TRUE(std::isfinite(v)) << "q=" << q;
+    EXPECT_GE(v, Histogram::BucketLowerBound(Histogram::kBuckets - 1));
+    EXPECT_LE(v, Histogram::BucketUpperBound(Histogram::kBuckets - 1));
+  }
+}
+
+TEST(Histogram, BucketBoundsAreGeometricAndAdjacent) {
+  EXPECT_DOUBLE_EQ(Histogram::BucketLowerBound(0), Histogram::kFirstBucket);
+  for (int i = 0; i < Histogram::kBuckets - 1; ++i) {
+    EXPECT_NEAR(Histogram::BucketUpperBound(i),
+                Histogram::BucketLowerBound(i + 1),
+                1e-9 * Histogram::BucketUpperBound(i));
+  }
+  EXPECT_GT(Histogram::BucketUpperBound(Histogram::kBuckets - 1), 1e11);
+}
+
+TEST(Histogram, ExemplarLinksP99BucketToSpan) {
+  Histogram h;
+  // Zero span id degrades to a plain Record: no exemplar retained.
+  h.RecordWithExemplar(50.0, 0);
+  EXPECT_EQ(h.Stats().p99_exemplar_span, 0u);
+
+  // Tail value with a span: the p99 bucket (the tail) carries it.
+  for (int i = 0; i < 200; ++i) h.Record(50.0);
+  h.RecordWithExemplar(100000.0, 42);
+  const HistogramStats stats = h.Stats();
+  EXPECT_EQ(stats.count, 202u);
+  EXPECT_EQ(stats.p99_exemplar_span, 42u);
+
+  // Last-wins per bucket.
+  h.RecordWithExemplar(100000.0, 43);
+  EXPECT_EQ(h.Stats().p99_exemplar_span, 43u);
+
+  // When the p99 bucket itself has no exemplar, the nearest recorded one
+  // still surfaces (fallback search).
+  Histogram fallback;
+  for (int i = 0; i < 100; ++i) fallback.Record(100.0);
+  fallback.RecordWithExemplar(10.0, 7);  // Below the p99 bucket.
+  EXPECT_EQ(fallback.Stats().p99_exemplar_span, 7u);
+
+  // Reset clears exemplars along with counts.
+  h.Reset();
+  EXPECT_EQ(h.Stats().p99_exemplar_span, 0u);
+
+  // ExportBuckets surfaces the per-bucket exemplar for exposition.
+  Histogram exported;
+  exported.RecordWithExemplar(1.2, 9);
+  const Histogram::Export exp = exported.ExportBuckets();
+  uint64_t total = 0;
+  bool found = false;
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    total += exp.counts[i];
+    if (exp.exemplar_span[i] == 9) {
+      found = true;
+      EXPECT_EQ(exp.counts[i], 1u);
+    }
+  }
+  EXPECT_EQ(total, 1u);
+  EXPECT_TRUE(found);
 }
 
 TEST(Histogram, ResetClearsEverythingConsistently) {
@@ -223,6 +314,77 @@ TEST(MetricRegistry, SnapshotJsonShapeAndEscaping) {
   registry.Unregister("test.json.count\"er\\x", nullptr);
   registry.Unregister("test.json.gauge", nullptr);
   registry.Unregister("test.json.hist", nullptr);
+}
+
+TEST(MetricRegistry, SnapshotDeltaJsonReportsOnlyTheChange) {
+  auto& registry = MetricRegistry::Global();
+  Counter& c = registry.GetCounter("test.delta.counter");
+  Gauge& g = registry.GetGauge("test.delta.gauge");
+  Histogram& h = registry.GetHistogram("test.delta.hist");
+  c.Add(10);
+  g.Set(1.0);
+  h.Record(5.0);
+  const auto before = registry.TakeSnapshot();
+
+  c.Add(32);
+  g.Set(9.5);
+  h.Record(5.0);
+  h.Record(5.0);
+  registry.GetCounter("test.delta.new").Add(4);  // Absent from `before`.
+  const auto after = registry.TakeSnapshot();
+
+  const std::string json = SnapshotDeltaJson(before, after);
+  // Counters: after - before; new counters report their absolute value.
+  EXPECT_NE(json.find("\"test.delta.counter\":32"), std::string::npos);
+  EXPECT_NE(json.find("\"test.delta.new\":4"), std::string::npos);
+  // Gauges are point-in-time: after's value, unchanged.
+  EXPECT_NE(json.find("\"test.delta.gauge\":9.5"), std::string::npos);
+  // Histograms: count delta.
+  const size_t hist = json.find("\"test.delta.hist\"");
+  ASSERT_NE(hist, std::string::npos);
+  EXPECT_NE(json.find("\"count\":2", hist), std::string::npos);
+
+  registry.Unregister("test.delta.counter", nullptr);
+  registry.Unregister("test.delta.gauge", nullptr);
+  registry.Unregister("test.delta.hist", nullptr);
+  registry.Unregister("test.delta.new", nullptr);
+}
+
+TEST(MetricRegistry, PrometheusTextSanitizesNamesAndTypesEveryInstrument) {
+  auto& registry = MetricRegistry::Global();
+  registry.GetCounter("test.prom.counter").Add(3);
+  registry.GetGauge("test.prom.gauge").Set(0.5);
+  Histogram& h = registry.GetHistogram("test.prom.hist");
+  h.Record(2.0);
+  h.RecordWithExemplar(3.0, 21);
+  const std::string text = registry.PrometheusText();
+
+  EXPECT_NE(text.find("# TYPE test_prom_counter counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_counter 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_prom_gauge gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_gauge 0.5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_prom_hist histogram\n"),
+            std::string::npos);
+  // Cumulative buckets terminate in +Inf agreeing with _count.
+  EXPECT_NE(text.find("test_prom_hist_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_count 2\n"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_sum "), std::string::npos);
+  // The 3.0 bucket carries its exemplar in OpenMetrics syntax.
+  EXPECT_NE(text.find(" # {span_id=\"21\"} "), std::string::npos);
+  // No unsanitized dot survives in any metric name.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("test_prom", 0) == 0 || line.rfind("# TYPE test_prom", 0) == 0) {
+      EXPECT_EQ(line.find("test.prom"), std::string::npos) << line;
+    }
+  }
+
+  registry.Unregister("test.prom.counter", nullptr);
+  registry.Unregister("test.prom.gauge", nullptr);
+  registry.Unregister("test.prom.hist", nullptr);
 }
 
 // Concurrent Get + bump + snapshot across threads: the registry mutex only

@@ -100,6 +100,33 @@ TEST(TraceSpan, NestedSpansAreContainedInTheirParent) {
   EXPECT_LE(outer[0].start_ns, inner[0].start_ns);
 }
 
+TEST(TraceSpan, SpansGetUniqueNonzeroIdsWhenTracingIsOn) {
+  DrainTraceEvents();
+  SetTracingEnabled(true);
+  uint64_t id1 = 0;
+  uint64_t id2 = 0;
+  {
+    TraceSpan a("test.trace.ids");
+    id1 = a.id();
+    TraceSpan b("test.trace.ids");
+    id2 = b.id();
+  }
+  SetTracingEnabled(false);
+  EXPECT_NE(id1, 0u);
+  EXPECT_NE(id2, 0u);
+  EXPECT_NE(id1, id2);
+  // The recorded events carry the same ids, so an exemplar referencing
+  // span.id() resolves against the dumped trace.
+  const std::vector<TraceEvent> events = DrainNamed("test.trace.ids");
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_TRUE((events[0].id == id1 && events[1].id == id2) ||
+              (events[0].id == id2 && events[1].id == id1));
+
+  // Tracing off: id() is 0 — the "no exemplar" sentinel.
+  TraceSpan off("test.trace.ids.off");
+  EXPECT_EQ(off.id(), 0u);
+}
+
 TEST(TraceSpan, SpansFromSeparateThreadsGetDistinctTids) {
   DrainTraceEvents();
   SetTracingEnabled(true);
@@ -166,8 +193,8 @@ TEST(TraceExport, ChromeTraceJsonEventsRoundTripThroughStrictParser) {
 
 TEST(TraceExport, NdjsonLinesRoundTripThroughStrictParser) {
   std::vector<TraceEvent> events;
-  events.push_back({"one", 1000, 500, 0});
-  events.push_back({"two", 2000, 42, 1});
+  events.push_back({"one", 1000, 500, 0, 11});
+  events.push_back({"two", 2000, 42, 1, 12});
   const std::string ndjson = TraceNdjson(events);
 
   std::istringstream lines(ndjson);
@@ -181,6 +208,9 @@ TEST(TraceExport, NdjsonLinesRoundTripThroughStrictParser) {
     ASSERT_TRUE(fields.at("ts_us").is_number());
     ASSERT_TRUE(fields.at("dur_us").is_number());
     ASSERT_TRUE(fields.at("tid").is_number());
+    // Span id rides along so exemplars can be looked up in the dump.
+    ASSERT_TRUE(fields.at("id").is_number());
+    EXPECT_GT(fields.at("id").AsInt(), 10);
     ++parsed;
   }
   EXPECT_EQ(parsed, 2);
