@@ -10,23 +10,33 @@
 //                         MatMul flops start to amortise the graph overhead.
 //   * topk              — end-to-end QPS of session Observe + TopK on a
 //                         trained LSTM recommender (output layer + ranking
-//                         included), graph vs graph-free.
+//                         included), graph vs graph-free vs int8-quantized
+//                         serving (fused GEMV + raw-row ranking).
 //   * obs_overhead      — the same graph-free rollout with per-step
 //                         observability instrumentation (disabled trace span
 //                         + counter bump, tracing off); the gate keeps the
 //                         instrumented/plain ratio within 3%.
 //
+// Every forward arm additionally runs with the kernel dispatch pinned to the
+// scalar reference table (SetDispatchOverride), interleaved with the SIMD
+// passes so host drift cancels; *_simd_speedup is scalar-ns / simd-ns, and
+// the non-smoke gate requires >= 1.5x on the lstm/st_clstm fast paths. All
+// other arms are pinned to the best SIMD table, so the gates don't depend
+// on the PA_SIMD environment the bench happens to run under.
+//
 // The graph-building reference runs under
 // tensor::internal::ScopedInferenceDisable, which turns the wired-in
 // InferenceModeScopes into no-ops — the exact pre-fast-path behaviour.
 // Bit-identity between the two modes is the hard gate (exit 1 on mismatch);
-// in full mode the >= 2x lstm_forward speedup is also enforced.
+// in full mode the >= 2x lstm_forward speedup is also enforced, the int8
+// TopK arm must beat the float fast path, and the int8 HR@10 may drift at
+// most 1% relative from the float HR@10 on the same prediction set.
 //
 // Writes BENCH_inference.json (flat JSON, $PA_BENCH_DIR honoured) in the
 // schema shared with bench_serving / bench_parallel_eval:
-// {"bench": ..., "schema_version": 1, <metric>: number, ...} where tracked
-// metric suffixes are _ns_op (lower is better), _qps and _speedup (higher
-// is better) — see scripts/bench_compare.py.
+// {"bench": ..., "schema_version": 2, <metric>: number, ...} where tracked
+// metric suffixes are _ns_op (lower is better), _qps, _speedup and hr*
+// (higher is better) — see scripts/bench_compare.py.
 //
 // Usage: bench_inference_path [--smoke]   (--smoke: reduced iterations for
 // the tier-1 schema check; timings meaningless, gates limited to identity).
@@ -50,6 +60,7 @@
 #include "rec/registry.h"
 #include "serve/json.h"
 #include "tensor/buffer_pool.h"
+#include "tensor/kernels/kernels.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
 
@@ -89,25 +100,37 @@ void OneArmPass(InitFn& init, StepFn& step, int steps, int rollouts,
 struct ModePair {
   RolloutResult graph;
   RolloutResult nograph;
+  RolloutResult nograph_scalar;  // Fast path, scalar reference kernels.
   double speedup() const {
     return nograph.ns_per_step > 0.0 ? graph.ns_per_step / nograph.ns_per_step
                                      : 0.0;
   }
+  double simd_speedup() const {
+    return nograph.ns_per_step > 0.0
+               ? nograph_scalar.ns_per_step / nograph.ns_per_step
+               : 0.0;
+  }
   bool identical() const { return graph.final_h == nograph.final_h; }
 };
 
-// Best-of-`reps` for both arms, with the arms *interleaved* per rep: slow
+// Best-of-`reps` for all arms, with the arms *interleaved* per rep: slow
 // drift in host speed (frequency scaling, noisy neighbours) then biases both
 // numerators and denominators alike instead of skewing the ratio. One
 // untimed warmup pass per arm populates the thread's buffer/node pools and
 // faults in the weight pages — the first rollout in a fresh process
-// otherwise reads ~20% slow.
+// otherwise reads ~20% slow. The graph and fast arms run on the best SIMD
+// table; a third fast-path arm pins the scalar reference table, feeding the
+// *_simd_speedup gate. Identity is only compared between same-dispatch arms
+// (the SIMD tables' expf carries a documented ~2 ulp tolerance).
 template <typename InitFn, typename GraphFn, typename FastFn>
 ModePair TimeModePair(InitFn init, GraphFn step_graph, FastFn step_fast,
                       int steps, int rollouts, int reps) {
+  const tensor::kernels::KernelTable& simd = tensor::kernels::BestSimdTable();
+  const tensor::kernels::KernelTable& scalar = tensor::kernels::ScalarTable();
   ModePair pair;
   pair.graph.ns_per_step = 1e300;
   pair.nograph.ns_per_step = 1e300;
+  pair.nograph_scalar.ns_per_step = 1e300;
   for (int r = -1; r < reps; ++r) {
     RolloutResult warmup_sink{1e300, {}};
     {
@@ -120,6 +143,13 @@ ModePair TimeModePair(InitFn init, GraphFn step_graph, FastFn step_fast,
       tensor::InferenceModeScope scope;
       OneArmPass(init, step_fast, steps, rollouts,
                  r < 0 ? &warmup_sink : &pair.nograph);
+    }
+    {
+      tensor::kernels::SetDispatchOverride(&scalar);
+      tensor::InferenceModeScope scope;
+      OneArmPass(init, step_fast, steps, rollouts,
+                 r < 0 ? &warmup_sink : &pair.nograph_scalar);
+      tensor::kernels::SetDispatchOverride(&simd);
     }
   }
   return pair;
@@ -282,13 +312,34 @@ TopKResult TimeTopK(const rec::Recommender& model,
   return out;
 }
 
+// HR@k over the bench's prediction stream: rankings[i] is the top-k list
+// produced just before observing truth[i].
+double HitRate(const std::vector<std::vector<int32_t>>& rankings,
+               const std::vector<int32_t>& truth) {
+  if (rankings.empty() || rankings.size() != truth.size()) return 0.0;
+  size_t hits = 0;
+  for (size_t i = 0; i < rankings.size(); ++i) {
+    const auto& r = rankings[i];
+    if (std::find(r.begin(), r.end(), truth[i]) != r.end()) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(rankings.size());
+}
+
 int Run(bool smoke) {
   const int steps = 64;
   const int rollouts = smoke ? 2 : 60;
   const int reps = smoke ? 1 : 3;
 
+  // Pin kernel dispatch for the whole run: every arm states its table
+  // explicitly, so the numbers (and gates) don't depend on the PA_SIMD
+  // environment the bench happens to inherit.
+  tensor::kernels::SetDispatchOverride(&tensor::kernels::BestSimdTable());
+
   std::printf("inference fast path vs graph-building forward%s\n",
               smoke ? " (smoke)" : "");
+  std::printf("  kernel dispatch: simd=%s scalar=%s\n",
+              tensor::kernels::BestSimdTable().name,
+              tensor::kernels::ScalarTable().name);
 
   const ModePair lstm = BenchLstmForward(16, 24, steps, rollouts, reps);
   const ModePair st_clstm = BenchStClstmForward(16, 24, steps, rollouts, reps);
@@ -301,9 +352,10 @@ int Run(bool smoke) {
 
   auto report = [](const char* name, const ModePair& p) {
     std::printf("  %-18s graph %9.1f ns/op   graph-free %9.1f ns/op   "
-                "%5.2fx   bit-identical: %s\n",
+                "%5.2fx   bit-identical: %s   simd %5.2fx (scalar %9.1f)\n",
                 name, p.graph.ns_per_step, p.nograph.ns_per_step, p.speedup(),
-                p.identical() ? "YES" : "NO");
+                p.identical() ? "YES" : "NO", p.simd_speedup(),
+                p.nograph_scalar.ns_per_step);
   };
   report("lstm_forward", lstm);
   report("st_clstm_forward", st_clstm);
@@ -347,6 +399,31 @@ int Run(bool smoke) {
               "topk", topk_graph.qps, topk_fast.qps, topk_speedup,
               topk_identical ? "YES" : "NO");
 
+  // Int8 quantized serving arm: convert the model in place (after the float
+  // arms — conversion is what the artifact publisher does) and re-run the
+  // same workload through the fused GEMV + raw-row ranking path. Accuracy
+  // drift is judged on HR@10 against the actual next check-ins.
+  std::vector<int32_t> truth;
+  for (const auto& seq : test) {
+    for (const poi::Checkin& c : seq) truth.push_back(c.poi);
+  }
+  std::string qerror;
+  if (!model->QuantizeForServing(&qerror)) {
+    std::fprintf(stderr, "FAIL: QuantizeForServing: %s\n", qerror.c_str());
+    return 1;
+  }
+  const TopKResult topk_int8 = TimeTopK(*model, warmup, test, reps);
+  const double topk_int8_speedup =
+      topk_fast.qps > 0.0 ? topk_int8.qps / topk_fast.qps : 0.0;
+  const double hr10_float = HitRate(topk_fast.rankings, truth);
+  const double hr10_int8 = HitRate(topk_int8.rankings, truth);
+  const double quant_hr_drift =
+      hr10_float > 0.0 ? std::abs(hr10_float - hr10_int8) / hr10_float : 0.0;
+  std::printf("  %-18s int8  %9.0f qps     vs graph-free %5.2fx   "
+              "HR@10 %.4f -> %.4f (drift %.2f%%)\n",
+              "topk_int8", topk_int8.qps, topk_int8_speedup, hr10_float,
+              hr10_int8, 100.0 * quant_hr_drift);
+
   const auto& pool_stats = tensor::internal::BufferPool::ThisThread().stats();
   const double reuse_rate =
       pool_stats.acquires > 0
@@ -362,20 +439,36 @@ int Run(bool smoke) {
   serve::JsonWriter w;
   w.BeginObject()
       .Field("bench", "inference_path")
-      .Field("schema_version", 1)
+      .Field("schema_version", 2)
       .Field("smoke", smoke)
+      .Field("simd_table", tensor::kernels::BestSimdTable().name)
       .Field("lstm_forward_graph_ns_op", lstm.graph.ns_per_step)
       .Field("lstm_forward_nograph_ns_op", lstm.nograph.ns_per_step)
       .Field("lstm_forward_speedup", lstm.speedup())
+      .Field("lstm_forward_scalar_ns_op", lstm.nograph_scalar.ns_per_step)
+      .Field("lstm_forward_simd_speedup", lstm.simd_speedup())
       .Field("st_clstm_forward_graph_ns_op", st_clstm.graph.ns_per_step)
       .Field("st_clstm_forward_nograph_ns_op", st_clstm.nograph.ns_per_step)
       .Field("st_clstm_forward_speedup", st_clstm.speedup())
+      .Field("st_clstm_forward_scalar_ns_op",
+             st_clstm.nograph_scalar.ns_per_step)
+      .Field("st_clstm_forward_simd_speedup", st_clstm.simd_speedup())
       .Field("lstm_forward_h128_graph_ns_op", lstm_big.graph.ns_per_step)
       .Field("lstm_forward_h128_nograph_ns_op", lstm_big.nograph.ns_per_step)
       .Field("lstm_forward_h128_speedup", lstm_big.speedup())
+      .Field("lstm_forward_h128_scalar_ns_op",
+             lstm_big.nograph_scalar.ns_per_step)
+      .Field("lstm_forward_h128_simd_speedup", lstm_big.simd_speedup())
       .Field("topk_graph_qps", topk_graph.qps)
       .Field("topk_nograph_qps", topk_fast.qps)
       .Field("topk_speedup", topk_speedup)
+      .Field("topk_int8_qps", topk_int8.qps)
+      .Field("topk_int8_speedup", topk_int8_speedup)
+      .Field("hr10_float", hr10_float)
+      .Field("hr10_int8", hr10_int8)
+      // Neutral (not a tracked higher/lower-better suffix): the drift gate
+      // is enforced in-binary below, not as a regression diff.
+      .Field("quant_hr_drift", quant_hr_drift)
       .Field("pool_acquires", pool_stats.acquires)
       .Field("pool_reuse_rate", reuse_rate)
       // "ratio" is deliberately not a tracked bench_compare suffix: the
@@ -402,6 +495,33 @@ int Run(bool smoke) {
   if (!smoke && lstm.speedup() < 2.0) {
     std::fprintf(stderr, "FAIL: lstm_forward graph-free speedup %.2fx < 2x\n",
                  lstm.speedup());
+    return 1;
+  }
+  if (!smoke && lstm.simd_speedup() < 1.5) {
+    std::fprintf(stderr,
+                 "FAIL: lstm_forward SIMD kernels %.2fx < 1.5x over scalar\n",
+                 lstm.simd_speedup());
+    return 1;
+  }
+  if (!smoke && st_clstm.simd_speedup() < 1.5) {
+    std::fprintf(
+        stderr,
+        "FAIL: st_clstm_forward SIMD kernels %.2fx < 1.5x over scalar\n",
+        st_clstm.simd_speedup());
+    return 1;
+  }
+  if (!smoke && topk_int8.qps <= topk_fast.qps) {
+    std::fprintf(stderr,
+                 "FAIL: int8 topk %.0f qps does not beat the float fast "
+                 "path's %.0f qps\n",
+                 topk_int8.qps, topk_fast.qps);
+    return 1;
+  }
+  if (!smoke && quant_hr_drift > 0.01) {
+    std::fprintf(stderr,
+                 "FAIL: quantized HR@10 drifted %.2f%% from float "
+                 "(budget: 1%% relative)\n",
+                 100.0 * quant_hr_drift);
     return 1;
   }
   if (!smoke && obs_overhead.ratio > 1.03) {

@@ -11,7 +11,11 @@ This script has two modes:
       Diff the numeric metrics of two runs of the same benchmark. A metric
       is a regression when it moves in its "worse" direction by more than
       the threshold fraction (default 15%). Exits 1 if any metric
-      regressed, 2 on malformed input.
+      regressed, 2 on malformed input. A *missing* baseline is not an
+      error: the current run is recorded as the new baseline and the
+      script exits 0 — first runs on a fresh checkout (or after a bench
+      gains metrics) seed the baseline instead of failing CI. A baseline
+      that exists but does not parse still exits 2.
 
   bench_compare.py --schema FILE.json [FILE.json ...]
       Validate that each file parses, carries the required keys
@@ -22,6 +26,11 @@ This script has two modes:
       non-negative integers, gauges finite numbers, and each histogram
       carries finite count/p50/p95/p99/mean. Exits 2 on any violation.
       Used by tier1.sh as a cheap smoke gate without needing a baseline.
+      Benches with known schemas get extra checks: an "inference_path"
+      file at schema_version >= 2 must carry the SIMD-dispatch arm
+      (simd_table, *_scalar_ns_op, *_simd_speedup) and the int8 quantized
+      serving arm (topk_int8_*, hr10_float/hr10_int8 in [0, 1],
+      quant_hr_drift >= 0).
 
       Files ending in .ndjson are validated as PA_OBS_TIMESERIES dumps
       instead (schema "pa.timeseries.v1", one object per line): seq must
@@ -38,6 +47,8 @@ Keys matching neither family are reported but never gate.
 import argparse
 import json
 import math
+import os
+import shutil
 import sys
 
 LOWER_BETTER = ("_ns_op", "_seconds", "_micros", "_ms")
@@ -45,6 +56,22 @@ HIGHER_BETTER = ("_qps", "speedup", "_rate")
 HIGHER_PREFIXES = ("hr", "mrr")
 
 REQUIRED_KEYS = ("bench", "schema_version")
+
+# Per-bench schema knowledge: keys a given (bench, schema_version) pair must
+# carry, beyond the generic finite-metric checks. inference_path grew the
+# SIMD-dispatch and int8-quantized-serving arms in schema_version 2.
+INFERENCE_PATH_V2_KEYS = (
+    "simd_table",
+    "lstm_forward_scalar_ns_op",
+    "lstm_forward_simd_speedup",
+    "st_clstm_forward_scalar_ns_op",
+    "st_clstm_forward_simd_speedup",
+    "topk_int8_qps",
+    "topk_int8_speedup",
+    "hr10_float",
+    "hr10_int8",
+    "quant_hr_drift",
+)
 
 
 def direction(key):
@@ -219,6 +246,25 @@ def check_schema(paths):
                 problems.append(f"metric '{key}' is not finite ({value})")
         if "metrics" in doc:
             problems.extend(check_registry_snapshot(doc["metrics"]))
+        if doc.get("bench") == "inference_path" and \
+                isinstance(doc.get("schema_version"), int) and \
+                doc["schema_version"] >= 2:
+            for key in INFERENCE_PATH_V2_KEYS:
+                if key not in doc:
+                    problems.append(f"inference_path v2 missing '{key}'")
+            if not isinstance(doc.get("simd_table", ""), str) \
+                    or not doc.get("simd_table"):
+                problems.append("'simd_table' must be a non-empty string")
+            for key in ("hr10_float", "hr10_int8"):
+                value = doc.get(key)
+                if isinstance(value, (int, float)) and \
+                        not isinstance(value, bool) and \
+                        not 0.0 <= value <= 1.0:
+                    problems.append(f"'{key}' must be in [0, 1] ({value})")
+            drift = doc.get("quant_hr_drift")
+            if isinstance(drift, (int, float)) and \
+                    not isinstance(drift, bool) and drift < 0.0:
+                problems.append(f"'quant_hr_drift' must be >= 0 ({drift})")
         if problems:
             failures += 1
             for p in problems:
@@ -230,8 +276,15 @@ def check_schema(paths):
 
 
 def compare(baseline_path, current_path, threshold):
-    baseline = load(baseline_path)
     current = load(current_path)
+    if not os.path.exists(baseline_path):
+        # First run on this checkout (or the bench is new): nothing to gate
+        # against. Record the current run so the *next* run has a baseline.
+        shutil.copyfile(current_path, baseline_path)
+        print(f"bench_compare: no baseline at {baseline_path}; recorded "
+              f"current run ({current.get('bench')}) as the new baseline")
+        return 0
+    baseline = load(baseline_path)
     if baseline.get("bench") != current.get("bench"):
         print(f"bench_compare: benchmark mismatch: {baseline.get('bench')!r} "
               f"vs {current.get('bench')!r}", file=sys.stderr)

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the standard build + full test suite, then a
+# Tier-1 verification: the standard build + full test suite (with the
+# kernel-dispatch tests rerun under both PA_SIMD extremes), then a
 # ThreadSanitizer build of the concurrency-sensitive tests (thread pool,
 # cross-thread determinism, parallel eval/training paths), then an
-# ASan/UBSan build of the serialization + serving tests (the subsystem that
-# parses attacker-shaped bytes and juggles shared session state).
+# ASan/UBSan build of the serialization + serving + kernel-edge-case tests
+# (the subsystems that parse attacker-shaped bytes, juggle shared session
+# state, or run NaN/inf edge tensors through hand-dispatched SIMD loops).
 #
 # Usage: scripts/tier1.sh [--no-tsan]   (the flag skips both sanitizer passes)
 set -euo pipefail
@@ -13,6 +15,15 @@ cd "$(dirname "$0")/.."
 cmake -B build -S . >/dev/null
 cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+# Kernel-dispatch cross-check: the tests that route through the SIMD kernel
+# tables rerun under both PA_SIMD extremes, so a bug that only manifests in
+# one dispatch variant (or in the env-resolution itself) cannot hide behind
+# whatever table the host auto-selected above.
+for simd in scalar auto; do
+  PA_SIMD=$simd ctest --test-dir build --output-on-failure \
+    -R 'tensor_kernels_test|tensor_ops_test|tensor_inference_test|inference_equivalence_test'
+done
 
 # Inference fast-path smoke: the bench binary in --smoke mode checks
 # bit-identity between the graph and graph-free forward paths (skipping the
@@ -142,18 +153,24 @@ cmake -B build-tsan -S . -DPA_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$(nproc)" --target \
   util_thread_pool_test parallel_determinism_test \
   serve_session_store_test serve_engine_test \
-  tensor_inference_test inference_equivalence_test \
+  tensor_inference_test inference_equivalence_test tensor_kernels_test \
   obs_metrics_test obs_trace_test \
   obs_health_test obs_telemetry_test obs_http_exposition_test
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'util_thread_pool_test|parallel_determinism_test|serve_session_store_test|serve_engine_test|tensor_inference_test|inference_equivalence_test|obs_metrics_test|obs_trace_test|obs_health_test|obs_telemetry_test|obs_http_exposition_test'
+  -R 'util_thread_pool_test|parallel_determinism_test|serve_session_store_test|serve_engine_test|tensor_inference_test|inference_equivalence_test|tensor_kernels_test|obs_metrics_test|obs_trace_test|obs_health_test|obs_telemetry_test|obs_http_exposition_test'
 
-# ASan/UBSan pass over the checkpoint parser and the serving subsystem:
-# these tests feed truncated/corrupted byte streams and hammer the session
-# LRU from request paths, exactly where memory bugs would hide.
+# ASan/UBSan pass over the checkpoint parser, the serving subsystem, and
+# the kernel layer: these tests feed truncated/corrupted byte streams,
+# hammer the session LRU from request paths, and push NaN/inf/denormal edge
+# tensors through every kernel table — exactly where memory bugs and UB
+# (bad float->int casts, OOB tails past a vector width) would hide. The
+# kernel suite runs under both PA_SIMD extremes here too.
 cmake -B build-asan -S . -DPA_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j"$(nproc)" --target \
   nn_serialize_test serve_json_test serve_artifact_test \
-  serve_model_store_test serve_session_store_test serve_engine_test
+  serve_model_store_test serve_session_store_test serve_engine_test \
+  tensor_kernels_test
 ctest --test-dir build-asan --output-on-failure \
-  -R 'nn_serialize_test|serve_json_test|serve_artifact_test|serve_model_store_test|serve_session_store_test|serve_engine_test'
+  -R 'nn_serialize_test|serve_json_test|serve_artifact_test|serve_model_store_test|serve_session_store_test|serve_engine_test|tensor_kernels_test'
+PA_SIMD=scalar ctest --test-dir build-asan --output-on-failure \
+  -R 'tensor_kernels_test'

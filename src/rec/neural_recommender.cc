@@ -16,15 +16,15 @@ constexpr uint32_t kNeuralPayloadVersion = 1;
 
 using tensor::Tensor;
 
-std::vector<int32_t> TopKFromLogits(const Tensor& logits, int k) {
-  const int n = logits.cols();
+// Ranks over a raw logits row: the comparator runs O(n log k) times, so it
+// indexes the array directly rather than going through a Tensor accessor.
+std::vector<int32_t> TopKFromLogits(const float* logits, int n, int k) {
   std::vector<int32_t> ids(static_cast<size_t>(n));
   std::iota(ids.begin(), ids.end(), 0);
   const int kk = std::min(k, n);
-  std::partial_sort(ids.begin(), ids.begin() + kk, ids.end(),
-                    [&](int32_t a, int32_t b) {
-                      return logits.at(0, a) > logits.at(0, b);
-                    });
+  std::partial_sort(
+      ids.begin(), ids.begin() + kk, ids.end(),
+      [logits](int32_t a, int32_t b) { return logits[a] > logits[b]; });
   ids.resize(static_cast<size_t>(kk));
   return ids;
 }
@@ -87,6 +87,8 @@ nn::LstmState NeuralRecommender::Step(const nn::LstmState& state, int poi,
 }
 
 void NeuralRecommender::BuildModules(int num_pois) {
+  // Any previous int8 tables described the old parameters.
+  quantized_ = tensor::kernels::QuantizedLinear{};
   embedding_.reset();
   rnn_.reset();
   gru_.reset();
@@ -235,8 +237,17 @@ class NeuralRecSession : public RecSession {
       nn::LstmState phantom = rec_->Step(state_, last_.poi, dt, 0.0f);
       hidden = phantom.h;
     }
+    if (rec_->quantized_.valid()) {
+      // Quantized serving: one fused int8 GEMV straight off the hidden
+      // state — no tensor nodes, no pool traffic — then rank the raw row.
+      static thread_local std::vector<float> logits_row;
+      logits_row.resize(static_cast<size_t>(rec_->quantized_.out_dim));
+      tensor::kernels::QuantizedGemv(rec_->quantized_, hidden.data(),
+                                     logits_row.data());
+      return TopKFromLogits(logits_row.data(), rec_->quantized_.out_dim, k);
+    }
     Tensor logits = rec_->output_->Forward(hidden);
-    return TopKFromLogits(logits, k);
+    return TopKFromLogits(logits.data(), logits.cols(), k);
   }
 
  private:
@@ -319,6 +330,48 @@ bool NeuralRecommender::Load(std::istream& is, const poi::PoiTable& pois,
   if (!nn::LoadParameters(is, params, error)) return false;
   pois_ = &pois;
   epoch_losses_.clear();
+  return true;
+}
+
+bool NeuralRecommender::QuantizeForServing(std::string* error) {
+  if (!output_) {
+    io::SetError(error, name() + ": QuantizeForServing() before Fit()/Load()");
+    return false;
+  }
+  quantized_ = tensor::kernels::QuantizeLinear(
+      output_->weight().data(), output_->bias().data(), config_.hidden_dim,
+      embedding_->vocab_size());
+  return true;
+}
+
+bool NeuralRecommender::SaveQuantizedSection(std::ostream& os,
+                                             std::string* error) const {
+  if (!quantized_.valid()) {
+    io::SetError(error, name() + ": no quantized tables to save");
+    return false;
+  }
+  tensor::kernels::SaveQuantizedLinear(os, quantized_);
+  if (!os) {
+    io::SetError(error, name() + ": I/O error writing quantized section");
+    return false;
+  }
+  return true;
+}
+
+bool NeuralRecommender::LoadQuantizedSection(std::istream& is,
+                                             std::string* error) {
+  std::string why;
+  if (!tensor::kernels::LoadQuantizedLinear(is, &quantized_, &why)) {
+    quantized_ = tensor::kernels::QuantizedLinear{};
+    io::SetError(error, name() + ": " + why);
+    return false;
+  }
+  if (output_ && (quantized_.in_dim != config_.hidden_dim ||
+                  quantized_.out_dim != embedding_->vocab_size())) {
+    quantized_ = tensor::kernels::QuantizedLinear{};
+    io::SetError(error, name() + ": quantized section shape mismatch");
+    return false;
+  }
   return true;
 }
 

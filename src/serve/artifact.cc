@@ -17,7 +17,9 @@ namespace {
 
 // "PASV" — Poi Augmentation SerVing artifact.
 constexpr uint32_t kMagic = 0x50415356;
-constexpr uint32_t kContainerVersion = 1;
+// v2 added the optional trailing quantized section; v1 files still load.
+constexpr uint32_t kContainerVersion = 2;
+constexpr uint32_t kMinContainerVersion = 1;
 // Artifacts above this size are assumed corrupt rather than real (the
 // largest model in this library is a few MB). The loader enforces this as
 // a running cap while reading, so a corrupt or hostile file is rejected
@@ -70,6 +72,18 @@ bool SaveArtifact(std::ostream& os, const rec::Recommender& model,
   AppendPod(body, static_cast<uint64_t>(payload.size()));
   body += payload;
 
+  // v2 trailer: the optional quantized-serving section.
+  if (model.has_quantized_serving()) {
+    std::ostringstream section_stream(std::ios::binary);
+    if (!model.SaveQuantizedSection(section_stream, error)) return false;
+    const std::string section = section_stream.str();
+    AppendPod(body, static_cast<uint8_t>(1));
+    AppendPod(body, static_cast<uint64_t>(section.size()));
+    body += section;
+  } else {
+    AppendPod(body, static_cast<uint8_t>(0));
+  }
+
   const uint64_t checksum = nn::Checksum64(body.data(), body.size());
   os.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
   os.write(reinterpret_cast<const char*>(&kContainerVersion),
@@ -89,9 +103,10 @@ bool LoadArtifact(std::istream& is, LoadedModel* out, std::string* error) {
   is.read(reinterpret_cast<char*>(&checksum), sizeof(checksum));
   if (!is.good()) return Fail(error, "truncated artifact (header)");
   if (magic != kMagic) return Fail(error, "not a serving artifact (bad magic)");
-  if (version != kContainerVersion) {
+  if (version < kMinContainerVersion || version > kContainerVersion) {
     return Fail(error, "unsupported artifact version " +
                            std::to_string(version) + " (this build reads v" +
+                           std::to_string(kMinContainerVersion) + "-v" +
                            std::to_string(kContainerVersion) + ")");
   }
 
@@ -145,9 +160,33 @@ bool LoadArtifact(std::istream& is, LoadedModel* out, std::string* error) {
   }
 
   uint64_t payload_len = 0;
-  if (!ReadPod(p, end, &payload_len) ||
-      payload_len != static_cast<uint64_t>(end - p)) {
+  if (!ReadPod(p, end, &payload_len)) {
     return Fail(error, "truncated artifact (model payload)");
+  }
+  // v1 ends exactly at the payload; v2 may carry the quantized trailer.
+  if (version == 1 ? payload_len != static_cast<uint64_t>(end - p)
+                   : payload_len > static_cast<uint64_t>(end - p)) {
+    return Fail(error, "truncated artifact (model payload)");
+  }
+  const char* payload_begin = p;
+  p += payload_len;
+
+  uint8_t quant_flag = 0;
+  uint64_t quant_len = 0;
+  const char* quant_begin = nullptr;
+  if (version >= 2) {
+    if (!ReadPod(p, end, &quant_flag) || quant_flag > 1) {
+      return Fail(error, "truncated artifact (quantized flag)");
+    }
+    if (quant_flag == 1) {
+      if (!ReadPod(p, end, &quant_len) ||
+          quant_len != static_cast<uint64_t>(end - p)) {
+        return Fail(error, "truncated artifact (quantized section)");
+      }
+      quant_begin = p;
+    } else if (p != end) {
+      return Fail(error, "trailing bytes after artifact payload");
+    }
   }
 
   auto pois = std::make_shared<poi::PoiTable>(std::move(coords));
@@ -155,11 +194,19 @@ bool LoadArtifact(std::istream& is, LoadedModel* out, std::string* error) {
     pois->AddPopularity(i, popularity[static_cast<size_t>(i)]);
   }
 
-  std::istringstream payload(std::string(p, static_cast<size_t>(payload_len)),
-                             std::ios::binary);
+  std::istringstream payload(
+      std::string(payload_begin, static_cast<size_t>(payload_len)),
+      std::ios::binary);
   std::unique_ptr<rec::Recommender> model =
       rec::LoadRecommender(name, payload, *pois, error);
   if (!model) return false;
+
+  if (quant_begin != nullptr) {
+    std::istringstream section(
+        std::string(quant_begin, static_cast<size_t>(quant_len)),
+        std::ios::binary);
+    if (!model->LoadQuantizedSection(section, error)) return false;
+  }
 
   out->name = std::move(name);
   out->pois = std::move(pois);

@@ -21,19 +21,29 @@ struct LoadedModel {
   std::shared_ptr<rec::Recommender> model;
 };
 
-/// Serving artifact container, format v1:
+/// Serving artifact container, format v2 (v1 still loads):
 ///
 ///   [u32 magic "PASV"] [u32 container version]
 ///   [u64 FNV-1a checksum of every byte that follows]
 ///   [u64 name length][name bytes]            — registry name for reload
 ///   [i32 POI count] {f64 lat, f64 lng, i64 popularity} * count
 ///   [u64 payload length][payload bytes]      — Recommender::Save stream
+///   [u8 quantized flag]                      — v2 only; if 1:
+///   [u64 section length][section bytes]      —   SaveQuantizedSection bytes
 ///
-/// The checksum covers the name, POI block and model payload, so any
-/// truncation or bit-flip after the header is caught before the payload
-/// parser runs. (The payload itself carries a second, nn-level checksum —
-/// redundant by design: the container check localises corruption to "the
-/// artifact file", the inner check to "the parameter blob".)
+/// v2 appends an *optional* quantized-serving section after the float
+/// payload: written when the model `has_quantized_serving()` (i.e. the
+/// publisher ran `QuantizeForServing`, e.g. `pa_serve publish --quantize`),
+/// flag 0 otherwise. v1 files are the same bytes minus the trailing
+/// section, and this loader accepts them unchanged; a v1 reader cannot see
+/// a v2 file's section but also cannot misparse it, because the version
+/// field precedes everything.
+///
+/// The checksum covers the name, POI block, model payload and quantized
+/// section, so any truncation or bit-flip after the header is caught before
+/// the payload parser runs. (The payload itself carries a second, nn-level
+/// checksum — redundant by design: the container check localises corruption
+/// to "the artifact file", the inner check to "the parameter blob".)
 bool SaveArtifact(std::ostream& os, const rec::Recommender& model,
                   const poi::PoiTable& pois, std::string* error = nullptr);
 

@@ -4,10 +4,13 @@
 //
 //   pa_serve publish --store DIR --method LSTM [--csv FILE] [--seed N]
 //                    [--epochs-scale X] [--users N] [--pois N]
-//                    [--profile gowalla|brightkite]
+//                    [--profile gowalla|brightkite] [--quantize 1]
 //     Trains `--method` (on a CSV dataset, or on a synthetic snapshot when
 //     no CSV is given) and publishes it to the model store as the next
-//     version, marking it active.
+//     version, marking it active. `--quantize 1` additionally builds the
+//     int8 serving tables and embeds them in the artifact (container v2
+//     optional section); serving then scores TopK through the fused int8
+//     GEMV instead of the float output projection.
 //
 //   pa_serve list --store DIR
 //     Prints models, versions and the active version as JSON.
@@ -181,6 +184,15 @@ int CmdPublish(const Flags& flags) {
   std::fprintf(stderr, "pa_serve: training %s on %d users / %d POIs...\n",
                model->name().c_str(), dataset.num_users(), dataset.num_pois());
   model->Fit(dataset.sequences, dataset.pois);
+
+  if (flags.GetInt("quantize", 0) != 0) {
+    std::string qerror;
+    if (!model->QuantizeForServing(&qerror)) {
+      std::fprintf(stderr, "pa_serve: --quantize failed: %s\n", qerror.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "pa_serve: built int8 serving tables\n");
+  }
 
   serve::ModelStore store(flags.Get("store", "model_store"));
   std::string error;

@@ -1,0 +1,109 @@
+#ifndef PA_TENSOR_KERNELS_KERNELS_H_
+#define PA_TENSOR_KERNELS_KERNELS_H_
+
+#include <cstdint>
+
+namespace pa::tensor::kernels {
+
+/// Table of the elementwise / row-reduction / GEMM inner kernels behind
+/// every tensor op hot loop, in the spirit of THTensor's generic/simd
+/// split: the same kernel source is compiled once as the scalar reference
+/// and once per SIMD target (plain auto-vectorized baseline, and an AVX2
+/// translation unit on x86-64), and one table is selected at startup by
+/// `Active()`.
+///
+/// Contracts shared by every entry:
+///  * Buffers are dense row-major float32. `n` is an element count (or the
+///    column count for the row reductions).
+///  * For the elementwise entries, `out` may alias `a` or `b` *exactly*
+///    (same base pointer) — every element is read before the same index is
+///    written. Partial overlap is not allowed.
+///  * The row reductions (`softmax`, `log_softmax`) allow `out` to alias
+///    `a` exactly, and treat `n <= 0` as a no-op: this is the shared
+///    empty-row guard — callers never read `row[0]` of a zero-width row.
+///  * `matmul_block` and `gemv_i8` require `out` disjoint from the inputs.
+///
+/// Bit-identity contract (asserted by tests/tensor_kernels_test.cc):
+///  * add/sub/mul/addc/subc/mulc/relu/square/matmul_block/gemv_i8 are
+///    bit-identical across all tables: the per-element arithmetic is the
+///    same source compiled without FMA contraction, so lane width never
+///    changes a result.
+///  * sigmoid/tanh/exp/softmax/log_softmax route through expf. The scalar
+///    table keeps libm `std::exp` (bit-identical to the pre-SIMD engine);
+///    the SIMD tables substitute a branchless polynomial exp (see
+///    `kernel_impl.inc`) with ~2 ulp relative error against libm, so these
+///    entries carry a small documented tolerance vs. the scalar table while
+///    remaining bit-identical *between* the SIMD tables.
+///  * `log` is libm in every table (cold op, never vectorized).
+struct KernelTable {
+  const char* name;  // "scalar" | "generic" | "avx2"
+
+  // Elementwise binary (vector-vector) and scalar-broadcast forms.
+  void (*add)(const float* a, const float* b, float* out, int64_t n);
+  void (*sub)(const float* a, const float* b, float* out, int64_t n);
+  void (*mul)(const float* a, const float* b, float* out, int64_t n);
+  void (*addc)(const float* a, float c, float* out, int64_t n);
+  void (*subc)(const float* a, float c, float* out, int64_t n);
+  void (*mulc)(const float* a, float c, float* out, int64_t n);
+
+  // Elementwise unary.
+  void (*sigmoid)(const float* a, float* out, int64_t n);
+  void (*tanh)(const float* a, float* out, int64_t n);
+  void (*relu)(const float* a, float* out, int64_t n);
+  void (*exp)(const float* a, float* out, int64_t n);
+  void (*log)(const float* a, float* out, int64_t n);
+  void (*square)(const float* a, float* out, int64_t n);
+
+  // Row reductions over an [m, n] matrix (n == 0 rows are a no-op).
+  void (*softmax)(const float* a, float* out, int m, int n);
+  void (*log_softmax)(const float* a, float* out, int m, int n);
+
+  // GEMM tile: out[i, j] += sum_p a[i, p] * b[p, j] for rows [row_lo,
+  // row_hi) and columns [col_lo, col_hi) of A (rows x k) * B (k x n), each
+  // element an ascending-p accumulation with an exact-zero skip on a[i, p]
+  // — the semantics the tensor engine has always had, so tiling and lane
+  // width never change a bit.
+  void (*matmul_block)(const float* a, const float* b, float* out, int k,
+                       int n, int row_lo, int row_hi, int col_lo, int col_hi);
+
+  // Row-scaled int8 GEMV for the quantized serving path:
+  //   out[j] = dx * scales[j] * (sum_p qx[p] * qw[p * n + j]) + bias[j]
+  // with qw laid out [k, n] like the float weight matrix and one scale per
+  // output column. The accumulation is exact int32 arithmetic, so this
+  // entry is bit-identical across all tables.
+  void (*gemv_i8)(const int8_t* qx, const int8_t* qw, const float* scales,
+                  float dx, const float* bias, float* out, int k, int n);
+};
+
+/// The table the process dispatches through: a test/bench override if one
+/// is installed, else the PA_SIMD-resolved choice (computed once).
+///   PA_SIMD=scalar   scalar reference table (pre-SIMD bit-exact engine)
+///   PA_SIMD=auto     best SIMD table the CPU supports (default)
+/// `generic` and `avx2` are also accepted for targeted debugging; an
+/// unknown value aborts loudly like any other bad configuration.
+const KernelTable& Active();
+
+/// Individual tables, for the equivalence tests and the bench's
+/// scalar-vs-SIMD arms.
+const KernelTable& ScalarTable();
+const KernelTable& GenericTable();
+/// AVX2 table, or null when not compiled in or the CPU lacks AVX2.
+const KernelTable* Avx2Table();
+/// The table `PA_SIMD=auto` resolves to on this machine.
+const KernelTable& BestSimdTable();
+
+/// Test/bench hook: while set, `Active()` returns `table` on every thread.
+/// Pass nullptr to restore the PA_SIMD-resolved choice. Not for production
+/// code paths; installers must not race in-flight forwards.
+void SetDispatchOverride(const KernelTable* table);
+
+#if defined(__x86_64__) || defined(__i386__)
+/// Implementation detail of the dispatch (defined in kernels_avx2.cc): the
+/// raw AVX2 table, ungated. Executing its kernels on a CPU without AVX2 is
+/// an illegal instruction — go through Avx2Table() instead.
+const KernelTable& Avx2TableUnchecked();
+#endif
+
+}  // namespace pa::tensor::kernels
+
+#endif  // PA_TENSOR_KERNELS_KERNELS_H_

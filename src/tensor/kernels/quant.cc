@@ -1,0 +1,133 @@
+#include "tensor/kernels/quant.h"
+
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <vector>
+
+#include "tensor/kernels/kernels.h"
+
+namespace pa::tensor::kernels {
+
+namespace {
+
+// Round-to-int8 with the value already mapped onto the 127-step grid.
+// Clamp-then-NaN-select keeps the int cast in range and defined for any
+// input bits (the equivalence suite feeds NaN/inf edge tensors under
+// UBSan); NaN quantizes to 0, +-inf saturate the grid.
+inline int8_t QuantValue(float v) {
+  v = v > 127.0f ? 127.0f : v;
+  v = v < -127.0f ? -127.0f : v;
+  v = v == v ? v : 0.0f;
+  return static_cast<int8_t>(std::nearbyint(v));
+}
+
+// max |x| over a strided sequence; NaN entries are skipped (comparisons
+// are false), +inf saturates to FLT_MAX so the scale stays finite.
+float AbsMax(const float* x, int n, int stride) {
+  float amax = 0.0f;
+  for (int i = 0; i < n; ++i) {
+    const float a = std::fabs(x[static_cast<int64_t>(i) * stride]);
+    if (a > amax) amax = a;
+  }
+  const float kMax = std::numeric_limits<float>::max();
+  return amax < kMax ? amax : kMax;
+}
+
+template <typename T>
+void WritePod(std::ostream& os, T value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& is, T* value) {
+  is.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(is);
+}
+
+bool Fail(std::string* error, const char* why) {
+  if (error) *error = why;
+  return false;
+}
+
+}  // namespace
+
+QuantizedLinear QuantizeLinear(const float* weight, const float* bias,
+                               int in_dim, int out_dim) {
+  QuantizedLinear q;
+  q.in_dim = in_dim;
+  q.out_dim = out_dim;
+  q.weight.resize(static_cast<size_t>(in_dim) * out_dim);
+  q.scales.resize(static_cast<size_t>(out_dim));
+  q.bias.assign(bias, bias + out_dim);
+  for (int j = 0; j < out_dim; ++j) {
+    const float amax = AbsMax(weight + j, in_dim, out_dim);
+    const float inv = amax > 0.0f ? 127.0f / amax : 0.0f;
+    q.scales[static_cast<size_t>(j)] = amax / 127.0f;
+    for (int p = 0; p < in_dim; ++p) {
+      const size_t idx = static_cast<size_t>(p) * out_dim + j;
+      q.weight[idx] = QuantValue(weight[idx] * inv);
+    }
+  }
+  return q;
+}
+
+float QuantizeRow(const float* x, int n, int8_t* qx) {
+  const float amax = AbsMax(x, n, 1);
+  const float inv = amax > 0.0f ? 127.0f / amax : 0.0f;
+  for (int i = 0; i < n; ++i) qx[i] = QuantValue(x[i] * inv);
+  return amax / 127.0f;
+}
+
+void QuantizedGemv(const QuantizedLinear& q, const float* x, float* out) {
+  // Activation scratch: serving calls this once per TopK with a small
+  // hidden row, so a recycled thread-local beats a fresh allocation.
+  static thread_local std::vector<int8_t> qx;
+  qx.resize(static_cast<size_t>(q.in_dim));
+  const float dx = QuantizeRow(x, q.in_dim, qx.data());
+  Active().gemv_i8(qx.data(), q.weight.data(), q.scales.data(), dx,
+                   q.bias.data(), out, q.in_dim, q.out_dim);
+}
+
+void SaveQuantizedLinear(std::ostream& os, const QuantizedLinear& q) {
+  WritePod(os, static_cast<int32_t>(q.in_dim));
+  WritePod(os, static_cast<int32_t>(q.out_dim));
+  os.write(reinterpret_cast<const char*>(q.scales.data()),
+           static_cast<std::streamsize>(q.scales.size() * sizeof(float)));
+  os.write(reinterpret_cast<const char*>(q.bias.data()),
+           static_cast<std::streamsize>(q.bias.size() * sizeof(float)));
+  os.write(reinterpret_cast<const char*>(q.weight.data()),
+           static_cast<std::streamsize>(q.weight.size()));
+}
+
+bool LoadQuantizedLinear(std::istream& is, QuantizedLinear* q,
+                         std::string* error) {
+  int32_t in_dim = 0, out_dim = 0;
+  if (!ReadPod(is, &in_dim) || !ReadPod(is, &out_dim)) {
+    return Fail(error, "quantized section: truncated header");
+  }
+  // The artifact container caps and checksums the enclosing bytes; this
+  // bound just keeps a corrupt-but-checksummed-elsewhere stream from
+  // requesting an absurd allocation.
+  constexpr int64_t kMaxElems = int64_t{1} << 28;
+  if (in_dim <= 0 || out_dim <= 0 ||
+      static_cast<int64_t>(in_dim) * out_dim > kMaxElems) {
+    return Fail(error, "quantized section: implausible dimensions");
+  }
+  q->in_dim = in_dim;
+  q->out_dim = out_dim;
+  q->scales.resize(static_cast<size_t>(out_dim));
+  q->bias.resize(static_cast<size_t>(out_dim));
+  q->weight.resize(static_cast<size_t>(in_dim) * out_dim);
+  is.read(reinterpret_cast<char*>(q->scales.data()),
+          static_cast<std::streamsize>(q->scales.size() * sizeof(float)));
+  is.read(reinterpret_cast<char*>(q->bias.data()),
+          static_cast<std::streamsize>(q->bias.size() * sizeof(float)));
+  is.read(reinterpret_cast<char*>(q->weight.data()),
+          static_cast<std::streamsize>(q->weight.size()));
+  if (!is) return Fail(error, "quantized section: truncated body");
+  return true;
+}
+
+}  // namespace pa::tensor::kernels

@@ -1,0 +1,56 @@
+#ifndef PA_TENSOR_KERNELS_QUANT_H_
+#define PA_TENSOR_KERNELS_QUANT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pa::tensor::kernels {
+
+/// Per-output-scaled int8 affine layer for the quantized serving path,
+/// ggml-style: the float weight matrix W `[in, out]` is kept in the same
+/// row-major layout but with each *output column* j quantized to int8
+/// against its own scale d_j = max_p |W[p, j]| / 127, so
+/// W[p, j] ~ q[p, j] * scales[j]. The bias stays float. A forward pass
+/// quantizes the activation row once against a single scale and runs the
+/// exact-int32 `gemv_i8` kernel through the active dispatch table —
+/// deterministic and bit-identical across dispatch variants; only the
+/// quantization error (bounded by half a step per weight/activation) sets
+/// it apart from the float reference.
+struct QuantizedLinear {
+  int in_dim = 0;
+  int out_dim = 0;
+  std::vector<int8_t> weight;  // [in_dim, out_dim] row-major.
+  std::vector<float> scales;   // One per output column.
+  std::vector<float> bias;     // Float copy, [out_dim].
+
+  bool valid() const { return in_dim > 0 && out_dim > 0; }
+};
+
+/// Builds a QuantizedLinear from float weights `[in_dim, out_dim]` and bias
+/// `[out_dim]`. Non-finite weights are clamped into the int8 range (NaN to
+/// 0) rather than invoking UB; an all-zero column gets scale 0 and
+/// dequantizes to exact zeros.
+QuantizedLinear QuantizeLinear(const float* weight, const float* bias,
+                               int in_dim, int out_dim);
+
+/// out[j] = x . W_q[:, j] + bias[j] for a contiguous activation row x of
+/// `q.in_dim` floats, via the active dispatch table's int8 kernel.
+void QuantizedGemv(const QuantizedLinear& q, const float* x, float* out);
+
+/// Quantizes one activation row to int8: qx[i] = round(x[i] * 127 / amax),
+/// returning the dequant scale dx = amax / 127 (0 for an all-zero row).
+/// Exposed for the kernel-equivalence tests.
+float QuantizeRow(const float* x, int n, int8_t* qx);
+
+/// Byte (de)serialization for the artifact's optional quantized section.
+/// The container checksum covers these bytes; Load additionally validates
+/// dims and sizes before allocating.
+void SaveQuantizedLinear(std::ostream& os, const QuantizedLinear& q);
+bool LoadQuantizedLinear(std::istream& is, QuantizedLinear* q,
+                         std::string* error);
+
+}  // namespace pa::tensor::kernels
+
+#endif  // PA_TENSOR_KERNELS_QUANT_H_

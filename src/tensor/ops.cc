@@ -8,6 +8,7 @@
 #include <string>
 
 #include "tensor/buffer_pool.h"
+#include "tensor/kernels/kernels.h"
 #include "util/thread_pool.h"
 
 namespace pa::tensor {
@@ -115,65 +116,35 @@ int64_t BIndex(BroadcastKind kind, int64_t i, int cols) {
   return 0;
 }
 
-// Forward loop of the elementwise binary ops, specialised per broadcast kind
-// with hoisted raw pointers. Calling the accessors (impl deref + defined
-// check) or BIndex (a switch) per element defeats vectorization; the
-// per-element arithmetic is unchanged, so results are bit-identical.
-template <typename F>
+// The vector-vector and vector-scalar kernel pair implementing one binary
+// op (e.g. {add, addc}), pulled from the active dispatch table per call.
+struct BinaryKernels {
+  void (*vv)(const float* a, const float* b, float* out, int64_t n);
+  void (*vs)(const float* a, float c, float* out, int64_t n);
+};
+
+// Forward of the elementwise binary ops, specialised per broadcast kind on
+// top of the dispatched kernels. The kernel contract allows `out` to alias
+// `a` or `b` exactly (read-before-write at the same index), which is how
+// the rvalue-overload in-place path below reuses this single entry point;
+// values are bit-identical to the allocating path either way.
 void BinaryForward(const float* a, const float* b, float* out, int64_t numel,
-                   int cols, BroadcastKind kind, F f) {
+                   int cols, BroadcastKind kind, const BinaryKernels& bk) {
   switch (kind) {
     case BroadcastKind::kSame:
-      for (int64_t i = 0; i < numel; ++i) out[i] = f(a[i], b[i]);
+      bk.vv(a, b, out, numel);
       break;
-    case BroadcastKind::kRow:
-      for (int64_t r = 0; r < numel / cols; ++r) {
-        const float* arow = a + r * cols;
-        float* orow = out + r * cols;
-        for (int j = 0; j < cols; ++j) orow[j] = f(arow[j], b[j]);
+    case BroadcastKind::kRow: {
+      const int64_t rows = cols > 0 ? numel / cols : 0;
+      for (int64_t r = 0; r < rows; ++r) {
+        bk.vv(a + r * cols, b, out + r * cols, cols);
       }
       break;
-    case BroadcastKind::kScalar: {
-      const float bv = b[0];
-      for (int64_t i = 0; i < numel; ++i) out[i] = f(a[i], bv);
-      break;
     }
+    case BroadcastKind::kScalar:
+      bk.vs(a, b[0], out, numel);
+      break;
   }
-}
-
-// In-place forward of the binary ops when the *output aliases `a` exactly*
-// (the rvalue-overload fast path below). Every element is read before the
-// same index is written and the arithmetic matches BinaryForward, so the
-// values are bit-identical to the allocating path. `b` belongs to a
-// different live impl (guaranteed by the unique-owner check in
-// ReusableTemp), hence __restrict keeps the loops vectorized.
-template <typename F>
-void BinaryForwardInPlace(float* __restrict a, const float* __restrict b,
-                          int64_t numel, int cols, BroadcastKind kind, F f) {
-  switch (kind) {
-    case BroadcastKind::kSame:
-      for (int64_t i = 0; i < numel; ++i) a[i] = f(a[i], b[i]);
-      break;
-    case BroadcastKind::kRow:
-      for (int64_t r = 0; r < numel / cols; ++r) {
-        float* arow = a + r * cols;
-        for (int j = 0; j < cols; ++j) arow[j] = f(arow[j], b[j]);
-      }
-      break;
-    case BroadcastKind::kScalar: {
-      const float bv = b[0];
-      for (int64_t i = 0; i < numel; ++i) a[i] = f(a[i], bv);
-      break;
-    }
-  }
-}
-
-// Same, but the output aliases `b` (kSame only — the result has `a`'s
-// shape, which matches `b`'s only under kSame).
-template <typename F>
-void BinaryForwardInPlaceRhs(const float* __restrict a, float* __restrict b,
-                             int64_t numel, F f) {
-  for (int64_t i = 0; i < numel; ++i) b[i] = f(a[i], b[i]);
 }
 
 // Whether an op bound through an rvalue overload may overwrite `t`'s
@@ -190,9 +161,8 @@ bool ReusableTemp(const Tensor& t, bool inference) {
          impl->backward_fn == nullptr;
 }
 
-template <typename F>
 Tensor BinaryOp(const char* name, const Tensor& a, const Tensor& b,
-                bool reuse_a, bool reuse_b, F f,
+                bool reuse_a, bool reuse_b, const BinaryKernels& bk,
                 std::function<void(TensorImpl&)> (*make_backward)(
                     std::shared_ptr<TensorImpl>, std::shared_ptr<TensorImpl>,
                     BroadcastKind, int)) {
@@ -202,20 +172,23 @@ Tensor BinaryOp(const char* name, const Tensor& a, const Tensor& b,
   const bool inference = internal::InferenceModeActive();
   if (inference) {
     if (reuse_a && ReusableTemp(a, true)) {
-      BinaryForwardInPlace(a.impl()->data.data(), b.data(), numel, cols, kind,
-                           f);
+      BinaryForward(a.data(), b.data(), a.impl()->data.data(), numel, cols,
+                    kind, bk);
       return Tensor::FromImpl(a.impl());
     }
     if (reuse_b && kind == BroadcastKind::kSame && ReusableTemp(b, true)) {
-      BinaryForwardInPlaceRhs(a.data(), b.impl()->data.data(), numel, f);
+      // Output aliases `b` (kSame only — the result has `a`'s shape, which
+      // matches `b`'s only under kSame).
+      BinaryForward(a.data(), b.data(), b.impl()->data.data(), numel, cols,
+                    kind, bk);
       return Tensor::FromImpl(b.impl());
     }
     std::vector<float> out = ForwardBuffer(numel, true);
-    BinaryForward(a.data(), b.data(), out.data(), numel, cols, kind, f);
+    BinaryForward(a.data(), b.data(), out.data(), numel, cols, kind, bk);
     return MakeInferenceResult(a.shape(), std::move(out));
   }
   std::vector<float> out = ForwardBuffer(numel, false);
-  BinaryForward(a.data(), b.data(), out.data(), numel, cols, kind, f);
+  BinaryForward(a.data(), b.data(), out.data(), numel, cols, kind, bk);
   return MakeResult(a.shape(), std::move(out), {a, b},
                     make_backward(a.impl(), b.impl(), kind, cols));
 }
@@ -248,33 +221,44 @@ std::function<void(TensorImpl&)> SubBackward(std::shared_ptr<TensorImpl> ai,
   };
 }
 
-float AddFwd(float x, float y) { return x + y; }
-float SubFwd(float x, float y) { return x - y; }
+// Kernel pair for one binary op, pulled from the active dispatch table.
+BinaryKernels AddKernels() {
+  const kernels::KernelTable& kt = kernels::Active();
+  return {kt.add, kt.addc};
+}
+BinaryKernels SubKernels() {
+  const kernels::KernelTable& kt = kernels::Active();
+  return {kt.sub, kt.subc};
+}
+BinaryKernels MulKernels() {
+  const kernels::KernelTable& kt = kernels::Active();
+  return {kt.mul, kt.mulc};
+}
 
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
-  return BinaryOp("Add", a, b, false, false, AddFwd, AddBackward);
+  return BinaryOp("Add", a, b, false, false, AddKernels(), AddBackward);
 }
 
 Tensor Add(Tensor&& a, const Tensor& b) {
-  return BinaryOp("Add", a, b, true, false, AddFwd, AddBackward);
+  return BinaryOp("Add", a, b, true, false, AddKernels(), AddBackward);
 }
 
 Tensor Add(const Tensor& a, Tensor&& b) {
-  return BinaryOp("Add", a, b, false, true, AddFwd, AddBackward);
+  return BinaryOp("Add", a, b, false, true, AddKernels(), AddBackward);
 }
 
 Tensor Add(Tensor&& a, Tensor&& b) {
-  return BinaryOp("Add", a, b, true, true, AddFwd, AddBackward);
+  return BinaryOp("Add", a, b, true, true, AddKernels(), AddBackward);
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  return BinaryOp("Sub", a, b, false, false, SubFwd, SubBackward);
+  return BinaryOp("Sub", a, b, false, false, SubKernels(), SubBackward);
 }
 
 Tensor Sub(Tensor&& a, const Tensor& b) {
-  return BinaryOp("Sub", a, b, true, false, SubFwd, SubBackward);
+  return BinaryOp("Sub", a, b, true, false, SubKernels(), SubBackward);
 }
 
 namespace {
@@ -298,24 +282,22 @@ std::function<void(TensorImpl&)> MulBackward(std::shared_ptr<TensorImpl> ai,
   };
 }
 
-float MulFwd(float x, float y) { return x * y; }
-
 }  // namespace
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  return BinaryOp("Mul", a, b, false, false, MulFwd, MulBackward);
+  return BinaryOp("Mul", a, b, false, false, MulKernels(), MulBackward);
 }
 
 Tensor Mul(Tensor&& a, const Tensor& b) {
-  return BinaryOp("Mul", a, b, true, false, MulFwd, MulBackward);
+  return BinaryOp("Mul", a, b, true, false, MulKernels(), MulBackward);
 }
 
 Tensor Mul(const Tensor& a, Tensor&& b) {
-  return BinaryOp("Mul", a, b, false, true, MulFwd, MulBackward);
+  return BinaryOp("Mul", a, b, false, true, MulKernels(), MulBackward);
 }
 
 Tensor Mul(Tensor&& a, Tensor&& b) {
-  return BinaryOp("Mul", a, b, true, true, MulFwd, MulBackward);
+  return BinaryOp("Mul", a, b, true, true, MulKernels(), MulBackward);
 }
 
 
@@ -331,88 +313,30 @@ bool MatMulParallelWorthwhile(int m, int k, int n) {
          util::GlobalPool().num_threads() > 1;
 }
 
-// out[i, j] for rows [row_lo, row_hi) and columns [col_lo, col_hi) of
-// A (m x k) * B (k x n). Each output element is an ascending-p sum, the same
-// order as the sequential triple loop, so tiling never changes a bit.
-void MatMulTile(const float* a, const float* b, float* out, int k, int n,
-                int row_lo, int row_hi, int col_lo, int col_hi) {
-  for (int i = row_lo; i < row_hi; ++i) {
-    for (int p = 0; p < k; ++p) {
-      const float av = a[i * k + p];
-      if (av == 0.0f) continue;
-      const float* brow = b + p * n + col_lo;
-      float* orow = out + i * n + col_lo;
-      for (int j = 0; j < col_hi - col_lo; ++j) orow[j] += av * brow[j];
-    }
-  }
-}
-
 // Tiles rows across the pool when there are enough of them, otherwise
 // columns (the library's hot products are [1, k] x [k, vocab], all columns).
+// The per-tile inner loop lives in the dispatch table (matmul_block); every
+// variant accumulates each out[i, j] as the same ascending-p axpy chain, so
+// tiling and dispatch choice never change a bit.
 void MatMulCompute(const float* a, const float* b, float* out, int m, int k,
                    int n) {
+  const kernels::KernelTable& kt = kernels::Active();
   if (!MatMulParallelWorthwhile(m, k, n)) {
-    MatMulTile(a, b, out, k, n, 0, m, 0, n);
+    kt.matmul_block(a, b, out, k, n, 0, m, 0, n);
     return;
   }
   util::ThreadPool& pool = util::GlobalPool();
   if (m >= pool.num_threads()) {
     pool.ParallelForRange(0, m, 1, [&](int64_t lo, int64_t hi) {
-      MatMulTile(a, b, out, k, n, static_cast<int>(lo), static_cast<int>(hi),
-                 0, n);
+      kt.matmul_block(a, b, out, k, n, static_cast<int>(lo),
+                      static_cast<int>(hi), 0, n);
     });
   } else {
     pool.ParallelForRange(0, n, 64, [&](int64_t lo, int64_t hi) {
-      MatMulTile(a, b, out, k, n, 0, m, static_cast<int>(lo),
-                 static_cast<int>(hi));
+      kt.matmul_block(a, b, out, k, n, 0, m, static_cast<int>(lo),
+                      static_cast<int>(hi));
     });
   }
-}
-
-// Inference-only fast path for m >= 2: packs B transposed into a pooled,
-// tile-aligned scratch buffer (column j of B becomes the contiguous run
-// bt[j*stride .. j*stride+k), with stride rounded up to 8 floats so packed
-// columns start on 32-byte boundaries), making the inner dot contiguous in
-// both operands. Each out[i, j] is the same ascending-p accumulation — with
-// the same exact-zero skip — as MatMulTile's in-place `+=` chain starting
-// from 0.0f, so the product is bit-identical to the graph-mode path. Fully
-// overwrites `out` (no zero-init needed). Not used for m == 1: packing all
-// of B for a single output row doubles the memory traffic for nothing.
-void MatMulPackedCompute(const float* a, const float* b, float* out, int m,
-                         int k, int n) {
-  internal::BufferPool& pool = internal::ThisThreadPool();
-  const int stride = (k + 7) & ~7;
-  std::vector<float> bt =
-      pool.Acquire(static_cast<size_t>(stride) * static_cast<size_t>(n));
-  for (int p = 0; p < k; ++p) {
-    const float* brow = b + static_cast<size_t>(p) * n;
-    for (int j = 0; j < n; ++j) {
-      bt[static_cast<size_t>(j) * stride + p] = brow[j];
-    }
-  }
-  const float* btd = bt.data();
-  auto rows = [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      const float* arow = a + i * k;
-      float* orow = out + i * n;
-      for (int j = 0; j < n; ++j) {
-        const float* bcol = btd + static_cast<size_t>(j) * stride;
-        float acc = 0.0f;
-        for (int p = 0; p < k; ++p) {
-          const float av = arow[p];
-          if (av == 0.0f) continue;
-          acc += av * bcol[p];
-        }
-        orow[j] = acc;
-      }
-    }
-  };
-  if (MatMulParallelWorthwhile(m, k, n) && m > 1) {
-    util::GlobalPool().ParallelForRange(0, m, 1, rows);
-  } else {
-    rows(0, m);
-  }
-  pool.Release(std::move(bt));
 }
 
 }  // namespace
@@ -425,11 +349,6 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int m = a.rows(), k = a.cols(), n = b.cols();
   if (internal::InferenceModeActive()) {
     const int64_t numel = static_cast<int64_t>(m) * n;
-    if (m >= 2) {
-      std::vector<float> out = ForwardBuffer(numel, true);
-      MatMulPackedCompute(a.data(), b.data(), out.data(), m, k, n);
-      return MakeInferenceResult({m, n}, std::move(out));
-    }
     std::vector<float> out = ZeroedForwardBuffer(numel, true);
     MatMulCompute(a.data(), b.data(), out.data(), m, k, n);
     return MakeInferenceResult({m, n}, std::move(out));
@@ -514,22 +433,22 @@ namespace {
 
 // Shared implementation for elementwise unary ops whose derivative is a
 // function of the *output* value (sigmoid, tanh, exp) or *input* value.
-// `reuse` (set by the rvalue overloads) lets inference mode overwrite a
-// dying temporary in place — see ReusableTemp.
-template <typename FwdFn, typename BwdFn>
-Tensor UnaryOp(const Tensor& a, bool reuse, FwdFn fwd, BwdFn bwd_from_in_out) {
+// The forward loop is a dispatched kernel; `reuse` (set by the rvalue
+// overloads) lets inference mode overwrite a dying temporary in place via
+// the kernels' exact-aliasing contract — see ReusableTemp.
+template <typename BwdFn>
+Tensor UnaryKernelOp(const Tensor& a, bool reuse,
+                     void (*kernel)(const float*, float*, int64_t),
+                     BwdFn bwd_from_in_out) {
   const int64_t numel = a.numel();
   const bool inference = internal::InferenceModeActive();
   if (reuse && ReusableTemp(a, inference)) {
     float* d = a.impl()->data.data();
-    for (int64_t i = 0; i < numel; ++i) d[i] = fwd(d[i]);
+    kernel(d, d, numel);
     return Tensor::FromImpl(a.impl());
   }
   std::vector<float> out = ForwardBuffer(numel, inference);
-  const float* ad = a.data();
-  for (int64_t i = 0; i < numel; ++i) {
-    out[i] = fwd(ad[i]);
-  }
+  kernel(a.data(), out.data(), numel);
   if (inference) return MakeInferenceResult(a.shape(), std::move(out));
   auto ai = a.impl();
   return MakeResult(a.shape(), std::move(out), {a},
@@ -541,38 +460,46 @@ Tensor UnaryOp(const Tensor& a, bool reuse, FwdFn fwd, BwdFn bwd_from_in_out) {
                     });
 }
 
-}  // namespace
-
-namespace {
-
-// tanh evaluated in single precision via one expf. glibc's tanhf routes
-// through the double-precision tanh (~3x the cost of expf), which is the
-// single most expensive kernel in an LSTM step. The final subtraction is
-// exact (Sterbenz: 2/(e+1) is in [0, 1]), so the absolute error is that of
-// the expf/divide chain — at most ~1.2e-7 over the whole range — and the
-// output never leaves [-1, 1]. ±0, ±inf, saturation, and NaN all match
-// std::tanh; signbit keeps -0 -> -0.
-inline float FastTanh(float x) {
-  const float e = std::exp(2.0f * std::fabs(x));
-  const float y = 1.0f - 2.0f / (e + 1.0f);
-  return std::signbit(x) ? -y : y;
+// Same shape for the scalar-parameter ops (Scale, AddScalar), which reuse
+// the binary tables' broadcast-scalar kernels.
+template <typename BwdFn>
+Tensor UnaryScalarKernelOp(const Tensor& a, float c, bool reuse,
+                           void (*kernel)(const float*, float, float*,
+                                          int64_t),
+                           BwdFn bwd_from_in_out) {
+  const int64_t numel = a.numel();
+  const bool inference = internal::InferenceModeActive();
+  if (reuse && ReusableTemp(a, inference)) {
+    float* d = a.impl()->data.data();
+    kernel(d, c, d, numel);
+    return Tensor::FromImpl(a.impl());
+  }
+  std::vector<float> out = ForwardBuffer(numel, inference);
+  kernel(a.data(), c, out.data(), numel);
+  if (inference) return MakeInferenceResult(a.shape(), std::move(out));
+  auto ai = a.impl();
+  return MakeResult(a.shape(), std::move(out), {a},
+                    [ai, bwd_from_in_out](TensorImpl& y) {
+                      Accumulate(ai, [&](int64_t i) {
+                        return y.grad[i] *
+                               bwd_from_in_out(ai->data[i], y.data[i]);
+                      });
+                    });
 }
 
 Tensor SigmoidOp(const Tensor& a, bool reuse) {
-  return UnaryOp(
-      a, reuse, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
-      [](float /*x*/, float y) { return y * (1.0f - y); });
+  return UnaryKernelOp(a, reuse, kernels::Active().sigmoid,
+                       [](float /*x*/, float y) { return y * (1.0f - y); });
 }
 
 Tensor TanhOp(const Tensor& a, bool reuse) {
-  return UnaryOp(
-      a, reuse, [](float x) { return FastTanh(x); },
-      [](float /*x*/, float y) { return 1.0f - y * y; });
+  return UnaryKernelOp(a, reuse, kernels::Active().tanh,
+                       [](float /*x*/, float y) { return 1.0f - y * y; });
 }
 
 Tensor ReluOp(const Tensor& a, bool reuse) {
-  return UnaryOp(
-      a, reuse, [](float x) { return x > 0.0f ? x : 0.0f; },
+  return UnaryKernelOp(
+      a, reuse, kernels::Active().relu,
       [](float x, float /*y*/) { return x > 0.0f ? 1.0f : 0.0f; });
 }
 
@@ -590,14 +517,14 @@ Tensor Relu(Tensor&& a) { return ReluOp(a, true); }
 namespace {
 
 Tensor ScaleOp(const Tensor& a, float alpha, bool reuse) {
-  return UnaryOp(
-      a, reuse, [alpha](float x) { return x * alpha; },
+  return UnaryScalarKernelOp(
+      a, alpha, reuse, kernels::Active().mulc,
       [alpha](float /*x*/, float /*y*/) { return alpha; });
 }
 
 Tensor AddScalarOp(const Tensor& a, float alpha, bool reuse) {
-  return UnaryOp(
-      a, reuse, [alpha](float x) { return x + alpha; },
+  return UnaryScalarKernelOp(
+      a, alpha, reuse, kernels::Active().addc,
       [](float /*x*/, float /*y*/) { return 1.0f; });
 }
 
@@ -613,39 +540,49 @@ Tensor AddScalar(Tensor&& a, float alpha) {
   return AddScalarOp(a, alpha, true);
 }
 
-Tensor Exp(const Tensor& a) {
-  return UnaryOp(
-      a, false, [](float x) { return std::exp(x); },
-      [](float /*x*/, float y) { return y; });
+namespace {
+
+Tensor ExpOp(const Tensor& a, bool reuse) {
+  return UnaryKernelOp(a, reuse, kernels::Active().exp,
+                       [](float /*x*/, float y) { return y; });
 }
 
-Tensor Log(const Tensor& a) {
-  return UnaryOp(
-      a, false, [](float x) { return std::log(x); },
-      [](float x, float /*y*/) { return 1.0f / x; });
+Tensor LogOp(const Tensor& a, bool reuse) {
+  return UnaryKernelOp(a, reuse, kernels::Active().log,
+                       [](float x, float /*y*/) { return 1.0f / x; });
 }
 
-Tensor Square(const Tensor& a) {
-  return UnaryOp(
-      a, false, [](float x) { return x * x; },
-      [](float x, float /*y*/) { return 2.0f * x; });
+Tensor SquareOp(const Tensor& a, bool reuse) {
+  return UnaryKernelOp(a, reuse, kernels::Active().square,
+                       [](float x, float /*y*/) { return 2.0f * x; });
 }
 
-Tensor Softmax(const Tensor& a) {
+}  // namespace
+
+Tensor Exp(const Tensor& a) { return ExpOp(a, false); }
+Tensor Exp(Tensor&& a) { return ExpOp(a, true); }
+
+Tensor Log(const Tensor& a) { return LogOp(a, false); }
+Tensor Log(Tensor&& a) { return LogOp(a, true); }
+
+Tensor Square(const Tensor& a) { return SquareOp(a, false); }
+Tensor Square(Tensor&& a) { return SquareOp(a, true); }
+
+namespace {
+
+Tensor SoftmaxOp(const Tensor& a, bool reuse) {
   const int m = a.rows(), n = a.cols();
   const bool inference = internal::InferenceModeActive();
-  std::vector<float> out = ForwardBuffer(a.numel(), inference);
-  for (int i = 0; i < m; ++i) {
-    const float* row = a.data() + i * n;
-    float mx = row[0];
-    for (int j = 1; j < n; ++j) mx = std::max(mx, row[j]);
-    float sum = 0.0f;
-    for (int j = 0; j < n; ++j) {
-      out[i * n + j] = std::exp(row[j] - mx);
-      sum += out[i * n + j];
-    }
-    for (int j = 0; j < n; ++j) out[i * n + j] /= sum;
+  const kernels::KernelTable& kt = kernels::Active();
+  // The kernel's n <= 0 guard makes a zero-width input a no-op instead of
+  // the old out-of-bounds row[0] read.
+  if (reuse && ReusableTemp(a, inference)) {
+    float* d = a.impl()->data.data();
+    kt.softmax(d, d, m, n);
+    return Tensor::FromImpl(a.impl());
   }
+  std::vector<float> out = ForwardBuffer(a.numel(), inference);
+  kt.softmax(a.data(), out.data(), m, n);
   if (inference) return MakeInferenceResult(a.shape(), std::move(out));
   auto ai = a.impl();
   return MakeResult(a.shape(), std::move(out), {a}, [ai, m, n](TensorImpl& y) {
@@ -663,19 +600,19 @@ Tensor Softmax(const Tensor& a) {
   });
 }
 
-Tensor LogSoftmax(const Tensor& a) {
+Tensor LogSoftmaxOp(const Tensor& a, bool reuse) {
   const int m = a.rows(), n = a.cols();
   const bool inference = internal::InferenceModeActive();
-  std::vector<float> out = ForwardBuffer(a.numel(), inference);
-  for (int i = 0; i < m; ++i) {
-    const float* row = a.data() + i * n;
-    float mx = row[0];
-    for (int j = 1; j < n; ++j) mx = std::max(mx, row[j]);
-    float sum = 0.0f;
-    for (int j = 0; j < n; ++j) sum += std::exp(row[j] - mx);
-    const float lse = mx + std::log(sum);
-    for (int j = 0; j < n; ++j) out[i * n + j] = row[j] - lse;
+  const kernels::KernelTable& kt = kernels::Active();
+  if (reuse && ReusableTemp(a, inference)) {
+    // The log_softmax kernel stages its exp pass through a private chunk,
+    // so exact out==a aliasing is safe here too.
+    float* d = a.impl()->data.data();
+    kt.log_softmax(d, d, m, n);
+    return Tensor::FromImpl(a.impl());
   }
+  std::vector<float> out = ForwardBuffer(a.numel(), inference);
+  kt.log_softmax(a.data(), out.data(), m, n);
   if (inference) return MakeInferenceResult(a.shape(), std::move(out));
   auto ai = a.impl();
   return MakeResult(a.shape(), std::move(out), {a}, [ai, m, n](TensorImpl& y) {
@@ -692,6 +629,14 @@ Tensor LogSoftmax(const Tensor& a) {
     }
   });
 }
+
+}  // namespace
+
+Tensor Softmax(const Tensor& a) { return SoftmaxOp(a, false); }
+Tensor Softmax(Tensor&& a) { return SoftmaxOp(a, true); }
+
+Tensor LogSoftmax(const Tensor& a) { return LogSoftmaxOp(a, false); }
+Tensor LogSoftmax(Tensor&& a) { return LogSoftmaxOp(a, true); }
 
 Tensor NllLoss(const Tensor& log_probs, const std::vector<int>& targets) {
   const int m = log_probs.rows(), n = log_probs.cols();

@@ -58,14 +58,21 @@ Tensor Tanh(Tensor&& a);
 Tensor Relu(const Tensor& a);
 Tensor Relu(Tensor&& a);
 Tensor Exp(const Tensor& a);
+Tensor Exp(Tensor&& a);
 /// Natural log; input values must be strictly positive.
 Tensor Log(const Tensor& a);
+Tensor Log(Tensor&& a);
 /// Elementwise square.
 Tensor Square(const Tensor& a);
+Tensor Square(Tensor&& a);
 
-/// Row-wise softmax / log-softmax over the column dimension.
+/// Row-wise softmax / log-softmax over the column dimension. Zero-width
+/// inputs (`[m, 0]`) are well-defined no-ops. The rvalue overloads recycle
+/// a dying temporary in place under inference mode.
 Tensor Softmax(const Tensor& a);
+Tensor Softmax(Tensor&& a);
 Tensor LogSoftmax(const Tensor& a);
+Tensor LogSoftmax(Tensor&& a);
 
 /// Mean negative log likelihood. `log_probs` is `[batch, classes]` of
 /// log-probabilities (e.g. from LogSoftmax); `targets[i]` is the class index

@@ -1,5 +1,7 @@
 #include "serve/artifact.h"
 
+#include <cstdint>
+#include <cstring>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -7,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "nn/serialize.h"
 #include "rec/registry.h"
 
 namespace pa::serve {
@@ -147,6 +150,102 @@ TEST(ArtifactTest, LoadRejectsBadMagic) {
   std::string error;
   EXPECT_FALSE(LoadArtifact(junk, &loaded, &error));
   EXPECT_NE(error.find("magic"), std::string::npos) << error;
+}
+
+// --- Container v2: the optional quantized-serving section. ------------------
+
+// Rewrites an artifact byte string with a mutated body, fixing up the header
+// checksum so only the intended difference reaches the parser.
+std::string RepackArtifact(const std::string& bytes, uint32_t version,
+                           std::string body) {
+  const uint64_t checksum = nn::Checksum64(body.data(), body.size());
+  std::string out = bytes.substr(0, 16);
+  std::memcpy(out.data() + 4, &version, sizeof(version));
+  std::memcpy(out.data() + 8, &checksum, sizeof(checksum));
+  out += body;
+  return out;
+}
+
+TEST(ArtifactQuantizedTest, QuantizedSectionRoundTrips) {
+  poi::PoiTable pois = SmallPois();
+  auto model = rec::MakeRecommender("LSTM", 7, 0.2);
+  model->Fit(CycleData(3, 40), pois);
+  std::string error;
+  ASSERT_TRUE(model->QuantizeForServing(&error)) << error;
+  ASSERT_TRUE(model->has_quantized_serving());
+
+  std::stringstream artifact(std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(SaveArtifact(artifact, *model, pois, &error)) << error;
+  LoadedModel loaded;
+  ASSERT_TRUE(LoadArtifact(artifact, &loaded, &error)) << error;
+  // The quantized tables came back, and the int8 TopK path reproduces the
+  // publisher's rankings exactly (same tables, exact-int32 kernel).
+  EXPECT_TRUE(loaded.model->has_quantized_serving());
+  EXPECT_EQ(TopKTrace(*model, 1, 12), TopKTrace(*loaded.model, 1, 12));
+}
+
+TEST(ArtifactQuantizedTest, UnquantizedModelsWriteFlagZero) {
+  poi::PoiTable pois = SmallPois();
+  auto model = rec::MakeRecommender("LSTM", 7, 0.2);
+  model->Fit(CycleData(2, 30), pois);
+  std::stringstream artifact(std::ios::in | std::ios::out | std::ios::binary);
+  std::string error;
+  ASSERT_TRUE(SaveArtifact(artifact, *model, pois, &error)) << error;
+  const std::string bytes = artifact.str();
+  ASSERT_EQ(bytes.back(), '\0');  // v2 trailer: quantized flag 0.
+  LoadedModel loaded;
+  ASSERT_TRUE(LoadArtifact(artifact, &loaded, &error)) << error;
+  EXPECT_FALSE(loaded.model->has_quantized_serving());
+}
+
+TEST(ArtifactQuantizedTest, V1ArtifactsStillLoad) {
+  poi::PoiTable pois = SmallPois();
+  auto model = rec::MakeRecommender("LSTM", 7, 0.2);
+  model->Fit(CycleData(2, 30), pois);
+  std::stringstream artifact(std::ios::in | std::ios::out | std::ios::binary);
+  std::string error;
+  ASSERT_TRUE(SaveArtifact(artifact, *model, pois, &error)) << error;
+
+  // A v1 file is the same bytes minus the trailing quantized flag: strip
+  // it, stamp version 1, re-checksum. This is exactly what a pre-v2 writer
+  // produced.
+  const std::string bytes = artifact.str();
+  std::string body = bytes.substr(16);
+  ASSERT_EQ(body.back(), '\0');
+  body.pop_back();
+  std::stringstream v1(RepackArtifact(bytes, 1, std::move(body)),
+                       std::ios::in | std::ios::out | std::ios::binary);
+  LoadedModel loaded;
+  ASSERT_TRUE(LoadArtifact(v1, &loaded, &error)) << error;
+  EXPECT_FALSE(loaded.model->has_quantized_serving());
+  EXPECT_EQ(TopKTrace(*model, 0, 8), TopKTrace(*loaded.model, 0, 8));
+}
+
+TEST(ArtifactQuantizedTest, RejectsBadQuantizedFlagAndFutureVersion) {
+  poi::PoiTable pois = SmallPois();
+  auto model = rec::MakeRecommender("LSTM", 7, 0.2);
+  model->Fit(CycleData(2, 30), pois);
+  std::stringstream artifact(std::ios::in | std::ios::out | std::ios::binary);
+  std::string error;
+  ASSERT_TRUE(SaveArtifact(artifact, *model, pois, &error)) << error;
+  const std::string bytes = artifact.str();
+
+  // Flag byte outside {0, 1} — checksum fixed up so the flag check itself
+  // must reject it.
+  std::string body = bytes.substr(16);
+  body.back() = 2;
+  std::stringstream bad_flag(RepackArtifact(bytes, 2, body),
+                             std::ios::in | std::ios::out | std::ios::binary);
+  LoadedModel loaded;
+  EXPECT_FALSE(LoadArtifact(bad_flag, &loaded, &error));
+  EXPECT_NE(error.find("quantized flag"), std::string::npos) << error;
+
+  // A version this build has never heard of must be refused outright.
+  std::stringstream future(RepackArtifact(bytes, 3, bytes.substr(16)),
+                           std::ios::in | std::ios::out | std::ios::binary);
+  EXPECT_FALSE(LoadArtifact(future, &loaded, &error));
+  EXPECT_NE(error.find("unsupported artifact version"), std::string::npos)
+      << error;
 }
 
 // --- Registry satellite behaviours. ----------------------------------------
