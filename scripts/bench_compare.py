@@ -73,6 +73,26 @@ INFERENCE_PATH_V2_KEYS = (
     "quant_hr_drift",
 )
 
+# serving grew the sharded-router, networked and overload arms in
+# schema_version 2 (bench_serving: ShardedEngine scaling, NdjsonServer
+# replay with a live model flip, paced 2x-overload shedding).
+SERVING_V2_KEYS = (
+    "shards",
+    "hardware_threads",
+    "single_shard_qps",
+    "sharded_qps",
+    "shard_speedup",
+    "shard_gate",
+    "net_qps",
+    "net_p99_micros",
+    "net_failed",
+    "flip_dropped",
+    "overload_target_qps",
+    "overload_shed",
+    "overload_other",
+    "overload_p99_micros",
+)
+
 
 def direction(key):
     """Returns -1 (lower is better), +1 (higher is better), or 0 (neutral)."""
@@ -265,6 +285,25 @@ def check_schema(paths):
             if isinstance(drift, (int, float)) and \
                     not isinstance(drift, bool) and drift < 0.0:
                 problems.append(f"'quant_hr_drift' must be >= 0 ({drift})")
+        if doc.get("bench") == "serving" and \
+                isinstance(doc.get("schema_version"), int) and \
+                doc["schema_version"] >= 2:
+            for key in SERVING_V2_KEYS:
+                if key not in doc:
+                    problems.append(f"serving v2 missing '{key}'")
+            if not isinstance(doc.get("shard_gate", ""), str) \
+                    or not doc.get("shard_gate"):
+                problems.append("'shard_gate' must be a non-empty string")
+            elif doc["shard_gate"] == "fail":
+                problems.append("'shard_gate' recorded a failed speedup gate")
+            # Structural invariants that hold in smoke and full runs alike:
+            # the flip must not drop requests, and every non-ok response in
+            # the overload arm must carry a typed code.
+            for key in ("flip_dropped", "net_failed", "overload_other"):
+                value = doc.get(key)
+                if isinstance(value, (int, float)) and \
+                        not isinstance(value, bool) and value != 0:
+                    problems.append(f"'{key}' must be 0 ({value})")
         if problems:
             failures += 1
             for p in problems:

@@ -2,7 +2,8 @@
 # Tier-1 verification: the standard build + full test suite (with the
 # kernel-dispatch tests rerun under both PA_SIMD extremes), then a
 # ThreadSanitizer build of the concurrency-sensitive tests (thread pool,
-# cross-thread determinism, parallel eval/training paths), then an
+# cross-thread determinism, parallel eval/training paths, the NDJSON TCP
+# front-end and the sharded serving router), then an
 # ASan/UBSan build of the serialization + serving + kernel-edge-case tests
 # (the subsystems that parse attacker-shaped bytes, juggle shared session
 # state, or run NaN/inf edge tensors through hand-dispatched SIMD loops).
@@ -32,6 +33,15 @@ done
 # BENCH file fails here rather than in CI diffing.
 PA_BENCH_DIR=build build/bench/bench_inference_path --smoke
 python3 scripts/bench_compare.py --schema build/BENCH_inference.json
+
+# Serving-path smoke: bench_serving --smoke drives all four serving arms
+# (baseline engine, sharded router at K=1/K=4, networked NDJSON replay with
+# a live model flip, paced 2x overload) with the timing gates skipped; the
+# structural gates — zero dropped requests across the flip, typed
+# `overloaded` sheds only — still apply, and bench_compare.py then checks
+# the schema_version 2 multi-shard fields.
+PA_BENCH_DIR=build build/bench/bench_serving --smoke
+python3 scripts/bench_compare.py --schema build/BENCH_serving.json
 
 # Observability smoke: a tiny end-to-end table run with tracing enabled must
 # produce a trace that chrome://tracing would load and trace_summary.py can
@@ -140,6 +150,77 @@ finally:
 EOF
 python3 scripts/bench_compare.py --schema build/tier1_timeseries.ndjson
 
+# Networked serving smoke: `pa_serve listen` with two shards on an
+# ephemeral port. A pipelined TCP client must get in-order NDJSON
+# responses, a typed `unknown_user` error for a strict query on a cold
+# user, per-shard serving/router instruments on /metrics, and a graceful
+# drain (quit answered, connection closed, exit 0).
+python3 - build/src/serve/pa_serve build/tier1_store <<'EOF'
+import http.client, json, re, socket, subprocess, sys, time
+
+proc = subprocess.Popen(
+    [sys.argv[1], "listen", "--store", sys.argv[2], "--port", "0",
+     "--shards", "2", "--metrics-port", "0"],
+    stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+try:
+    port = metrics_port = None
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline and not (port and metrics_port):
+        line = proc.stderr.readline()
+        if not line:
+            raise SystemExit("pa_serve listen exited before binding")
+        m = re.search(r"metrics listening on http://127\.0\.0\.1:(\d+)", line)
+        if m:
+            metrics_port = int(m.group(1))
+            continue
+        m = re.search(r"listening on 127\.0\.0\.1:(\d+) \(.*2 shards\)", line)
+        if m:
+            port = int(m.group(1))
+    assert port and metrics_port, "ports not announced within 30s"
+
+    sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+    f = sock.makefile("r")
+    reqs = [{"op": "topk", "user": u, "k": 5, "timestamp": 1000 + u}
+            for u in range(6)]
+    sock.sendall("".join(json.dumps(r) + "\n" for r in reqs).encode())
+    for r in reqs:  # Pipelined burst comes back in request order.
+        resp = json.loads(f.readline())
+        assert resp["ok"] is True and "pois" in resp, resp
+
+    sock.sendall(b'{"op":"topk","user":99999,"strict":true,"id":7}\n')
+    resp = json.loads(f.readline())
+    assert resp["ok"] is False and resp["code"] == "unknown_user" \
+        and resp["id"] == 7, resp
+
+    sock.sendall(b'{"op":"stats"}\n')
+    resp = json.loads(f.readline())
+    assert resp["ok"] is True and resp["shards"] == 2 \
+        and len(resp["per_shard"]) == 2, resp
+
+    conn = http.client.HTTPConnection("127.0.0.1", metrics_port, timeout=10)
+    conn.request("GET", "/metrics")
+    http_resp = conn.getresponse()
+    metrics = http_resp.read().decode()
+    conn.close()
+    assert http_resp.status == 200, metrics
+    for needed in ("serve_shard0_requests", "serve_shard1_requests",
+                   "net_shard0_dispatched", "net_shard1_dispatched",
+                   "net_connections", "net_requests"):
+        assert needed in metrics, f"/metrics missing {needed}"
+
+    sock.sendall(b'{"op":"quit"}\n')
+    resp = json.loads(f.readline())
+    assert resp["ok"] is True, resp
+    assert f.readline() == "", "server must close the connection after drain"
+    sock.close()
+    assert proc.wait(timeout=30) == 0, proc.returncode
+    print("pa_serve listen smoke: OK (2 shards, pipelined NDJSON, "
+          "typed errors, per-shard /metrics, graceful drain)")
+finally:
+    if proc.poll() is None:
+        proc.kill()
+EOF
+
 if [[ "${1:-}" == "--no-tsan" ]]; then
   exit 0
 fi
@@ -155,9 +236,10 @@ cmake --build build-tsan -j"$(nproc)" --target \
   serve_session_store_test serve_engine_test \
   tensor_inference_test inference_equivalence_test tensor_kernels_test \
   obs_metrics_test obs_trace_test \
-  obs_health_test obs_telemetry_test obs_http_exposition_test
+  obs_health_test obs_telemetry_test obs_http_exposition_test \
+  net_server_test serve_shard_test
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'util_thread_pool_test|parallel_determinism_test|serve_session_store_test|serve_engine_test|tensor_inference_test|inference_equivalence_test|tensor_kernels_test|obs_metrics_test|obs_trace_test|obs_health_test|obs_telemetry_test|obs_http_exposition_test'
+  -R 'util_thread_pool_test|parallel_determinism_test|serve_session_store_test|serve_engine_test|tensor_inference_test|inference_equivalence_test|tensor_kernels_test|obs_metrics_test|obs_trace_test|obs_health_test|obs_telemetry_test|obs_http_exposition_test|net_server_test|serve_shard_test'
 
 # ASan/UBSan pass over the checkpoint parser, the serving subsystem, and
 # the kernel layer: these tests feed truncated/corrupted byte streams,

@@ -1,0 +1,235 @@
+#include "net/ndjson_protocol.h"
+
+#include <cmath>
+#include <future>
+#include <map>
+#include <utility>
+
+#include "serve/json.h"
+#include "util/thread_pool.h"
+
+namespace pa::net {
+
+namespace {
+
+// The echoed correlation id, if the request carried one. Kept as the raw
+// JsonValue so a string id comes back as a string and a numeric id as a
+// number.
+void EchoId(serve::JsonWriter& w, const serve::JsonValue& id) {
+  switch (id.type) {
+    case serve::JsonValue::Type::kString:
+      w.Field("id", id.string);
+      break;
+    case serve::JsonValue::Type::kNumber:
+      if (id.number == std::floor(id.number)) {
+        w.Field("id", static_cast<int64_t>(id.number));
+      } else {
+        w.Field("id", id.number);
+      }
+      break;
+    default:
+      break;  // No id (or an unechoable bool/null): omit the field.
+  }
+}
+
+std::string ErrorLine(const char* code, const std::string& detail,
+                      const serve::JsonValue& id) {
+  serve::JsonWriter w;
+  w.BeginObject().Field("ok", false).Field("code", code).Field("error",
+                                                               detail);
+  EchoId(w, id);
+  w.EndObject();
+  return w.str();
+}
+
+std::string StatusErrorLine(serve::RequestStatus status,
+                            const serve::JsonValue& id) {
+  return ErrorLine(serve::RequestStatusCode(status),
+                   serve::RequestStatusName(status), id);
+}
+
+std::string OkLine(const serve::JsonValue& id) {
+  serve::JsonWriter w;
+  w.BeginObject().Field("ok", true).Field("status", "ok");
+  EchoId(w, id);
+  w.EndObject();
+  return w.str();
+}
+
+std::string ShardStatsJson(const ShardStats& stats) {
+  serve::JsonWriter w;
+  w.BeginObject()
+      .Field("dispatched", stats.dispatched)
+      .Field("shed", stats.shed)
+      .Field("queue_depth", static_cast<uint64_t>(stats.queue_depth))
+      .Field("ewma_service_us", stats.ewma_service_us)
+      .RawField("engine", stats.engine.ToJson())
+      .EndObject();
+  return w.str();
+}
+
+}  // namespace
+
+NdjsonDispatcher::NdjsonDispatcher(ShardedEngine* engine)
+    : NdjsonDispatcher(engine, Options()) {}
+
+NdjsonDispatcher::NdjsonDispatcher(ShardedEngine* engine, Options options)
+    : engine_(engine), options_(std::move(options)) {}
+
+void NdjsonDispatcher::HandleLineAsync(
+    std::string line, std::function<void(std::string)> done) {
+  std::map<std::string, serve::JsonValue> request;
+  std::string parse_error;
+  if (!serve::ParseFlatObject(line, &request, &parse_error)) {
+    done(ErrorLine("bad_request", "bad request: " + parse_error,
+                   serve::JsonValue{}));
+    return;
+  }
+  const serve::JsonValue id = request["id"];
+  const std::string op = request["op"].string;
+
+  if (op == "quit") {
+    done(OkLine(id));
+    if (options_.on_quit) options_.on_quit();
+    return;
+  }
+
+  if (op == "observe") {
+    if (!request["user"].is_number() || !request["poi"].is_number()) {
+      done(ErrorLine("bad_request", "observe requires numeric user and poi",
+                     id));
+      return;
+    }
+    poi::Checkin checkin;
+    checkin.user = static_cast<int32_t>(request["user"].AsInt());
+    checkin.poi = static_cast<int32_t>(request["poi"].AsInt());
+    checkin.timestamp = request["timestamp"].AsInt();
+    engine_->ObserveAsync(
+        checkin, [id, done = std::move(done)](serve::RequestStatus status) {
+          done(status == serve::RequestStatus::kOk ? OkLine(id)
+                                                   : StatusErrorLine(status, id));
+        });
+    return;
+  }
+
+  if (op == "topk") {
+    if (!request["user"].is_number()) {
+      done(ErrorLine("bad_request", "topk requires numeric user", id));
+      return;
+    }
+    serve::TopKRequest topk;
+    topk.user = static_cast<int32_t>(request["user"].AsInt());
+    topk.k = request.count("k") ? static_cast<int>(request["k"].AsInt()) : 10;
+    topk.next_timestamp = request["timestamp"].AsInt();
+    topk.strict = request["strict"].boolean;
+    engine_->TopKAsync(
+        topk, [id, done = std::move(done)](serve::TopKResponse response) {
+          if (response.status != serve::RequestStatus::kOk) {
+            done(StatusErrorLine(response.status, id));
+            return;
+          }
+          serve::JsonWriter w;
+          w.BeginObject()
+              .Field("ok", true)
+              .Field("status", "ok")
+              .Field("latency_micros", response.latency_micros);
+          EchoId(w, id);
+          w.BeginArray("pois");
+          for (const int32_t poi : response.pois) w.Element(int64_t{poi});
+          w.EndArray().EndObject();
+          done(w.str());
+        });
+    return;
+  }
+
+  if (op == "stats") {
+    serve::JsonWriter w;
+    w.BeginObject()
+        .Field("ok", true)
+        .Field("status", "ok")
+        .Field("model", engine_->model_name())
+        .Field("shards", int64_t{engine_->num_shards()});
+    EchoId(w, id);
+    w.RawField("stats", ShardStatsJson(engine_->Stats()));
+    w.BeginArray("per_shard");
+    for (int i = 0; i < engine_->num_shards(); ++i) {
+      w.RawElement(ShardStatsJson(engine_->StatsForShard(i)));
+    }
+    w.EndArray();
+    w.RawField("registry", obs::MetricRegistry::Global().SnapshotJson());
+    w.EndObject();
+    done(w.str());
+    return;
+  }
+
+  if (op == "activate") {
+    if (options_.store == nullptr) {
+      done(ErrorLine("bad_request", "activate is not enabled (no model store)",
+                     id));
+      return;
+    }
+    const std::string model = request["model"].is_string()
+                                  ? request["model"].string
+                                  : options_.default_model;
+    const int version = request["version"].is_number()
+                            ? static_cast<int>(request["version"].AsInt())
+                            : -1;
+    // Artifact loading reads and deserializes from disk — off the transport
+    // thread. (With PA_THREADS=1 Submit degrades to inline execution; the
+    // listener stalls for the load but stays correct.)
+    serve::ModelStore* store = options_.store;
+    ShardedEngine* engine = engine_;
+    util::GlobalPool().Submit([store, engine, model, version, id,
+                               done = std::move(done)] {
+      serve::LoadedModel loaded;
+      std::string error;
+      const bool ok = version > 0
+                          ? store->Load(model, version, &loaded, &error)
+                          : store->LoadActive(model, &loaded, &error);
+      if (!ok) {
+        done(ErrorLine("bad_request", "cannot load \"" + model + "\": " + error,
+                       id));
+        return;
+      }
+      const int resolved =
+          version > 0 ? version : store->ActiveVersion(model);
+      engine->SwapModel(
+          std::make_shared<const serve::LoadedModel>(std::move(loaded)));
+      serve::JsonWriter w;
+      w.BeginObject()
+          .Field("ok", true)
+          .Field("status", "ok")
+          .Field("model", model)
+          .Field("version", int64_t{resolved});
+      EchoId(w, id);
+      w.EndObject();
+      done(w.str());
+    });
+    return;
+  }
+
+  done(ErrorLine("bad_request",
+                 "unknown op \"" + op +
+                     "\" (observe, topk, stats, activate, quit)",
+                 id));
+}
+
+std::string NdjsonDispatcher::HandleLine(const std::string& line, bool* quit) {
+  if (quit) *quit = false;
+  std::map<std::string, serve::JsonValue> probe;
+  // Cheap pre-parse purely to detect quit without relying on the async
+  // callback ordering; malformed lines fall through to the async path's
+  // error envelope.
+  if (serve::ParseFlatObject(line, &probe) && probe["op"].string == "quit" &&
+      quit) {
+    *quit = true;
+  }
+  std::promise<std::string> promise;
+  std::future<std::string> future = promise.get_future();
+  HandleLineAsync(line, [&promise](std::string response) {
+    promise.set_value(std::move(response));
+  });
+  return future.get();
+}
+
+}  // namespace pa::net

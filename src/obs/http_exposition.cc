@@ -1,7 +1,5 @@
 #include "obs/http_exposition.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -9,6 +7,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "net/socket_util.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
 
@@ -158,27 +157,12 @@ void HandleConnection(int fd) {
 
 bool ExpositionServer::Start(uint16_t port) {
   if (thread_.joinable()) return false;
-  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  uint16_t bound = 0;
+  const int fd = net::ListenTcp(port, /*loopback_only=*/true, &bound,
+                                /*error=*/nullptr);
   if (fd < 0) return false;
-  const int one = 1;
-  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      listen(fd, 16) != 0) {
-    close(fd);
-    return false;
-  }
-  socklen_t len = sizeof(addr);
-  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
-    close(fd);
-    return false;
-  }
   listen_fd_ = fd;
-  port_ = ntohs(addr.sin_port);
+  port_ = bound;
   stop_requested_.store(false, std::memory_order_relaxed);
   thread_ = std::thread(&ExpositionServer::Run, this);
   return true;
@@ -195,14 +179,17 @@ void ExpositionServer::Stop() {
 
 void ExpositionServer::Run() {
   // poll with a timeout rather than blocking accept: Stop() only has to
-  // flip the flag and wait at most one poll interval.
+  // flip the flag and wait at most one poll interval. PollRetry absorbs
+  // EINTR (a signal used to be mistaken for a timeout and could starve an
+  // already-queued connection for a poll interval), and AcceptConnection
+  // retries interrupted accepts and sets FD_CLOEXEC on every connection.
   while (!stop_requested_.load(std::memory_order_relaxed)) {
     pollfd pfd{};
     pfd.fd = listen_fd_;
     pfd.events = POLLIN;
-    const int rc = poll(&pfd, 1, /*timeout_ms=*/100);
-    if (rc <= 0) continue;  // Timeout or EINTR; re-check the stop flag.
-    const int conn = accept(listen_fd_, nullptr, nullptr);
+    const int rc = net::PollRetry(&pfd, 1, /*timeout_ms=*/100);
+    if (rc <= 0) continue;  // Timeout; re-check the stop flag.
+    const int conn = net::AcceptConnection(listen_fd_);
     if (conn < 0) continue;
     HandleConnection(conn);
   }

@@ -13,8 +13,15 @@ const char* RequestStatusName(RequestStatus status) {
     case RequestStatus::kOk: return "ok";
     case RequestStatus::kDeadlineExceeded: return "deadline_exceeded";
     case RequestStatus::kInvalidArgument: return "invalid_argument";
+    case RequestStatus::kOverloaded: return "overloaded";
+    case RequestStatus::kUnknownUser: return "unknown_user";
   }
   return "unknown";
+}
+
+const char* RequestStatusCode(RequestStatus status) {
+  if (status == RequestStatus::kInvalidArgument) return "bad_request";
+  return RequestStatusName(status);
 }
 
 std::string EngineStats::ToJson() const {
@@ -41,9 +48,10 @@ Engine::Engine(std::shared_ptr<const LoadedModel> model, EngineConfig config)
   // through the current store (callbacks run at snapshot time, so they
   // follow model swaps automatically).
   auto& registry = obs::MetricRegistry::Global();
-  registry.RegisterCounter("serve.requests", &requests_);
-  registry.RegisterCounter("serve.timeouts", &timeouts_);
-  registry.RegisterHistogram("serve.latency_us", &latency_);
+  const std::string& prefix = config_.metric_prefix;
+  registry.RegisterCounter(prefix + "requests", &requests_);
+  registry.RegisterCounter(prefix + "timeouts", &timeouts_);
+  registry.RegisterHistogram(prefix + "latency_us", &latency_);
   auto session_stat = [this](uint64_t SessionStoreStats::*field) {
     std::shared_ptr<SessionStore> sessions;
     {
@@ -53,28 +61,29 @@ Engine::Engine(std::shared_ptr<const LoadedModel> model, EngineConfig config)
     return static_cast<double>(sessions->Stats().*field);
   };
   registry.RegisterCallbackGauge(
-      "serve.sessions.live", this,
+      prefix + "sessions.live", this,
       [session_stat] { return session_stat(&SessionStoreStats::live_sessions); });
   registry.RegisterCallbackGauge(
-      "serve.sessions.hits", this,
+      prefix + "sessions.hits", this,
       [session_stat] { return session_stat(&SessionStoreStats::hits); });
   registry.RegisterCallbackGauge(
-      "serve.sessions.misses", this,
+      prefix + "sessions.misses", this,
       [session_stat] { return session_stat(&SessionStoreStats::misses); });
   registry.RegisterCallbackGauge(
-      "serve.sessions.evictions", this,
+      prefix + "sessions.evictions", this,
       [session_stat] { return session_stat(&SessionStoreStats::evictions); });
 }
 
 Engine::~Engine() {
   auto& registry = obs::MetricRegistry::Global();
-  registry.Unregister("serve.requests", &requests_);
-  registry.Unregister("serve.timeouts", &timeouts_);
-  registry.Unregister("serve.latency_us", &latency_);
-  registry.Unregister("serve.sessions.live", this);
-  registry.Unregister("serve.sessions.hits", this);
-  registry.Unregister("serve.sessions.misses", this);
-  registry.Unregister("serve.sessions.evictions", this);
+  const std::string& prefix = config_.metric_prefix;
+  registry.Unregister(prefix + "requests", &requests_);
+  registry.Unregister(prefix + "timeouts", &timeouts_);
+  registry.Unregister(prefix + "latency_us", &latency_);
+  registry.Unregister(prefix + "sessions.live", this);
+  registry.Unregister(prefix + "sessions.hits", this);
+  registry.Unregister(prefix + "sessions.misses", this);
+  registry.Unregister(prefix + "sessions.evictions", this);
 }
 
 std::string Engine::model_name() const {
@@ -136,6 +145,11 @@ TopKResponse Engine::Run(const TopKRequest& request,
     std::lock_guard<std::mutex> lock(swap_mu_);
     sessions = sessions_;
   }
+  if (request.strict && !sessions->HasHistory(request.user)) {
+    response.status = RequestStatus::kUnknownUser;
+    finish(Clock::now());
+    return response;
+  }
   std::vector<int32_t> pois =
       sessions->TopK(request.user, request.k, request.next_timestamp);
 
@@ -160,6 +174,11 @@ TopKResponse Engine::Run(const TopKRequest& request,
 
 TopKResponse Engine::TopK(const TopKRequest& request) {
   return Run(request, Clock::now());
+}
+
+TopKResponse Engine::TopKAt(const TopKRequest& request,
+                            Clock::time_point enqueue) {
+  return Run(request, enqueue);
 }
 
 std::vector<TopKResponse> Engine::TopKBatch(

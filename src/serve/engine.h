@@ -21,14 +21,28 @@ enum class RequestStatus {
   kOk = 0,
   kDeadlineExceeded,
   kInvalidArgument,
+  /// Shed by admission control before reaching a worker (bounded shard
+  /// queue full, or the predicted queue wait already exceeds the deadline).
+  kOverloaded,
+  /// A strict request named a user with no observed history.
+  kUnknownUser,
 };
 
 const char* RequestStatusName(RequestStatus status);
+
+/// The wire error code for the NDJSON response envelope (DESIGN.md
+/// "Networked serving"): identical to RequestStatusName except that
+/// kInvalidArgument maps to "bad_request" — the protocol does not
+/// distinguish a malformed field from a malformed request line.
+const char* RequestStatusCode(RequestStatus status);
 
 struct TopKRequest {
   int32_t user = 0;
   int k = 10;
   int64_t next_timestamp = 0;
+  /// Strict requests fail with kUnknownUser instead of answering a cold
+  /// user from the model prior (and never instantiate a session for them).
+  bool strict = false;
 };
 
 struct TopKResponse {
@@ -44,6 +58,11 @@ struct EngineConfig {
   /// everything — useful for drain tests.
   int64_t deadline_ms = 250;
   SessionStoreConfig sessions;
+  /// Prefix for this engine's registered instrument names ("serve." →
+  /// serve.requests, serve.latency_us, ...). A sharded deployment gives
+  /// every shard engine its own prefix ("serve.shard0.", ...), so per-shard
+  /// counters and latency histograms coexist in one registry.
+  std::string metric_prefix = "serve.";
 };
 
 struct EngineStats {
@@ -85,6 +104,14 @@ class Engine {
 
   /// Answers one request synchronously.
   TopKResponse TopK(const TopKRequest& request);
+
+  /// Like TopK, but the deadline is measured from `enqueue` rather than
+  /// from the call — the entry point for external queues (shard workers)
+  /// whose requests spent time waiting before reaching the engine. A
+  /// request dequeued past its deadline fails fast without touching the
+  /// session.
+  TopKResponse TopKAt(const TopKRequest& request,
+                      std::chrono::steady_clock::time_point enqueue);
 
   /// Answers a batch; response i corresponds to request i. All requests
   /// share one enqueue instant, so the whole batch races one deadline —

@@ -322,4 +322,11 @@ JsonWriter& JsonWriter::Element(double value) {
   return *this;
 }
 
+JsonWriter& JsonWriter::RawElement(const std::string& json) {
+  Comma();
+  out_ += json;
+  need_comma_ = true;
+  return *this;
+}
+
 }  // namespace pa::serve

@@ -61,6 +61,8 @@ class JsonWriter {
   JsonWriter& RawField(const std::string& key, const std::string& json);
   JsonWriter& Element(int64_t value);
   JsonWriter& Element(double value);
+  /// Raw (pre-serialized) array element, e.g. a nested object per entry.
+  JsonWriter& RawElement(const std::string& json);
 
   const std::string& str() const { return out_; }
 

@@ -19,24 +19,44 @@
 //     Repoints ACTIVE (rollback / roll-forward).
 //
 //   pa_serve serve --store DIR --model LSTM [--version N] [--deadline-ms N]
-//                  [--metrics-port N]
+//                  [--shards K] [--queue-capacity N] [--metrics-port N]
 //     Loads the model and answers newline-delimited JSON requests on stdin,
 //     one response line per request on stdout:
 //
 //       {"op":"observe","user":3,"poi":17,"timestamp":7200}
 //       {"op":"topk","user":3,"k":5,"timestamp":10800}
+//       {"op":"topk","user":3,"k":5,"timestamp":10800,"strict":true}
 //       {"op":"stats"}
+//       {"op":"activate","version":2}
 //       {"op":"quit"}
 //
-//     The stats reply carries both the engine digest and a full
-//     obs::MetricRegistry snapshot ("registry": counters, gauges,
-//     histogram percentiles for every instrumented subsystem).
+//     Responses are a structured envelope (DESIGN.md "Networked serving"):
+//     {"ok":true,"status":"ok",...} on success, {"ok":false,"code":
+//     "bad_request|overloaded|deadline_exceeded|unknown_user","error":...}
+//     on failure; an "id" field in the request is echoed back. The stats
+//     reply carries the aggregate + per-shard digests and a full
+//     obs::MetricRegistry snapshot.
 //
 //     Request traffic stays on stdin/stdout; `--metrics-port N` (0 = an
 //     ephemeral port, printed to stderr) additionally starts the loopback
 //     HTTP exposition server with GET /metrics (Prometheus text), /varz
 //     (registry JSON) and /healthz (component health, 503 on FAILED) so a
 //     scraper can watch a long-lived loop.
+//
+//   pa_serve listen --store DIR --model LSTM [--version N] [--port N]
+//                   [--shards K] [--deadline-ms N] [--queue-capacity N]
+//                   [--idle-timeout-ms N] [--metrics-port N]
+//     The networked front-end: a poll-driven loopback TCP server speaking
+//     the same NDJSON protocol as `serve` (one request line in, one
+//     response line out, pipelining allowed — responses come back in
+//     request order per connection), dispatching into K shard workers that
+//     each own a consistent-hash partition of the user space. --port 0
+//     binds an ephemeral port; the bound port is announced on stderr as
+//     "listening on 127.0.0.1:PORT". Overload is shed per shard with a
+//     typed "overloaded" envelope. {"op":"activate","version":N} flips all
+//     shards to a new model version with zero dropped requests; {"op":
+//     "quit"}, SIGINT or SIGTERM drain gracefully (responses for admitted
+//     requests are flushed before exit).
 //
 //   pa_serve stats --store DIR [--model LSTM] [--version N] [--probe N]
 //     Loads the model, drives a small probe workload (N users each observe
@@ -52,6 +72,8 @@
 // registry snapshot per period with delta-encoded counters.
 
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -62,6 +84,9 @@
 #include <string>
 #include <vector>
 
+#include "net/ndjson_protocol.h"
+#include "net/ndjson_server.h"
+#include "net/sharded_engine.h"
 #include "obs/health.h"
 #include "obs/http_exposition.h"
 #include "obs/metrics.h"
@@ -144,9 +169,9 @@ bool ParseFlags(int argc, char** argv, int first, Flags* flags) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: pa_serve <publish|list|activate|serve|stats> --store "
-               "DIR [options]\n(see the header of src/serve/pa_serve_main.cc)"
-               "\n");
+               "usage: pa_serve <publish|list|activate|serve|listen|stats> "
+               "--store DIR [options]\n(see the header of "
+               "src/serve/pa_serve_main.cc)\n");
   return 2;
 }
 
@@ -245,17 +270,12 @@ void Reply(const std::string& json) {
   std::fflush(stdout);  // A line-oriented peer must see the line now.
 }
 
-void ReplyError(const std::string& why) {
-  serve::JsonWriter w;
-  w.BeginObject().Field("ok", false).Field("error", why).EndObject();
-  Reply(w.str());
-}
-
-int CmdServe(const Flags& flags) {
-  serve::ModelStore store(flags.Get("store", "model_store"));
+/// Loads the model named by --model/--version (active version when no
+/// --version). Returns nullptr after printing a diagnostic.
+std::shared_ptr<const serve::LoadedModel> LoadServingModel(
+    const serve::ModelStore& store, const Flags& flags) {
   const std::string name = flags.Get("model", "LSTM");
   const int version = static_cast<int>(flags.GetInt("version", -1));
-
   serve::LoadedModel loaded;
   std::string error;
   const bool ok = version > 0 ? store.Load(name, version, &loaded, &error)
@@ -263,80 +283,144 @@ int CmdServe(const Flags& flags) {
   if (!ok) {
     std::fprintf(stderr, "pa_serve: cannot load \"%s\": %s\n", name.c_str(),
                  error.c_str());
-    return 1;
+    return nullptr;
   }
+  return std::make_shared<const serve::LoadedModel>(std::move(loaded));
+}
 
-  serve::EngineConfig config;
+net::ShardedEngineConfig ShardConfigFromFlags(const Flags& flags) {
+  net::ShardedEngineConfig config;
+  config.num_shards =
+      static_cast<int>(std::max(1L, flags.GetInt("shards", 1)));
   config.deadline_ms = flags.GetInt("deadline-ms", 250);
-  const int num_pois = loaded.pois->size();
-  serve::Engine engine(
-      std::make_shared<const serve::LoadedModel>(std::move(loaded)), config);
-  std::fprintf(stderr, "pa_serve: serving %s (%d POIs); reading NDJSON\n",
-               engine.model_name().c_str(), num_pois);
+  config.queue_capacity =
+      static_cast<size_t>(std::max(1L, flags.GetInt("queue-capacity", 256)));
+  return config;
+}
+
+/// Starts the metrics exposition server when --metrics-port is present.
+/// Returns false on bind failure (diagnostic already printed).
+bool MaybeStartExposition(const Flags& flags,
+                          obs::ExpositionServer* exposition) {
+  if (!flags.values.count("metrics-port")) return true;
+  const long port = flags.GetInt("metrics-port", 0);
+  if (port < 0 || port > 65535 ||
+      !exposition->Start(static_cast<uint16_t>(port))) {
+    std::fprintf(stderr, "pa_serve: cannot bind metrics port %ld\n", port);
+    return false;
+  }
+  // Machine-parseable (tier1 smoke reads this line to find an ephemeral
+  // port).
+  std::fprintf(stderr, "pa_serve: metrics listening on http://127.0.0.1:%u\n",
+               static_cast<unsigned>(exposition->port()));
+  return true;
+}
+
+int CmdServe(const Flags& flags) {
+  serve::ModelStore store(flags.Get("store", "model_store"));
+  std::shared_ptr<const serve::LoadedModel> loaded =
+      LoadServingModel(store, flags);
+  if (!loaded) return 1;
+
+  const int num_pois = loaded->pois->size();
+  net::ShardedEngine engine(loaded, ShardConfigFromFlags(flags));
+  std::fprintf(stderr,
+               "pa_serve: serving %s (%d POIs, %d shard%s); reading NDJSON\n",
+               engine.model_name().c_str(), num_pois, engine.num_shards(),
+               engine.num_shards() == 1 ? "" : "s");
   obs::HealthRegistry::Global().Set("serve.model", obs::HealthStatus::kOk,
                                     engine.model_name());
 
   obs::ExpositionServer exposition;
-  if (flags.values.count("metrics-port")) {
-    const long port = flags.GetInt("metrics-port", 0);
-    if (port < 0 || port > 65535 ||
-        !exposition.Start(static_cast<uint16_t>(port))) {
-      std::fprintf(stderr, "pa_serve: cannot bind metrics port %ld\n", port);
-      return 1;
-    }
-    // Machine-parseable (tier1 smoke reads this line to find an ephemeral
-    // port).
-    std::fprintf(stderr, "pa_serve: metrics listening on http://127.0.0.1:%u\n",
-                 static_cast<unsigned>(exposition.port()));
-  }
+  if (!MaybeStartExposition(flags, &exposition)) return 1;
+
+  net::NdjsonDispatcher::Options options;
+  options.store = &store;
+  options.default_model = flags.Get("model", "LSTM");
+  net::NdjsonDispatcher dispatcher(&engine, options);
 
   std::string line;
   while (std::getline(std::cin, line)) {
     if (line.empty()) continue;
-    std::map<std::string, serve::JsonValue> request;
-    std::string parse_error;
-    if (!serve::ParseFlatObject(line, &request, &parse_error)) {
-      ReplyError("bad request: " + parse_error);
-      continue;
-    }
-    const std::string op = request["op"].string;
-    if (op == "quit") {
-      break;
-    } else if (op == "observe") {
-      poi::Checkin checkin;
-      checkin.user = static_cast<int32_t>(request["user"].AsInt());
-      checkin.poi = static_cast<int32_t>(request["poi"].AsInt());
-      checkin.timestamp = request["timestamp"].AsInt();
-      engine.Observe(checkin);
-      serve::JsonWriter w;
-      w.BeginObject().Field("ok", true).EndObject();
-      Reply(w.str());
-    } else if (op == "topk") {
-      serve::TopKRequest topk;
-      topk.user = static_cast<int32_t>(request["user"].AsInt());
-      topk.k = request.count("k") ? static_cast<int>(request["k"].AsInt()) : 10;
-      topk.next_timestamp = request["timestamp"].AsInt();
-      const serve::TopKResponse response = engine.TopK(topk);
-      serve::JsonWriter w;
-      w.BeginObject()
-          .Field("ok", true)
-          .Field("status", serve::RequestStatusName(response.status))
-          .Field("latency_micros", response.latency_micros);
-      w.BeginArray("pois");
-      for (const int32_t poi : response.pois) w.Element(int64_t{poi});
-      w.EndArray().EndObject();
-      Reply(w.str());
-    } else if (op == "stats") {
-      serve::JsonWriter w;
-      w.BeginObject().Field("ok", true).RawField("stats",
-                                                 engine.Stats().ToJson());
-      w.RawField("registry", obs::MetricRegistry::Global().SnapshotJson());
-      w.EndObject();
-      Reply(w.str());
-    } else {
-      ReplyError("unknown op \"" + op + "\" (observe, topk, stats, quit)");
-    }
+    bool quit = false;
+    Reply(dispatcher.HandleLine(line, &quit));
+    if (quit) break;
   }
+  return 0;
+}
+
+// SIGINT/SIGTERM → graceful drain of the active listener. A plain pointer
+// set before the handlers are installed; RequestShutdown is
+// async-signal-safe by contract.
+net::NdjsonServer* g_listen_server = nullptr;
+
+void HandleListenSignal(int) {
+  if (g_listen_server) g_listen_server->RequestShutdown();
+}
+
+int CmdListen(const Flags& flags) {
+  serve::ModelStore store(flags.Get("store", "model_store"));
+  std::shared_ptr<const serve::LoadedModel> loaded =
+      LoadServingModel(store, flags);
+  if (!loaded) return 1;
+
+  const int num_pois = loaded->pois->size();
+  net::ShardedEngine engine(loaded, ShardConfigFromFlags(flags));
+  obs::HealthRegistry::Global().Set("serve.model", obs::HealthStatus::kOk,
+                                    engine.model_name());
+
+  obs::ExpositionServer exposition;
+  if (!MaybeStartExposition(flags, &exposition)) return 1;
+
+  net::NdjsonServer server;
+  net::NdjsonDispatcher::Options options;
+  options.store = &store;
+  options.default_model = flags.Get("model", "LSTM");
+  options.on_quit = [&server] { server.RequestShutdown(); };
+  net::NdjsonDispatcher dispatcher(&engine, options);
+
+  net::NdjsonServerConfig server_config;
+  const long port = flags.GetInt("port", 0);
+  if (port < 0 || port > 65535) {
+    std::fprintf(stderr, "pa_serve: bad --port %ld\n", port);
+    return 1;
+  }
+  server_config.port = static_cast<uint16_t>(port);
+  server_config.idle_timeout_ms =
+      static_cast<int>(flags.GetInt("idle-timeout-ms", 60'000));
+
+  std::string error;
+  if (!server.Start(server_config,
+                    [&dispatcher, &server](uint64_t conn, uint64_t seq,
+                                           std::string line) {
+                      dispatcher.HandleLineAsync(
+                          std::move(line),
+                          [conn, seq, &server](std::string response) {
+                            server.Reply(conn, seq, std::move(response));
+                          });
+                    },
+                    &error)) {
+    std::fprintf(stderr, "pa_serve: cannot listen: %s\n", error.c_str());
+    return 1;
+  }
+
+  g_listen_server = &server;
+  std::signal(SIGINT, HandleListenSignal);
+  std::signal(SIGTERM, HandleListenSignal);
+
+  // Machine-parseable (tier1 listen smoke and bench_serving read this line
+  // to find the ephemeral port).
+  std::fprintf(stderr, "pa_serve: listening on 127.0.0.1:%u (%s, %d POIs, %d "
+               "shard%s)\n",
+               static_cast<unsigned>(server.port()),
+               engine.model_name().c_str(), num_pois, engine.num_shards(),
+               engine.num_shards() == 1 ? "" : "s");
+  std::fflush(stderr);
+
+  server.Wait();
+  g_listen_server = nullptr;
+  obs::HealthRegistry::Global().Remove("serve.model");
+  std::fprintf(stderr, "pa_serve: drained, shutting down\n");
   return 0;
 }
 
@@ -417,6 +501,7 @@ int main(int argc, char** argv) {
   if (command == "list") return CmdList(flags);
   if (command == "activate") return CmdActivate(flags);
   if (command == "serve") return CmdServe(flags);
+  if (command == "listen") return CmdListen(flags);
   if (command == "stats") return CmdStats(flags);
   return Usage();
 }

@@ -123,6 +123,12 @@ std::vector<int32_t> SessionStore::TopK(int32_t user, int k,
   return entry->session->TopK(k, next_timestamp);
 }
 
+bool SessionStore::HasHistory(int32_t user) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = history_.find(user);
+  return it != history_.end() && !it->second.empty();
+}
+
 void SessionStore::Clear() {
   std::list<LruNode> dropped;
   {

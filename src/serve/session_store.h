@@ -71,6 +71,10 @@ class SessionStore {
   /// Top-k POI ids for the user's next check-in, best first.
   std::vector<int32_t> TopK(int32_t user, int k, int64_t next_timestamp);
 
+  /// True iff the user has at least one observed (or seeded) check-in.
+  /// Does not touch the LRU or the traffic counters.
+  bool HasHistory(int32_t user) const;
+
   /// Drops every session AND every history (model swap: old state is
   /// meaningless against new parameters).
   void Clear();
