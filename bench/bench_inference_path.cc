@@ -4,7 +4,9 @@
 //   * lstm_forward      — per-step ns/op for an LSTM-shaped rollout
 //                         (embedding -> LstmCell -> detach) at the production
 //                         NeuralRecConfig shape (embedding 16, hidden 24).
-//                         The gated workload: graph-free must be >= 2x.
+//                         The gated workload: graph-free must be >= 2x, and
+//                         the fused compiled-step replay >= 1.3x over the
+//                         unfused graph-free path.
 //   * st_clstm_forward  — the same rollout through the ST-CLSTM cell.
 //   * lstm_forward_h128 — informational larger-hidden variant, where raw
 //                         MatMul flops start to amortise the graph overhead.
@@ -23,6 +25,15 @@
 // the non-smoke gate requires >= 1.5x on the lstm/st_clstm fast paths. All
 // other arms are pinned to the best SIMD table, so the gates don't depend
 // on the PA_SIMD environment the bench happens to run under.
+//
+// Schema v3 adds the operator-fusion arm: `nograph` runs under
+// ScopedFusionDisable (the exact pre-fusion fast path, so its history stays
+// comparable across PRs), and a fourth interleaved `fused` arm runs the
+// default path, where RunStep replays the compiled per-cell program.
+// *_fused_speedup is nograph-ns / fused-ns, gated >= 1.3x on lstm and
+// st_clstm in full mode; the fused rollout must stay bit-identical to the
+// unfused one (same dispatch table — the fused kernels reuse each table's
+// own sigmoid/tanh bodies).
 //
 // The graph-building reference runs under
 // tensor::internal::ScopedInferenceDisable, which turns the wired-in
@@ -60,6 +71,7 @@
 #include "rec/registry.h"
 #include "serve/json.h"
 #include "tensor/buffer_pool.h"
+#include "tensor/compiled_step.h"
 #include "tensor/kernels/kernels.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
@@ -99,8 +111,9 @@ void OneArmPass(InitFn& init, StepFn& step, int steps, int rollouts,
 
 struct ModePair {
   RolloutResult graph;
-  RolloutResult nograph;
+  RolloutResult nograph;         // Fast path, fusion disabled (PR 3/6 arm).
   RolloutResult nograph_scalar;  // Fast path, scalar reference kernels.
+  RolloutResult fused;           // Default path: compiled-step replay.
   double speedup() const {
     return nograph.ns_per_step > 0.0 ? graph.ns_per_step / nograph.ns_per_step
                                      : 0.0;
@@ -110,7 +123,15 @@ struct ModePair {
                ? nograph_scalar.ns_per_step / nograph.ns_per_step
                : 0.0;
   }
-  bool identical() const { return graph.final_h == nograph.final_h; }
+  double fused_speedup() const {
+    return fused.ns_per_step > 0.0
+               ? nograph.ns_per_step / fused.ns_per_step
+               : 0.0;
+  }
+  bool identical() const {
+    return graph.final_h == nograph.final_h &&
+           nograph.final_h == fused.final_h;
+  }
 };
 
 // Best-of-`reps` for all arms, with the arms *interleaved* per rep: slow
@@ -131,6 +152,7 @@ ModePair TimeModePair(InitFn init, GraphFn step_graph, FastFn step_fast,
   pair.graph.ns_per_step = 1e300;
   pair.nograph.ns_per_step = 1e300;
   pair.nograph_scalar.ns_per_step = 1e300;
+  pair.fused.ns_per_step = 1e300;
   for (int r = -1; r < reps; ++r) {
     RolloutResult warmup_sink{1e300, {}};
     {
@@ -140,16 +162,27 @@ ModePair TimeModePair(InitFn init, GraphFn step_graph, FastFn step_fast,
                  r < 0 ? &warmup_sink : &pair.graph);
     }
     {
+      // The pre-fusion fast path: fusion off keeps this arm's history
+      // comparable with the PR 3/6 numbers it gated on.
+      tensor::fusion::ScopedFusionDisable no_fusion;
       tensor::InferenceModeScope scope;
       OneArmPass(init, step_fast, steps, rollouts,
                  r < 0 ? &warmup_sink : &pair.nograph);
     }
     {
+      tensor::fusion::ScopedFusionDisable no_fusion;
       tensor::kernels::SetDispatchOverride(&scalar);
       tensor::InferenceModeScope scope;
       OneArmPass(init, step_fast, steps, rollouts,
                  r < 0 ? &warmup_sink : &pair.nograph_scalar);
       tensor::kernels::SetDispatchOverride(&simd);
+    }
+    {
+      // Default path: the warmup rep records and compiles the step, so the
+      // timed reps measure pure replay.
+      tensor::InferenceModeScope scope;
+      OneArmPass(init, step_fast, steps, rollouts,
+                 r < 0 ? &warmup_sink : &pair.fused);
     }
   }
   return pair;
@@ -352,10 +385,12 @@ int Run(bool smoke) {
 
   auto report = [](const char* name, const ModePair& p) {
     std::printf("  %-18s graph %9.1f ns/op   graph-free %9.1f ns/op   "
-                "%5.2fx   bit-identical: %s   simd %5.2fx (scalar %9.1f)\n",
+                "%5.2fx   bit-identical: %s   simd %5.2fx (scalar %9.1f)   "
+                "fused %9.1f ns/op %5.2fx\n",
                 name, p.graph.ns_per_step, p.nograph.ns_per_step, p.speedup(),
                 p.identical() ? "YES" : "NO", p.simd_speedup(),
-                p.nograph_scalar.ns_per_step);
+                p.nograph_scalar.ns_per_step, p.fused.ns_per_step,
+                p.fused_speedup());
   };
   report("lstm_forward", lstm);
   report("st_clstm_forward", st_clstm);
@@ -439,26 +474,33 @@ int Run(bool smoke) {
   serve::JsonWriter w;
   w.BeginObject()
       .Field("bench", "inference_path")
-      .Field("schema_version", 2)
+      .Field("schema_version", 3)
       .Field("smoke", smoke)
       .Field("simd_table", tensor::kernels::BestSimdTable().name)
+      .Field("fusion_enabled", tensor::fusion::Enabled())
       .Field("lstm_forward_graph_ns_op", lstm.graph.ns_per_step)
       .Field("lstm_forward_nograph_ns_op", lstm.nograph.ns_per_step)
       .Field("lstm_forward_speedup", lstm.speedup())
       .Field("lstm_forward_scalar_ns_op", lstm.nograph_scalar.ns_per_step)
       .Field("lstm_forward_simd_speedup", lstm.simd_speedup())
+      .Field("lstm_forward_fused_ns_op", lstm.fused.ns_per_step)
+      .Field("lstm_forward_fused_speedup", lstm.fused_speedup())
       .Field("st_clstm_forward_graph_ns_op", st_clstm.graph.ns_per_step)
       .Field("st_clstm_forward_nograph_ns_op", st_clstm.nograph.ns_per_step)
       .Field("st_clstm_forward_speedup", st_clstm.speedup())
       .Field("st_clstm_forward_scalar_ns_op",
              st_clstm.nograph_scalar.ns_per_step)
       .Field("st_clstm_forward_simd_speedup", st_clstm.simd_speedup())
+      .Field("st_clstm_forward_fused_ns_op", st_clstm.fused.ns_per_step)
+      .Field("st_clstm_forward_fused_speedup", st_clstm.fused_speedup())
       .Field("lstm_forward_h128_graph_ns_op", lstm_big.graph.ns_per_step)
       .Field("lstm_forward_h128_nograph_ns_op", lstm_big.nograph.ns_per_step)
       .Field("lstm_forward_h128_speedup", lstm_big.speedup())
       .Field("lstm_forward_h128_scalar_ns_op",
              lstm_big.nograph_scalar.ns_per_step)
       .Field("lstm_forward_h128_simd_speedup", lstm_big.simd_speedup())
+      .Field("lstm_forward_h128_fused_ns_op", lstm_big.fused.ns_per_step)
+      .Field("lstm_forward_h128_fused_speedup", lstm_big.fused_speedup())
       .Field("topk_graph_qps", topk_graph.qps)
       .Field("topk_nograph_qps", topk_fast.qps)
       .Field("topk_speedup", topk_speedup)
@@ -508,6 +550,22 @@ int Run(bool smoke) {
         stderr,
         "FAIL: st_clstm_forward SIMD kernels %.2fx < 1.5x over scalar\n",
         st_clstm.simd_speedup());
+    return 1;
+  }
+  // Fused-replay gates only apply when fusion is actually on (the PA_FUSION
+  // escape hatch turns the fused arm into a second unfused pass).
+  if (!smoke && tensor::fusion::Enabled() && lstm.fused_speedup() < 1.3) {
+    std::fprintf(stderr,
+                 "FAIL: lstm_forward fused replay %.2fx < 1.3x over the "
+                 "unfused fast path\n",
+                 lstm.fused_speedup());
+    return 1;
+  }
+  if (!smoke && tensor::fusion::Enabled() && st_clstm.fused_speedup() < 1.3) {
+    std::fprintf(stderr,
+                 "FAIL: st_clstm_forward fused replay %.2fx < 1.3x over the "
+                 "unfused fast path\n",
+                 st_clstm.fused_speedup());
     return 1;
   }
   if (!smoke && topk_int8.qps <= topk_fast.qps) {

@@ -73,6 +73,20 @@ INFERENCE_PATH_V2_KEYS = (
     "quant_hr_drift",
 )
 
+# inference_path grew the operator-fusion / compiled-step arm in
+# schema_version 3: `nograph` pins fusion off (comparable with v2 history)
+# and the fused arm replays the compiled per-cell program;
+# *_fused_speedup = nograph_ns / fused_ns.
+INFERENCE_PATH_V3_KEYS = (
+    "fusion_enabled",
+    "lstm_forward_fused_ns_op",
+    "lstm_forward_fused_speedup",
+    "st_clstm_forward_fused_ns_op",
+    "st_clstm_forward_fused_speedup",
+    "lstm_forward_h128_fused_ns_op",
+    "lstm_forward_h128_fused_speedup",
+)
+
 # serving grew the sharded-router, networked and overload arms in
 # schema_version 2 (bench_serving: ShardedEngine scaling, NdjsonServer
 # replay with a live model flip, paced 2x-overload shedding).
@@ -285,6 +299,14 @@ def check_schema(paths):
             if isinstance(drift, (int, float)) and \
                     not isinstance(drift, bool) and drift < 0.0:
                 problems.append(f"'quant_hr_drift' must be >= 0 ({drift})")
+        if doc.get("bench") == "inference_path" and \
+                isinstance(doc.get("schema_version"), int) and \
+                doc["schema_version"] >= 3:
+            for key in INFERENCE_PATH_V3_KEYS:
+                if key not in doc:
+                    problems.append(f"inference_path v3 missing '{key}'")
+            if not isinstance(doc.get("fusion_enabled"), bool):
+                problems.append("'fusion_enabled' must be a boolean")
         if doc.get("bench") == "serving" and \
                 isinstance(doc.get("schema_version"), int) and \
                 doc["schema_version"] >= 2:

@@ -23,8 +23,15 @@ ctest --test-dir build --output-on-failure -j"$(nproc)"
 # whatever table the host auto-selected above.
 for simd in scalar auto; do
   PA_SIMD=$simd ctest --test-dir build --output-on-failure \
-    -R 'tensor_kernels_test|tensor_ops_test|tensor_inference_test|inference_equivalence_test'
+    -R 'tensor_kernels_test|tensor_ops_test|tensor_inference_test|tensor_fusion_test|inference_equivalence_test'
 done
+
+# Fusion escape-hatch cross-check: the compiled-step suites rerun with
+# PA_FUSION=off, proving the unfused fast path still stands on its own (and
+# that the fusion tests' assertions degrade gracefully when the recorder
+# never engages).
+PA_FUSION=off ctest --test-dir build --output-on-failure \
+  -R 'tensor_fusion_test|inference_equivalence_test'
 
 # Inference fast-path smoke: the bench binary in --smoke mode checks
 # bit-identity between the graph and graph-free forward paths (skipping the
@@ -234,25 +241,28 @@ cmake -B build-tsan -S . -DPA_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$(nproc)" --target \
   util_thread_pool_test parallel_determinism_test \
   serve_session_store_test serve_engine_test \
-  tensor_inference_test inference_equivalence_test tensor_kernels_test \
+  tensor_inference_test tensor_fusion_test inference_equivalence_test \
+  tensor_kernels_test \
   obs_metrics_test obs_trace_test \
   obs_health_test obs_telemetry_test obs_http_exposition_test \
   net_server_test serve_shard_test
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'util_thread_pool_test|parallel_determinism_test|serve_session_store_test|serve_engine_test|tensor_inference_test|inference_equivalence_test|tensor_kernels_test|obs_metrics_test|obs_trace_test|obs_health_test|obs_telemetry_test|obs_http_exposition_test|net_server_test|serve_shard_test'
+  -R 'util_thread_pool_test|parallel_determinism_test|serve_session_store_test|serve_engine_test|tensor_inference_test|tensor_fusion_test|inference_equivalence_test|tensor_kernels_test|obs_metrics_test|obs_trace_test|obs_health_test|obs_telemetry_test|obs_http_exposition_test|net_server_test|serve_shard_test'
 
 # ASan/UBSan pass over the checkpoint parser, the serving subsystem, and
 # the kernel layer: these tests feed truncated/corrupted byte streams,
 # hammer the session LRU from request paths, and push NaN/inf/denormal edge
 # tensors through every kernel table — exactly where memory bugs and UB
 # (bad float->int casts, OOB tails past a vector width) would hide. The
-# kernel suite runs under both PA_SIMD extremes here too.
+# kernel suite runs under both PA_SIMD extremes here too, and the fusion
+# suite rides along because compiled-step replay hands raw pointer offsets
+# (views into gates buffers, arena slots) straight to the kernels.
 cmake -B build-asan -S . -DPA_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j"$(nproc)" --target \
   nn_serialize_test serve_json_test serve_artifact_test \
   serve_model_store_test serve_session_store_test serve_engine_test \
-  tensor_kernels_test
+  tensor_kernels_test tensor_fusion_test
 ctest --test-dir build-asan --output-on-failure \
-  -R 'nn_serialize_test|serve_json_test|serve_artifact_test|serve_model_store_test|serve_session_store_test|serve_engine_test|tensor_kernels_test'
+  -R 'nn_serialize_test|serve_json_test|serve_artifact_test|serve_model_store_test|serve_session_store_test|serve_engine_test|tensor_kernels_test|tensor_fusion_test'
 PA_SIMD=scalar ctest --test-dir build-asan --output-on-failure \
-  -R 'tensor_kernels_test'
+  -R 'tensor_kernels_test|tensor_fusion_test'

@@ -197,7 +197,10 @@ tensor::Tensor PaSeq2Seq::Decode(
     s1 = dec_bottom_.ForwardZoneout(x, s1, zoneout, training, zrng);
     Tensor top_in = s1.h;
     if (config_.use_residual) {
-      top_in = tensor::Add(top_in, dec_input_projection_.Forward(x));
+      // Both operands moved: the dying projection result is overwritten
+      // in place under inference (top_in still shares s1.h, so it takes
+      // the allocating path automatically).
+      top_in = tensor::Add(std::move(top_in), dec_input_projection_.Forward(x));
     }
     s2 = dec_top_.ForwardZoneout(top_in, s2, zoneout, training, zrng);
 
@@ -255,7 +258,10 @@ tensor::Tensor PaSeq2Seq::DecoderLmLoss(const WorkItem& item,
     s1 = dec_bottom_.ForwardZoneout(x, s1, zoneout, /*training=*/true, zrng);
     Tensor top_in = s1.h;
     if (config_.use_residual) {
-      top_in = tensor::Add(top_in, dec_input_projection_.Forward(x));
+      // Both operands moved: the dying projection result is overwritten
+      // in place under inference (top_in still shares s1.h, so it takes
+      // the allocating path automatically).
+      top_in = tensor::Add(std::move(top_in), dec_input_projection_.Forward(x));
     }
     s2 = dec_top_.ForwardZoneout(top_in, s2, zoneout, /*training=*/true, zrng);
     loss_rows.push_back(output_.Forward(s2.h));
@@ -797,7 +803,10 @@ std::vector<int32_t> PaSeq2Seq::ImputeBeam(const MaskedSequence& masked,
                                            /*training=*/false, rng_);
       Tensor top_in = next.s1.h;
       if (config_.use_residual) {
-        top_in = tensor::Add(top_in, dec_input_projection_.Forward(x));
+        // Both operands moved: the dying projection result is overwritten
+      // in place under inference (top_in still shares s1.h, so it takes
+      // the allocating path automatically).
+      top_in = tensor::Add(std::move(top_in), dec_input_projection_.Forward(x));
       }
       next.s2 = dec_top_.ForwardZoneout(top_in, beam.s2, zoneout,
                                         /*training=*/false, rng_);

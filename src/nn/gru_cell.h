@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "nn/module.h"
+#include "tensor/compiled_step.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
 
@@ -38,6 +39,7 @@ class GruCell : public Module {
   tensor::Tensor w_x_;  // [input_dim, 3 * hidden] for z, r, n.
   tensor::Tensor w_h_;  // [hidden, 3 * hidden]
   tensor::Tensor b_;    // [1, 3 * hidden]
+  tensor::fusion::StepSite site_;
 };
 
 }  // namespace pa::nn

@@ -22,13 +22,11 @@ Tensor BernoulliMask(tensor::Shape shape, float keep_prob, util::Rng& rng) {
 }
 
 // blend = mask * prev + (1 - mask) * next, where mask carries no gradient.
-Tensor ZoneoutBlend(const Tensor& mask, const Tensor& prev,
-                    const Tensor& next) {
-  Tensor inv = Tensor::Zeros(mask.shape());
-  for (int64_t i = 0; i < mask.numel(); ++i) {
-    inv.data()[i] = 1.0f - mask.data()[i];
-  }
-  return tensor::Add(tensor::Mul(prev, mask), tensor::Mul(next, inv));
+// One fused pass (bit-identical to the old Mul/Mul/Add composition — see
+// Lerp in ops.h); `next` is the dying fresh state, overwritten in place
+// under inference mode.
+Tensor ZoneoutBlend(const Tensor& mask, const Tensor& prev, Tensor&& next) {
+  return tensor::Lerp(mask, prev, std::move(next));
 }
 
 }  // namespace
@@ -46,17 +44,23 @@ LstmCell::LstmCell(int input_dim, int hidden_dim, util::Rng& rng)
 LstmState LstmCell::Forward(const tensor::Tensor& x,
                             const LstmState& prev) const {
   const int h = hidden_dim_;
-  Tensor gates = tensor::Add(
-      tensor::Add(tensor::MatMul(x, w_x_), tensor::MatMul(prev.h, w_h_)), b_);
-  Tensor i = tensor::Sigmoid(tensor::SliceCols(gates, 0, h));
-  Tensor f = tensor::Sigmoid(tensor::SliceCols(gates, h, h));
-  Tensor g = tensor::Tanh(tensor::SliceCols(gates, 2 * h, h));
-  Tensor o = tensor::Sigmoid(tensor::SliceCols(gates, 3 * h, h));
-  Tensor c = tensor::Add(tensor::Mul(f, prev.c), tensor::Mul(i, g));
-  Tensor hh = tensor::Mul(o, tensor::Tanh(c));
-  // Move: h and c are dead locals, and shared_ptr copies cost a locked
-  // refcount pair each — measurable next to a 24-wide cell step.
-  return {std::move(hh), std::move(c)};
+  std::vector<Tensor> out = tensor::fusion::RunStep(
+      site_, /*variant=*/0, {x, prev.h, prev.c}, {},
+      [&]() -> std::vector<Tensor> {
+        Tensor gates = tensor::Add(
+            tensor::Add(tensor::MatMul(x, w_x_), tensor::MatMul(prev.h, w_h_)),
+            b_);
+        Tensor i = tensor::Sigmoid(tensor::SliceCols(gates, 0, h));
+        Tensor f = tensor::Sigmoid(tensor::SliceCols(gates, h, h));
+        Tensor g = tensor::Tanh(tensor::SliceCols(gates, 2 * h, h));
+        Tensor o = tensor::Sigmoid(tensor::SliceCols(gates, 3 * h, h));
+        Tensor c = tensor::Add(tensor::Mul(f, prev.c), tensor::Mul(i, g));
+        Tensor hh = tensor::Mul(o, tensor::Tanh(c));
+        // Move: h and c are dead locals, and shared_ptr copies cost a locked
+        // refcount pair each — measurable next to a 24-wide cell step.
+        return {std::move(hh), std::move(c)};
+      });
+  return {std::move(out[0]), std::move(out[1])};
 }
 
 LstmState LstmCell::ForwardZoneout(const tensor::Tensor& x,
@@ -68,21 +72,23 @@ LstmState LstmCell::ForwardZoneout(const tensor::Tensor& x,
   if (training) {
     if (zoneout.hidden_prob > 0.0f) {
       Tensor mask = BernoulliMask(next.h.shape(), zoneout.hidden_prob, rng);
-      next.h = ZoneoutBlend(mask, prev.h, next.h);
+      next.h = ZoneoutBlend(mask, prev.h, std::move(next.h));
     }
     if (zoneout.cell_prob > 0.0f) {
       Tensor mask = BernoulliMask(next.c.shape(), zoneout.cell_prob, rng);
-      next.c = ZoneoutBlend(mask, prev.c, next.c);
+      next.c = ZoneoutBlend(mask, prev.c, std::move(next.c));
     }
   } else {
-    // Evaluation uses the expected blend.
+    // Evaluation uses the expected blend: one fused axpby pass, overwriting
+    // the dying fresh state in place instead of two Scale temporaries plus
+    // an Add.
     if (zoneout.hidden_prob > 0.0f) {
-      next.h = tensor::Add(tensor::Scale(prev.h, zoneout.hidden_prob),
-                           tensor::Scale(next.h, 1.0f - zoneout.hidden_prob));
+      next.h = tensor::Axpby(prev.h, zoneout.hidden_prob, std::move(next.h),
+                             1.0f - zoneout.hidden_prob);
     }
     if (zoneout.cell_prob > 0.0f) {
-      next.c = tensor::Add(tensor::Scale(prev.c, zoneout.cell_prob),
-                           tensor::Scale(next.c, 1.0f - zoneout.cell_prob));
+      next.c = tensor::Axpby(prev.c, zoneout.cell_prob, std::move(next.c),
+                             1.0f - zoneout.cell_prob);
     }
   }
   return next;
@@ -158,7 +164,11 @@ std::vector<tensor::Tensor> ResidualBiLstmStack::Forward(
     if (use_residual_) {
       tensor::Tensor skip =
           input_projection_ ? input_projection_->Forward(xs[t]) : xs[t];
-      top_in = tensor::Add(top_in, skip);  // x^1 = h^1 + x^0 (paper Eq. 3)
+      // x^1 = h^1 + x^0 (paper Eq. 3). Both operands are moved: the dying
+      // one (the projection result, when there is one) is overwritten in
+      // place under inference; tensors still shared (bottom_out[t], xs[t])
+      // fail the sole-owner test and take the allocating path unchanged.
+      top_in = tensor::Add(std::move(top_in), std::move(skip));
     }
     state = top_.Forward(top_in, state);
     out[t] = state.h;

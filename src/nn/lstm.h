@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "nn/module.h"
+#include "tensor/compiled_step.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
 
@@ -61,6 +62,9 @@ class LstmCell : public Module {
   tensor::Tensor w_x_;  // [input_dim, 4 * hidden_dim]
   tensor::Tensor w_h_;  // [hidden_dim, 4 * hidden_dim]
   tensor::Tensor b_;    // [1, 4 * hidden_dim]
+  // Compiled-step identity of this cell's Forward body; a fresh cell (or a
+  // copy) gets a fresh id, so rebuilt models never replay stale programs.
+  tensor::fusion::StepSite site_;
 };
 
 /// Bi-directional LSTM layer: a forward cell reading c_1..c_n and a backward

@@ -14,8 +14,14 @@ RnnCell::RnnCell(int input_dim, int hidden_dim, util::Rng& rng)
 
 tensor::Tensor RnnCell::Forward(const tensor::Tensor& x,
                                 const tensor::Tensor& h) const {
-  return tensor::Tanh(tensor::Add(
-      tensor::Add(tensor::MatMul(x, w_x_), tensor::MatMul(h, w_h_)), b_));
+  std::vector<tensor::Tensor> out = tensor::fusion::RunStep(
+      site_, /*variant=*/0, {x, h}, {},
+      [&]() -> std::vector<tensor::Tensor> {
+        return {tensor::Tanh(tensor::Add(
+            tensor::Add(tensor::MatMul(x, w_x_), tensor::MatMul(h, w_h_)),
+            b_))};
+      });
+  return std::move(out[0]);
 }
 
 tensor::Tensor RnnCell::InitialState(int batch) const {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "nn/module.h"
+#include "tensor/compiled_step.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
 
@@ -32,6 +33,7 @@ class RnnCell : public Module {
   tensor::Tensor w_x_;
   tensor::Tensor w_h_;
   tensor::Tensor b_;
+  tensor::fusion::StepSite site_;
 };
 
 }  // namespace pa::nn

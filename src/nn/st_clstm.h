@@ -5,6 +5,7 @@
 
 #include "nn/lstm.h"
 #include "nn/module.h"
+#include "tensor/compiled_step.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
 
@@ -54,6 +55,7 @@ class StClstmCell : public Module {
   tensor::Tensor w_xd_;  // [input_dim, hidden] distance-gate input weights.
   tensor::Tensor w_d_;   // [1, hidden]
   tensor::Tensor b_d_;   // [1, hidden]
+  tensor::fusion::StepSite site_;
 };
 
 }  // namespace pa::nn

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "nn/module.h"
+#include "tensor/compiled_step.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
 
@@ -55,6 +56,10 @@ class StRnnCell : public Module {
   std::vector<tensor::Tensor> w_x_;  // One [input, hidden] per d-bucket.
   std::vector<tensor::Tensor> w_h_;  // One [hidden, hidden] per t-bucket.
   tensor::Tensor b_;
+  // One compiled program per (d-bucket, t-bucket) weight pair, selected by
+  // the RunStep `variant` argument — bucketed weights are bound as
+  // constants in the trace, so each pair must compile separately.
+  tensor::fusion::StepSite site_;
 };
 
 }  // namespace pa::nn

@@ -25,8 +25,11 @@ float Dot(const float* a, const float* b, int dim) {
 FpmcLr::FpmcLr(FpmcLrConfig config) : config_(config), rng_(config.seed) {}
 
 float FpmcLr::Score(int32_t user, int32_t prev, int32_t poi) const {
-  return Dot(Row(v_ul_, user), Row(v_lu_, poi), config_.dim) +
-         Dot(Row(v_li_, poi), Row(v_il_, prev), config_.dim);
+  // Users outside the training range have no learned factor; score them
+  // from the sequential (FMC) term alone instead of reading past v_ul_.
+  const float seq = Dot(Row(v_li_, poi), Row(v_il_, prev), config_.dim);
+  if (user < 0 || user >= num_users_) return seq;
+  return Dot(Row(v_ul_, user), Row(v_lu_, poi), config_.dim) + seq;
 }
 
 const std::vector<int32_t>& FpmcLr::Region(int32_t prev) const {

@@ -29,13 +29,19 @@ PrmeG::PrmeG(PrmeGConfig config) : config_(config), rng_(config.seed) {}
 
 float PrmeG::Distance(int32_t user, int32_t prev, int32_t poi,
                       bool use_sequential) const {
+  // Users outside the training range have no learned preference point;
+  // rank them by the sequential term alone instead of reading past user_.
+  const bool known_user = user >= 0 && user < num_users_;
   const float dp =
-      SquaredL2Diff(Row(user_, user), Row(poi_p_, poi), config_.dim);
+      known_user ? SquaredL2Diff(Row(user_, user), Row(poi_p_, poi),
+                                 config_.dim)
+                 : 0.0f;
   if (!use_sequential) return dp;
   const float ds =
       SquaredL2Diff(Row(poi_s_, prev), Row(poi_s_, poi), config_.dim);
   const float w = 1.0f + static_cast<float>(pois_->DistanceKm(prev, poi) /
                                             config_.geo_gamma_km);
+  if (!known_user) return w * ds;
   return w * (config_.alpha * dp + (1.0f - config_.alpha) * ds);
 }
 

@@ -1,0 +1,165 @@
+#ifndef PA_TENSOR_COMPILED_STEP_H_
+#define PA_TENSOR_COMPILED_STEP_H_
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pa::tensor::fusion {
+
+/// Record-and-replay "compiled step" for recurrent cells.
+///
+/// A recurrent cell runs the same op sequence over the same shapes
+/// thousands of times per request. `RunStep` captures that sequence once
+/// per (site, variant, input shapes) under inference mode — op kinds, SSA
+/// value graph, constant bindings — runs a small pattern-rewrite pass over
+/// the trace (fuse elementwise chains into the single-pass KernelTable
+/// entries, fold constant subexpressions, turn column slices of row
+/// vectors into pointer-offset views, generalize the rvalue in-place rule
+/// into an in-placing pass over the planned buffers), and then replays
+/// subsequent steps straight through kernel function pointers with a
+/// pre-planned arena: no graph walk, no per-op dispatch, no BufferPool
+/// traffic for interior temporaries.
+///
+/// Correctness contract:
+///  - Replayed forwards are bit-identical to the unfused inference path on
+///    the same kernel table (every rewrite rests on bitwise-exact FP
+///    identities — see kernels.h); the unfused path is itself bit-identical
+///    to the graph path, so all three agree.
+///  - Replay reads bound constants (parameters) through their live
+///    storage, so in-place weight updates remain visible.
+///  - A trace that contains anything the recorder cannot express (an
+///    unhooked op, a broadcast the replayer doesn't model, a value not
+///    reachable from the declared inputs/constants) is discarded and the
+///    site permanently falls back to the interpreted body — fallback is
+///    always correct, only uncompiled.
+///  - Per-step float arguments (e.g. ST-CLSTM's Δt/Δd) must be declared as
+///    `scalars`: the recorder captures two traces with differing scalar
+///    values and only compiles once every immediate that tracks a scalar
+///    is discriminated from genuine constants.
+///
+/// All compilation state is thread-local; sessions on different serving
+/// workers compile independently and share nothing mutable.
+///
+/// The body passed to `RunStep` must consist purely of `pa::tensor` ops
+/// over the declared inputs, module parameters, and values derived from
+/// them (no `Detach`, no I/O). Every op with an inference fast path is
+/// either recorded or poisons the trace; the one unexpressible case is an
+/// op that silently forwards a recorded temporary's storage, which is why
+/// the in-place-capable non-recorded ops (`Softmax`, `LogSoftmax`, `Relu`,
+/// `Exp`, `Log`, `Square`) explicitly invalidate the trace when recording.
+
+/// True when compiled-step replay is allowed on this thread: PA_FUSION is
+/// not "off"/"0"/"false" (read once per process; default on) and no
+/// ScopedFusionDisable is alive on this thread.
+bool Enabled();
+
+/// Test/bench hook: while alive, `RunStep` on this thread always executes
+/// the interpreted body (records nothing, replays nothing). This is how
+/// the equivalence suites and the bench's unfused arms re-run the exact
+/// pre-fusion fast path in a process whose PA_FUSION default is on.
+class ScopedFusionDisable {
+ public:
+  ScopedFusionDisable();
+  ~ScopedFusionDisable();
+  ScopedFusionDisable(const ScopedFusionDisable&) = delete;
+  ScopedFusionDisable& operator=(const ScopedFusionDisable&) = delete;
+};
+
+/// Identity of one RunStep call site, owned by the module that calls it
+/// (one per cell instance). A fresh instance gets a fresh id, so replacing
+/// a model (serving hot-swap, session rebuild) can never replay a stale
+/// program: the old site's cache entries simply age out of the per-thread
+/// LRU. Copying a holder object allocates a new id for the copy.
+struct StepSite {
+  StepSite();
+  StepSite(const StepSite&) : StepSite() {}
+  StepSite& operator=(const StepSite&) { return *this; }
+  uint64_t id;
+};
+
+/// Per-thread counters for tests and diagnostics.
+struct FusionStats {
+  uint64_t recorded = 0;   // bodies executed under the recorder
+  uint64_t compiled = 0;   // traces compiled into programs
+  uint64_t replayed = 0;   // steps served by program replay
+  uint64_t fallback = 0;   // steps interpreted (disabled/failed/batched)
+};
+const FusionStats& ThisThreadStats();
+
+/// Executes one recurrent step. On the hot path (site compiled for these
+/// input shapes) this replays the program and never calls `body`; before
+/// compilation (or whenever fusion is disabled, a graph is being built,
+/// any input has more than one row, or the site failed to compile) it
+/// executes `body` directly. `inputs` are the per-step tensors the body
+/// reads (x, previous state...); `scalars` are the per-step floats it
+/// closes over. Returns what `body` returns (replay reproduces the same
+/// tensors bit-for-bit).
+std::vector<Tensor> RunStep(const StepSite& site, uint32_t variant,
+                            std::initializer_list<Tensor> inputs,
+                            std::initializer_list<float> scalars,
+                            const std::function<std::vector<Tensor>()>& body);
+
+namespace internal {
+
+/// Recording hooks called by the ops layer (ops.cc) on the inference fast
+/// path. `Recording()` is the cheap gate: a thread-local flag that is only
+/// true while `RunStep` is executing a body under the recorder.
+extern thread_local bool t_recording;
+inline bool Recording() { return t_recording; }
+
+enum class OpKind : uint8_t {
+  // Recorded directly by the ops layer.
+  kAdd,
+  kSub,
+  kMul,
+  kScale,      // f0 = alpha
+  kAddScalar,  // f0 = alpha
+  kSigmoid,
+  kTanh,
+  kMatMul,
+  kSliceCols,  // i0 = start, i1 = len
+  kLerp,       // out = a*mask + b*(1-mask)
+  kAxpby,      // f0 = alpha, f1 = beta
+  // Produced only by the rewrite passes.
+  kAdd3,        // out = (a + b) + c
+  kCellUpdate,  // out = a*b + c*d
+  kTanhMul,     // out = a * tanh(b)
+  kGateAct,     // per-slice sigmoid/tanh over one gates row
+  // Poison: an op the replayer cannot express.
+  kUnsupported,
+};
+
+using ImplPtr = std::shared_ptr<pa::tensor::internal::TensorImpl>;
+
+void RecordBinary(OpKind kind, const ImplPtr& a, const ImplPtr& b,
+                  const ImplPtr& out);
+void RecordUnary(OpKind kind, const ImplPtr& a, const ImplPtr& out);
+void RecordScalarOp(OpKind kind, const ImplPtr& a, float c,
+                    const ImplPtr& out);
+void RecordMatMul(const ImplPtr& a, const ImplPtr& b, const ImplPtr& out);
+void RecordSlice(const ImplPtr& a, int start, int len, const ImplPtr& out);
+void RecordLerp(const ImplPtr& mask, const ImplPtr& a, const ImplPtr& b,
+                const ImplPtr& out);
+void RecordAxpby(const ImplPtr& a, float alpha, const ImplPtr& b, float beta,
+                 const ImplPtr& out);
+/// Marks the in-flight trace unusable (unhooked op with an in-place path,
+/// unsupported broadcast, ...). The site falls back to the interpreted
+/// body forever after.
+void RecordUnsupported();
+/// Called for every inference-path result node while recording, *before*
+/// any Record* hook registers it. Scrubs a possibly-recycled node address
+/// from the SSA map: a recorded temporary that died mid-body can have its
+/// pooled node block reused by an unhooked op's result, and without the
+/// scrub that new tensor would alias the dead value's SSA id.
+void NoteFreshResult(pa::tensor::internal::TensorImpl* node);
+
+}  // namespace internal
+
+}  // namespace pa::tensor::fusion
+
+#endif  // PA_TENSOR_COMPILED_STEP_H_

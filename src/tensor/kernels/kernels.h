@@ -73,6 +73,42 @@ struct KernelTable {
   // entry is bit-identical across all tables.
   void (*gemv_i8)(const int8_t* qx, const int8_t* qw, const float* scales,
                   float dx, const float* bias, float* out, int k, int n);
+
+  // --- Fused single-pass entries for the recurrent-cell hot chains. Each
+  // one computes, per element, the *exact* FP sequence of the unfused op
+  // composition it replaces (the equivalences rest on bitwise-exact
+  // identities: FP add/mul are commutative bitwise, negation is exact, so
+  // e.g. `(m * -1) + 1 == 1 - m` and `a + b == b + a` bit-for-bit). The
+  // elementwise aliasing contract is unchanged: `out` may alias any input
+  // *exactly*. add3/lerp/axpby/cell_update are bit-identical across all
+  // tables; tanh_mul and gate_act route through expf and carry the same
+  // scalar-vs-SIMD tolerance as sigmoid/tanh.
+
+  // out = (a + b) + c — the `Add(Add(xW, hW), bias)` pre-activation chain.
+  void (*add3)(const float* a, const float* b, const float* c, float* out,
+               int64_t n);
+  // out = a*mask + b*(1 - mask) — the zoneout blend
+  // `Add(Mul(a, mask), Mul(b, OneMinus(mask)))` and the coupled-gate /
+  // GRU-style convex state updates.
+  void (*lerp)(const float* mask, const float* a, const float* b, float* out,
+               int64_t n);
+  // out = a*alpha + b*beta — the expected-zoneout blend
+  // `Add(Scale(a, alpha), Scale(b, beta))`.
+  void (*axpby)(const float* a, float alpha, const float* b, float beta,
+                float* out, int64_t n);
+  // out = f*c_prev + i*g — the LSTM cell update
+  // `Add(Mul(f, c_prev), Mul(i, g))`.
+  void (*cell_update)(const float* f, const float* c_prev, const float* i,
+                      const float* g, float* out, int64_t n);
+  // out = o * tanh(c) — the hidden-state tail `Mul(o, Tanh(c))`, with the
+  // same one-expf FastTanh formula as the `tanh` entry.
+  void (*tanh_mul)(const float* o, const float* c, float* out, int64_t n);
+  // Per-slice activations over an [m, nslices*h] gates matrix read in
+  // place: acts[s] == 0 applies sigmoid, == 1 applies tanh to columns
+  // [s*h, (s+1)*h) of every row. Replaces the SliceCols-copy-then-activate
+  // chain; `out` may alias `gates` exactly.
+  void (*gate_act)(const float* gates, float* out, int m, int h,
+                   const uint8_t* acts, int nslices);
 };
 
 /// The table the process dispatches through: a test/bench override if one

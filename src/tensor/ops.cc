@@ -8,6 +8,7 @@
 #include <string>
 
 #include "tensor/buffer_pool.h"
+#include "tensor/compiled_step.h"
 #include "tensor/kernels/kernels.h"
 #include "util/thread_pool.h"
 
@@ -16,6 +17,12 @@ namespace pa::tensor {
 namespace {
 
 using internal::TensorImpl;
+
+// Compiled-step recorder hooks (compiled_step.cc). Each inference fast-path
+// branch reports the op it just executed when a RunStep body is recording;
+// `fu::Recording()` is a thread-local flag check, so the hooks cost nothing
+// on ordinary forwards.
+namespace fu = pa::tensor::fusion::internal;
 
 [[noreturn]] void Fatal(const std::string& msg) {
   std::fprintf(stderr, "pa::tensor::ops fatal: %s\n", msg.c_str());
@@ -58,6 +65,9 @@ Tensor MakeInferenceResult(Shape shape, std::vector<float> data) {
   impl->shape = shape;
   impl->data = std::move(data);
   impl->pooled = true;
+  // Node blocks recycle: a dead recorded value's address may be reborn
+  // here as an unrelated result, so drop any stale SSA mapping first.
+  if (fu::Recording()) fu::NoteFreshResult(impl.get());
   return Tensor::FromImpl(std::move(impl));
 }
 
@@ -161,8 +171,9 @@ bool ReusableTemp(const Tensor& t, bool inference) {
          impl->backward_fn == nullptr;
 }
 
-Tensor BinaryOp(const char* name, const Tensor& a, const Tensor& b,
-                bool reuse_a, bool reuse_b, const BinaryKernels& bk,
+Tensor BinaryOp(const char* name, fu::OpKind rop, const Tensor& a,
+                const Tensor& b, bool reuse_a, bool reuse_b,
+                const BinaryKernels& bk,
                 std::function<void(TensorImpl&)> (*make_backward)(
                     std::shared_ptr<TensorImpl>, std::shared_ptr<TensorImpl>,
                     BroadcastKind, int)) {
@@ -174,6 +185,7 @@ Tensor BinaryOp(const char* name, const Tensor& a, const Tensor& b,
     if (reuse_a && ReusableTemp(a, true)) {
       BinaryForward(a.data(), b.data(), a.impl()->data.data(), numel, cols,
                     kind, bk);
+      if (fu::Recording()) fu::RecordBinary(rop, a.impl(), b.impl(), a.impl());
       return Tensor::FromImpl(a.impl());
     }
     if (reuse_b && kind == BroadcastKind::kSame && ReusableTemp(b, true)) {
@@ -181,11 +193,14 @@ Tensor BinaryOp(const char* name, const Tensor& a, const Tensor& b,
       // matches `b`'s only under kSame).
       BinaryForward(a.data(), b.data(), b.impl()->data.data(), numel, cols,
                     kind, bk);
+      if (fu::Recording()) fu::RecordBinary(rop, a.impl(), b.impl(), b.impl());
       return Tensor::FromImpl(b.impl());
     }
     std::vector<float> out = ForwardBuffer(numel, true);
     BinaryForward(a.data(), b.data(), out.data(), numel, cols, kind, bk);
-    return MakeInferenceResult(a.shape(), std::move(out));
+    Tensor r = MakeInferenceResult(a.shape(), std::move(out));
+    if (fu::Recording()) fu::RecordBinary(rop, a.impl(), b.impl(), r.impl());
+    return r;
   }
   std::vector<float> out = ForwardBuffer(numel, false);
   BinaryForward(a.data(), b.data(), out.data(), numel, cols, kind, bk);
@@ -238,27 +253,27 @@ BinaryKernels MulKernels() {
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
-  return BinaryOp("Add", a, b, false, false, AddKernels(), AddBackward);
+  return BinaryOp("Add", fu::OpKind::kAdd, a, b, false, false, AddKernels(), AddBackward);
 }
 
 Tensor Add(Tensor&& a, const Tensor& b) {
-  return BinaryOp("Add", a, b, true, false, AddKernels(), AddBackward);
+  return BinaryOp("Add", fu::OpKind::kAdd, a, b, true, false, AddKernels(), AddBackward);
 }
 
 Tensor Add(const Tensor& a, Tensor&& b) {
-  return BinaryOp("Add", a, b, false, true, AddKernels(), AddBackward);
+  return BinaryOp("Add", fu::OpKind::kAdd, a, b, false, true, AddKernels(), AddBackward);
 }
 
 Tensor Add(Tensor&& a, Tensor&& b) {
-  return BinaryOp("Add", a, b, true, true, AddKernels(), AddBackward);
+  return BinaryOp("Add", fu::OpKind::kAdd, a, b, true, true, AddKernels(), AddBackward);
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  return BinaryOp("Sub", a, b, false, false, SubKernels(), SubBackward);
+  return BinaryOp("Sub", fu::OpKind::kSub, a, b, false, false, SubKernels(), SubBackward);
 }
 
 Tensor Sub(Tensor&& a, const Tensor& b) {
-  return BinaryOp("Sub", a, b, true, false, SubKernels(), SubBackward);
+  return BinaryOp("Sub", fu::OpKind::kSub, a, b, true, false, SubKernels(), SubBackward);
 }
 
 namespace {
@@ -285,21 +300,152 @@ std::function<void(TensorImpl&)> MulBackward(std::shared_ptr<TensorImpl> ai,
 }  // namespace
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  return BinaryOp("Mul", a, b, false, false, MulKernels(), MulBackward);
+  return BinaryOp("Mul", fu::OpKind::kMul, a, b, false, false, MulKernels(), MulBackward);
 }
 
 Tensor Mul(Tensor&& a, const Tensor& b) {
-  return BinaryOp("Mul", a, b, true, false, MulKernels(), MulBackward);
+  return BinaryOp("Mul", fu::OpKind::kMul, a, b, true, false, MulKernels(), MulBackward);
 }
 
 Tensor Mul(const Tensor& a, Tensor&& b) {
-  return BinaryOp("Mul", a, b, false, true, MulKernels(), MulBackward);
+  return BinaryOp("Mul", fu::OpKind::kMul, a, b, false, true, MulKernels(), MulBackward);
 }
 
 Tensor Mul(Tensor&& a, Tensor&& b) {
-  return BinaryOp("Mul", a, b, true, true, MulKernels(), MulBackward);
+  return BinaryOp("Mul", fu::OpKind::kMul, a, b, true, true, MulKernels(), MulBackward);
 }
 
+namespace {
+
+// Fused blends. Same-shape only: these exist for the recurrent-cell state
+// updates, where everything is the step's row vector. One kernel pass,
+// values bit-identical to the op compositions they replace (kernels.h).
+
+void CheckSameShape3(const char* name, const Tensor& x, const Tensor& y,
+                     const Tensor& z) {
+  if (!(x.shape() == y.shape()) || !(y.shape() == z.shape())) {
+    Fatal(std::string(name) + ": shapes must match, got " +
+          x.shape().ToString() + ", " + y.shape().ToString() + ", " +
+          z.shape().ToString());
+  }
+}
+
+Tensor LerpOp(const Tensor& mask, const Tensor& a, const Tensor& b,
+              bool reuse_a, bool reuse_b) {
+  CheckSameShape3("Lerp", mask, a, b);
+  const int64_t numel = a.numel();
+  const bool inference = internal::InferenceModeActive();
+  const kernels::KernelTable& kt = kernels::Active();
+  if (inference) {
+    if (reuse_a && ReusableTemp(a, true)) {
+      kt.lerp(mask.data(), a.data(), b.data(), a.impl()->data.data(), numel);
+      if (fu::Recording()) {
+        fu::RecordLerp(mask.impl(), a.impl(), b.impl(), a.impl());
+      }
+      return Tensor::FromImpl(a.impl());
+    }
+    if (reuse_b && ReusableTemp(b, true)) {
+      kt.lerp(mask.data(), a.data(), b.data(), b.impl()->data.data(), numel);
+      if (fu::Recording()) {
+        fu::RecordLerp(mask.impl(), a.impl(), b.impl(), b.impl());
+      }
+      return Tensor::FromImpl(b.impl());
+    }
+    std::vector<float> out = ForwardBuffer(numel, true);
+    kt.lerp(mask.data(), a.data(), b.data(), out.data(), numel);
+    Tensor r = MakeInferenceResult(a.shape(), std::move(out));
+    if (fu::Recording()) {
+      fu::RecordLerp(mask.impl(), a.impl(), b.impl(), r.impl());
+    }
+    return r;
+  }
+  std::vector<float> out = ForwardBuffer(numel, false);
+  kt.lerp(mask.data(), a.data(), b.data(), out.data(), numel);
+  auto mi = mask.impl();
+  auto ai = a.impl();
+  auto bi = b.impl();
+  return MakeResult(a.shape(), std::move(out), {mask, a, b},
+                    [mi, ai, bi](TensorImpl& y) {
+                      Accumulate(ai, [&](int64_t i) {
+                        return y.grad[i] * mi->data[i];
+                      });
+                      Accumulate(bi, [&](int64_t i) {
+                        return y.grad[i] * (1.0f - mi->data[i]);
+                      });
+                      Accumulate(mi, [&](int64_t i) {
+                        return y.grad[i] * (ai->data[i] - bi->data[i]);
+                      });
+                    });
+}
+
+Tensor AxpbyOp(const Tensor& a, float alpha, const Tensor& b, float beta,
+               bool reuse_a, bool reuse_b) {
+  if (!(a.shape() == b.shape())) {
+    Fatal("Axpby: shapes must match, got " + a.shape().ToString() + " and " +
+          b.shape().ToString());
+  }
+  const int64_t numel = a.numel();
+  const bool inference = internal::InferenceModeActive();
+  const kernels::KernelTable& kt = kernels::Active();
+  if (inference) {
+    if (reuse_a && ReusableTemp(a, true)) {
+      kt.axpby(a.data(), alpha, b.data(), beta, a.impl()->data.data(), numel);
+      if (fu::Recording()) {
+        fu::RecordAxpby(a.impl(), alpha, b.impl(), beta, a.impl());
+      }
+      return Tensor::FromImpl(a.impl());
+    }
+    if (reuse_b && ReusableTemp(b, true)) {
+      kt.axpby(a.data(), alpha, b.data(), beta, b.impl()->data.data(), numel);
+      if (fu::Recording()) {
+        fu::RecordAxpby(a.impl(), alpha, b.impl(), beta, b.impl());
+      }
+      return Tensor::FromImpl(b.impl());
+    }
+    std::vector<float> out = ForwardBuffer(numel, true);
+    kt.axpby(a.data(), alpha, b.data(), beta, out.data(), numel);
+    Tensor r = MakeInferenceResult(a.shape(), std::move(out));
+    if (fu::Recording()) {
+      fu::RecordAxpby(a.impl(), alpha, b.impl(), beta, r.impl());
+    }
+    return r;
+  }
+  std::vector<float> out = ForwardBuffer(numel, false);
+  kt.axpby(a.data(), alpha, b.data(), beta, out.data(), numel);
+  auto ai = a.impl();
+  auto bi = b.impl();
+  return MakeResult(a.shape(), std::move(out), {a, b},
+                    [ai, bi, alpha, beta](TensorImpl& y) {
+                      Accumulate(ai, [&](int64_t i) {
+                        return y.grad[i] * alpha;
+                      });
+                      Accumulate(bi, [&](int64_t i) {
+                        return y.grad[i] * beta;
+                      });
+                    });
+}
+
+}  // namespace
+
+Tensor Lerp(const Tensor& mask, const Tensor& a, const Tensor& b) {
+  return LerpOp(mask, a, b, false, false);
+}
+Tensor Lerp(const Tensor& mask, Tensor&& a, const Tensor& b) {
+  return LerpOp(mask, a, b, true, false);
+}
+Tensor Lerp(const Tensor& mask, const Tensor& a, Tensor&& b) {
+  return LerpOp(mask, a, b, false, true);
+}
+
+Tensor Axpby(const Tensor& a, float alpha, const Tensor& b, float beta) {
+  return AxpbyOp(a, alpha, b, beta, false, false);
+}
+Tensor Axpby(Tensor&& a, float alpha, const Tensor& b, float beta) {
+  return AxpbyOp(a, alpha, b, beta, true, false);
+}
+Tensor Axpby(const Tensor& a, float alpha, Tensor&& b, float beta) {
+  return AxpbyOp(a, alpha, b, beta, false, true);
+}
 
 namespace {
 
@@ -351,7 +497,9 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     const int64_t numel = static_cast<int64_t>(m) * n;
     std::vector<float> out = ZeroedForwardBuffer(numel, true);
     MatMulCompute(a.data(), b.data(), out.data(), m, k, n);
-    return MakeInferenceResult({m, n}, std::move(out));
+    Tensor r = MakeInferenceResult({m, n}, std::move(out));
+    if (fu::Recording()) fu::RecordMatMul(a.impl(), b.impl(), r.impl());
+    return r;
   }
   std::vector<float> out(static_cast<size_t>(m) * n, 0.0f);
   MatMulCompute(a.data(), b.data(), out.data(), m, k, n);
@@ -437,7 +585,7 @@ namespace {
 // overloads) lets inference mode overwrite a dying temporary in place via
 // the kernels' exact-aliasing contract — see ReusableTemp.
 template <typename BwdFn>
-Tensor UnaryKernelOp(const Tensor& a, bool reuse,
+Tensor UnaryKernelOp(const Tensor& a, fu::OpKind rop, bool reuse,
                      void (*kernel)(const float*, float*, int64_t),
                      BwdFn bwd_from_in_out) {
   const int64_t numel = a.numel();
@@ -445,11 +593,16 @@ Tensor UnaryKernelOp(const Tensor& a, bool reuse,
   if (reuse && ReusableTemp(a, inference)) {
     float* d = a.impl()->data.data();
     kernel(d, d, numel);
+    if (fu::Recording()) fu::RecordUnary(rop, a.impl(), a.impl());
     return Tensor::FromImpl(a.impl());
   }
   std::vector<float> out = ForwardBuffer(numel, inference);
   kernel(a.data(), out.data(), numel);
-  if (inference) return MakeInferenceResult(a.shape(), std::move(out));
+  if (inference) {
+    Tensor r = MakeInferenceResult(a.shape(), std::move(out));
+    if (fu::Recording()) fu::RecordUnary(rop, a.impl(), r.impl());
+    return r;
+  }
   auto ai = a.impl();
   return MakeResult(a.shape(), std::move(out), {a},
                     [ai, bwd_from_in_out](TensorImpl& y) {
@@ -463,7 +616,8 @@ Tensor UnaryKernelOp(const Tensor& a, bool reuse,
 // Same shape for the scalar-parameter ops (Scale, AddScalar), which reuse
 // the binary tables' broadcast-scalar kernels.
 template <typename BwdFn>
-Tensor UnaryScalarKernelOp(const Tensor& a, float c, bool reuse,
+Tensor UnaryScalarKernelOp(const Tensor& a, float c, fu::OpKind rop,
+                           bool reuse,
                            void (*kernel)(const float*, float, float*,
                                           int64_t),
                            BwdFn bwd_from_in_out) {
@@ -472,11 +626,16 @@ Tensor UnaryScalarKernelOp(const Tensor& a, float c, bool reuse,
   if (reuse && ReusableTemp(a, inference)) {
     float* d = a.impl()->data.data();
     kernel(d, c, d, numel);
+    if (fu::Recording()) fu::RecordScalarOp(rop, a.impl(), c, a.impl());
     return Tensor::FromImpl(a.impl());
   }
   std::vector<float> out = ForwardBuffer(numel, inference);
   kernel(a.data(), c, out.data(), numel);
-  if (inference) return MakeInferenceResult(a.shape(), std::move(out));
+  if (inference) {
+    Tensor r = MakeInferenceResult(a.shape(), std::move(out));
+    if (fu::Recording()) fu::RecordScalarOp(rop, a.impl(), c, r.impl());
+    return r;
+  }
   auto ai = a.impl();
   return MakeResult(a.shape(), std::move(out), {a},
                     [ai, bwd_from_in_out](TensorImpl& y) {
@@ -488,18 +647,19 @@ Tensor UnaryScalarKernelOp(const Tensor& a, float c, bool reuse,
 }
 
 Tensor SigmoidOp(const Tensor& a, bool reuse) {
-  return UnaryKernelOp(a, reuse, kernels::Active().sigmoid,
+  return UnaryKernelOp(a, fu::OpKind::kSigmoid, reuse,
+                       kernels::Active().sigmoid,
                        [](float /*x*/, float y) { return y * (1.0f - y); });
 }
 
 Tensor TanhOp(const Tensor& a, bool reuse) {
-  return UnaryKernelOp(a, reuse, kernels::Active().tanh,
+  return UnaryKernelOp(a, fu::OpKind::kTanh, reuse, kernels::Active().tanh,
                        [](float /*x*/, float y) { return 1.0f - y * y; });
 }
 
 Tensor ReluOp(const Tensor& a, bool reuse) {
   return UnaryKernelOp(
-      a, reuse, kernels::Active().relu,
+      a, fu::OpKind::kUnsupported, reuse, kernels::Active().relu,
       [](float x, float /*y*/) { return x > 0.0f ? 1.0f : 0.0f; });
 }
 
@@ -518,13 +678,13 @@ namespace {
 
 Tensor ScaleOp(const Tensor& a, float alpha, bool reuse) {
   return UnaryScalarKernelOp(
-      a, alpha, reuse, kernels::Active().mulc,
+      a, alpha, fu::OpKind::kScale, reuse, kernels::Active().mulc,
       [alpha](float /*x*/, float /*y*/) { return alpha; });
 }
 
 Tensor AddScalarOp(const Tensor& a, float alpha, bool reuse) {
   return UnaryScalarKernelOp(
-      a, alpha, reuse, kernels::Active().addc,
+      a, alpha, fu::OpKind::kAddScalar, reuse, kernels::Active().addc,
       [](float /*x*/, float /*y*/) { return 1.0f; });
 }
 
@@ -543,17 +703,20 @@ Tensor AddScalar(Tensor&& a, float alpha) {
 namespace {
 
 Tensor ExpOp(const Tensor& a, bool reuse) {
-  return UnaryKernelOp(a, reuse, kernels::Active().exp,
+  return UnaryKernelOp(a, fu::OpKind::kUnsupported, reuse,
+                       kernels::Active().exp,
                        [](float /*x*/, float y) { return y; });
 }
 
 Tensor LogOp(const Tensor& a, bool reuse) {
-  return UnaryKernelOp(a, reuse, kernels::Active().log,
+  return UnaryKernelOp(a, fu::OpKind::kUnsupported, reuse,
+                       kernels::Active().log,
                        [](float x, float /*y*/) { return 1.0f / x; });
 }
 
 Tensor SquareOp(const Tensor& a, bool reuse) {
-  return UnaryKernelOp(a, reuse, kernels::Active().square,
+  return UnaryKernelOp(a, fu::OpKind::kUnsupported, reuse,
+                       kernels::Active().square,
                        [](float x, float /*y*/) { return 2.0f * x; });
 }
 
@@ -574,6 +737,10 @@ Tensor SoftmaxOp(const Tensor& a, bool reuse) {
   const int m = a.rows(), n = a.cols();
   const bool inference = internal::InferenceModeActive();
   const kernels::KernelTable& kt = kernels::Active();
+  // Not replayable — and the in-place path could silently forward a
+  // recorded temporary's storage, so the trace must be poisoned, not just
+  // left unaware (see compiled_step.h).
+  if (fu::Recording()) fu::RecordUnsupported();
   // The kernel's n <= 0 guard makes a zero-width input a no-op instead of
   // the old out-of-bounds row[0] read.
   if (reuse && ReusableTemp(a, inference)) {
@@ -604,6 +771,7 @@ Tensor LogSoftmaxOp(const Tensor& a, bool reuse) {
   const int m = a.rows(), n = a.cols();
   const bool inference = internal::InferenceModeActive();
   const kernels::KernelTable& kt = kernels::Active();
+  if (fu::Recording()) fu::RecordUnsupported();  // see SoftmaxOp
   if (reuse && ReusableTemp(a, inference)) {
     // The log_softmax kernel stages its exp pass through a private chunk,
     // so exact out==a aliasing is safe here too.
@@ -765,7 +933,11 @@ Tensor SliceCols(const Tensor& a, int start, int len) {
     const float* arow = ad + static_cast<int64_t>(i) * n + start;
     for (int j = 0; j < len; ++j) out[i * len + j] = arow[j];
   }
-  if (inference) return MakeInferenceResult({m, len}, std::move(out));
+  if (inference) {
+    Tensor r = MakeInferenceResult({m, len}, std::move(out));
+    if (fu::Recording()) fu::RecordSlice(a.impl(), start, len, r.impl());
+    return r;
+  }
   auto ai = a.impl();
   return MakeResult({m, len}, std::move(out), {a},
                     [ai, start, len, m, n](TensorImpl& y) {
@@ -879,5 +1051,33 @@ Tensor SumRows(const Tensor& a) {
     }
   });
 }
+
+StridedView SliceColsView(const Tensor& a, int start, int len) {
+  if (start < 0 || len < 0 || start + len > a.cols()) {
+    Fatal("SliceColsView: out of range");
+  }
+  return {a.data() + start, a.rows(), len, a.cols()};
+}
+
+StridedView SliceRowsView(const Tensor& a, int start, int len) {
+  if (start < 0 || len < 0 || start + len > a.rows()) {
+    Fatal("SliceRowsView: out of range");
+  }
+  return {a.data() + static_cast<int64_t>(start) * a.cols(), len, a.cols(),
+          a.cols()};
+}
+
+namespace detail {
+
+void MatMulForward(const float* a, const float* b, float* out, int m, int k,
+                   int n) {
+  MatMulCompute(a, b, out, m, k, n);
+}
+
+Tensor MakeInferencePooled(Shape shape, std::vector<float> data) {
+  return MakeInferenceResult(shape, std::move(data));
+}
+
+}  // namespace detail
 
 }  // namespace pa::tensor

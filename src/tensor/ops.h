@@ -44,6 +44,23 @@ Tensor Mul(Tensor&& a, Tensor&& b);
 Tensor Scale(Tensor&& a, float alpha);
 Tensor AddScalar(Tensor&& a, float alpha);
 
+/// Fused convex blend: `a*mask + b*(1 - mask)` elementwise, all three the
+/// same shape (no broadcasting). Bit-identical to
+/// `Add(Mul(a, mask), Mul(b, AddScalar(Scale(mask, -1), 1)))` — negation is
+/// exact and FP add/mul commute bitwise — but a single pass with no
+/// temporaries. Differentiable in all three arguments
+/// (da = mask·dy, db = (1-mask)·dy, dmask = (a-b)·dy).
+Tensor Lerp(const Tensor& mask, const Tensor& a, const Tensor& b);
+/// Fused scaled sum: `a*alpha + b*beta` elementwise, same shapes only.
+/// Bit-identical to `Add(Scale(a, alpha), Scale(b, beta))` in one pass.
+Tensor Axpby(const Tensor& a, float alpha, const Tensor& b, float beta);
+/// Rvalue forms: overwrite the dying operand's storage under inference
+/// mode (the blend target is usually the previous state being replaced).
+Tensor Lerp(const Tensor& mask, Tensor&& a, const Tensor& b);
+Tensor Lerp(const Tensor& mask, const Tensor& a, Tensor&& b);
+Tensor Axpby(Tensor&& a, float alpha, const Tensor& b, float beta);
+Tensor Axpby(const Tensor& a, float alpha, Tensor&& b, float beta);
+
 /// Matrix product of `[m, k]` and `[k, n]`.
 Tensor MatMul(const Tensor& a, const Tensor& b);
 /// Matrix transpose.
@@ -100,6 +117,50 @@ Tensor Sum(const Tensor& a);
 Tensor Mean(const Tensor& a);
 /// Per-row sum: `[m, n]` -> `[m, 1]`.
 Tensor SumRows(const Tensor& a);
+
+/// Read-only strided view over a rectangular region of a tensor's storage.
+/// This is the no-copy read path for kernel-level consumers: where
+/// `SliceCols` materializes the slice (an autograd node with its own
+/// buffer), a view is pointer arithmetic over the parent's storage. The
+/// view does not keep the parent alive — it is valid only while the parent
+/// tensor is; take views immediately before the loop that consumes them.
+struct StridedView {
+  const float* data = nullptr;
+  int rows = 0;
+  int cols = 0;
+  int row_stride = 0;  // elements between consecutive rows of the view
+
+  const float* row(int r) const { return data + static_cast<int64_t>(r) * row_stride; }
+  /// True when the viewed elements are one dense block (`rows == 1`, or the
+  /// view spans every column of the parent) — the precondition for handing
+  /// `data` to a flat elementwise kernel as a single `rows*cols` run.
+  bool contiguous() const { return rows <= 1 || row_stride == cols; }
+};
+
+/// View of columns [start, start + len) — every gate slice of a row-vector
+/// state is this, contiguous, with zero copies.
+StridedView SliceColsView(const Tensor& a, int start, int len);
+/// View of rows [start, start + len); always contiguous.
+StridedView SliceRowsView(const Tensor& a, int start, int len);
+
+namespace detail {
+
+/// Internal hooks for the compiled-step replayer (compiled_step.cc). Not
+/// for general use: these bypass the autograd layer entirely.
+
+/// The exact inference-mode MatMul forward (same zero-skip inner kernel,
+/// same parallel tiling decision), writing into a caller-provided
+/// zero-initialized out buffer. Replay goes through this so a compiled
+/// step's matmuls stay bit-identical to the eager op, including the
+/// threaded path.
+void MatMulForward(const float* a, const float* b, float* out, int m, int k,
+                   int n);
+
+/// Wraps a pool-acquired buffer as an inference-mode tensor node (pooled,
+/// no grad, recycled like any fast-path result).
+Tensor MakeInferencePooled(Shape shape, std::vector<float> data);
+
+}  // namespace detail
 
 }  // namespace pa::tensor
 
