@@ -19,9 +19,17 @@
 //                  `overloaded`, and the p99 of *accepted* requests stays
 //                  within the deadline (admission control protects the
 //                  tail instead of letting the queue collapse it).
+//   5. tracing   — a frozen topk-only stream replayed serially over one
+//                  connection twice, request tracing off then on. Topk
+//                  never mutates session state, so the two passes must
+//                  return byte-identical poi arrays; the timing gate is
+//                  that always-on trace capture costs <= 5% at the
+//                  client-observed p99 (plus a 500us absolute floor so
+//                  scheduler jitter on a sub-millisecond baseline cannot
+//                  fail the build).
 //
 // The numbers are written to BENCH_serving.json (working directory, or
-// $PA_BENCH_DIR) as schema_version 2 JSON so CI can track them and
+// $PA_BENCH_DIR) as schema_version 3 JSON so CI can track them and
 // `bench_compare.py --schema` can validate the shape. `--smoke` shrinks
 // the workload and skips the timing-sensitive gates (structure gates —
 // zero drops, typed errors — still apply) so sanitized or single-core CI
@@ -49,6 +57,7 @@
 #include "net/sharded_engine.h"
 #include "net/socket_util.h"
 #include "obs/metrics.h"
+#include "obs/slow_trace.h"
 #include "poi/synthetic.h"
 #include "rec/registry.h"
 #include "serve/engine.h"
@@ -259,6 +268,79 @@ std::string TopKLine(const poi::Checkin& c) {
       .Field("timestamp", c.timestamp)
       .EndObject();
   return w.str() + "\n";
+}
+
+// --- Tracing arm ------------------------------------------------------------
+
+// The "pois":[...] payload of a topk response, so two arms' scoring can be
+// compared byte-for-byte regardless of envelope fields (the tracing-on pass
+// adds `"trace":"<hex>"` to the envelope, which must not count as a diff).
+std::string PoisPayload(const std::string& line) {
+  const size_t at = line.find("\"pois\":[");
+  if (at == std::string::npos) return {};
+  const size_t end = line.find(']', at);
+  if (end == std::string::npos) return {};
+  return line.substr(at, end + 1 - at);
+}
+
+struct TraceArmStats {
+  double p50_micros = 0.0;
+  double p99_micros = 0.0;
+  uint64_t failed = 0;
+  uint64_t echoed = 0;  // Responses carrying a "trace" envelope field.
+  std::vector<std::string> pois;
+};
+
+// Serial request/response replay over one connection, timing each round
+// trip client-side so the measurement covers the whole traced path: parse,
+// queue, compute, serialize, and the write-side trace End/publish.
+bool RunTraceArm(uint16_t port, const std::vector<std::string>& lines,
+                 TraceArmStats* out) {
+  std::string error;
+  const int fd = net::ConnectTcp(port, &error);
+  if (fd < 0) {
+    std::fprintf(stderr, "tracing arm connect failed: %s\n", error.c_str());
+    return false;
+  }
+  std::vector<double> latencies;
+  latencies.reserve(lines.size());
+  std::string buf;
+  char chunk[4096];
+  for (const std::string& line : lines) {
+    const auto t0 = std::chrono::steady_clock::now();
+    if (!net::SendAll(fd, line.data(), line.size())) {
+      close(fd);
+      return false;
+    }
+    size_t nl;
+    while ((nl = buf.find('\n')) == std::string::npos) {
+      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n <= 0) {
+        close(fd);
+        return false;
+      }
+      buf.append(chunk, static_cast<size_t>(n));
+    }
+    latencies.push_back(std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count());
+    const std::string response = buf.substr(0, nl);
+    buf.erase(0, nl + 1);
+    if (response.find("\"ok\":true") == std::string::npos) ++out->failed;
+    if (response.find("\"trace\":\"") != std::string::npos) ++out->echoed;
+    out->pois.push_back(PoisPayload(response));
+  }
+  close(fd);
+  std::sort(latencies.begin(), latencies.end());
+  auto percentile = [&](double p) {
+    if (latencies.empty()) return 0.0;
+    const size_t at = std::min(latencies.size() - 1,
+                               static_cast<size_t>(p * latencies.size()));
+    return latencies[at];
+  };
+  out->p50_micros = percentile(0.50);
+  out->p99_micros = percentile(0.99);
+  return true;
 }
 
 }  // namespace
@@ -576,11 +658,118 @@ int Run(const Options& opt) {
          "overload arm: accepted-request p99 exceeded the deadline");
   }
 
-  // --- Machine-readable summary (schema_version 2). -----------------------
+  // --- Arm 5: request-tracing attribution overhead. -----------------------
+  TraceArmStats trace_off, trace_on;
+  uint64_t trace_requests = 0, trace_mismatches = 0, trace_echo_missing = 0;
+  uint64_t trace_captured = 0;
+  std::string trace_gate = "skipped (smoke)";
+  {
+    net::ShardedEngineConfig config;
+    config.num_shards = opt.shards;
+    config.deadline_ms = engine_config.deadline_ms;
+    config.queue_capacity = 1 << 14;
+    net::ShardedEngine engine(shared_model, config);
+    WarmEngine(engine, streams);
+    net::NdjsonDispatcher dispatcher(&engine);
+
+    net::NdjsonServer server;
+    net::NdjsonServerConfig server_config;  // Ephemeral port.
+    if (!server.Start(
+            server_config,
+            [&](uint64_t conn, uint64_t seq, std::string line) {
+              dispatcher.HandleLineAsync(
+                  std::move(line),
+                  [conn, seq, &server](std::string response) {
+                    server.Reply(conn, seq, std::move(response));
+                  });
+            },
+            &error)) {
+      std::fprintf(stderr, "tracing arm listen failed: %s\n", error.c_str());
+      return 1;
+    }
+
+    // A frozen stream: topk only, no observes, so session state never moves
+    // and both passes must score identically.
+    const size_t trace_n =
+        std::min<size_t>(queries.size(), opt.smoke ? 64 : 512);
+    std::vector<std::string> trace_lines;
+    trace_lines.reserve(trace_n);
+    for (size_t i = 0; i < trace_n; ++i) {
+      trace_lines.push_back(TopKLine(queries[i]));
+    }
+    trace_requests = trace_n;
+
+    // Untimed warm-up so neither measured pass pays the cold-start cost
+    // (first connection, cold instruction cache); otherwise the off pass,
+    // running first, would absorb it and slacken the overhead gate.
+    obs::SetRequestTracingEnabled(false);
+    {
+      TraceArmStats warmup;
+      RunTraceArm(server.port(), trace_lines, &warmup);
+    }
+    const bool off_ok = RunTraceArm(server.port(), trace_lines, &trace_off);
+    obs::SetRequestTracingEnabled(true);
+    obs::SlowTraceReservoir::Global().Clear();
+    const bool on_ok = RunTraceArm(server.port(), trace_lines, &trace_on);
+    trace_captured = obs::SlowTraceReservoir::Global().WorstTraces().size();
+    server.Stop();
+
+    gate(off_ok && on_ok, "tracing arm client failed");
+    gate(trace_off.failed == 0 && trace_on.failed == 0,
+         "tracing arm had failed responses");
+    // Scoring must be bit-identical: tracing observes the request path, it
+    // must never perturb it.
+    if (off_ok && on_ok) {
+      for (size_t i = 0; i < trace_n; ++i) {
+        if (trace_off.pois[i].empty() ||
+            trace_off.pois[i] != trace_on.pois[i]) {
+          ++trace_mismatches;
+        }
+      }
+    }
+    gate(trace_mismatches == 0, "tracing changed the scoring output");
+    trace_echo_missing = trace_requests - std::min(trace_requests,
+                                                   trace_on.echoed);
+    gate(trace_echo_missing == 0,
+         "tracing-on responses missing the trace envelope field");
+    gate(trace_off.echoed == 0,
+         "tracing-off responses still echoed trace ids");
+    gate(trace_captured > 0, "reservoir captured no traces while tracing on");
+
+    if (!opt.smoke) {
+      // 5% relative plus a 500us absolute floor: on a sub-millisecond
+      // serial baseline a single scheduler preemption is worth more than
+      // 5%, and the floor keeps that noise from failing the build while
+      // still catching any real per-request cost.
+      if (trace_on.p99_micros <=
+          trace_off.p99_micros * 1.05 + 500.0) {
+        trace_gate = "pass";
+      } else {
+        trace_gate = "fail";
+        char msg[128];
+        std::snprintf(msg, sizeof(msg),
+                      "tracing-on p99 %.1f us exceeds off p99 %.1f us "
+                      "* 1.05 + 500",
+                      trace_on.p99_micros, trace_off.p99_micros);
+        gate(false, msg);
+      }
+    }
+    const double ratio = trace_off.p99_micros > 0
+                             ? trace_on.p99_micros / trace_off.p99_micros
+                             : 0.0;
+    std::printf("[tracing]  %llu reqs  p99 off %.1f us / on %.1f us "
+                "(%.2fx)  captured %llu  gate: %s\n",
+                static_cast<unsigned long long>(trace_requests),
+                trace_off.p99_micros, trace_on.p99_micros, ratio,
+                static_cast<unsigned long long>(trace_captured),
+                trace_gate.c_str());
+  }
+
+  // --- Machine-readable summary (schema_version 3). -----------------------
   serve::JsonWriter w;
   w.BeginObject()
       .Field("bench", "serving")
-      .Field("schema_version", 2)
+      .Field("schema_version", 3)
       .Field("model", shared_model->name)
       .Field("version", version)
       .Field("smoke", opt.smoke)
@@ -609,6 +798,19 @@ int Run(const Options& opt) {
       .Field("overload_deadline_exceeded", overload.deadline_exceeded.load())
       .Field("overload_other", overload.other.load())
       .Field("overload_p99_micros", overload_p99_micros)
+      .Field("trace_requests", trace_requests)
+      .Field("trace_off_p50_micros", trace_off.p50_micros)
+      .Field("trace_off_p99_micros", trace_off.p99_micros)
+      .Field("trace_on_p50_micros", trace_on.p50_micros)
+      .Field("trace_on_p99_micros", trace_on.p99_micros)
+      .Field("trace_overhead_ratio",
+             trace_off.p99_micros > 0
+                 ? trace_on.p99_micros / trace_off.p99_micros
+                 : 0.0)
+      .Field("trace_gate", trace_gate)
+      .Field("trace_mismatches", trace_mismatches)
+      .Field("trace_echo_missing", trace_echo_missing)
+      .Field("trace_captured", trace_captured)
       .RawField("engine", baseline_engine_json)
       .RawField("metrics", obs::MetricRegistry::Global().SnapshotJson())
       .EndObject();

@@ -107,6 +107,23 @@ SERVING_V2_KEYS = (
     "overload_p99_micros",
 )
 
+# serving grew the request-tracing attribution arm in schema_version 3
+# (bench_serving: a frozen topk stream replayed with tracing off/on over one
+# connection; scoring must be bit-identical and the tracing-on p99 within
+# 5% + 500us of the tracing-off pass).
+SERVING_V3_KEYS = (
+    "trace_requests",
+    "trace_off_p50_micros",
+    "trace_off_p99_micros",
+    "trace_on_p50_micros",
+    "trace_on_p99_micros",
+    "trace_overhead_ratio",
+    "trace_gate",
+    "trace_mismatches",
+    "trace_echo_missing",
+    "trace_captured",
+)
+
 
 def direction(key):
     """Returns -1 (lower is better), +1 (higher is better), or 0 (neutral)."""
@@ -326,6 +343,30 @@ def check_schema(paths):
                 if isinstance(value, (int, float)) and \
                         not isinstance(value, bool) and value != 0:
                     problems.append(f"'{key}' must be 0 ({value})")
+        if doc.get("bench") == "serving" and \
+                isinstance(doc.get("schema_version"), int) and \
+                doc["schema_version"] >= 3:
+            for key in SERVING_V3_KEYS:
+                if key not in doc:
+                    problems.append(f"serving v3 missing '{key}'")
+            if not isinstance(doc.get("trace_gate", ""), str) \
+                    or not doc.get("trace_gate"):
+                problems.append("'trace_gate' must be a non-empty string")
+            elif doc["trace_gate"] == "fail":
+                problems.append("'trace_gate' recorded a failed overhead gate")
+            # Structural invariants, smoke or full: tracing must never
+            # change scoring output, and every tracing-on response carries
+            # the trace id echo.
+            for key in ("trace_mismatches", "trace_echo_missing"):
+                value = doc.get(key)
+                if isinstance(value, (int, float)) and \
+                        not isinstance(value, bool) and value != 0:
+                    problems.append(f"'{key}' must be 0 ({value})")
+            captured = doc.get("trace_captured")
+            if isinstance(captured, (int, float)) and \
+                    not isinstance(captured, bool) and captured <= 0:
+                problems.append(
+                    f"'trace_captured' must be positive ({captured})")
         if problems:
             failures += 1
             for p in problems:
@@ -350,6 +391,14 @@ def compare(baseline_path, current_path, threshold):
         print(f"bench_compare: benchmark mismatch: {baseline.get('bench')!r} "
               f"vs {current.get('bench')!r}", file=sys.stderr)
         return 2
+    if bool(baseline.get("smoke")) != bool(current.get("smoke")):
+        # A smoke run shrinks the workload, so its numbers are not
+        # comparable with a full-run baseline (or vice versa). Report and
+        # pass instead of gating apples against oranges.
+        print(f"bench_compare: smoke mismatch (baseline smoke="
+              f"{bool(baseline.get('smoke'))}, current smoke="
+              f"{bool(current.get('smoke'))}); comparison skipped")
+        return 0
 
     base_metrics = numeric_metrics(baseline)
     cur_metrics = numeric_metrics(current)

@@ -160,8 +160,10 @@ python3 scripts/bench_compare.py --schema build/tier1_timeseries.ndjson
 # Networked serving smoke: `pa_serve listen` with two shards on an
 # ephemeral port. A pipelined TCP client must get in-order NDJSON
 # responses, a typed `unknown_user` error for a strict query on a cold
-# user, per-shard serving/router instruments on /metrics, and a graceful
-# drain (quit answered, connection closed, exit 0).
+# user, per-shard serving/router instruments on /metrics, a request-trace
+# round trip (envelope trace id -> `pa_serve slowz` -> stage spans ->
+# trace_summary.py --trace), and a graceful drain (quit answered,
+# connection closed, exit 0).
 python3 - build/src/serve/pa_serve build/tier1_store <<'EOF'
 import http.client, json, re, socket, subprocess, sys, time
 
@@ -203,6 +205,34 @@ try:
     resp = json.loads(f.readline())
     assert resp["ok"] is True and resp["shards"] == 2 \
         and len(resp["per_shard"]) == 2, resp
+    assert resp["metrics_port"] == metrics_port, resp
+
+    # Request-tracing round trip against the real binary: the trace id a
+    # client reads from a response envelope must resolve on the slow-trace
+    # reservoir — fetched through the `slowz` subcommand — with the four
+    # stage spans attributed, and trace_summary.py must render the span
+    # tree from that dump.
+    sock.sendall(b'{"op":"topk","user":1,"k":5,"timestamp":2000,"id":42}\n')
+    resp_line = f.readline()
+    m = re.search(r'"trace":"([0-9a-f]+)"', resp_line)
+    assert m, f"no trace id echoed: {resp_line!r}"
+    trace_hex = m.group(1)
+    slowz = subprocess.run(
+        [sys.argv[1], "slowz", "--port", str(metrics_port)],
+        capture_output=True, text=True, timeout=10)
+    assert slowz.returncode == 0, slowz.stderr
+    doc = json.loads(slowz.stdout)
+    entry = next((t for t in doc["traces"] if t["trace"] == trace_hex), None)
+    assert entry, f"trace {trace_hex} not captured: {slowz.stdout}"
+    stages = {s["name"] for s in entry["spans"]}
+    for needed in ("net.parse", "net.queue_wait", "serve.compute",
+                   "net.serialize"):
+        assert needed in stages, f"missing stage {needed}: {stages}"
+    with open("build/tier1_slowz.json", "w") as fh:
+        fh.write(slowz.stdout)
+    subprocess.run(
+        ["python3", "scripts/trace_summary.py", "build/tier1_slowz.json",
+         "--trace", trace_hex], check=True, stdout=subprocess.DEVNULL)
 
     conn = http.client.HTTPConnection("127.0.0.1", metrics_port, timeout=10)
     conn.request("GET", "/metrics")
@@ -222,7 +252,8 @@ try:
     sock.close()
     assert proc.wait(timeout=30) == 0, proc.returncode
     print("pa_serve listen smoke: OK (2 shards, pipelined NDJSON, "
-          "typed errors, per-shard /metrics, graceful drain)")
+          "typed errors, per-shard /metrics, trace round trip, "
+          "graceful drain)")
 finally:
     if proc.poll() is None:
         proc.kill()
@@ -243,11 +274,11 @@ cmake --build build-tsan -j"$(nproc)" --target \
   serve_session_store_test serve_engine_test \
   tensor_inference_test tensor_fusion_test inference_equivalence_test \
   tensor_kernels_test \
-  obs_metrics_test obs_trace_test \
+  obs_metrics_test obs_trace_test obs_slow_trace_test \
   obs_health_test obs_telemetry_test obs_http_exposition_test \
-  net_server_test serve_shard_test
+  net_server_test net_trace_test serve_shard_test
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'util_thread_pool_test|parallel_determinism_test|serve_session_store_test|serve_engine_test|tensor_inference_test|tensor_fusion_test|inference_equivalence_test|tensor_kernels_test|obs_metrics_test|obs_trace_test|obs_health_test|obs_telemetry_test|obs_http_exposition_test|net_server_test|serve_shard_test'
+  -R 'util_thread_pool_test|parallel_determinism_test|serve_session_store_test|serve_engine_test|tensor_inference_test|tensor_fusion_test|inference_equivalence_test|tensor_kernels_test|obs_metrics_test|obs_trace_test|obs_slow_trace_test|obs_health_test|obs_telemetry_test|obs_http_exposition_test|net_server_test|net_trace_test|serve_shard_test'
 
 # ASan/UBSan pass over the checkpoint parser, the serving subsystem, and
 # the kernel layer: these tests feed truncated/corrupted byte streams,

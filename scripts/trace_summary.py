@@ -1,12 +1,16 @@
 #!/usr/bin/env python3
 """Summarize a PA_OBS_TRACE dump: top spans by total and self time.
 
-Input is either format the obs tracer writes:
+Input is any format the obs tracer writes:
 
   * chrome://tracing Trace Event JSON ({"traceEvents": [...]}) — the default
     PA_OBS_TRACE=<path>.json output, loadable in chrome://tracing / Perfetto;
   * flat NDJSON (one {"name","ts_us","dur_us","tid","id"} object per line) —
-    the <path>.ndjson variant.
+    the <path>.ndjson variant. Request-linked spans additionally carry
+    `"trace":"<hex>"` and `"parent":<id>`;
+  * a slow-trace reservoir dump ({"k":..,"floor_us":..,"traces":[...]}) —
+    the body of GET /slowz (or `pa_serve slowz`), each entry a complete
+    request with its stage spans.
 
 For every span name the summary reports call count, total wall time, and
 *self* time — total minus the time covered by spans nested inside it on the
@@ -14,12 +18,17 @@ same thread (a parent's self time excludes its children, so "where is time
 actually spent" reads directly off the column). Nesting is reconstructed
 per thread from start/end order, which is exactly how the RAII spans nest.
 
-Usage: trace_summary.py TRACE_FILE [--top N] [--span ID]
+Usage: trace_summary.py TRACE_FILE [--top N] [--span ID] [--trace HEXID]
 
 --span ID looks up one span by its process-unique id instead of printing
 the rankings — the lookup direction for histogram exemplars: /metrics and
 `pa_serve stats` report a `p99_exemplar_span` id, this flag shows the
 actual request behind that tail latency. Exits 1 when the id is absent.
+
+--trace HEXID renders one request's span tree — the id a client reads from
+the `"trace"` field of a response envelope — with per-stage durations,
+each stage's share of the request, the parent-to-child critical path, and
+the untraced remainder. Exits 1 when the trace is absent from the file.
 
 Exits 0 on success, 2 on unreadable or malformed input.
 """
@@ -30,7 +39,11 @@ import sys
 
 
 def load_events(path):
-    """Returns a list of (name, start_us, dur_us, tid, id), or exits 2."""
+    """List of (name, start_us, dur_us, tid, id, trace, parent), or exits 2.
+
+    `trace` is the integer request-trace id (0 when the span is not linked
+    to a request) and `parent` the enclosing span id (0 for roots).
+    """
     try:
         with open(path, "r", encoding="utf-8") as f:
             text = f.read()
@@ -40,14 +53,22 @@ def load_events(path):
 
     events = []
 
-    def add(name, ts, dur, tid, span_id):
+    def parse_trace_id(value):
+        if value is None:
+            return 0
+        if isinstance(value, str):
+            return int(value, 16)
+        return int(value)
+
+    def add(name, ts, dur, tid, span_id, trace=0, parent=0):
         if not isinstance(name, str) or not name:
             raise ValueError("span name must be a non-empty string")
         ts = float(ts)
         dur = float(dur)
         if dur < 0:
             raise ValueError(f"negative duration on '{name}'")
-        events.append((name, ts, dur, int(tid), int(span_id)))
+        events.append((name, ts, dur, int(tid), int(span_id),
+                       parse_trace_id(trace), int(parent)))
 
     try:
         stripped = text.lstrip()
@@ -60,7 +81,19 @@ def load_events(path):
                 if ev.get("ph") != "X":
                     continue  # Only complete events carry durations.
                 add(ev.get("name"), ev.get("ts"), ev.get("dur"),
-                    ev.get("tid", 0), ev.get("id", 0))
+                    ev.get("tid", 0), ev.get("id", 0),
+                    ev.get("trace", 0), ev.get("parent", 0))
+        elif stripped.startswith("{") and '"traces"' in stripped:
+            doc = json.loads(text)
+            traces = doc.get("traces")
+            if not isinstance(traces, list):
+                raise ValueError("'traces' must be an array")
+            for entry in traces:
+                trace_id = entry.get("trace", 0)
+                for ev in entry.get("spans", []):
+                    add(ev.get("name"), ev.get("ts_us"), ev.get("dur_us"),
+                        ev.get("tid", 0), ev.get("id", 0),
+                        trace_id, ev.get("parent", 0))
         else:
             for lineno, line in enumerate(text.splitlines(), 1):
                 if not line.strip():
@@ -70,7 +103,8 @@ def load_events(path):
                 except json.JSONDecodeError as e:
                     raise ValueError(f"line {lineno}: {e}") from e
                 add(ev.get("name"), ev.get("ts_us"), ev.get("dur_us"),
-                    ev.get("tid", 0), ev.get("id", 0))
+                    ev.get("tid", 0), ev.get("id", 0),
+                    ev.get("trace", 0), ev.get("parent", 0))
     except (ValueError, TypeError, json.JSONDecodeError) as e:
         print(f"trace_summary: {path}: malformed trace: {e}", file=sys.stderr)
         sys.exit(2)
@@ -95,7 +129,7 @@ def summarize(events):
             _end, name, dur, child_time = stack.pop()
             stats[name]["self"] += max(0.0, dur - child_time)
 
-        for name, start, dur, _tid, _id in tid_events:
+        for name, start, dur, _tid, _id, _trace, _parent in tid_events:
             while stack and stack[-1][0] <= start:
                 pop_frame()
             entry = stats.setdefault(name,
@@ -112,26 +146,98 @@ def summarize(events):
     return stats
 
 
+def print_trace_tree(events, trace_id):
+    """Renders one request's span tree with stage attribution; 1 if absent."""
+    spans = [ev for ev in events if ev[5] == trace_id]
+    if not spans:
+        print(f"no trace {trace_id:016x} in this file", file=sys.stderr)
+        return 1
+    by_id = {ev[4]: ev for ev in spans}
+    children = {}
+    roots = []
+    for ev in spans:
+        parent = ev[6]
+        if parent and parent in by_id:
+            children.setdefault(parent, []).append(ev)
+        else:
+            roots.append(ev)
+    roots.sort(key=lambda ev: ev[1])
+    base = roots[0][1]
+    total = max(ev[2] for ev in roots)
+
+    print(f"trace {trace_id:016x}: {len(spans)} spans, "
+          f"{total / 1e3:.3f} ms total")
+    print(f"  {'span':<34} {'start':>10} {'dur':>10} {'share':>7}  tid")
+
+    def walk(ev, depth):
+        name, start, dur, tid, span_id, _trace, _parent = ev
+        share = 100.0 * dur / total if total > 0 else 0.0
+        label = "  " * depth + name
+        print(f"  {label:<34} {start - base:>8.1f}us {dur:>8.1f}us "
+              f"{share:>6.1f}%  {tid}")
+        kids = sorted(children.get(span_id, []), key=lambda e: e[1])
+        for kid in kids:
+            walk(kid, depth + 1)
+        if kids and dur > 0:
+            untraced = dur - sum(k[2] for k in kids)
+            if untraced > 0:
+                label = "  " * (depth + 1) + "(untraced)"
+                print(f"  {label:<34} {'':>10} {untraced:>8.1f}us "
+                      f"{100.0 * untraced / total:>6.1f}%")
+    for root in roots:
+        walk(root, 0)
+
+    # Critical path: from the root, repeatedly descend into the costliest
+    # child. For the serving stages (disjoint intervals under one root)
+    # this names the stage that dominates the request's latency.
+    ev = roots[0]
+    path = [ev]
+    while children.get(ev[4]):
+        ev = max(children[ev[4]], key=lambda e: e[2])
+        path.append(ev)
+    if len(path) > 1:
+        chain = " > ".join(p[0] for p in path)
+        print(f"  critical path: {chain}  ({path[-1][2]:.1f}us, "
+              f"{100.0 * path[-1][2] / total if total > 0 else 0.0:.1f}% "
+              f"of the request)")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("trace", help="trace file (Trace Event JSON or NDJSON)")
+    parser.add_argument("trace", help="trace file (Trace Event JSON, NDJSON, "
+                                      "or a /slowz reservoir dump)")
     parser.add_argument("--top", type=int, default=15,
                         help="rows to show per ranking (default 15)")
     parser.add_argument("--span", type=int, default=None, metavar="ID",
                         help="look up one span by id (exemplar resolution) "
                              "instead of printing rankings")
+    parser.add_argument("--trace-id", "--trace", dest="trace_id",
+                        default=None, metavar="HEXID",
+                        help="render one request's span tree by the hex "
+                             "trace id echoed in its response envelope")
     args = parser.parse_args()
 
     events = load_events(args.trace)
+    if args.trace_id is not None:
+        try:
+            wanted = int(args.trace_id, 16)
+        except ValueError:
+            print(f"trace_summary: '{args.trace_id}' is not a hex trace id",
+                  file=sys.stderr)
+            return 2
+        return print_trace_tree(events, wanted)
     if args.span is not None:
         matches = [ev for ev in events if ev[4] == args.span]
         if not matches:
             print(f"{args.trace}: no span with id {args.span}",
                   file=sys.stderr)
             return 1
-        for name, start, dur, tid, span_id in matches:
+        for name, start, dur, tid, span_id, trace_id, parent in matches:
+            linked = f"  trace {trace_id:016x}" if trace_id else ""
             print(f"span {span_id}: {name}  start {start / 1e3:.3f} ms  "
-                  f"dur {dur / 1e3:.3f} ms ({dur:.1f} us)  tid {tid}")
+                  f"dur {dur / 1e3:.3f} ms ({dur:.1f} us)  tid {tid}"
+                  f"{linked}")
         return 0
     if not events:
         print(f"{args.trace}: no span events")

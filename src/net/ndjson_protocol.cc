@@ -1,16 +1,40 @@
 #include "net/ndjson_protocol.h"
 
+#include <chrono>
 #include <cmath>
 #include <future>
 #include <map>
 #include <utility>
 
+#include "obs/trace.h"
 #include "serve/json.h"
 #include "util/thread_pool.h"
 
 namespace pa::net {
 
 namespace {
+
+// Parse/serialize stage attribution; registry-owned so dispatchers can come
+// and go (tests) while the histograms accumulate.
+struct DispatchInstruments {
+  obs::Histogram& parse_us;
+  obs::Histogram& serialize_us;
+
+  static DispatchInstruments& Get() {
+    static DispatchInstruments instruments{
+        obs::MetricRegistry::Global().GetHistogram("net.parse_us"),
+        obs::MetricRegistry::Global().GetHistogram("net.serialize_us")};
+    return instruments;
+  }
+};
+
+// Elapsed µs against an explicit start (stage histograms record whether or
+// not any tracing switch is on).
+double MicrosSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
 
 // The echoed correlation id, if the request carried one. Kept as the raw
 // JsonValue so a string id comes back as a string and a numeric id as a
@@ -32,12 +56,22 @@ void EchoId(serve::JsonWriter& w, const serve::JsonValue& id) {
   }
 }
 
+// Every envelope echoes the request's trace id ("trace":"<hex>") when one
+// is active on the building thread — the shard worker restores the minted
+// context before completion callbacks run, so a client-observed outlier can
+// be looked up directly on /slowz.
+void EchoTrace(serve::JsonWriter& w) {
+  const obs::TraceContext ctx = obs::CurrentTraceContext();
+  if (ctx.active()) w.Field("trace", obs::TraceIdHex(ctx.trace_id));
+}
+
 std::string ErrorLine(const char* code, const std::string& detail,
                       const serve::JsonValue& id) {
   serve::JsonWriter w;
   w.BeginObject().Field("ok", false).Field("code", code).Field("error",
                                                                detail);
   EchoId(w, id);
+  EchoTrace(w);
   w.EndObject();
   return w.str();
 }
@@ -52,6 +86,7 @@ std::string OkLine(const serve::JsonValue& id) {
   serve::JsonWriter w;
   w.BeginObject().Field("ok", true).Field("status", "ok");
   EchoId(w, id);
+  EchoTrace(w);
   w.EndObject();
   return w.str();
 }
@@ -80,7 +115,15 @@ void NdjsonDispatcher::HandleLineAsync(
     std::string line, std::function<void(std::string)> done) {
   std::map<std::string, serve::JsonValue> request;
   std::string parse_error;
-  if (!serve::ParseFlatObject(line, &request, &parse_error)) {
+  bool parsed;
+  {
+    const obs::TraceSpan parse("net.parse");
+    const auto t0 = std::chrono::steady_clock::now();
+    parsed = serve::ParseFlatObject(line, &request, &parse_error);
+    DispatchInstruments::Get().parse_us.RecordWithExemplar(MicrosSince(t0),
+                                                           parse.id());
+  }
+  if (!parsed) {
     done(ErrorLine("bad_request", "bad request: " + parse_error,
                    serve::JsonValue{}));
     return;
@@ -128,16 +171,28 @@ void NdjsonDispatcher::HandleLineAsync(
             done(StatusErrorLine(response.status, id));
             return;
           }
-          serve::JsonWriter w;
-          w.BeginObject()
-              .Field("ok", true)
-              .Field("status", "ok")
-              .Field("latency_micros", response.latency_micros);
-          EchoId(w, id);
-          w.BeginArray("pois");
-          for (const int32_t poi : response.pois) w.Element(int64_t{poi});
-          w.EndArray().EndObject();
-          done(w.str());
+          // Build the line inside the serialize span's scope and invoke the
+          // completion after it closes: `done` may End() the trace, and an
+          // End must never race a still-open span.
+          std::string line;
+          {
+            const obs::TraceSpan serialize("net.serialize");
+            const auto t0 = std::chrono::steady_clock::now();
+            serve::JsonWriter w;
+            w.BeginObject()
+                .Field("ok", true)
+                .Field("status", "ok")
+                .Field("latency_micros", response.latency_micros);
+            EchoId(w, id);
+            EchoTrace(w);
+            w.BeginArray("pois");
+            for (const int32_t poi : response.pois) w.Element(int64_t{poi});
+            w.EndArray().EndObject();
+            line = w.str();
+            DispatchInstruments::Get().serialize_us.RecordWithExemplar(
+                MicrosSince(t0), serialize.id());
+          }
+          done(std::move(line));
         });
     return;
   }
@@ -148,8 +203,10 @@ void NdjsonDispatcher::HandleLineAsync(
         .Field("ok", true)
         .Field("status", "ok")
         .Field("model", engine_->model_name())
-        .Field("shards", int64_t{engine_->num_shards()});
+        .Field("shards", int64_t{engine_->num_shards()})
+        .Field("metrics_port", int64_t{options_.metrics_port});
     EchoId(w, id);
+    EchoTrace(w);
     w.RawField("stats", ShardStatsJson(engine_->Stats()));
     w.BeginArray("per_shard");
     for (int i = 0; i < engine_->num_shards(); ++i) {
@@ -202,6 +259,7 @@ void NdjsonDispatcher::HandleLineAsync(
           .Field("model", model)
           .Field("version", int64_t{resolved});
       EchoId(w, id);
+      EchoTrace(w);
       w.EndObject();
       done(w.str());
     });

@@ -24,7 +24,10 @@ namespace pa::net {
 /// `deadline_exceeded`, `unknown_user`. A request carrying an `id` field
 /// (string or number) gets it echoed back verbatim in the envelope, so
 /// clients that do not rely on the server's per-connection response
-/// ordering can correlate explicitly.
+/// ordering can correlate explicitly. When request tracing is on (the
+/// default) every envelope also carries `"trace":"<hex>"` — the request's
+/// trace id, which can be looked up on the exposition server's /slowz
+/// endpoint if the request was captured as a tail-latency outlier.
 ///
 /// Ops: observe, topk (optional "strict":true → unknown_user on cold
 /// users), stats, activate (model store required), quit.
@@ -40,6 +43,11 @@ class NdjsonDispatcher {
     /// Invoked after a quit op's response is produced (e.g. to drain the
     /// TCP listener). The stdin loop instead checks the `quit` out-param.
     std::function<void()> on_quit;
+    /// Bound port of the metrics/trace HTTP exposition server, surfaced in
+    /// the stats op response (0 when exposition is off) — with
+    /// `--metrics-port=0` the kernel picks the port, and clients need a way
+    /// to find /metrics and /slowz other than scraping stderr.
+    uint16_t metrics_port = 0;
   };
 
   // Two overloads instead of a defaulted Options argument: default member

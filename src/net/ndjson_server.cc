@@ -10,12 +10,20 @@
 
 #include "net/socket_util.h"
 #include "obs/health.h"
+#include "obs/slow_trace.h"
 
 namespace pa::net {
 
 namespace {
 
 constexpr const char* kHealthComponent = "net.listener";
+
+// Registry-owned: the write-wait stage outlives any one server instance.
+obs::Histogram& WriteWaitHistogram() {
+  static obs::Histogram& h =
+      obs::MetricRegistry::Global().GetHistogram("net.write_wait_us");
+  return h;
+}
 
 // Oversize lines get this synthesized envelope; it flows through the normal
 // reorder path so pipelined responses before it still arrive in order.
@@ -79,7 +87,8 @@ bool NdjsonServer::Start(NdjsonServerConfig config, Handler handler,
 void NdjsonServer::Reply(uint64_t conn_id, uint64_t seq, std::string line) {
   {
     std::lock_guard<std::mutex> lock(completions_mu_);
-    completions_.push_back(Completion{conn_id, seq, std::move(line)});
+    completions_.push_back(
+        Completion{conn_id, seq, std::move(line), obs::TraceClockNs()});
   }
   // Wake the poll loop; a full pipe already guarantees a pending wake.
   if (wake_pipe_[1] >= 0) {
@@ -227,7 +236,10 @@ void NdjsonServer::Run() {
   }
 
   // Drain over (or timed out): drop whatever is left.
-  for (auto& [id, conn] : conns_) close(conn.fd);
+  for (auto& [id, conn] : conns_) {
+    AbortTraces(conn);
+    close(conn.fd);
+  }
   conns_.clear();
   connections_now_.store(0, std::memory_order_relaxed);
   connections_gauge_.Set(0.0);
@@ -246,7 +258,7 @@ void NdjsonServer::ApplyCompletions() {
   for (Completion& c : batch) {
     auto it = conns_.find(c.conn_id);
     if (it == conns_.end()) continue;  // Connection died; drop the reply.
-    QueueReply(it->second, c.seq, std::move(c.line));
+    QueueReply(it->second, c.seq, std::move(c.line), c.reply_ns);
   }
 }
 
@@ -299,10 +311,16 @@ bool NdjsonServer::ReadConn(uint64_t id, Conn& conn) {
     if (line.size() > config_.max_line_bytes) {
       oversize_.Increment();
       conn.closing = true;
-      QueueReply(conn, seq, OversizeReply(config_.max_line_bytes));
+      QueueReply(conn, seq, OversizeReply(config_.max_line_bytes), 0);
       break;
     }
     lines_.Increment();
+    // Mint the request's trace and install it around the handler: spans the
+    // handler opens (parse), and the context it captures into the shard
+    // queue, all link under this trace's root. Ended at flush in QueueReply.
+    const obs::TraceContext trace = obs::SlowTraceReservoir::Global().Begin();
+    if (trace.active()) conn.traces.emplace(seq, trace);
+    const obs::TraceContextScope scope(trace);
     handler_(id, seq, std::move(line));
   }
   if (start > 0) conn.read_buf.erase(0, start);
@@ -314,7 +332,7 @@ bool NdjsonServer::ReadConn(uint64_t id, Conn& conn) {
     conn.closing = true;
     conn.read_buf.clear();
     const uint64_t seq = conn.next_seq++;
-    QueueReply(conn, seq, OversizeReply(config_.max_line_bytes));
+    QueueReply(conn, seq, OversizeReply(config_.max_line_bytes), 0);
   }
   return true;
 }
@@ -336,14 +354,32 @@ bool NdjsonServer::WriteConn(Conn& conn) {
   return true;
 }
 
-void NdjsonServer::QueueReply(Conn& conn, uint64_t seq, std::string line) {
-  conn.ready.emplace(seq, std::move(line));
+void NdjsonServer::QueueReply(Conn& conn, uint64_t seq, std::string line,
+                              uint64_t reply_ns) {
+  conn.ready.emplace(seq, PendingReply{std::move(line), reply_ns});
   // Flush the contiguous prefix: responses leave in request order no matter
   // what order the shards finished in.
   auto it = conn.ready.find(conn.next_reply);
   while (it != conn.ready.end()) {
-    conn.write_buf.append(it->second);
+    conn.write_buf.append(it->second.line);
     conn.write_buf.push_back('\n');
+    // The flush completes the request's trace. write_wait covers Reply() →
+    // here: completion-queue latency plus time held behind earlier
+    // sequences in the reorder buffer.
+    auto trace_it = conn.traces.find(conn.next_reply);
+    if (trace_it != conn.traces.end()) {
+      const uint64_t now = obs::TraceClockNs();
+      if (it->second.reply_ns != 0) {
+        const uint64_t span_id = obs::RecordStageSpan(
+            "net.write_wait", it->second.reply_ns, now, trace_it->second);
+        WriteWaitHistogram().RecordWithExemplar(
+            static_cast<double>(now - std::min(now, it->second.reply_ns)) /
+                1000.0,
+            span_id);
+      }
+      obs::SlowTraceReservoir::Global().End(trace_it->second, now);
+      conn.traces.erase(trace_it);
+    }
     conn.ready.erase(it);
     ++conn.next_reply;
     it = conn.ready.find(conn.next_reply);
@@ -352,9 +388,17 @@ void NdjsonServer::QueueReply(Conn& conn, uint64_t seq, std::string line) {
   WriteConn(conn);
 }
 
+void NdjsonServer::AbortTraces(Conn& conn) {
+  for (auto& [seq, trace] : conn.traces) {
+    obs::SlowTraceReservoir::Global().Abort(trace);
+  }
+  conn.traces.clear();
+}
+
 void NdjsonServer::CloseConn(uint64_t id) {
   auto it = conns_.find(id);
   if (it == conns_.end()) return;
+  AbortTraces(it->second);
   const int fd = it->second.fd;
   conns_.erase(it);
   // Publish the new count *before* closing: a peer observes our FIN the

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pa::net {
 
@@ -61,6 +62,14 @@ struct NdjsonServerConfig {
 /// stops accepting and stops reading, but admitted requests still get
 /// their responses written before the loop exits (bounded by
 /// drain_timeout_ms).
+///
+/// Request tracing: the server mints a trace context per request line
+/// (obs::SlowTraceReservoir::Begin) and installs it around the handler
+/// call, so downstream spans — parse, shard queue wait, compute, serialize
+/// — link into one tree. The trace ends when the response flushes into the
+/// connection's write buffer (in request order), which charges reorder
+/// hold time to a synthesized `net.write_wait` span; traces for
+/// connections that die mid-flight are aborted, not published.
 class NdjsonServer {
  public:
   /// Runs on the poll thread once per complete request line (newline
@@ -108,13 +117,26 @@ class NdjsonServer {
   }
 
  private:
+  /// A completed response waiting in the reorder buffer. `reply_ns` is the
+  /// trace clock at Reply() time (0 for server-synthesized replies such as
+  /// oversize rejections): the span between it and the in-order flush is
+  /// the response's write-wait — time lost to earlier sequences still in
+  /// flight plus completion-queue latency.
+  struct PendingReply {
+    std::string line;
+    uint64_t reply_ns = 0;
+  };
+
   struct Conn {
     int fd = -1;
     std::string read_buf;
     std::string write_buf;
     uint64_t next_seq = 0;    // Next sequence to assign to an incoming line.
     uint64_t next_reply = 0;  // Next sequence to flush into write_buf.
-    std::map<uint64_t, std::string> ready;  // Completed, waiting for order.
+    std::map<uint64_t, PendingReply> ready;  // Completed, waiting for order.
+    /// Trace minted per request line, keyed by seq; ended when the response
+    /// flushes into write_buf, aborted if the connection dies first.
+    std::map<uint64_t, obs::TraceContext> traces;
     std::chrono::steady_clock::time_point last_activity;
     bool closing = false;  // No more reads; close once fully drained.
   };
@@ -123,6 +145,7 @@ class NdjsonServer {
     uint64_t conn_id = 0;
     uint64_t seq = 0;
     std::string line;
+    uint64_t reply_ns = 0;  // obs::TraceClockNs() at Reply() time.
   };
 
   void Run();
@@ -133,8 +156,12 @@ class NdjsonServer {
   /// Flushes write_buf; returns false if the conn must die now.
   bool WriteConn(Conn& conn);
   /// Queues `line` as the ordered response for (conn, seq) and flushes the
-  /// contiguous prefix into write_buf.
-  void QueueReply(Conn& conn, uint64_t seq, std::string line);
+  /// contiguous prefix into write_buf, ending each flushed request's trace.
+  void QueueReply(Conn& conn, uint64_t seq, std::string line,
+                  uint64_t reply_ns);
+  /// Aborts every in-flight trace on the connection (it is dying before
+  /// its responses flush).
+  void AbortTraces(Conn& conn);
   void CloseConn(uint64_t id);
   bool Drained() const;
 

@@ -24,6 +24,34 @@ uint64_t UserPoint(int32_t user) {
                           0xA5C3D2E1B4F69788ULL);
 }
 
+// Stage attribution (DESIGN.md "Request tracing"): queue wait and model
+// compute per dequeued task, as registry-owned histograms (immortal — shard
+// engines come and go in tests) with the stage span as exemplar.
+struct StageInstruments {
+  obs::Histogram& queue_wait_us;
+  obs::Histogram& compute_us;
+
+  static StageInstruments& Get() {
+    static StageInstruments instruments{
+        obs::MetricRegistry::Global().GetHistogram("net.queue_wait_us"),
+        obs::MetricRegistry::Global().GetHistogram("serve.compute_us")};
+    return instruments;
+  }
+};
+
+// The queue-wait stage: synthesized from the enqueue stamp (caller thread)
+// and now (worker thread) — no RAII scope can straddle that boundary.
+void RecordQueueWait(const obs::TraceContext& trace,
+                     std::chrono::steady_clock::time_point enqueue,
+                     std::chrono::steady_clock::time_point dequeue) {
+  const uint64_t span = obs::RecordStageSpan(
+      "net.queue_wait", obs::ToTraceNs(enqueue), obs::ToTraceNs(dequeue),
+      trace);
+  StageInstruments::Get().queue_wait_us.RecordWithExemplar(
+      std::chrono::duration<double, std::micro>(dequeue - enqueue).count(),
+      span);
+}
+
 }  // namespace
 
 ShardRing::ShardRing(int num_shards, int vnodes_per_shard)
@@ -145,24 +173,39 @@ void ShardedEngine::WorkerLoop(Shard& shard) {
     }
     switch (task.kind) {
       case Task::Kind::kTopK: {
+        // Restore the request's trace for everything this task does —
+        // compute, the engine's own serve.request span, and the completion
+        // callback (which serializes the response) all link under it.
+        const obs::TraceContextScope trace_scope(task.trace);
         const auto t0 = Clock::now();
-        serve::TopKResponse response =
-            shard.engine->TopKAt(task.topk, task.enqueue);
-        const double service_us =
-            std::chrono::duration<double, std::micro>(Clock::now() - t0)
-                .count();
-        // EWMA with 1/8 gain: reacts within ~a dozen requests, stays
-        // stable against one slow outlier. First sample seeds it directly.
-        const double prev =
-            shard.ewma_service_us.load(std::memory_order_relaxed);
-        shard.ewma_service_us.store(
-            prev == 0.0 ? service_us : prev + (service_us - prev) / 8.0,
-            std::memory_order_relaxed);
+        RecordQueueWait(task.trace, task.enqueue, t0);
+        serve::TopKResponse response;
+        {
+          const obs::TraceSpan compute("serve.compute");
+          response = shard.engine->TopKAt(task.topk, task.enqueue);
+          const double service_us =
+              std::chrono::duration<double, std::micro>(Clock::now() - t0)
+                  .count();
+          StageInstruments::Get().compute_us.RecordWithExemplar(service_us,
+                                                               compute.id());
+          // EWMA with 1/8 gain: reacts within ~a dozen requests, stays
+          // stable against one slow outlier. First sample seeds it directly.
+          const double prev =
+              shard.ewma_service_us.load(std::memory_order_relaxed);
+          shard.ewma_service_us.store(
+              prev == 0.0 ? service_us : prev + (service_us - prev) / 8.0,
+              std::memory_order_relaxed);
+        }
         if (task.topk_done) task.topk_done(std::move(response));
         break;
       }
       case Task::Kind::kObserve: {
-        shard.engine->Observe(task.checkin);
+        const obs::TraceContextScope trace_scope(task.trace);
+        RecordQueueWait(task.trace, task.enqueue, Clock::now());
+        {
+          const obs::TraceSpan compute("serve.compute");
+          shard.engine->Observe(task.checkin);
+        }
         if (task.observe_done) task.observe_done(serve::RequestStatus::kOk);
         break;
       }
@@ -193,6 +236,7 @@ void ShardedEngine::TopKAsync(const serve::TopKRequest& request,
   task.topk = request;
   task.topk_done = std::move(done);
   task.enqueue = Clock::now();
+  task.trace = obs::CurrentTraceContext();
   if (!Admit(shard, std::move(task), /*control_plane=*/false)) {
     // Rejected: `task` was not consumed, its callback is still ours.
     shard.shed.Increment();
@@ -212,6 +256,7 @@ void ShardedEngine::ObserveAsync(const poi::Checkin& checkin,
   task.checkin = checkin;
   task.observe_done = std::move(done);
   task.enqueue = Clock::now();
+  task.trace = obs::CurrentTraceContext();
   if (!Admit(shard, std::move(task), /*control_plane=*/false)) {
     shard.shed.Increment();
     if (task.observe_done) task.observe_done(serve::RequestStatus::kOverloaded);

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/engine.h"
 
 namespace pa::net {
@@ -138,6 +139,9 @@ class ShardedEngine {
     std::shared_ptr<const serve::LoadedModel> model;
     std::function<void()> swap_done;
     Clock::time_point enqueue{};
+    /// Captured from the caller at enqueue, restored around execution on
+    /// the shard worker — the trace follows the request across the queue.
+    obs::TraceContext trace{};
   };
 
   struct Shard {

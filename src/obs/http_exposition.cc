@@ -10,6 +10,7 @@
 #include "net/socket_util.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
+#include "obs/slow_trace.h"
 
 namespace pa::obs {
 
@@ -74,10 +75,13 @@ HttpResponse Route(const std::string& method, const std::string& path) {
     if (HealthRegistry::Global().Overall() == HealthStatus::kFailed) {
       r.status = 503;
     }
+  } else if (path == "/slowz") {
+    r.content_type = "application/json";
+    r.body = SlowTraceReservoir::Global().Json() + "\n";
   } else {
     r.status = 404;
     r.content_type = "text/plain";
-    r.body = "not found; try /metrics /varz /healthz\n";
+    r.body = "not found; try /metrics /varz /healthz /slowz\n";
   }
   return r;
 }
@@ -98,20 +102,19 @@ std::string RenderHttpResponse(const HttpResponse& response) {
 
 }  // namespace internal
 
-namespace {
-
 /// Reads up to the end of the request headers (or a size cap) and answers
 /// one request. Deliberately minimal: the request body, if any, is ignored,
 /// and only the request line is parsed.
-void HandleConnection(int fd) {
+void ExpositionServer::HandleConnection(int fd) {
   // A scraper that dawdles must not wedge the single listener thread.
   timeval timeout{};
-  timeout.tv_sec = 5;
+  timeout.tv_sec = config_.recv_timeout_ms / 1000;
+  timeout.tv_usec = (config_.recv_timeout_ms % 1000) * 1000;
   setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
 
   std::string request;
   char buf[2048];
-  while (request.size() < 16 * 1024 &&
+  while (request.size() < config_.max_request_bytes &&
          request.find("\r\n\r\n") == std::string::npos) {
     const ssize_t n = recv(fd, buf, sizeof(buf), 0);
     if (n <= 0) break;
@@ -153,16 +156,19 @@ void HandleConnection(int fd) {
   close(fd);
 }
 
-}  // namespace
-
-bool ExpositionServer::Start(uint16_t port) {
+bool ExpositionServer::Start(const ExpositionServerConfig& config) {
   if (thread_.joinable()) return false;
   uint16_t bound = 0;
-  const int fd = net::ListenTcp(port, /*loopback_only=*/true, &bound,
+  const int fd = net::ListenTcp(config.port, /*loopback_only=*/true, &bound,
                                 /*error=*/nullptr);
   if (fd < 0) return false;
+  config_ = config;
   listen_fd_ = fd;
   port_ = bound;
+  // Discoverability for ephemeral ports (--metrics-port=0): the bound port
+  // rides on every registry surface (/varz, stats op, telemetry NDJSON).
+  port_gauge_.Set(static_cast<double>(bound));
+  MetricRegistry::Global().RegisterGauge("obs.exposition.port", &port_gauge_);
   stop_requested_.store(false, std::memory_order_relaxed);
   thread_ = std::thread(&ExpositionServer::Run, this);
   return true;
@@ -172,6 +178,7 @@ void ExpositionServer::Stop() {
   if (!thread_.joinable()) return;
   stop_requested_.store(true, std::memory_order_relaxed);
   thread_.join();
+  MetricRegistry::Global().Unregister("obs.exposition.port", &port_gauge_);
   close(listen_fd_);
   listen_fd_ = -1;
   port_ = 0;

@@ -2,9 +2,12 @@
 #define PA_OBS_HTTP_EXPOSITION_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <thread>
+
+#include "obs/metrics.h"
 
 namespace pa::obs {
 
@@ -23,8 +26,25 @@ namespace pa::obs {
 ///   /healthz   HealthRegistry::Global().Json(); status 200 unless the
 ///              overall health is FAILED, then 503 — load balancers and
 ///              smoke tests can key off the status code alone.
+///   /slowz     SlowTraceReservoir::Global().Json(): the K worst-latency
+///              completed request traces with full span trees (see
+///              slow_trace.h and DESIGN.md "Request tracing").
 ///
 /// Anything else answers 404; non-GET answers 405.
+///
+/// While running, the bound port is published as the `obs.exposition.port`
+/// gauge, so the stats op / /varz / telemetry NDJSON all carry it — tooling
+/// can discover an ephemeral `--metrics-port=0` without parsing stderr.
+struct ExpositionServerConfig {
+  /// 0 = kernel-assigned ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// A client that stops sending mid-request (slow loris) is cut off after
+  /// this long; it holds the single listener thread until then.
+  int recv_timeout_ms = 5000;
+  /// Request bytes read before giving up on finding the header terminator.
+  size_t max_request_bytes = 16 * 1024;
+};
+
 class ExpositionServer {
  public:
   ExpositionServer() = default;
@@ -35,7 +55,12 @@ class ExpositionServer {
   /// Binds 127.0.0.1:`port` (0 = kernel-assigned ephemeral port) and starts
   /// the listener thread. Returns false if the socket cannot be bound or
   /// the server is already running.
-  bool Start(uint16_t port);
+  bool Start(uint16_t port) {
+    ExpositionServerConfig config;
+    config.port = port;
+    return Start(config);
+  }
+  bool Start(const ExpositionServerConfig& config);
 
   /// Unblocks the listener, joins the thread, closes the socket. Safe to
   /// call when not running.
@@ -48,11 +73,14 @@ class ExpositionServer {
 
  private:
   void Run();
+  void HandleConnection(int fd);
 
+  ExpositionServerConfig config_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::atomic<bool> stop_requested_{false};
   std::thread thread_;
+  Gauge port_gauge_;
 };
 
 namespace internal {

@@ -8,6 +8,8 @@
 #include <mutex>
 
 #include "obs/json_util.h"
+#include "obs/metrics.h"
+#include "obs/slow_trace.h"
 
 namespace pa::obs {
 
@@ -18,7 +20,7 @@ std::atomic<bool> g_tracing{false};
 namespace {
 
 // Most recent spans kept per thread; older spans are overwritten (ring).
-// 64Ki events * 32 bytes = 2 MiB per tracing thread, bounded.
+// 64Ki events * 48 bytes = 3 MiB per tracing thread, bounded.
 constexpr size_t kMaxEventsPerThread = size_t{1} << 16;
 
 struct ThreadTraceBuffer {
@@ -44,6 +46,23 @@ std::vector<std::shared_ptr<ThreadTraceBuffer>>& Buffers() {
 }
 
 std::atomic<uint64_t> g_dropped_after_teardown{0};
+
+// Ring overflow surfaced as registry instruments (satellite of the request
+// tracing work): `obs.trace.dropped_total` mirrors TraceEventsDropped() and
+// `obs.trace.ring_high_water` is the largest per-thread ring occupancy seen.
+// Registry-owned instruments are immortal, so drop accounting keeps working
+// during static teardown.
+struct TraceInstruments {
+  Counter& dropped;
+  Gauge& ring_high_water;
+
+  static TraceInstruments& Get() {
+    static TraceInstruments instruments{
+        MetricRegistry::Global().GetCounter("obs.trace.dropped_total"),
+        MetricRegistry::Global().GetGauge("obs.trace.ring_high_water")};
+    return instruments;
+  }
+};
 
 // Teardown-safe thread-local pointer (same pattern as
 // tensor::internal::t_buffer_pool): null before first span and after
@@ -102,25 +121,38 @@ uint64_t NextSpanId() {
 }
 
 void RecordSpan(const char* name, uint64_t start_ns, uint64_t end_ns,
-                uint64_t id) {
+                uint64_t id, uint64_t trace_id, uint64_t parent_id) {
   ThreadTraceBuffer* buf = ThisThreadBuffer();
-  if (buf == nullptr) {
-    g_dropped_after_teardown.fetch_add(1, std::memory_order_relaxed);
-    return;
-  }
+
   TraceEvent event;
   event.name = name;
   event.start_ns = start_ns;
   event.dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
-  event.tid = buf->tid;
+  event.tid = buf != nullptr ? buf->tid : 0;
   event.id = id;
+  event.trace_id = trace_id;
+  event.parent_id = parent_id;
+
+  // Request-trace capture first: it must see the span even when the ring
+  // buffers are off (the always-on slow-request reservoir rides on it).
+  if (trace_id != 0) SlowTraceReservoir::Global().Append(trace_id, event);
+
+  if (!g_tracing.load(std::memory_order_relaxed)) return;
+  if (buf == nullptr) {
+    g_dropped_after_teardown.fetch_add(1, std::memory_order_relaxed);
+    TraceInstruments::Get().dropped.Increment();
+    return;
+  }
   std::lock_guard<std::mutex> lock(buf->mu);
   if (buf->events.size() < kMaxEventsPerThread) {
     buf->events.push_back(event);
+    TraceInstruments::Get().ring_high_water.UpdateMax(
+        static_cast<double>(buf->events.size()));
   } else {
     buf->events[buf->next] = event;
     buf->next = (buf->next + 1) % kMaxEventsPerThread;
     ++buf->overwritten;
+    TraceInstruments::Get().dropped.Increment();
   }
 }
 
@@ -128,6 +160,28 @@ void RecordSpan(const char* name, uint64_t start_ns, uint64_t end_ns,
 
 void SetTracingEnabled(bool on) {
   internal::g_tracing.store(on, std::memory_order_relaxed);
+}
+
+uint64_t TraceClockNs() { return internal::NowNs(); }
+
+uint64_t ToTraceNs(std::chrono::steady_clock::time_point tp) {
+  const auto since_epoch = tp - TraceEpoch();
+  if (since_epoch.count() < 0) return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(since_epoch)
+          .count());
+}
+
+uint64_t RecordStageSpan(const char* name, uint64_t start_ns, uint64_t end_ns,
+                         const TraceContext& ctx) {
+  if (ctx.trace_id == 0 &&
+      !internal::g_tracing.load(std::memory_order_relaxed)) {
+    return 0;
+  }
+  const uint64_t id = internal::NextSpanId();
+  internal::RecordSpan(name, start_ns, end_ns, id, ctx.trace_id,
+                       ctx.parent_span);
+  return id;
 }
 
 std::vector<TraceEvent> DrainTraceEvents() {
@@ -178,6 +232,13 @@ void AppendMicros(uint64_t ns, std::string* out) {
 
 }  // namespace
 
+std::string TraceIdHex(uint64_t trace_id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llx",
+                static_cast<unsigned long long>(trace_id));
+  return buf;
+}
+
 std::string ChromeTraceJson(const std::vector<TraceEvent>& events) {
   std::string out = "{\"traceEvents\":[";
   bool first = true;
@@ -192,9 +253,16 @@ std::string ChromeTraceJson(const std::vector<TraceEvent>& events) {
     AppendMicros(e.dur_ns, &out);
     out += ",\"pid\":1,\"tid\":";
     out += std::to_string(e.tid);
-    // Top-level (non-standard) field; chrome://tracing ignores unknown keys.
+    // Top-level (non-standard) fields; chrome://tracing ignores unknown
+    // keys. trace/parent appear only on spans linked into a request trace.
     out += ",\"id\":";
     out += std::to_string(e.id);
+    if (e.trace_id != 0) {
+      out += ",\"trace\":\"";
+      out += TraceIdHex(e.trace_id);
+      out += "\",\"parent\":";
+      out += std::to_string(e.parent_id);
+    }
     out += '}';
   }
   out += "],\"displayTimeUnit\":\"ms\"}";
@@ -214,6 +282,12 @@ std::string TraceNdjson(const std::vector<TraceEvent>& events) {
     out += std::to_string(e.tid);
     out += ",\"id\":";
     out += std::to_string(e.id);
+    if (e.trace_id != 0) {
+      out += ",\"trace\":\"";
+      out += TraceIdHex(e.trace_id);
+      out += "\",\"parent\":";
+      out += std::to_string(e.parent_id);
+    }
     out += "}\n";
   }
   return out;

@@ -2,13 +2,15 @@
 #define PA_OBS_TRACE_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 namespace pa::obs {
 
-/// Scoped tracing with per-thread ring buffers.
+/// Scoped tracing with per-thread ring buffers and request-scoped trace
+/// contexts.
 ///
 /// Usage at a call site:
 ///
@@ -20,20 +22,46 @@ namespace pa::obs {
 /// `name` must be a string literal (or otherwise outlive the trace): spans
 /// store the pointer, not a copy, so the hot path never allocates.
 ///
-/// Off by default. When tracing is off a span is one relaxed atomic load
-/// and a branch — the constructor reads the global flag and records
-/// nothing. When on, begin/end take one steady-clock read each and the
-/// completed span is appended to the calling thread's ring buffer (per
-/// buffer mutex, uncontended except against a concurrent drain). Buffers
-/// hold the most recent `kMaxEventsPerThread` spans per thread; older spans
-/// are overwritten and counted as dropped.
+/// Two independent switches decide whether a span records anything:
 ///
-/// Enable programmatically with `SetTracingEnabled(true)` and export with
-/// `DrainTraceEvents` + `ChromeTraceJson`/`TraceNdjson`, or set
-/// `PA_OBS_TRACE=<path>` in the environment: any binary linking an
-/// instrumented layer then starts with tracing on and dumps the trace to
-/// `<path>` at process exit (Trace Event JSON for chrome://tracing /
-/// Perfetto, or NDJSON when the path ends in ".ndjson").
+///  * **Process tracing** (`SetTracingEnabled` / `PA_OBS_TRACE=<path>`):
+///    every span goes to the calling thread's ring buffer for a
+///    chrome://tracing / NDJSON dump. Off by default.
+///  * **An active request trace** (`TraceContext`, see below): the span
+///    additionally links itself under the current trace and is captured
+///    into that trace's span tree (see slow_trace.h). Always on in serving
+///    binaries unless `PA_TRACE_REQUESTS=off`.
+///
+/// When both are off a span is one relaxed atomic load, one thread-local
+/// read and a branch — the constructor records nothing. When either is on,
+/// begin/end take one steady-clock read each.
+///
+/// Buffers hold the most recent `kMaxEventsPerThread` spans per thread;
+/// older spans are overwritten and counted as dropped (visible as the
+/// `obs.trace.dropped_total` registry counter).
+///
+/// ## Request-scoped tracing (Dapper-style, in-process)
+///
+/// A `TraceContext` is {trace id, parent span id}, carried in a
+/// thread-local slot. Spans opened while a context is active record the
+/// trace id and link to the innermost enclosing span (`parent_id`); each
+/// span installs itself as the parent for its own scope, so nesting falls
+/// out of RAII. The context never crosses a thread by itself — every
+/// thread handoff captures `CurrentTraceContext()` alongside the work and
+/// restores it on the other side with a `TraceContextScope`:
+///
+///   ShardedEngine::Task captures at enqueue, restores in the shard worker;
+///   ThreadPool::Submit/ParallelForRange capture at submit, restore in the
+///   pool worker; NdjsonServer mints a fresh context per request line.
+struct TraceContext {
+  /// 0 = no active trace (spans still work, they just do not link).
+  uint64_t trace_id = 0;
+  /// Span id new child spans link under (the trace's root span until a
+  /// nested span installs itself).
+  uint64_t parent_span = 0;
+
+  bool active() const { return trace_id != 0; }
+};
 
 /// One completed span. Times are steady-clock nanoseconds relative to the
 /// process trace epoch; `tid` is a small dense id assigned per thread in
@@ -48,23 +76,79 @@ struct TraceEvent {
   /// (Histogram::RecordWithExemplar) link a p99 latency to the request span
   /// that produced it.
   uint64_t id = 0;
+  /// Request trace this span belongs to (0 = none active when it ran).
+  uint64_t trace_id = 0;
+  /// Enclosing span within the trace (0 = root / unlinked).
+  uint64_t parent_id = 0;
 };
 
 namespace internal {
 extern std::atomic<bool> g_tracing;
-/// Appends one completed span to the calling thread's ring buffer.
+/// Appends one completed span to the calling thread's ring buffer and, when
+/// `trace_id` names a live request trace, to that trace's span collection.
 void RecordSpan(const char* name, uint64_t start_ns, uint64_t end_ns,
-                uint64_t id);
+                uint64_t id, uint64_t trace_id, uint64_t parent_id);
 /// Steady-clock nanoseconds since the process trace epoch.
 uint64_t NowNs();
 /// Next process-unique span id (never 0).
 uint64_t NextSpanId();
+/// The calling thread's current-context slot. Mutated only through
+/// TraceContextScope and TraceSpan (LIFO by construction).
+inline TraceContext& ContextSlot() {
+  thread_local TraceContext slot;
+  return slot;
+}
 }  // namespace internal
 
 inline bool TracingEnabled() {
   return internal::g_tracing.load(std::memory_order_relaxed);
 }
 void SetTracingEnabled(bool on);
+
+/// The calling thread's active request context ({0,0} when none). Capture
+/// this next to work that hops threads and restore it with a
+/// TraceContextScope on the executing thread.
+inline TraceContext CurrentTraceContext() { return internal::ContextSlot(); }
+
+/// Installs `ctx` as the thread's current context for the enclosing scope
+/// and restores the previous context on exit. Cheap enough to install
+/// unconditionally (two thread-local copies), including an inactive {0,0}
+/// context — which deliberately *isolates* the scope from any ambient one.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(TraceContext ctx)
+      : saved_(internal::ContextSlot()) {
+    internal::ContextSlot() = ctx;
+  }
+  ~TraceContextScope() { internal::ContextSlot() = saved_; }
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+/// Steady-clock nanoseconds since the trace epoch (public alias of
+/// internal::NowNs for stage-timing call sites outside obs).
+uint64_t TraceClockNs();
+
+/// Converts a steady_clock time point (e.g. a queue-entry stamp taken for
+/// deadline math) to trace-epoch nanoseconds without a second clock read.
+uint64_t ToTraceNs(std::chrono::steady_clock::time_point tp);
+
+/// Records a completed span synthesized from explicit timestamps — for
+/// stages whose start and end are observed on different threads (queue
+/// wait, write wait) where no RAII scope can cover the interval. Links
+/// under `ctx` exactly as a TraceSpan opened there would. Returns the span
+/// id, or 0 when neither tracing switch was on (safe to pass straight to
+/// RecordWithExemplar).
+uint64_t RecordStageSpan(const char* name, uint64_t start_ns, uint64_t end_ns,
+                         const TraceContext& ctx);
+
+/// Lower-case hex rendering of a trace id — the form echoed in NDJSON
+/// response envelopes ("trace":"<hex>") and accepted by
+/// `trace_summary.py --trace`.
+std::string TraceIdHex(uint64_t trace_id);
 
 /// Moves every buffered span out of every thread's ring buffer (including
 /// threads that have since exited) and returns them sorted by start time.
@@ -78,7 +162,8 @@ uint64_t TraceEventsDropped();
 std::string ChromeTraceJson(const std::vector<TraceEvent>& events);
 
 /// One flat JSON object per line:
-/// {"name":...,"ts_us":...,"dur_us":...,"tid":...,"id":...}
+/// {"name":...,"ts_us":...,"dur_us":...,"tid":...,"id":...,
+///  "trace":"<hex>","parent":N}  (trace/parent only on linked spans)
 std::string TraceNdjson(const std::vector<TraceEvent>& events);
 
 /// Drains and writes to `path` (NDJSON when the path ends in ".ndjson",
@@ -91,15 +176,22 @@ bool WriteTraceFile(const std::string& path);
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name) {
-    if (internal::g_tracing.load(std::memory_order_relaxed)) {
+    TraceContext& ctx = internal::ContextSlot();
+    if (internal::g_tracing.load(std::memory_order_relaxed) ||
+        ctx.trace_id != 0) {
       name_ = name;
       start_ns_ = internal::NowNs();
       id_ = internal::NextSpanId();
+      trace_id_ = ctx.trace_id;
+      parent_ = ctx.parent_span;
+      if (trace_id_ != 0) ctx.parent_span = id_;  // Children link under us.
     }
   }
   ~TraceSpan() {
     if (name_ != nullptr) {
-      internal::RecordSpan(name_, start_ns_, internal::NowNs(), id_);
+      if (trace_id_ != 0) internal::ContextSlot().parent_span = parent_;
+      internal::RecordSpan(name_, start_ns_, internal::NowNs(), id_,
+                           trace_id_, parent_);
     }
   }
   TraceSpan(const TraceSpan&) = delete;
@@ -114,6 +206,8 @@ class TraceSpan {
   const char* name_ = nullptr;
   uint64_t start_ns_ = 0;
   uint64_t id_ = 0;
+  uint64_t trace_id_ = 0;
+  uint64_t parent_ = 0;
 };
 
 #define PA_OBS_CONCAT_INNER_(a, b) a##b

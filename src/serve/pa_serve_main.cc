@@ -40,8 +40,10 @@
 //     Request traffic stays on stdin/stdout; `--metrics-port N` (0 = an
 //     ephemeral port, printed to stderr) additionally starts the loopback
 //     HTTP exposition server with GET /metrics (Prometheus text), /varz
-//     (registry JSON) and /healthz (component health, 503 on FAILED) so a
-//     scraper can watch a long-lived loop.
+//     (registry JSON), /healthz (component health, 503 on FAILED) and
+//     /slowz (the K worst-latency request traces) so a scraper can watch a
+//     long-lived loop. The bound port is also surfaced as the stats op's
+//     "metrics_port" field and the obs.exposition.port gauge.
 //
 //   pa_serve listen --store DIR --model LSTM [--version N] [--port N]
 //                   [--shards K] [--deadline-ms N] [--queue-capacity N]
@@ -58,6 +60,16 @@
 //     "quit"}, SIGINT or SIGTERM drain gracefully (responses for admitted
 //     requests are flushed before exit).
 //
+//   pa_serve slowz --port N
+//     Fetches GET /slowz from a running server's metrics exposition port
+//     and prints the JSON body: the K worst-latency request traces
+//     captured so far, each with its full span tree (net.parse,
+//     net.queue_wait, serve.compute, net.serialize, net.write_wait and
+//     everything that ran under them). Pair with the "trace":"<hex>" id
+//     echoed in every NDJSON response envelope to look up a specific slow
+//     request, and scripts/trace_summary.py --trace <hex> for the
+//     critical-path view.
+//
 //   pa_serve stats --store DIR [--model LSTM] [--version N] [--probe N]
 //     Loads the model, drives a small probe workload (N users each observe
 //     a couple of check-ins, then one top-k batch) through a fresh engine,
@@ -70,6 +82,9 @@
 // All long-lived subcommands honor PA_OBS_TIMESERIES=<path> (+ optional
 // PA_OBS_SAMPLE_PERIOD_MS): a background sampler appends one NDJSON
 // registry snapshot per period with delta-encoded counters.
+
+#include <errno.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
@@ -87,10 +102,13 @@
 #include "net/ndjson_protocol.h"
 #include "net/ndjson_server.h"
 #include "net/sharded_engine.h"
+#include "net/socket_util.h"
 #include "obs/health.h"
 #include "obs/http_exposition.h"
 #include "obs/metrics.h"
+#include "obs/slow_trace.h"
 #include "obs/telemetry_sampler.h"
+#include "obs/trace.h"
 #include "poi/csv.h"
 #include "poi/synthetic.h"
 #include "rec/registry.h"
@@ -169,8 +187,8 @@ bool ParseFlags(int argc, char** argv, int first, Flags* flags) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: pa_serve <publish|list|activate|serve|listen|stats> "
-               "--store DIR [options]\n(see the header of "
+               "usage: pa_serve <publish|list|activate|serve|listen|stats|"
+               "slowz> --store DIR [options]\n(see the header of "
                "src/serve/pa_serve_main.cc)\n");
   return 2;
 }
@@ -337,13 +355,24 @@ int CmdServe(const Flags& flags) {
   net::NdjsonDispatcher::Options options;
   options.store = &store;
   options.default_model = flags.Get("model", "LSTM");
+  options.metrics_port = exposition.port();
   net::NdjsonDispatcher dispatcher(&engine, options);
 
   std::string line;
   while (std::getline(std::cin, line)) {
     if (line.empty()) continue;
     bool quit = false;
-    Reply(dispatcher.HandleLine(line, &quit));
+    // One trace per stdin line, mirroring the TCP front-end: minted here,
+    // installed around the blocking dispatch, ended once the response is
+    // in hand (write-wait is meaningless on a blocking stdout).
+    const obs::TraceContext trace = obs::SlowTraceReservoir::Global().Begin();
+    std::string response;
+    {
+      const obs::TraceContextScope scope(trace);
+      response = dispatcher.HandleLine(line, &quit);
+    }
+    obs::SlowTraceReservoir::Global().End(trace);
+    Reply(response);
     if (quit) break;
   }
   return 0;
@@ -376,6 +405,7 @@ int CmdListen(const Flags& flags) {
   net::NdjsonDispatcher::Options options;
   options.store = &store;
   options.default_model = flags.Get("model", "LSTM");
+  options.metrics_port = exposition.port();
   options.on_quit = [&server] { server.RequestShutdown(); };
   net::NdjsonDispatcher dispatcher(&engine, options);
 
@@ -421,6 +451,60 @@ int CmdListen(const Flags& flags) {
   g_listen_server = nullptr;
   obs::HealthRegistry::Global().Remove("serve.model");
   std::fprintf(stderr, "pa_serve: drained, shutting down\n");
+  return 0;
+}
+
+int CmdSlowz(const Flags& flags) {
+  const long port = flags.GetInt("port", 0);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr,
+                 "pa_serve: slowz requires --port N (the server's "
+                 "--metrics-port; with --metrics-port=0 read the bound port "
+                 "from the stats op's \"metrics_port\" field)\n");
+    return 2;
+  }
+  std::string error;
+  const int fd = net::ConnectTcp(static_cast<uint16_t>(port), &error);
+  if (fd < 0) {
+    std::fprintf(stderr, "pa_serve: cannot connect to 127.0.0.1:%ld: %s\n",
+                 port, error.c_str());
+    return 1;
+  }
+  const std::string request =
+      "GET /slowz HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n";
+  if (!net::SendAll(fd, request.data(), request.size())) {
+    std::fprintf(stderr, "pa_serve: cannot send request to 127.0.0.1:%ld\n",
+                 port);
+    close(fd);
+    return 1;
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      response.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;  // EOF (Connection: close) or error; either way we have the body.
+  }
+  close(fd);
+
+  const size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    std::fprintf(stderr, "pa_serve: malformed HTTP response from port %ld\n",
+                 port);
+    return 1;
+  }
+  const std::string status_line =
+      response.substr(0, response.find("\r\n"));
+  if (status_line.find(" 200 ") == std::string::npos) {
+    std::fprintf(stderr, "pa_serve: /slowz answered \"%s\"\n",
+                 status_line.c_str());
+    return 1;
+  }
+  std::fputs(response.c_str() + header_end + 4, stdout);
   return 0;
 }
 
@@ -503,5 +587,6 @@ int main(int argc, char** argv) {
   if (command == "serve") return CmdServe(flags);
   if (command == "listen") return CmdListen(flags);
   if (command == "stats") return CmdStats(flags);
+  if (command == "slowz") return CmdSlowz(flags);
   return Usage();
 }

@@ -91,13 +91,14 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+void ThreadPool::Submit(std::function<void()> task, obs::TraceContext trace) {
   auto& instruments = PoolInstruments::Get();
   instruments.submitted.Increment();
   if (num_threads_ == 1) {
     // Inline execution has no queueing delay by construction; record the
     // zero so a 1-thread run still shows one wait sample per Submit.
     instruments.task_wait_us.Record(0.0);
+    const obs::TraceContextScope scope(trace);
     task();
     return;
   }
@@ -105,11 +106,12 @@ void ThreadPool::Submit(std::function<void()> task) {
   size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.emplace_back([task = std::move(task), enqueue] {
+    queue_.emplace_back([task = std::move(task), enqueue, trace] {
       PoolInstruments::Get().task_wait_us.Record(
           std::chrono::duration<double, std::micro>(
               std::chrono::steady_clock::now() - enqueue)
               .count());
+      const obs::TraceContextScope scope(trace);
       task();
     });
     depth = queue_.size();
@@ -136,6 +138,8 @@ void ThreadPool::ParallelForRange(
   // Only genuine fan-outs get a span: the inline paths above run per-op in
   // tight numeric loops and would drown a trace in zero-width events.
   PA_TRACE_SPAN("util.parallel_for");
+  // Captured after the span opens, so queued blocks link under it.
+  const obs::TraceContext trace = obs::CurrentTraceContext();
 
   // Split into blocks. A few blocks per thread smooths load imbalance
   // without flooding the queue.
@@ -160,7 +164,8 @@ void ThreadPool::ParallelForRange(
     for (int64_t b = 1; b < blocks; ++b) {
       const int64_t lo = begin + b * block_len;
       const int64_t hi = std::min(end, lo + block_len);
-      queue_.emplace_back([state, lo, hi, &fn] {
+      queue_.emplace_back([state, lo, hi, &fn, trace] {
+        const obs::TraceContextScope scope(trace);
         fn(lo, hi);
         if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
           std::lock_guard<std::mutex> done_lock(state->mu);

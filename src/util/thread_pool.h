@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace pa::util {
 
 /// Fixed-size worker pool behind the library's deterministic parallel
@@ -42,7 +44,18 @@ class ThreadPool {
   /// sits in a queue nothing drains. Unlike `ParallelFor`, `Submit` never
   /// waits: completion signalling is the caller's job (the serving engine
   /// pairs it with `std::packaged_task` futures).
-  void Submit(std::function<void()> task);
+  ///
+  /// The caller's request-trace context rides along: the task runs under
+  /// `obs::CurrentTraceContext()` as captured at submit time, so spans it
+  /// opens link into the submitting request's trace.
+  void Submit(std::function<void()> task) {
+    Submit(std::move(task), obs::CurrentTraceContext());
+  }
+
+  /// Context-propagating overload: runs `task` under `trace` (restored with
+  /// a TraceContextScope on the executing thread) — for callers that carry
+  /// a context through their own handoff instead of the thread-local slot.
+  void Submit(std::function<void()> task, obs::TraceContext trace);
 
   /// Runs `fn(lo, hi)` over disjoint sub-ranges covering [begin, end).
   /// Ranges are contiguous, at least `grain` long (except the last), and

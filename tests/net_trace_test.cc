@@ -1,0 +1,298 @@
+// End-to-end request tracing through the networked serving stack: a real
+// TCP client sends a pipelined request to an NdjsonServer wired to a
+// ShardedEngine, reads the "trace" id echoed in the response envelope, and
+// finds that trace — with its linked net.parse / net.queue_wait /
+// serve.compute / net.serialize stage spans — in the slow-trace reservoir
+// and on the exposition server's /slowz endpoint. This is the attribution
+// round trip the whole subsystem exists for.
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/ndjson_protocol.h"
+#include "net/ndjson_server.h"
+#include "net/sharded_engine.h"
+#include "net/socket_util.h"
+#include "obs/http_exposition.h"
+#include "obs/slow_trace.h"
+#include "obs/trace.h"
+#include "rec/registry.h"
+#include "serve/json.h"
+
+namespace pa::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr int64_t kHour = 3600;
+
+std::shared_ptr<const serve::LoadedModel> FittedModel() {
+  auto loaded = std::make_shared<serve::LoadedModel>();
+  std::vector<geo::LatLng> coords;
+  for (int i = 0; i < 8; ++i) coords.push_back({40.0 + 0.01 * i, -100.0});
+  loaded->pois = std::make_shared<poi::PoiTable>(std::move(coords));
+  std::vector<poi::CheckinSequence> train(3);
+  for (int u = 0; u < 3; ++u) {
+    for (int i = 0; i < 40; ++i) {
+      train[u].push_back({u, i % 4, i * 3 * kHour, false});
+    }
+  }
+  auto model = rec::MakeRecommender("FPMC-LR", 7, 0.2);
+  model->Fit(train, *loaded->pois);
+  loaded->name = model->name();
+  loaded->model = std::move(model);
+  return loaded;
+}
+
+// Blocking line read from a client socket (test side only).
+class LineClient {
+ public:
+  explicit LineClient(uint16_t port) {
+    std::string error;
+    fd_ = ConnectTcp(port, &error);
+    EXPECT_GE(fd_, 0) << error;
+  }
+  ~LineClient() {
+    if (fd_ >= 0) close(fd_);
+  }
+
+  bool Send(const std::string& data) {
+    return SendAll(fd_, data.data(), data.size());
+  }
+
+  std::string ReadLine(int timeout_ms = 5000) {
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      const size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+      }
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                Clock::now());
+      if (remaining.count() <= 0) return "";
+      pollfd pfd{fd_, POLLIN, 0};
+      if (PollRetry(&pfd, 1, static_cast<int>(remaining.count())) <= 0) {
+        return "";
+      }
+      char buf[4096];
+      const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) return "";
+      buffer_.append(buf, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+// GET `path` from the exposition server; returns the body ("" on failure).
+std::string HttpGet(uint16_t port, const std::string& path) {
+  std::string error;
+  const int fd = ConnectTcp(port, &error);
+  if (fd < 0) return "";
+  const std::string request = "GET " + path +
+                              " HTTP/1.1\r\nHost: t\r\nConnection: close\r\n"
+                              "\r\n";
+  if (!SendAll(fd, request.data(), request.size())) {
+    close(fd);
+    return "";
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      response.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;
+  }
+  close(fd);
+  const size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) return "";
+  return response.substr(header_end + 4);
+}
+
+// The hex trace id from a response envelope (0 when absent). Extracted by
+// string scan rather than the strict flat parser: topk envelopes carry a
+// nested "pois" array.
+uint64_t TraceIdFromEnvelope(const std::string& line) {
+  const std::string key = "\"trace\":\"";
+  const size_t at = line.find(key);
+  if (at == std::string::npos) return 0;
+  const size_t start = at + key.size();
+  const size_t end = line.find('"', start);
+  if (end == std::string::npos) return 0;
+  return std::strtoull(line.substr(start, end - start).c_str(), nullptr, 16);
+}
+
+// One assembled stack: sharded engine behind the dispatcher behind the TCP
+// server, with the exposition server for /slowz.
+class TraceRoundTripTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::SetRequestTracingEnabled(true);
+    obs::SlowTraceReservoir::Global().Clear();
+
+    ShardedEngineConfig shard_config;
+    shard_config.num_shards = 2;
+    engine_ = std::make_unique<ShardedEngine>(FittedModel(), shard_config);
+    dispatcher_ = std::make_unique<NdjsonDispatcher>(engine_.get());
+
+    NdjsonServerConfig config;
+    config.poll_interval_ms = 10;
+    ASSERT_TRUE(server_.Start(
+        config,
+        [this](uint64_t conn, uint64_t seq, std::string line) {
+          dispatcher_->HandleLineAsync(std::move(line),
+                                       [this, conn, seq](std::string r) {
+                                         server_.Reply(conn, seq,
+                                                       std::move(r));
+                                       });
+        }));
+    ASSERT_TRUE(exposition_.Start(0));
+  }
+
+  void TearDown() override {
+    server_.Stop();
+    exposition_.Stop();
+    obs::SlowTraceReservoir::Global().Clear();
+  }
+
+  NdjsonServer server_;
+  obs::ExpositionServer exposition_;
+  std::unique_ptr<ShardedEngine> engine_;
+  std::unique_ptr<NdjsonDispatcher> dispatcher_;
+};
+
+TEST_F(TraceRoundTripTest, EnvelopeTraceIdResolvesOnSlowzWithStageSpans) {
+  LineClient client(server_.port());
+  const Clock::time_point t0 = Clock::now();
+  ASSERT_TRUE(client.Send(
+      "{\"op\":\"observe\",\"user\":1,\"poi\":2,\"timestamp\":3600}\n"
+      "{\"op\":\"topk\",\"user\":1,\"k\":3,\"timestamp\":7200}\n"));
+  const std::string observe_line = client.ReadLine();
+  const std::string topk_line = client.ReadLine();
+  const double wall_us = std::chrono::duration<double, std::micro>(
+                             Clock::now() - t0)
+                             .count();
+  ASSERT_FALSE(observe_line.empty());
+  ASSERT_FALSE(topk_line.empty());
+
+  const uint64_t trace_id = TraceIdFromEnvelope(topk_line);
+  ASSERT_NE(trace_id, 0u) << topk_line;
+  EXPECT_NE(TraceIdFromEnvelope(observe_line), 0u);
+  EXPECT_NE(TraceIdFromEnvelope(observe_line), trace_id);
+
+  // The reservoir was cold (floor 0), so both requests were captured.
+  const auto trace = obs::SlowTraceReservoir::Global().Find(trace_id);
+  ASSERT_NE(trace, nullptr);
+  EXPECT_EQ(trace->trace_id, trace_id);
+
+  // Every stage must be present, linked directly under the root span, and
+  // their durations must fit inside the request's client-measured wall
+  // time (they are disjoint sub-intervals of it).
+  const char* kStages[] = {"net.parse", "net.queue_wait", "serve.compute",
+                           "net.serialize"};
+  double stage_sum_us = 0.0;
+  for (const char* stage : kStages) {
+    bool found = false;
+    for (const obs::TraceEvent& e : trace->spans) {
+      if (std::string(e.name) != stage) continue;
+      found = true;
+      EXPECT_EQ(e.trace_id, trace_id) << stage;
+      EXPECT_EQ(e.parent_id, trace->root_span) << stage;
+      stage_sum_us += static_cast<double>(e.dur_ns) / 1000.0;
+    }
+    EXPECT_TRUE(found) << "missing stage span " << stage;
+  }
+  EXPECT_LE(stage_sum_us, wall_us);
+  // The root span covers every stage.
+  EXPECT_LE(stage_sum_us, static_cast<double>(trace->total_ns) / 1000.0);
+
+  // The same trace is visible to operators on GET /slowz.
+  const std::string slowz = HttpGet(exposition_.port(), "/slowz");
+  ASSERT_FALSE(slowz.empty());
+  EXPECT_NE(slowz.find("\"trace\":\"" + obs::TraceIdHex(trace_id) + "\""),
+            std::string::npos)
+      << slowz;
+  EXPECT_NE(slowz.find("\"net.queue_wait\""), std::string::npos);
+}
+
+TEST_F(TraceRoundTripTest, ErrorEnvelopesEchoTheTraceToo) {
+  LineClient client(server_.port());
+  ASSERT_TRUE(client.Send("{\"op\":\"nonsense\"}\n"));
+  const std::string line = client.ReadLine();
+  ASSERT_FALSE(line.empty());
+  EXPECT_NE(line.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(TraceIdFromEnvelope(line), 0u) << line;
+}
+
+TEST_F(TraceRoundTripTest, DisablingRequestTracingDropsTheEcho) {
+  obs::SetRequestTracingEnabled(false);
+  LineClient client(server_.port());
+  ASSERT_TRUE(client.Send(
+      "{\"op\":\"topk\",\"user\":1,\"k\":3,\"timestamp\":7200}\n"));
+  const std::string line = client.ReadLine();
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(TraceIdFromEnvelope(line), 0u) << line;
+  EXPECT_TRUE(obs::SlowTraceReservoir::Global().WorstTraces().empty());
+  obs::SetRequestTracingEnabled(true);
+}
+
+TEST_F(TraceRoundTripTest, PipelinedBurstMintsDistinctCapturedTraces) {
+  LineClient client(server_.port());
+  std::string burst;
+  constexpr int kRequests = 6;
+  for (int i = 0; i < kRequests; ++i) {
+    burst += "{\"op\":\"topk\",\"user\":" + std::to_string(i) +
+             ",\"k\":2,\"timestamp\":7200,\"id\":" + std::to_string(i) +
+             "}\n";
+  }
+  ASSERT_TRUE(client.Send(burst));
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < kRequests; ++i) {
+    const std::string line = client.ReadLine();
+    ASSERT_FALSE(line.empty()) << "response " << i;
+    // In-order delivery: the echoed id identifies the request.
+    EXPECT_NE(line.find("\"id\":" + std::to_string(i) + ","),
+              std::string::npos)
+        << line;
+    ids.push_back(TraceIdFromEnvelope(line));
+    EXPECT_NE(ids.back(), 0u);
+  }
+  for (int i = 1; i < kRequests; ++i) {
+    EXPECT_NE(ids[static_cast<size_t>(i)], ids[static_cast<size_t>(i - 1)]);
+  }
+  // All six beat the cold floor, and kWorst ≥ 6, so all are retained with
+  // their write-wait stage attributed.
+  for (const uint64_t id : ids) {
+    const auto trace = obs::SlowTraceReservoir::Global().Find(id);
+    ASSERT_NE(trace, nullptr);
+    bool write_wait = false;
+    for (const obs::TraceEvent& e : trace->spans) {
+      if (std::string(e.name) == "net.write_wait") write_wait = true;
+    }
+    EXPECT_TRUE(write_wait) << obs::TraceIdHex(id);
+  }
+}
+
+}  // namespace
+}  // namespace pa::net

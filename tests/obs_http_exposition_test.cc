@@ -10,14 +10,20 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cctype>
+#include <chrono>
+#include <cstdio>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
+#include "obs/slow_trace.h"
+#include "obs/telemetry_sampler.h"
 
 namespace pa::obs {
 namespace {
@@ -236,6 +242,181 @@ TEST(ExpositionServer, ServesOverARealSocket) {
   EXPECT_FALSE(server.running());
   server.Stop();  // Idempotent.
   registry.Unregister("test.expo.live", nullptr);
+}
+
+TEST(Route, SlowzServesTheReservoirJson) {
+  SlowTraceReservoir::Global().Clear();
+  const auto empty = internal::Route("GET", "/slowz");
+  EXPECT_EQ(empty.status, 200);
+  EXPECT_EQ(empty.content_type, "application/json");
+  EXPECT_NE(empty.body.find("\"traces\":[]"), std::string::npos);
+
+  SetRequestTracingEnabled(true);
+  auto& reservoir = SlowTraceReservoir::Global();
+  const TraceContext ctx = reservoir.Begin("test.expo.request");
+  ASSERT_TRUE(ctx.active());
+  reservoir.End(ctx, TraceClockNs() + 2'000'000);
+  const auto r = internal::Route("GET", "/slowz");
+  EXPECT_NE(r.body.find("\"trace\":\"" + TraceIdHex(ctx.trace_id) + "\""),
+            std::string::npos)
+      << r.body;
+  SlowTraceReservoir::Global().Clear();
+}
+
+TEST(ExpositionServer, PublishesItsBoundPortAsAGauge) {
+  ExpositionServer server;
+  ASSERT_TRUE(server.Start(0));
+  const auto snap = MetricRegistry::Global().TakeSnapshot();
+  const auto it = snap.gauges.find("obs.exposition.port");
+  ASSERT_NE(it, snap.gauges.end());
+  EXPECT_EQ(static_cast<uint16_t>(it->second), server.port());
+  // /varz (a registry snapshot) therefore carries the port too.
+  const std::string varz = HttpGet(server.port(), "GET /varz HTTP/1.1");
+  EXPECT_NE(varz.find("\"obs.exposition.port\""), std::string::npos);
+  server.Stop();
+  // Unregistered on Stop: a dead server must not advertise a port.
+  const auto after = MetricRegistry::Global().TakeSnapshot();
+  EXPECT_EQ(after.gauges.count("obs.exposition.port"), 0u);
+}
+
+// --- Adversarial clients -------------------------------------------------
+//
+// The exposition server is one thread handling one connection at a time, so
+// a hostile or broken scraper must never wedge it: a stalled partial
+// request times out, an oversized request line is rejected at the byte cap,
+// and in both cases the *next* well-formed scrape succeeds.
+
+// Connects and sends `partial` without ever finishing the request.
+int ConnectAndStall(uint16_t port, const std::string& partial) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    close(fd);
+    return -1;
+  }
+  if (!partial.empty()) {
+    (void)send(fd, partial.data(), partial.size(), 0);
+  }
+  return fd;
+}
+
+TEST(ExpositionServerAdversarial, SlowLorisTimesOutAndServerRecovers) {
+  ExpositionServerConfig config;
+  config.recv_timeout_ms = 200;  // Fast timeout so the test stays quick.
+  ExpositionServer server;
+  ASSERT_TRUE(server.Start(config));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  // Half a request line, then silence: the read times out, the connection
+  // is answered 400 and closed instead of holding the listener hostage.
+  const int loris = ConnectAndStall(server.port(), "GET /met");
+  ASSERT_GE(loris, 0);
+  char buf[512];
+  std::string answer;
+  ssize_t n;
+  while ((n = recv(loris, buf, sizeof(buf), 0)) > 0) {
+    answer.append(buf, static_cast<size_t>(n));
+  }
+  close(loris);
+  const auto held = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(answer.rfind("HTTP/1.1 400 Bad Request\r\n", 0), 0u) << answer;
+  // Cut off by the recv timeout, not by the peer finishing: well under the
+  // default 5s but at least the configured 200ms.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(held)
+                .count(),
+            3000);
+
+  // The listener thread survived and serves the next scrape.
+  const std::string metrics = HttpGet(server.port(), "GET /metrics HTTP/1.1");
+  EXPECT_EQ(metrics.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  server.Stop();
+}
+
+TEST(ExpositionServerAdversarial, OversizedRequestLineIsRejectedAtTheCap) {
+  ExpositionServerConfig config;
+  config.max_request_bytes = 1024;
+  config.recv_timeout_ms = 5000;  // Rejection must come from the cap.
+  ExpositionServer server;
+  ASSERT_TRUE(server.Start(config));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  // 4 KiB of request-line with no terminator: the server stops reading at
+  // the cap and answers 400 immediately instead of buffering forever.
+  const std::string flood = "GET /" + std::string(4096, 'a');
+  const int fd = ConnectAndStall(server.port(), flood);
+  ASSERT_GE(fd, 0);
+  char buf[512];
+  std::string answer;
+  ssize_t n;
+  while ((n = recv(fd, buf, sizeof(buf), 0)) > 0) {
+    answer.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+  const auto held = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(answer.rfind("HTTP/1.1 400 Bad Request\r\n", 0), 0u) << answer;
+  // Rejected on receipt (cap), not after the 5s recv timeout.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(held)
+                .count(),
+            3000);
+
+  const std::string healthz = HttpGet(server.port(), "GET /healthz HTTP/1.1");
+  EXPECT_EQ(healthz.rfind("HTTP/1.1", 0), 0u);
+  server.Stop();
+}
+
+TEST(ExpositionServerAdversarial, ConcurrentScrapesDuringSamplerFlush) {
+  // Scrapes race the TelemetrySampler's registry snapshots and live metric
+  // updates; under TSan (tier1.sh runs this binary with it) any unguarded
+  // shared state in the snapshot/exposition path gets flagged.
+  auto& registry = MetricRegistry::Global();
+  Counter& churn = registry.GetCounter("test.expo.churn");
+
+  const std::string sink =
+      ::testing::TempDir() + "/expo_concurrent_timeseries.ndjson";
+  TelemetrySampler sampler(registry);
+  TelemetrySampler::Options options;
+  options.period_ms = 1;  // Flush as fast as possible.
+  options.sink_path = sink;
+  ASSERT_TRUE(sampler.Start(options));
+
+  ExpositionServer server;
+  ASSERT_TRUE(server.Start(0));
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&churn, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) churn.Increment();
+  });
+
+  constexpr int kScrapers = 3;
+  constexpr int kScrapesEach = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> scrapers;
+  scrapers.reserve(kScrapers);
+  const char* kPaths[] = {"GET /metrics HTTP/1.1", "GET /varz HTTP/1.1",
+                          "GET /slowz HTTP/1.1"};
+  for (int t = 0; t < kScrapers; ++t) {
+    scrapers.emplace_back([&failures, &server, &kPaths, t] {
+      for (int i = 0; i < kScrapesEach; ++i) {
+        const std::string response =
+            HttpGet(server.port(), kPaths[(t + i) % 3]);
+        if (response.rfind("HTTP/1.1 200 OK\r\n", 0) != 0) ++failures;
+      }
+    });
+  }
+  for (std::thread& s : scrapers) s.join();
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  sampler.Stop();
+  server.Stop();
+  registry.Unregister("test.expo.churn", nullptr);
+  std::remove(sink.c_str());
 }
 
 }  // namespace

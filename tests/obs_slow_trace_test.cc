@@ -1,0 +1,276 @@
+// Tests for the K-worst slow-trace reservoir: mint/append/end lifecycle,
+// floor-based admission, eviction order, stale-span rejection, slot
+// exhaustion, the /slowz JSON shape, and concurrent minting (run under TSan
+// via tier1.sh).
+
+#include "obs/slow_trace.h"
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/trace.h"
+
+namespace pa::obs {
+namespace {
+
+// Every test drives the process-global reservoir (that is what the request
+// path uses), so each starts from a cleared state.
+class SlowTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetRequestTracingEnabled(true);
+    SlowTraceReservoir::Global().Clear();
+  }
+  void TearDown() override { SlowTraceReservoir::Global().Clear(); }
+};
+
+TraceEvent MakeEvent(const char* name, uint64_t start_ns, uint64_t dur_ns,
+                     uint64_t id, uint64_t trace_id, uint64_t parent_id) {
+  TraceEvent e;
+  e.name = name;
+  e.start_ns = start_ns;
+  e.dur_ns = dur_ns;
+  e.id = id;
+  e.trace_id = trace_id;
+  e.parent_id = parent_id;
+  return e;
+}
+
+TEST_F(SlowTraceTest, BeginMintsActiveContextsWithDistinctIds) {
+  auto& reservoir = SlowTraceReservoir::Global();
+  const TraceContext a = reservoir.Begin();
+  const TraceContext b = reservoir.Begin();
+  ASSERT_TRUE(a.active());
+  ASSERT_TRUE(b.active());
+  EXPECT_NE(a.trace_id, b.trace_id);
+  EXPECT_NE(a.parent_span, 0u);  // The root span id.
+  EXPECT_NE(a.parent_span, b.parent_span);
+  // Trace ids stay above the slot-claim sentinel by construction.
+  EXPECT_GE(a.trace_id, SlowTraceReservoir::kSlots);
+  reservoir.Abort(a);
+  reservoir.Abort(b);
+}
+
+TEST_F(SlowTraceTest, DisabledRequestTracingMintsNothing) {
+  SetRequestTracingEnabled(false);
+  EXPECT_FALSE(SlowTraceReservoir::Global().Begin().active());
+  SetRequestTracingEnabled(true);
+}
+
+TEST_F(SlowTraceTest, EndCapturesTheTraceWithItsSpansAndRoot) {
+  auto& reservoir = SlowTraceReservoir::Global();
+  const TraceContext ctx = reservoir.Begin("test.root");
+  ASSERT_TRUE(ctx.active());
+  reservoir.Append(ctx.trace_id, MakeEvent("child", 10, 5, 101, ctx.trace_id,
+                                           ctx.parent_span));
+  reservoir.End(ctx);
+
+  const auto trace = reservoir.Find(ctx.trace_id);
+  ASSERT_NE(trace, nullptr);
+  EXPECT_EQ(trace->trace_id, ctx.trace_id);
+  EXPECT_EQ(trace->root_span, ctx.parent_span);
+  EXPECT_EQ(trace->spans_dropped, 0u);
+  // The appended child plus the synthesized root span (recorded by End
+  // through the normal span path, which routes back into the slot).
+  ASSERT_EQ(trace->spans.size(), 2u);
+  EXPECT_STREQ(trace->spans[0].name, "child");
+  EXPECT_STREQ(trace->spans[1].name, "test.root");
+  EXPECT_EQ(trace->spans[1].id, trace->root_span);
+  EXPECT_EQ(trace->spans[1].parent_id, 0u);
+}
+
+TEST_F(SlowTraceTest, StaleAppendsAfterEndAreDiscarded) {
+  auto& reservoir = SlowTraceReservoir::Global();
+  const TraceContext ctx = reservoir.Begin();
+  ASSERT_TRUE(ctx.active());
+  reservoir.End(ctx);
+  // Work that outlived its request: must not land in the slot's next
+  // occupant or resurrect the finished trace.
+  reservoir.Append(ctx.trace_id,
+                   MakeEvent("late", 1, 1, 999, ctx.trace_id, 0));
+  const auto trace = reservoir.Find(ctx.trace_id);
+  ASSERT_NE(trace, nullptr);
+  for (const TraceEvent& e : trace->spans) {
+    EXPECT_STRNE(e.name, "late");
+  }
+  // Double-End is a no-op, not a double-publish.
+  reservoir.End(ctx);
+  EXPECT_EQ(reservoir.Find(ctx.trace_id), trace);
+}
+
+TEST_F(SlowTraceTest, AbortFreesTheSlotWithoutPublishing) {
+  auto& reservoir = SlowTraceReservoir::Global();
+  const TraceContext ctx = reservoir.Begin();
+  ASSERT_TRUE(ctx.active());
+  reservoir.Abort(ctx);
+  EXPECT_EQ(reservoir.Find(ctx.trace_id), nullptr);
+  // The slot is reusable: minting kSlots more must succeed.
+  std::vector<TraceContext> minted;
+  for (uint32_t i = 0; i < SlowTraceReservoir::kSlots; ++i) {
+    minted.push_back(reservoir.Begin());
+    ASSERT_TRUE(minted.back().active()) << i;
+  }
+  for (const TraceContext& c : minted) reservoir.Abort(c);
+}
+
+TEST_F(SlowTraceTest, ExhaustedSlotsYieldInactiveContexts) {
+  auto& reservoir = SlowTraceReservoir::Global();
+  std::vector<TraceContext> minted;
+  for (uint32_t i = 0; i < SlowTraceReservoir::kSlots; ++i) {
+    minted.push_back(reservoir.Begin());
+    ASSERT_TRUE(minted.back().active()) << i;
+  }
+  // All in flight: the next mint degrades to "untraced", never blocks.
+  EXPECT_FALSE(reservoir.Begin().active());
+  reservoir.Abort(minted.back());
+  EXPECT_TRUE(reservoir.Begin().active());
+  for (const TraceContext& c : minted) reservoir.Abort(c);
+}
+
+TEST_F(SlowTraceTest, PerTraceSpanCapCountsInsteadOfGrowing) {
+  auto& reservoir = SlowTraceReservoir::Global();
+  const TraceContext ctx = reservoir.Begin();
+  ASSERT_TRUE(ctx.active());
+  const size_t extra = 7;
+  for (size_t i = 0; i < SlowTraceReservoir::kMaxSpansPerTrace + extra; ++i) {
+    reservoir.Append(ctx.trace_id,
+                     MakeEvent("s", i, 1, 100 + i, ctx.trace_id, 0));
+  }
+  reservoir.End(ctx);
+  const auto trace = reservoir.Find(ctx.trace_id);
+  ASSERT_NE(trace, nullptr);
+  EXPECT_EQ(trace->spans.size(), SlowTraceReservoir::kMaxSpansPerTrace);
+  // The root span arrived after the cap was hit, so it counts as dropped
+  // alongside the overflow appends.
+  EXPECT_EQ(trace->spans_dropped, extra + 1);
+}
+
+TEST_F(SlowTraceTest, ReservoirKeepsTheKWorstByTotalTime) {
+  auto& reservoir = SlowTraceReservoir::Global();
+  constexpr int kTraces = SlowTraceReservoir::kWorst + 4;
+  // End traces with strictly increasing wall times: the first 4 must be
+  // evicted, the slowest kWorst retained, floor = the fastest survivor.
+  std::vector<uint64_t> ids;
+  std::vector<uint64_t> totals;
+  for (int i = 0; i < kTraces; ++i) {
+    const TraceContext ctx = reservoir.Begin();
+    ASSERT_TRUE(ctx.active());
+    ids.push_back(ctx.trace_id);
+    const uint64_t start = TraceClockNs();
+    const uint64_t total = 1'000'000 + static_cast<uint64_t>(i) * 1'000'000;
+    totals.push_back(total);
+    reservoir.End(ctx, start + total);
+  }
+  const auto worst = reservoir.WorstTraces();
+  ASSERT_EQ(worst.size(), static_cast<size_t>(SlowTraceReservoir::kWorst));
+  // Worst first, and exactly the slowest kWorst of the submissions.
+  for (size_t i = 1; i < worst.size(); ++i) {
+    EXPECT_GE(worst[i - 1]->total_ns, worst[i]->total_ns);
+  }
+  std::set<uint64_t> retained;
+  for (const auto& t : worst) retained.insert(t->trace_id);
+  for (int i = 0; i < kTraces; ++i) {
+    EXPECT_EQ(retained.count(ids[static_cast<size_t>(i)]),
+              i < 4 ? 0u : 1u)
+        << "trace " << i;
+  }
+  // End() measures from the slot's own Begin stamp, which predates our
+  // TraceClockNs() read by a hair — so totals are lower bounds, and the
+  // floor lands between the fastest survivor and the next rung up.
+  EXPECT_GE(reservoir.floor_ns(), totals[4]);
+  EXPECT_LT(reservoir.floor_ns(), totals[5]);
+  // A completed trace at the floor is rejected without publication.
+  const TraceContext fast = reservoir.Begin();
+  ASSERT_TRUE(fast.active());
+  reservoir.End(fast, TraceClockNs());  // ~0 ns total.
+  EXPECT_EQ(reservoir.Find(fast.trace_id), nullptr);
+}
+
+TEST_F(SlowTraceTest, JsonCarriesTheWorstTracesWorstFirst) {
+  auto& reservoir = SlowTraceReservoir::Global();
+  const TraceContext slow = reservoir.Begin("test.slow");
+  ASSERT_TRUE(slow.active());
+  reservoir.Append(slow.trace_id, MakeEvent("stage \"x\"", 5, 2, 55,
+                                            slow.trace_id, slow.parent_span));
+  const uint64_t start = TraceClockNs();
+  reservoir.End(slow, start + 5'000'000);
+
+  const std::string json = reservoir.Json();
+  EXPECT_EQ(json.rfind("{\"k\":8,\"floor_us\":", 0), 0u) << json;
+  EXPECT_NE(json.find("\"trace\":\"" + TraceIdHex(slow.trace_id) + "\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"root\":" + std::to_string(slow.parent_span)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"stage \\\"x\\\"\""), std::string::npos);
+  EXPECT_NE(json.find("\"spans_dropped\":0"), std::string::npos);
+  // Cleared: an empty reservoir still renders valid JSON.
+  reservoir.Clear();
+  EXPECT_EQ(reservoir.Json(), "{\"k\":8,\"floor_us\":0.000,\"traces\":[]}");
+}
+
+TEST_F(SlowTraceTest, SpansRecordedUnderAContextReachTheTraceBuffer) {
+  auto& reservoir = SlowTraceReservoir::Global();
+  const TraceContext ctx = reservoir.Begin("test.req");
+  ASSERT_TRUE(ctx.active());
+  {
+    const TraceContextScope scope(ctx);
+    PA_TRACE_SPAN("test.slowtrace.work");
+  }
+  reservoir.End(ctx, TraceClockNs() + 10'000'000);  // Force capture.
+  const auto trace = reservoir.Find(ctx.trace_id);
+  ASSERT_NE(trace, nullptr);
+  bool found = false;
+  for (const TraceEvent& e : trace->spans) {
+    if (std::string(e.name) == "test.slowtrace.work") {
+      found = true;
+      EXPECT_EQ(e.parent_id, ctx.parent_span);
+      EXPECT_EQ(e.trace_id, ctx.trace_id);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(SlowTraceTest, ConcurrentMintAppendEndIsRaceFree) {
+  auto& reservoir = SlowTraceReservoir::Global();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::atomic<int> captured{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reservoir, &captured, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const TraceContext ctx = reservoir.Begin();
+        if (!ctx.active()) continue;  // Slots momentarily exhausted: fine.
+        reservoir.Append(
+            ctx.trace_id,
+            MakeEvent("w", static_cast<uint64_t>(i), 1,
+                      static_cast<uint64_t>(t * kPerThread + i + 1),
+                      ctx.trace_id, ctx.parent_span));
+        if (i % 3 == 0) {
+          reservoir.Abort(ctx);
+        } else {
+          reservoir.End(ctx);
+          ++captured;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_GT(captured.load(), 0);
+  // Readers race publication in the loop above; here the reservoir must be
+  // internally consistent: every retained trace has a sane id and span set.
+  for (const auto& trace : reservoir.WorstTraces()) {
+    EXPECT_GE(trace->trace_id, SlowTraceReservoir::kSlots);
+    EXPECT_LE(trace->spans.size(), SlowTraceReservoir::kMaxSpansPerTrace);
+  }
+}
+
+}  // namespace
+}  // namespace pa::obs

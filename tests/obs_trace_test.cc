@@ -161,6 +161,111 @@ TEST(TraceSpan, RingOverflowKeepsNewestAndCountsDropped) {
   }
 }
 
+TEST(TraceContext, SpansLinkUnderTheActiveContextWithoutGlobalTracing) {
+  SetTracingEnabled(false);
+  // A request trace alone (no ring tracing) still assigns ids and links
+  // parents; the events go to the reservoir, not the ring — so the ring
+  // stays empty but the span ids are real.
+  const TraceContext ctx{0x1234, 77};
+  uint64_t outer_id = 0;
+  uint64_t inner_parent = 0;
+  uint64_t inner_id = 0;
+  {
+    const TraceContextScope scope(ctx);
+    TraceSpan outer("test.ctx.outer");
+    outer_id = outer.id();
+    {
+      TraceSpan inner("test.ctx.inner");
+      inner_id = inner.id();
+      inner_parent = CurrentTraceContext().parent_span;
+    }
+    // Inner restored the parent chain on close.
+    EXPECT_EQ(CurrentTraceContext().parent_span, outer_id);
+  }
+  EXPECT_NE(outer_id, 0u);
+  EXPECT_NE(inner_id, 0u);
+  EXPECT_EQ(inner_parent, inner_id);  // Inner installed itself for children.
+  // Scope exit restored the inactive ambient context.
+  EXPECT_FALSE(CurrentTraceContext().active());
+}
+
+TEST(TraceContext, ScopeRestoresThePreviousContext) {
+  const TraceContext a{11, 1};
+  const TraceContext b{22, 2};
+  const TraceContextScope outer(a);
+  {
+    const TraceContextScope inner(b);
+    EXPECT_EQ(CurrentTraceContext().trace_id, 22u);
+  }
+  EXPECT_EQ(CurrentTraceContext().trace_id, 11u);
+  EXPECT_EQ(CurrentTraceContext().parent_span, 1u);
+}
+
+TEST(TraceContext, InactiveScopeIsolatesFromAmbientTrace) {
+  const TraceContextScope outer(TraceContext{5, 1});
+  {
+    const TraceContextScope isolated(TraceContext{});
+    EXPECT_FALSE(CurrentTraceContext().active());
+  }
+  EXPECT_TRUE(CurrentTraceContext().active());
+}
+
+TEST(TraceContext, RecordedEventsCarryTraceAndParentIds) {
+  DrainTraceEvents();
+  SetTracingEnabled(true);
+  {
+    const TraceContextScope scope(TraceContext{0xabcd, 900});
+    PA_TRACE_SPAN("test.ctx.recorded");
+  }
+  SetTracingEnabled(false);
+  const std::vector<TraceEvent> events = DrainNamed("test.ctx.recorded");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].trace_id, 0xabcdu);
+  EXPECT_EQ(events[0].parent_id, 900u);
+}
+
+TEST(TraceContext, RecordStageSpanSynthesizesALinkedSpan) {
+  DrainTraceEvents();
+  SetTracingEnabled(true);
+  const TraceContext ctx{0x77, 3};
+  const uint64_t id = RecordStageSpan("test.ctx.stage", 1000, 4500, ctx);
+  SetTracingEnabled(false);
+  EXPECT_NE(id, 0u);
+  const std::vector<TraceEvent> events = DrainNamed("test.ctx.stage");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].id, id);
+  EXPECT_EQ(events[0].start_ns, 1000u);
+  EXPECT_EQ(events[0].dur_ns, 3500u);
+  EXPECT_EQ(events[0].trace_id, 0x77u);
+  EXPECT_EQ(events[0].parent_id, 3u);
+
+  // Both switches off: nothing recorded, id 0 (the no-exemplar sentinel).
+  DrainTraceEvents();
+  EXPECT_EQ(RecordStageSpan("test.ctx.stage", 1, 2, TraceContext{}), 0u);
+  EXPECT_TRUE(DrainNamed("test.ctx.stage").empty());
+}
+
+TEST(TraceContext, TraceIdHexIsLowercaseHexWithoutPrefix) {
+  EXPECT_EQ(TraceIdHex(0x1a2b3c), "1a2b3c");
+  EXPECT_EQ(TraceIdHex(1), "1");
+}
+
+TEST(TraceExport, NdjsonEmitsTraceAndParentOnlyForLinkedSpans) {
+  std::vector<TraceEvent> events;
+  events.push_back({"linked", 1000, 500, 0, 7, 0xbeef, 6});
+  events.push_back({"unlinked", 2000, 500, 0, 8, 0, 0});
+  const std::string ndjson = TraceNdjson(events);
+  EXPECT_NE(ndjson.find("\"trace\":\"beef\",\"parent\":6"), std::string::npos);
+  std::istringstream lines(ndjson);
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line.find("\"trace\""), std::string::npos);
+  std::map<std::string, serve::JsonValue> fields;
+  std::string error;
+  EXPECT_TRUE(serve::ParseFlatObject(line, &fields, &error)) << error;
+}
+
 TEST(TraceExport, ChromeTraceJsonEventsRoundTripThroughStrictParser) {
   std::vector<TraceEvent> events;
   events.push_back({"alpha", 1500, 2750, 0});

@@ -1,12 +1,16 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <numeric>
 #include <set>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "obs/trace.h"
 
 namespace pa::util {
 namespace {
@@ -106,6 +110,64 @@ TEST_F(ThreadPoolTest, SetThreadCountResizesPool) {
   EXPECT_EQ(ThreadCount(), 3);
   SetThreadCount(1);
   EXPECT_EQ(GlobalPool().num_threads(), 1);
+}
+
+TEST_F(ThreadPoolTest, SubmitPropagatesTheCallersTraceContext) {
+  for (int threads : {1, 4}) {
+    SetThreadCount(threads);
+    // The caller's ambient request context must be observed inside the
+    // task, whether it runs inline (1 thread) or on a pool worker.
+    const obs::TraceContext ctx{0xfeed, 42};
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    obs::TraceContext seen;
+    {
+      const obs::TraceContextScope scope(ctx);
+      GlobalPool().Submit([&] {
+        std::lock_guard<std::mutex> lock(mu);
+        seen = obs::CurrentTraceContext();
+        done = true;
+        cv.notify_one();
+      });
+    }
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&done] { return done; });
+    EXPECT_EQ(seen.trace_id, 0xfeedu) << threads << " threads";
+    EXPECT_EQ(seen.parent_span, 42u);
+  }
+  // The worker's slot is restored: later tasks see no stale context.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  obs::TraceContext seen{1, 1};
+  GlobalPool().Submit([&] {
+    std::lock_guard<std::mutex> lock(mu);
+    seen = obs::CurrentTraceContext();
+    done = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&done] { return done; });
+  EXPECT_FALSE(seen.active());
+}
+
+TEST_F(ThreadPoolTest, ParallelForPropagatesContextToEveryBlock) {
+  SetThreadCount(4);
+  const obs::TraceContext ctx{0xabc, 7};
+  constexpr int64_t kN = 64;
+  std::vector<std::atomic<uint64_t>> observed(kN);
+  {
+    const obs::TraceContextScope scope(ctx);
+    GlobalPool().ParallelFor(0, kN, /*grain=*/1, [&](int64_t i) {
+      observed[static_cast<size_t>(i)].store(
+          obs::CurrentTraceContext().trace_id);
+    });
+  }
+  for (int64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(observed[static_cast<size_t>(i)].load(), 0xabcu)
+        << "index " << i;
+  }
 }
 
 TEST_F(ThreadPoolTest, SplitMixStreamsAreDistinct) {
